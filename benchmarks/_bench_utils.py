@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness."""
+
+import pathlib
+
+from repro.analysis import FigureData, format_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(figure: FigureData, filename: str) -> None:
+    """Print a reproduced figure (run pytest with ``-s`` to see it) and
+    archive it under ``benchmarks/results/``."""
+    text = format_figure(figure)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+
+
+def emit_text(text: str, filename: str) -> None:
+    """Print and archive a free-form benchmark report."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")

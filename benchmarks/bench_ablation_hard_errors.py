@@ -1,0 +1,55 @@
+"""Ablation (beyond the paper): sensitivity to the disk hard-error rate.
+
+The paper fixes HER at 1 sector per 10^14 bits (desktop/ATA class) and
+never sweeps it, yet hard errors drive the lambda_S terms and the h
+probabilities.  This ablation sweeps HER across enterprise (1e-16) to
+worst-case (1e-13) and shows which configurations are hard-error-limited
+vs failure-limited — context for the paper's Section 8 balance argument.
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import format_table
+from repro.models import events_per_pb_year, sensitivity_configurations
+
+HER_VALUES = [1e-16, 1e-15, 1e-14, 1e-13]
+
+
+def sweep_her(params):
+    results = {}
+    for config in sensitivity_configurations():
+        rates = []
+        for her in HER_VALUES:
+            p = params.replace(hard_error_rate_per_bit=her)
+            rates.append(config.reliability(p).events_per_pb_year)
+        results[config.label] = rates
+    return results
+
+
+def test_ablation_hard_error_rate(benchmark, baseline_params):
+    results = benchmark.pedantic(
+        sweep_her, args=(baseline_params,), rounds=1, iterations=1
+    )
+    for label, rates in results.items():
+        # Fewer hard errors never hurts.
+        assert all(a <= b * (1 + 1e-12) for a, b in zip(rates, rates[1:]))
+    # Hard errors are a first-order factor: across three orders of HER,
+    # every configuration moves by several-fold — but node/drive failures
+    # keep a floor, so none moves by the full three orders (the Section 8
+    # balance argument).
+    spread = {label: rates[-1] / rates[0] for label, rates in results.items()}
+    assert all(s > 2.0 for s in spread.values())
+    assert all(s < 1000.0 for s in spread.values())
+
+
+def test_ablation_hard_error_report(baseline_params):
+    results = sweep_her(baseline_params)
+    rows = [["HER (per bit)"] + list(results)]
+    for i, her in enumerate(HER_VALUES):
+        rows.append([f"{her:.0e}"] + [f"{rates[i]:.3e}" for rates in results.values()])
+    emit_text(
+        "Ablation: disk hard-error rate (events/PB-year)\n"
+        + format_table(rows),
+        "ablation_hard_errors.txt",
+    )

@@ -1,0 +1,52 @@
+"""Elasticity benchmark: the sensitivity figures' slopes as numbers.
+
+``d log(events/PB-year) / d log(parameter)`` at the baseline for the
+shortlisted configurations — the differential version of Figures 14-17,
+and a structural check on the models (the internal-RAID NFT-2 rate goes
+like mu_N^-2, so the rebuild-block elasticity must sit near -2 while
+rebuilds are IOPS-bound).
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import elasticity_profile, format_table
+from repro.models import Configuration, InternalRaid, sensitivity_configurations
+
+
+def test_elasticity_structure(benchmark, baseline_params):
+    profile = benchmark.pedantic(
+        elasticity_profile,
+        args=(Configuration(InternalRaid.RAID5, 2), baseline_params),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {e.parameter: e.value for e in profile}
+    # mu_N^2 in the numerator and IOPS-bound rebuilds: block elasticity -2.
+    assert by_name["rebuild_command_bytes"] == pytest.approx(-2.0, abs=0.1)
+    # Node failures dominate: strong negative node-MTTF elasticity...
+    assert by_name["node_mttf_hours"] < -2.0
+    # ...while drive MTTF barely matters (Figure 14's flat curve).
+    assert abs(by_name["drive_mttf_hours"]) < 1.0
+    # Disk-bound at 10 Gb/s: zero link elasticity (Figure 17's plateau).
+    assert by_name["link_speed_bps"] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_elasticity_report(baseline_params):
+    configs = sensitivity_configurations()
+    profiles = {c.label: elasticity_profile(c, baseline_params) for c in configs}
+    fields = [e.parameter for e in profiles[configs[0].label]]
+    rows = [["parameter"] + [c.label for c in configs]]
+    for field in sorted(fields):
+        row = [field]
+        for c in configs:
+            value = next(
+                e.value for e in profiles[c.label] if e.parameter == field
+            )
+            row.append(f"{value:+.2f}")
+        rows.append(row)
+    emit_text(
+        "Elasticities at the baseline: d log(events/PB-yr) / d log(param)\n"
+        + format_table(rows),
+        "elasticity.txt",
+    )

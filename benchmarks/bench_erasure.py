@@ -1,0 +1,46 @@
+"""Erasure-codec data-path benchmarks.
+
+Throughput of the substrates the storage engine uses: Reed-Solomon
+encode/decode at the paper's cross-node geometries (R = 8, t = 1..3) and
+the RAID 6 double-erasure recovery path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.erasure import Raid6Codec, ReedSolomonCodec
+
+BLOCK = 64 * 1024
+
+
+def make_blocks(k, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=BLOCK, dtype=np.uint8).tobytes() for _ in range(k)]
+
+
+@pytest.mark.parametrize("t", [1, 2, 3])
+def test_rs_encode_r8(benchmark, t):
+    codec = ReedSolomonCodec(8 - t, t)
+    data = make_blocks(8 - t)
+    shards = benchmark(codec.encode, data)
+    assert len(shards) == 8
+
+
+@pytest.mark.parametrize("t", [1, 2, 3])
+def test_rs_decode_r8_worst_case(benchmark, t):
+    codec = ReedSolomonCodec(8 - t, t)
+    data = make_blocks(8 - t, seed=1)
+    shards = codec.encode(data)
+    # Worst case: all t lost shards are data shards.
+    survivors = {i: s for i, s in enumerate(shards) if i >= t}
+    decoded = benchmark(codec.decode_data, survivors)
+    assert decoded == data
+
+
+def test_raid6_double_recovery(benchmark):
+    codec = Raid6Codec(10)
+    data = make_blocks(10, seed=2)
+    stripe = codec.encode(data)
+    survivors = {i: s for i, s in enumerate(stripe) if i not in (3, 7)}
+    rebuilt = benchmark(codec.reconstruct, survivors)
+    assert rebuilt == stripe

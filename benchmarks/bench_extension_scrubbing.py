@@ -1,0 +1,59 @@
+"""Extension benchmark: scrub cadence vs reliability vs bandwidth cost.
+
+Sweeps the scrub interval from daily to yearly for the three Section 7
+configurations, reporting events/PB-year alongside the drive-bandwidth
+fraction one sweep consumes — the trade-off an operator actually tunes.
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import format_table
+from repro.models import ScrubbingModel, sensitivity_configurations
+
+INTERVALS = [
+    ("daily", 24.0),
+    ("weekly", 168.0),
+    ("monthly", 720.0),
+    ("quarterly", 2191.5),
+    ("yearly (no-scrub calib.)", 8766.0),
+]
+
+
+def sweep_scrub(params):
+    model = ScrubbingModel()
+    table = {}
+    for name, hours in INTERVALS:
+        scrubbed = model.scrubbed_parameters(params, hours)
+        rates = [
+            config.reliability(scrubbed).events_per_pb_year
+            for config in sensitivity_configurations()
+        ]
+        table[name] = (model.scrub_bandwidth_fraction(params, hours), rates)
+    return table
+
+
+def test_extension_scrubbing(benchmark, baseline_params):
+    table = benchmark.pedantic(
+        sweep_scrub, args=(baseline_params,), rounds=1, iterations=1
+    )
+    # More frequent scrubbing never hurts reliability.
+    series = list(table.values())
+    for j in range(3):
+        rates = [rates[j] for _, rates in series]
+        assert all(a <= b * (1 + 1e-12) for a, b in zip(rates, rates[1:]))
+    # Daily scrubbing costs under 10% of a drive's bandwidth at baseline.
+    assert table["daily"][0] < 0.10
+
+
+def test_extension_scrubbing_report(baseline_params):
+    table = sweep_scrub(baseline_params)
+    labels = [c.label for c in sensitivity_configurations()]
+    rows = [["scrub cadence", "drive BW cost"] + labels]
+    for name, (cost, rates) in table.items():
+        rows.append([name, f"{cost:.2%}"] + [f"{r:.3e}" for r in rates])
+    emit_text(
+        "Extension: scrub cadence vs reliability (events/PB-year)\n"
+        + format_table(rows),
+        "extension_scrubbing.txt",
+    )

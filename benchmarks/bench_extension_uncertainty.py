@@ -1,0 +1,60 @@
+"""Extension benchmark: batch-to-batch MTTF uncertainty propagation.
+
+Section 8: "drive MTTF can vary significantly between batches of drives
+and the same can be expected of nodes."  The paper brackets the range
+with two point estimates; here we propagate log-uniform uncertainty over
+both MTTFs through the models and report percentile bands plus the
+probability of meeting the target — the risk view behind Figure 14/15.
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import LogUniform, UncertaintyStudy, format_table
+from repro.models import sensitivity_configurations
+
+SAMPLES = 48
+
+
+def run_study(params):
+    study = UncertaintyStudy(
+        params,
+        {
+            "drive_mttf_hours": LogUniform(100_000, 750_000),
+            "node_mttf_hours": LogUniform(100_000, 1_000_000),
+        },
+    )
+    return study.run_many(sensitivity_configurations(), samples=SAMPLES, seed=0)
+
+
+def test_extension_uncertainty(benchmark, baseline_params):
+    results = benchmark.pedantic(
+        run_study, args=(baseline_params,), rounds=1, iterations=1
+    )
+    by_key = {r.config.key: r for r in results}
+    # FT2 + RAID 5 is robust: meets the target for a clear majority of
+    # batch draws; FT2 no-RAID is fragile: mostly misses.
+    assert by_key["ft2_raid5"].probability_meets_target() > 0.6
+    assert by_key["ft2_noraid"].probability_meets_target() < 0.4
+    # FT3 no-RAID's 95th percentile stays under the target.
+    assert by_key["ft3_noraid"].p95 < 2e-3
+
+
+def test_extension_uncertainty_report(baseline_params):
+    results = run_study(baseline_params)
+    rows = [["configuration", "p5", "median", "p95", "P(meets target)"]]
+    for r in results:
+        rows.append(
+            [
+                r.config.label,
+                f"{r.percentile(5):.3e}",
+                f"{r.median:.3e}",
+                f"{r.p95:.3e}",
+                f"{r.probability_meets_target():.2f}",
+            ]
+        )
+    emit_text(
+        f"Extension: MTTF batch uncertainty, {SAMPLES} LHS draws "
+        "(events/PB-year)\n" + format_table(rows),
+        "extension_uncertainty.txt",
+    )

@@ -1,0 +1,26 @@
+"""Figure 17: sensitivity to link speed (1 / 5 / 10 Gb/s)."""
+
+import pytest
+from _bench_utils import emit
+
+from repro.analysis import figure17_link_speed
+from repro.models import RebuildModel
+
+
+def test_fig17_link_speed(benchmark, baseline_params):
+    figure = benchmark(figure17_link_speed, baseline_params)
+    emit(figure, "fig17_link_speed.txt")
+
+    i1 = figure.x_values.index(1.0)
+    i5 = figure.x_values.index(5.0)
+    i10 = figure.x_values.index(10.0)
+    for series in figure.series:
+        # "There is no difference in reliability between the last two points."
+        assert series.values[i5] == pytest.approx(series.values[i10], rel=1e-9)
+        # 1 Gb/s is network-bound and clearly worse.
+        assert series.values[i1] > 1.5 * series.values[i10]
+
+    # The crossover sits "around 3 Gb/s" (we land at ~2.5 with the paper's
+    # transport constants).
+    crossover = RebuildModel(baseline_params).network_bound_below_gbps(2)
+    assert 2.0 < crossover < 3.5

@@ -1,0 +1,56 @@
+"""Mesh flow benchmark: is the single-link bandwidth abstraction sound?
+
+Section 6 reduces the 3-D mesh interconnect to a single sustained
+per-node link bandwidth, citing [Fleiner et al. 2003].  This benchmark
+lays an actual node rebuild's flows on the 4x4x4 baseline mesh, computes
+max-min fair throughput, and reports the ratio between the mesh's real
+per-destination rate and the abstraction — the closer to 1, the sounder
+Figure 17's network model.
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import format_table
+from repro.cluster import MeshTopology, rebuild_flow_study
+
+
+def test_mesh_rebuild_flow(benchmark):
+    mesh = MeshTopology(4, 4, 4, link_bandwidth_bps=10e9)
+    study = benchmark.pedantic(
+        rebuild_flow_study,
+        args=(mesh, 21, 6),
+        rounds=3,
+        iterations=1,
+    )
+    # The abstraction is within 2x of the flow-level truth.
+    assert 0.3 < study.abstraction_ratio < 2.0
+
+
+def test_mesh_rebuild_flow_report():
+    rows = [
+        [
+            "link speed",
+            "mesh per-dest MB/s",
+            "abstract MB/s",
+            "ratio",
+            "slowest flow MB/s",
+        ]
+    ]
+    for gbps in (1, 5, 10):
+        mesh = MeshTopology(4, 4, 4, link_bandwidth_bps=gbps * 1e9)
+        study = rebuild_flow_study(mesh, failed_node=21, source_count=6)
+        rows.append(
+            [
+                f"{gbps} Gb/s",
+                f"{study.per_destination_rate / 1e6:.0f}",
+                f"{study.abstract_node_bandwidth / 1e6:.0f}",
+                f"{study.abstraction_ratio:.2f}",
+                f"{study.slowest_flow_rate / 1e6:.1f}",
+            ]
+        )
+    emit_text(
+        "Mesh flow study: single-link abstraction vs max-min fair flows "
+        "(4x4x4, R-t = 6 sources per destination)\n" + format_table(rows),
+        "mesh_flows.txt",
+    )

@@ -1,0 +1,90 @@
+"""Validation benchmark: Monte-Carlo simulation vs analytic chains.
+
+Not a figure from the paper — this is the reproduction's own evidence
+that the chains encode what they claim: a physical discrete-event
+simulation built from individual failures/rebuilds must land on the same
+MTTDL (at accelerated failure rates; the chains are solved at the same
+parameters, with exact lambda_D/lambda_S for internal RAID).
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import format_table
+from repro.models import (
+    Configuration,
+    InternalRaid,
+    InternalRaidNodeModel,
+    Parameters,
+)
+from repro.sim import accelerated_parameters, estimate_mttdl
+
+CASES = [
+    Configuration(InternalRaid.NONE, 1),
+    Configuration(InternalRaid.NONE, 2),
+    Configuration(InternalRaid.RAID5, 1),
+    Configuration(InternalRaid.RAID5, 2),
+]
+
+
+@pytest.fixture(scope="module")
+def acc():
+    # Scale 60: fast enough to simulate, mild enough that the hierarchical
+    # decomposition for internal RAID (constant lambda_D during node
+    # rebuilds) stays within a few percent of the physical process.
+    base = Parameters.baseline().replace(node_set_size=16, redundancy_set_size=8)
+    return accelerated_parameters(base, failure_scale=60.0)
+
+
+def analytic_mttdl(config, params):
+    if config.internal is InternalRaid.NONE:
+        return config.mttdl_hours(params)
+    return InternalRaidNodeModel(
+        params, config.internal, config.node_fault_tolerance, rates_method="exact"
+    ).mttdl_exact()
+
+
+@pytest.mark.parametrize("config", CASES, ids=lambda c: c.key)
+def test_monte_carlo_vs_chain(benchmark, acc, config):
+    mc = benchmark.pedantic(
+        estimate_mttdl,
+        args=(config, acc),
+        kwargs={"replicas": 120, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    analytic = analytic_mttdl(config, acc)
+    assert mc.consistent_with(analytic, sigmas=5.0), (
+        mc.mean_hours,
+        mc.std_error_hours,
+        analytic,
+    )
+
+
+def test_monte_carlo_report(acc):
+    rows = [["configuration", "simulated (h)", "std err", "chain (h)", "z"]]
+    for config in CASES:
+        mc = estimate_mttdl(config, acc, replicas=120, seed=7)
+        analytic = analytic_mttdl(config, acc)
+        z = (analytic - mc.mean_hours) / mc.std_error_hours
+        rows.append(
+            [
+                config.label,
+                f"{mc.mean_hours:.4g}",
+                f"{mc.std_error_hours:.3g}",
+                f"{analytic:.4g}",
+                f"{z:+.2f}",
+            ]
+        )
+    emit_text(
+        "Validation: physical simulation vs analytic chains "
+        "(failure rates x60)\n"
+        + format_table(rows)
+        + "\n\nNote: the no-RAID processes are chain-equivalent by "
+        "construction (|z| ~ 1).  The internal-RAID rows inherit the "
+        "paper's hierarchical approximation (constant lambda_D/lambda_S "
+        "while node rebuilds are in flight), which biases the chain "
+        "optimistic by ~10-20% under this acceleration; the bias vanishes "
+        "as mu/lambda grows toward the real operating regime.",
+        "monte_carlo_validation.txt",
+    )

@@ -1,0 +1,78 @@
+"""Storage-engine data-path benchmarks: put / get / degraded get / rebuild
+throughput of the byte-level substrates."""
+
+import os
+
+import pytest
+
+from repro.cluster import BrickStore, Cluster, StripeStore
+from repro.models import InternalRaid, Parameters
+
+PARAMS = Parameters.baseline().replace(node_set_size=12, redundancy_set_size=6)
+PAYLOAD = os.urandom(64 * 1024)
+
+
+def fresh_stripe_store():
+    store = StripeStore(Cluster(PARAMS), fault_tolerance=2)
+    for i in range(20):
+        store.put(f"seed-{i}", PAYLOAD)
+    return store
+
+
+def test_put_throughput(benchmark):
+    store = fresh_stripe_store()
+    counter = iter(range(10**9))
+
+    def put():
+        store.put(f"bench-{next(counter)}", PAYLOAD)
+
+    benchmark(put)
+
+
+def test_get_throughput(benchmark):
+    store = fresh_stripe_store()
+    result = benchmark(store.get, "seed-7")
+    assert result == PAYLOAD
+
+
+def test_degraded_get_throughput(benchmark):
+    """Read with two shards missing: the decode path."""
+    store = fresh_stripe_store()
+    info = store.info("seed-7")
+    store.fail_node(info.redundancy_set.nodes[0])
+    store.fail_node(info.redundancy_set.nodes[1])
+    result = benchmark(store.get, "seed-7")
+    assert result == PAYLOAD
+
+
+def test_node_rebuild_throughput(benchmark):
+    def rebuild():
+        store = fresh_stripe_store()
+        store.fail_node(3)
+        return store.rebuild_node(3)
+
+    shards = benchmark.pedantic(rebuild, rounds=5, iterations=1)
+    assert shards >= 0
+
+
+def test_brick_store_put_raid5(benchmark):
+    store = BrickStore(Cluster(PARAMS), fault_tolerance=2, internal=InternalRaid.RAID5)
+    counter = iter(range(10**9))
+
+    def put():
+        store.put(f"bench-{next(counter)}", PAYLOAD)
+
+    benchmark(put)
+
+
+def test_brick_restripe_throughput(benchmark):
+    def restripe():
+        store = BrickStore(
+            Cluster(PARAMS), fault_tolerance=2, internal=InternalRaid.RAID5
+        )
+        for i in range(10):
+            store.put(f"k{i}", PAYLOAD)
+        return store.fail_drive(0, 0)
+
+    preserved = benchmark.pedantic(restripe, rounds=5, iterations=1)
+    assert preserved >= 0

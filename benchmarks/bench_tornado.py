@@ -1,0 +1,56 @@
+"""Tornado ranking of the controllable parameters (Section 8's conclusion).
+
+"the rebuild block size is a controllable parameter with the most
+significant impact on reliability" — this benchmark ranks every
+configurable knob by the orders of magnitude it moves events/PB-year
+across its practical range, for the FT2 + internal RAID 5 configuration.
+"""
+
+from _bench_utils import emit_text
+
+from repro.analysis import format_table, tornado
+from repro.models import Configuration, InternalRaid
+
+RANGES = {
+    "rebuild block size (16-512 KB)": (
+        [16, 64, 256, 512],
+        lambda p, x: p.with_rebuild_command_kb(x),
+    ),
+    "link speed (1-10 Gb/s)": (
+        [1.0, 5.0, 10.0],
+        lambda p, x: p.with_link_speed_gbps(x),
+    ),
+    "redundancy set size (4-16)": (
+        [4, 8, 16],
+        lambda p, x: p.replace(redundancy_set_size=int(x)),
+    ),
+    "node set size (16-256)": (
+        [16, 64, 256],
+        lambda p, x: p.replace(node_set_size=int(x)),
+    ),
+    "drives per node (4-24)": (
+        [4, 12, 24],
+        lambda p, x: p.replace(drives_per_node=int(x)),
+    ),
+}
+
+
+def test_tornado_controllable_knobs(benchmark, baseline_params):
+    configs = [Configuration(InternalRaid.RAID5, 2)]
+    entries = benchmark.pedantic(
+        tornado, args=(configs, baseline_params, RANGES), rounds=1, iterations=1
+    )
+    # Section 8's headline: rebuild block size dominates.
+    assert entries[0].parameter.startswith("rebuild block size")
+    assert entries[0].leverage_orders > 1.5
+
+    rows = [["parameter", "best", "worst", "leverage (orders)"]]
+    for e in entries:
+        rows.append(
+            [e.parameter, f"{e.low:.3e}", f"{e.high:.3e}", f"{e.leverage_orders:.2f}"]
+        )
+    emit_text(
+        "Tornado: controllable-parameter leverage (FT 2, internal RAID 5)\n"
+        + format_table(rows),
+        "tornado.txt",
+    )

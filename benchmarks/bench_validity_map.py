@@ -1,0 +1,43 @@
+"""Appendix-hypothesis benchmark: approximation error vs rate separation.
+
+The appendix theorem assumes ``N (lambda_N + d lambda_d)`` is at least an
+order of magnitude below both rebuild rates.  This benchmark maps the
+Figure A1 closed form's relative error as the failure rates climb toward
+the rebuild rates, verifying the error decays roughly linearly with the
+separation (a first-order perturbation).
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import format_table, validity_map
+
+
+def test_validity_map(benchmark):
+    points = benchmark.pedantic(validity_map, rounds=1, iterations=1)
+    # Error decays with separation...
+    errors = [p.relative_error for p in points]
+    assert errors == sorted(errors, reverse=True)
+    # ...and is below 1% once separation exceeds ~100.
+    assert points[-1].separation > 100 or points[-1].relative_error < 0.01
+    assert points[-1].relative_error < 0.01
+
+
+def test_validity_map_report():
+    points = validity_map()
+    rows = [["separation (mu/N*lam)", "max h", "FigA1 rel. error", "trust?"]]
+    for p in points:
+        rows.append(
+            [
+                f"{p.separation:.3g}",
+                f"{p.max_h:.3g}",
+                f"{p.relative_error:.2%}",
+                "yes" if p.trustworthy else "no",
+            ]
+        )
+    emit_text(
+        "Validity map: Figure A1 error vs the appendix theorem's rate-"
+        "separation hypothesis (FT 2, no internal RAID)\n"
+        + format_table(rows),
+        "validity_map.txt",
+    )

@@ -1,0 +1,16 @@
+"""Fixtures for the benchmark harness.
+
+Each ``bench_figNN_*.py`` regenerates one figure of the paper's
+evaluation: the benchmark times the full analysis, asserts the paper's
+qualitative claims, prints the rows/series (run with ``-s`` to see them)
+and archives them under ``benchmarks/results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def baseline_params():
+    from repro.models import Parameters
+
+    return Parameters.baseline()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Arbitrary fault tolerance via the appendix's recursive construction.
+
+The paper hand-draws the no-internal-RAID chains up to fault tolerance 3
+(Figures 8-10) and gives a recursive construction plus a closed form
+(Figure A1) for arbitrary k.  This example pushes both well past the
+paper: chains for k = 1..6 (up to 127 states), exact numeric solves vs
+the closed form, and the diminishing returns of additional tolerance.
+
+Run:  python examples/arbitrary_fault_tolerance.py
+"""
+
+from repro import Parameters
+from repro.models import (
+    PAPER_TARGET_EVENTS_PER_PB_YEAR,
+    RecursiveNoRaidModel,
+    events_per_pb_year,
+)
+
+
+def main() -> None:
+    # A larger-than-baseline brick farm with slow, cheap drives.
+    params = Parameters.baseline().replace(
+        node_set_size=128,
+        redundancy_set_size=16,
+        drive_mttf_hours=150_000.0,
+    )
+    print(f"N = {params.node_set_size}, R = {params.redundancy_set_size}, "
+          f"d = {params.drives_per_node}, no internal RAID")
+    print(f"target: {PAPER_TARGET_EVENTS_PER_PB_YEAR:.1e} events/PB-year\n")
+
+    print(f"{'k':>2} {'states':>7} {'MTTDL exact (h)':>16} "
+          f"{'Figure A1 (h)':>14} {'ratio':>7} {'events/PB-yr':>13} target")
+    previous = None
+    for k in range(1, 7):
+        model = RecursiveNoRaidModel(params, fault_tolerance=k)
+        chain = model.chain()
+        exact = chain.mean_time_to_absorption()
+        approx = model.mttdl_approx()
+        rate = events_per_pb_year(exact, params)
+        marker = "meets" if rate < PAPER_TARGET_EVENTS_PER_PB_YEAR else "MISSES"
+        gain = "" if previous is None else f"  (x{exact / previous:.0f} vs k-1)"
+        print(f"{k:>2} {chain.num_states - 1:>7} {exact:>16.4g} "
+              f"{approx:>14.4g} {approx / exact:>7.3f} {rate:>13.3e} {marker}{gain}")
+        previous = exact
+
+    print("\nEach +1 of cross-node tolerance buys orders of magnitude, but "
+          "the rebuild-rate-to-failure-rate ratio sets the multiplier; the "
+          "Figure A1 closed form tracks the exact solve while mu >> N*lambda "
+          "and the h-probabilities stay small.")
+
+
+if __name__ == "__main__":
+    main()

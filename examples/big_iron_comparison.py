@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Bricks vs 'big iron': the introduction's motivating comparison.
+
+The paper argues commodity bricks with cross-node redundancy can reach
+enterprise-class reliability without enterprise hardware.  This example
+puts numbers on it: a monolithic frame of RAID-6 groups on 1M-hour
+enterprise drives with 8-hour hot-spare rebuilds, against the brick
+baseline (300k-hour desktop drives, sealed fail-in-place nodes) at
+several redundancy configurations.
+
+Run:  python examples/big_iron_comparison.py
+"""
+
+from repro import ALL_CONFIGURATIONS, Parameters
+from repro.models import MonolithicSystem
+
+
+def main() -> None:
+    monolith = MonolithicSystem()
+    print("monolithic comparator: %d RAID-6 groups x %d enterprise drives "
+          "(MTTF %.0fk h, HER %.0e), %.1f h hot-spare rebuild" % (
+              monolith.array_groups,
+              monolith.drives_per_group,
+              monolith.drive_mttf_hours / 1000,
+              monolith.hard_error_rate_per_bit,
+              monolith.rebuild_hours,
+          ))
+    mono_rate = monolith.events_per_pb_year()
+    print(f"monolith reliability: {mono_rate:.3e} events/PB-year\n")
+
+    params = Parameters.baseline()
+    print("brick system (desktop drives, MTTF 300k h, HER 1e-14, "
+          "fail-in-place):")
+    print(f"{'configuration':<26} {'events/PB-year':>14}  vs monolith")
+    for config in ALL_CONFIGURATIONS:
+        rate = config.reliability(params).events_per_pb_year
+        ratio = rate / mono_rate
+        verdict = f"{1 / ratio:8.1f}x better" if ratio < 1 else f"{ratio:8.1f}x worse"
+        print(f"{config.label:<26} {rate:>14.3e}  {verdict}")
+
+    print("\nThe paper's thesis, quantified: despite 3x-worse drives and "
+          "unserviced sealed nodes, cross-node fault tolerance 2 with "
+          "internal RAID 5 beats the enterprise monolith outright — the "
+          "redundancy architecture, not the hardware class, sets the "
+          "reliability.")
+
+
+if __name__ == "__main__":
+    main()

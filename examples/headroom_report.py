@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Headroom report: how far can each parameter drift before trouble?
+
+Section 8 reads the sensitivity charts as "insight into available
+headroom".  This example computes the headroom directly for the
+shortlisted [FT 2, internal RAID 5] configuration: the current distance
+to the target in orders of magnitude, and for each operational parameter
+the value at which the configuration would cross the 2e-3 events/PB-year
+line.
+
+Run:  python examples/headroom_report.py
+"""
+
+from repro import Configuration, InternalRaid, Parameters
+from repro.analysis import find_crossover, headroom_orders
+
+
+def main() -> None:
+    params = Parameters.baseline()
+    config = Configuration(InternalRaid.RAID5, 2)
+
+    print(f"configuration: {config.label}")
+    print(f"current headroom: {headroom_orders(config, params):.2f} orders "
+          "of magnitude below the target\n")
+
+    knobs = [
+        (
+            "drive MTTF (hours)",
+            50_000.0,
+            750_000.0,
+            lambda p, x: p.replace(drive_mttf_hours=x),
+            "minimum tolerable",
+        ),
+        (
+            "node MTTF (hours)",
+            20_000.0,
+            1_000_000.0,
+            lambda p, x: p.replace(node_mttf_hours=x),
+            "minimum tolerable",
+        ),
+        (
+            "rebuild block size (KB)",
+            1.0,
+            512.0,
+            lambda p, x: p.replace(rebuild_command_bytes=x * 1024),
+            "minimum required",
+        ),
+        (
+            "link speed (Gb/s)",
+            0.05,
+            10.0,
+            lambda p, x: p.with_link_speed_gbps(x),
+            "minimum required",
+        ),
+        (
+            "redundancy set size R",
+            4.0,
+            32.0,
+            lambda p, x: p.replace(redundancy_set_size=int(round(x))),
+            "maximum tolerable",
+        ),
+    ]
+
+    print(f"{'parameter':<26} {'baseline':>10} {'crossover':>12}  meaning")
+    baselines = {
+        "drive MTTF (hours)": params.drive_mttf_hours,
+        "node MTTF (hours)": params.node_mttf_hours,
+        "rebuild block size (KB)": params.rebuild_command_bytes / 1024,
+        "link speed (Gb/s)": params.link_speed_bps / 1e9,
+        "redundancy set size R": params.redundancy_set_size,
+    }
+    for name, low, high, transform, meaning in knobs:
+        result = find_crossover(config, params, transform, low, high)
+        if result.always_meets:
+            verdict = "(meets target over the whole range)"
+        elif result.never_meets:
+            verdict = "(never meets target in this range)"
+        else:
+            verdict = f"{result.value:>12.4g}  {meaning}"
+        base = baselines[name]
+        print(f"{name:<26} {base:>10.4g} {verdict:>12}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Mission survival, fleet math and degraded-time analysis.
+
+The paper's target is a *fleet mission statement* — 100 petabyte systems,
+5 years, under one data-loss event — evaluated via MTTDL.  This example
+computes the statement directly from the chains' transient solutions and
+adds the operational picture the MTTDL hides: how much of a year each
+configuration spends degraded (rebuilds in flight, redundancy reduced).
+
+Run:  python examples/mission_and_availability.py
+"""
+
+from repro import ALL_CONFIGURATIONS, Parameters
+from repro.models import (
+    AvailabilityModel,
+    HOURS_PER_YEAR,
+    fleet_expected_events,
+    fleet_loss_probability,
+    mission_survival_probability,
+)
+
+MISSION_YEARS = 5
+FLEET = 100
+
+
+def main() -> None:
+    params = Parameters.baseline()
+    mission_hours = MISSION_YEARS * HOURS_PER_YEAR
+
+    print(f"fleet: {FLEET} systems x {params.system_logical_pb:.3f} PB, "
+          f"{MISSION_YEARS}-year mission\n")
+    header = (f"{'configuration':<26} {'P(survive 5y)':>14} "
+              f"{'fleet P(loss)':>14} {'E[events]/PB':>13} "
+              f"{'degraded h/yr':>14}")
+    print(header)
+    for config in ALL_CONFIGURATIONS:
+        chain = config.chain(params)
+        survival = mission_survival_probability(chain, mission_hours)
+        p_fleet = fleet_loss_probability(survival, FLEET)
+        events = fleet_expected_events(
+            config.mttdl_hours(params), FLEET, mission_hours
+        ) / params.system_logical_pb
+        availability = AvailabilityModel(config, params).evaluate()
+        print(f"{config.label:<26} {survival:>14.6f} {p_fleet:>14.3e} "
+              f"{events:>13.3e} {availability.degraded_hours_per_year:>14.2f}")
+
+    print("\nReading: the paper's 'less than one event across the fleet in "
+          "5 years' requires E[events]/PB < 1; degraded hours per year show "
+          "the operational cost (rebuild bandwidth reserved, redundancy "
+          "reduced) even in configurations that never lose data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate the reliability of brick-storage configurations.
+
+Reproduces the paper's core workflow in a few lines: pick a redundancy
+configuration (internal RAID level x cross-node fault tolerance), plug in
+system parameters, and read off the expected data-loss events per
+PB-year against the enterprise target of 2e-3.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ALL_CONFIGURATIONS,
+    Configuration,
+    InternalRaid,
+    PAPER_TARGET_EVENTS_PER_PB_YEAR,
+    Parameters,
+    RebuildModel,
+)
+
+
+def main() -> None:
+    params = Parameters.baseline()
+
+    print("System: %d nodes x %d drives x %.0f GB, R = %d" % (
+        params.node_set_size,
+        params.drives_per_node,
+        params.drive_capacity_bytes / 1e9,
+        params.redundancy_set_size,
+    ))
+    print("Logical capacity: %.3f PB" % params.system_logical_pb)
+    print("Reliability target: %.1e data loss events per PB-year" %
+          PAPER_TARGET_EVENTS_PER_PB_YEAR)
+    print()
+
+    # One configuration in detail: FT 2 across nodes + RAID 5 inside them.
+    config = Configuration(InternalRaid.RAID5, node_fault_tolerance=2)
+    result = config.reliability(params)
+    rebuild = RebuildModel(params)
+    breakdown = rebuild.node_rebuild(config.node_fault_tolerance)
+
+    print(f"--- {config.label} ---")
+    print(f"MTTDL: {result.mttdl_hours:.3e} hours ({result.mttdl_years:.3e} years)")
+    print(f"Events per PB-year: {result.events_per_pb_year:.3e}")
+    print(f"Meets target: {result.meets_target}")
+    print(f"Node rebuild time: {breakdown.total_hours:.2f} h "
+          f"(bottleneck: {breakdown.bottleneck})")
+    print()
+
+    # All nine configurations, Figure 13 style.
+    print(f"{'configuration':<26} {'events/PB-year':>14}  meets target")
+    for cfg in ALL_CONFIGURATIONS:
+        res = cfg.reliability(params)
+        marker = "yes" if res.meets_target else "NO"
+        print(f"{cfg.label:<26} {res.events_per_pb_year:>14.3e}  {marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so editable
+installs work on environments whose setuptools predates PEP 660 editable
+wheels (offline CI images without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

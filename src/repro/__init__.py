@@ -1,0 +1,50 @@
+"""repro — reliability models for networked storage nodes.
+
+A production-quality reproduction of *"Reliability for Networked Storage
+Nodes"* (KK Rao, James L. Hafner, Richard A. Golding; IBM Research /
+DSN 2006): absorbing-CTMC reliability models for brick-based distributed
+storage, the rebuild-time model, the recursive chain construction for
+arbitrary fault tolerance, plus the substrates needed to exercise them —
+an erasure-coding library, a simulated brick cluster and a Monte-Carlo
+failure injector.
+
+Quickstart::
+
+    from repro import Configuration, InternalRaid, Parameters
+
+    params = Parameters.baseline()
+    config = Configuration(InternalRaid.RAID5, node_fault_tolerance=2)
+    result = config.reliability(params)
+    print(result.events_per_pb_year, result.meets_target)
+"""
+
+from .models import (
+    ALL_CONFIGURATIONS,
+    Configuration,
+    InternalRaid,
+    PAPER_TARGET_EVENTS_PER_PB_YEAR,
+    Parameters,
+    RebuildModel,
+    ReliabilityResult,
+    all_configurations,
+    evaluate,
+    evaluate_all,
+    sensitivity_configurations,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_CONFIGURATIONS",
+    "Configuration",
+    "InternalRaid",
+    "PAPER_TARGET_EVENTS_PER_PB_YEAR",
+    "Parameters",
+    "RebuildModel",
+    "ReliabilityResult",
+    "all_configurations",
+    "evaluate",
+    "evaluate_all",
+    "sensitivity_configurations",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Command-line entry point: regenerate the paper's figures as tables.
+
+Installed as ``repro-figures``::
+
+    repro-figures                # everything (Figure 13 + sensitivity)
+    repro-figures 13 17         # selected figures
+    repro-figures --approx      # use the paper's closed forms
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..models.parameters import Parameters
+from .baseline import baseline_figure, run_baseline
+from .figures import (
+    figure14_drive_mttf,
+    figure15_node_mttf,
+    figure16_rebuild_block_size,
+    figure17_link_speed,
+    figure18_node_set_size,
+    figure19_redundancy_set_size,
+    figure20_drives_per_node,
+)
+from .report import format_figure
+
+__all__ = ["main"]
+
+_FIGURES = {
+    14: figure14_drive_mttf,
+    15: figure15_node_mttf,
+    16: figure16_rebuild_block_size,
+    17: figure17_link_speed,
+    18: figure18_node_set_size,
+    19: figure19_redundancy_set_size,
+    20: figure20_drives_per_node,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description=(
+            "Regenerate the evaluation figures of 'Reliability for "
+            "Networked Storage Nodes' (DSN 2006) as tables."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        type=int,
+        help="figure numbers (13-20); default: all",
+    )
+    parser.add_argument(
+        "--approx",
+        action="store_true",
+        help="use the paper's closed-form approximations instead of the "
+        "numeric chain solves",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["table", "csv", "json"],
+        default="table",
+        help="output format (default: aligned tables)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override a baseline parameter, e.g. --set node_set_size=128 "
+        "or --set drive_mttf_hours=750000 (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    method = "approx" if args.approx else "exact"
+    wanted = args.figures or [13] + sorted(_FIGURES)
+    unknown = [f for f in wanted if f != 13 and f not in _FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; choose from 13-20")
+
+    params = Parameters.baseline()
+    for override in args.set:
+        field, _, raw = override.partition("=")
+        if not raw:
+            parser.error(f"--set needs FIELD=VALUE, got {override!r}")
+        try:
+            current = getattr(params, field)
+        except AttributeError:
+            parser.error(f"unknown parameter field {field!r}")
+        value = type(current)(float(raw)) if isinstance(current, (int, float)) else raw
+        params = params.replace(**{field: value})
+
+    figures = []
+    for number in wanted:
+        if number == 13:
+            figures.append(baseline_figure(run_baseline(params, method)))
+        else:
+            figures.append(_FIGURES[number](params, method=method))
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps([f.to_dict() for f in figures], indent=2))
+    elif args.format == "csv":
+        print("\n".join(f.to_csv() for f in figures))
+    else:
+        print("\n\n".join(format_figure(f) for f in figures))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""One-at-a-time sensitivity analysis (Section 7).
+
+The paper varies one parameter at a time, holding the others at the
+baseline, and plots events/PB-year per configuration.
+:func:`sweep` is the generic engine behind every sensitivity figure;
+:func:`tornado` summarizes each parameter's leverage (max/min ratio over
+its range), which is how the paper concludes the rebuild block size is
+"the controllable parameter with the most significant impact".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..models.configurations import Configuration
+from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR
+from ..models.parameters import Parameters
+from .report import FigureData, Series
+
+__all__ = ["sweep", "SweepPoint", "tornado", "TornadoEntry"]
+
+ParamsTransform = Callable[[Parameters, Any], Parameters]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a sweep."""
+
+    x: Any
+    config: Configuration
+    events_per_pb_year: float
+    mttdl_hours: float
+
+    @property
+    def meets_target(self) -> bool:
+        return self.events_per_pb_year < PAPER_TARGET_EVENTS_PER_PB_YEAR
+
+
+def sweep(
+    configs: Sequence[Configuration],
+    base_params: Parameters,
+    x_values: Sequence[Any],
+    transform: ParamsTransform,
+    method: str = "exact",
+) -> List[SweepPoint]:
+    """Evaluate configurations over a one-dimensional parameter sweep.
+
+    Args:
+        configs: configurations to evaluate at every point.
+        base_params: the baseline every point starts from.
+        x_values: swept values (passed to ``transform``).
+        transform: maps (baseline, x) to the point's parameters.
+        method: ``"exact"`` or ``"approx"`` MTTDL computation.
+
+    Returns:
+        Points in (x, config) iteration order.
+    """
+    points = []
+    for x in x_values:
+        params = transform(base_params, x)
+        for config in configs:
+            result = config.reliability(params, method)
+            points.append(
+                SweepPoint(
+                    x=x,
+                    config=config,
+                    events_per_pb_year=result.events_per_pb_year,
+                    mttdl_hours=result.mttdl_hours,
+                )
+            )
+    return points
+
+
+def sweep_to_figure(
+    title: str,
+    x_label: str,
+    points: Sequence[SweepPoint],
+    label_fn: Optional[Callable[[SweepPoint], str]] = None,
+) -> FigureData:
+    """Group sweep points into a :class:`FigureData` (one series per label)."""
+    if label_fn is None:
+        label_fn = lambda p: p.config.label
+    x_values: List[Any] = []
+    series_values: Dict[str, Dict[Any, float]] = {}
+    for p in points:
+        if p.x not in x_values:
+            x_values.append(p.x)
+        series_values.setdefault(label_fn(p), {})[p.x] = p.events_per_pb_year
+    series = tuple(
+        Series(label, tuple(values[x] for x in x_values))
+        for label, values in series_values.items()
+    )
+    return FigureData(
+        title=title,
+        x_label=x_label,
+        x_values=tuple(float(x) for x in x_values),
+        series=series,
+        target=PAPER_TARGET_EVENTS_PER_PB_YEAR,
+    )
+
+
+@dataclass(frozen=True)
+class TornadoEntry:
+    """Leverage of one parameter for one configuration.
+
+    Attributes:
+        parameter: swept parameter name.
+        config: configuration evaluated.
+        low: events/PB-year at the range's best end.
+        high: events/PB-year at the range's worst end.
+        leverage_orders: log10(high / low) — how many orders of magnitude
+            the parameter moves the reliability across its range.
+    """
+
+    parameter: str
+    config: Configuration
+    low: float
+    high: float
+
+    @property
+    def leverage_orders(self) -> float:
+        if self.low <= 0:
+            return math.inf
+        return math.log10(self.high / self.low)
+
+
+def tornado(
+    configs: Sequence[Configuration],
+    base_params: Parameters,
+    parameter_ranges: Dict[str, Tuple[Sequence[Any], ParamsTransform]],
+    method: str = "exact",
+) -> List[TornadoEntry]:
+    """Rank parameters by reliability leverage.
+
+    Args:
+        configs: configurations to evaluate.
+        base_params: the shared baseline.
+        parameter_ranges: name -> (x_values, transform) as for
+            :func:`sweep`.
+
+    Returns:
+        Entries sorted by descending leverage.
+    """
+    entries = []
+    for name, (x_values, transform) in parameter_ranges.items():
+        points = sweep(configs, base_params, x_values, transform, method)
+        for config in configs:
+            mine = [p.events_per_pb_year for p in points if p.config == config]
+            entries.append(
+                TornadoEntry(
+                    parameter=name, config=config, low=min(mine), high=max(mine)
+                )
+            )
+    entries.sort(key=lambda e: e.leverage_orders, reverse=True)
+    return entries

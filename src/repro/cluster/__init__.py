@@ -1,0 +1,59 @@
+"""Brick-cluster substrate.
+
+The simulated hardware the reliability models describe: nodes (sealed
+bricks) with fail-in-place drives, redundancy-set placement, spare
+provisioning, the 3-D mesh interconnect and a byte-level erasure-coded
+object store.
+"""
+
+from .brick_store import BrickStatus, BrickStore
+from .entities import Cluster, ClusterError, Drive, DriveState, Node, NodeState
+from .flows import (
+    Flow,
+    FlowAllocation,
+    RebuildFlowStudy,
+    max_min_allocate,
+    rebuild_flow_study,
+)
+from .mesh import Coordinate, MeshTopology, route_xyz
+from .placement import (
+    PlacementPolicy,
+    RandomPlacement,
+    RedundancySet,
+    RotatingPlacement,
+    all_redundancy_sets,
+    count_redundancy_sets,
+)
+from .spares import ProvisioningPlan, SparePolicy
+from .storage import DataLossError, ObjectInfo, ScrubReport, StripeStore
+
+__all__ = [
+    "BrickStatus",
+    "BrickStore",
+    "Cluster",
+    "ClusterError",
+    "Coordinate",
+    "DataLossError",
+    "Drive",
+    "DriveState",
+    "Flow",
+    "FlowAllocation",
+    "RebuildFlowStudy",
+    "max_min_allocate",
+    "rebuild_flow_study",
+    "MeshTopology",
+    "Node",
+    "NodeState",
+    "ObjectInfo",
+    "PlacementPolicy",
+    "ProvisioningPlan",
+    "RandomPlacement",
+    "RedundancySet",
+    "RotatingPlacement",
+    "ScrubReport",
+    "SparePolicy",
+    "StripeStore",
+    "all_redundancy_sets",
+    "count_redundancy_sets",
+    "route_xyz",
+]

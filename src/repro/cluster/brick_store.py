@@ -1,0 +1,437 @@
+"""Drive-granular brick store: both redundancy dimensions at byte level.
+
+:class:`repro.cluster.storage.StripeStore` treats a node as an opaque
+shard holder.  :class:`BrickStore` adds the paper's second dimension:
+inside each brick, a shard is striped over the node's drives with the
+configured internal RAID level (none / RAID 5 / RAID 6), so the full
+9-configuration matrix of Section 3 is demonstrable on real bytes:
+
+* ``fail_drive`` — a drive dies; with internal RAID the node re-stripes
+  its strips onto the surviving drives (fail-in-place, Section 3) and no
+  cross-node traffic is needed; without internal RAID (or beyond the
+  array's tolerance) the node's shards are lost and the node must be
+  rebuilt by its peers.
+* ``fail_node`` / ``rebuild_node`` — as in the flat store: survivors
+  regenerate the lost shards from the cross-node code onto spare space.
+
+The store keeps strips per (node, drive) so a drive failure destroys
+exactly the bytes that physically lived on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..erasure.raid import Raid5Codec, Raid6Codec
+from ..erasure.reed_solomon import CodecError, ReedSolomonCodec
+from ..models.raid import InternalRaid
+from ..models.parameters import Parameters
+from .entities import Cluster, ClusterError
+from .placement import PlacementPolicy, RedundancySet, RotatingPlacement
+from .storage import DataLossError, ObjectInfo
+
+__all__ = ["BrickStore", "BrickStatus"]
+
+StripeKey = Tuple[int, int]  # (stripe_id, shard position)
+
+
+@dataclass(frozen=True)
+class BrickStatus:
+    """Health snapshot of one brick's storage.
+
+    Attributes:
+        node_id: the brick.
+        active_drives: drives currently holding strips.
+        degraded_shards: shards with missing strips still recoverable by
+            the internal RAID.
+        lost_shards: shards the internal RAID can no longer reconstruct.
+    """
+
+    node_id: int
+    active_drives: int
+    degraded_shards: int
+    lost_shards: int
+
+
+class _Brick:
+    """Node-local strip storage with internal-RAID encode/decode."""
+
+    def __init__(self, node_id: int, drive_ids: List[int], internal: InternalRaid) -> None:
+        self.node_id = node_id
+        self.internal = internal
+        self.active_drives: List[int] = list(drive_ids)
+        # strips[drive_id][(stripe, pos)] = strip bytes
+        self.strips: Dict[int, Dict[StripeKey, bytes]] = {d: {} for d in drive_ids}
+        # layout[(stripe, pos)] = ordered drive ids the shard was encoded over
+        self.layout: Dict[StripeKey, List[int]] = {}
+
+    # -- codec plumbing ------------------------------------------------ #
+
+    def _codec(self, total_strips: int):
+        if self.internal is InternalRaid.RAID5:
+            return Raid5Codec(total_strips - 1)
+        if self.internal is InternalRaid.RAID6:
+            return Raid6Codec(total_strips - 2)
+        return None
+
+    def _min_drives(self) -> int:
+        # data strips >= 2 for the RAID codecs.
+        return {InternalRaid.NONE: 1, InternalRaid.RAID5: 3, InternalRaid.RAID6: 4}[
+            self.internal
+        ]
+
+    def write_shard(self, key: StripeKey, shard: bytes) -> None:
+        """Place a shard on the brick's drives.
+
+        With internal RAID the shard is encoded over all active drives;
+        without it the shard lives on a single drive (the paper's "no more
+        than one drive per node is used in each redundancy set"), chosen
+        round-robin by stripe id.
+        """
+        drives = list(self.active_drives)
+        if len(drives) < self._min_drives():
+            raise ClusterError(
+                f"node {self.node_id} has too few drives for {self.internal.value}"
+            )
+        if self.internal is InternalRaid.NONE:
+            drive_id = drives[(key[0] + key[1]) % len(drives)]
+            self.strips[drive_id][key] = shard
+            self.layout[key] = [drive_id]
+            return
+        codec = self._codec(len(drives))
+        strips = codec.encode(_split(shard, codec.data_strips))
+        for drive_id, strip in zip(drives, strips):
+            self.strips[drive_id][key] = strip
+        self.layout[key] = drives
+
+    def read_shard(self, key: StripeKey) -> Optional[bytes]:
+        """Decode a shard, tolerating missing strips up to the internal
+        RAID's tolerance.  Returns None if unrecoverable or absent."""
+        drives = self.layout.get(key)
+        if drives is None:
+            return None
+        present: Dict[int, bytes] = {}
+        for position, drive_id in enumerate(drives):
+            strip = self.strips.get(drive_id, {}).get(key)
+            if strip is not None:
+                present[position] = strip
+        codec = self._codec(len(drives))
+        if codec is None:
+            if len(present) != len(drives):
+                return None
+            return b"".join(present[i] for i in range(len(drives)))
+        try:
+            full = codec.reconstruct(present)
+        except CodecError:
+            return None
+        return b"".join(full[: codec.data_strips])
+
+    def drop_drive(self, drive_id: int) -> None:
+        self.active_drives = [d for d in self.active_drives if d != drive_id]
+        self.strips.pop(drive_id, None)
+
+    def restripe(self) -> int:
+        """Re-encode every recoverable shard over the surviving drives.
+
+        Returns the number of shards re-striped.  Shards that lost more
+        strips than the internal tolerance are dropped (they will need a
+        cross-node rebuild).
+        """
+        keys = list(self.layout)
+        restriped = 0
+        for key in keys:
+            shard = self.read_shard(key)
+            self._erase(key)
+            if shard is not None:
+                self.write_shard(key, shard)
+                restriped += 1
+        return restriped
+
+    def shard_keys(self) -> List[StripeKey]:
+        return list(self.layout)
+
+    def _erase(self, key: StripeKey) -> None:
+        for drive_strips in self.strips.values():
+            drive_strips.pop(key, None)
+        self.layout.pop(key, None)
+
+    def status(self) -> BrickStatus:
+        degraded = 0
+        lost = 0
+        for key, drives in self.layout.items():
+            missing = sum(
+                1
+                for d in drives
+                if self.strips.get(d, {}).get(key) is None
+            )
+            if missing == 0:
+                continue
+            tolerance = self.internal.drive_fault_tolerance
+            if missing <= tolerance:
+                degraded += 1
+            else:
+                lost += 1
+        return BrickStatus(
+            node_id=self.node_id,
+            active_drives=len(self.active_drives),
+            degraded_shards=degraded,
+            lost_shards=lost,
+        )
+
+
+def _split(payload: bytes, k: int) -> List[bytes]:
+    block = (len(payload) + k - 1) // k
+    block = max(block, 1)
+    padded = payload + b"\x00" * (block * k - len(payload))
+    return [padded[i * block : (i + 1) * block] for i in range(k)]
+
+
+class BrickStore:
+    """Object store exercising both redundancy dimensions on real bytes.
+
+    Args:
+        cluster: the brick cluster.
+        fault_tolerance: cross-node erasure tolerance t (1 <= t < R).
+        internal: node-internal RAID level.
+        placement: optional placement policy.
+
+    The object format stores the shard length alongside each node shard so
+    internal re-encoding over varying drive counts stays self-describing.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        fault_tolerance: int,
+        internal: InternalRaid = InternalRaid.NONE,
+        placement: Optional[PlacementPolicy] = None,
+    ) -> None:
+        params = cluster.params
+        r = params.redundancy_set_size
+        if not 1 <= fault_tolerance < r:
+            raise ValueError("need 1 <= fault_tolerance < redundancy_set_size")
+        self._cluster = cluster
+        self._internal = internal
+        self._codec = ReedSolomonCodec(r - fault_tolerance, fault_tolerance)
+        self._placement = placement or RotatingPlacement(params.node_set_size, r)
+        self._bricks: Dict[int, _Brick] = {
+            node.node_id: _Brick(
+                node.node_id,
+                [d.drive_id for d in node.drives],
+                internal,
+            )
+            for node in cluster
+        }
+        self._objects: Dict[str, ObjectInfo] = {}
+        self._shard_sizes: Dict[str, int] = {}
+        self._next_stripe = 0
+        self._loss_log: List[str] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    @property
+    def internal(self) -> InternalRaid:
+        return self._internal
+
+    @property
+    def fault_tolerance(self) -> int:
+        return self._codec.parity_blocks
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def data_loss_events(self) -> List[str]:
+        return list(self._loss_log)
+
+    def brick_status(self, node_id: int) -> BrickStatus:
+        return self._brick(node_id).status()
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: str, payload: bytes) -> ObjectInfo:
+        """Store an object: cross-node stripe, then per-node internal
+        striping over each brick's drives."""
+        if key in self._objects:
+            raise KeyError(f"object {key!r} already exists")
+        if not payload:
+            raise ValueError("payload must be non-empty")
+        rset = self._placement.place(self._next_stripe)
+        unavailable = [
+            n for n in rset.nodes if not self._cluster.node(n).is_available
+        ]
+        if unavailable:
+            raise ClusterError(
+                f"placement includes unavailable nodes {unavailable}"
+            )
+        blocks = _split(payload, self._codec.data_blocks)
+        shards = self._codec.encode(blocks)
+        stripe_id = self._next_stripe
+        self._next_stripe += 1
+        for position, (node_id, shard) in enumerate(zip(rset.nodes, shards)):
+            self._brick(node_id).write_shard((stripe_id, position), shard)
+        self._shard_sizes[key] = len(shards[0])
+        info = ObjectInfo(
+            key=key,
+            stripe_id=stripe_id,
+            size=len(payload),
+            checksum=hashlib.sha256(payload).hexdigest(),
+            redundancy_set=rset,
+        )
+        self._objects[key] = info
+        return info
+
+    def get(self, key: str) -> bytes:
+        """Read an object through both redundancy layers."""
+        info = self._info(key)
+        shards = self._surviving_shards(info, self._shard_sizes[key])
+        if len(shards) < self._codec.data_blocks:
+            self._record_loss(key)
+            raise DataLossError(
+                f"object {key!r} lost: {len(shards)} of "
+                f"{self._codec.data_blocks} required shards recoverable"
+            )
+        data = self._codec.decode_data(shards)
+        payload = b"".join(data)[: info.size]
+        if hashlib.sha256(payload).hexdigest() != info.checksum:
+            self._record_loss(key)
+            raise DataLossError(f"object {key!r} failed checksum after decode")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # failures
+    # ------------------------------------------------------------------ #
+
+    def fail_drive(self, node_id: int, drive_id: int) -> int:
+        """Fail one drive and run the node's fail-in-place response.
+
+        With internal RAID the brick re-stripes (recoverable shards are
+        re-encoded over the surviving drives); shards beyond the internal
+        tolerance are dropped and left for cross-node repair via
+        :meth:`scrub_and_repair` or :meth:`rebuild_node`.
+
+        Returns:
+            Number of shards the internal re-stripe preserved.
+        """
+        node = self._cluster.node(node_id)
+        node.fail_drive(drive_id)
+        node.restripe(drive_id)
+        brick = self._brick(node_id)
+        brick.drop_drive(drive_id)
+        if len(brick.active_drives) < brick._min_drives():
+            # Too few spindles to run the array: treat as an array failure.
+            for key in brick.shard_keys():
+                brick._erase(key)
+            return 0
+        return brick.restripe()
+
+    def fail_node(self, node_id: int) -> None:
+        """Fail a whole brick: all its strips become unavailable."""
+        self._cluster.node(node_id).fail()
+        brick = self._brick(node_id)
+        for key in brick.shard_keys():
+            brick._erase(key)
+
+    def rebuild_node(self, failed_node_id: int) -> int:
+        """Cross-node rebuild of everything the failed brick held."""
+        rebuilt = 0
+        for key in list(self._objects):
+            info = self._objects[key]
+            if failed_node_id not in info.redundancy_set.nodes:
+                continue
+            rebuilt += self._repair_object(key)
+        return rebuilt
+
+    def scrub_and_repair(self) -> Tuple[int, List[str]]:
+        """Verify every object, re-materializing missing shards.
+
+        Returns:
+            (shards repaired, keys lost).
+        """
+        repaired = 0
+        lost: List[str] = []
+        for key in list(self._objects):
+            result = self._repair_object(key)
+            if result < 0:
+                lost.append(key)
+            else:
+                repaired += result
+        return repaired, lost
+
+    # ------------------------------------------------------------------ #
+
+    def _brick(self, node_id: int) -> _Brick:
+        try:
+            return self._bricks[node_id]
+        except KeyError:
+            raise ClusterError(f"no brick {node_id}") from None
+
+    def _info(self, key: str) -> ObjectInfo:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise KeyError(f"no object {key!r}") from None
+
+    def _surviving_shards(self, info: ObjectInfo, shard_size: int) -> Dict[int, bytes]:
+        shards: Dict[int, bytes] = {}
+        for position, node_id in enumerate(info.redundancy_set.nodes):
+            if not self._cluster.node(node_id).is_available:
+                continue
+            shard = self._brick(node_id).read_shard((info.stripe_id, position))
+            if shard is not None:
+                shards[position] = shard[:shard_size]
+        return shards
+
+    def _repair_object(self, key: str) -> int:
+        """Re-materialize missing shards; -1 if the object is lost."""
+        info = self._objects[key]
+        shard_size = self._shard_sizes[key]
+        shards = self._surviving_shards(info, shard_size)
+        if len(shards) < self._codec.data_blocks:
+            self._record_loss(key)
+            return -1
+        missing = [
+            pos
+            for pos in range(self._codec.total_blocks)
+            if pos not in shards
+        ]
+        if not missing:
+            return 0
+        full = self._codec.reconstruct(shards)
+        current_nodes = {
+            info.redundancy_set.nodes[pos] for pos in shards
+        }
+        replacements = [
+            n.node_id
+            for n in self._cluster.available_nodes
+            if n.node_id not in current_nodes
+            and len(self._brick(n.node_id).active_drives)
+            >= self._brick(n.node_id)._min_drives()
+        ]
+        if len(replacements) < len(missing):
+            raise ClusterError("not enough healthy bricks to re-home shards")
+        new_nodes = list(info.redundancy_set.nodes)
+        for pos, target in zip(missing, replacements):
+            new_nodes[pos] = target
+            self._brick(target).write_shard((info.stripe_id, pos), full[pos])
+        self._objects[key] = ObjectInfo(
+            key=info.key,
+            stripe_id=info.stripe_id,
+            size=info.size,
+            checksum=info.checksum,
+            redundancy_set=RedundancySet(tuple(new_nodes)),
+        )
+        return len(missing)
+
+    def _record_loss(self, key: str) -> None:
+        if key not in self._loss_log:
+            self._loss_log.append(key)

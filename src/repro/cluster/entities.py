@@ -1,0 +1,247 @@
+"""Brick-cluster entities: drives, nodes, and the cluster itself.
+
+A *node* (brick) is a sealed unit — controller, power supply, network
+links and ``d`` drives — operated fail-in-place (Section 3): failed
+drives are never replaced; a node with internal RAID re-stripes onto the
+surviving drives, and when the node itself dies its data is rebuilt onto
+the spare capacity of the surviving nodes.
+
+These entities carry *state*, not time: the discrete-event simulator
+(:mod:`repro.sim`) owns the clock and drives the state transitions, and
+the storage engine (:mod:`repro.cluster.storage`) stores real bytes on
+them for the examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..models.parameters import Parameters
+
+__all__ = ["DriveState", "NodeState", "Drive", "Node", "Cluster", "ClusterError"]
+
+
+class ClusterError(RuntimeError):
+    """Raised on invalid cluster operations (e.g. failing a dead drive)."""
+
+
+class DriveState(enum.Enum):
+    HEALTHY = "healthy"
+    FAILED = "failed"
+    RETIRED = "retired"  # removed from the array by a re-stripe
+
+
+class NodeState(enum.Enum):
+    HEALTHY = "healthy"
+    REBUILDING = "rebuilding"  # a peer is reconstructing this node's data
+    FAILED = "failed"
+
+
+@dataclass
+class Drive:
+    """One disk drive inside a node.
+
+    Attributes:
+        drive_id: index within the node.
+        capacity_bytes: raw capacity.
+        state: current lifecycle state.
+        failure_count: how many times this slot has seen a failure event
+            (diagnostic; a fail-in-place drive fails at most once).
+    """
+
+    drive_id: int
+    capacity_bytes: float
+    state: DriveState = DriveState.HEALTHY
+    failure_count: int = 0
+
+    @property
+    def is_healthy(self) -> bool:
+        return self.state is DriveState.HEALTHY
+
+    def fail(self) -> None:
+        if self.state is not DriveState.HEALTHY:
+            raise ClusterError(f"drive {self.drive_id} is not healthy")
+        self.state = DriveState.FAILED
+        self.failure_count += 1
+
+    def retire(self) -> None:
+        """Mark the failed drive as re-striped away (fail-in-place)."""
+        if self.state is not DriveState.FAILED:
+            raise ClusterError(f"drive {self.drive_id} is not failed")
+        self.state = DriveState.RETIRED
+
+
+@dataclass
+class Node:
+    """One storage brick.
+
+    Attributes:
+        node_id: index within the cluster.
+        drives: the node's drives (fixed at manufacture; fail-in-place).
+        state: node lifecycle state.
+    """
+
+    node_id: int
+    drives: List[Drive]
+    state: NodeState = NodeState.HEALTHY
+
+    @classmethod
+    def build(cls, node_id: int, drives_per_node: int, drive_capacity_bytes: float) -> "Node":
+        if drives_per_node < 1:
+            raise ClusterError("a node needs at least one drive")
+        return cls(
+            node_id=node_id,
+            drives=[Drive(i, drive_capacity_bytes) for i in range(drives_per_node)],
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_available(self) -> bool:
+        """Whether the node serves I/O (healthy or being rebuilt elsewhere)."""
+        return self.state is NodeState.HEALTHY
+
+    @property
+    def healthy_drives(self) -> List[Drive]:
+        return [d for d in self.drives if d.is_healthy]
+
+    @property
+    def healthy_drive_count(self) -> int:
+        return sum(1 for d in self.drives if d.is_healthy)
+
+    @property
+    def raw_capacity_bytes(self) -> float:
+        """Capacity over the surviving drives (fail-in-place shrinks it)."""
+        return sum(d.capacity_bytes for d in self.healthy_drives)
+
+    def fail(self) -> None:
+        if self.state is NodeState.FAILED:
+            raise ClusterError(f"node {self.node_id} is already failed")
+        self.state = NodeState.FAILED
+
+    def fail_drive(self, drive_id: int) -> Drive:
+        """Fail one healthy drive; returns it."""
+        if self.state is NodeState.FAILED:
+            raise ClusterError(f"node {self.node_id} is failed")
+        try:
+            drive = self.drives[drive_id]
+        except IndexError:
+            raise ClusterError(f"no drive {drive_id} on node {self.node_id}") from None
+        drive.fail()
+        return drive
+
+    def restripe(self, drive_id: int) -> None:
+        """Complete a fail-in-place re-stripe: retire the failed drive."""
+        self.drives[drive_id].retire()
+
+
+class Cluster:
+    """A node set of ``N`` bricks.
+
+    Args:
+        params: system parameters (node count, drives per node, capacity).
+
+    The cluster tracks membership and health; time-dependent behaviour
+    (failures, rebuild completion) is driven externally by the simulator.
+    """
+
+    def __init__(self, params: Parameters) -> None:
+        self._params = params
+        self._nodes: Dict[int, Node] = {
+            i: Node.build(i, params.drives_per_node, params.drive_capacity_bytes)
+            for i in range(params.node_set_size)
+        }
+        self._next_node_id = params.node_set_size
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def params(self) -> Parameters:
+        return self._params
+
+    @property
+    def size(self) -> int:
+        """Nodes ever provisioned (including failed ones)."""
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ClusterError(f"no node {node_id}") from None
+
+    @property
+    def available_nodes(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.is_available]
+
+    @property
+    def failed_nodes(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.state is NodeState.FAILED]
+
+    @property
+    def available_count(self) -> int:
+        return len(self.available_nodes)
+
+    # ------------------------------------------------------------------ #
+    # capacity accounting (feeds the spare-provisioning policy)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def raw_capacity_bytes(self) -> float:
+        """Raw capacity over available nodes' surviving drives."""
+        return sum(n.raw_capacity_bytes for n in self.available_nodes)
+
+    @property
+    def logical_capacity_bytes(self) -> float:
+        """User data the cluster is committed to holding (fixed at install:
+        the original raw capacity times the utilization target)."""
+        p = self._params
+        return (
+            p.node_set_size
+            * p.drives_per_node
+            * p.drive_capacity_bytes
+            * p.capacity_utilization
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Logical data over current raw capacity; crosses 1.0 when failures
+        have eaten through all the over-provisioned spare."""
+        raw = self.raw_capacity_bytes
+        if raw <= 0:
+            return float("inf")
+        return self.logical_capacity_bytes / raw
+
+    @property
+    def has_spare_capacity(self) -> bool:
+        """Whether another node's worth of data could still be absorbed."""
+        p = self._params
+        node_data = p.drives_per_node * p.drive_capacity_bytes * p.capacity_utilization
+        return self.raw_capacity_bytes - self.logical_capacity_bytes >= node_data
+
+    # ------------------------------------------------------------------ #
+
+    def add_node(self) -> Node:
+        """Provision a spare node (the paper's capacity-threshold response)."""
+        p = self._params
+        node = Node.build(self._next_node_id, p.drives_per_node, p.drive_capacity_bytes)
+        self._nodes[self._next_node_id] = node
+        self._next_node_id += 1
+        return node
+
+    def health_summary(self) -> Dict[str, int]:
+        """Counts for reports: nodes healthy/failed, drives healthy/failed/retired."""
+        drives = [d for n in self._nodes.values() for d in n.drives]
+        return {
+            "nodes_total": len(self._nodes),
+            "nodes_available": self.available_count,
+            "nodes_failed": len(self.failed_nodes),
+            "drives_healthy": sum(1 for d in drives if d.state is DriveState.HEALTHY),
+            "drives_failed": sum(1 for d in drives if d.state is DriveState.FAILED),
+            "drives_retired": sum(1 for d in drives if d.state is DriveState.RETIRED),
+        }

@@ -1,0 +1,226 @@
+"""Flow-level simulation of rebuild traffic over the 3-D mesh.
+
+The reliability model abstracts the interconnect into a single sustained
+per-node bandwidth (Section 6 cites [Fleiner et al. 2003] for why that is
+reasonable).  This module earns that abstraction instead of assuming it:
+it lays out an actual rebuild's traffic matrix on the mesh — every
+surviving node sources ``(R-t)/(N-1)`` of a node's data toward its
+rebuild destinations along XYZ routes — and computes each flow's
+throughput under max-min fair sharing of the link capacities.  The
+resulting aggregate rebuild throughput can be compared directly with the
+abstract model's network term.
+
+The max-min allocation uses the classical progressive-filling algorithm:
+repeatedly find the most-loaded unsaturated link, freeze the rate of the
+flows crossing it at their fair share, and continue with the residual
+network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .mesh import Coordinate, MeshTopology, route_xyz
+
+__all__ = [
+    "Flow",
+    "FlowAllocation",
+    "RebuildFlowStudy",
+    "flow_links",
+    "max_min_allocate",
+    "rebuild_flow_study",
+]
+
+Link = Tuple[Coordinate, Coordinate]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One point-to-point transfer demand.
+
+    Attributes:
+        source: origin coordinate.
+        destination: target coordinate.
+        volume_bytes: bytes to move (used for completion-time estimates).
+    """
+
+    source: Coordinate
+    destination: Coordinate
+    volume_bytes: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("flow endpoints must differ")
+        if self.volume_bytes <= 0:
+            raise ValueError("flow volume must be positive")
+
+
+@dataclass(frozen=True)
+class FlowAllocation:
+    """Result of a max-min fair allocation.
+
+    Attributes:
+        rates: bytes/second per flow, same order as the input.
+        bottleneck_links: links that saturated during filling.
+    """
+
+    rates: Tuple[float, ...]
+    bottleneck_links: Tuple[Link, ...]
+
+    @property
+    def total_rate(self) -> float:
+        return sum(self.rates)
+
+    @property
+    def min_rate(self) -> float:
+        return min(self.rates)
+
+    def completion_time_seconds(self, flows: Sequence[Flow]) -> float:
+        """Time until the slowest flow finishes at these (fixed) rates."""
+        return max(f.volume_bytes / r for f, r in zip(flows, self.rates))
+
+
+def _canonical(a: Coordinate, b: Coordinate) -> Link:
+    return (a, b) if a <= b else (b, a)
+
+
+def flow_links(mesh: MeshTopology, flow: Flow) -> List[Link]:
+    """The (undirected) links an XYZ-routed flow crosses."""
+    path = route_xyz(flow.source, flow.destination)
+    mesh._check(flow.source)
+    mesh._check(flow.destination)
+    return [_canonical(a, b) for a, b in zip(path, path[1:])]
+
+
+def max_min_allocate(
+    mesh: MeshTopology,
+    flows: Sequence[Flow],
+    link_capacity_bps: Optional[float] = None,
+) -> FlowAllocation:
+    """Max-min fair rates for XYZ-routed flows on the mesh.
+
+    Args:
+        mesh: the topology (supplies default link capacity).
+        flows: transfer demands.
+        link_capacity_bps: per-direction link capacity in bits/second
+            (defaults to the mesh's ``link_bandwidth_bps``).
+
+    Returns:
+        A :class:`FlowAllocation` with rates in bytes/second.
+    """
+    if not flows:
+        raise ValueError("need at least one flow")
+    capacity_bytes = (link_capacity_bps or mesh.link_bandwidth_bps) / 8.0
+
+    routes = [flow_links(mesh, f) for f in flows]
+    remaining_capacity: Dict[Link, float] = {}
+    link_users: Dict[Link, set] = {}
+    for i, links in enumerate(routes):
+        for link in links:
+            remaining_capacity.setdefault(link, capacity_bytes)
+            link_users.setdefault(link, set()).add(i)
+
+    rates = [0.0] * len(flows)
+    active = set(range(len(flows)))
+    bottlenecks: List[Link] = []
+    while active:
+        # Fair share each link could give its active users.
+        best_link = None
+        best_share = float("inf")
+        for link, users in link_users.items():
+            live = users & active
+            if not live:
+                continue
+            share = remaining_capacity[link] / len(live)
+            if share < best_share:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            # No active flow crosses any constrained link (cannot happen on
+            # a mesh, but guard anyway).
+            break
+        frozen = link_users[best_link] & active
+        bottlenecks.append(best_link)
+        for i in frozen:
+            rates[i] += best_share
+            active.discard(i)
+            for link in routes[i]:
+                remaining_capacity[link] -= best_share
+    return FlowAllocation(rates=tuple(rates), bottleneck_links=tuple(bottlenecks))
+
+
+@dataclass(frozen=True)
+class RebuildFlowStudy:
+    """Comparison of the mesh-level rebuild with the abstract model.
+
+    Attributes:
+        aggregate_rate_bytes_per_sec: sum of all rebuild flow rates.
+        per_destination_rate: mean inbound rate per rebuilding node.
+        slowest_flow_rate: the max-min minimum.
+        abstract_node_bandwidth: what the single-link abstraction assumes
+            per node (sustained x one link).
+    """
+
+    aggregate_rate_bytes_per_sec: float
+    per_destination_rate: float
+    slowest_flow_rate: float
+    abstract_node_bandwidth: float
+
+    @property
+    def abstraction_ratio(self) -> float:
+        """Per-destination mesh throughput over the abstract assumption;
+        ~1 means the single-link reduction is faithful."""
+        return self.per_destination_rate / self.abstract_node_bandwidth
+
+
+def rebuild_flow_study(
+    mesh: MeshTopology,
+    failed_node: int,
+    source_count: int,
+    sustained_fraction: float = 0.64,
+) -> RebuildFlowStudy:
+    """Lay a node rebuild's flows on the mesh and measure throughput.
+
+    The failed node's data is regenerated on every *other* node (even
+    spare-space distribution); each destination pulls from
+    ``source_count`` peers (the ``R - t`` surviving stripe elements),
+    chosen round-robin for balance.
+
+    Args:
+        mesh: topology (node count must cover the ids used).
+        failed_node: linear id of the dead brick.
+        source_count: peers each destination reads from.
+        sustained_fraction: fraction of raw link bandwidth achievable.
+
+    Returns:
+        A :class:`RebuildFlowStudy`.
+    """
+    n = mesh.node_count
+    if not 0 <= failed_node < n:
+        raise ValueError("failed node out of range")
+    if not 1 <= source_count < n - 1:
+        raise ValueError("need 1 <= source_count < N - 1")
+    survivors = [i for i in range(n) if i != failed_node]
+    flows: List[Flow] = []
+    for idx, dest in enumerate(survivors):
+        peers = [s for s in survivors if s != dest]
+        for j in range(source_count):
+            src = peers[(idx * source_count + j) % len(peers)]
+            flows.append(
+                Flow(
+                    source=mesh.coordinate_of(src),
+                    destination=mesh.coordinate_of(dest),
+                )
+            )
+    allocation = max_min_allocate(
+        mesh, flows, link_capacity_bps=mesh.link_bandwidth_bps * sustained_fraction
+    )
+    per_dest = allocation.total_rate / len(survivors)
+    abstract = mesh.link_bandwidth_bps / 8.0 * sustained_fraction
+    return RebuildFlowStudy(
+        aggregate_rate_bytes_per_sec=allocation.total_rate,
+        per_destination_rate=per_dest,
+        slowest_flow_rate=allocation.min_rate,
+        abstract_node_bandwidth=abstract,
+    )

@@ -1,0 +1,136 @@
+"""Spare-capacity provisioning for fail-in-place operation (Section 3).
+
+"The over-provisioned storage capacity is either sufficient to deal with
+expected failures over the operational life of the installation, or spare
+nodes are added at appropriate times — e.g. when overall capacity
+utilization increases above predetermined thresholds."
+
+:class:`SparePolicy` implements both modes and answers the planning
+question: how much over-provisioning does a target service life need?
+The expected capacity loss over a horizon follows from the exponential
+failure model (drives and whole nodes), the same assumptions as the
+Markov chains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..models.parameters import Parameters
+from .entities import Cluster
+
+__all__ = ["SparePolicy", "ProvisioningPlan"]
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """Sizing answer for a target operational life.
+
+    Attributes:
+        horizon_hours: planning horizon.
+        expected_drive_failures: expected drive failures over the horizon
+            (in surviving nodes).
+        expected_node_failures: expected node failures over the horizon.
+        expected_capacity_loss_bytes: raw capacity expected to be lost.
+        required_utilization: maximum initial utilization so that logical
+            data still fits at the end of the horizon.
+    """
+
+    horizon_hours: float
+    expected_drive_failures: float
+    expected_node_failures: float
+    expected_capacity_loss_bytes: float
+    required_utilization: float
+
+
+class SparePolicy:
+    """Capacity-threshold spare management.
+
+    Args:
+        params: system parameters.
+        utilization_threshold: add a spare node when the cluster's
+            utilization (logical / surviving raw) exceeds this value.
+    """
+
+    def __init__(self, params: Parameters, utilization_threshold: float = 0.9) -> None:
+        if not 0 < utilization_threshold <= 1:
+            raise ValueError("utilization_threshold must be in (0, 1]")
+        self._params = params
+        self._threshold = utilization_threshold
+
+    @property
+    def utilization_threshold(self) -> float:
+        return self._threshold
+
+    def nodes_to_add(self, cluster: Cluster) -> int:
+        """How many spare nodes to provision right now to get back under
+        the threshold (0 if already under)."""
+        p = self._params
+        node_raw = p.drives_per_node * p.drive_capacity_bytes
+        needed = 0
+        raw = cluster.raw_capacity_bytes
+        logical = cluster.logical_capacity_bytes
+        while raw > 0 and logical / raw > self._threshold:
+            raw += node_raw
+            needed += 1
+            if needed > cluster.size:
+                break  # refuse to more than double the install in one step
+        return needed
+
+    def apply(self, cluster: Cluster) -> int:
+        """Add the needed spare nodes to ``cluster``; returns how many."""
+        count = self.nodes_to_add(cluster)
+        for _ in range(count):
+            cluster.add_node()
+        return count
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def provisioning_plan(self, horizon_hours: float) -> ProvisioningPlan:
+        """Expected capacity loss and required initial utilization for a
+        maintenance-free horizon.
+
+        Node failures remove whole nodes (all their drives); drive
+        failures remove single drives from surviving nodes.  Both follow
+        the exponential model, so the expected number of failures over
+        horizon ``T`` per unit is ``1 - exp(-lambda T)``.
+        """
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be positive")
+        p = self._params
+        node_loss_prob = 1.0 - math.exp(-p.node_failure_rate * horizon_hours)
+        drive_loss_prob = 1.0 - math.exp(-p.drive_failure_rate * horizon_hours)
+        expected_node_failures = p.node_set_size * node_loss_prob
+        surviving_nodes = p.node_set_size - expected_node_failures
+        expected_drive_failures = surviving_nodes * p.drives_per_node * drive_loss_prob
+        loss = (
+            expected_node_failures * p.drives_per_node + expected_drive_failures
+        ) * p.drive_capacity_bytes
+        raw = p.system_raw_bytes
+        required_utilization = max(0.0, (raw - loss) / raw)
+        return ProvisioningPlan(
+            horizon_hours=horizon_hours,
+            expected_drive_failures=expected_drive_failures,
+            expected_node_failures=expected_node_failures,
+            expected_capacity_loss_bytes=loss,
+            required_utilization=required_utilization,
+        )
+
+    def maintenance_free_life_hours(self) -> float:
+        """Longest horizon the baseline utilization survives without adding
+        nodes (bisection on :meth:`provisioning_plan`)."""
+        p = self._params
+        lo, hi = 1.0, 1e7
+        if self.provisioning_plan(hi).required_utilization > p.capacity_utilization:
+            return hi
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.provisioning_plan(mid).required_utilization > p.capacity_utilization:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,373 @@
+"""A byte-level distributed object store over the brick cluster.
+
+This ties the substrates together into the system the paper reasons
+about: objects are striped over redundancy sets (Section 4.1), protected
+by a cross-node Reed-Solomon code with fault tolerance ``t``, optionally
+on top of node-internal RAID.  Nodes can fail, drives can fail, rebuilds
+reconstruct lost shards onto surviving nodes' spare space, and a scrub
+verifies every stripe — so the examples can *demonstrate* the redundancy
+configurations instead of just computing their MTTDL.
+
+The store is deliberately in-memory and single-process: the paper's
+reliability analysis treats the interconnect as non-constraining, and the
+store's job is to exercise placement, encode/decode and rebuild logic,
+not to be a network service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..erasure.reed_solomon import CodecError, ReedSolomonCodec
+from ..models.parameters import Parameters
+from .entities import Cluster, ClusterError, NodeState
+from .placement import PlacementPolicy, RedundancySet, RotatingPlacement
+
+__all__ = ["StripeStore", "ObjectInfo", "DataLossError", "ScrubReport"]
+
+
+class DataLossError(RuntimeError):
+    """Raised when an object is unrecoverable (more erasures than tolerance)."""
+
+
+@dataclass(frozen=True)
+class ObjectInfo:
+    """Metadata for one stored object.
+
+    Attributes:
+        key: user-visible name.
+        stripe_id: placement handle.
+        size: original payload length in bytes.
+        checksum: SHA-256 of the payload.
+        redundancy_set: the nodes holding the shards.
+    """
+
+    key: str
+    stripe_id: int
+    size: int
+    checksum: str
+    redundancy_set: RedundancySet
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of a full-store scrub.
+
+    Attributes:
+        objects_checked: stripes visited.
+        intact: fully present and verified.
+        degraded: readable but with shards missing (rebuild recommended).
+        lost: unrecoverable objects (data loss events).
+        repaired: shards re-materialized onto healthy nodes during the scrub.
+    """
+
+    objects_checked: int = 0
+    intact: int = 0
+    degraded: int = 0
+    lost: List[str] = field(default_factory=list)
+    repaired: int = 0
+
+    @property
+    def has_data_loss(self) -> bool:
+        return bool(self.lost)
+
+
+class StripeStore:
+    """Erasure-coded object store over a :class:`Cluster`.
+
+    Args:
+        cluster: the brick cluster to store on.
+        fault_tolerance: cross-node erasure-code tolerance ``t`` (1-3 in
+            the paper; any ``1 <= t < R`` works).
+        placement: optional placement policy (defaults to
+            :class:`RotatingPlacement` over the cluster's node set).
+
+    Example:
+        >>> from repro.models import Parameters
+        >>> cluster = Cluster(Parameters.baseline().replace(node_set_size=8,
+        ...                                                 redundancy_set_size=4))
+        >>> store = StripeStore(cluster, fault_tolerance=2)
+        >>> info = store.put("hello", b"some bytes worth storing")
+        >>> store.get("hello")
+        b'some bytes worth storing'
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        fault_tolerance: int,
+        placement: Optional[PlacementPolicy] = None,
+    ) -> None:
+        params = cluster.params
+        r = params.redundancy_set_size
+        if not 1 <= fault_tolerance < r:
+            raise ValueError("need 1 <= fault_tolerance < redundancy_set_size")
+        self._cluster = cluster
+        self._t = fault_tolerance
+        self._codec = ReedSolomonCodec(r - fault_tolerance, fault_tolerance)
+        self._placement = placement or RotatingPlacement(params.node_set_size, r)
+        # shards[node_id][(stripe_id, position)] = shard bytes
+        self._shards: Dict[int, Dict[Tuple[int, int], bytes]] = {}
+        self._objects: Dict[str, ObjectInfo] = {}
+        self._next_stripe = 0
+        self._loss_log: List[str] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    @property
+    def fault_tolerance(self) -> int:
+        return self._t
+
+    @property
+    def codec(self) -> ReedSolomonCodec:
+        return self._codec
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def data_loss_events(self) -> List[str]:
+        """Keys of objects detected as lost (the paper's loss events)."""
+        return list(self._loss_log)
+
+    def keys(self) -> List[str]:
+        return sorted(self._objects)
+
+    def info(self, key: str) -> ObjectInfo:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise KeyError(f"no object {key!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: str, payload: bytes) -> ObjectInfo:
+        """Store one object as a single stripe (Section 4.1: each data
+        object constitutes exactly one stripe)."""
+        if key in self._objects:
+            raise KeyError(f"object {key!r} already exists")
+        if not payload:
+            raise ValueError("payload must be non-empty")
+        rset = self._placement.place(self._next_stripe)
+        unavailable = [n for n in rset.nodes if not self._cluster.node(n).is_available]
+        if unavailable:
+            raise ClusterError(
+                f"placement includes unavailable nodes {unavailable}; "
+                "rebuild or re-place before writing"
+            )
+        k = self._codec.data_blocks
+        blocks = self._split(payload, k)
+        shards = self._codec.encode(blocks)
+        stripe_id = self._next_stripe
+        self._next_stripe += 1
+        for position, (node_id, shard) in enumerate(zip(rset.nodes, shards)):
+            self._shards.setdefault(node_id, {})[(stripe_id, position)] = shard
+        info = ObjectInfo(
+            key=key,
+            stripe_id=stripe_id,
+            size=len(payload),
+            checksum=hashlib.sha256(payload).hexdigest(),
+            redundancy_set=rset,
+        )
+        self._objects[key] = info
+        return info
+
+    def get(self, key: str) -> bytes:
+        """Read an object, decoding around any missing shards.
+
+        Raises:
+            DataLossError: if fewer than ``k`` shards survive.
+        """
+        info = self.info(key)
+        available = self._surviving_shards(info)
+        k = self._codec.data_blocks
+        if len(available) < k:
+            self._record_loss(key)
+            raise DataLossError(
+                f"object {key!r} lost: {len(available)} of {k} required shards remain"
+            )
+        data_blocks = self._codec.decode_data(available)
+        payload = b"".join(data_blocks)[: info.size]
+        if hashlib.sha256(payload).hexdigest() != info.checksum:
+            self._record_loss(key)
+            raise DataLossError(f"object {key!r} failed checksum after decode")
+        return payload
+
+    def update(self, key: str, payload: bytes) -> ObjectInfo:
+        """Overwrite an object in place.
+
+        When the new payload splits into blocks of the same size, only the
+        changed data shards are rewritten and the parity shards are
+        patched incrementally (``update_parity`` — the read-modify-write
+        path); otherwise the object is re-encoded from scratch.  Requires
+        the stripe to be fully intact (scrub/repair first if degraded).
+
+        Returns:
+            The updated :class:`ObjectInfo`.
+        """
+        info = self.info(key)
+        if not payload:
+            raise ValueError("payload must be non-empty")
+        available = self._surviving_shards(info)
+        if len(available) != self._codec.total_blocks:
+            raise ClusterError(
+                f"object {key!r} is degraded; repair before updating"
+            )
+        k = self._codec.data_blocks
+        old_blocks = self._codec.decode_data(available)
+        new_blocks = self._split(payload, k)
+        rset = info.redundancy_set
+        if len(new_blocks[0]) == len(old_blocks[0]):
+            # Small-write path: patch only what changed.
+            parity = [available[k + j] for j in range(self._codec.parity_blocks)]
+            for i, (old, new) in enumerate(zip(old_blocks, new_blocks)):
+                if old == new:
+                    continue
+                parity = self._codec.update_parity(parity, i, old, new)
+                node_id = rset.nodes[i]
+                self._shards[node_id][(info.stripe_id, i)] = new
+            for j, p in enumerate(parity):
+                node_id = rset.nodes[k + j]
+                self._shards[node_id][(info.stripe_id, k + j)] = p
+        else:
+            shards = self._codec.encode(new_blocks)
+            for position, (node_id, shard) in enumerate(zip(rset.nodes, shards)):
+                self._shards[node_id][(info.stripe_id, position)] = shard
+        updated = ObjectInfo(
+            key=key,
+            stripe_id=info.stripe_id,
+            size=len(payload),
+            checksum=hashlib.sha256(payload).hexdigest(),
+            redundancy_set=rset,
+        )
+        self._objects[key] = updated
+        return updated
+
+    def delete(self, key: str) -> None:
+        """Drop an object and its shards."""
+        info = self.info(key)
+        for position, node_id in enumerate(info.redundancy_set.nodes):
+            self._shards.get(node_id, {}).pop((info.stripe_id, position), None)
+        del self._objects[key]
+
+    # ------------------------------------------------------------------ #
+    # failures and rebuild
+    # ------------------------------------------------------------------ #
+
+    def fail_node(self, node_id: int) -> None:
+        """Fail a brick: its shards become unavailable until rebuilt."""
+        node = self._cluster.node(node_id)
+        node.fail()
+        self._shards.pop(node_id, None)
+
+    def rebuild_node(self, failed_node_id: int) -> int:
+        """Reconstruct every shard the failed node held onto healthy nodes.
+
+        Shards are re-homed onto available nodes not already in each
+        stripe's redundancy set (even spare-space distribution).  Objects
+        whose stripes have lost more than ``t`` shards are recorded as
+        data-loss events and skipped.
+
+        Returns:
+            Number of shards reconstructed.
+        """
+        rebuilt = 0
+        for key in list(self._objects):
+            info = self._objects[key]
+            if failed_node_id not in info.redundancy_set.nodes:
+                continue
+            rebuilt += self._rebuild_object(key)
+        return rebuilt
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """Verify every object; optionally repair degraded stripes."""
+        report = ScrubReport()
+        for key in list(self._objects):
+            info = self._objects[key]
+            report.objects_checked += 1
+            available = self._surviving_shards(info)
+            total = self._codec.total_blocks
+            k = self._codec.data_blocks
+            if len(available) < k:
+                self._record_loss(key)
+                report.lost.append(key)
+                continue
+            if len(available) == total:
+                report.intact += 1
+                continue
+            report.degraded += 1
+            if repair:
+                report.repaired += self._rebuild_object(key)
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def _rebuild_object(self, key: str) -> int:
+        """Re-materialize missing shards of one object; returns count."""
+        info = self._objects[key]
+        available = self._surviving_shards(info)
+        k = self._codec.data_blocks
+        if len(available) < k:
+            self._record_loss(key)
+            return 0
+        full = self._codec.reconstruct(available)
+        missing_positions = [
+            pos for pos in range(self._codec.total_blocks) if pos not in available
+        ]
+        if not missing_positions:
+            return 0
+        current_nodes = {
+            info.redundancy_set.nodes[pos]
+            for pos in range(self._codec.total_blocks)
+            if pos in available
+        }
+        replacements = [
+            n.node_id
+            for n in self._cluster.available_nodes
+            if n.node_id not in current_nodes
+        ]
+        if len(replacements) < len(missing_positions):
+            raise ClusterError("not enough healthy nodes to re-home shards")
+        new_nodes = list(info.redundancy_set.nodes)
+        for pos, target in zip(missing_positions, replacements):
+            new_nodes[pos] = target
+            self._shards.setdefault(target, {})[(info.stripe_id, pos)] = full[pos]
+        self._objects[key] = ObjectInfo(
+            key=info.key,
+            stripe_id=info.stripe_id,
+            size=info.size,
+            checksum=info.checksum,
+            redundancy_set=RedundancySet(tuple(new_nodes)),
+        )
+        return len(missing_positions)
+
+    def _surviving_shards(self, info: ObjectInfo) -> Dict[int, bytes]:
+        available: Dict[int, bytes] = {}
+        for position, node_id in enumerate(info.redundancy_set.nodes):
+            node_shards = self._shards.get(node_id)
+            if node_shards is None:
+                continue
+            shard = node_shards.get((info.stripe_id, position))
+            if shard is not None:
+                available[position] = shard
+        return available
+
+    def _record_loss(self, key: str) -> None:
+        if key not in self._loss_log:
+            self._loss_log.append(key)
+
+    @staticmethod
+    def _split(payload: bytes, k: int) -> List[bytes]:
+        """Split into k equal blocks, zero-padding the tail."""
+        block = (len(payload) + k - 1) // k
+        padded = payload + b"\x00" * (block * k - len(payload))
+        return [padded[i * block : (i + 1) * block] for i in range(k)]

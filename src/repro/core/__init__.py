@@ -1,0 +1,41 @@
+"""Absorbing continuous-time Markov chain engine.
+
+This package is the paper-independent mathematical substrate: generator
+matrices, mean time to absorption (MTTDL), transient analysis and
+trajectory sampling.  The paper's specific chains live in
+:mod:`repro.models`.
+"""
+
+from .builder import ChainBuilder
+from .ctmc import (
+    AbsorptionResult,
+    CTMC,
+    CTMCError,
+    NotAbsorbingError,
+    Transition,
+)
+from .exact import exact_expected_times, exact_mttdl
+from .linalg import gth_fundamental_matrix, gth_solve
+from .gillespie import (
+    SampleSummary,
+    Trajectory,
+    sample_absorption_times,
+    sample_trajectory,
+)
+
+__all__ = [
+    "AbsorptionResult",
+    "CTMC",
+    "CTMCError",
+    "ChainBuilder",
+    "NotAbsorbingError",
+    "SampleSummary",
+    "Trajectory",
+    "Transition",
+    "exact_expected_times",
+    "exact_mttdl",
+    "gth_fundamental_matrix",
+    "gth_solve",
+    "sample_absorption_times",
+    "sample_trajectory",
+]

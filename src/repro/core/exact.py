@@ -1,0 +1,84 @@
+"""Exact (rational-arithmetic) absorption analysis for small chains.
+
+Ground truth for the numerics: the MTTDL system is solved over Python's
+``fractions.Fraction``, so the only error is in converting the input
+rates to rationals (exact for float inputs, since every float is a
+rational).  Unusable beyond a few dozen states (rational blow-up), but
+perfect for validating the GTH solver and the closed forms on the
+paper-sized chains.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, List
+
+from .ctmc import CTMC, NotAbsorbingError
+
+__all__ = ["exact_mttdl", "exact_expected_times"]
+
+State = Hashable
+
+
+def _solve_rational(matrix: List[List[Fraction]], rhs: List[Fraction]) -> List[Fraction]:
+    """Gauss-Jordan over Fractions; raises on singular systems."""
+    n = len(matrix)
+    work = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next(
+            (r for r in range(col, n) if work[r][col] != 0), None
+        )
+        if pivot is None:
+            raise NotAbsorbingError(
+                "exact solve: singular system (some state cannot reach "
+                "absorption)"
+            )
+        work[col], work[pivot] = work[pivot], work[col]
+        inv = Fraction(1) / work[col][col]
+        work[col] = [x * inv for x in work[col]]
+        for r in range(n):
+            if r != col and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [x - factor * y for x, y in zip(work[r], work[col])]
+    return [work[i][n] for i in range(n)]
+
+
+def exact_expected_times(chain: CTMC) -> Dict[State, Fraction]:
+    """Expected time in each transient state before absorption, exactly.
+
+    Solves ``R^T tau = e_initial`` over the rationals.
+
+    Raises:
+        NotAbsorbingError: if the chain has no absorbing states or the
+            initial state cannot reach one.
+    """
+    transient = list(chain.transient_states())
+    if not chain.absorbing_states():
+        raise NotAbsorbingError("chain has no absorbing states")
+    if chain.initial_state not in transient:
+        return {}
+    n = len(transient)
+    index = {s: i for i, s in enumerate(transient)}
+    # Build R = -Q_B as Fractions from the float rates (exact conversion).
+    r = [[Fraction(0)] * n for _ in range(n)]
+    for s in transient:
+        i = index[s]
+        exit_rate = Fraction(0)
+        for target, rate in chain.successors(s).items():
+            frac = Fraction(rate)
+            exit_rate += frac
+            if target in index:
+                r[i][index[target]] -= frac
+        r[i][i] += exit_rate
+    # Transpose for the tau system.
+    rt = [[r[j][i] for j in range(n)] for i in range(n)]
+    rhs = [Fraction(0)] * n
+    rhs[index[chain.initial_state]] = Fraction(1)
+    tau = _solve_rational(rt, rhs)
+    return dict(zip(transient, tau))
+
+
+def exact_mttdl(chain: CTMC) -> Fraction:
+    """The MTTDL as an exact rational number."""
+    times = exact_expected_times(chain)
+    return sum(times.values(), Fraction(0))

@@ -1,0 +1,146 @@
+"""Stochastic simulation of a CTMC (Gillespie / kinetic Monte Carlo).
+
+Sampling trajectories of the reliability chains gives an independent check
+of the linear-algebra MTTDL solution: the empirical mean time to absorption
+must agree with :meth:`repro.core.ctmc.CTMC.mean_time_to_absorption` within
+sampling error.  The same machinery drives the validation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ctmc import CTMC, CTMCError, NotAbsorbingError
+
+__all__ = ["Trajectory", "SampleSummary", "sample_trajectory", "sample_absorption_times"]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One sampled path of a CTMC.
+
+    Attributes:
+        states: visited states in order, starting at the initial state.
+        times: entry time of each visited state (``times[0] == 0``).
+        absorbed: whether the path ended in an absorbing state.
+        total_time: time of the final event (absorption or truncation).
+    """
+
+    states: Tuple[State, ...]
+    times: Tuple[float, ...]
+    absorbed: bool
+    total_time: float
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Monte-Carlo estimate of the mean time to absorption.
+
+    Attributes:
+        mean: sample mean of absorption times.
+        std_error: standard error of the mean.
+        n: number of samples.
+        ci95: 95% confidence interval (normal approximation).
+    """
+
+    mean: float
+    std_error: float
+    n: int
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        half = 1.96 * self.std_error
+        return (self.mean - half, self.mean + half)
+
+    def contains(self, value: float, sigmas: float = 3.0) -> bool:
+        """Whether ``value`` lies within ``sigmas`` standard errors of the mean."""
+        return abs(value - self.mean) <= sigmas * self.std_error
+
+
+def sample_trajectory(
+    chain: CTMC,
+    rng: np.random.Generator,
+    max_time: float = math.inf,
+    max_steps: int = 1_000_000,
+) -> Trajectory:
+    """Sample one trajectory until absorption, ``max_time`` or ``max_steps``.
+
+    Args:
+        chain: the chain to simulate.
+        rng: numpy random generator (caller controls reproducibility).
+        max_time: truncate the path at this time if not yet absorbed.
+        max_steps: hard cap on the number of jumps.
+
+    Returns:
+        The sampled :class:`Trajectory`.
+    """
+    absorbing = set(chain.absorbing_states())
+    state = chain.initial_state
+    t = 0.0
+    states: List[State] = [state]
+    times: List[float] = [0.0]
+    for _ in range(max_steps):
+        if state in absorbing:
+            return Trajectory(tuple(states), tuple(times), True, t)
+        successors = chain.successors(state)
+        total_rate = sum(successors.values())
+        dwell = rng.exponential(1.0 / total_rate)
+        if t + dwell > max_time:
+            return Trajectory(tuple(states), tuple(times), False, max_time)
+        t += dwell
+        targets = list(successors)
+        probs = np.array([successors[s] for s in targets]) / total_rate
+        state = targets[rng.choice(len(targets), p=probs)]
+        states.append(state)
+        times.append(t)
+    if state in absorbing:
+        return Trajectory(tuple(states), tuple(times), True, t)
+    return Trajectory(tuple(states), tuple(times), False, t)
+
+
+def sample_absorption_times(
+    chain: CTMC,
+    n: int,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> SampleSummary:
+    """Estimate the mean time to absorption by direct simulation.
+
+    Args:
+        chain: an absorbing chain.
+        n: number of independent trajectories.
+        seed: seed for a fresh generator (ignored when ``rng`` is given).
+        rng: generator to use.
+
+    Returns:
+        A :class:`SampleSummary`; compare against
+        :meth:`CTMC.mean_time_to_absorption`.
+
+    Raises:
+        NotAbsorbingError: if the chain has no absorbing state.
+        CTMCError: if ``n`` is not positive.
+    """
+    if n <= 0:
+        raise CTMCError("need at least one sample")
+    if not chain.absorbing_states():
+        raise NotAbsorbingError("chain has no absorbing states")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    samples = np.empty(n)
+    for i in range(n):
+        traj = sample_trajectory(chain, rng)
+        if not traj.absorbed:
+            raise NotAbsorbingError(
+                "trajectory hit the step cap before absorption; the chain "
+                "may not be absorbing from its initial state"
+            )
+        samples[i] = traj.total_time
+    mean = float(samples.mean())
+    sem = float(samples.std(ddof=1) / math.sqrt(n)) if n > 1 else float("inf")
+    return SampleSummary(mean=mean, std_error=sem, n=n)

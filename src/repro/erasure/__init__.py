@@ -1,0 +1,31 @@
+"""Erasure-coding substrate.
+
+GF(256) arithmetic, field matrix algebra, a systematic Reed-Solomon codec
+(the paper's cross-node erasure codes with fault tolerance 1-3), and
+byte-level RAID 5 / RAID 6 codecs (the paper's node-internal redundancy).
+"""
+
+from . import gf256
+from .codec import ErasureCodec, codec_for, internal_codec_for
+from .gf256 import FieldError
+from .matrix import cauchy, identity, invert, matmul, matvec_blocks, vandermonde
+from .raid import Raid5Codec, Raid6Codec
+from .reed_solomon import CodecError, ReedSolomonCodec
+
+__all__ = [
+    "CodecError",
+    "ErasureCodec",
+    "FieldError",
+    "codec_for",
+    "internal_codec_for",
+    "Raid5Codec",
+    "Raid6Codec",
+    "ReedSolomonCodec",
+    "cauchy",
+    "gf256",
+    "identity",
+    "invert",
+    "matmul",
+    "matvec_blocks",
+    "vandermonde",
+]

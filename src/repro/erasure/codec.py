@@ -1,0 +1,59 @@
+"""Common codec interface.
+
+All three byte-level codecs (Reed-Solomon, RAID 5, RAID 6) expose the
+same core surface: encode ``k`` equal-length blocks into ``k + m``
+shards and reconstruct from any sufficient subset.  :class:`ErasureCodec`
+captures that surface as a runtime-checkable protocol so higher layers
+(the stores, benchmarks, tests) can be written against the interface,
+and :func:`codec_for` maps the paper's configuration vocabulary to a
+concrete codec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence, Union, runtime_checkable
+
+from ..models.raid import InternalRaid
+from .raid import Raid5Codec, Raid6Codec
+from .reed_solomon import CodecError, ReedSolomonCodec
+
+__all__ = ["ErasureCodec", "codec_for", "internal_codec_for"]
+
+Block = Union[bytes, bytearray]
+
+
+@runtime_checkable
+class ErasureCodec(Protocol):
+    """Structural interface every codec in :mod:`repro.erasure` satisfies."""
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Erasures the code survives."""
+        ...
+
+    def encode(self, data: Sequence[Block]) -> List[bytes]:
+        """Data blocks -> full shard/strip list (systematic prefix)."""
+        ...
+
+    def reconstruct(self, shards: Dict[int, Block]) -> List[bytes]:
+        """Any sufficient subset -> the full shard/strip list."""
+        ...
+
+
+def codec_for(redundancy_set_size: int, fault_tolerance: int) -> ReedSolomonCodec:
+    """The cross-node code for a (R, t) pair: systematic RS with
+    ``k = R - t`` data and ``t`` parity shards."""
+    if not 1 <= fault_tolerance < redundancy_set_size:
+        raise CodecError("need 1 <= fault_tolerance < redundancy_set_size")
+    return ReedSolomonCodec(
+        redundancy_set_size - fault_tolerance, fault_tolerance
+    )
+
+
+def internal_codec_for(level: InternalRaid, data_strips: int):
+    """The node-internal codec for a RAID level (None for no RAID)."""
+    if level is InternalRaid.RAID5:
+        return Raid5Codec(data_strips)
+    if level is InternalRaid.RAID6:
+        return Raid6Codec(data_strips)
+    return None

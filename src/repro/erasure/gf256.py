@@ -1,0 +1,159 @@
+"""Arithmetic in GF(2^8).
+
+The Galois field underlying the Reed-Solomon codes used for cross-node
+redundancy and for RAID 6's Q parity.  We use the standard polynomial
+representation modulo ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the same
+primitive polynomial as most storage erasure-code implementations, with
+generator element 2.
+
+Log/antilog tables are precomputed once at import; all operations are
+available both element-wise (ints) and vectorized over numpy ``uint8``
+arrays, which the codecs use for data-path operations.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "GF_SIZE",
+    "PRIMITIVE_POLY",
+    "GENERATOR",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "inv",
+    "pow_",
+    "exp",
+    "log",
+    "mul_array",
+    "addmul_array",
+    "FieldError",
+]
+
+GF_SIZE = 256
+PRIMITIVE_POLY = 0x11D
+GENERATOR = 2
+
+
+class FieldError(ValueError):
+    """Raised on invalid field operations (division by zero, bad element)."""
+
+
+def _build_tables() -> tuple:
+    exp_table = np.zeros(512, dtype=np.uint8)
+    log_table = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp_table[i] = x
+        log_table[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    # Duplicate so exp lookups never need an explicit mod 255.
+    exp_table[255:510] = exp_table[0:255]
+    log_table[0] = -1  # log(0) is undefined; sentinel for fast checks
+    return exp_table, log_table
+
+
+_EXP, _LOG = _build_tables()
+
+
+def _check(a: int) -> int:
+    if not 0 <= a < GF_SIZE:
+        raise FieldError(f"element out of range [0, 255]: {a}")
+    return a
+
+
+def add(a: int, b: int) -> int:
+    """Field addition (XOR)."""
+    return _check(a) ^ _check(b)
+
+
+def sub(a: int, b: int) -> int:
+    """Field subtraction — identical to addition in characteristic 2."""
+    return add(a, b)
+
+
+def mul(a: int, b: int) -> int:
+    """Field multiplication via log/antilog tables."""
+    _check(a), _check(b)
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def div(a: int, b: int) -> int:
+    """Field division; raises :class:`FieldError` on division by zero."""
+    _check(a), _check(b)
+    if b == 0:
+        raise FieldError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP[(_LOG[a] - _LOG[b]) % 255])
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    _check(a)
+    if a == 0:
+        raise FieldError("zero has no inverse in GF(256)")
+    return int(_EXP[255 - _LOG[a]])
+
+
+def pow_(a: int, n: int) -> int:
+    """``a ** n`` in the field (n may be any integer for nonzero a)."""
+    _check(a)
+    if a == 0:
+        if n == 0:
+            return 1
+        if n < 0:
+            raise FieldError("zero has no inverse in GF(256)")
+        return 0
+    return int(_EXP[(_LOG[a] * n) % 255])
+
+
+def exp(n: int) -> int:
+    """The generator raised to ``n`` (antilog)."""
+    return int(_EXP[n % 255])
+
+
+def log(a: int) -> int:
+    """Discrete log base the generator; raises on zero."""
+    _check(a)
+    if a == 0:
+        raise FieldError("log(0) is undefined")
+    return int(_LOG[a])
+
+
+def mul_array(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``scalar`` (vectorized).
+
+    Args:
+        scalar: field element.
+        data: uint8 array.
+
+    Returns:
+        New uint8 array of the same shape.
+    """
+    _check(scalar)
+    data = np.asarray(data, dtype=np.uint8)
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    log_s = int(_LOG[scalar])
+    nz = data != 0
+    out = np.zeros_like(data)
+    out[nz] = _EXP[_LOG[data[nz]] + log_s]
+    return out
+
+
+def addmul_array(accumulator: np.ndarray, scalar: int, data: np.ndarray) -> None:
+    """In-place ``accumulator ^= scalar * data`` (the codec inner loop)."""
+    if accumulator.shape != np.shape(data):
+        raise FieldError("accumulator/data shape mismatch")
+    accumulator ^= mul_array(scalar, data)

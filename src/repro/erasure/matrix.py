@@ -1,0 +1,166 @@
+"""Matrix algebra over GF(256).
+
+Small dense matrices are all the codecs need: encoding matrices are
+``(k + m) x k`` and decoding inverts a ``k x k`` submatrix.  Everything is
+numpy ``uint8`` with explicit Gauss-Jordan elimination in the field.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import gf256
+from .gf256 import FieldError
+
+__all__ = [
+    "identity",
+    "vandermonde",
+    "cauchy",
+    "matmul",
+    "matvec_blocks",
+    "invert",
+    "submatrix_rows",
+]
+
+
+def identity(k: int) -> np.ndarray:
+    """k x k identity over GF(256)."""
+    return np.eye(k, dtype=np.uint8)
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix ``V[i, j] = (i+1)^j`` over GF(256).
+
+    Using ``i + 1`` (not ``i``) keeps every row nonzero so any ``cols``
+    rows chosen from a systematic extension remain invertible in the
+    ranges used here (rows + cols <= 256).
+    """
+    if rows <= 0 or cols <= 0:
+        raise FieldError("matrix dimensions must be positive")
+    if rows + cols > gf256.GF_SIZE:
+        raise FieldError("Vandermonde construction needs rows + cols <= 256")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf256.pow_(i + 1, j)
+    return out
+
+
+def cauchy(rows: int, cols: int) -> np.ndarray:
+    """Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)`` with disjoint x/y sets.
+
+    Any square submatrix of a Cauchy matrix is invertible, which makes it
+    a convenient alternative encoding matrix; exposed for completeness and
+    for tests that the codecs are construction-agnostic.
+    """
+    if rows <= 0 or cols <= 0:
+        raise FieldError("matrix dimensions must be positive")
+    if rows + cols > gf256.GF_SIZE:
+        raise FieldError("Cauchy construction needs rows + cols <= 256")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf256.inv(gf256.add(i, rows + j))
+    return out
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape[1] != b.shape[0]:
+        raise FieldError(f"shape mismatch: {a.shape} x {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        for j in range(b.shape[1]):
+            acc = 0
+            for l in range(a.shape[1]):
+                acc ^= gf256.mul(int(a[i, l]), int(b[l, j]))
+            out[i, j] = acc
+    return out
+
+
+def matvec_blocks(matrix: np.ndarray, blocks: Sequence[np.ndarray]) -> list:
+    """Apply ``matrix`` to a vector of equal-length byte blocks.
+
+    This is the encoder/decoder data path: each "element" of the vector is
+    a whole block of bytes, and scalar multiplication acts byte-wise.
+
+    Args:
+        matrix: (rows x k) uint8 coefficients.
+        blocks: k byte blocks, all the same length.
+
+    Returns:
+        List of ``rows`` output blocks.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.shape[1] != len(blocks):
+        raise FieldError(
+            f"matrix expects {matrix.shape[1]} blocks, got {len(blocks)}"
+        )
+    if not blocks:
+        raise FieldError("need at least one block")
+    length = len(blocks[0])
+    arrays = []
+    for b in blocks:
+        arr = np.frombuffer(bytes(b), dtype=np.uint8) if not isinstance(b, np.ndarray) else b
+        if len(arr) != length:
+            raise FieldError("all blocks must have equal length")
+        arrays.append(np.asarray(arr, dtype=np.uint8))
+    out = []
+    for i in range(matrix.shape[0]):
+        acc = np.zeros(length, dtype=np.uint8)
+        for j in range(matrix.shape[1]):
+            coeff = int(matrix[i, j])
+            if coeff:
+                gf256.addmul_array(acc, coeff, arrays[j])
+        out.append(acc)
+    return out
+
+
+def invert(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of a square matrix over GF(256) by Gauss-Jordan elimination.
+
+    Raises:
+        FieldError: if the matrix is singular.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise FieldError("inversion needs a square matrix")
+    k = matrix.shape[0]
+    work = matrix.astype(np.uint8).copy()
+    inverse = identity(k)
+    for col in range(k):
+        # Find a pivot.
+        pivot = None
+        for row in range(col, k):
+            if work[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            raise FieldError("singular matrix over GF(256)")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inverse[[col, pivot]] = inverse[[pivot, col]]
+        # Normalize the pivot row.
+        scale = gf256.inv(int(work[col, col]))
+        work[col] = gf256.mul_array(scale, work[col])
+        inverse[col] = gf256.mul_array(scale, inverse[col])
+        # Eliminate the column everywhere else.
+        for row in range(k):
+            if row != col and work[row, col] != 0:
+                factor = int(work[row, col])
+                work[row] ^= gf256.mul_array(factor, work[col])
+                inverse[row] ^= gf256.mul_array(factor, inverse[col])
+    return inverse
+
+
+def submatrix_rows(matrix: np.ndarray, rows: Sequence[int]) -> np.ndarray:
+    """Select rows (with validation) — used to build decode matrices."""
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    for r in rows:
+        if not 0 <= r < matrix.shape[0]:
+            raise FieldError(f"row index {r} out of range")
+    return matrix[list(rows)].copy()

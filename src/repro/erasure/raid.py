@@ -1,0 +1,244 @@
+"""Node-internal RAID codecs: RAID 5 (XOR parity) and RAID 6 (P + Q).
+
+These implement the "redundancy within nodes" dimension of Section 3 at
+the byte level, so the cluster substrate can actually lose a drive and
+re-stripe.  RAID 5 uses plain XOR parity; RAID 6 uses the classical
+P (XOR) + Q (Reed-Solomon with generator powers) construction, recovering
+any two missing strips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import gf256
+from .reed_solomon import CodecError
+
+__all__ = ["Raid5Codec", "Raid6Codec"]
+
+Block = Union[bytes, bytearray, np.ndarray]
+
+
+def _as_arrays(blocks: Sequence[Block], expected: int) -> List[np.ndarray]:
+    if len(blocks) != expected:
+        raise CodecError(f"expected {expected} strips, got {len(blocks)}")
+    arrays: List[np.ndarray] = []
+    length: Optional[int] = None
+    for b in blocks:
+        arr = (
+            np.asarray(b, dtype=np.uint8)
+            if isinstance(b, np.ndarray)
+            else np.frombuffer(bytes(b), dtype=np.uint8)
+        )
+        if length is None:
+            length = len(arr)
+            if length == 0:
+                raise CodecError("strips must be non-empty")
+        elif len(arr) != length:
+            raise CodecError("all strips must have equal length")
+        arrays.append(arr)
+    return arrays
+
+
+class Raid5Codec:
+    """XOR-parity codec over ``data_strips`` data strips + 1 parity strip.
+
+    Tolerates any single missing strip.
+    """
+
+    def __init__(self, data_strips: int) -> None:
+        if data_strips < 2:
+            raise CodecError("RAID 5 needs at least 2 data strips")
+        self._k = data_strips
+
+    @property
+    def data_strips(self) -> int:
+        return self._k
+
+    @property
+    def total_strips(self) -> int:
+        return self._k + 1
+
+    @property
+    def fault_tolerance(self) -> int:
+        return 1
+
+    def encode(self, data: Sequence[Block]) -> List[bytes]:
+        """Data strips followed by the XOR parity strip."""
+        arrays = _as_arrays(data, self._k)
+        parity = np.zeros_like(arrays[0])
+        for a in arrays:
+            parity ^= a
+        return [a.tobytes() for a in arrays] + [parity.tobytes()]
+
+    def update_parity(
+        self, parity: Block, data_index: int, old_block: Block, new_block: Block
+    ) -> bytes:
+        """Read-modify-write: patch the XOR parity for one changed strip.
+
+        ``P' = P ^ old ^ new`` — no other strip needs to be read.
+        """
+        if not 0 <= data_index < self._k:
+            raise CodecError(f"data index {data_index} out of range")
+        arrays = _as_arrays([parity, old_block, new_block], 3)
+        return (arrays[0] ^ arrays[1] ^ arrays[2]).tobytes()
+
+    def reconstruct(self, strips: Dict[int, Block]) -> List[bytes]:
+        """Recover the full stripe from all-but-one strips.
+
+        Args:
+            strips: mapping of strip index (0..k, parity last) to bytes.
+        """
+        missing = [i for i in range(self.total_strips) if i not in strips]
+        if len(missing) > 1:
+            raise CodecError(f"RAID 5 cannot recover {len(missing)} missing strips")
+        arrays = {
+            i: (
+                np.asarray(b, dtype=np.uint8)
+                if isinstance(b, np.ndarray)
+                else np.frombuffer(bytes(b), dtype=np.uint8)
+            )
+            for i, b in strips.items()
+        }
+        if missing:
+            rebuilt = np.zeros_like(next(iter(arrays.values())))
+            for a in arrays.values():
+                rebuilt ^= a
+            arrays[missing[0]] = rebuilt
+        return [arrays[i].tobytes() for i in range(self.total_strips)]
+
+
+class Raid6Codec:
+    """P + Q codec over ``data_strips`` data strips + 2 parity strips.
+
+    P is the XOR of the data strips; Q is
+    ``sum_i g^i * D_i`` with ``g`` the field generator.  Any two missing
+    strips (data and/or parity) are recoverable.
+    """
+
+    def __init__(self, data_strips: int) -> None:
+        if data_strips < 2:
+            raise CodecError("RAID 6 needs at least 2 data strips")
+        if data_strips > 255:
+            raise CodecError("RAID 6 over GF(256) supports at most 255 data strips")
+        self._k = data_strips
+
+    @property
+    def data_strips(self) -> int:
+        return self._k
+
+    @property
+    def total_strips(self) -> int:
+        return self._k + 2
+
+    @property
+    def fault_tolerance(self) -> int:
+        return 2
+
+    def encode(self, data: Sequence[Block]) -> List[bytes]:
+        """Data strips followed by P then Q."""
+        arrays = _as_arrays(data, self._k)
+        p = np.zeros_like(arrays[0])
+        q = np.zeros_like(arrays[0])
+        for i, a in enumerate(arrays):
+            p ^= a
+            gf256.addmul_array(q, gf256.exp(i), a)
+        return [a.tobytes() for a in arrays] + [p.tobytes(), q.tobytes()]
+
+    def update_parity(
+        self,
+        p_strip: Block,
+        q_strip: Block,
+        data_index: int,
+        old_block: Block,
+        new_block: Block,
+    ) -> Tuple[bytes, bytes]:
+        """Read-modify-write for P + Q: ``P' = P ^ delta`` and
+        ``Q' = Q ^ g^i * delta`` with ``delta = old ^ new``."""
+        if not 0 <= data_index < self._k:
+            raise CodecError(f"data index {data_index} out of range")
+        arrays = _as_arrays([p_strip, q_strip, old_block, new_block], 4)
+        delta = arrays[2] ^ arrays[3]
+        new_p = arrays[0] ^ delta
+        new_q = arrays[1] ^ gf256.mul_array(gf256.exp(data_index), delta)
+        return new_p.tobytes(), new_q.tobytes()
+
+    def reconstruct(self, strips: Dict[int, Block]) -> List[bytes]:
+        """Recover the full stripe from all-but-two strips.
+
+        Handles every failure combination: one or two data strips, P, Q,
+        data+P, data+Q, P+Q.
+        """
+        k = self._k
+        p_idx, q_idx = k, k + 1
+        missing = [i for i in range(self.total_strips) if i not in strips]
+        if len(missing) > 2:
+            raise CodecError(f"RAID 6 cannot recover {len(missing)} missing strips")
+        arrays = {
+            i: (
+                np.asarray(b, dtype=np.uint8).copy()
+                if isinstance(b, np.ndarray)
+                else np.frombuffer(bytes(b), dtype=np.uint8).copy()
+            )
+            for i, b in strips.items()
+        }
+        length = len(next(iter(arrays.values())))
+
+        missing_data = [i for i in missing if i < k]
+        p_missing = p_idx in missing
+        q_missing = q_idx in missing
+
+        if len(missing_data) == 2:
+            # Classic two-data-erasure recovery from P and Q.
+            x, y = missing_data
+            p_partial = arrays[p_idx].copy()
+            q_partial = arrays[q_idx].copy()
+            for i in range(k):
+                if i in (x, y):
+                    continue
+                p_partial ^= arrays[i]
+                gf256.addmul_array(q_partial, gf256.exp(i), arrays[i])
+            # Solve: Dx ^ Dy = p_partial;  g^x Dx ^ g^y Dy = q_partial.
+            gx, gy = gf256.exp(x), gf256.exp(y)
+            denom = gf256.add(gx, gy)
+            coeff = gf256.inv(denom)
+            # Dx = coeff * (q_partial ^ gy * p_partial)
+            dx = gf256.mul_array(
+                coeff, q_partial ^ gf256.mul_array(gy, p_partial)
+            )
+            dy = p_partial ^ dx
+            arrays[x], arrays[y] = dx, dy
+        elif len(missing_data) == 1:
+            x = missing_data[0]
+            if not p_missing:
+                # XOR recovery via P.
+                rebuilt = arrays[p_idx].copy()
+                for i in range(k):
+                    if i != x:
+                        rebuilt ^= arrays[i]
+                arrays[x] = rebuilt
+            elif not q_missing:
+                # Recover via Q: g^x Dx = Q ^ sum_{i != x} g^i Di.
+                q_partial = arrays[q_idx].copy()
+                for i in range(k):
+                    if i != x:
+                        gf256.addmul_array(q_partial, gf256.exp(i), arrays[i])
+                arrays[x] = gf256.mul_array(gf256.inv(gf256.exp(x)), q_partial)
+            else:  # pragma: no cover - excluded by len(missing) <= 2
+                raise CodecError("data strip plus both parities missing")
+
+        # Regenerate any missing parity from the (now complete) data.
+        if p_missing or q_missing or not missing_data:
+            p = np.zeros(length, dtype=np.uint8)
+            q = np.zeros(length, dtype=np.uint8)
+            for i in range(k):
+                p ^= arrays[i]
+                gf256.addmul_array(q, gf256.exp(i), arrays[i])
+            if p_missing:
+                arrays[p_idx] = p
+            if q_missing:
+                arrays[q_idx] = q
+
+        return [arrays[i].tobytes() for i in range(self.total_strips)]

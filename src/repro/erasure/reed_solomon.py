@@ -1,0 +1,244 @@
+"""Systematic Reed-Solomon erasure coding over GF(256).
+
+This is the "erasure code between nodes" of the paper's Section 3: an MDS
+code storing ``k`` data blocks plus ``m`` parity blocks across ``k + m``
+nodes, tolerating any ``m`` erasures.  The paper's three cross-node
+schemes are ``m = 1, 2, 3``.
+
+Two encoding-matrix constructions are provided:
+
+* ``"vandermonde"`` (default) — an ``n x k`` Vandermonde matrix
+  right-multiplied by the inverse of its top ``k x k`` block, giving a
+  systematic matrix any ``k`` rows of which are invertible;
+* ``"cauchy"`` — identity stacked on a Cauchy matrix, MDS because every
+  minor of a Cauchy matrix is nonsingular.
+
+The data path works on equal-length byte blocks (``bytes`` or uint8
+arrays); reconstruction takes any ``k`` surviving blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import matrix as gfmat
+from .gf256 import FieldError
+
+__all__ = ["ReedSolomonCodec", "CodecError"]
+
+Block = Union[bytes, bytearray, np.ndarray]
+
+
+class CodecError(ValueError):
+    """Raised on invalid codec configuration or unrecoverable erasures."""
+
+
+class ReedSolomonCodec:
+    """Systematic MDS erasure codec with ``k`` data and ``m`` parity blocks.
+
+    Args:
+        data_blocks: k >= 1.
+        parity_blocks: m >= 1 (the fault tolerance).
+        construction: ``"vandermonde"`` or ``"cauchy"``.
+
+    Example:
+        >>> codec = ReedSolomonCodec(data_blocks=4, parity_blocks=2)
+        >>> shards = codec.encode([b"abcd", b"efgh", b"ijkl", b"mnop"])
+        >>> len(shards)
+        6
+        >>> survivors = {i: s for i, s in enumerate(shards) if i not in (1, 4)}
+        >>> codec.decode_data(survivors)[1]
+        b'efgh'
+    """
+
+    def __init__(
+        self,
+        data_blocks: int,
+        parity_blocks: int,
+        construction: str = "vandermonde",
+    ) -> None:
+        if data_blocks < 1:
+            raise CodecError("need at least one data block")
+        if parity_blocks < 1:
+            raise CodecError("need at least one parity block")
+        if data_blocks + parity_blocks > 255:
+            raise CodecError("GF(256) supports at most 255 total blocks")
+        self._k = data_blocks
+        self._m = parity_blocks
+        self._construction = construction
+        self._matrix = self._build_matrix(construction)
+
+    def _build_matrix(self, construction: str) -> np.ndarray:
+        n, k = self._k + self._m, self._k
+        if construction == "vandermonde":
+            v = gfmat.vandermonde(n, k)
+            top_inv = gfmat.invert(v[:k])
+            return gfmat.matmul(v, top_inv)
+        if construction == "cauchy":
+            return np.vstack([gfmat.identity(k), gfmat.cauchy(self._m, k)])
+        raise CodecError(f"unknown construction {construction!r}")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def data_blocks(self) -> int:
+        return self._k
+
+    @property
+    def parity_blocks(self) -> int:
+        """The code's fault tolerance (erasures survivable)."""
+        return self._m
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Alias of :attr:`parity_blocks` (the common codec interface)."""
+        return self._m
+
+    @property
+    def total_blocks(self) -> int:
+        return self._k + self._m
+
+    @property
+    def encoding_matrix(self) -> np.ndarray:
+        """The (k+m) x k systematic encoding matrix (copy)."""
+        return self._matrix.copy()
+
+    # ------------------------------------------------------------------ #
+
+    def encode(self, data: Sequence[Block]) -> List[bytes]:
+        """Encode ``k`` equal-length data blocks into ``k + m`` shards.
+
+        The first ``k`` shards are the data verbatim (systematic code).
+        """
+        blocks = self._as_arrays(data, expected=self._k)
+        parity_rows = self._matrix[self._k :]
+        parity = gfmat.matvec_blocks(parity_rows, blocks)
+        return [b.tobytes() for b in blocks] + [p.tobytes() for p in parity]
+
+    def decode_data(self, shards: Dict[int, Block]) -> List[bytes]:
+        """Recover the ``k`` data blocks from any ``k`` surviving shards.
+
+        Args:
+            shards: mapping of shard index (0-based over all k+m) to its
+                bytes.  Extra shards beyond k are allowed and the k
+                lowest-indexed are used.
+
+        Raises:
+            CodecError: if fewer than ``k`` shards survive, or indices are
+                invalid.
+        """
+        if len(shards) < self._k:
+            raise CodecError(
+                f"unrecoverable: {len(shards)} shards < k = {self._k}"
+            )
+        indices = sorted(shards)
+        for i in indices:
+            if not 0 <= i < self.total_blocks:
+                raise CodecError(f"shard index {i} out of range")
+        use = indices[: self._k]
+        blocks = self._as_arrays([shards[i] for i in use], expected=self._k)
+        decode_matrix = gfmat.invert(gfmat.submatrix_rows(self._matrix, use))
+        data = gfmat.matvec_blocks(decode_matrix, blocks)
+        return [d.tobytes() for d in data]
+
+    def reconstruct(self, shards: Dict[int, Block]) -> List[bytes]:
+        """Recover *all* ``k + m`` shards from any ``k`` survivors."""
+        data = self.decode_data(shards)
+        return self.encode(data)
+
+    def reconstruct_shard(self, shards: Dict[int, Block], index: int) -> bytes:
+        """Recover a single missing shard (what a node rebuild does)."""
+        if not 0 <= index < self.total_blocks:
+            raise CodecError(f"shard index {index} out of range")
+        if index in shards:
+            block = shards[index]
+            return bytes(block.tobytes() if isinstance(block, np.ndarray) else block)
+        return self.reconstruct(shards)[index]
+
+    def update_parity(
+        self,
+        parity: Sequence[Block],
+        data_index: int,
+        old_block: Block,
+        new_block: Block,
+    ) -> List[bytes]:
+        """Incrementally update the parity shards for one changed data block.
+
+        A small write to a wide stripe should not re-read the whole
+        stripe: because the code is linear, each parity shard changes by
+        ``coeff * (old XOR new)``.  This is the read-modify-write path a
+        real storage engine uses.
+
+        Args:
+            parity: the current m parity shards.
+            data_index: which data block changed (0-based).
+            old_block: previous contents of that block.
+            new_block: new contents (same length).
+
+        Returns:
+            The m updated parity shards.
+        """
+        if not 0 <= data_index < self._k:
+            raise CodecError(f"data index {data_index} out of range")
+        if len(parity) != self._m:
+            raise CodecError(f"expected {self._m} parity shards, got {len(parity)}")
+        old, new = self._as_arrays([old_block, new_block], expected=2)
+        delta = old ^ new
+        updated = []
+        for j, p in enumerate(parity):
+            arr = (
+                np.asarray(p, dtype=np.uint8).copy()
+                if isinstance(p, np.ndarray)
+                else np.frombuffer(bytes(p), dtype=np.uint8).copy()
+            )
+            if len(arr) != len(delta):
+                raise CodecError("parity/data block length mismatch")
+            coeff = int(self._matrix[self._k + j, data_index])
+            if coeff:
+                arr ^= gfmat.matvec_blocks(
+                    np.array([[coeff]], dtype=np.uint8), [delta]
+                )[0]
+            updated.append(arr.tobytes())
+        return updated
+
+    def verify(self, shards: Sequence[Block]) -> bool:
+        """Check that a full shard set is consistent with the code."""
+        if len(shards) != self.total_blocks:
+            raise CodecError(
+                f"verify needs all {self.total_blocks} shards, got {len(shards)}"
+            )
+        data = shards[: self._k]
+        return self.encode(data) == [
+            bytes(s.tobytes() if isinstance(s, np.ndarray) else s) for s in shards
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _as_arrays(blocks: Sequence[Block], expected: int) -> List[np.ndarray]:
+        if len(blocks) != expected:
+            raise CodecError(f"expected {expected} blocks, got {len(blocks)}")
+        arrays = []
+        length: Optional[int] = None
+        for b in blocks:
+            arr = (
+                np.asarray(b, dtype=np.uint8)
+                if isinstance(b, np.ndarray)
+                else np.frombuffer(bytes(b), dtype=np.uint8)
+            )
+            if length is None:
+                length = len(arr)
+                if length == 0:
+                    raise CodecError("blocks must be non-empty")
+            elif len(arr) != length:
+                raise CodecError("all blocks must have equal length")
+            arrays.append(arr)
+        return arrays
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReedSolomonCodec(k={self._k}, m={self._m}, "
+            f"construction={self._construction!r})"
+        )

@@ -1,0 +1,163 @@
+"""The paper's nine redundancy configurations (Section 3).
+
+Three internal-redundancy choices (none / RAID 5 / RAID 6) crossed with
+three cross-node erasure-code fault tolerances (1 / 2 / 3) give nine
+configurations.  :class:`Configuration` names them, builds the right model
+for each, and evaluates reliability in the paper's metric.
+
+The three configurations the paper carries into the sensitivity analyses
+(Section 6's conclusion) are exposed as :func:`sensitivity_configurations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..core import CTMC
+from .internal_raid import InternalRaidNodeModel
+from .metrics import ReliabilityResult
+from .no_raid import NoRaidNodeModel
+from .parameters import Parameters
+from .raid import InternalRaid
+from .rebuild import RebuildModel
+from .recursive import RecursiveNoRaidModel
+
+__all__ = [
+    "Configuration",
+    "ALL_CONFIGURATIONS",
+    "all_configurations",
+    "sensitivity_configurations",
+    "evaluate",
+    "evaluate_all",
+]
+
+NodeModel = Union[InternalRaidNodeModel, NoRaidNodeModel, RecursiveNoRaidModel]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One of the paper's redundancy configurations.
+
+    Attributes:
+        internal: the node-internal RAID level.
+        node_fault_tolerance: cross-node erasure-code tolerance (>= 1).
+    """
+
+    internal: InternalRaid
+    node_fault_tolerance: int
+
+    def __post_init__(self) -> None:
+        if self.node_fault_tolerance < 1:
+            raise ValueError("node_fault_tolerance must be >= 1")
+
+    @property
+    def label(self) -> str:
+        """Human-readable name matching the paper's figure legends."""
+        internal = {
+            InternalRaid.NONE: "No Internal RAID",
+            InternalRaid.RAID5: "Internal RAID 5",
+            InternalRaid.RAID6: "Internal RAID 6",
+        }[self.internal]
+        return f"FT {self.node_fault_tolerance}, {internal}"
+
+    @property
+    def key(self) -> str:
+        """Short machine-friendly identifier, e.g. ``"ft2_raid5"``."""
+        internal = {
+            InternalRaid.NONE: "noraid",
+            InternalRaid.RAID5: "raid5",
+            InternalRaid.RAID6: "raid6",
+        }[self.internal]
+        return f"ft{self.node_fault_tolerance}_{internal}"
+
+    # ------------------------------------------------------------------ #
+
+    def model(
+        self, params: Parameters, rebuild: Optional[RebuildModel] = None
+    ) -> NodeModel:
+        """Instantiate the reliability model for this configuration.
+
+        Uses the hand-transcribed figure chains for no-internal-RAID at
+        t <= 3 and the recursive construction beyond.
+        """
+        if self.internal is InternalRaid.NONE:
+            if self.node_fault_tolerance <= 3:
+                return NoRaidNodeModel(params, self.node_fault_tolerance, rebuild)
+            return RecursiveNoRaidModel(params, self.node_fault_tolerance, rebuild)
+        return InternalRaidNodeModel(
+            params, self.internal, self.node_fault_tolerance, rebuild
+        )
+
+    def chain(self, params: Parameters) -> CTMC:
+        """The node-level CTMC for this configuration."""
+        return self.model(params).chain()
+
+    def mttdl_hours(self, params: Parameters, method: str = "exact") -> float:
+        """MTTDL in hours.
+
+        Args:
+            params: system parameters.
+            method: ``"exact"`` (numeric chain solve) or ``"approx"``
+                (the paper's closed form).
+        """
+        model = self.model(params)
+        if method == "exact":
+            return model.mttdl_exact()
+        if method == "approx":
+            if isinstance(model, NoRaidNodeModel):
+                # The explicit figures have no own approximation; Figure A1
+                # covers them.
+                return RecursiveNoRaidModel(
+                    params, self.node_fault_tolerance
+                ).mttdl_approx()
+            return model.mttdl_approx()
+        raise ValueError(f"unknown method {method!r}; use 'exact' or 'approx'")
+
+    def reliability(
+        self, params: Parameters, method: str = "exact"
+    ) -> ReliabilityResult:
+        """Reliability in the paper's events/PB-year metric."""
+        return ReliabilityResult.from_mttdl(self.mttdl_hours(params, method), params)
+
+
+def all_configurations(max_fault_tolerance: int = 3) -> List[Configuration]:
+    """The 3 x ``max_fault_tolerance`` configuration grid of Section 3."""
+    return [
+        Configuration(internal, t)
+        for t in range(1, max_fault_tolerance + 1)
+        for internal in (InternalRaid.NONE, InternalRaid.RAID5, InternalRaid.RAID6)
+    ]
+
+
+#: The paper's nine configurations, in Figure 13 order.
+ALL_CONFIGURATIONS: Tuple[Configuration, ...] = tuple(all_configurations())
+
+
+def sensitivity_configurations() -> List[Configuration]:
+    """The three configurations Section 6 carries into the sensitivity
+    analyses: [FT2, no internal RAID], [FT2, internal RAID 5] and
+    [FT3, no internal RAID]."""
+    return [
+        Configuration(InternalRaid.NONE, 2),
+        Configuration(InternalRaid.RAID5, 2),
+        Configuration(InternalRaid.NONE, 3),
+    ]
+
+
+def evaluate(
+    config: Configuration, params: Parameters, method: str = "exact"
+) -> ReliabilityResult:
+    """Convenience wrapper around :meth:`Configuration.reliability`."""
+    return config.reliability(params, method)
+
+
+def evaluate_all(
+    params: Parameters,
+    configs: Optional[Iterable[Configuration]] = None,
+    method: str = "exact",
+) -> List[Tuple[Configuration, ReliabilityResult]]:
+    """Evaluate many configurations under one parameter set."""
+    if configs is None:
+        configs = ALL_CONFIGURATIONS
+    return [(c, evaluate(c, params, method)) for c in configs]

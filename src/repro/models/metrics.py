@@ -1,0 +1,98 @@
+"""Reliability metrics (Section 4 and Section 6).
+
+The paper argues that *expected data-loss events per unit time* is easier
+to reason about than the traditional MTTDL, and normalizes it per petabyte
+of logical capacity so a manufacturer can track a field population.  This
+module converts between the representations and encodes the paper's
+reliability target:
+
+    "a field population of 100 systems each with a petabyte of logical
+    capacity will experience less than one data loss event in 5 years"
+    ==> fewer than 2e-3 data loss events per PB-year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .parameters import HOURS_PER_YEAR, Parameters
+
+__all__ = [
+    "PAPER_TARGET_EVENTS_PER_PB_YEAR",
+    "ReliabilityResult",
+    "mttdl_hours_to_events_per_year",
+    "events_per_year_to_mttdl_hours",
+    "events_per_pb_year",
+    "mttdl_hours_for_target",
+]
+
+#: Section 6's target: < 1 loss event across 100 PB-scale systems in 5 years.
+PAPER_TARGET_EVENTS_PER_PB_YEAR = 1.0 / (100 * 1.0 * 5)
+
+
+def mttdl_hours_to_events_per_year(mttdl_hours: float) -> float:
+    """Expected data-loss events per system-year given an MTTDL in hours."""
+    if mttdl_hours <= 0:
+        raise ValueError("MTTDL must be positive")
+    return HOURS_PER_YEAR / mttdl_hours
+
+
+def events_per_year_to_mttdl_hours(events_per_year: float) -> float:
+    """Inverse of :func:`mttdl_hours_to_events_per_year`."""
+    if events_per_year <= 0:
+        raise ValueError("event rate must be positive")
+    return HOURS_PER_YEAR / events_per_year
+
+
+def events_per_pb_year(mttdl_hours: float, params: Parameters) -> float:
+    """Data-loss events per petabyte-year for a system with ``params``.
+
+    Normalizes the per-system event rate by the system's *logical*
+    capacity, per Section 6.
+    """
+    return mttdl_hours_to_events_per_year(mttdl_hours) / params.system_logical_pb
+
+
+def mttdl_hours_for_target(
+    params: Parameters, target_events_per_pb_year: float = PAPER_TARGET_EVENTS_PER_PB_YEAR
+) -> float:
+    """Minimum MTTDL (hours) a system with ``params`` needs to meet a target."""
+    if target_events_per_pb_year <= 0:
+        raise ValueError("target must be positive")
+    return HOURS_PER_YEAR / (target_events_per_pb_year * params.system_logical_pb)
+
+
+@dataclass(frozen=True)
+class ReliabilityResult:
+    """A configuration's reliability in every representation the paper uses.
+
+    Attributes:
+        mttdl_hours: mean time to data loss.
+        events_per_pb_year: the paper's headline metric.
+        meets_target: whether the paper's 2e-3 events/PB-year target holds.
+    """
+
+    mttdl_hours: float
+    events_per_pb_year: float
+
+    @classmethod
+    def from_mttdl(cls, mttdl_hours: float, params: Parameters) -> "ReliabilityResult":
+        return cls(
+            mttdl_hours=mttdl_hours,
+            events_per_pb_year=events_per_pb_year(mttdl_hours, params),
+        )
+
+    @property
+    def mttdl_years(self) -> float:
+        return self.mttdl_hours / HOURS_PER_YEAR
+
+    @property
+    def meets_target(self) -> bool:
+        return self.events_per_pb_year < PAPER_TARGET_EVENTS_PER_PB_YEAR
+
+    def margin_orders_of_magnitude(self) -> float:
+        """How many orders of magnitude below (positive) or above (negative)
+        the target this configuration sits."""
+        import math
+
+        return math.log10(PAPER_TARGET_EVENTS_PER_PB_YEAR / self.events_per_pb_year)

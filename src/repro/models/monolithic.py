@@ -1,0 +1,107 @@
+"""Monolithic-array comparator (the introduction's 'big iron' baseline).
+
+The paper motivates brick storage against traditional monolithic systems:
+dual controllers, redundant paths, serviced hardware.  To make that
+comparison quantitative, this module models a monolithic system the way
+its vendors do: a pool of independent RAID-6 groups on enterprise drives
+with hot-spare rebuilds (drives are *replaced*, not failed-in-place) and
+no single point of failure above the arrays (controller failures cause
+downtime, not data loss, and are excluded from the loss metric like
+switch/link failures are in the paper's brick model).
+
+The brick system trades per-array robustness for cross-node redundancy;
+the comparison in events/PB-year at equal logical capacity is the fair
+scoreboard, and :mod:`examples.quickstart`'s FT2+RAID5 configuration is
+the natural opponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import ReliabilityResult
+from .parameters import GB, HOURS_PER_YEAR, MB, Parameters
+from .raid import build_raid6_chain
+
+__all__ = ["MonolithicSystem"]
+
+
+@dataclass(frozen=True)
+class MonolithicSystem:
+    """A monolithic enterprise array: independent RAID-6 groups + spares.
+
+    Attributes:
+        array_groups: number of RAID-6 groups in the frame.
+        drives_per_group: group width (data + 2 parity).
+        drive_mttf_hours: enterprise-class drive MTTF.
+        drive_capacity_bytes: per-drive capacity.
+        hard_error_rate_per_bit: uncorrectable read error rate.
+        rebuild_hours: hot-spare rebuild time (dedicated spare, full
+            sequential bandwidth — typically hours, not the brick model's
+            re-stripe).
+        capacity_utilization: user data over raw group capacity (parity
+            overhead is accounted separately by the group geometry).
+    """
+
+    array_groups: int = 96
+    drives_per_group: int = 14
+    drive_mttf_hours: float = 1_000_000.0  # enterprise FC/SAS class
+    drive_capacity_bytes: float = 300 * GB
+    hard_error_rate_per_bit: float = 1e-15  # enterprise media
+    rebuild_hours: float = 8.0
+    capacity_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.array_groups < 1:
+            raise ValueError("need at least one array group")
+        if self.drives_per_group < 4:
+            raise ValueError("RAID 6 groups need at least 4 drives")
+        if self.rebuild_hours <= 0:
+            raise ValueError("rebuild_hours must be positive")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hard_error_per_drive_read(self) -> float:
+        return self.drive_capacity_bytes * 8 * self.hard_error_rate_per_bit
+
+    @property
+    def logical_bytes(self) -> float:
+        data_drives = self.drives_per_group - 2
+        return (
+            self.array_groups
+            * data_drives
+            * self.drive_capacity_bytes
+            * self.capacity_utilization
+        )
+
+    @property
+    def logical_pb(self) -> float:
+        return self.logical_bytes / 1e15
+
+    def group_mttdl_hours(self) -> float:
+        """MTTDL of one RAID-6 group (Figure 4 chain with hot-spare
+        rebuild rather than re-stripe)."""
+        chain = build_raid6_chain(
+            self.drives_per_group,
+            1.0 / self.drive_mttf_hours,
+            1.0 / self.rebuild_hours,
+            (self.drives_per_group - 2) * self.hard_error_per_drive_read,
+        )
+        return chain.mean_time_to_absorption()
+
+    def system_mttdl_hours(self) -> float:
+        """Independent groups: the system loses data when any group does,
+        so the system rate is the sum of group rates."""
+        return self.group_mttdl_hours() / self.array_groups
+
+    def events_per_pb_year(self) -> float:
+        return HOURS_PER_YEAR / self.system_mttdl_hours() / self.logical_pb
+
+    def reliability(self) -> ReliabilityResult:
+        """In the same representation as the brick configurations (note:
+        normalized by *this* system's logical capacity)."""
+        return ReliabilityResult(
+            mttdl_hours=self.system_mttdl_hours(),
+            events_per_pb_year=self.events_per_pb_year(),
+        )

@@ -1,0 +1,200 @@
+"""System parameters (Section 6 of the paper).
+
+:class:`Parameters` bundles every knob the paper's baseline analysis and
+sensitivity sweeps touch.  All rates are internally expressed per hour, all
+capacities in bytes; the constructors accept the units the paper quotes
+(hours, GB, Gb/s, KB).
+
+Baseline values (Section 6)::
+
+    node MTTF              400,000 h
+    drive MTTF             300,000 h
+    hard error rate        1 sector per 10^14 bits read
+    drive capacity         300 GB
+    max drive throughput   150 IO/s
+    drive sustained rate   40 MB/s
+    node set size N        64
+    redundancy set size R  8
+    drives per node d      12
+    re-stripe command      1 MB
+    rebuild command        128 KB
+    link speed             10 Gb/s (800 MB/s sustained)
+    capacity utilization   75 %
+    rebuild bandwidth      10 %
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Parameters", "ParameterError", "GB", "MB", "KB", "HOURS_PER_YEAR"]
+
+KB = 1024
+MB = 10**6
+GB = 10**9
+HOURS_PER_YEAR = 8766.0  # 365.25 days, the convention we use throughout
+
+
+class ParameterError(ValueError):
+    """Raised for physically-meaningless parameter values."""
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """Complete parameterization of a networked-storage-node system.
+
+    Attributes:
+        node_mttf_hours: mean time to failure of a whole node (controller,
+            power supply, ... — anything that kills the sealed brick).
+        drive_mttf_hours: mean time to failure of one disk drive.
+        hard_error_rate_per_bit: probability of an uncorrectable (hard)
+            read error per bit read.  The paper's "1 sector in 10^14 bits"
+            is ``1e-14``.
+        drive_capacity_bytes: raw capacity of one drive.
+        drive_max_iops: maximum I/O operations per second per drive.
+        drive_sustained_bps: sustained sequential transfer rate of a drive,
+            bytes/second.
+        node_set_size: N, the number of nodes data is spread across.
+        redundancy_set_size: R, nodes per redundancy set (stripe width).
+        drives_per_node: d.
+        restripe_command_bytes: I/O size used during an internal-RAID
+            re-stripe.
+        rebuild_command_bytes: I/O size used during cross-node rebuild.
+        link_speed_bps: raw speed of one node link, bits/second.
+        link_sustained_fraction: fraction of raw link speed achievable
+            sustained.  The paper quotes 800 MB/s sustained at 10 Gb/s raw
+            (= 1250 MB/s), i.e. 0.64.
+        capacity_utilization: fraction of raw capacity holding user data;
+            the rest is over-provisioned spare for fail-in-place.
+        rebuild_bandwidth_fraction: fraction of disk and network bandwidth
+            a rebuild is allowed to consume (the rest serves foreground
+            I/O).
+    """
+
+    node_mttf_hours: float = 400_000.0
+    drive_mttf_hours: float = 300_000.0
+    hard_error_rate_per_bit: float = 1e-14
+    drive_capacity_bytes: float = 300 * GB
+    drive_max_iops: float = 150.0
+    drive_sustained_bps: float = 40 * MB
+    node_set_size: int = 64
+    redundancy_set_size: int = 8
+    drives_per_node: int = 12
+    restripe_command_bytes: float = 1024 * KB
+    rebuild_command_bytes: float = 128 * KB
+    link_speed_bps: float = 10e9
+    link_sustained_fraction: float = 0.64
+    capacity_utilization: float = 0.75
+    rebuild_bandwidth_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        positive = [
+            ("node_mttf_hours", self.node_mttf_hours),
+            ("drive_mttf_hours", self.drive_mttf_hours),
+            ("drive_capacity_bytes", self.drive_capacity_bytes),
+            ("drive_max_iops", self.drive_max_iops),
+            ("drive_sustained_bps", self.drive_sustained_bps),
+            ("restripe_command_bytes", self.restripe_command_bytes),
+            ("rebuild_command_bytes", self.rebuild_command_bytes),
+            ("link_speed_bps", self.link_speed_bps),
+        ]
+        for name, value in positive:
+            if value <= 0:
+                raise ParameterError(f"{name} must be positive, got {value!r}")
+        if self.hard_error_rate_per_bit < 0:
+            raise ParameterError("hard_error_rate_per_bit must be >= 0")
+        for name, value in [
+            ("link_sustained_fraction", self.link_sustained_fraction),
+            ("capacity_utilization", self.capacity_utilization),
+            ("rebuild_bandwidth_fraction", self.rebuild_bandwidth_fraction),
+        ]:
+            if not 0 < value <= 1:
+                raise ParameterError(f"{name} must be in (0, 1], got {value!r}")
+        if self.node_set_size < 2:
+            raise ParameterError("node_set_size must be at least 2")
+        if not 2 <= self.redundancy_set_size <= self.node_set_size:
+            raise ParameterError(
+                "redundancy_set_size must be between 2 and node_set_size"
+            )
+        if self.drives_per_node < 1:
+            raise ParameterError("drives_per_node must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def baseline(cls) -> "Parameters":
+        """The paper's Section 6 baseline."""
+        return cls()
+
+    def replace(self, **changes: Any) -> "Parameters":
+        """A copy with ``changes`` applied (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_link_speed_gbps(self, gbps: float) -> "Parameters":
+        """A copy with the link speed set in Gb/s."""
+        return self.replace(link_speed_bps=gbps * 1e9)
+
+    def with_rebuild_command_kb(self, kb: float) -> "Parameters":
+        """A copy with the rebuild command size set in KB."""
+        return self.replace(rebuild_command_bytes=kb * KB)
+
+    # ------------------------------------------------------------------ #
+    # derived rates and quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_failure_rate(self) -> float:
+        """lambda_N, node failures per hour."""
+        return 1.0 / self.node_mttf_hours
+
+    @property
+    def drive_failure_rate(self) -> float:
+        """lambda_d, drive failures per hour."""
+        return 1.0 / self.drive_mttf_hours
+
+    @property
+    def hard_error_per_drive_read(self) -> float:
+        """``C * HER``: expected hard errors when reading one full drive."""
+        return self.drive_capacity_bytes * 8 * self.hard_error_rate_per_bit
+
+    @property
+    def drive_data_bytes(self) -> float:
+        """User data held by one drive (capacity x utilization)."""
+        return self.drive_capacity_bytes * self.capacity_utilization
+
+    @property
+    def node_data_bytes(self) -> float:
+        """User data held by one node."""
+        return self.drives_per_node * self.drive_data_bytes
+
+    @property
+    def system_raw_bytes(self) -> float:
+        """Raw capacity of the node set."""
+        return self.node_set_size * self.drives_per_node * self.drive_capacity_bytes
+
+    @property
+    def system_logical_bytes(self) -> float:
+        """Logical (user-visible) capacity of the node set.
+
+        The paper normalizes data-loss events by logical petabytes, from a
+        manufacturer's field-population point of view.
+        """
+        return self.system_raw_bytes * self.capacity_utilization
+
+    @property
+    def system_logical_pb(self) -> float:
+        """Logical capacity in (decimal) petabytes."""
+        return self.system_logical_bytes / 1e15
+
+    @property
+    def link_sustained_bytes_per_sec(self) -> float:
+        """Sustained one-direction byte rate of a node's network attachment."""
+        return self.link_speed_bps / 8 * self.link_sustained_fraction
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (useful for reports and parameter sweeps)."""
+        return dataclasses.asdict(self)

@@ -1,0 +1,89 @@
+"""Foreground-performance impact of rebuilds (extension beyond the paper).
+
+The paper reserves 10% of disk and network bandwidth for rebuilds and
+never revisits what the customer notices.  This model quantifies it: how
+often the system is rebuilding (from the renewal-closed chain's
+stationary distribution), what fraction of foreground throughput those
+windows consume, and the resulting long-run average throughput
+efficiency — the performance face of the reliability/performance
+trade-off behind the rebuild-bandwidth-fraction knob.
+
+Raising the rebuild fraction shortens rebuilds (better reliability) but
+deepens the degradation while they run; this model plus the reliability
+models bound both sides so the knob can be chosen deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .availability import AvailabilityModel
+from .configurations import Configuration
+from .parameters import HOURS_PER_YEAR, Parameters
+
+__all__ = ["PerformanceImpact", "PerformanceImpactModel"]
+
+
+@dataclass(frozen=True)
+class PerformanceImpact:
+    """Foreground-throughput picture of one configuration.
+
+    Attributes:
+        rebuild_time_fraction: long-run fraction of time with at least one
+            rebuild in flight.
+        throughput_during_rebuild: foreground throughput while rebuilding,
+            as a fraction of peak (1 - rebuild bandwidth fraction).
+        average_throughput: long-run average foreground throughput
+            fraction.
+        degraded_hours_per_year: annual hours below peak.
+    """
+
+    rebuild_time_fraction: float
+    throughput_during_rebuild: float
+
+    @property
+    def average_throughput(self) -> float:
+        return (
+            1.0 - self.rebuild_time_fraction
+        ) + self.rebuild_time_fraction * self.throughput_during_rebuild
+
+    @property
+    def degraded_hours_per_year(self) -> float:
+        return self.rebuild_time_fraction * HOURS_PER_YEAR
+
+
+class PerformanceImpactModel:
+    """Evaluate the rebuild-bandwidth trade-off for a configuration.
+
+    Args:
+        config: redundancy configuration.
+        params: system parameters (``rebuild_bandwidth_fraction`` is the
+            knob under study).
+    """
+
+    def __init__(self, config: Configuration, params: Parameters) -> None:
+        self._config = config
+        self._params = params
+
+    def evaluate(self) -> PerformanceImpact:
+        availability = AvailabilityModel(self._config, self._params).evaluate()
+        return PerformanceImpact(
+            rebuild_time_fraction=availability.degraded_fraction,
+            throughput_during_rebuild=1.0 - self._params.rebuild_bandwidth_fraction,
+        )
+
+    def sweep_rebuild_fraction(
+        self, fractions=(0.05, 0.10, 0.20, 0.40)
+    ) -> list:
+        """(fraction, events/PB-year, average throughput) triples — the
+        two sides of the knob, side by side."""
+        rows = []
+        for fraction in fractions:
+            params = self._params.replace(rebuild_bandwidth_fraction=fraction)
+            reliability = self._config.reliability(params)
+            impact = PerformanceImpactModel(self._config, params).evaluate()
+            rows.append(
+                (fraction, reliability.events_per_pb_year, impact.average_throughput)
+            )
+        return rows

@@ -1,0 +1,127 @@
+"""Disk-scrubbing extension (beyond the paper).
+
+The paper folds all uncorrectable reads into a single rate "HER, hard
+errors per bits read".  Part of that rate comes from *latent* sector
+errors — corruption that sits undetected until something reads the
+sector.  Periodic scrubbing (background verify of every sector) bounds
+the age of latent errors and therefore the chance a rebuild trips over
+one; related work the paper cites (Xin et al.) relies on exactly this
+effect.
+
+Model: latent errors arrive per sector at rate ``latent_rate`` and are
+removed by a scrub sweep every ``scrub_interval_hours``; in steady state
+a random instant sits ``interval / 2`` hours after the last sweep on
+average, so the expected density of standing latent errors is
+``latent_rate * interval / 2`` per sector.  A rebuild that reads a
+sector then sees the transient (media/read-channel) error probability
+plus the standing latent density:
+
+    HER_effective = HER_transient + latent_rate * scrub_interval / 2
+                    (converted to a per-bit-read equivalent)
+
+With ``scrub_interval -> 0`` only transient errors remain; with no
+scrubbing the interval is the system's operational life so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .parameters import Parameters
+
+__all__ = ["ScrubbingModel", "SECTOR_BYTES"]
+
+SECTOR_BYTES = 512
+
+
+@dataclass(frozen=True)
+class ScrubbingModel:
+    """Effective hard-error rate under periodic scrubbing.
+
+    Attributes:
+        transient_fraction: share of the paper's baseline HER that is
+            transient (re-read/media noise, unaffected by scrubbing); the
+            remainder is attributed to standing latent errors under the
+            paper's implicit "no scrubbing over the exposure window"
+            assumption.
+        latent_error_rate_per_sector_hour: arrival rate of latent sector
+            errors.  The default is calibrated so that *without* scrubbing
+            (exposure = ``calibration_exposure_hours``) the latent part
+            reproduces the paper's baseline HER.
+        calibration_exposure_hours: the no-scrub exposure window used for
+            that calibration (default: one year).
+    """
+
+    transient_fraction: float = 0.5
+    calibration_exposure_hours: float = 8766.0
+    _latent_override: float = -1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transient_fraction <= 1.0:
+            raise ValueError("transient_fraction must be in [0, 1]")
+        if self.calibration_exposure_hours <= 0:
+            raise ValueError("calibration exposure must be positive")
+
+    # ------------------------------------------------------------------ #
+
+    def latent_rate_per_sector_hour(self, params: Parameters) -> float:
+        """Latent arrival rate calibrated to the baseline HER.
+
+        Without scrubbing, standing density = rate x exposure / 2 must
+        equal the latent share of the per-sector read-error probability:
+        ``(1 - transient) * HER_bits * 8 * SECTOR_BYTES``.
+        """
+        if self._latent_override >= 0:
+            return self._latent_override
+        latent_per_sector_read = (
+            (1.0 - self.transient_fraction)
+            * params.hard_error_rate_per_bit
+            * 8
+            * SECTOR_BYTES
+        )
+        return 2.0 * latent_per_sector_read / self.calibration_exposure_hours
+
+    def effective_her_per_bit(
+        self, params: Parameters, scrub_interval_hours: float
+    ) -> float:
+        """Effective per-bit hard-error rate at a scrub cadence.
+
+        Args:
+            params: baseline parameters (supplies the uncalibrated HER).
+            scrub_interval_hours: time between scrub sweeps of a given
+                sector; pass ``float("inf")``-like large values for
+                "never" (capped at the calibration exposure).
+        """
+        if scrub_interval_hours < 0:
+            raise ValueError("scrub interval must be non-negative")
+        interval = min(scrub_interval_hours, self.calibration_exposure_hours)
+        transient = self.transient_fraction * params.hard_error_rate_per_bit
+        standing_per_sector = (
+            self.latent_rate_per_sector_hour(params) * interval / 2.0
+        )
+        latent = standing_per_sector / (8 * SECTOR_BYTES)
+        return transient + latent
+
+    def scrubbed_parameters(
+        self, params: Parameters, scrub_interval_hours: float
+    ) -> Parameters:
+        """A parameter set whose HER reflects the scrub cadence —
+        plug straight into any reliability model."""
+        return params.replace(
+            hard_error_rate_per_bit=self.effective_her_per_bit(
+                params, scrub_interval_hours
+            )
+        )
+
+    def scrub_bandwidth_fraction(
+        self, params: Parameters, scrub_interval_hours: float
+    ) -> float:
+        """Fraction of a drive's sustained bandwidth one sweep consumes.
+
+        The operational cost side of the trade-off: reading the full drive
+        every ``interval`` at the sustained rate.
+        """
+        if scrub_interval_hours <= 0:
+            raise ValueError("scrub interval must be positive")
+        read_seconds = params.drive_capacity_bytes / params.drive_sustained_bps
+        return read_seconds / (scrub_interval_hours * 3600.0)

@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate.
+
+An event kernel, reproducible random streams, physical failure/rebuild
+processes mirroring the paper's assumptions, a Monte-Carlo MTTDL
+estimator that validates the analytic chains, and a fleet-lifetime
+capacity simulator for the fail-in-place provisioning story.
+"""
+
+from .entity_process import EntityNoRaidProcess, WeibullLifetime
+from .events import EventHandle, EventQueue, SimulationError, Simulator
+from .lifetime import CapacitySample, LifetimeResult, simulate_lifetime
+from .monte_carlo import (
+    EventRateResult,
+    MonteCarloResult,
+    accelerated_parameters,
+    estimate_event_rate,
+    estimate_mttdl,
+)
+from .processes import (
+    DataLossEvent,
+    InternalRaidFailureProcess,
+    NoRaidFailureProcess,
+)
+from .rng import StreamFactory, bernoulli, exponential
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "CapacitySample",
+    "DataLossEvent",
+    "EntityNoRaidProcess",
+    "EventHandle",
+    "EventQueue",
+    "EventRateResult",
+    "estimate_event_rate",
+    "InternalRaidFailureProcess",
+    "LifetimeResult",
+    "MonteCarloResult",
+    "NoRaidFailureProcess",
+    "SimulationError",
+    "Simulator",
+    "StreamFactory",
+    "TraceRecord",
+    "TraceRecorder",
+    "WeibullLifetime",
+    "accelerated_parameters",
+    "bernoulli",
+    "estimate_mttdl",
+    "exponential",
+    "simulate_lifetime",
+]

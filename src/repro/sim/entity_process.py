@@ -1,0 +1,279 @@
+"""Per-entity failure simulation with non-exponential lifetimes.
+
+The paper's Markov chains *require* exponential (memoryless) lifetimes.
+Real drives are not memoryless: populations show infant mortality
+(decreasing hazard) and wear-out (increasing hazard), usually modeled
+with a Weibull distribution.  This module tests how much that assumption
+matters: a no-internal-RAID system simulated with *per-entity* clocks —
+each node and drive carries its own age and Weibull lifetime — instead of
+the aggregate memoryless clock of
+:class:`repro.sim.processes.NoRaidFailureProcess`.
+
+With ``shape = 1`` Weibull reduces to exponential and this process is
+statistically identical to the chain (the validation tests assert it);
+``shape > 1`` models wear-out, ``shape < 1`` infant mortality, both
+calibrated to the *same mean* MTTF so comparisons isolate the shape
+effect.
+
+Suspension semantics mirror the chains: a node with an outstanding
+failure (its own, or one of its drives under rebuild) stops generating
+failures; its entities' ages freeze, and on resume the remaining
+lifetime is re-sampled from the conditional distribution given survival
+to the frozen age (exact for any distribution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..models.critical_sets import h_parameters
+from ..models.parameters import Parameters
+from ..models.rebuild import RebuildModel
+from .events import EventHandle, SimulationError, Simulator
+from .processes import DataLossEvent, _RepairClock
+from .rng import StreamFactory, bernoulli, exponential
+
+__all__ = ["WeibullLifetime", "EntityNoRaidProcess"]
+
+
+@dataclass(frozen=True)
+class WeibullLifetime:
+    """Weibull lifetime distribution parameterized by its mean.
+
+    Attributes:
+        mean_hours: the MTTF (the distribution's mean, not its scale).
+        shape: Weibull shape k; 1 = exponential, > 1 wear-out,
+            < 1 infant mortality.
+    """
+
+    mean_hours: float
+    shape: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_hours <= 0:
+            raise ValueError("mean_hours must be positive")
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+
+    @property
+    def scale(self) -> float:
+        """Weibull scale lambda with mean = lambda * Gamma(1 + 1/k)."""
+        return self.mean_hours / math.gamma(1.0 + 1.0 / self.shape)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """A fresh lifetime."""
+        return float(self.scale * rng.weibull(self.shape))
+
+    def sample_residual(self, rng: np.random.Generator, age: float) -> float:
+        """Remaining lifetime given survival to ``age`` (inverse-CDF of the
+        conditional distribution; exact for any age)."""
+        if age < 0:
+            raise ValueError("age must be non-negative")
+        if age == 0:
+            return self.sample(rng)
+        u = float(rng.random())
+        # P(T > age + r | T > age) = exp(((age/s)^k - ((age+r)/s)^k))
+        base = (age / self.scale) ** self.shape
+        total = (base - math.log(1.0 - u)) ** (1.0 / self.shape) * self.scale
+        return total - age
+
+
+class _Entity:
+    """One failure-generating unit (a node or a drive) with a frozen-age
+    suspension model."""
+
+    def __init__(self, lifetime: WeibullLifetime) -> None:
+        self.lifetime = lifetime
+        self.age = 0.0
+        self.active_since: Optional[float] = None
+        self.event: Optional[EventHandle] = None
+
+    def accrue(self, now: float) -> None:
+        if self.active_since is not None:
+            self.age += now - self.active_since
+            self.active_since = None
+
+    def cancel(self) -> None:
+        if self.event is not None:
+            self.event.cancel()
+            self.event = None
+
+
+class EntityNoRaidProcess:
+    """No-internal-RAID system with per-entity (optionally Weibull) clocks.
+
+    Args:
+        sim: event clock.
+        params: system parameters (supply the MTTFs = lifetime means).
+        fault_tolerance: cross-node tolerance t.
+        streams: random streams.
+        node_shape: Weibull shape for node lifetimes.
+        drive_shape: Weibull shape for drive lifetimes.
+        repair_distribution: ``"exponential"`` or ``"deterministic"``.
+        renew_on_repair: when True (default) a repaired failure puts a
+            *fresh* entity in service (the spare-capacity view: the data
+            now lives on different, not-necessarily-new hardware, so we
+            reset the age); the chains correspond to shape 1 where the
+            choice is immaterial.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Parameters,
+        fault_tolerance: int,
+        streams: StreamFactory,
+        node_shape: float = 1.0,
+        drive_shape: float = 1.0,
+        repair_distribution: str = "exponential",
+        renew_on_repair: bool = True,
+        on_data_loss: Optional[Callable[[DataLossEvent], None]] = None,
+    ) -> None:
+        if fault_tolerance < 1:
+            raise ValueError("fault_tolerance must be >= 1")
+        if params.node_set_size <= fault_tolerance:
+            raise ValueError("node set must exceed the fault tolerance")
+        self._sim = sim
+        self._p = params
+        self._t = fault_tolerance
+        self._rng = streams.stream("entity-failures")
+        self._rng_repair = streams.stream("entity-repairs")
+        self._rng_hard = streams.stream("entity-hard-errors")
+        self._clock = _RepairClock(repair_distribution)
+        self._renew = renew_on_repair
+        self._on_loss = on_data_loss
+
+        rebuild = RebuildModel(params)
+        self._mu_n = rebuild.node_rebuild_rate(fault_tolerance)
+        self._mu_d = rebuild.drive_rebuild_rate(fault_tolerance)
+        self._h = h_parameters(params, fault_tolerance)
+
+        node_lifetime = WeibullLifetime(params.node_mttf_hours, node_shape)
+        drive_lifetime = WeibullLifetime(params.drive_mttf_hours, drive_shape)
+        self._nodes: Dict[int, _Entity] = {}
+        self._drives: Dict[Tuple[int, int], _Entity] = {}
+        for node_id in range(params.node_set_size):
+            self._nodes[node_id] = _Entity(node_lifetime)
+            for drive_id in range(params.drives_per_node):
+                self._drives[(node_id, drive_id)] = _Entity(drive_lifetime)
+
+        # LIFO stack of outstanding failures: ("N", node) or ("d", node, drive).
+        self._stack: List[Tuple] = []
+        self._repair_event: Optional[EventHandle] = None
+        self.losses: List[DataLossEvent] = []
+        for node_id in self._nodes:
+            self._activate_node(node_id)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def outstanding_failures(self) -> int:
+        return len(self._stack)
+
+    @property
+    def failure_word(self) -> str:
+        return "".join(entry[0] for entry in self._stack)
+
+    @property
+    def has_lost_data(self) -> bool:
+        return bool(self.losses)
+
+    def _suspended_nodes(self) -> set:
+        return {entry[1] for entry in self._stack}
+
+    # -- entity scheduling ---------------------------------------------- #
+
+    def _activate_node(self, node_id: int) -> None:
+        """(Re)arm a node's own clock and all its drive clocks."""
+        now = self._sim.now
+        node = self._nodes[node_id]
+        node.active_since = now
+        node.event = self._sim.schedule_after(
+            node.lifetime.sample_residual(self._rng, node.age),
+            lambda: self._on_entity_failure(("N", node_id)),
+        )
+        for drive_id in range(self._p.drives_per_node):
+            drive = self._drives[(node_id, drive_id)]
+            drive.active_since = now
+            drive.event = self._sim.schedule_after(
+                drive.lifetime.sample_residual(self._rng, drive.age),
+                lambda d=drive_id: self._on_entity_failure(("d", node_id, d)),
+            )
+
+    def _suspend_node(self, node_id: int) -> None:
+        """Freeze a node's clocks (it has an outstanding failure)."""
+        now = self._sim.now
+        node = self._nodes[node_id]
+        node.accrue(now)
+        node.cancel()
+        for drive_id in range(self._p.drives_per_node):
+            drive = self._drives[(node_id, drive_id)]
+            drive.accrue(now)
+            drive.cancel()
+
+    # -- failure / repair ------------------------------------------------ #
+
+    def _on_entity_failure(self, entry: Tuple) -> None:
+        node_id = entry[1]
+        if node_id in self._suspended_nodes():
+            return  # stale event; suspension should have cancelled it
+        if len(self._stack) >= self._t:
+            self._record_loss(
+                "failure-beyond-tolerance",
+                f"{entry[0]} failure on node {node_id} with word "
+                f"{self.failure_word!r}",
+            )
+            return
+        self._suspend_node(node_id)
+        self._stack.append(entry)
+        if len(self._stack) == self._t:
+            word = self.failure_word
+            if bernoulli(self._rng_hard, self._h[word]):
+                self._record_loss("hard-error-critical-rebuild", f"word {word!r}")
+                return
+        self._schedule_repair()
+
+    def _schedule_repair(self) -> None:
+        if self._repair_event is not None:
+            self._repair_event.cancel()
+            self._repair_event = None
+        if not self._stack:
+            return
+        letter = self._stack[-1][0]
+        rate = self._mu_n if letter == "N" else self._mu_d
+        delay = self._clock.sample(self._rng_repair, rate)
+        self._repair_event = self._sim.schedule_after(delay, self._on_repair)
+
+    def _on_repair(self) -> None:
+        if not self._stack:
+            raise SimulationError("repair with empty stack")
+        entry = self._stack.pop()
+        self._repair_event = None
+        node_id = entry[1]
+        if self._renew:
+            # Fresh hardware absorbs the data: reset ages.
+            if entry[0] == "N":
+                self._nodes[node_id].age = 0.0
+                for drive_id in range(self._p.drives_per_node):
+                    self._drives[(node_id, drive_id)].age = 0.0
+            else:
+                self._drives[(node_id, entry[2])].age = 0.0
+        if node_id not in self._suspended_nodes():
+            self._activate_node(node_id)
+        self._schedule_repair()
+
+    def _record_loss(self, cause: str, detail: str) -> None:
+        event = DataLossEvent(self._sim.now, cause, detail)
+        self.losses.append(event)
+        for node in self._nodes.values():
+            node.cancel()
+        for drive in self._drives.values():
+            drive.cancel()
+        if self._repair_event is not None:
+            self._repair_event.cancel()
+        if self._on_loss is not None:
+            self._on_loss(event)

@@ -1,0 +1,157 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event queue: events are (time, sequence,
+callback) triples ordered by time with FIFO tie-breaking; handles support
+cancellation (lazy deletion).  The failure/rebuild processes in
+:mod:`repro.sim.processes` are built on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "EventQueue", "Simulator", "SimulationError"]
+
+Callback = Callable[[], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid simulator operations (e.g. scheduling in the past)."""
+
+
+@dataclass
+class EventHandle:
+    """Cancelable reference to a scheduled event."""
+
+    time: float
+    seq: int
+    callback: Optional[Callback]
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> None:
+        """Cancel the event (no-op if already fired or cancelled)."""
+        self.callback = None
+
+
+class EventQueue:
+    """Priority queue of timed events with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def push(self, time: float, callback: Callback) -> EventHandle:
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
+        handle = EventHandle(time, next(self._counter), callback)
+        heapq.heappush(self._heap, (time, handle.seq, handle))
+        return handle
+
+    def pop(self) -> Optional[EventHandle]:
+        """Next non-cancelled event, or None if empty."""
+        while self._heap:
+            _, _, handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        while self._heap:
+            time, _, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+
+class Simulator:
+    """Event-driven clock.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule_at(2.0, lambda: fired.append(sim.now))
+        >>> _ = sim.schedule_after(1.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, callback)
+
+    def schedule_after(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        handle = self._queue.pop()
+        if handle is None:
+            return False
+        self._now = handle.time
+        callback, handle.callback = handle.callback, None
+        assert callback is not None
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(
+        self,
+        until: float = math.inf,
+        max_events: int = 100_000_000,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, ``stop_when``
+        returns True (checked after each event), or ``max_events`` fire.
+
+        The clock advances to ``until`` if the horizon (not the queue)
+        ends the run, so time-based statistics cover the full window.
+        """
+        processed = 0
+        while processed < max_events:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > until:
+                if math.isfinite(until):
+                    self._now = max(self._now, until)
+                return
+            self.step()
+            processed += 1
+            if stop_when is not None and stop_when():
+                return
+        raise SimulationError(f"exceeded max_events = {max_events}")

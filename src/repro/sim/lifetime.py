@@ -1,0 +1,154 @@
+"""Fleet-lifetime simulation: capacity aging under fail-in-place.
+
+Section 3's service model never replaces failed components; instead the
+installation is over-provisioned and, optionally, spare nodes are added
+when utilization crosses a threshold.  This simulator ages a cluster
+through drive and node failures (no data-loss modeling — that is the
+Markov models' job) and records the capacity/utilization trajectory, so
+operators can answer "how long until I must add bricks?" — the
+complement of the provisioning math in :mod:`repro.cluster.spares`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cluster.entities import Cluster, DriveState, NodeState
+from ..cluster.spares import SparePolicy
+from ..models.parameters import Parameters
+from .events import Simulator
+from .rng import StreamFactory, exponential
+
+__all__ = ["CapacitySample", "LifetimeResult", "simulate_lifetime"]
+
+
+@dataclass(frozen=True)
+class CapacitySample:
+    """Point-in-time capacity snapshot.
+
+    Attributes:
+        time_hours: when the sample was taken.
+        raw_capacity_bytes: surviving raw capacity.
+        utilization: committed logical data / surviving raw capacity.
+        nodes_available: healthy node count.
+        nodes_added: cumulative spare nodes provisioned.
+    """
+
+    time_hours: float
+    raw_capacity_bytes: float
+    utilization: float
+    nodes_available: int
+    nodes_added: int
+
+
+@dataclass
+class LifetimeResult:
+    """Trajectory of one lifetime simulation."""
+
+    samples: List[CapacitySample] = field(default_factory=list)
+    drive_failures: int = 0
+    node_failures: int = 0
+    nodes_added: int = 0
+
+    @property
+    def final_utilization(self) -> float:
+        return self.samples[-1].utilization if self.samples else 0.0
+
+    def first_time_above(self, utilization: float) -> Optional[float]:
+        """First sample time at which utilization exceeded a level."""
+        for s in self.samples:
+            if s.utilization > utilization:
+                return s.time_hours
+        return None
+
+
+def simulate_lifetime(
+    params: Parameters,
+    horizon_hours: float,
+    seed: int = 0,
+    spare_policy: Optional[SparePolicy] = None,
+    sample_interval_hours: float = 24 * 30,
+) -> LifetimeResult:
+    """Age a cluster for ``horizon_hours`` and record capacity samples.
+
+    Args:
+        params: system parameters.
+        horizon_hours: how long to simulate.
+        seed: reproducibility seed.
+        spare_policy: if given, applied at every sample point (adds nodes
+            when utilization crosses the policy threshold).
+        sample_interval_hours: trajectory sampling period.
+
+    Returns:
+        A :class:`LifetimeResult` with the full trajectory.
+    """
+    if horizon_hours <= 0:
+        raise ValueError("horizon must be positive")
+    if sample_interval_hours <= 0:
+        raise ValueError("sample interval must be positive")
+
+    sim = Simulator()
+    streams = StreamFactory(seed)
+    rng = streams.stream("lifetime")
+    cluster = Cluster(params)
+    result = LifetimeResult()
+
+    def schedule_drive_failure(node_id: int, drive_id: int) -> None:
+        delay = exponential(rng, params.drive_failure_rate)
+        sim.schedule_after(delay, lambda: fail_drive(node_id, drive_id))
+
+    def schedule_node_failure(node_id: int) -> None:
+        delay = exponential(rng, params.node_failure_rate)
+        sim.schedule_after(delay, lambda: fail_node(node_id))
+
+    def fail_drive(node_id: int, drive_id: int) -> None:
+        node = cluster.node(node_id)
+        if node.state is NodeState.FAILED:
+            return
+        drive = node.drives[drive_id]
+        if drive.state is not DriveState.HEALTHY:
+            return
+        drive.fail()
+        node.restripe(drive_id)  # fail-in-place: retire immediately
+        result.drive_failures += 1
+
+    def fail_node(node_id: int) -> None:
+        node = cluster.node(node_id)
+        if node.state is NodeState.FAILED:
+            return
+        node.fail()
+        result.node_failures += 1
+
+    def arm_node(node_id: int) -> None:
+        schedule_node_failure(node_id)
+        node = cluster.node(node_id)
+        for drive in node.drives:
+            schedule_drive_failure(node_id, drive.drive_id)
+
+    for node in cluster:
+        arm_node(node.node_id)
+
+    def take_sample() -> None:
+        if spare_policy is not None:
+            added = spare_policy.apply(cluster)
+            result.nodes_added += added
+            if added:
+                new_ids = sorted(n.node_id for n in cluster)[-added:]
+                for node_id in new_ids:
+                    arm_node(node_id)
+        result.samples.append(
+            CapacitySample(
+                time_hours=sim.now,
+                raw_capacity_bytes=cluster.raw_capacity_bytes,
+                utilization=cluster.utilization,
+                nodes_available=cluster.available_count,
+                nodes_added=result.nodes_added,
+            )
+        )
+        if sim.now + sample_interval_hours <= horizon_hours:
+            sim.schedule_after(sample_interval_hours, take_sample)
+
+    take_sample()
+    sim.run(until=horizon_hours)
+    return result

@@ -1,0 +1,466 @@
+"""Physical failure/rebuild processes over the event kernel.
+
+These processes re-create the paper's modeling assumptions from *physical*
+events — individual node failures, drive failures, re-stripes, rebuilds
+and hard-error draws — instead of a pre-built Markov chain.  Run to the
+first data-loss event they yield empirical MTTDL samples; agreement with
+the analytic chains (which make the same assumptions) validates both the
+chain constructions and the closed forms.
+
+Two processes mirror the paper's two families:
+
+* :class:`NoRaidFailureProcess` — drives participate directly in the
+  cross-node code (Figures 8-10 family).  Repairs are LIFO (the most
+  recent failure is worked first), matching the chains' single repair
+  edge per state.
+* :class:`InternalRaidFailureProcess` — nodes run internal RAID 5/6
+  (Figures 5-7 family).  Drive failures trigger node-local re-stripes;
+  concurrent drive failures beyond the array's tolerance escalate to an
+  array failure, which costs a full node rebuild; hard errors discovered
+  by a re-stripe only lose data when a redundancy set is critical
+  (Section 5.2's ``k_t`` filter).
+
+Fidelity notes (all inherited from the paper's models, see DESIGN.md):
+nodes with an outstanding failure are excluded from generating further
+failures (the chains' ``(N - j)`` multipliers); a repaired failure fully
+restores redundancy (fail-in-place spare capacity); repair durations are
+exponential by default so the comparison against the chains is exact in
+distribution, with deterministic durations available as an ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..models.critical_sets import critical_fraction, h_parameters
+from ..models.parameters import Parameters
+from ..models.raid import InternalRaid, Raid5Model, Raid6Model
+from ..models.rebuild import RebuildModel
+from .events import EventHandle, SimulationError, Simulator
+from .rng import StreamFactory, bernoulli, exponential
+
+__all__ = [
+    "DataLossEvent",
+    "NoRaidFailureProcess",
+    "InternalRaidFailureProcess",
+]
+
+
+@dataclass(frozen=True)
+class DataLossEvent:
+    """A data-loss occurrence.
+
+    Attributes:
+        time_hours: simulation time of the loss.
+        cause: short machine-readable cause tag, e.g.
+            ``"failure-beyond-tolerance"`` or ``"hard-error-critical-rebuild"``.
+        detail: free-form context (which failure word, which node...).
+    """
+
+    time_hours: float
+    cause: str
+    detail: str = ""
+
+
+class _RepairClock:
+    """Samples repair durations, exponential or deterministic."""
+
+    def __init__(self, distribution: str) -> None:
+        if distribution not in ("exponential", "deterministic"):
+            raise ValueError("distribution must be exponential or deterministic")
+        self._distribution = distribution
+
+    def sample(self, rng, rate: float) -> float:
+        if rate <= 0:
+            raise ValueError("repair rate must be positive")
+        if self._distribution == "exponential":
+            return exponential(rng, rate)
+        return 1.0 / rate
+
+
+class NoRaidFailureProcess:
+    """Physical simulation of the no-internal-RAID configurations.
+
+    Args:
+        sim: the event-driven clock.
+        params: system parameters.
+        fault_tolerance: cross-node tolerance ``t >= 1``.
+        streams: random streams (one process per replica).
+        repair_distribution: ``"exponential"`` (matches the chains) or
+            ``"deterministic"`` (ablation).
+        on_data_loss: callback invoked with each :class:`DataLossEvent`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Parameters,
+        fault_tolerance: int,
+        streams: StreamFactory,
+        repair_distribution: str = "exponential",
+        on_data_loss: Optional[Callable[[DataLossEvent], None]] = None,
+        burst_fraction: float = 0.0,
+        burst_size: int = 2,
+    ) -> None:
+        """See class docstring.  The burst parameters model *correlated*
+        node failures (shared power/cooling domains): a fraction
+        ``burst_fraction`` of all node failures arrive in simultaneous
+        groups of ``burst_size`` (total node-failure rate is preserved, so
+        independent vs correlated runs are directly comparable)."""
+        if fault_tolerance < 1:
+            raise ValueError("fault_tolerance must be >= 1")
+        if params.node_set_size <= fault_tolerance:
+            raise ValueError("node set must exceed the fault tolerance")
+        if not 0.0 <= burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be in [0, 1]")
+        if burst_size < 2:
+            raise ValueError("burst_size must be >= 2")
+        self._sim = sim
+        self._p = params
+        self._t = fault_tolerance
+        self._burst_fraction = burst_fraction
+        self._burst_size = burst_size
+        self._rng_fail = streams.stream("no-raid-failures")
+        self._rng_repair = streams.stream("no-raid-repairs")
+        self._rng_hard = streams.stream("no-raid-hard-errors")
+        self._clock = _RepairClock(repair_distribution)
+        self._on_loss = on_data_loss
+        rebuild = RebuildModel(params)
+        self._mu_n = rebuild.node_rebuild_rate(fault_tolerance)
+        self._mu_d = rebuild.drive_rebuild_rate(fault_tolerance)
+        self._h = h_parameters(params, fault_tolerance)
+
+        self._stack: List[str] = []  # outstanding failures, letters N / d
+        self._failure_event: Optional[EventHandle] = None
+        self._repair_event: Optional[EventHandle] = None
+        self.losses: List[DataLossEvent] = []
+        self._schedule_next_failure()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def outstanding_failures(self) -> int:
+        return len(self._stack)
+
+    @property
+    def failure_word(self) -> str:
+        """Current outstanding-failure word, oldest first (e.g. ``"Nd"``)."""
+        return "".join(self._stack)
+
+    @property
+    def has_lost_data(self) -> bool:
+        return bool(self.losses)
+
+    # ------------------------------------------------------------------ #
+
+    def _active_nodes(self) -> int:
+        """Nodes currently generating failures: the chains exclude one node
+        per outstanding failure."""
+        return self._p.node_set_size - len(self._stack)
+
+    def _event_rates(self) -> Tuple[float, float, float]:
+        """(independent node rate, drive rate, burst rate) right now."""
+        active = self._active_nodes()
+        lam_n = self._p.node_failure_rate
+        independent_node = active * lam_n * (1.0 - self._burst_fraction)
+        drive = active * self._p.drives_per_node * self._p.drive_failure_rate
+        # Bursts preserve the total node-failure rate: each burst carries
+        # burst_size node failures.
+        burst = active * lam_n * self._burst_fraction / self._burst_size
+        return independent_node, drive, burst
+
+    def _schedule_next_failure(self) -> None:
+        if self._failure_event is not None:
+            self._failure_event.cancel()
+        node_rate, drive_rate, burst_rate = self._event_rates()
+        delay = exponential(self._rng_fail, node_rate + drive_rate + burst_rate)
+        self._failure_event = self._sim.schedule_after(delay, self._on_failure)
+
+    def _schedule_repair(self) -> None:
+        if self._repair_event is not None:
+            self._repair_event.cancel()
+            self._repair_event = None
+        if not self._stack:
+            return
+        letter = self._stack[-1]
+        rate = self._mu_n if letter == "N" else self._mu_d
+        delay = self._clock.sample(self._rng_repair, rate)
+        self._repair_event = self._sim.schedule_after(delay, self._on_repair)
+
+    def _on_failure(self) -> None:
+        node_rate, drive_rate, burst_rate = self._event_rates()
+        pick = self._rng_fail.random() * (node_rate + drive_rate + burst_rate)
+        if pick < burst_rate:
+            count = self._burst_size
+            cause = "correlated burst"
+        elif pick < burst_rate + node_rate:
+            count, cause = 1, "N failure"
+        else:
+            count, cause = 0, "d failure"  # count 0 => one drive failure
+
+        letters = ["N"] * count if count else ["d"]
+        for letter in letters:
+            if len(self._stack) >= self._t:
+                self._record_loss(
+                    "failure-beyond-tolerance",
+                    f"{cause} with word {self.failure_word!r}",
+                )
+                return
+            self._stack.append(letter)
+            if len(self._stack) == self._t:
+                # Entering the critical state: does the rebuild hit a hard
+                # error?
+                word = self.failure_word
+                if bernoulli(self._rng_hard, self._h[word]):
+                    self._record_loss(
+                        "hard-error-critical-rebuild", f"word {word!r}"
+                    )
+                    return
+        self._schedule_repair()
+        self._schedule_next_failure()
+
+    def _on_repair(self) -> None:
+        if not self._stack:
+            raise SimulationError("repair completion with empty failure stack")
+        self._stack.pop()
+        self._repair_event = None
+        self._schedule_repair()
+        self._schedule_next_failure()
+
+    def _record_loss(self, cause: str, detail: str) -> None:
+        event = DataLossEvent(self._sim.now, cause, detail)
+        self.losses.append(event)
+        if self._failure_event is not None:
+            self._failure_event.cancel()
+        if self._repair_event is not None:
+            self._repair_event.cancel()
+        if self._on_loss is not None:
+            self._on_loss(event)
+
+
+class InternalRaidFailureProcess:
+    """Physical simulation of the internal-RAID configurations.
+
+    Per active node, a node-local drive process runs the Figure 1/4
+    lifecycle (drive failure -> re-stripe -> either completion, a hard
+    error, or escalation to array failure).  Node failures and array
+    failures feed a LIFO node-level rebuild stack; exceeding the erasure
+    code's tolerance, or a re-stripe hard error while exactly ``t`` nodes
+    are down and the affected stripe is critical (probability ``k_t``),
+    loses data.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Parameters,
+        raid_level: InternalRaid,
+        fault_tolerance: int,
+        streams: StreamFactory,
+        repair_distribution: str = "exponential",
+        on_data_loss: Optional[Callable[[DataLossEvent], None]] = None,
+    ) -> None:
+        if raid_level is InternalRaid.NONE:
+            raise ValueError("use NoRaidFailureProcess for nodes without RAID")
+        if fault_tolerance < 1:
+            raise ValueError("fault_tolerance must be >= 1")
+        if params.node_set_size <= fault_tolerance:
+            raise ValueError("node set must exceed the fault tolerance")
+        min_drives = 2 if raid_level is InternalRaid.RAID5 else 3
+        if params.drives_per_node < min_drives:
+            raise ValueError(f"{raid_level.value} needs >= {min_drives} drives")
+        self._sim = sim
+        self._p = params
+        self._level = raid_level
+        self._t = fault_tolerance
+        self._rng_fail = streams.stream("ir-failures")
+        self._rng_repair = streams.stream("ir-repairs")
+        self._rng_hard = streams.stream("ir-hard-errors")
+        self._clock = _RepairClock(repair_distribution)
+        self._on_loss = on_data_loss
+
+        rebuild = RebuildModel(params)
+        self._mu_n = rebuild.node_rebuild_rate(fault_tolerance)
+        self._mu_d = rebuild.restripe_rate()
+        d = params.drives_per_node
+        tolerance = raid_level.drive_fault_tolerance
+        self._array_tolerance = tolerance
+        # Hard error probability when re-striping with the array critical.
+        self._h_restripe = min(
+            (d - tolerance) * params.hard_error_per_drive_read, 1.0
+        )
+        self._k_t = (
+            1.0
+            if fault_tolerance == 1
+            else critical_fraction(
+                params.node_set_size, params.redundancy_set_size, fault_tolerance
+            )
+        )
+
+        # Node-local array state: outstanding failed drives per active node.
+        self._array_failures: Dict[int, int] = {
+            i: 0 for i in range(params.node_set_size)
+        }
+        self._restripe_events: Dict[int, EventHandle] = {}
+        self._node_stack: List[int] = []  # node ids down, oldest first
+        self._failure_event: Optional[EventHandle] = None
+        self._node_repair_event: Optional[EventHandle] = None
+        self.losses: List[DataLossEvent] = []
+        self._schedule_next_failure()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes_down(self) -> int:
+        return len(self._node_stack)
+
+    @property
+    def has_lost_data(self) -> bool:
+        return bool(self.losses)
+
+    # ------------------------------------------------------------------ #
+
+    def _active_node_ids(self) -> List[int]:
+        return sorted(self._array_failures)
+
+    def _schedule_next_failure(self) -> None:
+        """One aggregate exponential clock for all failure causes.
+
+        Total rate = sum over active nodes of (node failure + drive
+        failures in its current array state); the specific cause is chosen
+        proportionally when the clock fires.  Valid because all the
+        constituent clocks are memoryless.
+        """
+        if self._failure_event is not None:
+            self._failure_event.cancel()
+        total = self._total_failure_rate()
+        if total <= 0:
+            self._failure_event = None
+            return
+        delay = exponential(self._rng_fail, total)
+        self._failure_event = self._sim.schedule_after(delay, self._on_failure)
+
+    def _drive_rate(self, node_id: int) -> float:
+        """Drive-failure rate of a node given its array state."""
+        d = self._p.drives_per_node
+        failed = self._array_failures[node_id]
+        return (d - failed) * self._p.drive_failure_rate
+
+    def _total_failure_rate(self) -> float:
+        lam_n = self._p.node_failure_rate
+        return sum(
+            lam_n + self._drive_rate(node_id) for node_id in self._array_failures
+        )
+
+    def _on_failure(self) -> None:
+        # Select the cause proportionally to its rate contribution.
+        total = self._total_failure_rate()
+        pick = self._rng_fail.random() * total
+        lam_n = self._p.node_failure_rate
+        for node_id in self._active_node_ids():
+            node_total = lam_n + self._drive_rate(node_id)
+            if pick < node_total:
+                if pick < lam_n:
+                    self._node_failure(node_id, cause="node")
+                else:
+                    self._drive_failure(node_id)
+                return
+            pick -= node_total
+        # Floating-point tail: attribute to the last node's drive pool.
+        self._drive_failure(self._active_node_ids()[-1])
+
+    # -- node-local array lifecycle ------------------------------------ #
+
+    def _drive_failure(self, node_id: int) -> None:
+        self._array_failures[node_id] += 1
+        if self._array_failures[node_id] > self._array_tolerance:
+            # Beyond the internal RAID's tolerance: array failure.
+            handle = self._restripe_events.pop(node_id, None)
+            if handle is not None:
+                handle.cancel()
+            self._node_failure(node_id, cause="array")
+            return
+        # (Re)start the re-stripe for the most recent failure if none runs.
+        if node_id not in self._restripe_events:
+            self._schedule_restripe(node_id)
+        self._schedule_next_failure()
+
+    def _schedule_restripe(self, node_id: int) -> None:
+        delay = self._clock.sample(self._rng_repair, self._mu_d)
+        self._restripe_events[node_id] = self._sim.schedule_after(
+            delay, lambda: self._on_restripe_done(node_id)
+        )
+
+    def _on_restripe_done(self, node_id: int) -> None:
+        self._restripe_events.pop(node_id, None)
+        if node_id not in self._array_failures:
+            return  # node died while re-striping
+        was_critical = self._array_failures[node_id] == self._array_tolerance
+        # Did the re-stripe hit an uncorrectable error in the surviving data?
+        if was_critical and bernoulli(self._rng_hard, self._h_restripe):
+            if len(self._node_stack) == self._t and bernoulli(
+                self._rng_hard, self._k_t
+            ):
+                self._record_loss(
+                    "hard-error-critical-restripe",
+                    f"node {node_id} re-stripe with {self._t} nodes down",
+                )
+                return
+        self._array_failures[node_id] = max(0, self._array_failures[node_id] - 1)
+        if self._array_failures[node_id] > 0:
+            self._schedule_restripe(node_id)
+        self._schedule_next_failure()
+
+    # -- node-level lifecycle ------------------------------------------ #
+
+    def _node_failure(self, node_id: int, cause: str) -> None:
+        if len(self._node_stack) >= self._t:
+            self._record_loss(
+                "failure-beyond-tolerance",
+                f"{cause} failure of node {node_id} with {len(self._node_stack)} down",
+            )
+            return
+        handle = self._restripe_events.pop(node_id, None)
+        if handle is not None:
+            handle.cancel()
+        self._array_failures.pop(node_id, None)
+        self._node_stack.append(node_id)
+        self._schedule_node_repair()
+        self._schedule_next_failure()
+
+    def _schedule_node_repair(self) -> None:
+        if self._node_repair_event is not None:
+            self._node_repair_event.cancel()
+            self._node_repair_event = None
+        if not self._node_stack:
+            return
+        delay = self._clock.sample(self._rng_repair, self._mu_n)
+        self._node_repair_event = self._sim.schedule_after(
+            delay, self._on_node_repaired
+        )
+
+    def _on_node_repaired(self) -> None:
+        if not self._node_stack:
+            raise SimulationError("node repair with empty stack")
+        node_id = self._node_stack.pop()
+        self._node_repair_event = None
+        # The node's data now lives on the survivors' spare space; the
+        # replacement capacity presents a fresh, fully-redundant array.
+        self._array_failures[node_id] = 0
+        self._schedule_node_repair()
+        self._schedule_next_failure()
+
+    def _record_loss(self, cause: str, detail: str) -> None:
+        event = DataLossEvent(self._sim.now, cause, detail)
+        self.losses.append(event)
+        if self._failure_event is not None:
+            self._failure_event.cancel()
+        if self._node_repair_event is not None:
+            self._node_repair_event.cancel()
+        for handle in self._restripe_events.values():
+            handle.cancel()
+        self._restripe_events.clear()
+        if self._on_loss is not None:
+            self._on_loss(event)

@@ -1,0 +1,166 @@
+"""Structured event tracing for the failure processes.
+
+A :class:`TraceRecorder` captures the timeline of a simulation replica —
+failures, repairs, loss — as typed records, so tests can assert on the
+*dynamics* (not just the outcome) and operators can post-mortem a
+simulated loss event.  Recorders plug into the processes' ``on_data_loss``
+hook and, more generally, wrap a process to observe its state after every
+kernel event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .events import Simulator
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed state change.
+
+    Attributes:
+        time_hours: when it happened.
+        kind: ``"failure"``, ``"repair"`` or ``"loss"``.
+        depth: outstanding failures *after* the change.
+        detail: free-form context (failure word, cause).
+    """
+
+    time_hours: float
+    kind: str
+    depth: int
+    detail: str = ""
+
+
+class TraceRecorder:
+    """Observe a failure process through a simulation run.
+
+    The recorder samples the process's ``outstanding_failures`` after
+    every kernel event via :meth:`attach`'s wrapping of
+    :meth:`Simulator.step`; depth changes become failure/repair records,
+    and the process's loss hook becomes a loss record.
+
+    Example:
+        >>> from repro.models import Parameters
+        >>> from repro.sim import NoRaidFailureProcess, Simulator, StreamFactory
+        >>> params = Parameters.baseline().replace(
+        ...     node_set_size=8, redundancy_set_size=4,
+        ...     node_mttf_hours=500.0, drive_mttf_hours=400.0)
+        >>> sim = Simulator()
+        >>> recorder = TraceRecorder()
+        >>> process = NoRaidFailureProcess(
+        ...     sim, params, 2, StreamFactory(0),
+        ...     on_data_loss=recorder.on_loss)
+        >>> recorder.attach(sim, process)
+        >>> sim.run(stop_when=lambda: process.has_lost_data, max_events=10**6)
+        >>> recorder.records[-1].kind
+        'loss'
+    """
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self._sim: Optional[Simulator] = None
+        self._process = None
+        self._last_depth = 0
+
+    # ------------------------------------------------------------------ #
+
+    def attach(self, sim: Simulator, process) -> None:
+        """Start observing ``process`` (which must expose
+        ``outstanding_failures``) across ``sim``'s event loop."""
+        self._sim = sim
+        self._process = process
+        self._last_depth = process.outstanding_failures
+        original_step = sim.step
+
+        def traced_step() -> bool:
+            progressed = original_step()
+            if progressed:
+                self._observe()
+            return progressed
+
+        sim.step = traced_step  # type: ignore[method-assign]
+
+    def on_loss(self, event) -> None:
+        """Use as the process's ``on_data_loss`` callback."""
+        self.records.append(
+            TraceRecord(
+                time_hours=event.time_hours,
+                kind="loss",
+                depth=self._process.outstanding_failures if self._process else -1,
+                detail=f"{event.cause}: {event.detail}",
+            )
+        )
+
+    def _observe(self) -> None:
+        if self._process is None or self._sim is None:
+            return
+        depth = self._process.outstanding_failures
+        if depth > self._last_depth:
+            kind = "failure"
+        elif depth < self._last_depth:
+            kind = "repair"
+        else:
+            self._last_depth = depth
+            return
+        self.records.append(
+            TraceRecord(
+                time_hours=self._sim.now,
+                kind=kind,
+                depth=depth,
+                detail=getattr(self._process, "failure_word", ""),
+            )
+        )
+        self._last_depth = depth
+
+    # ------------------------------------------------------------------ #
+    # analysis helpers
+    # ------------------------------------------------------------------ #
+
+    def depth_timeline(self) -> List[Tuple[float, int]]:
+        """(time, depth) steps, for plotting or assertions."""
+        return [
+            (r.time_hours, r.depth) for r in self.records if r.kind != "loss"
+        ]
+
+    def max_depth(self) -> int:
+        return max((r.depth for r in self.records), default=0)
+
+    def time_at_depth(self, depth: int, until: Optional[float] = None) -> float:
+        """Total time spent at exactly ``depth`` outstanding failures."""
+        total = 0.0
+        current_depth = 0
+        current_time = 0.0
+        for r in self.records:
+            if r.kind == "loss":
+                break
+            if current_depth == depth:
+                total += r.time_hours - current_time
+            current_time = r.time_hours
+            current_depth = r.depth
+        if until is not None and current_depth == depth:
+            total += max(0.0, until - current_time)
+        return total
+
+    def validate(self) -> None:
+        """Structural sanity: times non-decreasing, depth steps by one,
+        at most one loss and only at the end."""
+        last_time = 0.0
+        last_depth = 0
+        for i, r in enumerate(self.records):
+            if r.time_hours < last_time - 1e-12:
+                raise AssertionError(f"time went backwards at record {i}")
+            last_time = r.time_hours
+            if r.kind == "loss":
+                if i != len(self.records) - 1:
+                    raise AssertionError("loss record is not terminal")
+                continue
+            step = r.depth - last_depth
+            if r.kind == "failure" and step < 1:
+                raise AssertionError(f"failure without depth increase at {i}")
+            if r.kind == "repair" and step != -1:
+                raise AssertionError(f"repair with depth step {step} at {i}")
+            last_depth = r.depth

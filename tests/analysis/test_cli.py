@@ -1,0 +1,69 @@
+"""Tests for the repro-figures command-line entry point."""
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+class TestCli:
+    def test_single_figure(self, capsys):
+        assert main(["17"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 17" in out
+        assert "link speed" in out
+
+    def test_baseline_figure(self, capsys):
+        assert main(["13"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline Comparison" in out
+        assert "Internal RAID 5" in out
+
+    def test_multiple_figures(self, capsys):
+        assert main(["13", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "Figure 20" in out
+
+    def test_approx_flag(self, capsys):
+        assert main(["--approx", "17"]) == 0
+        assert "Figure 17" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["99"])
+
+    def test_csv_format(self, capsys):
+        assert main(["--format", "csv", "17"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("link speed (Gb/s),")
+        assert out.count("\n") >= 4
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["--format", "json", "17"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["title"].startswith("Figure 17")
+        assert len(data[0]["series"]) == 3
+
+    def test_set_override(self, capsys):
+        assert main(["--format", "json", "--set", "node_set_size=32", "13"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["title"].startswith("Figure 13")
+
+    def test_set_override_changes_results(self, capsys):
+        main(["--format", "csv", "17"])
+        base = capsys.readouterr().out
+        main(["--format", "csv", "--set", "drive_mttf_hours=750000", "17"])
+        changed = capsys.readouterr().out
+        assert base != changed
+
+    def test_bad_set_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--set", "node_set_size", "13"])
+
+    def test_unknown_set_field_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--set", "warp_core=9", "13"])

@@ -1,0 +1,94 @@
+"""Tests for the target-crossover / headroom analysis."""
+
+import pytest
+
+from repro.analysis import Crossover, find_crossover, headroom_orders
+from repro.models import Configuration, InternalRaid, PAPER_TARGET_EVENTS_PER_PB_YEAR
+
+
+def block_size_transform(p, x):
+    return p.replace(rebuild_command_bytes=float(x) * 1024)
+
+
+def drive_mttf_transform(p, x):
+    return p.replace(drive_mttf_hours=float(x))
+
+
+class TestFindCrossover:
+    def test_rebuild_block_crossover_for_ft2_raid5(self, baseline):
+        """FT2+RAID5 needs only a few KB of rebuild block at baseline
+        MTTFs (it has lots of headroom); at the low-MTTF corner the
+        required block size grows well past it — the Figure 16 story as a
+        crossover computation."""
+        config = Configuration(InternalRaid.RAID5, 2)
+        result = find_crossover(
+            config, baseline, block_size_transform, low=2.0, high=512.0
+        )
+        assert not result.meets_at_low
+        assert result.meets_at_high
+        assert 2.0 < result.value < 16.0
+
+        harsh = baseline.replace(
+            drive_mttf_hours=100_000.0, node_mttf_hours=100_000.0
+        )
+        harsh_result = find_crossover(
+            config, harsh, block_size_transform, low=2.0, high=512.0
+        )
+        assert harsh_result.value > 4 * result.value
+
+    def test_crossover_is_actually_on_the_line(self, baseline):
+        config = Configuration(InternalRaid.RAID5, 2)
+        result = find_crossover(
+            config, baseline, block_size_transform, low=4.0, high=512.0
+        )
+        rate = config.reliability(
+            block_size_transform(baseline, result.value)
+        ).events_per_pb_year
+        assert rate == pytest.approx(PAPER_TARGET_EVENTS_PER_PB_YEAR, rel=0.05)
+
+    def test_always_meets(self, baseline):
+        config = Configuration(InternalRaid.RAID5, 3)
+        result = find_crossover(
+            config, baseline, drive_mttf_transform, low=100_000, high=750_000
+        )
+        assert result.always_meets
+        assert result.value is None
+
+    def test_never_meets(self, baseline):
+        config = Configuration(InternalRaid.NONE, 1)
+        result = find_crossover(
+            config, baseline, drive_mttf_transform, low=100_000, high=750_000
+        )
+        assert result.never_meets
+
+    def test_linear_scale_agrees_with_log_scale(self, baseline):
+        config = Configuration(InternalRaid.RAID5, 2)
+        log = find_crossover(
+            config, baseline, block_size_transform, 4.0, 512.0, log_scale=True
+        )
+        lin = find_crossover(
+            config, baseline, block_size_transform, 4.0, 512.0, log_scale=False
+        )
+        assert lin.value == pytest.approx(log.value, rel=0.02)
+
+    def test_invalid_range(self, baseline):
+        with pytest.raises(ValueError):
+            find_crossover(
+                Configuration(InternalRaid.RAID5, 2),
+                baseline,
+                block_size_transform,
+                low=10.0,
+                high=10.0,
+            )
+
+
+class TestHeadroom:
+    def test_positive_for_strong_config(self, baseline):
+        assert headroom_orders(Configuration(InternalRaid.RAID5, 3), baseline) > 4
+
+    def test_negative_for_weak_config(self, baseline):
+        assert headroom_orders(Configuration(InternalRaid.NONE, 1), baseline) < 0
+
+    def test_marginal_config_near_zero(self, baseline):
+        value = headroom_orders(Configuration(InternalRaid.NONE, 2), baseline)
+        assert -0.5 < value < 0.5

@@ -1,0 +1,84 @@
+"""Tests for design-space enumeration."""
+
+import pytest
+
+from repro.analysis import (
+    cheapest_meeting,
+    enumerate_designs,
+    pareto_front,
+)
+from repro.analysis.design_space import storage_overhead
+from repro.models import Configuration, InternalRaid, Parameters
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return enumerate_designs(Parameters.baseline())
+
+
+class TestOverhead:
+    def test_cross_node_only(self):
+        config = Configuration(InternalRaid.NONE, 2)
+        assert storage_overhead(config, 8, 12) == pytest.approx(8 / 6)
+
+    def test_raid5_compounds(self):
+        config = Configuration(InternalRaid.RAID5, 2)
+        assert storage_overhead(config, 8, 12) == pytest.approx(8 / 6 * 12 / 11)
+
+    def test_raid6_compounds(self):
+        config = Configuration(InternalRaid.RAID6, 1)
+        assert storage_overhead(config, 8, 12) == pytest.approx(8 / 7 * 12 / 10)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            storage_overhead(Configuration(InternalRaid.NONE, 3), 3, 12)
+
+
+class TestEnumeration:
+    def test_grid_size(self, candidates):
+        # 3 internal x 3 tolerances x 3 sizes x 3 blocks, minus R <= t skips.
+        assert len(candidates) == 81
+
+    def test_invalid_combinations_skipped(self):
+        designs = enumerate_designs(
+            Parameters.baseline(), fault_tolerances=(6,), set_sizes=(6, 8)
+        )
+        # R = 6 <= t = 6 is skipped; only R = 8 survives.
+        assert all(d.redundancy_set_size == 8 for d in designs)
+
+    def test_each_candidate_evaluated(self, candidates):
+        assert all(c.events_per_pb_year > 0 for c in candidates)
+        assert all(c.storage_overhead > 1.0 for c in candidates)
+
+
+class TestSelection:
+    def test_cheapest_meets_target(self, candidates):
+        best = cheapest_meeting(candidates, target=2e-3)
+        assert best is not None
+        assert best.meets(2e-3)
+        meeting = [c for c in candidates if c.meets(2e-3)]
+        assert all(best.storage_overhead <= c.storage_overhead for c in meeting)
+
+    def test_stricter_target_costs_at_least_as_much(self, candidates):
+        loose = cheapest_meeting(candidates, 1e-2)
+        strict = cheapest_meeting(candidates, 1e-8)
+        assert loose is not None and strict is not None
+        assert strict.storage_overhead >= loose.storage_overhead
+
+    def test_unreachable_target(self, candidates):
+        assert cheapest_meeting(candidates, 1e-30) is None
+
+    def test_pareto_front_is_nondominated(self, candidates):
+        front = pareto_front(candidates)
+        assert front
+        overheads = [c.storage_overhead for c in front]
+        rates = [c.events_per_pb_year for c in front]
+        assert overheads == sorted(overheads)
+        assert rates == sorted(rates, reverse=True)
+        # Every candidate is dominated by (or on) the front.
+        for c in candidates:
+            assert any(
+                f.storage_overhead <= c.storage_overhead
+                and f.events_per_pb_year <= c.events_per_pb_year
+                for f in front
+            )

@@ -1,0 +1,61 @@
+"""Tests for local elasticity analysis."""
+
+import pytest
+
+from repro.analysis import elasticity, elasticity_profile
+from repro.models import Configuration, InternalRaid, Parameters
+
+
+@pytest.fixture
+def config():
+    return Configuration(InternalRaid.RAID5, 2)
+
+
+class TestElasticity:
+    def test_node_mttf_elasticity_matches_closed_form(self, gentle_params, config):
+        """In the asymptotic regime the NFT-2 internal-RAID loss rate goes
+        like (lam_N + lam_D)^2 * (lam_N + lam_D + k2 lam_S); with lambda_N
+        dominating, elasticity in node MTTF is about -3."""
+        result = elasticity(config, gentle_params, "node_mttf_hours")
+        assert -3.2 < result.value < -2.3
+
+    def test_rebuild_block_is_negative(self, baseline, config):
+        """Bigger rebuild blocks reduce loss events (Figure 16)."""
+        result = elasticity(config, baseline, "rebuild_command_bytes")
+        assert result.value < -0.5
+
+    def test_link_speed_zero_when_disk_bound(self, baseline, config):
+        """At 10 Gb/s the rebuild is disk-bound: link speed has no local
+        effect (Figure 17's plateau, differentially)."""
+        result = elasticity(config, baseline, "link_speed_bps")
+        assert result.value == pytest.approx(0.0, abs=1e-6)
+
+    def test_link_speed_matters_when_network_bound(self, baseline, config):
+        slow = baseline.with_link_speed_gbps(1.0)
+        result = elasticity(config, slow, "link_speed_bps")
+        assert result.value < -0.5
+
+    def test_her_elasticity_positive(self, baseline, config):
+        """More hard errors, more loss events."""
+        result = elasticity(config, baseline, "hard_error_rate_per_bit")
+        assert result.value > 0.1
+
+    def test_validation(self, baseline, config):
+        with pytest.raises(ValueError):
+            elasticity(config, baseline, "not_a_field")
+        with pytest.raises(ValueError):
+            elasticity(config, baseline, "node_mttf_hours", step=0.0)
+
+
+class TestProfile:
+    def test_sorted_by_magnitude(self, baseline, config):
+        profile = elasticity_profile(config, baseline)
+        magnitudes = [e.magnitude for e in profile]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_mttfs_dominate_at_baseline(self, baseline, config):
+        """For the internal-RAID configuration the MTTFs are the dominant
+        local drivers at the baseline (matching Figures 14/15)."""
+        profile = elasticity_profile(config, baseline)
+        top_two = {profile[0].parameter, profile[1].parameter}
+        assert "node_mttf_hours" in top_two

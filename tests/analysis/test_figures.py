@@ -1,0 +1,190 @@
+"""Sensitivity figures 14-20 — the paper's qualitative claims as assertions."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    figure14_drive_mttf,
+    figure15_node_mttf,
+    figure16_rebuild_block_size,
+    figure17_link_speed,
+    figure18_node_set_size,
+    figure19_redundancy_set_size,
+    figure20_drives_per_node,
+)
+from repro.models import PAPER_TARGET_EVENTS_PER_PB_YEAR
+
+TARGET = PAPER_TARGET_EVENTS_PER_PB_YEAR
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure14_drive_mttf()
+
+    def test_six_series(self, fig):
+        assert len(fig.series) == 6
+
+    def test_ft2_noraid_misses_at_low_node_mttf(self, fig):
+        """'the configuration at FT2, no internal RAID does not meet the
+        target at all for low node MTTF'"""
+        series = fig.series_by_label("FT 2, No Internal RAID (node MTTF low)")
+        assert all(v > TARGET for v in series.values)
+
+    def test_ft2_noraid_marginal_at_high_node_mttf(self, fig):
+        """'...and marginally meets it for high node MTTF': the high-node-
+        MTTF curve crosses or touches the target within the drive range."""
+        series = fig.series_by_label("FT 2, No Internal RAID (node MTTF high)")
+        assert min(series.values) < TARGET * 2
+        assert max(series.values) > TARGET / 2
+
+    def test_other_configs_meet_target_everywhere(self, fig):
+        """'The other two configurations exceed the target ... over the
+        entire range.'"""
+        for label in (
+            "FT 2, Internal RAID 5 (node MTTF low)",
+            "FT 2, Internal RAID 5 (node MTTF high)",
+            "FT 3, No Internal RAID (node MTTF low)",
+            "FT 3, No Internal RAID (node MTTF high)",
+        ):
+            assert all(v < TARGET for v in fig.series_by_label(label).values)
+
+    def test_ft2_raid5_insensitive_at_low_node_mttf(self, fig):
+        """'FT 2, Internal RAID 5 appears to be relatively insensitive to
+        drive MTTF, especially for low node MTTF' — node failures dominate,
+        which is also why RAID 6 adds nothing (Section 8)."""
+        series = fig.series_by_label("FT 2, Internal RAID 5 (node MTTF low)")
+        spread = max(series.values) / min(series.values)
+        assert spread < 2.0
+
+    def test_reliability_improves_with_drive_mttf(self, fig):
+        for series in fig.series:
+            values = series.values
+            assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))
+
+
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure15_node_mttf()
+
+    def test_ft2_raid5_most_sensitive_to_node_mttf(self, fig):
+        """'FT 2, Internal RAID 5 shows the most sensitivity to node MTTF.'"""
+        spreads = {}
+        for series in fig.series:
+            spreads[series.label] = max(series.values) / min(series.values)
+        raid5_spreads = [v for k, v in spreads.items() if "RAID 5" in k]
+        other_spreads = [v for k, v in spreads.items() if "RAID 5" not in k]
+        assert max(raid5_spreads) >= max(other_spreads)
+
+    def test_reliability_improves_with_node_mttf(self, fig):
+        for series in fig.series:
+            values = series.values
+            assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))
+
+
+class TestFigure16:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure16_rebuild_block_size()
+
+    def test_block_size_has_large_leverage(self, fig):
+        """'the rebuild block size affects the reliability significantly'
+        — more than an order of magnitude for every configuration across
+        16..512 KB, and 2+ orders where two rebuild rates compound."""
+        for series in fig.series:
+            assert series.values[0] / series.values[-1] > 20
+        assert any(s.values[0] / s.values[-1] > 100 for s in fig.series)
+
+    def test_64kb_recommendation(self, fig):
+        """'The other two configurations meet the target if the rebuild
+        block size is 64 KB or larger' (baseline MTTFs)."""
+        idx64 = fig.x_values.index(64.0)
+        for label in (
+            "FT 2, Internal RAID 5 (baseline MTTF)",
+            "FT 3, No Internal RAID (baseline MTTF)",
+        ):
+            series = fig.series_by_label(label)
+            assert all(v < TARGET for v in series.values[idx64:])
+
+    def test_ft2_noraid_misses_for_low_mttf(self, fig):
+        series = fig.series_by_label("FT 2, No Internal RAID (low MTTF)")
+        assert all(v > TARGET for v in series.values)
+
+    def test_monotone_improvement(self, fig):
+        for series in fig.series:
+            values = series.values
+            assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))
+
+
+class TestFigure17:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure17_link_speed()
+
+    def test_5_and_10_gbps_identical(self, fig):
+        """'There is no difference in reliability between the last two
+        points' — disk-bound above the ~3 Gb/s crossover."""
+        i5 = fig.x_values.index(5.0)
+        i10 = fig.x_values.index(10.0)
+        for series in fig.series:
+            assert series.values[i5] == pytest.approx(series.values[i10], rel=1e-9)
+
+    def test_1_gbps_is_worse(self, fig):
+        i1 = fig.x_values.index(1.0)
+        i10 = fig.x_values.index(10.0)
+        for series in fig.series:
+            assert series.values[i1] > 1.5 * series.values[i10]
+
+
+class TestFigure18:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure18_node_set_size()
+
+    def test_noraid_ft2_shows_some_sensitivity(self, fig):
+        """'FT 2, No Internal RAID shows some sensitivity to the node set
+        size, but the other two configurations are relatively insensitive.'"""
+        spread = {}
+        for series in fig.series:
+            spread[series.label] = max(series.values) / min(series.values)
+        assert spread["FT 2, No Internal RAID"] > spread["FT 2, Internal RAID 5"] * 0.9
+
+    def test_all_relatively_insensitive(self, fig):
+        """Over a 16x range in N, no configuration moves more than ~1.5
+        orders of magnitude (per-PB normalization cancellation)."""
+        for series in fig.series:
+            assert max(series.values) / min(series.values) < 30
+
+
+class TestFigure19:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure19_redundancy_set_size()
+
+    def test_less_reliable_with_larger_r(self, fig):
+        """'all configurations appear to become less reliable as the
+        redundancy set size increases'"""
+        for series in fig.series:
+            values = series.values
+            assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_about_an_order_or_two_across_range(self, fig):
+        """'about an order of magnitude difference between the extremes'
+        (we accept 0.5-3 orders across our slightly wider R range)."""
+        for series in fig.series:
+            orders = math.log10(series.values[-1] / series.values[0])
+            assert 0.5 < orders < 3.5
+
+
+class TestFigure20:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure20_drives_per_node()
+
+    def test_very_little_sensitivity(self, fig):
+        """'there is very little sensitivity to the number of drives per
+        node' — the per-PB cancellation effect."""
+        for series in fig.series:
+            assert max(series.values) / min(series.values) < 3.0

@@ -1,0 +1,57 @@
+"""Golden-value regression tests.
+
+The qualitative figure tests check shapes; these pin the *exact* baseline
+numbers the repository documents in README.md and EXPERIMENTS.md, so any
+change to the models, the rebuild calibration or the solver that moves a
+headline number is caught immediately and the docs can be updated
+deliberately.
+"""
+
+import pytest
+
+from repro.analysis import run_baseline
+from repro.models import Parameters, RebuildModel
+
+#: events/PB-year at the Section 6 baseline, as documented in EXPERIMENTS.md.
+GOLDEN_BASELINE = {
+    "ft1_noraid": 3.001e01,
+    "ft1_raid5": 2.744e-02,
+    "ft1_raid6": 5.177e-03,
+    "ft2_noraid": 2.462e-03,
+    "ft2_raid5": 3.808e-06,
+    "ft2_raid6": 2.471e-06,
+    "ft3_noraid": 2.608e-07,
+    "ft3_raid5": 9.410e-10,
+    "ft3_raid6": 8.379e-10,
+}
+
+
+class TestGoldenBaseline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_baseline()
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN_BASELINE))
+    def test_figure13_values(self, report, key):
+        assert report.result_for(key).events_per_pb_year == pytest.approx(
+            GOLDEN_BASELINE[key], rel=1e-3
+        )
+
+
+class TestGoldenRebuild:
+    def test_documented_transport_numbers(self, baseline):
+        model = RebuildModel(baseline)
+        # 150 IOPS x 128 KiB x 10%.
+        assert model.drive_rebuild_bandwidth() == pytest.approx(1.966e6, rel=1e-3)
+        # Node rebuild at FT 2: 3.53 h, disk-bound.
+        breakdown = model.node_rebuild(2)
+        assert breakdown.total_hours == pytest.approx(3.532, rel=1e-3)
+        assert breakdown.bottleneck == "disk"
+        # Re-stripe: 31.25 h.
+        assert model.array_restripe().total_hours == pytest.approx(31.25, rel=1e-3)
+        # Network/disk crossover: 2.53 Gb/s.
+        assert model.network_bound_below_gbps(2) == pytest.approx(2.53, rel=5e-3)
+
+    def test_documented_capacity(self, baseline):
+        assert baseline.system_logical_pb == pytest.approx(0.1728)
+        assert baseline.hard_error_per_drive_read == pytest.approx(0.024)

@@ -1,0 +1,73 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.analysis import FigureData, Series, format_figure, format_table
+
+
+@pytest.fixture
+def figure():
+    return FigureData(
+        title="Figure X: Test",
+        x_label="x",
+        x_values=(1.0, 2.0),
+        series=(
+            Series("alpha", (0.5, 1e-6)),
+            Series("beta", (2.0, 3.0)),
+        ),
+        target=2e-3,
+    )
+
+
+class TestTable:
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_alignment(self):
+        text = format_table([["a", "bb"], ["ccc", "d"]])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header, rule, one row
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_figure_rows(self, figure):
+        rows = figure.to_rows()
+        assert rows[0] == ["x", "alpha", "beta"]
+        assert rows[1][0] == "1"
+        assert len(rows) == 3
+
+
+class TestFigureFormatting:
+    def test_contains_title_and_target(self, figure):
+        text = format_figure(figure)
+        assert "Figure X: Test" in text
+        assert "2.0e-03" in text
+
+    def test_scientific_for_small_numbers(self, figure):
+        text = format_figure(figure)
+        assert "1.000e-06" in text
+
+    def test_series_lookup(self, figure):
+        assert figure.series_by_label("alpha").values == (0.5, 1e-6)
+        with pytest.raises(KeyError):
+            figure.series_by_label("gamma")
+
+
+class TestExport:
+    def test_csv_roundtrips_values(self, figure):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(figure.to_csv())))
+        assert rows[0] == ["x", "alpha", "beta"]
+        assert float(rows[1][1]) == 0.5
+        assert float(rows[2][1]) == 1e-6  # full precision preserved
+
+    def test_to_dict_is_json_serializable(self, figure):
+        import json
+
+        data = json.loads(json.dumps(figure.to_dict()))
+        assert data["title"] == "Figure X: Test"
+        assert data["x_values"] == [1.0, 2.0]
+        assert data["series"][0]["label"] == "alpha"
+        assert data["target"] == 2e-3

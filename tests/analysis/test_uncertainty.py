@@ -1,0 +1,97 @@
+"""Tests for parameter-uncertainty propagation."""
+
+import pytest
+
+from repro.analysis import LogUniform, UncertaintyStudy
+from repro.models import Configuration, InternalRaid, Parameters
+
+
+@pytest.fixture
+def study(baseline):
+    return UncertaintyStudy(
+        baseline,
+        {
+            "drive_mttf_hours": LogUniform(100_000, 750_000),
+            "node_mttf_hours": LogUniform(100_000, 1_000_000),
+        },
+    )
+
+
+class TestLogUniform:
+    def test_bounds(self):
+        dist = LogUniform(10.0, 1000.0)
+        assert dist.sample(0.0) == pytest.approx(10.0)
+        assert dist.sample(0.5) == pytest.approx(100.0)  # geometric midpoint
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogUniform(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LogUniform(10.0, 1.0)
+        with pytest.raises(ValueError):
+            LogUniform(1.0, 2.0).sample(1.0)
+
+
+class TestSampling:
+    def test_samples_within_bounds(self, study):
+        for params in study.sample_parameters(32, seed=1):
+            assert 100_000 <= params.drive_mttf_hours <= 750_000
+            assert 100_000 <= params.node_mttf_hours <= 1_000_000
+
+    def test_lhs_stratification(self, study):
+        """Latin hypercube: each decile of the log-range gets ~1/10 of the
+        samples per dimension."""
+        import math
+
+        draws = study.sample_parameters(100, seed=2)
+        values = sorted(math.log(p.drive_mttf_hours) for p in draws)
+        lo, hi = math.log(100_000), math.log(750_000)
+        deciles = [0] * 10
+        for v in values:
+            deciles[min(9, int(10 * (v - lo) / (hi - lo)))] += 1
+        assert all(c == 10 for c in deciles)
+
+    def test_reproducible(self, study):
+        a = study.sample_parameters(8, seed=3)
+        b = study.sample_parameters(8, seed=3)
+        assert a == b
+
+    def test_unvaried_fields_stay_at_baseline(self, study, baseline):
+        for params in study.sample_parameters(4, seed=0):
+            assert params.drives_per_node == baseline.drives_per_node
+
+    def test_validation(self, baseline):
+        with pytest.raises(ValueError):
+            UncertaintyStudy(baseline, {})
+        with pytest.raises(ValueError):
+            UncertaintyStudy(baseline, {"warp_factor": LogUniform(1, 2)})
+        with pytest.raises(ValueError):
+            UncertaintyStudy(
+                baseline, {"drive_mttf_hours": LogUniform(1, 2)}
+            ).sample_parameters(0)
+
+
+class TestPropagation:
+    def test_percentiles_ordered(self, study):
+        result = study.run(Configuration(InternalRaid.RAID5, 2), samples=24, seed=0)
+        assert result.percentile(5) <= result.median <= result.p95
+
+    def test_strong_config_usually_meets_target(self, study):
+        result = study.run(Configuration(InternalRaid.RAID5, 3), samples=24, seed=0)
+        assert result.probability_meets_target() == 1.0
+
+    def test_weak_config_never_meets_target(self, study):
+        result = study.run(Configuration(InternalRaid.NONE, 1), samples=16, seed=0)
+        assert result.probability_meets_target() == 0.0
+
+    def test_run_many_shares_draws(self, study):
+        configs = [
+            Configuration(InternalRaid.RAID5, 2),
+            Configuration(InternalRaid.NONE, 2),
+        ]
+        results = study.run_many(configs, samples=16, seed=5)
+        assert len(results) == 2
+        # With shared draws the stronger configuration dominates pointwise
+        # in distribution: every percentile is lower.
+        for q in (10, 50, 90):
+            assert results[0].percentile(q) < results[1].percentile(q)

@@ -1,0 +1,41 @@
+"""Tests for the approximation-validity map."""
+
+import pytest
+
+from repro.analysis import separation_ratio, validity_map
+from repro.models import Parameters
+
+
+class TestSeparationRatio:
+    def test_baseline_is_well_separated(self, baseline):
+        # The paper's operating point satisfies the theorem's hypothesis.
+        assert separation_ratio(baseline, 2) > 10.0
+
+    def test_acceleration_destroys_separation(self, baseline):
+        fast = baseline.replace(node_mttf_hours=400.0, drive_mttf_hours=300.0)
+        assert separation_ratio(fast, 2) < separation_ratio(baseline, 2) / 100
+
+
+class TestValidityMap:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return validity_map(fault_tolerance=2)
+
+    def test_error_shrinks_with_separation(self, points):
+        """More separation (larger MTTF scale) means smaller error; check
+        the two ends of the map."""
+        assert points[-1].relative_error < points[0].relative_error
+
+    def test_baseline_point_is_accurate(self, points):
+        assert points[-1].relative_error < 0.02
+        assert points[-1].trustworthy
+
+    def test_breakdown_point_is_flagged(self, points):
+        """At 0.3% of baseline MTTFs the hypothesis fails and the map says
+        so: big error, not trustworthy."""
+        assert points[0].relative_error > 0.1
+        assert not points[0].trustworthy
+
+    def test_separation_monotone_in_scale(self, points):
+        separations = [p.separation for p in points]
+        assert separations == sorted(separations)

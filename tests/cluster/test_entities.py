@@ -1,0 +1,125 @@
+"""Tests for cluster entities and fail-in-place accounting."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterError, Drive, DriveState, Node, NodeState
+from repro.models import GB, Parameters
+
+
+@pytest.fixture
+def params():
+    return Parameters.baseline().replace(node_set_size=4, redundancy_set_size=3)
+
+
+class TestDrive:
+    def test_lifecycle(self):
+        drive = Drive(0, 300 * GB)
+        assert drive.is_healthy
+        drive.fail()
+        assert drive.state is DriveState.FAILED
+        drive.retire()
+        assert drive.state is DriveState.RETIRED
+
+    def test_double_fail_rejected(self):
+        drive = Drive(0, 300 * GB)
+        drive.fail()
+        with pytest.raises(ClusterError):
+            drive.fail()
+
+    def test_retire_requires_failed(self):
+        with pytest.raises(ClusterError):
+            Drive(0, 300 * GB).retire()
+
+
+class TestNode:
+    def test_build(self):
+        node = Node.build(3, 12, 300 * GB)
+        assert node.node_id == 3
+        assert node.healthy_drive_count == 12
+        assert node.raw_capacity_bytes == pytest.approx(12 * 300 * GB)
+
+    def test_fail_drive_shrinks_capacity(self):
+        node = Node.build(0, 4, 100.0)
+        node.fail_drive(2)
+        assert node.healthy_drive_count == 3
+        assert node.raw_capacity_bytes == pytest.approx(300.0)
+
+    def test_restripe_retires(self):
+        node = Node.build(0, 4, 100.0)
+        node.fail_drive(1)
+        node.restripe(1)
+        assert node.drives[1].state is DriveState.RETIRED
+
+    def test_fail_node(self):
+        node = Node.build(0, 2, 100.0)
+        node.fail()
+        assert not node.is_available
+        with pytest.raises(ClusterError):
+            node.fail()
+        with pytest.raises(ClusterError):
+            node.fail_drive(0)
+
+    def test_fail_unknown_drive(self):
+        with pytest.raises(ClusterError):
+            Node.build(0, 2, 100.0).fail_drive(5)
+
+    def test_zero_drives_rejected(self):
+        with pytest.raises(ClusterError):
+            Node.build(0, 0, 100.0)
+
+
+class TestCluster:
+    def test_initial_population(self, params):
+        cluster = Cluster(params)
+        assert cluster.size == 4
+        assert cluster.available_count == 4
+        assert len(list(cluster)) == 4
+
+    def test_unknown_node(self, params):
+        with pytest.raises(ClusterError):
+            Cluster(params).node(99)
+
+    def test_capacity_accounting(self, params):
+        cluster = Cluster(params)
+        raw0 = cluster.raw_capacity_bytes
+        assert raw0 == pytest.approx(4 * 12 * 300 * GB)
+        assert cluster.utilization == pytest.approx(0.75)
+        cluster.node(0).fail()
+        assert cluster.raw_capacity_bytes == pytest.approx(raw0 * 3 / 4)
+        assert cluster.utilization == pytest.approx(1.0)
+
+    def test_logical_capacity_fixed(self, params):
+        cluster = Cluster(params)
+        before = cluster.logical_capacity_bytes
+        cluster.node(1).fail()
+        assert cluster.logical_capacity_bytes == before
+
+    def test_spare_capacity_check(self, params):
+        cluster = Cluster(params)
+        assert cluster.has_spare_capacity
+        cluster.node(0).fail()
+        # 75% of 4 nodes = 3 nodes of data; 3 survivors leave no headroom.
+        assert not cluster.has_spare_capacity
+
+    def test_add_node(self, params):
+        cluster = Cluster(params)
+        node = cluster.add_node()
+        assert node.node_id == 4
+        assert cluster.size == 5
+        another = cluster.add_node()
+        assert another.node_id == 5
+
+    def test_drive_failure_shrinks_utilization_denominator(self, params):
+        cluster = Cluster(params)
+        cluster.node(0).fail_drive(0)
+        assert cluster.utilization > 0.75
+
+    def test_health_summary(self, params):
+        cluster = Cluster(params)
+        cluster.node(0).fail()
+        cluster.node(1).fail_drive(3)
+        summary = cluster.health_summary()
+        assert summary["nodes_failed"] == 1
+        assert summary["nodes_available"] == 3
+        assert summary["drives_failed"] == 1
+        assert summary["drives_healthy"] == 4 * 12 - 1

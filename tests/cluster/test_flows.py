@@ -1,0 +1,123 @@
+"""Tests for the mesh flow-level rebuild simulation."""
+
+import pytest
+
+from repro.cluster import (
+    Flow,
+    MeshTopology,
+    max_min_allocate,
+    rebuild_flow_study,
+)
+from repro.cluster.flows import flow_links
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(3, 3, 3, link_bandwidth_bps=8e9)  # 1 GB/s links
+
+
+class TestFlow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Flow((0, 0, 0), (0, 0, 0))
+        with pytest.raises(ValueError):
+            Flow((0, 0, 0), (1, 0, 0), volume_bytes=0)
+
+    def test_flow_links_are_route_edges(self, mesh):
+        links = flow_links(mesh, Flow((0, 0, 0), (2, 1, 0)))
+        assert len(links) == 3  # manhattan distance
+        # Each link is canonical (sorted endpoints).
+        for a, b in links:
+            assert a <= b
+
+
+class TestMaxMin:
+    def test_single_flow_gets_full_link(self, mesh):
+        alloc = max_min_allocate(mesh, [Flow((0, 0, 0), (1, 0, 0))])
+        assert alloc.rates[0] == pytest.approx(1e9)
+
+    def test_two_flows_share_a_link(self, mesh):
+        flows = [Flow((0, 0, 0), (1, 0, 0)), Flow((0, 0, 0), (1, 0, 0))]
+        alloc = max_min_allocate(mesh, flows)
+        assert alloc.rates[0] == pytest.approx(0.5e9)
+        assert alloc.rates[1] == pytest.approx(0.5e9)
+
+    def test_disjoint_flows_dont_interfere(self, mesh):
+        flows = [
+            Flow((0, 0, 0), (1, 0, 0)),
+            Flow((0, 2, 2), (1, 2, 2)),
+        ]
+        alloc = max_min_allocate(mesh, flows)
+        assert alloc.rates[0] == pytest.approx(1e9)
+        assert alloc.rates[1] == pytest.approx(1e9)
+
+    def test_max_min_fairness_property(self, mesh):
+        """A short local flow sharing no saturated link with the long flows
+        keeps a higher rate."""
+        flows = [
+            Flow((0, 0, 0), (2, 2, 2)),
+            Flow((0, 0, 0), (2, 2, 2)),
+            Flow((0, 2, 0), (0, 2, 1)),
+        ]
+        alloc = max_min_allocate(mesh, flows)
+        assert alloc.rates[2] >= alloc.rates[0]
+
+    def test_no_link_oversubscribed(self, mesh):
+        """Feasibility: per-link load never exceeds capacity."""
+        flows = [
+            Flow(mesh.coordinate_of(i), mesh.coordinate_of((i + 7) % 27))
+            for i in range(20)
+        ]
+        alloc = max_min_allocate(mesh, flows)
+        loads = {}
+        for f, r in zip(flows, alloc.rates):
+            for link in flow_links(mesh, f):
+                loads[link] = loads.get(link, 0.0) + r
+        for load in loads.values():
+            assert load <= 1e9 * (1 + 1e-9)
+
+    def test_custom_capacity(self, mesh):
+        alloc = max_min_allocate(
+            mesh, [Flow((0, 0, 0), (1, 0, 0))], link_capacity_bps=4e9
+        )
+        assert alloc.rates[0] == pytest.approx(0.5e9)
+
+    def test_completion_time(self, mesh):
+        flows = [Flow((0, 0, 0), (1, 0, 0), volume_bytes=2e9)]
+        alloc = max_min_allocate(mesh, flows)
+        assert alloc.completion_time_seconds(flows) == pytest.approx(2.0)
+
+    def test_empty_flows_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            max_min_allocate(mesh, [])
+
+
+class TestRebuildStudy:
+    def test_study_structure(self):
+        mesh = MeshTopology(4, 4, 4, 10e9)
+        study = rebuild_flow_study(mesh, failed_node=21, source_count=6)
+        assert study.aggregate_rate_bytes_per_sec > 0
+        assert study.slowest_flow_rate > 0
+        assert study.per_destination_rate <= study.aggregate_rate_bytes_per_sec
+
+    def test_abstraction_ratio_near_one(self):
+        """The single-link reduction the reliability model uses is within
+        ~2x of the mesh's actual per-destination rebuild throughput — the
+        justification for Section 6's simplification."""
+        mesh = MeshTopology(4, 4, 4, 10e9)
+        study = rebuild_flow_study(mesh, failed_node=21, source_count=6)
+        assert 0.3 < study.abstraction_ratio < 2.0
+
+    def test_fewer_sources_less_contention(self):
+        mesh = MeshTopology(4, 4, 4, 10e9)
+        narrow = rebuild_flow_study(mesh, 21, source_count=2)
+        wide = rebuild_flow_study(mesh, 21, source_count=8)
+        # Per-flow rates drop as fan-in widens.
+        assert narrow.slowest_flow_rate >= wide.slowest_flow_rate
+
+    def test_validation(self):
+        mesh = MeshTopology(2, 2, 2, 1e9)
+        with pytest.raises(ValueError):
+            rebuild_flow_study(mesh, failed_node=99, source_count=2)
+        with pytest.raises(ValueError):
+            rebuild_flow_study(mesh, failed_node=0, source_count=7)

@@ -1,0 +1,164 @@
+"""Tests for the 3-D mesh interconnect model."""
+
+import itertools
+
+import pytest
+
+from repro.cluster import MeshTopology, route_xyz
+
+
+@pytest.fixture
+def cube():
+    return MeshTopology(4, 4, 4, link_bandwidth_bps=10e9)
+
+
+class TestStructure:
+    def test_node_count(self, cube):
+        assert cube.node_count == 64
+
+    def test_cube_for(self):
+        mesh = MeshTopology.cube_for(64, 1e9)
+        assert mesh.node_count >= 64
+        assert (mesh.nx, mesh.ny, mesh.nz) == (4, 4, 4)
+        bigger = MeshTopology.cube_for(65, 1e9)
+        assert bigger.node_count >= 65
+
+    def test_index_coordinate_roundtrip(self, cube):
+        for i in range(cube.node_count):
+            assert cube.index_of(cube.coordinate_of(i)) == i
+
+    def test_coordinate_out_of_range(self, cube):
+        with pytest.raises(ValueError):
+            cube.index_of((4, 0, 0))
+        with pytest.raises(ValueError):
+            cube.coordinate_of(64)
+
+    def test_interior_degree_six(self, cube):
+        assert cube.degree((1, 1, 1)) == 6
+
+    def test_corner_degree_three(self, cube):
+        assert cube.degree((0, 0, 0)) == 3
+
+    def test_neighbors_are_distance_one(self, cube):
+        for n in cube.neighbors((2, 1, 3)):
+            assert cube.distance((2, 1, 3), n) == 1
+
+    def test_diameter(self, cube):
+        assert cube.diameter == 9
+
+    def test_link_count(self, cube):
+        # 3 * 3 planes of 16 links per axis = 3 * 48.
+        assert cube.link_count == 3 * 3 * 16
+
+    def test_bisection(self, cube):
+        assert cube.bisection_links == 16
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MeshTopology(0, 4, 4, 1e9)
+        with pytest.raises(ValueError):
+            MeshTopology(4, 4, 4, 0.0)
+
+
+class TestDistances:
+    def test_average_distance_matches_bruteforce(self):
+        mesh = MeshTopology(3, 2, 2, 1e9)
+        coords = list(mesh.coordinates())
+        total, pairs = 0, 0
+        for a, b in itertools.product(coords, coords):
+            if a == b:
+                continue
+            total += mesh.distance(a, b)
+            pairs += 1
+        assert mesh.average_distance() == pytest.approx(total / pairs)
+
+    def test_single_node_mesh(self):
+        mesh = MeshTopology(1, 1, 1, 1e9)
+        assert mesh.average_distance() == 0.0
+        assert mesh.diameter == 0
+
+
+class TestAgainstNetworkx:
+    """Cross-validation against an independent graph library."""
+
+    @pytest.fixture(scope="class")
+    def graph_and_mesh(self):
+        import networkx as nx
+
+        mesh = MeshTopology(3, 4, 2, 1e9)
+        graph = nx.Graph()
+        for coord in mesh.coordinates():
+            for neighbor in mesh.neighbors(coord):
+                graph.add_edge(coord, neighbor)
+        return graph, mesh
+
+    def test_distances_match_shortest_paths(self, graph_and_mesh):
+        import networkx as nx
+
+        graph, mesh = graph_and_mesh
+        coords = list(mesh.coordinates())
+        for a in coords[::3]:
+            lengths = nx.single_source_shortest_path_length(graph, a)
+            for b in coords[::5]:
+                assert mesh.distance(a, b) == lengths[b]
+
+    def test_diameter_matches(self, graph_and_mesh):
+        import networkx as nx
+
+        graph, mesh = graph_and_mesh
+        assert nx.diameter(graph) == mesh.diameter
+
+    def test_link_count_matches_edges(self, graph_and_mesh):
+        graph, mesh = graph_and_mesh
+        assert graph.number_of_edges() == mesh.link_count
+
+    def test_route_lengths_are_shortest(self, graph_and_mesh):
+        import networkx as nx
+
+        graph, mesh = graph_and_mesh
+        src, dst = (0, 0, 0), (2, 3, 1)
+        path = route_xyz(src, dst)
+        assert len(path) - 1 == nx.shortest_path_length(graph, src, dst)
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        path = route_xyz((0, 0, 0), (2, 1, 3))
+        assert path[0] == (0, 0, 0)
+        assert path[-1] == (2, 1, 3)
+
+    def test_route_is_minimal(self):
+        src, dst = (0, 2, 1), (3, 0, 2)
+        path = route_xyz(src, dst)
+        manhattan = sum(abs(a - b) for a, b in zip(src, dst))
+        assert len(path) == manhattan + 1
+
+    def test_route_steps_are_unit(self):
+        path = route_xyz((1, 1, 1), (3, 3, 0))
+        for a, b in zip(path, path[1:]):
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    def test_route_to_self(self):
+        assert route_xyz((1, 1, 1), (1, 1, 1)) == [(1, 1, 1)]
+
+
+class TestEffectiveBandwidth:
+    def test_effective_bandwidth_positive(self, cube):
+        assert cube.effective_node_bandwidth_bps() > 0
+
+    def test_effective_bandwidth_in_plausible_range(self, cube):
+        """The reliability model reduces the mesh to ~one link's worth of
+        sustained per-node bandwidth; the all-to-all estimate should be
+        the same order of magnitude."""
+        eff = cube.effective_node_bandwidth_bps()
+        assert 0.1 * cube.link_bandwidth_bps < eff < 6 * cube.link_bandwidth_bps
+
+    def test_link_loads_cover_all_links(self):
+        mesh = MeshTopology(2, 2, 2, 1e9)
+        loads = mesh.link_loads_all_to_all()
+        assert len(loads) == mesh.link_count
+        assert all(v > 0 for v in loads.values())
+
+    def test_link_loads_guard(self):
+        with pytest.raises(ValueError):
+            MeshTopology(10, 10, 10, 1e9).link_loads_all_to_all()

@@ -1,0 +1,131 @@
+"""Tests for redundancy-set placement."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    RandomPlacement,
+    RedundancySet,
+    RotatingPlacement,
+    all_redundancy_sets,
+    count_redundancy_sets,
+)
+from repro.models import k2_factor, k3_factor
+
+
+class TestRedundancySet:
+    def test_basic_properties(self):
+        rset = RedundancySet((3, 1, 4))
+        assert rset.size == 3
+        assert rset.contains(1)
+        assert not rset.contains(2)
+        assert rset.shard_position(4) == 2
+
+    def test_repeated_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            RedundancySet((1, 1, 2))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RedundancySet((1,))
+
+    def test_shard_position_missing_node(self):
+        with pytest.raises(KeyError):
+            RedundancySet((1, 2)).shard_position(3)
+
+    def test_erasures(self):
+        rset = RedundancySet((3, 1, 4, 7))
+        assert rset.erasures([1, 7, 99]) == [1, 3]
+
+    def test_criticality(self):
+        rset = RedundancySet((0, 1, 2, 3))
+        assert not rset.is_critical([0], fault_tolerance=2)
+        assert rset.is_critical([0, 2], fault_tolerance=2)
+        assert not rset.has_lost_data([0, 2], fault_tolerance=2)
+        assert rset.has_lost_data([0, 2, 3], fault_tolerance=2)
+
+
+class TestCounting:
+    def test_count(self):
+        assert count_redundancy_sets(64, 8) == math.comb(64, 8)
+
+    def test_enumeration_matches_count(self):
+        sets = list(all_redundancy_sets(7, 3))
+        assert len(sets) == math.comb(7, 3)
+        assert len(set(sets)) == len(sets)
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValueError):
+            all_redundancy_sets(64, 32)
+
+
+class TestRotatingPlacement:
+    def test_deterministic(self):
+        p = RotatingPlacement(12, 4, seed=3)
+        assert p.place(17).nodes == p.place(17).nodes
+
+    def test_set_size_respected(self):
+        p = RotatingPlacement(12, 4)
+        for s in range(50):
+            assert p.place(s).size == 4
+
+    def test_balance_over_full_rotation(self):
+        """Over N consecutive stripes of one stride every node appears
+        exactly R times total / N."""
+        n, r = 10, 4
+        p = RotatingPlacement(n, r)
+        counts = p.shard_counts(n)
+        assert all(c == r for c in counts)
+
+    def test_long_run_balance(self):
+        n, r = 16, 5
+        p = RotatingPlacement(n, r)
+        counts = p.shard_counts(1600)
+        expected = 1600 * r / n
+        assert all(abs(c - expected) / expected < 0.05 for c in counts)
+
+    def test_different_seeds_differ(self):
+        a = RotatingPlacement(12, 4, seed=0).place(5).nodes
+        b = RotatingPlacement(12, 4, seed=99).place(5).nodes
+        assert a != b
+
+    def test_negative_stripe_rejected(self):
+        with pytest.raises(ValueError):
+            RotatingPlacement(12, 4).place(-1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            RotatingPlacement(4, 5)
+
+
+class TestRandomPlacement:
+    def test_deterministic_per_stripe(self):
+        p = RandomPlacement(20, 6, seed=1)
+        assert p.place(3).nodes == p.place(3).nodes
+
+    def test_critical_fraction_matches_k2(self):
+        """Measured fraction of critical sets under two failures converges
+        to the paper's k2 = (R-1)/(N-1)."""
+        n, r = 20, 6
+        p = RandomPlacement(n, r, seed=5)
+        measured = p.critical_fraction_empirical([2, 9], 20_000, fault_tolerance=2)
+        assert measured == pytest.approx(k2_factor(n, r), rel=0.15)
+
+    def test_critical_fraction_matches_k3(self):
+        n, r = 12, 6
+        p = RandomPlacement(n, r, seed=6)
+        measured = p.critical_fraction_empirical(
+            [0, 4, 7], 40_000, fault_tolerance=3
+        )
+        assert measured == pytest.approx(k3_factor(n, r), rel=0.25)
+
+    def test_sets_containing(self):
+        p = RandomPlacement(10, 4, seed=2)
+        stripes = list(range(200))
+        mine = p.sets_containing(3, stripes)
+        assert all(p.place(s).contains(3) for s in mine)
+        expected = 200 * 4 / 10
+        assert abs(len(mine) - expected) < expected * 0.5

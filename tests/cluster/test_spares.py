@@ -1,0 +1,82 @@
+"""Tests for fail-in-place spare provisioning."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, SparePolicy
+from repro.models import HOURS_PER_YEAR, Parameters
+
+
+@pytest.fixture
+def params():
+    return Parameters.baseline().replace(node_set_size=8, redundancy_set_size=4)
+
+
+class TestProvisioningPlan:
+    def test_expected_failures_hand_computed(self, params):
+        policy = SparePolicy(params)
+        horizon = 2 * HOURS_PER_YEAR
+        plan = policy.provisioning_plan(horizon)
+        node_p = 1 - math.exp(-horizon / params.node_mttf_hours)
+        assert plan.expected_node_failures == pytest.approx(8 * node_p)
+        surviving = 8 - plan.expected_node_failures
+        drive_p = 1 - math.exp(-horizon / params.drive_mttf_hours)
+        assert plan.expected_drive_failures == pytest.approx(
+            surviving * 12 * drive_p
+        )
+
+    def test_loss_and_required_utilization(self, params):
+        plan = SparePolicy(params).provisioning_plan(HOURS_PER_YEAR)
+        expected_loss = (
+            plan.expected_node_failures * 12 + plan.expected_drive_failures
+        ) * params.drive_capacity_bytes
+        assert plan.expected_capacity_loss_bytes == pytest.approx(expected_loss)
+        raw = params.system_raw_bytes
+        assert plan.required_utilization == pytest.approx((raw - expected_loss) / raw)
+
+    def test_longer_horizon_needs_more_spare(self, params):
+        policy = SparePolicy(params)
+        one = policy.provisioning_plan(HOURS_PER_YEAR)
+        five = policy.provisioning_plan(5 * HOURS_PER_YEAR)
+        assert five.required_utilization < one.required_utilization
+
+    def test_invalid_horizon(self, params):
+        with pytest.raises(ValueError):
+            SparePolicy(params).provisioning_plan(0)
+
+    def test_maintenance_free_life_consistent(self, params):
+        policy = SparePolicy(params)
+        life = policy.maintenance_free_life_hours()
+        at_life = policy.provisioning_plan(life).required_utilization
+        assert at_life == pytest.approx(params.capacity_utilization, rel=1e-3)
+
+
+class TestPolicy:
+    def test_invalid_threshold(self, params):
+        with pytest.raises(ValueError):
+            SparePolicy(params, utilization_threshold=0.0)
+        with pytest.raises(ValueError):
+            SparePolicy(params, utilization_threshold=1.5)
+
+    def test_no_add_when_healthy(self, params):
+        cluster = Cluster(params)
+        assert SparePolicy(params, 0.9).nodes_to_add(cluster) == 0
+
+    def test_adds_after_node_failure(self, params):
+        cluster = Cluster(params)
+        cluster.node(0).fail()
+        cluster.node(1).fail()
+        # 6 nodes left, utilization = 0.75 * 8/6 = 1.0 > 0.9.
+        policy = SparePolicy(params, 0.9)
+        needed = policy.nodes_to_add(cluster)
+        assert needed >= 1
+        added = policy.apply(cluster)
+        assert added == needed
+        assert cluster.utilization <= 0.9 + 1e-9
+
+    def test_apply_idempotent_when_under_threshold(self, params):
+        cluster = Cluster(params)
+        policy = SparePolicy(params, 0.9)
+        assert policy.apply(cluster) == 0
+        assert cluster.size == 8

@@ -1,0 +1,213 @@
+"""Tests for the erasure-coded stripe store."""
+
+import os
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterError,
+    DataLossError,
+    StripeStore,
+)
+from repro.models import Parameters
+
+
+@pytest.fixture
+def store():
+    params = Parameters.baseline().replace(node_set_size=10, redundancy_set_size=5)
+    return StripeStore(Cluster(params), fault_tolerance=2)
+
+
+def fill(store, count=25, seed=0):
+    payloads = {}
+    for i in range(count):
+        key = f"obj-{i}"
+        payload = bytes((seed + i + j) % 256 for j in range(100 + i))
+        store.put(key, payload)
+        payloads[key] = payload
+    return payloads
+
+
+class TestDataPath:
+    def test_put_get_roundtrip(self, store):
+        payloads = fill(store)
+        for key, payload in payloads.items():
+            assert store.get(key) == payload
+
+    def test_put_duplicate_rejected(self, store):
+        store.put("x", b"data")
+        with pytest.raises(KeyError):
+            store.put("x", b"data")
+
+    def test_empty_payload_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("x", b"")
+
+    def test_get_unknown_key(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_delete(self, store):
+        store.put("x", b"some data here")
+        store.delete("x")
+        assert store.object_count == 0
+        with pytest.raises(KeyError):
+            store.get("x")
+
+    def test_info(self, store):
+        info = store.put("x", b"hello world")
+        assert info.size == 11
+        assert info.redundancy_set.size == 5
+        assert store.info("x") == info
+
+    def test_keys_sorted(self, store):
+        fill(store, count=3)
+        assert store.keys() == ["obj-0", "obj-1", "obj-2"]
+
+    def test_invalid_fault_tolerance(self):
+        params = Parameters.baseline().replace(node_set_size=10, redundancy_set_size=5)
+        with pytest.raises(ValueError):
+            StripeStore(Cluster(params), fault_tolerance=5)
+        with pytest.raises(ValueError):
+            StripeStore(Cluster(params), fault_tolerance=0)
+
+
+class TestUpdate:
+    def test_same_size_update_roundtrip(self, store):
+        store.put("x", bytes(range(100)))
+        new = bytes(reversed(range(100)))
+        store.update("x", new)
+        assert store.get("x") == new
+
+    def test_update_survives_failures(self, store):
+        """Incrementally-patched parity must still decode after erasures."""
+        store.put("x", bytes(100))
+        new = bytes((i * 3) % 256 for i in range(100))
+        store.update("x", new)
+        info = store.info("x")
+        store.fail_node(info.redundancy_set.nodes[0])
+        store.fail_node(info.redundancy_set.nodes[3])
+        assert store.get("x") == new
+
+    def test_different_size_update_reencodes(self, store):
+        store.put("x", b"short")
+        big = bytes(5000)
+        store.update("x", big)
+        assert store.get("x") == big
+        assert store.info("x").size == 5000
+
+    def test_update_degraded_rejected(self, store):
+        store.put("x", bytes(100))
+        info = store.info("x")
+        store.fail_node(info.redundancy_set.nodes[0])
+        with pytest.raises(ClusterError, match="degraded"):
+            store.update("x", bytes(100))
+
+    def test_update_unknown_key(self, store):
+        with pytest.raises(KeyError):
+            store.update("nope", b"data")
+
+    def test_update_empty_rejected(self, store):
+        store.put("x", b"data")
+        with pytest.raises(ValueError):
+            store.update("x", b"")
+
+    def test_partial_change_patches_minimally(self, store):
+        """Only shards of changed blocks move; unchanged data shards keep
+        their object identity."""
+        payload = bytearray(1000)
+        store.put("x", bytes(payload))
+        info = store.info("x")
+        k = store.codec.data_blocks
+        node0 = info.redundancy_set.nodes[0]
+        before = store._shards[node0][(info.stripe_id, 0)]
+        # Change only the tail (last block).
+        payload[-1] = 0xFF
+        store.update("x", bytes(payload))
+        after = store._shards[node0][(info.stripe_id, 0)]
+        assert before == after  # first block untouched
+        assert store.get("x") == bytes(payload)
+
+
+class TestFailuresWithinTolerance:
+    def test_single_failure_still_readable(self, store):
+        payloads = fill(store)
+        store.fail_node(1)
+        for key, payload in payloads.items():
+            assert store.get(key) == payload
+
+    def test_double_failure_still_readable(self, store):
+        payloads = fill(store)
+        store.fail_node(1)
+        store.fail_node(6)
+        for key, payload in payloads.items():
+            assert store.get(key) == payload
+
+    def test_rebuild_restores_full_redundancy(self, store):
+        payloads = fill(store)
+        store.fail_node(2)
+        store.rebuild_node(2)
+        report = store.scrub(repair=False)
+        assert report.degraded == 0
+        assert not report.has_data_loss
+        # Rebuilt shards must not live on the failed node.
+        for key in payloads:
+            assert 2 not in store.info(key).redundancy_set.nodes
+
+    def test_rebuild_then_more_failures(self, store):
+        payloads = fill(store)
+        store.fail_node(2)
+        store.rebuild_node(2)
+        store.fail_node(0)
+        store.fail_node(5)
+        for key, payload in payloads.items():
+            assert store.get(key) == payload
+
+    def test_put_on_degraded_placement_rejected(self, store):
+        store.fail_node(0)
+        with pytest.raises(ClusterError):
+            # Some placement will eventually include node 0.
+            for i in range(50):
+                store.put(f"k{i}", b"payload")
+
+
+class TestDataLoss:
+    def test_beyond_tolerance_loses_some_objects(self, store):
+        payloads = fill(store, count=60)
+        for node in (0, 3, 7):
+            store.fail_node(node)
+        lost = []
+        for key in payloads:
+            try:
+                store.get(key)
+            except DataLossError:
+                lost.append(key)
+        # Only stripes whose redundancy set contains all three nodes die.
+        expected = [
+            key
+            for key, info in ((k, store.info(k)) for k in payloads)
+            if {0, 3, 7} <= set(info.redundancy_set.nodes)
+        ]
+        assert sorted(lost) == sorted(expected)
+        assert sorted(store.data_loss_events) == sorted(expected)
+
+    def test_scrub_reports_losses(self, store):
+        fill(store, count=40)
+        for node in (0, 3, 7):
+            store.fail_node(node)
+        report = store.scrub(repair=True)
+        assert report.objects_checked == 40
+        assert report.intact + report.degraded + len(report.lost) == 40
+        # Repair fixed the degraded ones.
+        second = store.scrub(repair=False)
+        assert second.degraded == 0
+        assert len(second.lost) == len(report.lost)
+
+    def test_rebuild_skips_lost_objects(self, store):
+        fill(store, count=40)
+        for node in (0, 3, 7):
+            store.fail_node(node)
+        before = len(store.data_loss_events)
+        store.rebuild_node(0)
+        assert len(store.data_loss_events) >= before

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.models import Parameters
+
+
+@pytest.fixture
+def baseline() -> Parameters:
+    """The paper's Section 6 baseline."""
+    return Parameters.baseline()
+
+
+@pytest.fixture
+def small_params() -> Parameters:
+    """A small cluster for combinatorial / byte-level tests."""
+    return Parameters.baseline().replace(node_set_size=10, redundancy_set_size=5)
+
+
+@pytest.fixture
+def gentle_params() -> Parameters:
+    """Parameters in the regime where the paper's approximations are tight:
+    mu >> N * lambda and all h-probabilities << 1."""
+    return Parameters.baseline().replace(
+        node_mttf_hours=2_000_000.0,
+        drive_mttf_hours=1_500_000.0,
+        hard_error_rate_per_bit=1e-16,
+        node_set_size=32,
+        redundancy_set_size=8,
+    )

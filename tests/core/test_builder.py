@@ -1,0 +1,88 @@
+"""Tests for the chain builder DSL."""
+
+import pytest
+
+from repro.core import CTMCError, ChainBuilder
+
+
+class TestBasics:
+    def test_add_state_idempotent(self):
+        b = ChainBuilder().add_state("a").add_state("a")
+        assert b.states == ("a",)
+
+    def test_add_states_order_preserved(self):
+        b = ChainBuilder().add_states("c", "a", "b")
+        assert b.states == ("c", "a", "b")
+
+    def test_add_rate_registers_states(self):
+        b = ChainBuilder().add_rate("x", "y", 1.0)
+        assert b.has_state("x") and b.has_state("y")
+
+    def test_rates_accumulate(self):
+        b = ChainBuilder()
+        b.add_rate("a", "b", 1.0)
+        b.add_rate("a", "b", 2.0)
+        assert b.rate("a", "b") == pytest.approx(3.0)
+        assert b.num_transitions == 1
+
+    def test_zero_rate_dropped(self):
+        b = ChainBuilder().add_rate("a", "b", 0.0)
+        assert b.num_transitions == 0
+        assert b.has_state("a") and b.has_state("b")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(CTMCError):
+            ChainBuilder().add_rate("a", "b", -0.1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CTMCError):
+            ChainBuilder().add_rate("a", "a", 1.0)
+
+    def test_build_produces_working_chain(self):
+        b = ChainBuilder()
+        b.add_rate("up", "down", 2.0)
+        b.add_rate("down", "up", 10.0)
+        b.add_rate("down", "dead", 1.0)
+        chain = b.build(initial_state="up")
+        assert chain.initial_state == "up"
+        assert chain.mean_time_to_absorption() > 0
+
+    def test_build_default_initial_is_first_state(self):
+        b = ChainBuilder().add_rate("s0", "s1", 1.0)
+        assert b.build().initial_state == "s0"
+
+
+class TestStructuralOps:
+    def test_relabel_renames(self):
+        b = ChainBuilder().add_rate("a", "b", 2.0)
+        renamed = b.relabel(lambda s: s.upper())
+        assert renamed.states == ("A", "B")
+        assert renamed.rate("A", "B") == pytest.approx(2.0)
+
+    def test_relabel_merges_states(self):
+        # Two absorbing states merged into one, as in the appendix
+        # construction.
+        b = ChainBuilder()
+        b.add_rate("a", "loss1", 1.0)
+        b.add_rate("a", "loss2", 2.0)
+        merged = b.relabel(lambda s: "loss" if s.startswith("loss") else s)
+        assert merged.rate("a", "loss") == pytest.approx(3.0)
+        assert set(merged.states) == {"a", "loss"}
+
+    def test_relabel_rejects_created_self_loop(self):
+        b = ChainBuilder().add_rate("a", "b", 1.0)
+        with pytest.raises(CTMCError, match="self-loop"):
+            b.relabel(lambda s: "same")
+
+    def test_merge_from_combines(self):
+        left = ChainBuilder().add_rate("a", "b", 1.0)
+        right = ChainBuilder().add_rate("b", "c", 2.0).add_rate("a", "b", 0.5)
+        left.merge_from(right)
+        assert left.rate("a", "b") == pytest.approx(1.5)
+        assert left.rate("b", "c") == pytest.approx(2.0)
+        assert left.states == ("a", "b", "c")
+
+    def test_relabel_leaves_original_untouched(self):
+        b = ChainBuilder().add_rate("a", "b", 1.0)
+        b.relabel(lambda s: s + "!")
+        assert b.states == ("a", "b")

@@ -1,0 +1,82 @@
+"""Tests for the exact rational-arithmetic solver (ground truth for GTH)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    CTMC,
+    NotAbsorbingError,
+    Transition,
+    exact_expected_times,
+    exact_mttdl,
+)
+from repro.models import NoRaidNodeModel, Parameters, Raid5Model
+
+
+class TestExactSolve:
+    def test_two_state_closed_form(self):
+        lam, mu, kill = Fraction(2), Fraction(50), Fraction(1)
+        chain = CTMC(
+            ["up", "deg", "loss"],
+            [
+                Transition("up", "deg", float(lam)),
+                Transition("deg", "up", float(mu)),
+                Transition("deg", "loss", float(kill)),
+            ],
+        )
+        result = exact_mttdl(chain)
+        expected = (mu + kill) / (lam * kill) + 1 / kill
+        assert result == expected  # exact equality, not approx
+
+    def test_expected_times_exact(self):
+        chain = CTMC(
+            ["a", "b", "loss"],
+            [
+                Transition("a", "b", 4.0),
+                Transition("b", "a", 8.0),
+                Transition("b", "loss", 2.0),
+            ],
+        )
+        times = exact_expected_times(chain)
+        assert times["b"] == Fraction(1, 2)
+        assert times["a"] == Fraction(10, 8)
+
+    def test_gth_matches_exact_on_paper_chain(self, baseline):
+        """GTH vs rational arithmetic on the Figure 9 chain: agreement to
+        near machine precision despite 10 orders of rate spread."""
+        chain = NoRaidNodeModel(baseline, 2).chain()
+        exact = float(exact_mttdl(chain))
+        numeric = chain.mean_time_to_absorption()
+        assert numeric == pytest.approx(exact, rel=1e-12)
+
+    def test_gth_matches_exact_on_stiff_raid5(self, baseline):
+        chain = Raid5Model(baseline).chain()
+        exact = float(exact_mttdl(chain))
+        assert chain.mean_time_to_absorption() == pytest.approx(exact, rel=1e-12)
+
+    def test_absorbing_initial_state(self):
+        chain = CTMC(["a", "b"], [Transition("b", "a", 1.0)], initial_state="a")
+        assert exact_expected_times(chain) == {}
+        assert exact_mttdl(chain) == 0
+
+    def test_no_absorbing_rejected(self):
+        chain = CTMC(
+            ["a", "b"],
+            [Transition("a", "b", 1.0), Transition("b", "a", 1.0)],
+        )
+        with pytest.raises(NotAbsorbingError):
+            exact_mttdl(chain)
+
+    def test_unreachable_absorption_rejected(self):
+        chain = CTMC(
+            ["a", "b", "c", "loss"],
+            [
+                Transition("a", "b", 1.0),
+                Transition("b", "a", 1.0),
+                Transition("c", "loss", 1.0),
+            ],
+            initial_state="a",
+        )
+        with pytest.raises(NotAbsorbingError):
+            exact_mttdl(chain)

@@ -1,0 +1,56 @@
+"""Tests for CTMC DOT export and text description."""
+
+import pytest
+
+from repro.core import CTMC, Transition
+from repro.models import NoRaidNodeModel, Parameters
+
+
+@pytest.fixture
+def chain():
+    return CTMC(
+        ["up", "deg", "loss"],
+        [
+            Transition("up", "deg", 2.0),
+            Transition("deg", "up", 10.0),
+            Transition("deg", "loss", 0.5),
+        ],
+        initial_state="up",
+    )
+
+
+class TestDot:
+    def test_structure(self, chain):
+        dot = chain.to_dot()
+        assert dot.startswith("digraph ctmc {")
+        assert dot.rstrip().endswith("}")
+        assert '"loss" [shape=doublecircle]' in dot
+        assert '"up" [shape=circle, style=bold]' in dot
+        assert '"up" -> "deg" [label="2"]' in dot
+        assert '"deg" -> "loss" [label="0.5"]' in dot
+
+    def test_no_edges_out_of_absorbing(self, chain):
+        dot = chain.to_dot()
+        assert '"loss" ->' not in dot
+
+    def test_custom_name_and_format(self, chain):
+        dot = chain.to_dot(name="figure8", rate_format="{:.1e}")
+        assert "digraph figure8" in dot
+        assert "2.0e+00" in dot
+
+    def test_paper_chain_exports(self, baseline):
+        dot = NoRaidNodeModel(baseline, 2).chain().to_dot(name="figure9")
+        # 7 transient + loss states, all present.
+        for state in ("00", "N0", "d0", "NN", "Nd", "dN", "dd", "loss"):
+            assert f'"{state}"' in dot
+
+
+class TestDescribe:
+    def test_lists_all_states(self, chain):
+        text = chain.describe()
+        assert "3 states" in text
+        assert "absorbing" in text
+        assert "'up'" in text and "'loss'" in text
+
+    def test_shows_rates(self, chain):
+        assert "@ 10" in chain.describe()

@@ -1,0 +1,96 @@
+"""Tests for CTMC trajectory sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CTMC,
+    CTMCError,
+    NotAbsorbingError,
+    Transition,
+    sample_absorption_times,
+    sample_trajectory,
+)
+
+
+def make_chain(lam=1.0, mu=5.0, kill=2.0) -> CTMC:
+    return CTMC(
+        ["up", "deg", "loss"],
+        [
+            Transition("up", "deg", lam),
+            Transition("deg", "up", mu),
+            Transition("deg", "loss", kill),
+        ],
+    )
+
+
+class TestTrajectory:
+    def test_starts_at_initial_state(self):
+        traj = sample_trajectory(make_chain(), np.random.default_rng(0))
+        assert traj.states[0] == "up"
+        assert traj.times[0] == 0.0
+
+    def test_ends_absorbed(self):
+        traj = sample_trajectory(make_chain(), np.random.default_rng(1))
+        assert traj.absorbed
+        assert traj.states[-1] == "loss"
+
+    def test_times_strictly_increasing(self):
+        traj = sample_trajectory(make_chain(), np.random.default_rng(2))
+        assert all(a < b for a, b in zip(traj.times, traj.times[1:]))
+
+    def test_consecutive_states_are_neighbors(self):
+        chain = make_chain()
+        traj = sample_trajectory(chain, np.random.default_rng(3))
+        for a, b in zip(traj.states, traj.states[1:]):
+            assert b in chain.successors(a)
+
+    def test_max_time_truncation(self):
+        chain = make_chain(lam=1e-6)  # essentially never leaves 'up'
+        traj = sample_trajectory(chain, np.random.default_rng(4), max_time=10.0)
+        assert not traj.absorbed
+        assert traj.total_time == 10.0
+
+    def test_reproducible_with_same_seed(self):
+        a = sample_trajectory(make_chain(), np.random.default_rng(42))
+        b = sample_trajectory(make_chain(), np.random.default_rng(42))
+        assert a.states == b.states
+        assert a.times == b.times
+
+
+class TestAbsorptionSampling:
+    def test_mean_matches_analytic(self):
+        chain = make_chain()
+        analytic = chain.mean_time_to_absorption()
+        summary = sample_absorption_times(chain, n=4000, seed=7)
+        assert summary.contains(analytic, sigmas=4.0)
+
+    def test_ci_width_shrinks_with_n(self):
+        chain = make_chain()
+        small = sample_absorption_times(chain, n=100, seed=1)
+        large = sample_absorption_times(chain, n=2000, seed=1)
+        assert large.std_error < small.std_error
+
+    def test_ci95_brackets_mean(self):
+        summary = sample_absorption_times(make_chain(), n=50, seed=3)
+        lo, hi = summary.ci95
+        assert lo < summary.mean < hi
+
+    def test_requires_positive_n(self):
+        with pytest.raises(CTMCError):
+            sample_absorption_times(make_chain(), n=0)
+
+    def test_requires_absorbing_chain(self):
+        chain = CTMC(
+            ["a", "b"],
+            [Transition("a", "b", 1.0), Transition("b", "a", 1.0)],
+        )
+        with pytest.raises(NotAbsorbingError):
+            sample_absorption_times(chain, n=5, seed=0)
+
+    def test_explicit_rng_used(self):
+        rng = np.random.default_rng(11)
+        s1 = sample_absorption_times(make_chain(), n=20, rng=rng)
+        s2 = sample_absorption_times(make_chain(), n=20, seed=11)
+        # Same master seed, same consumption order -> identical results.
+        assert s1.mean == pytest.approx(s2.mean)

@@ -1,0 +1,163 @@
+"""Tests for the GTH subtraction-free M-matrix solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gth_fundamental_matrix, gth_solve
+
+
+def random_absorbing_system(rng, n):
+    rates = rng.uniform(0.1, 5.0, size=(n, n))
+    np.fill_diagonal(rates, 0.0)
+    absorb = rng.uniform(0.1, 2.0, size=n)
+    return rates, absorb
+
+
+class TestAgainstDense:
+    def test_matches_numpy_on_well_conditioned(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 3, 5, 8):
+            rates, absorb = random_absorbing_system(rng, n)
+            r = np.diag(rates.sum(axis=1) + absorb) - rates
+            expected = np.linalg.solve(r, np.ones(n))
+            got = gth_solve(rates, absorb, np.ones(n))
+            assert np.allclose(got, expected, rtol=1e-10)
+
+    def test_fundamental_matrix_is_inverse(self):
+        rng = np.random.default_rng(1)
+        rates, absorb = random_absorbing_system(rng, 6)
+        r = np.diag(rates.sum(axis=1) + absorb) - rates
+        n_matrix = gth_fundamental_matrix(rates, absorb)
+        assert np.allclose(n_matrix @ r, np.eye(6), atol=1e-9)
+
+    def test_matrix_rhs(self):
+        rng = np.random.default_rng(2)
+        rates, absorb = random_absorbing_system(rng, 4)
+        rhs = rng.uniform(0, 1, size=(4, 3))
+        r = np.diag(rates.sum(axis=1) + absorb) - rates
+        assert np.allclose(
+            gth_solve(rates, absorb, rhs), np.linalg.solve(r, rhs), rtol=1e-10
+        )
+
+
+class TestStiffAccuracy:
+    def test_stiff_two_state_exact(self):
+        # up <-> degraded -> loss with mu/lambda = 1e12: the closed form is
+        # exact, float64 Gaussian elimination would be fine here, but the
+        # entries span 13 orders of magnitude.
+        lam, mu, kill = 1e-6, 1e6, 1e-3
+        rates = np.array([[0.0, lam], [mu, 0.0]])
+        absorb = np.array([0.0, kill])
+        t = gth_solve(rates, absorb, np.ones(2))
+        # Mean time to absorption from 'up': tau_up + tau_degraded.
+        expected = (mu + kill) / (lam * kill) + 1.0 / kill
+        assert t[0] == pytest.approx(expected, rel=1e-12)
+
+    def test_stiff_birth_death_chain(self):
+        # Birth-death chain 0..k with births lam, deaths mu, absorption
+        # from state k at rate lam.  MTTDL has the closed form
+        # sum_{j=0..k} (mu/lam)^j / lam  ... derived from first-step
+        # analysis; verified symbolically for small k.
+        lam, mu = 1e-8, 1.0
+        k = 4
+        n = k + 1
+        rates = np.zeros((n, n))
+        for i in range(k):
+            rates[i, i + 1] = lam
+            rates[i + 1, i] = mu
+        absorb = np.zeros(n)
+        absorb[k] = lam
+        t = gth_solve(rates, absorb, np.ones(n))
+        # Exact MTTDL from state 0 for this chain:
+        # E_i = expected time from state i; E_k = (1 + mu*E_{k-1})/(lam+mu)...
+        # Compute by high-precision recursion with Fraction arithmetic.
+        from fractions import Fraction
+
+        flam, fmu = Fraction(1, 10**8), Fraction(1)
+        # Solve tridiagonal system exactly: (D - A) E = 1.
+        import itertools
+
+        a = [[Fraction(0)] * n for _ in range(n)]
+        for i in range(k):
+            a[i][i + 1] = flam
+            a[i + 1][i] = fmu
+        d = [sum(row) for row in a]
+        d[k] += flam
+        m = [[(d[i] if i == j else 0) - a[i][j] for j in range(n)] for i in range(n)]
+        rhs = [Fraction(1)] * n
+        # Gaussian elimination in exact arithmetic.
+        for col in range(n):
+            piv = next(r for r in range(col, n) if m[r][col] != 0)
+            m[col], m[piv] = m[piv], m[col]
+            rhs[col], rhs[piv] = rhs[piv], rhs[col]
+            inv = 1 / m[col][col]
+            m[col] = [x * inv for x in m[col]]
+            rhs[col] *= inv
+            for r in range(n):
+                if r != col and m[r][col] != 0:
+                    f = m[r][col]
+                    m[r] = [x - f * y for x, y in zip(m[r], m[col])]
+                    rhs[r] -= f * rhs[col]
+        exact = float(rhs[0])
+        assert t[0] == pytest.approx(exact, rel=1e-12)
+
+    def test_result_nonnegative_even_when_stiff(self):
+        rng = np.random.default_rng(3)
+        n = 12
+        rates = rng.uniform(0, 1, size=(n, n)) * 10.0 ** rng.integers(
+            -8, 8, size=(n, n)
+        )
+        np.fill_diagonal(rates, 0.0)
+        absorb = rng.uniform(0, 1, size=n) * 1e-9
+        t = gth_solve(rates, absorb, np.ones(n))
+        assert np.all(t >= 0)
+        assert np.all(np.isfinite(t))
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            gth_solve(np.array([[0.0, -1.0], [1.0, 0.0]]), np.ones(2), np.ones(2))
+
+    def test_negative_absorb_rejected(self):
+        with pytest.raises(ValueError):
+            gth_solve(np.zeros((2, 2)), np.array([1.0, -1.0]), np.ones(2))
+
+    def test_negative_rhs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gth_solve(np.zeros((1, 1)), np.ones(1), np.array([-1.0]))
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            gth_solve(np.eye(2), np.ones(2), np.ones(2))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            gth_solve(np.zeros((2, 3)), np.ones(2), np.ones(2))
+
+    def test_singular_system_rejected(self):
+        # State 1 has no way out at all.
+        rates = np.array([[0.0, 1.0], [0.0, 0.0]])
+        absorb = np.array([0.0, 0.0])
+        with pytest.raises(ValueError, match="singular|absorption"):
+            gth_solve(rates, absorb, np.ones(2))
+
+    def test_one_by_one(self):
+        t = gth_solve(np.zeros((1, 1)), np.array([4.0]), np.array([1.0]))
+        assert t[0] == pytest.approx(0.25)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=7), st.integers(min_value=0, max_value=2**31))
+def test_gth_agrees_with_numpy_property(n, seed):
+    """Property: on benign random absorbing systems GTH equals LU solves."""
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(0.1, 3.0, size=(n, n))
+    np.fill_diagonal(rates, 0.0)
+    absorb = rng.uniform(0.05, 1.0, size=n)
+    r = np.diag(rates.sum(axis=1) + absorb) - rates
+    expected = np.linalg.solve(r, np.ones(n))
+    got = gth_solve(rates, absorb, np.ones(n))
+    assert np.allclose(got, expected, rtol=1e-8)

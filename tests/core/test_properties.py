@@ -1,0 +1,123 @@
+"""Property-based tests of the CTMC engine on random chains.
+
+These pit independent computational paths against each other on
+hypothesis-generated chains: the GTH absorption solve vs trajectory
+sampling, uniformization vs the matrix exponential, and structural
+invariants every chain must satisfy.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CTMC, Transition, sample_absorption_times
+
+
+def random_absorbing_chain(rng, n_transient, absorbing=1):
+    """A random chain where every transient state reaches absorption."""
+    states = [f"s{i}" for i in range(n_transient)] + [
+        f"loss{j}" for j in range(absorbing)
+    ]
+    transitions = []
+    for i in range(n_transient):
+        # Dense-ish random transitions among transient states.
+        for j in range(n_transient):
+            if i != j and rng.random() < 0.5:
+                transitions.append(
+                    Transition(f"s{i}", f"s{j}", float(rng.uniform(0.1, 3.0)))
+                )
+        # Guarantee a path to absorption from every transient state.
+        target = f"loss{int(rng.integers(absorbing))}"
+        transitions.append(Transition(f"s{i}", target, float(rng.uniform(0.05, 1.0))))
+    return CTMC(states, transitions, initial_state="s0")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_expected_times_nonnegative_and_consistent(n, seed):
+    """tau >= 0, MTTDL = sum(tau), and absorption probabilities form a
+    distribution, for arbitrary random absorbing chains."""
+    rng = np.random.default_rng(seed)
+    chain = random_absorbing_chain(rng, n, absorbing=1 + int(rng.integers(2)))
+    result = chain.absorb()
+    assert all(t >= 0 for t in result.expected_times.values())
+    assert result.mttdl == pytest.approx(sum(result.expected_times.values()))
+    assert sum(result.absorption_probabilities.values()) == pytest.approx(1.0)
+    assert all(0 <= p <= 1 for p in result.absorption_probabilities.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_uniformization_matches_expm_property(n, seed):
+    rng = np.random.default_rng(seed)
+    chain = random_absorbing_chain(rng, n)
+    t = float(rng.uniform(0.1, 5.0))
+    expm_dist = chain.transient_distribution(t)
+    uni_dist = chain.transient_distribution_uniformized(t)
+    for state in chain.states:
+        assert uni_dist[state] == pytest.approx(expm_dist[state], abs=1e-8)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_sampling_matches_solver_property(seed):
+    """Monte-Carlo absorption times agree with the GTH solve on random
+    chains (two completely independent computations)."""
+    rng = np.random.default_rng(seed)
+    chain = random_absorbing_chain(rng, int(rng.integers(1, 5)))
+    analytic = chain.mean_time_to_absorption()
+    summary = sample_absorption_times(chain, n=600, seed=seed)
+    assert summary.contains(analytic, sigmas=4.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_reliability_bounded_and_decreasing(n, seed):
+    rng = np.random.default_rng(seed)
+    chain = random_absorbing_chain(rng, n)
+    previous = 1.0
+    for t in (0.0, 0.5, 2.0, 8.0):
+        r = chain.reliability(t)
+        assert 0.0 <= r <= 1.0 + 1e-12
+        assert r <= previous + 1e-9
+        previous = r
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_stationary_distribution_property(n, seed):
+    """For random irreducible chains: pi Q = 0, pi >= 0, sum pi = 1."""
+    rng = np.random.default_rng(seed)
+    states = [f"s{i}" for i in range(n)]
+    transitions = []
+    for i in range(n):
+        # A cycle guarantees irreducibility; extra random edges on top.
+        transitions.append(
+            Transition(states[i], states[(i + 1) % n], float(rng.uniform(0.1, 2.0)))
+        )
+        for j in range(n):
+            if i != j and rng.random() < 0.3:
+                transitions.append(
+                    Transition(states[i], states[j], float(rng.uniform(0.1, 2.0)))
+                )
+    chain = CTMC(states, transitions)
+    pi = chain.stationary_distribution()
+    vec = np.array([pi[s] for s in chain.states])
+    assert np.all(vec >= 0)
+    assert vec.sum() == pytest.approx(1.0)
+    assert np.allclose(vec @ chain.generator_matrix(), 0.0, atol=1e-10)

@@ -1,0 +1,52 @@
+"""Tests for the common codec interface."""
+
+import pytest
+
+from repro.erasure import (
+    CodecError,
+    ErasureCodec,
+    Raid5Codec,
+    Raid6Codec,
+    ReedSolomonCodec,
+    codec_for,
+    internal_codec_for,
+)
+from repro.models import InternalRaid
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "codec",
+        [ReedSolomonCodec(4, 2), Raid5Codec(4), Raid6Codec(4)],
+        ids=["rs", "raid5", "raid6"],
+    )
+    def test_all_codecs_satisfy_interface(self, codec):
+        assert isinstance(codec, ErasureCodec)
+        assert codec.fault_tolerance >= 1
+        data = [bytes([i] * 8) for i in range(4)]
+        shards = codec.encode(data)
+        # Systematic prefix.
+        assert shards[:4] == data
+        # Drop up to the tolerance and reconstruct.
+        lost = set(range(codec.fault_tolerance))
+        survivors = {i: s for i, s in enumerate(shards) if i not in lost}
+        assert codec.reconstruct(survivors) == shards
+
+
+class TestFactories:
+    def test_codec_for_paper_geometry(self):
+        codec = codec_for(redundancy_set_size=8, fault_tolerance=2)
+        assert codec.data_blocks == 6
+        assert codec.fault_tolerance == 2
+        assert codec.total_blocks == 8
+
+    def test_codec_for_validation(self):
+        with pytest.raises(CodecError):
+            codec_for(8, 0)
+        with pytest.raises(CodecError):
+            codec_for(8, 8)
+
+    def test_internal_codec_dispatch(self):
+        assert isinstance(internal_codec_for(InternalRaid.RAID5, 4), Raid5Codec)
+        assert isinstance(internal_codec_for(InternalRaid.RAID6, 4), Raid6Codec)
+        assert internal_codec_for(InternalRaid.NONE, 4) is None

@@ -1,0 +1,145 @@
+"""Field-axiom tests for GF(256)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import gf256
+from repro.erasure.gf256 import FieldError
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestAxioms:
+    @settings(max_examples=200)
+    @given(elements, elements)
+    def test_addition_commutative(self, a, b):
+        assert gf256.add(a, b) == gf256.add(b, a)
+
+    @settings(max_examples=200)
+    @given(elements, elements, elements)
+    def test_addition_associative(self, a, b, c):
+        assert gf256.add(gf256.add(a, b), c) == gf256.add(a, gf256.add(b, c))
+
+    @settings(max_examples=200)
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert gf256.add(a, a) == 0
+        assert gf256.sub(a, a) == 0
+
+    @settings(max_examples=200)
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf256.mul(a, b) == gf256.mul(b, a)
+
+    @settings(max_examples=200)
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+
+    @settings(max_examples=200)
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = gf256.mul(a, gf256.add(b, c))
+        right = gf256.add(gf256.mul(a, b), gf256.mul(a, c))
+        assert left == right
+
+    @settings(max_examples=200)
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf256.mul(a, 1) == a
+
+    @settings(max_examples=200)
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf256.mul(a, 0) == 0
+
+    @settings(max_examples=200)
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf256.mul(a, gf256.inv(a)) == 1
+
+    @settings(max_examples=200)
+    @given(nonzero, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf256.div(gf256.mul(a, b), b) == a
+
+
+class TestLogExp:
+    def test_exp_log_roundtrip(self):
+        for a in range(1, 256):
+            assert gf256.exp(gf256.log(a)) == a
+
+    def test_exp_periodic(self):
+        for n in (0, 5, 254, 255, 300):
+            assert gf256.exp(n) == gf256.exp(n + 255)
+
+    def test_generator_generates_whole_group(self):
+        seen = {gf256.exp(n) for n in range(255)}
+        assert seen == set(range(1, 256))
+
+    def test_pow_matches_repeated_mul(self):
+        a = 7
+        acc = 1
+        for n in range(10):
+            assert gf256.pow_(a, n) == acc
+            acc = gf256.mul(acc, a)
+
+    def test_pow_negative_exponent(self):
+        assert gf256.pow_(3, -1) == gf256.inv(3)
+
+    def test_pow_zero_base(self):
+        assert gf256.pow_(0, 0) == 1
+        assert gf256.pow_(0, 5) == 0
+        with pytest.raises(FieldError):
+            gf256.pow_(0, -1)
+
+
+class TestErrors:
+    def test_division_by_zero(self):
+        with pytest.raises(FieldError):
+            gf256.div(5, 0)
+
+    def test_inverse_of_zero(self):
+        with pytest.raises(FieldError):
+            gf256.inv(0)
+
+    def test_log_of_zero(self):
+        with pytest.raises(FieldError):
+            gf256.log(0)
+
+    def test_out_of_range(self):
+        with pytest.raises(FieldError):
+            gf256.mul(256, 1)
+        with pytest.raises(FieldError):
+            gf256.add(-1, 0)
+
+
+class TestVectorized:
+    @settings(max_examples=50)
+    @given(elements, st.binary(min_size=1, max_size=64))
+    def test_mul_array_matches_scalar(self, scalar, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        vectorized = gf256.mul_array(scalar, arr)
+        scalar_loop = np.array(
+            [gf256.mul(scalar, int(x)) for x in arr], dtype=np.uint8
+        )
+        assert np.array_equal(vectorized, scalar_loop)
+
+    def test_mul_array_by_zero_and_one(self):
+        arr = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(gf256.mul_array(0, arr), np.zeros(256, dtype=np.uint8))
+        assert np.array_equal(gf256.mul_array(1, arr), arr)
+
+    def test_addmul_array_accumulates(self):
+        acc = np.zeros(4, dtype=np.uint8)
+        data = np.array([1, 2, 3, 4], dtype=np.uint8)
+        gf256.addmul_array(acc, 3, data)
+        gf256.addmul_array(acc, 3, data)
+        assert np.array_equal(acc, np.zeros(4, dtype=np.uint8))  # x ^ x = 0
+
+    def test_addmul_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            gf256.addmul_array(np.zeros(3, dtype=np.uint8), 1, np.zeros(4, dtype=np.uint8))

@@ -1,0 +1,102 @@
+"""Tests for GF(256) matrix algebra."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import cauchy, identity, invert, matmul, matvec_blocks, vandermonde
+from repro.erasure.gf256 import FieldError
+
+
+class TestConstructions:
+    def test_identity(self):
+        i = identity(4)
+        assert np.array_equal(matmul(i, i), i)
+
+    def test_vandermonde_shape_and_first_column(self):
+        v = vandermonde(6, 4)
+        assert v.shape == (6, 4)
+        assert np.all(v[:, 0] == 1)  # x^0
+
+    def test_vandermonde_any_square_submatrix_of_rows_invertible(self):
+        v = vandermonde(8, 4)
+        for rows in itertools.combinations(range(8), 4):
+            invert(v[list(rows)])  # must not raise
+
+    def test_cauchy_every_square_submatrix_invertible(self):
+        c = cauchy(5, 4)
+        for size in (1, 2, 3, 4):
+            for rows in itertools.combinations(range(5), size):
+                for cols in itertools.combinations(range(4), size):
+                    invert(c[np.ix_(list(rows), list(cols))])
+
+    def test_size_limits(self):
+        with pytest.raises(FieldError):
+            vandermonde(200, 200)
+        with pytest.raises(FieldError):
+            cauchy(0, 4)
+
+
+class TestInvert:
+    def test_inverse_roundtrip(self):
+        m = vandermonde(4, 4)
+        inv = invert(m)
+        assert np.array_equal(matmul(m, inv), identity(4))
+        assert np.array_equal(matmul(inv, m), identity(4))
+
+    def test_singular_detected(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(FieldError, match="singular"):
+            invert(m)
+
+    def test_zero_matrix_singular(self):
+        with pytest.raises(FieldError):
+            invert(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(FieldError):
+            invert(np.zeros((2, 3), dtype=np.uint8))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10**6))
+    def test_random_invertible_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        while True:
+            m = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+            try:
+                inv = invert(m)
+                break
+            except FieldError:
+                continue
+        assert np.array_equal(matmul(m, inv), identity(n))
+
+
+class TestMatmulAndBlocks:
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 2), dtype=np.uint8))
+
+    def test_matmul_identity(self):
+        m = cauchy(3, 3)
+        assert np.array_equal(matmul(identity(3), m), m)
+
+    def test_matvec_blocks_with_identity(self):
+        blocks = [b"abcd", b"efgh", b"ijkl"]
+        out = matvec_blocks(identity(3), blocks)
+        assert [o.tobytes() for o in out] == blocks
+
+    def test_matvec_blocks_xor_row(self):
+        m = np.array([[1, 1]], dtype=np.uint8)
+        out = matvec_blocks(m, [bytes([0b1010]), bytes([0b0110])])
+        assert out[0][0] == 0b1100
+
+    def test_matvec_blocks_validates_lengths(self):
+        with pytest.raises(FieldError):
+            matvec_blocks(identity(2), [b"ab", b"abc"])
+
+    def test_matvec_blocks_validates_count(self):
+        with pytest.raises(FieldError):
+            matvec_blocks(identity(2), [b"ab"])

@@ -1,0 +1,81 @@
+"""Tests for incremental Reed-Solomon parity update (read-modify-write)."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import CodecError, ReedSolomonCodec
+
+
+class TestUpdateParity:
+    def test_matches_full_reencode(self):
+        codec = ReedSolomonCodec(5, 3)
+        data = [os.urandom(32) for _ in range(5)]
+        shards = codec.encode(data)
+        new_block = os.urandom(32)
+        updated = codec.update_parity(shards[5:], 2, data[2], new_block)
+        data[2] = new_block
+        assert codec.encode(data)[5:] == updated
+
+    def test_noop_update(self):
+        codec = ReedSolomonCodec(3, 2)
+        data = [b"aaaa", b"bbbb", b"cccc"]
+        shards = codec.encode(data)
+        updated = codec.update_parity(shards[3:], 1, data[1], data[1])
+        assert updated == shards[3:]
+
+    def test_sequential_updates_compose(self):
+        codec = ReedSolomonCodec(4, 2)
+        data = [bytearray(os.urandom(16)) for _ in range(4)]
+        parity = codec.encode([bytes(d) for d in data])[4:]
+        for step in range(6):
+            idx = step % 4
+            new = os.urandom(16)
+            parity = codec.update_parity(parity, idx, bytes(data[idx]), new)
+            data[idx] = bytearray(new)
+        assert codec.encode([bytes(d) for d in data])[4:] == parity
+
+    def test_updated_stripe_still_decodes(self):
+        codec = ReedSolomonCodec(4, 2)
+        data = [os.urandom(16) for _ in range(4)]
+        parity = codec.encode(data)[4:]
+        new = os.urandom(16)
+        parity = codec.update_parity(parity, 0, data[0], new)
+        data[0] = new
+        shards = dict(enumerate(data + parity))
+        del shards[0], shards[3]  # lose the updated block and another
+        assert codec.decode_data(shards) == data
+
+    def test_validation(self):
+        codec = ReedSolomonCodec(3, 2)
+        data = [b"aaaa"] * 3
+        parity = codec.encode(data)[3:]
+        with pytest.raises(CodecError):
+            codec.update_parity(parity, 5, b"aaaa", b"bbbb")
+        with pytest.raises(CodecError):
+            codec.update_parity(parity[:1], 0, b"aaaa", b"bbbb")
+        with pytest.raises(CodecError):
+            codec.update_parity(parity, 0, b"aaaa", b"bb")
+        with pytest.raises(CodecError):
+            codec.update_parity([b"aa", b"aa"], 0, b"aaaa", b"bbbb")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=3),
+    idx_seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_update_equals_reencode_property(k, m, idx_seed):
+    rng = np.random.default_rng(idx_seed)
+    codec = ReedSolomonCodec(k, m)
+    data = [rng.integers(0, 256, 24, dtype=np.uint8).tobytes() for _ in range(k)]
+    parity = codec.encode(data)[k:]
+    idx = int(rng.integers(k))
+    new = rng.integers(0, 256, 24, dtype=np.uint8).tobytes()
+    updated = codec.update_parity(parity, idx, data[idx], new)
+    data[idx] = new
+    assert codec.encode(data)[k:] == updated

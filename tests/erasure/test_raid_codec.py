@@ -1,0 +1,158 @@
+"""Tests for the byte-level RAID 5 / RAID 6 codecs."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import CodecError, Raid5Codec, Raid6Codec
+
+
+def strips_for(k, length=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=length, dtype=np.uint8).tobytes() for _ in range(k)]
+
+
+class TestRaid5:
+    def test_parity_is_xor(self):
+        codec = Raid5Codec(2)
+        out = codec.encode([bytes([0b1100]), bytes([0b1010])])
+        assert out[2] == bytes([0b0110])
+
+    def test_recover_each_single_loss(self):
+        codec = Raid5Codec(5)
+        stripe = codec.encode(strips_for(5))
+        for missing in range(codec.total_strips):
+            survivors = {i: s for i, s in enumerate(stripe) if i != missing}
+            assert codec.reconstruct(survivors) == stripe
+
+    def test_no_loss_passthrough(self):
+        codec = Raid5Codec(3)
+        stripe = codec.encode(strips_for(3))
+        assert codec.reconstruct(dict(enumerate(stripe))) == stripe
+
+    def test_double_loss_rejected(self):
+        codec = Raid5Codec(3)
+        stripe = codec.encode(strips_for(3))
+        survivors = {i: s for i, s in enumerate(stripe) if i not in (0, 2)}
+        with pytest.raises(CodecError):
+            codec.reconstruct(survivors)
+
+    def test_too_few_data_strips(self):
+        with pytest.raises(CodecError):
+            Raid5Codec(1)
+
+    def test_unequal_strips_rejected(self):
+        with pytest.raises(CodecError):
+            Raid5Codec(2).encode([b"aa", b"a"])
+
+    def test_properties(self):
+        codec = Raid5Codec(7)
+        assert codec.data_strips == 7
+        assert codec.total_strips == 8
+        assert codec.fault_tolerance == 1
+
+
+class TestRaid6:
+    def test_recover_every_double_loss(self):
+        """Exhaustive over all C(k+2, 2) failure pairs, including P+Q,
+        data+P, data+Q and data+data."""
+        codec = Raid6Codec(5)
+        stripe = codec.encode(strips_for(5, seed=3))
+        for lost in itertools.combinations(range(codec.total_strips), 2):
+            survivors = {i: s for i, s in enumerate(stripe) if i not in lost}
+            assert codec.reconstruct(survivors) == stripe, lost
+
+    def test_recover_every_single_loss(self):
+        codec = Raid6Codec(4)
+        stripe = codec.encode(strips_for(4, seed=4))
+        for lost in range(codec.total_strips):
+            survivors = {i: s for i, s in enumerate(stripe) if i != lost}
+            assert codec.reconstruct(survivors) == stripe
+
+    def test_triple_loss_rejected(self):
+        codec = Raid6Codec(4)
+        stripe = codec.encode(strips_for(4))
+        survivors = {i: s for i, s in enumerate(stripe) if i > 2}
+        with pytest.raises(CodecError):
+            codec.reconstruct(survivors)
+
+    def test_p_is_xor_of_data(self):
+        codec = Raid6Codec(3)
+        data = strips_for(3, seed=5)
+        stripe = codec.encode(data)
+        expected = bytes(
+            a ^ b ^ c for a, b, c in zip(data[0], data[1], data[2])
+        )
+        assert stripe[3] == expected
+
+    def test_properties(self):
+        codec = Raid6Codec(10)
+        assert codec.total_strips == 12
+        assert codec.fault_tolerance == 2
+
+    def test_too_few_data_strips(self):
+        with pytest.raises(CodecError):
+            Raid6Codec(1)
+
+
+class TestParityUpdate:
+    def test_raid5_update_matches_reencode(self):
+        codec = Raid5Codec(4)
+        data = strips_for(4, seed=7)
+        stripe = codec.encode(data)
+        new = strips_for(1, seed=8)[0]
+        updated = codec.update_parity(stripe[4], 2, data[2], new)
+        data[2] = new
+        assert codec.encode(data)[4] == updated
+
+    def test_raid5_update_validation(self):
+        codec = Raid5Codec(3)
+        stripe = codec.encode(strips_for(3))
+        with pytest.raises(CodecError):
+            codec.update_parity(stripe[3], 9, stripe[0], stripe[1])
+
+    def test_raid6_update_matches_reencode(self):
+        codec = Raid6Codec(5)
+        data = strips_for(5, seed=9)
+        stripe = codec.encode(data)
+        new = strips_for(1, seed=10)[0]
+        p, q = codec.update_parity(stripe[5], stripe[6], 3, data[3], new)
+        data[3] = new
+        fresh = codec.encode(data)
+        assert (p, q) == (fresh[5], fresh[6])
+
+    def test_raid6_updated_stripe_recovers_double_loss(self):
+        codec = Raid6Codec(4)
+        data = strips_for(4, seed=11)
+        stripe = codec.encode(data)
+        new = strips_for(1, seed=12)[0]
+        p, q = codec.update_parity(stripe[4], stripe[5], 0, data[0], new)
+        data[0] = new
+        full = data + [p, q]
+        survivors = {i: s for i, s in enumerate(full) if i not in (0, 2)}
+        assert codec.reconstruct(survivors) == full
+
+    def test_raid6_update_validation(self):
+        codec = Raid6Codec(3)
+        stripe = codec.encode(strips_for(3))
+        with pytest.raises(CodecError):
+            codec.update_parity(stripe[3], stripe[4], 5, stripe[0], stripe[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=10),
+    length=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_raid6_random_double_erasure_property(k, length, seed):
+    rng = np.random.default_rng(seed)
+    codec = Raid6Codec(k)
+    data = [rng.integers(0, 256, size=length, dtype=np.uint8).tobytes() for _ in range(k)]
+    stripe = codec.encode(data)
+    lost = rng.choice(k + 2, size=2, replace=False)
+    survivors = {i: s for i, s in enumerate(stripe) if i not in set(lost.tolist())}
+    assert codec.reconstruct(survivors) == stripe

@@ -1,0 +1,140 @@
+"""Tests for the systematic Reed-Solomon codec."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import CodecError, ReedSolomonCodec
+
+
+class TestEncode:
+    def test_systematic_prefix(self):
+        codec = ReedSolomonCodec(3, 2)
+        data = [b"one!", b"two!", b"tre!"]
+        shards = codec.encode(data)
+        assert shards[:3] == data
+        assert len(shards) == 5
+
+    def test_wrong_block_count(self):
+        with pytest.raises(CodecError):
+            ReedSolomonCodec(3, 2).encode([b"a", b"b"])
+
+    def test_unequal_lengths(self):
+        with pytest.raises(CodecError):
+            ReedSolomonCodec(2, 1).encode([b"ab", b"abc"])
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(CodecError):
+            ReedSolomonCodec(2, 1).encode([b"", b""])
+
+    def test_verify_accepts_valid(self):
+        codec = ReedSolomonCodec(4, 2)
+        shards = codec.encode([b"aaaa", b"bbbb", b"cccc", b"dddd"])
+        assert codec.verify(shards)
+
+    def test_verify_rejects_corruption(self):
+        codec = ReedSolomonCodec(4, 2)
+        shards = codec.encode([b"aaaa", b"bbbb", b"cccc", b"dddd"])
+        shards[5] = bytes([shards[5][0] ^ 1]) + shards[5][1:]
+        assert not codec.verify(shards)
+
+    def test_verify_needs_all_shards(self):
+        codec = ReedSolomonCodec(2, 1)
+        with pytest.raises(CodecError):
+            codec.verify([b"aa", b"bb"])
+
+
+class TestDecode:
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_all_erasure_patterns(self, construction):
+        """MDS property: any m losses are recoverable, exhaustively."""
+        k, m = 4, 3
+        codec = ReedSolomonCodec(k, m, construction=construction)
+        data = [bytes([i] * 8) for i in range(k)]
+        shards = codec.encode(data)
+        for lost in itertools.combinations(range(k + m), m):
+            survivors = {
+                i: s for i, s in enumerate(shards) if i not in lost
+            }
+            assert codec.decode_data(survivors) == data
+
+    def test_too_few_shards(self):
+        codec = ReedSolomonCodec(4, 2)
+        shards = codec.encode([b"aaaa"] * 4)
+        survivors = {0: shards[0], 1: shards[1], 2: shards[2]}
+        with pytest.raises(CodecError, match="unrecoverable"):
+            codec.decode_data(survivors)
+
+    def test_invalid_index(self):
+        codec = ReedSolomonCodec(2, 1)
+        with pytest.raises(CodecError, match="out of range"):
+            codec.decode_data({0: b"aa", 7: b"bb"})
+
+    def test_reconstruct_restores_everything(self):
+        codec = ReedSolomonCodec(3, 2)
+        shards = codec.encode([b"xx", b"yy", b"zz"])
+        survivors = {i: s for i, s in enumerate(shards) if i not in (1, 3)}
+        assert codec.reconstruct(survivors) == shards
+
+    def test_reconstruct_shard_single(self):
+        codec = ReedSolomonCodec(3, 2)
+        shards = codec.encode([b"xx", b"yy", b"zz"])
+        survivors = {i: s for i, s in enumerate(shards) if i != 4}
+        assert codec.reconstruct_shard(survivors, 4) == shards[4]
+
+    def test_reconstruct_shard_present_returns_it(self):
+        codec = ReedSolomonCodec(2, 1)
+        shards = codec.encode([b"aa", b"bb"])
+        assert codec.reconstruct_shard(dict(enumerate(shards)), 1) == shards[1]
+
+    def test_numpy_blocks_accepted(self):
+        codec = ReedSolomonCodec(2, 1)
+        data = [np.frombuffer(b"ab", dtype=np.uint8), np.frombuffer(b"cd", dtype=np.uint8)]
+        shards = codec.encode(data)
+        assert shards[0] == b"ab"
+
+
+class TestConfiguration:
+    def test_invalid_parameters(self):
+        with pytest.raises(CodecError):
+            ReedSolomonCodec(0, 1)
+        with pytest.raises(CodecError):
+            ReedSolomonCodec(1, 0)
+        with pytest.raises(CodecError):
+            ReedSolomonCodec(200, 100)
+        with pytest.raises(CodecError):
+            ReedSolomonCodec(2, 1, construction="mystery")
+
+    def test_properties(self):
+        codec = ReedSolomonCodec(5, 3)
+        assert codec.data_blocks == 5
+        assert codec.parity_blocks == 3
+        assert codec.total_blocks == 8
+
+    def test_encoding_matrix_systematic(self):
+        codec = ReedSolomonCodec(4, 2)
+        m = codec.encoding_matrix
+        assert np.array_equal(m[:4], np.eye(4, dtype=np.uint8))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=8),
+    m=st.integers(min_value=1, max_value=4),
+    payload=st.binary(min_size=1, max_size=128),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_roundtrip_random_erasures_property(k, m, payload, seed):
+    """Property: encode, erase m random shards, decode -> original data."""
+    codec = ReedSolomonCodec(k, m)
+    block = (len(payload) + k - 1) // k
+    padded = payload + b"\0" * (block * k - len(payload))
+    data = [padded[i * block : (i + 1) * block] for i in range(k)]
+    shards = codec.encode(data)
+    rng = np.random.default_rng(seed)
+    lost = set(rng.choice(k + m, size=m, replace=False).tolist())
+    survivors = {i: s for i, s in enumerate(shards) if i not in lost}
+    assert codec.decode_data(survivors) == data

@@ -1,0 +1,144 @@
+"""Tests for the Section 5.2 critical-redundancy-set combinatorics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    Parameters,
+    critical_fraction,
+    h_parameter,
+    h_parameters,
+    hard_error_probability_full_drive,
+    k2_factor,
+    k3_factor,
+    redundancy_sets_per_node,
+    redundancy_sets_total,
+)
+
+
+class TestCounting:
+    def test_total_sets(self):
+        assert redundancy_sets_total(64, 8) == math.comb(64, 8)
+
+    def test_sets_per_node(self):
+        assert redundancy_sets_per_node(64, 8) == math.comb(63, 7)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            redundancy_sets_total(1, 1)
+        with pytest.raises(ValueError):
+            redundancy_sets_per_node(4, 5)
+
+
+class TestCriticalFractions:
+    def test_k2_closed_form(self):
+        # k2 = (R-1)/(N-1)
+        assert k2_factor(64, 8) == pytest.approx(7 / 63)
+
+    def test_k3_closed_form(self):
+        # k3 = (R-1)(R-2)/((N-1)(N-2))
+        assert k3_factor(64, 8) == pytest.approx(7 * 6 / (63 * 62))
+
+    def test_single_failure_fraction_is_one(self):
+        assert critical_fraction(64, 8, 1) == pytest.approx(1.0)
+
+    def test_more_failures_than_set_size(self):
+        assert critical_fraction(10, 3, 4) == 0.0
+
+    def test_failures_must_be_positive(self):
+        with pytest.raises(ValueError):
+            critical_fraction(10, 4, 0)
+
+    def test_full_overlap_when_r_equals_n(self):
+        # With R = N every redundancy set spans all nodes: always critical.
+        for j in (1, 2, 3):
+            assert critical_fraction(8, 8, j) == pytest.approx(1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=128),
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_fraction_is_probability_and_decreasing(self, n, r, j):
+        r = min(r, n)
+        frac = critical_fraction(n, r, j)
+        assert 0.0 <= frac <= 1.0
+        if j > 1:
+            assert frac <= critical_fraction(n, r, j - 1) + 1e-12
+
+
+class TestHParameters:
+    def test_k1_matches_paper(self, baseline):
+        # h_N = d (R-1) C HER, h_d = (R-1) C HER (Figure 8 parameters).
+        che = baseline.hard_error_per_drive_read
+        assert h_parameter(baseline, "N") == pytest.approx(12 * 7 * che)
+        assert h_parameter(baseline, "d") == pytest.approx(7 * che)
+
+    def test_k2_table_matches_paper(self, baseline):
+        # Section 5.2.2: h = (R-1)(R-2)/(N-1) C HER; h_NN = d h,
+        # h_Nd = h_dN = h, h_dd = h/d.
+        che = baseline.hard_error_per_drive_read
+        h = 7 * 6 / 63 * che
+        d = baseline.drives_per_node
+        table = h_parameters(baseline, 2)
+        assert table["NN"] == pytest.approx(d * h)
+        assert table["Nd"] == pytest.approx(h)
+        assert table["dN"] == pytest.approx(h)
+        assert table["dd"] == pytest.approx(h / d)
+
+    def test_k3_table_matches_paper(self, baseline):
+        che = baseline.hard_error_per_drive_read
+        h = 7 * 6 * 5 / (63 * 62) * che
+        d = baseline.drives_per_node
+        table = h_parameters(baseline, 3)
+        assert table["NNN"] == pytest.approx(d * h)
+        for word in ("NNd", "NdN", "dNN"):
+            assert table[word] == pytest.approx(h)
+        for word in ("Ndd", "dNd", "ddN"):
+            assert table[word] == pytest.approx(h / d)
+        assert table["ddd"] == pytest.approx(h / d**2)
+
+    def test_table_size(self, baseline):
+        for k in (1, 2, 3, 4, 5):
+            assert len(h_parameters(baseline, k)) == 2**k
+
+    def test_word_validation(self, baseline):
+        with pytest.raises(ValueError):
+            h_parameter(baseline, "")
+        with pytest.raises(ValueError):
+            h_parameter(baseline, "Nx")
+
+    def test_fault_tolerance_validation(self, baseline):
+        with pytest.raises(ValueError):
+            h_parameters(baseline, 0)
+
+    def test_r_smaller_than_k_gives_zero(self):
+        # With R = 3 and k = 3 there is no surviving element to read:
+        # (R - 3) = 0 so every h vanishes.
+        params = Parameters.baseline().replace(redundancy_set_size=3)
+        assert all(v == 0.0 for v in h_parameters(params, 3).values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=10**6))
+    def test_more_drive_letters_means_smaller_h(self, k, seed):
+        """Each N -> d substitution divides h by d (less critical data)."""
+        params = Parameters.baseline()
+        table = h_parameters(params, k)
+        d = params.drives_per_node
+        words = sorted(table)
+        for word in words:
+            if "N" in word:
+                swapped = word.replace("N", "d", 1)
+                if table[word] > 0:
+                    assert table[swapped] == pytest.approx(table[word] / d)
+
+    def test_full_drive_probability(self, baseline):
+        che = baseline.hard_error_per_drive_read
+        assert hard_error_probability_full_drive(baseline, 1) == pytest.approx(7 * che)
+        assert hard_error_probability_full_drive(baseline, 2) == pytest.approx(6 * che)
+        with pytest.raises(ValueError):
+            hard_error_probability_full_drive(baseline, 0)

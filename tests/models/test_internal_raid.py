@@ -1,0 +1,153 @@
+"""Tests for the node-level internal-RAID models (Figures 5-7)."""
+
+import pytest
+
+from repro.models import (
+    InternalRaid,
+    InternalRaidNodeModel,
+    Parameters,
+    build_internal_raid_chain,
+    mttdl_internal_raid_nft1,
+    mttdl_internal_raid_nft2,
+    mttdl_internal_raid_nft3,
+)
+
+
+class TestChainConstruction:
+    def test_state_count(self):
+        for t in (1, 2, 3, 5):
+            chain = build_internal_raid_chain(t, 64, 1e-6, 1e-7, 1e-5, 0.5, 0.1)
+            # states 0..t plus loss
+            assert chain.num_states == t + 2
+
+    def test_figure5_rates(self):
+        n, lam_n, lam_d_arr, lam_s, mu, k = 64, 1e-6, 2e-7, 1e-5, 0.5, 1.0
+        chain = build_internal_raid_chain(1, n, lam_n, lam_d_arr, lam_s, mu, k)
+        lam = lam_n + lam_d_arr
+        assert chain.rate(0, 1) == pytest.approx(n * lam)
+        assert chain.rate(1, 0) == pytest.approx(mu)
+        assert chain.rate(1, "loss") == pytest.approx((n - 1) * (lam + lam_s))
+
+    def test_figure6_rates(self):
+        n, lam_n, lam_d_arr, lam_s, mu, k2 = 64, 1e-6, 2e-7, 1e-5, 0.5, 7 / 63
+        chain = build_internal_raid_chain(2, n, lam_n, lam_d_arr, lam_s, mu, k2)
+        lam = lam_n + lam_d_arr
+        assert chain.rate(0, 1) == pytest.approx(n * lam)
+        assert chain.rate(1, 2) == pytest.approx((n - 1) * lam)
+        assert chain.rate(2, 1) == pytest.approx(mu)
+        assert chain.rate(2, "loss") == pytest.approx((n - 2) * (lam + k2 * lam_s))
+
+    def test_figure7_final_transition(self):
+        n, lam_s, k3 = 64, 1e-5, 7 * 6 / (63 * 62)
+        chain = build_internal_raid_chain(3, n, 1e-6, 0.0, lam_s, 0.5, k3)
+        assert chain.rate(3, "loss") == pytest.approx((n - 3) * (1e-6 + k3 * lam_s))
+
+    def test_parallel_repair_multiplies_rates(self):
+        serial = build_internal_raid_chain(3, 64, 1e-6, 0.0, 0.0, 0.5, 1.0)
+        parallel = build_internal_raid_chain(
+            3, 64, 1e-6, 0.0, 0.0, 0.5, 1.0, parallel_repair=True
+        )
+        assert serial.rate(2, 1) == pytest.approx(0.5)
+        assert parallel.rate(2, 1) == pytest.approx(1.0)
+        assert parallel.rate(3, 2) == pytest.approx(1.5)
+        assert parallel.mean_time_to_absorption() > serial.mean_time_to_absorption()
+
+    def test_node_set_must_exceed_tolerance(self):
+        with pytest.raises(ValueError):
+            build_internal_raid_chain(3, 3, 1e-6, 0.0, 0.0, 0.5, 1.0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            build_internal_raid_chain(0, 8, 1e-6, 0.0, 0.0, 0.5, 1.0)
+
+
+class TestNft1ExactFormula:
+    def test_paper_exact_formula_matches_chain(self):
+        """The paper's NFT-1 formula (with numerator terms) is exact."""
+        n, lam_n, lam_d_arr, lam_s, mu = 64, 1e-6, 3e-7, 1e-5, 0.5
+        chain = build_internal_raid_chain(1, n, lam_n, lam_d_arr, lam_s, mu, 1.0)
+        formula = mttdl_internal_raid_nft1(
+            n, lam_n, lam_d_arr, lam_s, mu, exact=True
+        )
+        assert chain.mean_time_to_absorption() == pytest.approx(formula, rel=1e-12)
+
+    def test_approx_drops_small_terms(self):
+        n, lam_n, lam_d_arr, lam_s, mu = 64, 1e-7, 0.0, 0.0, 10.0
+        exact = mttdl_internal_raid_nft1(n, lam_n, lam_d_arr, lam_s, mu, exact=True)
+        approx = mttdl_internal_raid_nft1(n, lam_n, lam_d_arr, lam_s, mu)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+
+class TestModel:
+    @pytest.mark.parametrize("level", [InternalRaid.RAID5, InternalRaid.RAID6])
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_approx_tracks_exact(self, baseline, level, t):
+        model = InternalRaidNodeModel(baseline, level, t)
+        assert model.mttdl_approx() == pytest.approx(model.mttdl_exact(), rel=0.02)
+
+    def test_closed_forms_match_model_approx(self, baseline):
+        rates5 = InternalRaidNodeModel(baseline, InternalRaid.RAID5, 2).array_rates
+        n = baseline.node_set_size
+        mu = InternalRaidNodeModel(baseline, InternalRaid.RAID5, 2).node_rebuild_rate
+        via_function = mttdl_internal_raid_nft2(
+            n,
+            baseline.node_failure_rate,
+            rates5.array_failure_rate,
+            rates5.restripe_sector_loss_rate,
+            mu,
+            k2=7 / 63,
+        )
+        model = InternalRaidNodeModel(baseline, InternalRaid.RAID5, 2)
+        assert model.mttdl_approx() == pytest.approx(via_function, rel=1e-12)
+
+    def test_nft3_closed_form(self, baseline):
+        model = InternalRaidNodeModel(baseline, InternalRaid.RAID5, 3)
+        rates = model.array_rates
+        via_function = mttdl_internal_raid_nft3(
+            baseline.node_set_size,
+            baseline.node_failure_rate,
+            rates.array_failure_rate,
+            rates.restripe_sector_loss_rate,
+            model.node_rebuild_rate,
+            k3=7 * 6 / (63 * 62),
+        )
+        assert model.mttdl_approx() == pytest.approx(via_function, rel=1e-12)
+
+    def test_critical_fraction_values(self, baseline):
+        assert (
+            InternalRaidNodeModel(baseline, InternalRaid.RAID5, 1).critical_sector_fraction
+            == 1.0
+        )
+        assert InternalRaidNodeModel(
+            baseline, InternalRaid.RAID5, 2
+        ).critical_sector_fraction == pytest.approx(7 / 63)
+        assert InternalRaidNodeModel(
+            baseline, InternalRaid.RAID5, 3
+        ).critical_sector_fraction == pytest.approx(42 / (63 * 62))
+
+    def test_higher_tolerance_is_more_reliable(self, baseline):
+        values = [
+            InternalRaidNodeModel(baseline, InternalRaid.RAID5, t).mttdl_exact()
+            for t in (1, 2, 3)
+        ]
+        assert values[0] < values[1] < values[2]
+        assert values[1] > 100 * values[0]
+
+    def test_none_level_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            InternalRaidNodeModel(baseline, InternalRaid.NONE, 2)
+
+    def test_invalid_tolerance_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            InternalRaidNodeModel(baseline, InternalRaid.RAID5, 0)
+
+    def test_invalid_rates_method_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            InternalRaidNodeModel(baseline, InternalRaid.RAID5, 2, rates_method="x")
+
+    def test_exact_rates_method_close_at_baseline(self, baseline):
+        approx = InternalRaidNodeModel(baseline, InternalRaid.RAID5, 2)
+        exact = InternalRaidNodeModel(
+            baseline, InternalRaid.RAID5, 2, rates_method="exact"
+        )
+        assert exact.mttdl_exact() == pytest.approx(approx.mttdl_exact(), rel=0.1)

@@ -1,0 +1,67 @@
+"""Tests for reliability metrics and the paper's target."""
+
+import pytest
+
+from repro.models import (
+    HOURS_PER_YEAR,
+    PAPER_TARGET_EVENTS_PER_PB_YEAR,
+    Parameters,
+    ReliabilityResult,
+    events_per_pb_year,
+    events_per_year_to_mttdl_hours,
+    mttdl_hours_for_target,
+    mttdl_hours_to_events_per_year,
+)
+
+
+class TestConversions:
+    def test_target_value(self):
+        # 100 systems x 1 PB x 5 years < 1 event  =>  2e-3 / PB-year.
+        assert PAPER_TARGET_EVENTS_PER_PB_YEAR == pytest.approx(2e-3)
+
+    def test_roundtrip(self):
+        for mttdl in (1e3, 1e6, 1e12):
+            events = mttdl_hours_to_events_per_year(mttdl)
+            assert events_per_year_to_mttdl_hours(events) == pytest.approx(mttdl)
+
+    def test_one_year_mttdl_is_one_event(self):
+        assert mttdl_hours_to_events_per_year(HOURS_PER_YEAR) == pytest.approx(1.0)
+
+    def test_pb_normalization(self, baseline):
+        # Baseline logical capacity is 0.1728 PB.
+        events = events_per_pb_year(HOURS_PER_YEAR, baseline)
+        assert events == pytest.approx(1.0 / 0.1728)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mttdl_hours_to_events_per_year(0)
+        with pytest.raises(ValueError):
+            events_per_year_to_mttdl_hours(-1)
+        with pytest.raises(ValueError):
+            mttdl_hours_for_target(Parameters.baseline(), 0)
+
+    def test_mttdl_for_target_consistency(self, baseline):
+        needed = mttdl_hours_for_target(baseline)
+        assert events_per_pb_year(needed, baseline) == pytest.approx(
+            PAPER_TARGET_EVENTS_PER_PB_YEAR
+        )
+
+
+class TestReliabilityResult:
+    def test_from_mttdl(self, baseline):
+        result = ReliabilityResult.from_mttdl(1e9, baseline)
+        assert result.mttdl_hours == 1e9
+        assert result.mttdl_years == pytest.approx(1e9 / HOURS_PER_YEAR)
+        assert result.events_per_pb_year == pytest.approx(
+            HOURS_PER_YEAR / 1e9 / 0.1728
+        )
+
+    def test_meets_target_boundary(self, baseline):
+        needed = mttdl_hours_for_target(baseline)
+        assert ReliabilityResult.from_mttdl(needed * 1.01, baseline).meets_target
+        assert not ReliabilityResult.from_mttdl(needed * 0.99, baseline).meets_target
+
+    def test_margin_orders(self, baseline):
+        needed = mttdl_hours_for_target(baseline)
+        result = ReliabilityResult.from_mttdl(needed * 1000, baseline)
+        assert result.margin_orders_of_magnitude() == pytest.approx(3.0, abs=0.01)

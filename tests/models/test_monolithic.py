@@ -1,0 +1,71 @@
+"""Tests for the monolithic 'big iron' comparator."""
+
+import pytest
+
+from repro.models import (
+    Configuration,
+    InternalRaid,
+    MonolithicSystem,
+    Parameters,
+)
+
+
+class TestGeometry:
+    def test_logical_capacity(self):
+        system = MonolithicSystem(array_groups=10, drives_per_group=14)
+        # 12 data drives per group x 300 GB.
+        assert system.logical_bytes == pytest.approx(10 * 12 * 300e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonolithicSystem(array_groups=0)
+        with pytest.raises(ValueError):
+            MonolithicSystem(drives_per_group=3)
+        with pytest.raises(ValueError):
+            MonolithicSystem(rebuild_hours=0.0)
+
+
+class TestReliability:
+    def test_system_rate_scales_with_groups(self):
+        one = MonolithicSystem(array_groups=1)
+        many = MonolithicSystem(array_groups=50)
+        assert many.system_mttdl_hours() == pytest.approx(
+            one.system_mttdl_hours() / 50
+        )
+
+    def test_slow_rebuild_hurts(self):
+        fast = MonolithicSystem(rebuild_hours=4.0)
+        slow = MonolithicSystem(rebuild_hours=48.0)
+        assert slow.events_per_pb_year() > fast.events_per_pb_year()
+
+    def test_enterprise_monolith_is_very_reliable(self):
+        """A dual-parity monolith on enterprise drives meets the paper's
+        target easily — the point of 'big iron'."""
+        assert MonolithicSystem().events_per_pb_year() < 2e-3
+
+    def test_bricks_can_match_big_iron(self, baseline):
+        """The paper's thesis: commodity bricks with cross-node redundancy
+        reach the same reliability class as the monolith — within two
+        orders of magnitude of a system built from 3x-better drives."""
+        import math
+
+        brick = Configuration(InternalRaid.RAID5, 2).reliability(baseline)
+        monolith = MonolithicSystem().reliability()
+        gap = abs(
+            math.log10(brick.events_per_pb_year / monolith.events_per_pb_year)
+        )
+        assert gap < 3.0
+        assert brick.meets_target and monolith.meets_target
+
+    def test_desktop_drives_in_monolith_struggle(self):
+        """The same frame on desktop drives at desktop HER is orders worse
+        — the drive class, not the architecture, buys the monolith its
+        headline number."""
+        desktop = MonolithicSystem(
+            drive_mttf_hours=300_000.0, hard_error_rate_per_bit=1e-14
+        )
+        enterprise = MonolithicSystem()
+        assert (
+            desktop.events_per_pb_year()
+            > 20 * enterprise.events_per_pb_year()
+        )

@@ -1,0 +1,122 @@
+"""Tests for the system parameter set."""
+
+import pytest
+
+from repro.models import GB, KB, MB, ParameterError, Parameters
+
+
+class TestBaseline:
+    def test_section6_values(self, baseline):
+        assert baseline.node_mttf_hours == 400_000
+        assert baseline.drive_mttf_hours == 300_000
+        assert baseline.hard_error_rate_per_bit == 1e-14
+        assert baseline.drive_capacity_bytes == 300 * GB
+        assert baseline.drive_max_iops == 150
+        assert baseline.drive_sustained_bps == 40 * MB
+        assert baseline.node_set_size == 64
+        assert baseline.redundancy_set_size == 8
+        assert baseline.drives_per_node == 12
+        assert baseline.restripe_command_bytes == 1024 * KB
+        assert baseline.rebuild_command_bytes == 128 * KB
+        assert baseline.capacity_utilization == 0.75
+        assert baseline.rebuild_bandwidth_fraction == 0.10
+
+    def test_c_her_is_paper_value(self, baseline):
+        # 300 GB * 8 bits * 1e-14 per bit = 0.024 hard errors per full read.
+        assert baseline.hard_error_per_drive_read == pytest.approx(0.024)
+
+    def test_link_sustained_matches_paper(self, baseline):
+        # "10 Gbps (800 MB/sec sustained)"
+        assert baseline.link_sustained_bytes_per_sec == pytest.approx(800e6)
+
+    def test_failure_rates(self, baseline):
+        assert baseline.node_failure_rate == pytest.approx(1 / 400_000)
+        assert baseline.drive_failure_rate == pytest.approx(1 / 300_000)
+
+    def test_capacities(self, baseline):
+        assert baseline.node_data_bytes == pytest.approx(12 * 300 * GB * 0.75)
+        assert baseline.system_raw_bytes == pytest.approx(64 * 12 * 300 * GB)
+        assert baseline.system_logical_pb == pytest.approx(0.1728)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "node_mttf_hours",
+            "drive_mttf_hours",
+            "drive_capacity_bytes",
+            "drive_max_iops",
+            "drive_sustained_bps",
+            "restripe_command_bytes",
+            "rebuild_command_bytes",
+            "link_speed_bps",
+        ],
+    )
+    def test_positive_fields(self, field):
+        with pytest.raises(ParameterError):
+            Parameters(**{field: 0})
+        with pytest.raises(ParameterError):
+            Parameters(**{field: -1})
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "link_sustained_fraction",
+            "capacity_utilization",
+            "rebuild_bandwidth_fraction",
+        ],
+    )
+    def test_fraction_fields(self, field):
+        with pytest.raises(ParameterError):
+            Parameters(**{field: 0.0})
+        with pytest.raises(ParameterError):
+            Parameters(**{field: 1.5})
+        Parameters(**{field: 1.0})  # inclusive upper bound
+
+    def test_negative_her_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameters(hard_error_rate_per_bit=-1e-15)
+
+    def test_zero_her_allowed(self):
+        Parameters(hard_error_rate_per_bit=0.0)
+
+    def test_node_set_too_small(self):
+        with pytest.raises(ParameterError):
+            Parameters(node_set_size=1, redundancy_set_size=2)
+
+    def test_redundancy_set_exceeds_node_set(self):
+        with pytest.raises(ParameterError):
+            Parameters(node_set_size=4, redundancy_set_size=5)
+
+    def test_drives_per_node_minimum(self):
+        with pytest.raises(ParameterError):
+            Parameters(drives_per_node=0)
+
+
+class TestConstructors:
+    def test_replace_is_validated(self, baseline):
+        with pytest.raises(ParameterError):
+            baseline.replace(node_set_size=0)
+
+    def test_replace_does_not_mutate(self, baseline):
+        changed = baseline.replace(node_set_size=32)
+        assert baseline.node_set_size == 64
+        assert changed.node_set_size == 32
+
+    def test_with_link_speed_gbps(self, baseline):
+        p = baseline.with_link_speed_gbps(5)
+        assert p.link_speed_bps == pytest.approx(5e9)
+        assert p.link_sustained_bytes_per_sec == pytest.approx(400e6)
+
+    def test_with_rebuild_command_kb(self, baseline):
+        p = baseline.with_rebuild_command_kb(64)
+        assert p.rebuild_command_bytes == 64 * KB
+
+    def test_to_dict_roundtrip(self, baseline):
+        d = baseline.to_dict()
+        assert Parameters(**d) == baseline
+
+    def test_frozen(self, baseline):
+        with pytest.raises(Exception):
+            baseline.node_set_size = 10  # type: ignore[misc]

@@ -1,0 +1,61 @@
+"""Tests for the rebuild-bandwidth performance-impact model."""
+
+import pytest
+
+from repro.models import (
+    Configuration,
+    InternalRaid,
+    PerformanceImpact,
+    PerformanceImpactModel,
+)
+
+
+@pytest.fixture
+def model(baseline):
+    return PerformanceImpactModel(Configuration(InternalRaid.RAID5, 2), baseline)
+
+
+class TestImpact:
+    def test_average_throughput_formula(self):
+        impact = PerformanceImpact(
+            rebuild_time_fraction=0.10, throughput_during_rebuild=0.9
+        )
+        assert impact.average_throughput == pytest.approx(0.9 + 0.1 * 0.9)
+        assert impact.degraded_hours_per_year == pytest.approx(0.10 * 8766)
+
+    def test_baseline_is_barely_affected(self, model):
+        """At the baseline MTTFs the system rebuilds < 0.1% of the time."""
+        impact = model.evaluate()
+        assert impact.rebuild_time_fraction < 1e-3
+        assert impact.average_throughput > 0.999
+        assert impact.throughput_during_rebuild == pytest.approx(0.90)
+
+    def test_worse_hardware_means_more_degradation(self, baseline):
+        config = Configuration(InternalRaid.RAID5, 2)
+        good = PerformanceImpactModel(config, baseline).evaluate()
+        bad = PerformanceImpactModel(
+            config, baseline.replace(node_mttf_hours=50_000.0)
+        ).evaluate()
+        assert bad.rebuild_time_fraction > good.rebuild_time_fraction
+        assert bad.average_throughput < good.average_throughput
+
+
+class TestSweep:
+    def test_tradeoff_directions(self, model):
+        """More rebuild bandwidth: better reliability, deeper degradation
+        during rebuilds."""
+        rows = model.sweep_rebuild_fraction()
+        fractions = [r[0] for r in rows]
+        rates = [r[1] for r in rows]
+        assert fractions == sorted(fractions)
+        # Reliability improves (events drop) with more rebuild bandwidth.
+        assert rates == sorted(rates, reverse=True)
+
+    def test_average_throughput_stays_high(self, model):
+        """Because rebuilds are rare, even a 40% reservation costs almost
+        nothing on average — the knob is nearly free reliability at the
+        baseline (its true cost appears under degraded-mode latency SLOs,
+        outside this model's scope)."""
+        rows = model.sweep_rebuild_fraction()
+        for _, _, average in rows:
+            assert average > 0.995

@@ -1,0 +1,132 @@
+"""Tests for the Section 5.1 rebuild-time model."""
+
+import pytest
+
+from repro.models import KB, MB, Parameters, RebuildModel
+
+
+@pytest.fixture
+def model(baseline) -> RebuildModel:
+    return RebuildModel(baseline)
+
+
+class TestTransportBandwidths:
+    def test_rebuild_bandwidth_is_iops_bound_at_baseline(self, model):
+        # 150 IOPS x 128 KiB = 19.66 MB/s < 40 MB/s sustained, then 10%.
+        expected = 150 * 128 * 1024 * 0.10
+        assert model.drive_rebuild_bandwidth() == pytest.approx(expected)
+
+    def test_rebuild_bandwidth_caps_at_sustained(self, baseline):
+        big = RebuildModel(baseline.with_rebuild_command_kb(4096))
+        assert big.drive_rebuild_bandwidth() == pytest.approx(40 * MB * 0.10)
+
+    def test_restripe_bandwidth_is_sustained_bound(self, model):
+        # 150 IOPS x 1 MiB >> 40 MB/s, so the sustained rate governs.
+        assert model.drive_restripe_bandwidth() == pytest.approx(40 * MB * 0.10)
+
+    def test_network_bandwidth(self, model, baseline):
+        expected = baseline.link_sustained_bytes_per_sec * 0.10
+        assert model.node_network_bandwidth() == pytest.approx(expected)
+
+
+class TestNodeRebuild:
+    def test_hand_computed_disk_time(self, model, baseline):
+        # Per-node disk traffic: (R - t + 1)/(N - 1) node-datas at t = 2.
+        breakdown = model.node_rebuild(fault_tolerance=2)
+        node_data = baseline.node_data_bytes
+        disk_bw = 12 * model.drive_rebuild_bandwidth()
+        expected = (7 / 63) * node_data / disk_bw
+        assert breakdown.disk_seconds == pytest.approx(expected)
+
+    def test_hand_computed_network_time(self, model, baseline):
+        breakdown = model.node_rebuild(fault_tolerance=2)
+        node_data = baseline.node_data_bytes
+        expected = (6 / 63) * node_data / model.node_network_bandwidth()
+        assert breakdown.network_seconds == pytest.approx(expected)
+
+    def test_disk_bound_at_baseline(self, model):
+        assert model.node_rebuild(2).bottleneck == "disk"
+
+    def test_network_bound_at_1gbps(self, baseline):
+        slow = RebuildModel(baseline.with_link_speed_gbps(1))
+        assert slow.node_rebuild(2).bottleneck == "network"
+
+    def test_crossover_between_2_and_3_gbps(self, model):
+        # The paper reports the rebuild is link-constrained "up to around
+        # 3 Gb/s".
+        crossover = model.network_bound_below_gbps(2)
+        assert 2.0 < crossover < 3.5
+
+    def test_higher_tolerance_rebuilds_faster(self, model):
+        # Fewer surviving elements to read: R - t shrinks with t.
+        t2 = model.node_rebuild(2).total_seconds
+        t3 = model.node_rebuild(3).total_seconds
+        assert t3 < t2
+
+    def test_invalid_fault_tolerance(self, model):
+        with pytest.raises(ValueError):
+            model.node_rebuild(0)
+
+
+class TestDriveRebuildAndRestripe:
+    def test_drive_rebuild_scales_with_drive_data(self, model, baseline):
+        node = model.node_rebuild(2)
+        drive = model.drive_rebuild(2)
+        # One drive's data instead of d drives' worth: d times faster.
+        assert drive.total_seconds == pytest.approx(
+            node.total_seconds / baseline.drives_per_node
+        )
+
+    def test_restripe_hand_computed(self, model, baseline):
+        # Read + write the node's data through d drives at sustained x 10%.
+        breakdown = model.array_restripe()
+        expected = 2 * baseline.node_data_bytes / (12 * 40 * MB * 0.10)
+        assert breakdown.disk_seconds == pytest.approx(expected)
+        assert breakdown.network_seconds == 0.0
+        assert breakdown.bottleneck == "disk"
+
+    def test_restripe_rate_at_baseline(self, model):
+        # 5.4 TB moved at 48 MB/s -> 31.25 hours.
+        assert 1.0 / model.restripe_rate() == pytest.approx(31.25, rel=1e-3)
+
+
+class TestRates:
+    def test_rates_are_reciprocal_hours(self, model):
+        for t in (1, 2, 3):
+            assert model.node_rebuild_rate(t) == pytest.approx(
+                1.0 / model.node_rebuild(t).total_hours
+            )
+            assert model.drive_rebuild_rate(t) == pytest.approx(
+                1.0 / model.drive_rebuild(t).total_hours
+            )
+
+    def test_block_size_monotonicity(self, baseline):
+        """Larger rebuild commands never slow a rebuild (Figure 16's lever)."""
+        previous = None
+        for kb in (16, 32, 64, 128, 256, 512):
+            rate = RebuildModel(
+                baseline.with_rebuild_command_kb(kb)
+            ).node_rebuild_rate(2)
+            if previous is not None:
+                assert rate >= previous - 1e-12
+            previous = rate
+
+    def test_block_size_saturates(self, baseline):
+        """Beyond the sustained-rate cap, bigger commands stop helping."""
+        r512 = RebuildModel(baseline.with_rebuild_command_kb(512)).node_rebuild_rate(2)
+        r2048 = RebuildModel(baseline.with_rebuild_command_kb(2048)).node_rebuild_rate(2)
+        assert r512 == pytest.approx(r2048)
+
+    def test_link_speed_saturates(self, baseline):
+        """Figure 17: 5 and 10 Gb/s are equivalent (disk-bound regime)."""
+        r5 = RebuildModel(baseline.with_link_speed_gbps(5)).node_rebuild_rate(2)
+        r10 = RebuildModel(baseline.with_link_speed_gbps(10)).node_rebuild_rate(2)
+        r1 = RebuildModel(baseline.with_link_speed_gbps(1)).node_rebuild_rate(2)
+        assert r5 == pytest.approx(r10)
+        assert r1 < r5
+
+    def test_larger_node_set_spreads_rebuild(self, baseline):
+        """More survivors share the work: rebuild rate grows with N."""
+        small = RebuildModel(baseline.replace(node_set_size=16)).node_rebuild_rate(2)
+        large = RebuildModel(baseline.replace(node_set_size=128)).node_rebuild_rate(2)
+        assert large > small

@@ -1,0 +1,88 @@
+"""Tests for the disk-scrubbing extension."""
+
+import pytest
+
+from repro.models import (
+    Configuration,
+    InternalRaid,
+    Parameters,
+    SECTOR_BYTES,
+    ScrubbingModel,
+)
+
+
+class TestCalibration:
+    def test_no_scrub_reproduces_baseline_her(self, baseline):
+        """With the scrub interval at the calibration exposure, the
+        effective HER equals the paper's baseline."""
+        model = ScrubbingModel(transient_fraction=0.5)
+        her = model.effective_her_per_bit(
+            baseline, model.calibration_exposure_hours
+        )
+        assert her == pytest.approx(baseline.hard_error_rate_per_bit)
+
+    def test_instant_scrub_leaves_only_transient(self, baseline):
+        model = ScrubbingModel(transient_fraction=0.3)
+        her = model.effective_her_per_bit(baseline, 0.0)
+        assert her == pytest.approx(0.3 * baseline.hard_error_rate_per_bit)
+
+    def test_interval_capped_at_calibration(self, baseline):
+        model = ScrubbingModel()
+        capped = model.effective_her_per_bit(baseline, 1e12)
+        at_cal = model.effective_her_per_bit(
+            baseline, model.calibration_exposure_hours
+        )
+        assert capped == pytest.approx(at_cal)
+
+    def test_monotone_in_interval(self, baseline):
+        model = ScrubbingModel()
+        values = [
+            model.effective_her_per_bit(baseline, h)
+            for h in (0.0, 24.0, 168.0, 720.0, 8766.0)
+        ]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_all_transient_means_scrubbing_is_useless(self, baseline):
+        model = ScrubbingModel(transient_fraction=1.0)
+        assert model.effective_her_per_bit(baseline, 0.0) == pytest.approx(
+            model.effective_her_per_bit(baseline, 8766.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScrubbingModel(transient_fraction=1.5)
+        with pytest.raises(ValueError):
+            ScrubbingModel(calibration_exposure_hours=0)
+        with pytest.raises(ValueError):
+            ScrubbingModel().effective_her_per_bit(Parameters.baseline(), -1.0)
+
+
+class TestSystemEffect:
+    def test_weekly_scrub_improves_reliability(self, baseline):
+        model = ScrubbingModel()
+        config = Configuration(InternalRaid.RAID5, 2)
+        unscrubbed = config.reliability(
+            model.scrubbed_parameters(baseline, model.calibration_exposure_hours)
+        )
+        weekly = config.reliability(model.scrubbed_parameters(baseline, 168.0))
+        assert weekly.events_per_pb_year < unscrubbed.events_per_pb_year
+
+    def test_scrubbed_parameters_only_touch_her(self, baseline):
+        model = ScrubbingModel()
+        scrubbed = model.scrubbed_parameters(baseline, 168.0)
+        assert scrubbed.node_mttf_hours == baseline.node_mttf_hours
+        assert scrubbed.hard_error_rate_per_bit < baseline.hard_error_rate_per_bit
+
+    def test_scrub_bandwidth_cost(self, baseline):
+        model = ScrubbingModel()
+        # Reading 300 GB at 40 MB/s = 7500 s; weekly = 7500/(168*3600).
+        cost = model.scrub_bandwidth_fraction(baseline, 168.0)
+        assert cost == pytest.approx(7500.0 / (168 * 3600))
+        with pytest.raises(ValueError):
+            model.scrub_bandwidth_fraction(baseline, 0.0)
+
+    def test_faster_scrub_costs_more_bandwidth(self, baseline):
+        model = ScrubbingModel()
+        daily = model.scrub_bandwidth_fraction(baseline, 24.0)
+        monthly = model.scrub_bandwidth_fraction(baseline, 720.0)
+        assert daily > monthly

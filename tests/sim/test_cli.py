@@ -1,0 +1,26 @@
+"""Tests for the repro-validate command-line harness."""
+
+import pytest
+
+from repro.sim.cli import main
+
+
+class TestValidateCli:
+    def test_runs_and_reports(self, capsys):
+        rc = main(["--replicas", "30", "--scale", "100", "--seed", "3", "--nodes", "12"])
+        out = capsys.readouterr().out
+        assert "configuration" in out
+        assert "worst |z|" in out
+        assert rc in (0, 1)
+
+    def test_small_scale_ok(self, capsys):
+        # Heavier acceleration keeps runtimes small in CI.
+        rc = main(["--replicas", "40", "--scale", "200", "--nodes", "12"])
+        assert rc in (0, 1)
+        assert "acceleration x200" in capsys.readouterr().out
+
+    def test_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["--replicas", "1"])
+        with pytest.raises(SystemExit):
+            main(["--scale", "0"])

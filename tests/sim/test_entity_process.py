@@ -1,0 +1,122 @@
+"""Tests for the per-entity (Weibull) failure process."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models import Configuration, InternalRaid, Parameters
+from repro.sim import (
+    EntityNoRaidProcess,
+    Simulator,
+    StreamFactory,
+    WeibullLifetime,
+)
+
+
+@pytest.fixture
+def acc_params():
+    return Parameters.baseline().replace(
+        node_set_size=10,
+        redundancy_set_size=5,
+        node_mttf_hours=2_000.0,
+        drive_mttf_hours=1_500.0,
+    )
+
+
+def mean_time_to_loss(params, t, runs, **kwargs):
+    times = []
+    for seed in range(runs):
+        sim = Simulator()
+        process = EntityNoRaidProcess(
+            sim, params, t, StreamFactory(seed), **kwargs
+        )
+        sim.run(stop_when=lambda: process.has_lost_data, max_events=10**7)
+        assert process.has_lost_data
+        times.append(process.losses[0].time_hours)
+    arr = np.array(times)
+    return float(arr.mean()), float(arr.std(ddof=1) / math.sqrt(runs))
+
+
+class TestWeibullLifetime:
+    def test_exponential_special_case_mean(self):
+        rng = np.random.default_rng(0)
+        lifetime = WeibullLifetime(100.0, shape=1.0)
+        samples = [lifetime.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_mean_preserved_across_shapes(self):
+        rng = np.random.default_rng(1)
+        for shape in (0.7, 1.5, 3.0):
+            lifetime = WeibullLifetime(100.0, shape=shape)
+            samples = [lifetime.sample(rng) for _ in range(20_000)]
+            assert np.mean(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_residual_memoryless_when_shape_one(self):
+        rng = np.random.default_rng(2)
+        lifetime = WeibullLifetime(100.0, shape=1.0)
+        residuals = [lifetime.sample_residual(rng, age=500.0) for _ in range(20_000)]
+        assert np.mean(residuals) == pytest.approx(100.0, rel=0.05)
+
+    def test_residual_shrinks_with_age_under_wearout(self):
+        rng = np.random.default_rng(3)
+        lifetime = WeibullLifetime(100.0, shape=3.0)
+        young = np.mean([lifetime.sample_residual(rng, 1.0) for _ in range(5000)])
+        old = np.mean([lifetime.sample_residual(rng, 150.0) for _ in range(5000)])
+        assert old < young / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeibullLifetime(0.0)
+        with pytest.raises(ValueError):
+            WeibullLifetime(10.0, shape=0.0)
+        with pytest.raises(ValueError):
+            WeibullLifetime(10.0).sample_residual(np.random.default_rng(0), -1.0)
+
+
+class TestEntityProcess:
+    def test_shape_one_matches_chain(self, acc_params):
+        """With exponential lifetimes the per-entity process reproduces the
+        Markov chain's MTTDL — the cross-validation of both machineries."""
+        mean, sem = mean_time_to_loss(acc_params, 2, runs=120)
+        chain = Configuration(InternalRaid.NONE, 2).mttdl_hours(acc_params)
+        assert abs(chain - mean) <= 4.0 * sem
+
+    def test_infant_mortality_is_catastrophic(self, acc_params):
+        """Decreasing hazard clusters failures early: much shorter time to
+        first loss at the same mean MTTF."""
+        exp_mean, _ = mean_time_to_loss(acc_params, 2, runs=60)
+        infant_mean, _ = mean_time_to_loss(
+            acc_params, 2, runs=60, node_shape=0.7, drive_shape=0.7
+        )
+        assert infant_mean < 0.5 * exp_mean
+
+    def test_wearout_delays_first_loss(self, acc_params):
+        exp_mean, _ = mean_time_to_loss(acc_params, 2, runs=60)
+        wear_mean, _ = mean_time_to_loss(
+            acc_params, 2, runs=60, node_shape=3.0, drive_shape=3.0
+        )
+        assert wear_mean > 1.5 * exp_mean
+
+    def test_reproducible(self, acc_params):
+        a, _ = mean_time_to_loss(acc_params, 1, runs=5)
+        b, _ = mean_time_to_loss(acc_params, 1, runs=5)
+        assert a == b
+
+    def test_word_and_counters(self, acc_params):
+        sim = Simulator()
+        process = EntityNoRaidProcess(sim, acc_params, 2, StreamFactory(0))
+        assert process.outstanding_failures == 0
+        assert process.failure_word == ""
+
+    def test_validation(self, acc_params):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            EntityNoRaidProcess(sim, acc_params, 0, StreamFactory(0))
+        with pytest.raises(ValueError):
+            EntityNoRaidProcess(
+                sim,
+                acc_params.replace(node_set_size=2, redundancy_set_size=2),
+                2,
+                StreamFactory(0),
+            )

@@ -1,0 +1,51 @@
+"""Tests for the renewal event-rate estimator."""
+
+import pytest
+
+from repro.models import Configuration, InternalRaid, Parameters, events_per_pb_year
+from repro.sim import accelerated_parameters, estimate_event_rate
+
+
+@pytest.fixture(scope="module")
+def acc():
+    base = Parameters.baseline().replace(node_set_size=12, redundancy_set_size=6)
+    return accelerated_parameters(base, failure_scale=300.0)
+
+
+class TestEventRate:
+    def test_matches_analytic_rate(self, acc):
+        """Long-run renewal rate equals 1/MTTDL per PB (the paper's
+        headline metric), within Poisson error."""
+        config = Configuration(InternalRaid.NONE, 2)
+        result = estimate_event_rate(config, acc, horizon_hours=120 * 8766, seed=3)
+        analytic = events_per_pb_year(config.mttdl_hours(acc), acc)
+        assert result.events > 100
+        z = (result.events_per_pb_year - analytic) / result.rate_std_error
+        assert abs(z) < 4.0
+
+    def test_zero_events_possible(self, acc):
+        """A short horizon on a strong configuration records no events."""
+        strong = Configuration(InternalRaid.NONE, 3)
+        result = estimate_event_rate(strong, acc, horizon_hours=50.0, seed=0)
+        assert result.events == 0
+        assert result.events_per_pb_year == 0.0
+        assert result.rate_std_error > 0  # conservative Poisson floor
+
+    def test_rates_consistent(self, acc):
+        config = Configuration(InternalRaid.NONE, 1)
+        result = estimate_event_rate(config, acc, horizon_hours=5000.0, seed=1)
+        assert result.events_per_pb_year == pytest.approx(
+            result.events_per_system_year / acc.system_logical_pb
+        )
+
+    def test_reproducible(self, acc):
+        config = Configuration(InternalRaid.NONE, 2)
+        a = estimate_event_rate(config, acc, horizon_hours=20_000.0, seed=5)
+        b = estimate_event_rate(config, acc, horizon_hours=20_000.0, seed=5)
+        assert a.events == b.events
+
+    def test_invalid_horizon(self, acc):
+        with pytest.raises(ValueError):
+            estimate_event_rate(
+                Configuration(InternalRaid.NONE, 2), acc, horizon_hours=0.0
+            )

@@ -1,0 +1,120 @@
+"""Tests for the discrete-event kernel."""
+
+import math
+
+import pytest
+
+from repro.sim import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_fifo_tie_breaking(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("a"))
+        q.push(1.0, lambda: order.append("b"))
+        first = q.pop()
+        second = q.pop()
+        first.callback()
+        second.callback()
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, lambda: None)
+        h = q.push(2.0, lambda: None)
+        assert q.pop() is h
+
+    def test_cancellation(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        h.cancel()
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        h.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(math.inf, lambda: None)
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(3.0))
+        sim.schedule_at(1.0, lambda: fired.append(1.0))
+        sim.schedule_after(2.0, lambda: fired.append(2.0))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.schedule_at(100.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        assert sim.pending_events == 1
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth > 0:
+                sim.schedule_after(1.0, lambda: chain(depth - 1))
+
+        sim.schedule_at(0.0, lambda: chain(3))
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_stop_when(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run(stop_when=lambda: len(fired) >= 2)
+        assert fired == [1.0, 2.0]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(1.0, forever)
+
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_cancelled_event_not_processed(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule_at(1.0, lambda: fired.append("x"))
+        h.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.step()
+        assert not sim.step()

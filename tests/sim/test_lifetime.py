@@ -1,0 +1,88 @@
+"""Tests for the fleet-lifetime capacity simulation."""
+
+import pytest
+
+from repro.cluster import SparePolicy
+from repro.models import HOURS_PER_YEAR, Parameters
+from repro.sim import simulate_lifetime
+
+
+@pytest.fixture
+def params():
+    return Parameters.baseline().replace(node_set_size=16, redundancy_set_size=8)
+
+
+class TestTrajectory:
+    def test_samples_cover_horizon(self, params):
+        result = simulate_lifetime(
+            params, horizon_hours=HOURS_PER_YEAR, seed=0, sample_interval_hours=730
+        )
+        assert len(result.samples) >= 12
+        assert result.samples[0].time_hours == 0.0
+        assert result.samples[-1].time_hours <= HOURS_PER_YEAR
+
+    def test_capacity_never_grows_without_spares(self, params):
+        result = simulate_lifetime(params, 3 * HOURS_PER_YEAR, seed=1)
+        caps = [s.raw_capacity_bytes for s in result.samples]
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+    def test_utilization_never_falls_without_spares(self, params):
+        result = simulate_lifetime(params, 3 * HOURS_PER_YEAR, seed=2)
+        utils = [s.utilization for s in result.samples]
+        assert all(b >= a - 1e-12 for a, b in zip(utils, utils[1:]))
+
+    def test_failures_accumulate(self, params):
+        # Accelerated aging to make failures certain.
+        fast = params.replace(node_mttf_hours=5_000.0, drive_mttf_hours=4_000.0)
+        result = simulate_lifetime(fast, HOURS_PER_YEAR, seed=3)
+        assert result.drive_failures > 0
+        assert result.node_failures > 0
+
+    def test_reproducible(self, params):
+        a = simulate_lifetime(params, HOURS_PER_YEAR, seed=9)
+        b = simulate_lifetime(params, HOURS_PER_YEAR, seed=9)
+        assert a.drive_failures == b.drive_failures
+        assert [s.utilization for s in a.samples] == [
+            s.utilization for s in b.samples
+        ]
+
+    def test_first_time_above(self, params):
+        fast = params.replace(node_mttf_hours=3_000.0)
+        result = simulate_lifetime(fast, 5 * HOURS_PER_YEAR, seed=4)
+        t = result.first_time_above(0.8)
+        if t is not None:
+            assert any(
+                s.time_hours == t and s.utilization > 0.8 for s in result.samples
+            )
+
+    def test_invalid_inputs(self, params):
+        with pytest.raises(ValueError):
+            simulate_lifetime(params, 0.0)
+        with pytest.raises(ValueError):
+            simulate_lifetime(params, 10.0, sample_interval_hours=0)
+
+
+class TestWithSparePolicy:
+    def test_policy_keeps_utilization_bounded(self, params):
+        fast = params.replace(node_mttf_hours=8_000.0, drive_mttf_hours=6_000.0)
+        policy = SparePolicy(fast, utilization_threshold=0.9)
+        result = simulate_lifetime(
+            fast,
+            3 * HOURS_PER_YEAR,
+            seed=5,
+            spare_policy=policy,
+            sample_interval_hours=200.0,
+        )
+        assert result.nodes_added > 0
+        # Sampled utilization right after policy application is bounded.
+        assert all(s.utilization <= 0.9 + 1e-9 for s in result.samples)
+
+    def test_no_spares_needed_when_reliable(self, params):
+        reliable = params.replace(
+            node_mttf_hours=1e9, drive_mttf_hours=1e9
+        )
+        policy = SparePolicy(reliable, utilization_threshold=0.9)
+        result = simulate_lifetime(
+            reliable, HOURS_PER_YEAR, seed=6, spare_policy=policy
+        )
+        assert result.nodes_added == 0

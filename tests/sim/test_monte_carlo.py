@@ -1,0 +1,77 @@
+"""Monte-Carlo validation: the headline consistency tests.
+
+The physical simulation re-creates the paper's assumptions from events;
+its empirical MTTDL must agree with the analytic chains solved at the
+same (accelerated) parameters.
+"""
+
+import pytest
+
+from repro.models import Configuration, InternalRaid, InternalRaidNodeModel, Parameters
+from repro.sim import MonteCarloResult, accelerated_parameters, estimate_mttdl
+
+
+@pytest.fixture(scope="module")
+def acc():
+    base = Parameters.baseline().replace(node_set_size=16, redundancy_set_size=8)
+    return accelerated_parameters(base, failure_scale=100.0)
+
+
+class TestAcceleration:
+    def test_scales_mttfs(self):
+        base = Parameters.baseline()
+        acc = accelerated_parameters(base, 50.0)
+        assert acc.node_mttf_hours == pytest.approx(base.node_mttf_hours / 50)
+        assert acc.drive_mttf_hours == pytest.approx(base.drive_mttf_hours / 50)
+        # Rebuild-side parameters untouched.
+        assert acc.rebuild_command_bytes == base.rebuild_command_bytes
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            accelerated_parameters(Parameters.baseline(), 0.0)
+
+
+class TestAgainstChains:
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_no_raid_matches_chain(self, acc, t):
+        """The no-RAID process is chain-equivalent by construction: the
+        empirical mean must sit within sampling error of the solve."""
+        config = Configuration(InternalRaid.NONE, t)
+        mc = estimate_mttdl(config, acc, replicas=150, seed=11)
+        analytic = config.mttdl_hours(acc)
+        assert mc.consistent_with(analytic, sigmas=4.0), (
+            mc.mean_hours,
+            mc.std_error_hours,
+            analytic,
+        )
+
+    def test_internal_raid_matches_chain_with_exact_rates(self, acc):
+        """Internal RAID needs the exact lambda_D / lambda_S extraction in
+        the accelerated regime (the paper's approximations assume
+        mu >> lambda)."""
+        config = Configuration(InternalRaid.RAID5, 1)
+        mc = estimate_mttdl(config, acc, replicas=150, seed=13)
+        analytic = InternalRaidNodeModel(
+            acc, InternalRaid.RAID5, 1, rates_method="exact"
+        ).mttdl_exact()
+        assert mc.consistent_with(analytic, sigmas=4.0)
+
+    def test_loss_cause_mix_reported(self, acc):
+        mc = estimate_mttdl(Configuration(InternalRaid.NONE, 1), acc, replicas=60, seed=5)
+        assert sum(count for _, count in mc.loss_causes) == 60
+
+
+class TestResultType:
+    def test_ci_and_consistency(self):
+        result = MonteCarloResult(
+            mean_hours=100.0, std_error_hours=5.0, replicas=10, loss_causes=()
+        )
+        lo, hi = result.ci95_hours
+        assert lo == pytest.approx(100 - 1.96 * 5)
+        assert hi == pytest.approx(100 + 1.96 * 5)
+        assert result.consistent_with(110.0)
+        assert not result.consistent_with(200.0)
+
+    def test_replica_minimum(self, acc):
+        with pytest.raises(ValueError):
+            estimate_mttdl(Configuration(InternalRaid.NONE, 1), acc, replicas=1)

@@ -1,0 +1,192 @@
+"""Tests for the physical failure/rebuild processes."""
+
+import pytest
+
+from repro.models import InternalRaid, Parameters
+from repro.sim import (
+    InternalRaidFailureProcess,
+    NoRaidFailureProcess,
+    Simulator,
+    StreamFactory,
+)
+
+
+@pytest.fixture
+def acc_params():
+    """Heavily accelerated so losses happen within a few simulated weeks."""
+    return Parameters.baseline().replace(
+        node_set_size=8,
+        redundancy_set_size=4,
+        node_mttf_hours=400.0,
+        drive_mttf_hours=300.0,
+    )
+
+
+def run_to_loss(process, sim, max_events=2_000_000):
+    sim.run(max_events=max_events, stop_when=lambda: process.has_lost_data)
+    assert process.has_lost_data
+    return process.losses[0]
+
+
+class TestNoRaidProcess:
+    def test_reaches_data_loss(self, acc_params):
+        sim = Simulator()
+        process = NoRaidFailureProcess(sim, acc_params, 2, StreamFactory(0))
+        event = run_to_loss(process, sim)
+        assert event.time_hours > 0
+        assert event.cause in (
+            "failure-beyond-tolerance",
+            "hard-error-critical-rebuild",
+        )
+
+    def test_stops_generating_after_loss(self, acc_params):
+        sim = Simulator()
+        process = NoRaidFailureProcess(sim, acc_params, 1, StreamFactory(1))
+        run_to_loss(process, sim)
+        losses = len(process.losses)
+        sim.run()
+        assert len(process.losses) == losses
+
+    def test_reproducible(self, acc_params):
+        times = []
+        for _ in range(2):
+            sim = Simulator()
+            process = NoRaidFailureProcess(sim, acc_params, 2, StreamFactory(42))
+            times.append(run_to_loss(process, sim).time_hours)
+        assert times[0] == times[1]
+
+    def test_word_tracking(self, acc_params):
+        sim = Simulator()
+        process = NoRaidFailureProcess(sim, acc_params, 3, StreamFactory(3))
+        assert process.failure_word == ""
+        assert process.outstanding_failures == 0
+
+    def test_higher_tolerance_survives_longer(self, acc_params):
+        means = []
+        for t in (1, 2):
+            total = 0.0
+            for seed in range(40):
+                sim = Simulator()
+                process = NoRaidFailureProcess(
+                    sim, acc_params, t, StreamFactory(seed)
+                )
+                total += run_to_loss(process, sim).time_hours
+            means.append(total / 40)
+        assert means[1] > 2 * means[0]
+
+    def test_deterministic_repair_mode(self, acc_params):
+        sim = Simulator()
+        process = NoRaidFailureProcess(
+            sim, acc_params, 2, StreamFactory(5), repair_distribution="deterministic"
+        )
+        run_to_loss(process, sim)
+
+    def test_correlated_bursts_hurt(self, acc_params):
+        """With burst size above the tolerance, correlated failures cut
+        survival time versus independent failures at the same total rate."""
+        def mean_ttl(burst_fraction, runs=50):
+            total = 0.0
+            for seed in range(runs):
+                sim = Simulator()
+                process = NoRaidFailureProcess(
+                    sim,
+                    acc_params,
+                    2,
+                    StreamFactory(seed),
+                    burst_fraction=burst_fraction,
+                    burst_size=3,
+                )
+                total += run_to_loss(process, sim).time_hours
+            return total / runs
+
+        independent = mean_ttl(0.0)
+        correlated = mean_ttl(0.5)
+        assert correlated < independent
+
+    def test_burst_smaller_than_tolerance_recoverable(self, acc_params):
+        """Bursts within the tolerance do not cause instant loss."""
+        sim = Simulator()
+        process = NoRaidFailureProcess(
+            sim,
+            acc_params,
+            3,
+            StreamFactory(4),
+            burst_fraction=1.0,
+            burst_size=2,
+        )
+        event = run_to_loss(process, sim)
+        assert event.time_hours > 0
+
+    def test_burst_validation(self, acc_params):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            NoRaidFailureProcess(
+                sim, acc_params, 2, StreamFactory(0), burst_fraction=1.5
+            )
+        with pytest.raises(ValueError):
+            NoRaidFailureProcess(
+                sim, acc_params, 2, StreamFactory(0), burst_size=1
+            )
+
+    def test_validation(self, acc_params):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            NoRaidFailureProcess(sim, acc_params, 0, StreamFactory(0))
+        with pytest.raises(ValueError):
+            NoRaidFailureProcess(
+                sim, acc_params, 2, StreamFactory(0), repair_distribution="weird"
+            )
+        with pytest.raises(ValueError):
+            NoRaidFailureProcess(sim, acc_params, 8, StreamFactory(0))
+
+
+class TestInternalRaidProcess:
+    def test_reaches_data_loss(self, acc_params):
+        sim = Simulator()
+        process = InternalRaidFailureProcess(
+            sim, acc_params, InternalRaid.RAID5, 2, StreamFactory(0)
+        )
+        event = run_to_loss(process, sim)
+        assert event.cause in (
+            "failure-beyond-tolerance",
+            "hard-error-critical-restripe",
+        )
+
+    def test_raid6_survives_longer_than_raid5(self, acc_params):
+        means = []
+        for level in (InternalRaid.RAID5, InternalRaid.RAID6):
+            total = 0.0
+            for seed in range(30):
+                sim = Simulator()
+                process = InternalRaidFailureProcess(
+                    sim, acc_params, level, 1, StreamFactory(seed)
+                )
+                total += run_to_loss(process, sim).time_hours
+            means.append(total / 30)
+        assert means[1] > means[0]
+
+    def test_nodes_down_tracking(self, acc_params):
+        sim = Simulator()
+        process = InternalRaidFailureProcess(
+            sim, acc_params, InternalRaid.RAID5, 2, StreamFactory(2)
+        )
+        assert process.nodes_down == 0
+
+    def test_validation(self, acc_params):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            InternalRaidFailureProcess(
+                sim, acc_params, InternalRaid.NONE, 2, StreamFactory(0)
+            )
+        with pytest.raises(ValueError):
+            InternalRaidFailureProcess(
+                sim, acc_params, InternalRaid.RAID5, 0, StreamFactory(0)
+            )
+        with pytest.raises(ValueError):
+            InternalRaidFailureProcess(
+                sim,
+                acc_params.replace(drives_per_node=2),
+                InternalRaid.RAID6,
+                1,
+                StreamFactory(0),
+            )

@@ -1,0 +1,57 @@
+"""Tests for reproducible random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import StreamFactory, bernoulli, exponential
+
+
+class TestStreamFactory:
+    def test_same_name_same_stream(self):
+        f = StreamFactory(seed=1)
+        assert f.stream("a") is f.stream("a")
+
+    def test_different_names_independent(self):
+        f = StreamFactory(seed=1)
+        a = f.stream("a").random(5)
+        b = f.stream("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_factories(self):
+        a = StreamFactory(seed=7).stream("x").random(5)
+        b = StreamFactory(seed=7).stream("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_request_order_does_not_matter(self):
+        f1 = StreamFactory(seed=7)
+        f1.stream("a")
+        x1 = f1.stream("x").random(3)
+        f2 = StreamFactory(seed=7)
+        x2 = f2.stream("x").random(3)
+        assert np.allclose(x1, x2)
+
+    def test_different_seeds_differ(self):
+        a = StreamFactory(seed=1).stream("x").random(5)
+        b = StreamFactory(seed=2).stream("x").random(5)
+        assert not np.allclose(a, b)
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = np.random.default_rng(0)
+        samples = [exponential(rng, rate=4.0) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.05)
+
+    def test_exponential_positive_rate_required(self):
+        with pytest.raises(ValueError):
+            exponential(np.random.default_rng(0), 0.0)
+
+    def test_bernoulli_frequency(self):
+        rng = np.random.default_rng(1)
+        hits = sum(bernoulli(rng, 0.3) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_bernoulli_clamps(self):
+        rng = np.random.default_rng(2)
+        assert bernoulli(rng, 1.5) is True
+        assert bernoulli(rng, -0.5) is False

@@ -1,0 +1,73 @@
+"""Tests for simulation tracing."""
+
+import pytest
+
+from repro.models import Parameters
+from repro.sim import (
+    NoRaidFailureProcess,
+    Simulator,
+    StreamFactory,
+    TraceRecorder,
+)
+
+
+@pytest.fixture
+def traced_run():
+    params = Parameters.baseline().replace(
+        node_set_size=8,
+        redundancy_set_size=4,
+        node_mttf_hours=500.0,
+        drive_mttf_hours=400.0,
+    )
+    sim = Simulator()
+    recorder = TraceRecorder()
+    process = NoRaidFailureProcess(
+        sim, params, 2, StreamFactory(3), on_data_loss=recorder.on_loss
+    )
+    recorder.attach(sim, process)
+    sim.run(stop_when=lambda: process.has_lost_data, max_events=10**6)
+    return recorder, process
+
+
+class TestRecorder:
+    def test_records_end_with_loss(self, traced_run):
+        recorder, process = traced_run
+        assert process.has_lost_data
+        assert recorder.records[-1].kind == "loss"
+
+    def test_structural_validity(self, traced_run):
+        recorder, _ = traced_run
+        recorder.validate()
+
+    def test_depth_never_exceeds_tolerance_before_loss(self, traced_run):
+        recorder, _ = traced_run
+        non_loss = [r for r in recorder.records if r.kind != "loss"]
+        assert max(r.depth for r in non_loss) <= 2
+
+    def test_failures_and_repairs_interleave(self, traced_run):
+        recorder, _ = traced_run
+        kinds = {r.kind for r in recorder.records}
+        assert "failure" in kinds
+        # Most replicas see at least one completed repair before dying.
+        timeline = recorder.depth_timeline()
+        assert len(timeline) >= 1
+
+    def test_time_at_depth_sums_to_total(self, traced_run):
+        recorder, _ = traced_run
+        end = recorder.records[-1].time_hours
+        total = sum(recorder.time_at_depth(d, until=end) for d in range(0, 4))
+        assert total == pytest.approx(end, rel=1e-9)
+
+    def test_max_depth(self, traced_run):
+        recorder, _ = traced_run
+        assert recorder.max_depth() >= 1
+
+    def test_validate_catches_corruption(self, traced_run):
+        recorder, _ = traced_run
+        from repro.sim import TraceRecord
+
+        recorder.records.insert(
+            0, TraceRecord(time_hours=1e9, kind="failure", depth=1)
+        )
+        with pytest.raises(AssertionError):
+            recorder.validate()
