@@ -15,7 +15,7 @@ from repro.analysis import format_table
 from repro.models import Parameters
 from repro.sim import NoRaidFailureProcess, Simulator, StreamFactory
 
-ACCELERATED = Parameters.baseline().replace(
+ACCELERATED = Parameters.with_overrides(
     node_set_size=12,
     redundancy_set_size=6,
     node_mttf_hours=4_000.0,

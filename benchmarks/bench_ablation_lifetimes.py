@@ -18,7 +18,7 @@ from repro.analysis import format_table
 from repro.models import Configuration, InternalRaid, Parameters
 from repro.sim import EntityNoRaidProcess, Simulator, StreamFactory
 
-ACCELERATED = Parameters.baseline().replace(
+ACCELERATED = Parameters.with_overrides(
     node_set_size=10,
     redundancy_set_size=5,
     node_mttf_hours=2_000.0,

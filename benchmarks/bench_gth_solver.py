@@ -32,7 +32,7 @@ def lu_mttdl(chain):
 
 @pytest.mark.parametrize("k", [2, 4, 6])
 def test_gth_solve_speed(benchmark, k):
-    params = Parameters.baseline().replace(node_set_size=128, redundancy_set_size=16)
+    params = Parameters.with_overrides(node_set_size=128, redundancy_set_size=16)
     chain = RecursiveNoRaidModel(params, k).chain()
     mttdl = benchmark(chain.mean_time_to_absorption)
     assert mttdl > 0
@@ -46,7 +46,7 @@ def test_gth_vs_lu_accuracy_report():
         ("Figure 9 (t=2)", NoRaidNodeModel(params, 2).chain()),
         ("Figure 10 (t=3)", NoRaidNodeModel(params, 3).chain()),
     ]
-    big = Parameters.baseline().replace(node_set_size=128, redundancy_set_size=16)
+    big = Parameters.with_overrides(node_set_size=128, redundancy_set_size=16)
     cases.append(("recursive k=5 (N=128)", RecursiveNoRaidModel(big, 5).chain()))
     for name, chain in cases:
         if chain.num_states <= 20:
@@ -75,7 +75,7 @@ def test_gth_vs_lu_accuracy_report():
 def test_lu_is_wrong_on_very_stiff_chain():
     """The motivating failure: on the k=6 condition-1e17 chain LU is off
     by tens of percent while GTH matches Figure A1 to ~1%."""
-    params = Parameters.baseline().replace(node_set_size=128, redundancy_set_size=16)
+    params = Parameters.with_overrides(node_set_size=128, redundancy_set_size=16)
     model = RecursiveNoRaidModel(params, 6)
     chain = model.chain()
     gth = chain.mean_time_to_absorption()

@@ -18,7 +18,7 @@ from repro.models import (
 @pytest.fixture(scope="module")
 def gentle():
     """Regime where the paper's approximations hold tightly."""
-    return Parameters.baseline().replace(
+    return Parameters.with_overrides(
         node_mttf_hours=2_000_000.0,
         drive_mttf_hours=1_500_000.0,
         hard_error_rate_per_bit=1e-16,

@@ -32,7 +32,7 @@ def acc():
     # Scale 60: fast enough to simulate, mild enough that the hierarchical
     # decomposition for internal RAID (constant lambda_D during node
     # rebuilds) stays within a few percent of the physical process.
-    base = Parameters.baseline().replace(node_set_size=16, redundancy_set_size=8)
+    base = Parameters.with_overrides(node_set_size=16, redundancy_set_size=8)
     return accelerated_parameters(base, failure_scale=60.0)
 
 

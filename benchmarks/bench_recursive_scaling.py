@@ -14,7 +14,7 @@ from repro.models import Parameters, RecursiveNoRaidModel
 
 @pytest.fixture(scope="module")
 def params():
-    return Parameters.baseline().replace(node_set_size=128, redundancy_set_size=16)
+    return Parameters.with_overrides(node_set_size=128, redundancy_set_size=16)
 
 
 @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6, 7])

@@ -8,7 +8,7 @@ import pytest
 from repro.cluster import BrickStore, Cluster, StripeStore
 from repro.models import InternalRaid, Parameters
 
-PARAMS = Parameters.baseline().replace(node_set_size=12, redundancy_set_size=6)
+PARAMS = Parameters.with_overrides(node_set_size=12, redundancy_set_size=6)
 PAYLOAD = os.urandom(64 * 1024)
 
 

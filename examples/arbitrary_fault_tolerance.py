@@ -20,7 +20,7 @@ from repro.models import (
 
 def main() -> None:
     # A larger-than-baseline brick farm with slow, cheap drives.
-    params = Parameters.baseline().replace(
+    params = Parameters.with_overrides(
         node_set_size=128,
         redundancy_set_size=16,
         drive_mttf_hours=150_000.0,

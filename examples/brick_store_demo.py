@@ -24,7 +24,7 @@ from repro.models import critical_fraction
 
 
 def build_store() -> StripeStore:
-    params = Parameters.baseline().replace(node_set_size=12, redundancy_set_size=6)
+    params = Parameters.with_overrides(node_set_size=12, redundancy_set_size=6)
     cluster = Cluster(params)
     return StripeStore(cluster, fault_tolerance=2)
 

@@ -9,6 +9,7 @@ PB-year against the enterprise target of 2e-3.
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro import (
     ALL_CONFIGURATIONS,
     Configuration,
@@ -35,7 +36,7 @@ def main() -> None:
 
     # One configuration in detail: FT 2 across nodes + RAID 5 inside them.
     config = Configuration(InternalRaid.RAID5, node_fault_tolerance=2)
-    result = config.reliability(params)
+    result = repro.evaluate(config, params)
     rebuild = RebuildModel(params)
     breakdown = rebuild.node_rebuild(config.node_fault_tolerance)
 
@@ -50,7 +51,7 @@ def main() -> None:
     # All nine configurations, Figure 13 style.
     print(f"{'configuration':<26} {'events/PB-year':>14}  meets target")
     for cfg in ALL_CONFIGURATIONS:
-        res = cfg.reliability(params)
+        res = repro.evaluate(cfg, params)
         marker = "yes" if res.meets_target else "NO"
         print(f"{cfg.label:<26} {res.events_per_pb_year:>14.3e}  {marker}")
 

@@ -26,7 +26,7 @@ REPLICAS = int(os.environ.get("REPRO_VALIDATE_REPLICAS", "150"))
 
 
 def main() -> None:
-    base = Parameters.baseline().replace(node_set_size=16, redundancy_set_size=8)
+    base = Parameters.with_overrides(node_set_size=16, redundancy_set_size=8)
     scale = 50.0
     acc = accelerated_parameters(base, failure_scale=scale)
     print(f"acceleration: failure rates x{scale:.0f} "

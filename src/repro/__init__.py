@@ -5,17 +5,25 @@ Nodes"* (KK Rao, James L. Hafner, Richard A. Golding; IBM Research /
 DSN 2006): absorbing-CTMC reliability models for brick-based distributed
 storage, the rebuild-time model, the recursive chain construction for
 arbitrary fault tolerance, plus the substrates needed to exercise them —
-an erasure-coding library, a simulated brick cluster and a Monte-Carlo
-failure injector.
+an erasure-coding library, a simulated brick cluster, a Monte-Carlo
+failure injector and a parallel, memoized sweep engine.
 
 Quickstart::
 
-    from repro import Configuration, InternalRaid, Parameters
+    import repro
 
-    params = Parameters.baseline()
-    config = Configuration(InternalRaid.RAID5, node_fault_tolerance=2)
-    result = config.reliability(params)
+    params = repro.Parameters.baseline()
+    config = repro.Configuration(repro.InternalRaid.RAID5, node_fault_tolerance=2)
+    result = repro.evaluate(config, params)           # analytic chain solve
+    approx = repro.evaluate(config, params, method="closed_form")
     print(result.events_per_pb_year, result.meets_target)
+
+Sweeps run through the engine::
+
+    engine = repro.SweepEngine(jobs=4, cache=True)
+    results = engine.evaluate_many(
+        [(c, params) for c in repro.ALL_CONFIGURATIONS]
+    )
 """
 
 from .models import (
@@ -27,21 +35,36 @@ from .models import (
     RebuildModel,
     ReliabilityResult,
     all_configurations,
-    evaluate,
     evaluate_all,
     sensitivity_configurations,
 )
 
 __version__ = "1.0.0"
 
+# The engine imports repro.__version__ for cache keys, so it must come
+# after the __version__ assignment above.
+from .engine import (  # noqa: E402
+    Axis,
+    DiskCache,
+    EngineProvenance,
+    SweepEngine,
+    SweepResult,
+    evaluate,
+)
+
 __all__ = [
     "ALL_CONFIGURATIONS",
+    "Axis",
     "Configuration",
+    "DiskCache",
+    "EngineProvenance",
     "InternalRaid",
     "PAPER_TARGET_EVENTS_PER_PB_YEAR",
     "Parameters",
     "RebuildModel",
     "ReliabilityResult",
+    "SweepEngine",
+    "SweepResult",
     "all_configurations",
     "evaluate",
     "evaluate_all",

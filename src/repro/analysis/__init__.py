@@ -28,6 +28,7 @@ from .figures import (
     figure19_redundancy_set_size,
     figure20_drives_per_node,
 )
+from ..engine.result import EngineProvenance, SweepResult
 from .report import FigureData, Series, format_figure, format_table
 from .sensitivity import SweepPoint, TornadoEntry, sweep, sweep_to_figure, tornado
 from .uncertainty import LogUniform, UncertaintyResult, UncertaintyStudy
@@ -56,8 +57,10 @@ __all__ = [
     "separation_ratio",
     "validity_map",
     "NODE_MTTF_LOW",
+    "EngineProvenance",
     "Series",
     "SweepPoint",
+    "SweepResult",
     "TornadoEntry",
     "all_figures",
     "baseline_figure",

@@ -5,6 +5,12 @@ Installed as ``repro-figures``::
     repro-figures                # everything (Figure 13 + sensitivity)
     repro-figures 13 17         # selected figures
     repro-figures --approx      # use the paper's closed forms
+    repro-figures --jobs 4      # fan sweeps out over 4 processes
+    repro-figures --no-cache    # skip the on-disk result cache
+    repro-figures --verbose     # report cache/memo hit rates
+
+The sensitivity figures run through :class:`repro.engine.SweepEngine`;
+results are bitwise identical at any ``--jobs`` and cache setting.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..engine.sweep import SweepEngine
 from ..models.parameters import Parameters
 from .baseline import baseline_figure, run_baseline
 from .figures import (
@@ -73,6 +80,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override a baseline parameter, e.g. --set node_set_size=128 "
         "or --set drive_mttf_hours=750000 (repeatable)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluation processes for the sensitivity sweeps "
+        "(default: all CPUs)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (.repro_cache/)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report cache/memo hit rates on stderr",
+    )
     args = parser.parse_args(argv)
 
     method = "approx" if args.approx else "exact"
@@ -93,12 +118,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         value = type(current)(float(raw)) if isinstance(current, (int, float)) else raw
         params = params.replace(**{field: value})
 
+    engine = SweepEngine(
+        params,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        method=method,
+        verbose=args.verbose,
+    )
     figures = []
     for number in wanted:
         if number == 13:
             figures.append(baseline_figure(run_baseline(params, method)))
         else:
-            figures.append(_FIGURES[number](params, method=method))
+            figures.append(_FIGURES[number](params, method=method, engine=engine))
 
     if args.format == "json":
         import json

@@ -12,9 +12,12 @@ meeting a target, and the Pareto frontier of overhead vs reliability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from ..models.configurations import Configuration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.sweep import SweepEngine
 from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR
 from ..models.parameters import KB, Parameters
 from ..models.raid import InternalRaid
@@ -82,13 +85,16 @@ def enumerate_designs(
     set_sizes: Sequence[int] = (6, 8, 12),
     rebuild_kbs: Sequence[int] = (64, 128, 256),
     method: str = "exact",
+    engine: Optional["SweepEngine"] = None,
 ) -> List[DesignCandidate]:
     """Evaluate the full design grid.
 
-    Invalid combinations (R <= t, R > N) are skipped silently.
+    Invalid combinations (R <= t, R > N) are skipped silently.  With an
+    ``engine``, the whole grid is evaluated in one batch (memoized,
+    pooled, optionally disk-cached) with bitwise-identical results.
     """
-    candidates = []
     d = base.drives_per_node
+    grid = []
     for internal in internal_levels:
         for t in fault_tolerances:
             config = Configuration(internal, t)
@@ -99,17 +105,25 @@ def enumerate_designs(
                     params = base.replace(
                         redundancy_set_size=r, rebuild_command_bytes=kb * KB
                     )
-                    result = config.reliability(params, method)
-                    candidates.append(
-                        DesignCandidate(
-                            config=config,
-                            redundancy_set_size=r,
-                            rebuild_kb=kb,
-                            events_per_pb_year=result.events_per_pb_year,
-                            storage_overhead=storage_overhead(config, r, d),
-                        )
-                    )
-    return candidates
+                    grid.append((config, r, kb, params))
+    if engine is not None:
+        results = engine.evaluate_many(
+            [(config, params) for config, _, _, params in grid], method=method
+        )
+    else:
+        results = [
+            config.reliability(params, method) for config, _, _, params in grid
+        ]
+    return [
+        DesignCandidate(
+            config=config,
+            redundancy_set_size=r,
+            rebuild_kb=kb,
+            events_per_pb_year=result.events_per_pb_year,
+            storage_overhead=storage_overhead(config, r, d),
+        )
+        for (config, r, kb, _), result in zip(grid, results)
+    ]
 
 
 def cheapest_meeting(

@@ -1,10 +1,17 @@
 """Drivers for the paper's sensitivity figures (Figures 14-20).
 
 Each ``figureNN`` function reproduces one figure of Section 7 as a
-:class:`~repro.analysis.report.FigureData`: the swept x-axis, one series
-per (configuration x MTTF-regime) line, y-values in data-loss events per
-PB-year.  The three configurations are the Section 6 survivors:
-[FT2, no internal RAID], [FT2, internal RAID 5], [FT3, no internal RAID].
+:class:`~repro.engine.SweepResult` (a :class:`~repro.analysis.report.FigureData`
+subclass, so every renderer consumes it unchanged): the swept x-axis, one
+series per (configuration x MTTF-regime) line, y-values in data-loss
+events per PB-year.  The three configurations are the Section 6
+survivors: [FT2, no internal RAID], [FT2, internal RAID 5],
+[FT3, no internal RAID].
+
+Every driver accepts an optional ``engine`` — a
+:class:`~repro.engine.SweepEngine` through which all points are
+evaluated (memoized, pooled, optionally disk-cached) with bitwise
+identical results; ``repro-figures --jobs N`` uses exactly this hook.
 
 MTTF regimes follow the paper: drive MTTF low/high = 100,000 / 750,000
 hours; node MTTF low/high = 100,000 / 1,000,000 hours.
@@ -12,12 +19,15 @@ hours; node MTTF low/high = 100,000 / 1,000,000 hours.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..engine.result import EngineProvenance, SweepResult
 from ..models.configurations import Configuration, sensitivity_configurations
 from ..models.parameters import KB, Parameters
 from .sensitivity import SweepPoint, sweep, sweep_to_figure
-from .report import FigureData
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.sweep import SweepEngine
 
 __all__ = [
     "DRIVE_MTTF_LOW",
@@ -44,11 +54,18 @@ def _configs() -> List[Configuration]:
     return sensitivity_configurations()
 
 
+def _provenance(
+    engine: Optional["SweepEngine"], method: str
+) -> Optional[EngineProvenance]:
+    return engine.provenance(method) if engine is not None else None
+
+
 def figure14_drive_mttf(
     params: Optional[Parameters] = None,
     x_values: Sequence[float] = (100_000, 200_000, 300_000, 450_000, 600_000, 750_000),
     method: str = "exact",
-) -> FigureData:
+    engine: Optional["SweepEngine"] = None,
+) -> SweepResult:
     """Figure 14: sensitivity to drive MTTF.
 
     Series: each surviving configuration at node MTTF low (100k h) and
@@ -65,6 +82,7 @@ def figure14_drive_mttf(
             x_values,
             lambda p, x: p.replace(drive_mttf_hours=float(x)),
             method,
+            engine,
         )
         for p in swept:
             labels[id(p)] = f"{p.config.label} ({regime})"
@@ -74,6 +92,8 @@ def figure14_drive_mttf(
         "drive MTTF (hours)",
         points,
         label_fn=lambda p: labels[id(p)],
+        axis_name="drive_mttf_hours",
+        provenance=_provenance(engine, method),
     )
 
 
@@ -88,7 +108,8 @@ def figure15_node_mttf(
         1_000_000,
     ),
     method: str = "exact",
-) -> FigureData:
+    engine: Optional["SweepEngine"] = None,
+) -> SweepResult:
     """Figure 15: sensitivity to node MTTF.
 
     Series: each surviving configuration at drive MTTF low (100k h) and
@@ -105,6 +126,7 @@ def figure15_node_mttf(
             x_values,
             lambda p, x: p.replace(node_mttf_hours=float(x)),
             method,
+            engine,
         )
         for p in swept:
             labels[id(p)] = f"{p.config.label} ({regime})"
@@ -114,6 +136,8 @@ def figure15_node_mttf(
         "node MTTF (hours)",
         points,
         label_fn=lambda p: labels[id(p)],
+        axis_name="node_mttf_hours",
+        provenance=_provenance(engine, method),
     )
 
 
@@ -121,7 +145,8 @@ def figure16_rebuild_block_size(
     params: Optional[Parameters] = None,
     x_values: Sequence[float] = (16, 32, 64, 128, 256, 512),
     method: str = "exact",
-) -> FigureData:
+    engine: Optional["SweepEngine"] = None,
+) -> SweepResult:
     """Figure 16: sensitivity to rebuild block size (KB).
 
     Series: each surviving configuration at the low-MTTF regime (drive
@@ -148,6 +173,7 @@ def figure16_rebuild_block_size(
             x_values,
             lambda p, x: p.replace(rebuild_command_bytes=float(x) * KB),
             method,
+            engine,
         )
         for p in swept:
             labels[id(p)] = f"{p.config.label} ({regime})"
@@ -157,6 +183,8 @@ def figure16_rebuild_block_size(
         "rebuild block size (KB)",
         points,
         label_fn=lambda p: labels[id(p)],
+        axis_name="rebuild_command_bytes",
+        provenance=_provenance(engine, method),
     )
 
 
@@ -164,7 +192,8 @@ def figure17_link_speed(
     params: Optional[Parameters] = None,
     x_values: Sequence[float] = (1.0, 5.0, 10.0),
     method: str = "exact",
-) -> FigureData:
+    engine: Optional["SweepEngine"] = None,
+) -> SweepResult:
     """Figure 17: sensitivity to link speed (Gb/s) at the paper's three
     points; 5 and 10 Gb/s should coincide (disk-bound regime)."""
     base = params or Parameters.baseline()
@@ -174,9 +203,14 @@ def figure17_link_speed(
         x_values,
         lambda p, x: p.with_link_speed_gbps(float(x)),
         method,
+        engine,
     )
     return sweep_to_figure(
-        "Figure 17: Sensitivity to Link Speed", "link speed (Gb/s)", points
+        "Figure 17: Sensitivity to Link Speed",
+        "link speed (Gb/s)",
+        points,
+        axis_name="link_speed_bits_per_hour",
+        provenance=_provenance(engine, method),
     )
 
 
@@ -184,7 +218,8 @@ def figure18_node_set_size(
     params: Optional[Parameters] = None,
     x_values: Sequence[int] = (16, 32, 64, 128, 256),
     method: str = "exact",
-) -> FigureData:
+    engine: Optional["SweepEngine"] = None,
+) -> SweepResult:
     """Figure 18: sensitivity to node set size N."""
     base = params or Parameters.baseline()
     points = sweep(
@@ -193,9 +228,14 @@ def figure18_node_set_size(
         x_values,
         lambda p, x: p.replace(node_set_size=int(x)),
         method,
+        engine,
     )
     return sweep_to_figure(
-        "Figure 18: Sensitivity to Node Set Size", "node set size N", points
+        "Figure 18: Sensitivity to Node Set Size",
+        "node set size N",
+        points,
+        axis_name="node_set_size",
+        provenance=_provenance(engine, method),
     )
 
 
@@ -203,7 +243,8 @@ def figure19_redundancy_set_size(
     params: Optional[Parameters] = None,
     x_values: Sequence[int] = (4, 6, 8, 10, 12, 16),
     method: str = "exact",
-) -> FigureData:
+    engine: Optional["SweepEngine"] = None,
+) -> SweepResult:
     """Figure 19: sensitivity to redundancy set size R (about an order of
     magnitude between the extremes, per the paper)."""
     base = params or Parameters.baseline()
@@ -213,11 +254,14 @@ def figure19_redundancy_set_size(
         x_values,
         lambda p, x: p.replace(redundancy_set_size=int(x)),
         method,
+        engine,
     )
     return sweep_to_figure(
         "Figure 19: Sensitivity to Redundancy Set Size",
         "redundancy set size R",
         points,
+        axis_name="redundancy_set_size",
+        provenance=_provenance(engine, method),
     )
 
 
@@ -225,7 +269,8 @@ def figure20_drives_per_node(
     params: Optional[Parameters] = None,
     x_values: Sequence[int] = (4, 8, 12, 16, 20, 24),
     method: str = "exact",
-) -> FigureData:
+    engine: Optional["SweepEngine"] = None,
+) -> SweepResult:
     """Figure 20: sensitivity to drives per node d (nearly flat, thanks to
     the per-PB normalization's cancellation effect)."""
     base = params or Parameters.baseline()
@@ -235,20 +280,33 @@ def figure20_drives_per_node(
         x_values,
         lambda p, x: p.replace(drives_per_node=int(x)),
         method,
+        engine,
     )
     return sweep_to_figure(
-        "Figure 20: Sensitivity to Drives per Node", "drives per node d", points
+        "Figure 20: Sensitivity to Drives per Node",
+        "drives per node d",
+        points,
+        axis_name="drives_per_node",
+        provenance=_provenance(engine, method),
     )
 
 
-def all_figures(params: Optional[Parameters] = None) -> List[FigureData]:
-    """Every sensitivity figure, in paper order."""
+def all_figures(
+    params: Optional[Parameters] = None,
+    method: str = "exact",
+    engine: Optional["SweepEngine"] = None,
+) -> List[SweepResult]:
+    """Every sensitivity figure, in paper order.
+
+    With an ``engine``, the chain-structure and array-rates memos persist
+    across all seven figures — the later figures re-solve almost nothing.
+    """
     return [
-        figure14_drive_mttf(params),
-        figure15_node_mttf(params),
-        figure16_rebuild_block_size(params),
-        figure17_link_speed(params),
-        figure18_node_set_size(params),
-        figure19_redundancy_set_size(params),
-        figure20_drives_per_node(params),
+        figure14_drive_mttf(params, method=method, engine=engine),
+        figure15_node_mttf(params, method=method, engine=engine),
+        figure16_rebuild_block_size(params, method=method, engine=engine),
+        figure17_link_speed(params, method=method, engine=engine),
+        figure18_node_set_size(params, method=method, engine=engine),
+        figure19_redundancy_set_size(params, method=method, engine=engine),
+        figure20_drives_per_node(params, method=method, engine=engine),
     ]

@@ -12,14 +12,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..engine.result import EngineProvenance, SweepResult
 from ..models.configurations import Configuration
 from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR
 from ..models.parameters import Parameters
 from .report import FigureData, Series
 
-__all__ = ["sweep", "SweepPoint", "tornado", "TornadoEntry"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.sweep import SweepEngine
+
+__all__ = ["sweep", "SweepPoint", "sweep_to_figure", "tornado", "TornadoEntry"]
 
 ParamsTransform = Callable[[Parameters, Any], Parameters]
 
@@ -44,6 +58,7 @@ def sweep(
     x_values: Sequence[Any],
     transform: ParamsTransform,
     method: str = "exact",
+    engine: Optional["SweepEngine"] = None,
 ) -> List[SweepPoint]:
     """Evaluate configurations over a one-dimensional parameter sweep.
 
@@ -53,24 +68,34 @@ def sweep(
         x_values: swept values (passed to ``transform``).
         transform: maps (baseline, x) to the point's parameters.
         method: ``"exact"`` or ``"approx"`` MTTDL computation.
+        engine: optional :class:`~repro.engine.SweepEngine`; when given,
+            all points are evaluated through it (memoized, pooled,
+            optionally disk-cached) with bitwise-identical results.
 
     Returns:
         Points in (x, config) iteration order.
     """
-    points = []
-    for x in x_values:
-        params = transform(base_params, x)
-        for config in configs:
-            result = config.reliability(params, method)
-            points.append(
-                SweepPoint(
-                    x=x,
-                    config=config,
-                    events_per_pb_year=result.events_per_pb_year,
-                    mttdl_hours=result.mttdl_hours,
-                )
-            )
-    return points
+    per_x = [(x, transform(base_params, x)) for x in x_values]
+    pairs = [
+        (x, config, params) for x, params in per_x for config in configs
+    ]
+    if engine is not None:
+        results = engine.evaluate_many(
+            [(config, params) for _, config, params in pairs], method=method
+        )
+    else:
+        results = [
+            config.reliability(params, method) for _, config, params in pairs
+        ]
+    return [
+        SweepPoint(
+            x=x,
+            config=config,
+            events_per_pb_year=result.events_per_pb_year,
+            mttdl_hours=result.mttdl_hours,
+        )
+        for (x, config, _), result in zip(pairs, results)
+    ]
 
 
 def sweep_to_figure(
@@ -78,8 +103,15 @@ def sweep_to_figure(
     x_label: str,
     points: Sequence[SweepPoint],
     label_fn: Optional[Callable[[SweepPoint], str]] = None,
-) -> FigureData:
-    """Group sweep points into a :class:`FigureData` (one series per label)."""
+    axis_name: str = "",
+    provenance: Optional[EngineProvenance] = None,
+) -> SweepResult:
+    """Group sweep points into a :class:`~repro.engine.SweepResult`.
+
+    The result is a :class:`FigureData` subclass (one series per label),
+    so every existing renderer consumes it unchanged; it additionally
+    carries the raw points, the swept axis and the engine provenance.
+    """
     if label_fn is None:
         label_fn = lambda p: p.config.label
     x_values: List[Any] = []
@@ -92,12 +124,16 @@ def sweep_to_figure(
         Series(label, tuple(values[x] for x in x_values))
         for label, values in series_values.items()
     )
-    return FigureData(
+    return SweepResult(
         title=title,
         x_label=x_label,
         x_values=tuple(float(x) for x in x_values),
         series=series,
         target=PAPER_TARGET_EVENTS_PER_PB_YEAR,
+        axis_name=axis_name or x_label,
+        axis_values=tuple(x_values),
+        points=tuple(points),
+        provenance=provenance,
     )
 
 
@@ -131,6 +167,7 @@ def tornado(
     base_params: Parameters,
     parameter_ranges: Dict[str, Tuple[Sequence[Any], ParamsTransform]],
     method: str = "exact",
+    engine: Optional["SweepEngine"] = None,
 ) -> List[TornadoEntry]:
     """Rank parameters by reliability leverage.
 
@@ -139,13 +176,15 @@ def tornado(
         base_params: the shared baseline.
         parameter_ranges: name -> (x_values, transform) as for
             :func:`sweep`.
+        engine: optional :class:`~repro.engine.SweepEngine` for the
+            underlying sweeps.
 
     Returns:
         Entries sorted by descending leverage.
     """
     entries = []
     for name, (x_values, transform) in parameter_ranges.items():
-        points = sweep(configs, base_params, x_values, transform, method)
+        points = sweep(configs, base_params, x_values, transform, method, engine)
         for config in configs:
             mine = [p.events_per_pb_year for p in points if p.config == config]
             entries.append(

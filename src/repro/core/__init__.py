@@ -15,7 +15,8 @@ from .ctmc import (
     Transition,
 )
 from .exact import exact_expected_times, exact_mttdl
-from .linalg import gth_fundamental_matrix, gth_solve
+from .linalg import gth_fundamental_matrix, gth_solve, gth_solve_batched
+from .template import ChainStructureMemo, ChainTemplate
 from .gillespie import (
     SampleSummary,
     Trajectory,
@@ -28,6 +29,8 @@ __all__ = [
     "CTMC",
     "CTMCError",
     "ChainBuilder",
+    "ChainStructureMemo",
+    "ChainTemplate",
     "NotAbsorbingError",
     "SampleSummary",
     "Trajectory",
@@ -36,6 +39,7 @@ __all__ = [
     "exact_mttdl",
     "gth_fundamental_matrix",
     "gth_solve",
+    "gth_solve_batched",
     "sample_absorption_times",
     "sample_trajectory",
 ]

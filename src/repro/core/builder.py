@@ -92,6 +92,14 @@ class ChainBuilder:
         """Number of distinct directed edges with positive rate."""
         return len(self._rates)
 
+    def edge_keys(self) -> Tuple[Tuple[State, State], ...]:
+        """The distinct directed edges, in insertion order."""
+        return tuple(self._rates.keys())
+
+    def edge_rates(self) -> Tuple[float, ...]:
+        """Accumulated rates in :meth:`edge_keys` order."""
+        return tuple(self._rates.values())
+
     # ------------------------------------------------------------------ #
     # structural operations used by the recursive appendix construction
     # ------------------------------------------------------------------ #
@@ -126,8 +134,25 @@ class ChainBuilder:
 
     # ------------------------------------------------------------------ #
 
-    def build(self, initial_state: Optional[State] = None) -> CTMC:
-        """Construct the immutable :class:`CTMC`."""
+    def build(
+        self,
+        initial_state: Optional[State] = None,
+        memo: Optional["ChainStructureMemo"] = None,
+        memo_key: Optional[Hashable] = None,
+    ) -> CTMC:
+        """Construct the immutable :class:`CTMC`.
+
+        Args:
+            initial_state: start state (defaults to the first registered).
+            memo: optional :class:`~repro.core.template.ChainStructureMemo`;
+                when given, the chain topology is cached under ``memo_key``
+                and only the rates are re-bound on a structural match —
+                bitwise identical to the direct construction.
+            memo_key: cache key for ``memo`` (e.g. the configuration key
+                plus the structural parameters).
+        """
+        if memo is not None:
+            return memo.build(memo_key, self, initial_state)
         transitions = [
             Transition(src, dst, r) for (src, dst), r in self._rates.items()
         ]

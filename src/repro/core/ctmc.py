@@ -57,7 +57,9 @@ class Transition:
     Attributes:
         source: state the transition leaves.
         target: state the transition enters.
-        rate: exponential rate in 1/time units; must be positive.
+        rate: exponential rate in 1/time units; must be strictly positive
+            (a zero rate is not a transition — drop it at build time, as
+            :meth:`repro.core.builder.ChainBuilder.add_rate` does).
     """
 
     source: State
@@ -67,8 +69,8 @@ class Transition:
     def __post_init__(self) -> None:
         if self.source == self.target:
             raise CTMCError(f"self-loop transition on state {self.source!r}")
-        if not math.isfinite(self.rate) or self.rate < 0:
-            raise CTMCError(f"transition rate must be finite and >= 0, got {self.rate!r}")
+        if not math.isfinite(self.rate) or self.rate <= 0:
+            raise CTMCError(f"transition rate must be finite and > 0, got {self.rate!r}")
 
 
 @dataclass(frozen=True)
@@ -137,6 +139,30 @@ class CTMC:
         np.fill_diagonal(q, -q.sum(axis=1))
         self._q = q
         self._q.setflags(write=False)
+
+    @classmethod
+    def _from_assembled(
+        cls,
+        states: List[State],
+        index: Dict[State, int],
+        q: np.ndarray,
+        initial_state: State,
+    ) -> "CTMC":
+        """Fast construction from a pre-assembled generator matrix.
+
+        Used by :class:`repro.core.template.ChainTemplate` to re-bind rates
+        onto a cached topology without re-running the per-transition checks
+        (the template validated the structure when it was first built).
+        ``q`` must already have its diagonal set to the negated row sums;
+        ownership of ``q`` transfers to the chain.
+        """
+        self = cls.__new__(cls)
+        self._states = states
+        self._index = index
+        self._initial = initial_state
+        q.setflags(write=False)
+        self._q = q
+        return self
 
     # ------------------------------------------------------------------ #
     # basic structure
@@ -224,6 +250,61 @@ class CTMC:
         """
         return self.absorb().mttdl
 
+    def absorption_system(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The assembled GTH input system for this chain.
+
+        Returns ``(off_diagonal, absorb_rates, rates_to_absorbing)`` in
+        transient-state order: the transient-to-transient off-diagonal rate
+        matrix (zero diagonal), the total rate from each transient state to
+        the absorbing set, and the per-absorbing-state rate matrix.  This is
+        exactly what :meth:`absorb` feeds the GTH solver; the sweep engine
+        uses it to stack structurally-identical chains into one batched
+        solve with bit-identical assembly.
+        """
+        transient = list(self.transient_states())
+        absorbing = list(self.absorbing_states())
+        t_idx = [self.index_of(s) for s in transient]
+        a_idx = [self.index_of(s) for s in absorbing]
+        # The absorption matrix R = -Q_B is an M-matrix whose condition
+        # number explodes as mu/lambda grows (the reliability regime), so
+        # we use the subtraction-free GTH elimination: componentwise
+        # accurate regardless of stiffness.
+        off_diagonal = self._q[np.ix_(t_idx, t_idx)].copy()
+        np.fill_diagonal(off_diagonal, 0.0)
+        rates_to_absorbing = self._q[np.ix_(t_idx, a_idx)]
+        absorb_rates = rates_to_absorbing.sum(axis=1)
+        return off_diagonal, absorb_rates, rates_to_absorbing
+
+    @staticmethod
+    def stacked_absorption_system(
+        chains: Sequence["CTMC"],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`absorption_system` for a batch of structurally identical
+        chains, assembled in one pass.
+
+        All chains must share state order and transient/absorbing
+        partition (e.g. siblings bound from one
+        :class:`~repro.core.template.ChainTemplate`); the caller is
+        responsible for grouping.  Each returned slice ``[i]`` holds
+        exactly the arrays ``chains[i].absorption_system()`` would — the
+        assembly only gathers and sums the same matrix elements, so the
+        floats are bitwise identical.
+        """
+        first = chains[0]
+        transient = list(first.transient_states())
+        absorbing = list(first.absorbing_states())
+        if not transient:
+            raise NotAbsorbingError("chain has no transient states")
+        t_idx = np.array([first.index_of(s) for s in transient], dtype=np.intp)
+        a_idx = np.array([first.index_of(s) for s in absorbing], dtype=np.intp)
+        q = np.stack([chain._q for chain in chains])
+        off_diagonal = q[:, t_idx[:, None], t_idx[None, :]].copy()
+        n = len(transient)
+        off_diagonal[:, np.arange(n), np.arange(n)] = 0.0
+        rates_to_absorbing = q[:, t_idx[:, None], a_idx[None, :]]
+        absorb_rates = rates_to_absorbing.sum(axis=2)
+        return off_diagonal, absorb_rates, rates_to_absorbing
+
     def absorb(self) -> AbsorptionResult:
         """Full absorption analysis from the initial state.
 
@@ -245,16 +326,7 @@ class CTMC:
                 },
             )
 
-        t_idx = [self.index_of(s) for s in transient]
-        a_idx = [self.index_of(s) for s in absorbing]
-        # The absorption matrix R = -Q_B is an M-matrix whose condition
-        # number explodes as mu/lambda grows (the reliability regime), so
-        # we use the subtraction-free GTH elimination: componentwise
-        # accurate regardless of stiffness.
-        off_diagonal = self._q[np.ix_(t_idx, t_idx)].copy()
-        np.fill_diagonal(off_diagonal, 0.0)
-        rates_to_absorbing = self._q[np.ix_(t_idx, a_idx)]
-        absorb_rates = rates_to_absorbing.sum(axis=1)
+        off_diagonal, absorb_rates, rates_to_absorbing = self.absorption_system()
         try:
             fundamental = gth_fundamental_matrix(off_diagonal, absorb_rates)
         except ValueError as exc:

@@ -25,7 +25,7 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["gth_fundamental_matrix", "gth_solve"]
+__all__ = ["gth_fundamental_matrix", "gth_solve", "gth_solve_batched"]
 
 
 def _validate(rates: np.ndarray, absorb: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -100,6 +100,85 @@ def gth_solve(
         x[p] = (x[p] + a[p, :p] @ x[:p]) / d_p
 
     return x[:, 0] if squeeze else x
+
+
+def gth_solve_batched(
+    transient_rates: np.ndarray,
+    absorb_rates: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Solve ``(D - A) X = B`` for a *batch* of same-shape absorbing systems.
+
+    Vectorized GTH elimination over a leading batch dimension: every
+    arithmetic operation is the scalar algorithm's operation applied
+    elementwise across the batch, in the same order, so each slice of the
+    result is bitwise identical to ``gth_solve`` on that slice.  This is
+    what lets the sweep engine group structurally-identical chains and
+    solve them in one pass without perturbing any published number.
+
+    Args:
+        transient_rates: shape ``(batch, n, n)``, each slice a non-negative
+            off-diagonal rate matrix (zero diagonals).
+        absorb_rates: shape ``(batch, n)``.
+        rhs: shape ``(batch, n)`` or ``(batch, n, m)``.
+
+    Returns:
+        ``X`` with the same shape as ``rhs``.
+
+    Raises:
+        ValueError: on negative inputs, shape mismatch, or any batch member
+            with a state that cannot reach absorption.
+    """
+    a = np.asarray(transient_rates, dtype=float)
+    b = np.asarray(absorb_rates, dtype=float)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValueError("transient_rates must have shape (batch, n, n)")
+    batch, n = a.shape[0], a.shape[1]
+    if b.shape != (batch, n):
+        raise ValueError("absorb_rates must have shape (batch, n)")
+    if np.any(a < 0) or np.any(b < 0):
+        raise ValueError("rates must be non-negative")
+    if np.any(a[:, np.arange(n), np.arange(n)] != 0):
+        raise ValueError("diagonal of rates must be zero (rates are off-diagonal)")
+    rhs = np.asarray(rhs, dtype=float)
+    if np.any(rhs < 0):
+        raise ValueError("GTH solve requires a non-negative right-hand side")
+    squeeze = rhs.ndim == 2
+    x = rhs.reshape(batch, n, -1).astype(float).copy()
+    if x.shape[:2] != (batch, n):
+        raise ValueError("rhs does not match the matrix batch")
+    a = a.copy()
+    b = b.copy()
+
+    # Forward elimination, pivots n-1 .. 1 (see gth_solve for the scalar
+    # derivation; every step below is that step broadcast over the batch).
+    for p in range(n - 1, 0, -1):
+        d_p = a[:, p, :p].sum(axis=-1) + b[:, p]
+        if np.any(d_p <= 0):
+            bad = int(np.argmax(d_p <= 0))
+            raise ValueError(
+                f"state {p} of batch member {bad} cannot reach absorption; "
+                "the system is singular"
+            )
+        factors = a[:, :p, p] / d_p[:, None]
+        a[:, :p, :p] += factors[:, :, None] * a[:, p, None, :p]
+        b[:, :p] += factors * b[:, p, None]
+        x[:, :p, :] += factors[:, :, None] * x[:, p, None, :]
+
+    # Back substitution, states 0 .. n-1.
+    if np.any(b[:, 0] <= 0):
+        bad = int(np.argmax(b[:, 0] <= 0))
+        raise ValueError(
+            f"state 0 of batch member {bad} cannot reach absorption; "
+            "the system is singular"
+        )
+    x[:, 0, :] = x[:, 0, :] / b[:, 0, None]
+    for p in range(1, n):
+        d_p = a[:, p, :p].sum(axis=-1) + b[:, p]
+        dot = np.matmul(a[:, p, None, :p], x[:, :p, :])[:, 0, :]
+        x[:, p, :] = (x[:, p, :] + dot) / d_p[:, None]
+
+    return x[:, :, 0] if squeeze else x
 
 
 def gth_fundamental_matrix(

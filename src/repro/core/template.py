@@ -1,0 +1,147 @@
+"""Structure-level memoization of chain topologies.
+
+Every point of a parameter sweep rebuilds the same handful of chain
+*shapes* — the Figure 5/8/9/10 state graphs — with different rates on the
+edges.  A :class:`ChainTemplate` captures one built topology (state order,
+edge list, index arrays); re-binding it to a new rate vector assembles the
+generator matrix directly, skipping per-transition validation and Python
+dict bookkeeping.  :class:`ChainStructureMemo` caches templates under a
+caller-chosen key, e.g. ``(config.key, structural params)``.
+
+Bit-exactness: :class:`~repro.core.builder.ChainBuilder` de-duplicates
+edges (parallel rates accumulate in its dict), so assigning each edge's
+rate once into a zero matrix produces exactly the float the ``+=`` loop in
+:class:`~repro.core.ctmc.CTMC` would, and the diagonal is derived by the
+same ``-q.sum(axis=1)``.  Because the builder also drops zero rates, a
+vanishing term (e.g. ``h = 0``) *changes the edge set*; the memo therefore
+verifies the structure on every hit and transparently rebuilds the
+template when the topology differs, so it is safe for any rate regime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .ctmc import CTMC
+
+__all__ = ["ChainTemplate", "ChainStructureMemo"]
+
+State = Hashable
+
+
+class ChainTemplate:
+    """One cached chain topology: states, edges and their matrix indices."""
+
+    __slots__ = (
+        "states",
+        "edge_keys",
+        "initial_state",
+        "_index",
+        "_src_idx",
+        "_dst_idx",
+        "_n",
+    )
+
+    def __init__(
+        self,
+        states: Tuple[State, ...],
+        edge_keys: Tuple[Tuple[State, State], ...],
+        initial_state: State,
+    ) -> None:
+        self.states = states
+        self.edge_keys = edge_keys
+        self.initial_state = initial_state
+        self._index: Dict[State, int] = {s: i for i, s in enumerate(states)}
+        self._n = len(states)
+        self._src_idx = np.array(
+            [self._index[src] for src, _ in edge_keys], dtype=np.intp
+        )
+        self._dst_idx = np.array(
+            [self._index[dst] for _, dst in edge_keys], dtype=np.intp
+        )
+
+    @classmethod
+    def from_builder(
+        cls, builder: "ChainBuilderLike", initial_state: State
+    ) -> "ChainTemplate":
+        """Capture the topology of a fully-populated builder."""
+        return cls(
+            states=tuple(builder.states),
+            edge_keys=tuple(builder.edge_keys()),
+            initial_state=initial_state,
+        )
+
+    def matches(self, builder: "ChainBuilderLike", initial_state: State) -> bool:
+        """Whether the builder's current topology equals this template's."""
+        return (
+            initial_state == self.initial_state
+            and tuple(builder.states) == self.states
+            and tuple(builder.edge_keys()) == self.edge_keys
+        )
+
+    def bind(self, rates: Tuple[float, ...]) -> CTMC:
+        """A chain with this topology and ``rates`` on the edges (in
+        ``edge_keys`` order); bitwise identical to building from scratch."""
+        q = np.zeros((self._n, self._n), dtype=float)
+        q[self._src_idx, self._dst_idx] = rates
+        np.fill_diagonal(q, -q.sum(axis=1))
+        return CTMC._from_assembled(
+            list(self.states), self._index, q, self.initial_state
+        )
+
+
+class ChainStructureMemo:
+    """Keyed cache of :class:`ChainTemplate` objects with hit/miss counters.
+
+    Pass an instance (plus a structural key) to
+    :meth:`repro.core.builder.ChainBuilder.build` — or through the
+    ``memo``/``memo_key`` kwargs of the model chain constructors — to reuse
+    topologies across the points of a sweep.
+    """
+
+    def __init__(self) -> None:
+        self._templates: Dict[Hashable, ChainTemplate] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def build(
+        self,
+        key: Hashable,
+        builder: "ChainBuilderLike",
+        initial_state: Optional[State] = None,
+    ) -> CTMC:
+        """Build ``builder``'s chain, reusing the cached topology for
+        ``key`` when it structurally matches (else the template is
+        refreshed — correctness never depends on the key's granularity)."""
+        if initial_state is None:
+            initial_state = builder.states[0]
+        template = self._templates.get(key)
+        if template is not None and template.matches(builder, initial_state):
+            self.hits += 1
+        else:
+            template = ChainTemplate.from_builder(builder, initial_state)
+            self._templates[key] = template
+            self.misses += 1
+        return template.bind(builder.edge_rates())
+
+    def clear(self) -> None:
+        self._templates.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class ChainBuilderLike:
+    """Protocol stub for type hints (avoids a circular import)."""
+
+    states: Tuple[State, ...]
+
+    def edge_keys(self) -> Tuple[Tuple[State, State], ...]:  # pragma: no cover
+        raise NotImplementedError
+
+    def edge_rates(self) -> Tuple[float, ...]:  # pragma: no cover
+        raise NotImplementedError

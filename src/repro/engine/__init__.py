@@ -1,0 +1,37 @@
+"""repro.engine — the parallel, memoized sweep engine.
+
+The engine evaluates grids of (configuration, parameters) points with
+process-pool fan-out, chain-topology memoization, batched GTH solves and
+an optional on-disk result cache, while producing floats bitwise
+identical to the plain point-by-point evaluation.  It also hosts the
+unified :func:`repro.evaluate` facade.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, DiskCache
+from .facade import evaluate
+from .keys import CACHE_SCHEMA_VERSION, point_key, stable_digest
+from .pool import default_jobs, should_pool, split_chunks
+from .result import EngineProvenance, SweepResult
+from .solver import SolveContext, evaluate_chunk, mttdl_batched, normalize_method
+from .sweep import Axis, GridPoint, SweepEngine
+
+__all__ = [
+    "Axis",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DiskCache",
+    "EngineProvenance",
+    "GridPoint",
+    "SolveContext",
+    "SweepEngine",
+    "SweepResult",
+    "default_jobs",
+    "evaluate",
+    "evaluate_chunk",
+    "mttdl_batched",
+    "normalize_method",
+    "point_key",
+    "should_pool",
+    "split_chunks",
+    "stable_digest",
+]

@@ -1,0 +1,99 @@
+"""On-disk JSON result cache for evaluated sweep points.
+
+One file per key under the cache directory (default ``.repro_cache/``),
+written atomically (temp file + ``os.replace``) so concurrent workers and
+interrupted runs never leave a torn entry.  Corrupt or unreadable entries
+are treated as misses and overwritten.  Values are plain JSON dicts;
+floats round-trip bitwise through ``json`` (repr-based serialization), so
+a cache hit reproduces the computed result exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["DiskCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class DiskCache:
+    """A tiny key-value store of JSON dicts with hit/miss counters.
+
+    Args:
+        directory: cache root; created lazily on the first write.
+    """
+
+    def __init__(self, directory: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self._dir = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be hex digests, got {key!r}")
+        return self._dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None (counted as hit/miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self._dir), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self._dir.is_dir():
+            for entry in self._dir.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self._dir.is_dir():
+            return 0
+        return sum(1 for _ in self._dir.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskCache({str(self._dir)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,79 @@
+"""The unified single-point evaluation API.
+
+:func:`evaluate` is the one front door for "how reliable is this
+configuration under these parameters?", dispatching to the analytic
+chain solve, the paper's closed forms, or the Monte-Carlo simulator.  It
+is re-exported as :func:`repro.evaluate`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..models.configurations import Configuration
+from ..models.metrics import ReliabilityResult
+from ..models.parameters import Parameters
+from ..models.rebuild import RebuildModel
+from .solver import normalize_method
+
+__all__ = ["evaluate"]
+
+#: Canonical method name -> Configuration.mttdl_hours spelling.
+_CONFIG_METHOD = {"analytic": "exact", "closed_form": "approx"}
+
+
+def evaluate(
+    config: Configuration,
+    params: Optional[Parameters] = None,
+    *,
+    method: str = "analytic",
+    rebuild: Optional[RebuildModel] = None,
+    replicas: int = 200,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ReliabilityResult:
+    """Evaluate one configuration's reliability, by any method.
+
+    Args:
+        config: the redundancy configuration.
+        params: system parameters (the paper's baseline when omitted).
+        method: ``"analytic"`` (numeric chain solve, the default),
+            ``"closed_form"`` (the paper's approximations) or
+            ``"monte_carlo"`` (simulation to first loss).  The pre-1.x
+            spellings ``"exact"``/``"approx"`` are accepted as aliases.
+        rebuild: optional rebuild-time model override (analytic and
+            closed-form methods only).
+        replicas: Monte-Carlo replica count (``monte_carlo`` only).
+        seed: Monte-Carlo master seed (``monte_carlo`` only).
+        jobs: Monte-Carlo replica fan-out width (``monte_carlo`` only).
+
+    Returns:
+        A :class:`ReliabilityResult`; for Monte Carlo it is built from the
+        sample-mean MTTDL (use :func:`repro.sim.estimate_mttdl` directly
+        when the error bars matter).
+
+    Note:
+        For ``monte_carlo``, pass parameters derived with
+        :func:`repro.sim.accelerated_parameters` — at the unaccelerated
+        baseline a loss event is so rare that every replica grinds to the
+        event-count safety cap instead of finishing.
+    """
+    method = normalize_method(method)
+    if params is None:
+        params = Parameters.baseline()
+    if method == "monte_carlo":
+        if rebuild is not None:
+            raise ValueError(
+                "rebuild overrides are not supported with method="
+                "'monte_carlo'; the simulator derives repair rates from "
+                "params"
+            )
+        from ..sim.monte_carlo import estimate_mttdl
+
+        mc = estimate_mttdl(
+            config, params, replicas=replicas, seed=seed, jobs=jobs
+        )
+        return ReliabilityResult.from_mttdl(mc.mean_hours, params)
+    return config.reliability(
+        params, _CONFIG_METHOD[method], rebuild=rebuild
+    )

@@ -1,0 +1,61 @@
+"""Stable cache keys for evaluated (configuration, parameters) points.
+
+The on-disk result cache must key on *values*, not object identities, and
+must survive interpreter restarts (``PYTHONHASHSEED`` randomizes ``hash``
+for strings, so the built-in hash is useless here).  :func:`point_key`
+canonicalizes the configuration, the full parameter set, the evaluation
+method and the cache schema version into JSON and hashes it with SHA-256.
+
+Python's ``json`` serializes floats with ``repr``, which round-trips
+float64 exactly, so two parameter sets produce the same key if and only
+if every field is bitwise equal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Optional
+
+from .. import __version__
+from ..models.configurations import Configuration
+from ..models.parameters import Parameters
+
+__all__ = ["CACHE_SCHEMA_VERSION", "point_key", "stable_digest"]
+
+#: Bump when the cached payload layout or the meaning of a key changes;
+#: old entries then miss instead of deserializing garbage.
+CACHE_SCHEMA_VERSION = 1
+
+
+def stable_digest(payload: Any) -> str:
+    """SHA-256 hex digest of a JSON-canonicalized payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def point_key(
+    config: Configuration,
+    params: Parameters,
+    method: str,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """The disk-cache key for one evaluated point.
+
+    Args:
+        config: configuration evaluated.
+        params: full parameter set (every field participates, so any
+            parameter change invalidates the entry).
+        method: normalized evaluation method name.
+        extra: additional key material (e.g. Monte-Carlo replica count and
+            seed).
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "repro": __version__,
+        "config": config.key,
+        "method": method,
+        "params": params.to_dict(),
+        "extra": dict(extra) if extra else None,
+    }
+    return stable_digest(payload)

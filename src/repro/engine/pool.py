@@ -1,0 +1,76 @@
+"""Process-pool fan-out for sweep evaluation.
+
+Work is split into one contiguous chunk per worker so each process gets
+the largest possible batch for its structure memo and batched solves.
+Because every execution path is bitwise-deterministic (see
+:mod:`repro.engine.solver`), chunk boundaries and worker scheduling cannot
+affect results — only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["default_jobs", "should_pool", "split_chunks", "run_chunks"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many tasks the pool's startup cost outweighs any overlap.
+MIN_TASKS_FOR_POOL = 8
+
+
+def default_jobs() -> int:
+    """The default worker count: ``os.cpu_count()`` (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def should_pool(jobs: int, total_tasks: int) -> bool:
+    """Whether a process pool can actually help for this much work.
+
+    Pooling loses when there is nothing to overlap with: a single
+    requested job, too few tasks to amortize process startup, or a
+    single-CPU host (forked workers would just time-slice one core while
+    paying fork/pickle overhead and losing the caller's warm memos).
+    Because every execution path is bitwise-deterministic, this choice
+    affects wall-clock time only, never results.
+    """
+    return (
+        jobs > 1
+        and total_tasks >= MIN_TASKS_FOR_POOL
+        and default_jobs() > 1
+    )
+
+
+def split_chunks(items: Sequence[T], parts: int) -> List[List[T]]:
+    """Split ``items`` into at most ``parts`` contiguous, near-even chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, remainder = divmod(len(items), parts)
+    chunks: List[List[T]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + size + (1 if i < remainder else 0)
+        chunks.append(list(items[start:stop]))
+        start = stop
+    return chunks
+
+
+def run_chunks(
+    worker: Callable[[List[T]], R],
+    chunks: List[List[T]],
+    jobs: int,
+) -> List[R]:
+    """Apply ``worker`` to every chunk, in order, possibly in parallel.
+
+    Falls back to in-process execution when a pool cannot help (see
+    :func:`should_pool`) or when everything fits in one chunk.  ``worker``
+    must be a module-level callable (picklable) for the pooled path.
+    """
+    total = sum(len(c) for c in chunks)
+    if len(chunks) <= 1 or not should_pool(jobs, total):
+        return [worker(chunk) for chunk in chunks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as executor:
+        return list(executor.map(worker, chunks))

@@ -1,0 +1,84 @@
+"""Result containers for engine-evaluated sweeps.
+
+:class:`SweepResult` is the common return type of every sweep/figure
+function: a :class:`~repro.reporting.FigureData` (so every existing
+renderer — ``format_figure``, ``to_csv``, ``to_dict`` — consumes it
+unchanged) extended with the swept axis, the raw per-config points and
+the :class:`EngineProvenance` describing how it was computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from ..reporting import FigureData
+
+__all__ = ["EngineProvenance", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class EngineProvenance:
+    """How a result set was produced — recorded for reproducibility.
+
+    Attributes:
+        method: normalized evaluation method ("analytic", "closed_form",
+            "monte_carlo").
+        jobs: process-pool width used (1 = serial).
+        cache_enabled: whether the on-disk result cache participated.
+        cache_hits / cache_misses: disk-cache counters for this run.
+        memo_hits / memo_misses: chain-topology memo counters.
+        array_hits / array_misses: internal-array rates memo counters.
+        engine: engine identifier, e.g. ``"repro.engine/1.0.0"``.
+    """
+
+    method: str = "analytic"
+    jobs: int = 1
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    array_hits: int = 0
+    array_misses: int = 0
+    engine: str = "repro.engine"
+
+    def describe(self) -> str:
+        """One-line summary (the ``--verbose`` cache/memo report)."""
+        parts = [f"method={self.method}", f"jobs={self.jobs}"]
+        if self.cache_enabled:
+            parts.append(
+                f"disk cache {self.cache_hits} hits / "
+                f"{self.cache_misses} misses"
+            )
+        else:
+            parts.append("disk cache off")
+        parts.append(
+            f"topology memo {self.memo_hits} hits / {self.memo_misses} misses"
+        )
+        parts.append(
+            f"array-rates memo {self.array_hits} hits / "
+            f"{self.array_misses} misses"
+        )
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepResult(FigureData):
+    """A sweep's outcome: FigureData plus axis, points and provenance.
+
+    Attributes (beyond :class:`~repro.reporting.FigureData`):
+        axis_name: the swept :class:`Parameters` field or axis label.
+        axis_values: the raw swept values (uncast — ``x_values`` holds the
+            float form used for plotting).
+        points: the evaluated per-(x, config) points, in sweep order
+            (:class:`repro.analysis.sensitivity.SweepPoint` instances when
+            produced by the analysis layer).
+        provenance: engine settings and counters, None for the plain
+            serial path.
+    """
+
+    axis_name: str = ""
+    axis_values: Tuple[Any, ...] = ()
+    points: Tuple[Any, ...] = ()
+    provenance: Optional[EngineProvenance] = None

@@ -1,0 +1,205 @@
+"""Batched, memoized evaluation of (configuration, parameters) points.
+
+Three optimizations over calling :meth:`Configuration.reliability` in a
+loop, none of which changes a single output bit:
+
+* **Topology memo** — chain structures are cached per configuration and
+  re-bound with fresh rates (:class:`repro.core.template.ChainStructureMemo`).
+* **Array-rates memo** — the internal-RAID drive-level rates ``lambda_D``
+  / ``lambda_S`` (and the embedded array MTTDL solve) depend on only a
+  handful of scalars, which whole sweeps share; they are computed once per
+  distinct operating point.
+* **Batched GTH** — structurally-identical node chains are stacked and
+  solved in one :func:`repro.core.linalg.gth_solve_batched` call, whose
+  per-slice arithmetic is bit-identical to the scalar solver.
+
+The bitwise guarantee is what lets the sweep engine mix serial, pooled
+and cached execution freely: every path yields the exact floats of the
+pre-engine point-by-point code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import ChainStructureMemo, CTMC
+from ..core.linalg import gth_solve_batched
+from ..models.configurations import Configuration
+from ..models.internal_raid import InternalRaidNodeModel
+from ..models.parameters import Parameters
+from ..models.raid import ArrayRates, InternalRaid, array_model
+
+__all__ = [
+    "SolveContext",
+    "normalize_method",
+    "evaluate_chunk",
+    "mttdl_batched",
+]
+
+#: Public method names of the unified API mapped to their canonical form;
+#: the pre-engine "exact"/"approx" spellings are accepted as aliases.
+_METHOD_ALIASES = {
+    "analytic": "analytic",
+    "exact": "analytic",
+    "closed_form": "closed_form",
+    "approx": "closed_form",
+    "monte_carlo": "monte_carlo",
+}
+
+
+def normalize_method(method: str) -> str:
+    """Canonical method name; raises ValueError for unknown spellings."""
+    try:
+        return _METHOD_ALIASES[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; use 'analytic', 'closed_form' or "
+            "'monte_carlo' ('exact'/'approx' accepted as aliases)"
+        ) from None
+
+
+class SolveContext:
+    """Per-process memo state and counters for chunk evaluation."""
+
+    def __init__(self) -> None:
+        self.memo = ChainStructureMemo()
+        self.array_rates: Dict[Hashable, ArrayRates] = {}
+        self.array_hits = 0
+        self.array_misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "memo_hits": self.memo.hits,
+            "memo_misses": self.memo.misses,
+            "array_hits": self.array_hits,
+            "array_misses": self.array_misses,
+        }
+
+
+def _array_rates_for(
+    config: Configuration, params: Parameters, ctx: SolveContext
+) -> ArrayRates:
+    """Memoized ``rates("approx")`` of the internal array model.
+
+    The approx rates (and the array MTTDL they carry) are functions of
+    exactly ``(level, d, lambda_d, mu_d, C*HER)``; keying on those scalars
+    makes the memo exact — identical inputs give identical outputs, so a
+    hit returns the same floats a fresh computation would.
+    """
+    arr = array_model(params, config.internal)
+    key = (
+        config.internal,
+        params.drives_per_node,
+        params.drive_failure_rate,
+        arr.restripe_rate,
+        params.hard_error_per_drive_read,
+    )
+    rates = ctx.array_rates.get(key)
+    if rates is None:
+        rates = arr.rates("approx")
+        ctx.array_rates[key] = rates
+        ctx.array_misses += 1
+    else:
+        ctx.array_hits += 1
+    return rates
+
+
+def _build_chain(
+    config: Configuration, params: Parameters, ctx: SolveContext
+) -> CTMC:
+    """The node-level chain for one point, via both memo layers."""
+    if config.internal is InternalRaid.NONE:
+        model = config.model(params)
+    else:
+        model = InternalRaidNodeModel(
+            params,
+            config.internal,
+            config.node_fault_tolerance,
+            array_rates=_array_rates_for(config, params, ctx),
+        )
+    memo_key = (config.key, params.node_set_size, params.drives_per_node)
+    return model.chain(memo=ctx.memo, memo_key=memo_key)
+
+
+def mttdl_batched(chains: Sequence[CTMC]) -> List[float]:
+    """Mean time to absorption of many chains, batching by structure.
+
+    Chains are grouped by (state order, transient/absorbing partition,
+    initial state); each group is stacked and solved in one batched GTH
+    elimination.  Every returned float is bitwise equal to the chain's own
+    :meth:`~repro.core.ctmc.CTMC.mean_time_to_absorption`.
+    """
+    results: List[Optional[float]] = [None] * len(chains)
+    groups: Dict[Tuple, List[int]] = {}
+    for i, chain in enumerate(chains):
+        absorbing = chain.absorbing_states()
+        if chain.initial_state in absorbing:
+            results[i] = 0.0
+            continue
+        signature = (
+            chain.states,
+            chain.transient_states(),
+            absorbing,
+            chain.initial_state,
+        )
+        groups.setdefault(signature, []).append(i)
+    for signature, members in groups.items():
+        transient = list(signature[1])
+        init_pos = transient.index(signature[3])
+        a, b, _ = CTMC.stacked_absorption_system([chains[i] for i in members])
+        n = a.shape[1]
+        rhs = np.broadcast_to(np.eye(n), (len(members), n, n)).copy()
+        fundamental = gth_solve_batched(a, b, rhs)
+        taus = fundamental[:, init_pos, :]
+        for j, i in enumerate(members):
+            results[i] = float(taus[j].sum())
+    return results  # type: ignore[return-value]
+
+
+def evaluate_chunk(
+    tasks: Sequence[Tuple[Configuration, Parameters, str]],
+    ctx: Optional[SolveContext] = None,
+) -> List[float]:
+    """MTTDL (hours) for each ``(config, params, method)`` task.
+
+    ``method`` must already be normalized ("analytic" or "closed_form");
+    Monte-Carlo evaluation lives in :mod:`repro.sim` and is dispatched by
+    the facade, not here.  Order is preserved.
+    """
+    if ctx is None:
+        ctx = SolveContext()
+    mttdls: List[Optional[float]] = [None] * len(tasks)
+    chains: List[CTMC] = []
+    chain_slots: List[int] = []
+    for i, (config, params, method) in enumerate(tasks):
+        if method == "closed_form":
+            if config.internal is InternalRaid.NONE:
+                mttdls[i] = config.mttdl_hours(params, "approx")
+            else:
+                model = InternalRaidNodeModel(
+                    params,
+                    config.internal,
+                    config.node_fault_tolerance,
+                    array_rates=_array_rates_for(config, params, ctx),
+                )
+                mttdls[i] = model.mttdl_approx()
+        elif method == "analytic":
+            chains.append(_build_chain(config, params, ctx))
+            chain_slots.append(i)
+        else:
+            raise ValueError(f"evaluate_chunk cannot handle method {method!r}")
+    if chains:
+        for i, mttdl in zip(chain_slots, mttdl_batched(chains)):
+            mttdls[i] = mttdl
+    return mttdls  # type: ignore[return-value]
+
+
+def _worker_evaluate(
+    tasks: Sequence[Tuple[Configuration, Parameters, str]],
+) -> Tuple[List[float], Dict[str, int]]:
+    """Process-pool entry point: evaluate a chunk with a fresh context and
+    report the memo counters back for aggregation."""
+    ctx = SolveContext()
+    return evaluate_chunk(tasks, ctx), ctx.stats()

@@ -1,0 +1,343 @@
+"""The parallel sweep engine.
+
+:class:`SweepEngine` evaluates grids of (configuration, parameters)
+points with three accelerators — process-pool fan-out, chain-topology /
+array-rates memos, and an optional on-disk result cache — while
+guaranteeing the exact floats of the pre-engine point-by-point code (see
+:mod:`repro.engine.solver` for why every path is bitwise-deterministic).
+
+Typical use::
+
+    engine = SweepEngine(jobs=4, cache=True)
+    result = engine.sweep(
+        sensitivity_configurations(),
+        Axis("drive_mttf_hours", (100_000, 300_000, 750_000)),
+    )
+    print(format_figure(result))
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from ..models.configurations import Configuration
+from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR, ReliabilityResult
+from ..models.parameters import Parameters
+from .. import __version__
+from ..reporting import Series
+from .cache import DEFAULT_CACHE_DIR, DiskCache
+from .keys import point_key
+from .pool import default_jobs, run_chunks, should_pool, split_chunks
+from .result import EngineProvenance, SweepResult
+from .solver import SolveContext, _worker_evaluate, evaluate_chunk, normalize_method
+
+__all__ = ["Axis", "GridPoint", "SweepEngine"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension of a parameter grid.
+
+    Attributes:
+        name: the :class:`Parameters` field to vary (or a descriptive name
+            when ``transform`` is given).
+        values: the swept values.
+        transform: optional ``(params, x) -> params`` mapping; defaults to
+            replacing ``name`` with ``x`` cast to the field's type.
+        label: axis label for figures (defaults to ``name``).
+    """
+
+    name: str
+    values: Sequence[Any]
+    transform: Optional[Callable[[Parameters, Any], Parameters]] = None
+    label: Optional[str] = None
+
+    @property
+    def x_label(self) -> str:
+        return self.label if self.label is not None else self.name
+
+    def apply(self, params: Parameters, x: Any) -> Parameters:
+        """The parameter set at swept value ``x``."""
+        if self.transform is not None:
+            return self.transform(params, x)
+        current = getattr(params, self.name)
+        value = type(current)(x) if isinstance(current, (int, float)) else x
+        return params.replace(**{self.name: value})
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated point of a multi-axis grid."""
+
+    config: Configuration
+    coords: Tuple[Tuple[str, Any], ...]
+    params: Parameters
+    result: ReliabilityResult
+
+
+class SweepEngine:
+    """Evaluates configuration/parameter grids fast and reproducibly.
+
+    Args:
+        base_params: default baseline for :meth:`sweep` / :meth:`grid`
+            (the paper's Section 6 baseline when omitted).
+        jobs: process-pool width; ``None`` means ``os.cpu_count()``.  The
+            pool engages only when a batch is large enough to amortize
+            process startup — results are identical either way.
+        cache: on-disk result cache: ``False`` (off), ``True`` (default
+            directory ``.repro_cache/``), a directory path, or a
+            :class:`DiskCache` instance.
+        method: default evaluation method ("analytic" or "closed_form";
+            "exact"/"approx" accepted as aliases).
+        verbose: print cache/memo counters to stderr after each batch.
+    """
+
+    def __init__(
+        self,
+        base_params: Optional[Parameters] = None,
+        *,
+        jobs: Optional[int] = None,
+        cache: Union[bool, str, Path, DiskCache] = False,
+        method: str = "analytic",
+        verbose: bool = False,
+    ) -> None:
+        self._base = base_params if base_params is not None else Parameters.baseline()
+        self._jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self._method = normalize_method(method)
+        self._verbose = verbose
+        if isinstance(cache, DiskCache):
+            self._cache: Optional[DiskCache] = cache
+        elif cache is True:
+            self._cache = DiskCache(DEFAULT_CACHE_DIR)
+        elif cache:
+            self._cache = DiskCache(cache)
+        else:
+            self._cache = None
+        self._ctx = SolveContext()
+        # Counters from pooled workers, folded into provenance snapshots.
+        self._worker_stats = {
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "array_hits": 0,
+            "array_misses": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # properties / stats
+    # ------------------------------------------------------------------ #
+
+    @property
+    def base_params(self) -> Parameters:
+        return self._base
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def cache(self) -> Optional[DiskCache]:
+        return self._cache
+
+    def provenance(self, method: Optional[str] = None) -> EngineProvenance:
+        """A snapshot of the engine's settings and cumulative counters."""
+        local = self._ctx.stats()
+        return EngineProvenance(
+            method=normalize_method(method) if method else self._method,
+            jobs=self._jobs,
+            cache_enabled=self._cache is not None,
+            cache_hits=self._cache.hits if self._cache else 0,
+            cache_misses=self._cache.misses if self._cache else 0,
+            memo_hits=local["memo_hits"] + self._worker_stats["memo_hits"],
+            memo_misses=local["memo_misses"] + self._worker_stats["memo_misses"],
+            array_hits=local["array_hits"] + self._worker_stats["array_hits"],
+            array_misses=local["array_misses"]
+            + self._worker_stats["array_misses"],
+            engine=f"repro.engine/{__version__}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self,
+        config: Configuration,
+        params: Optional[Parameters] = None,
+        *,
+        method: Optional[str] = None,
+    ) -> ReliabilityResult:
+        """Evaluate a single point (engine-accelerated, cacheable)."""
+        return self.evaluate_many(
+            [(config, params if params is not None else self._base)],
+            method=method,
+        )[0]
+
+    def evaluate_many(
+        self,
+        pairs: Sequence[Tuple[Configuration, Parameters]],
+        *,
+        method: Optional[str] = None,
+    ) -> List[ReliabilityResult]:
+        """Evaluate many (configuration, parameters) points, in order.
+
+        The disk cache is consulted first; remaining points are chunked
+        across the process pool (or evaluated in-process with the
+        engine's persistent memos when the batch is small).  Outputs are
+        bitwise identical to ``config.reliability(params, method)`` for
+        every point.
+        """
+        method = normalize_method(method) if method else self._method
+        if method == "monte_carlo":
+            raise ValueError(
+                "SweepEngine evaluates analytic/closed-form points; use "
+                "repro.evaluate(..., method='monte_carlo') or "
+                "repro.sim.estimate_mttdl for simulation"
+            )
+        pairs = list(pairs)
+        mttdls: List[Optional[float]] = [None] * len(pairs)
+
+        miss_indices: List[int] = []
+        miss_keys: List[Optional[str]] = []
+        if self._cache is not None:
+            for i, (config, params) in enumerate(pairs):
+                key = point_key(config, params, method)
+                payload = self._cache.get(key)
+                if payload is not None and "mttdl_hours" in payload:
+                    mttdls[i] = float(payload["mttdl_hours"])
+                else:
+                    miss_indices.append(i)
+                    miss_keys.append(key)
+        else:
+            miss_indices = list(range(len(pairs)))
+            miss_keys = [None] * len(pairs)
+
+        tasks = [
+            (pairs[i][0], pairs[i][1], method) for i in miss_indices
+        ]
+        if tasks:
+            # When the pool cannot help (one job, a tiny batch, or a
+            # single-CPU host) stay in-process so the engine's persistent
+            # memos keep paying off across batches.
+            if should_pool(self._jobs, len(tasks)):
+                chunks = split_chunks(tasks, self._jobs)
+                outputs = run_chunks(_worker_evaluate, chunks, self._jobs)
+                computed = [m for out in outputs for m in out[0]]
+                for _, stats in outputs:
+                    for name, value in stats.items():
+                        self._worker_stats[name] += value
+            else:
+                computed = evaluate_chunk(tasks, self._ctx)
+            for slot, key, mttdl in zip(miss_indices, miss_keys, computed):
+                mttdls[slot] = mttdl
+                if self._cache is not None and key is not None:
+                    self._cache.put(key, {"mttdl_hours": mttdl})
+
+        results = [
+            ReliabilityResult.from_mttdl(mttdl, params)
+            for mttdl, (_, params) in zip(mttdls, pairs)
+        ]
+        if self._verbose:
+            print(
+                f"[repro.engine] {len(pairs)} points; "
+                + self.provenance(method).describe(),
+                file=sys.stderr,
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # sweeps and grids
+    # ------------------------------------------------------------------ #
+
+    def sweep(
+        self,
+        configs: Sequence[Configuration],
+        axis: Axis,
+        *,
+        base_params: Optional[Parameters] = None,
+        method: Optional[str] = None,
+        title: Optional[str] = None,
+        label_fn: Optional[Callable[[Any], str]] = None,
+    ) -> SweepResult:
+        """Evaluate ``configs`` along one axis; returns a :class:`SweepResult`.
+
+        Point order matches :func:`repro.analysis.sensitivity.sweep`
+        (x-major, then configuration).
+        """
+        from ..analysis.sensitivity import SweepPoint
+
+        base = base_params if base_params is not None else self._base
+        xs = list(axis.values)
+        pairs = [
+            (config, axis.apply(base, x)) for x in xs for config in configs
+        ]
+        results = self.evaluate_many(pairs, method=method)
+        points = tuple(
+            SweepPoint(
+                x=x,
+                config=config,
+                events_per_pb_year=result.events_per_pb_year,
+                mttdl_hours=result.mttdl_hours,
+            )
+            for (x, config), result in zip(
+                ((x, c) for x in xs for c in configs), results
+            )
+        )
+        if label_fn is None:
+            label_fn = lambda p: p.config.label
+        labels: List[str] = []
+        values: dict = {}
+        for p in points:
+            label = label_fn(p)
+            if label not in values:
+                labels.append(label)
+                values[label] = {}
+            values[label][p.x] = p.events_per_pb_year
+        series = tuple(
+            Series(label, tuple(values[label][x] for x in xs))
+            for label in labels
+        )
+        return SweepResult(
+            title=title if title is not None else f"Sweep over {axis.x_label}",
+            x_label=axis.x_label,
+            x_values=tuple(float(x) for x in xs),
+            series=series,
+            target=PAPER_TARGET_EVENTS_PER_PB_YEAR,
+            axis_name=axis.name,
+            axis_values=tuple(xs),
+            points=points,
+            provenance=self.provenance(method),
+        )
+
+    def grid(
+        self,
+        configs: Sequence[Configuration],
+        axes: Sequence[Axis],
+        *,
+        base_params: Optional[Parameters] = None,
+        method: Optional[str] = None,
+    ) -> List[GridPoint]:
+        """Evaluate the full cartesian product of ``axes`` for every
+        configuration; returns points in (axes-major, config-minor) order."""
+        if not axes:
+            raise ValueError("grid needs at least one axis")
+        base = base_params if base_params is not None else self._base
+        combos = list(itertools.product(*(list(a.values) for a in axes)))
+        entries = []
+        for combo in combos:
+            params = base
+            for axis, x in zip(axes, combo):
+                params = axis.apply(params, x)
+            coords = tuple((axis.name, x) for axis, x in zip(axes, combo))
+            for config in configs:
+                entries.append((config, coords, params))
+        results = self.evaluate_many(
+            [(config, params) for config, _, params in entries], method=method
+        )
+        return [
+            GridPoint(config=config, coords=coords, params=params, result=result)
+            for (config, coords, params), result in zip(entries, results)
+        ]

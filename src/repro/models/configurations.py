@@ -93,15 +93,22 @@ class Configuration:
         """The node-level CTMC for this configuration."""
         return self.model(params).chain()
 
-    def mttdl_hours(self, params: Parameters, method: str = "exact") -> float:
+    def mttdl_hours(
+        self,
+        params: Parameters,
+        method: str = "exact",
+        *,
+        rebuild: Optional[RebuildModel] = None,
+    ) -> float:
         """MTTDL in hours.
 
         Args:
             params: system parameters.
             method: ``"exact"`` (numeric chain solve) or ``"approx"``
                 (the paper's closed form).
+            rebuild: optional rebuild-time model override.
         """
-        model = self.model(params)
+        model = self.model(params, rebuild)
         if method == "exact":
             return model.mttdl_exact()
         if method == "approx":
@@ -109,16 +116,22 @@ class Configuration:
                 # The explicit figures have no own approximation; Figure A1
                 # covers them.
                 return RecursiveNoRaidModel(
-                    params, self.node_fault_tolerance
+                    params, self.node_fault_tolerance, rebuild
                 ).mttdl_approx()
             return model.mttdl_approx()
         raise ValueError(f"unknown method {method!r}; use 'exact' or 'approx'")
 
     def reliability(
-        self, params: Parameters, method: str = "exact"
+        self,
+        params: Parameters,
+        method: str = "exact",
+        *,
+        rebuild: Optional[RebuildModel] = None,
     ) -> ReliabilityResult:
         """Reliability in the paper's events/PB-year metric."""
-        return ReliabilityResult.from_mttdl(self.mttdl_hours(params, method), params)
+        return ReliabilityResult.from_mttdl(
+            self.mttdl_hours(params, method, rebuild=rebuild), params
+        )
 
 
 def all_configurations(max_fault_tolerance: int = 3) -> List[Configuration]:

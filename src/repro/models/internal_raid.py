@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core import CTMC, ChainBuilder
+from ..core import CTMC, ChainBuilder, ChainStructureMemo
 from .critical_sets import critical_fraction
 from .parameters import Parameters
 from .raid import ArrayRates, InternalRaid, Raid5Model, Raid6Model
@@ -42,6 +42,8 @@ def build_internal_raid_chain(
     node_rebuild_rate: float,
     critical_sector_fraction: float,
     parallel_repair: bool = False,
+    memo: Optional[ChainStructureMemo] = None,
+    memo_key=None,
 ) -> CTMC:
     """Build the Figure 5/6/7 chain for node fault tolerance ``t``.
 
@@ -81,7 +83,7 @@ def build_internal_raid_chain(
         builder.add_rate(j + 1, j, repair)
     final_rate = lam + critical_sector_fraction * restripe_sector_loss_rate
     builder.add_rate(fault_tolerance, LOSS, (n - fault_tolerance) * final_rate)
-    return builder.build(initial_state=0)
+    return builder.build(initial_state=0, memo=memo, memo_key=memo_key)
 
 
 class InternalRaidNodeModel:
@@ -109,6 +111,7 @@ class InternalRaidNodeModel:
         fault_tolerance: int,
         rebuild: Optional[RebuildModel] = None,
         rates_method: str = "approx",
+        array_rates: Optional[ArrayRates] = None,
     ) -> None:
         if fault_tolerance < 1:
             raise ValueError("fault_tolerance must be >= 1")
@@ -124,6 +127,7 @@ class InternalRaidNodeModel:
         self._t = fault_tolerance
         self._rates_method = rates_method
         self._rebuild = rebuild if rebuild is not None else RebuildModel(params)
+        self._array_rates_override = array_rates
         if raid_level is InternalRaid.RAID5:
             self._array = Raid5Model(params, self._rebuild)
         else:
@@ -146,7 +150,12 @@ class InternalRaidNodeModel:
     @property
     def array_rates(self) -> ArrayRates:
         """lambda_D / lambda_S exported by the internal array model (using
-        the ``rates_method`` chosen at construction)."""
+        the ``rates_method`` chosen at construction), or the precomputed
+        ``array_rates`` override passed to the constructor — the sweep
+        engine computes them once per distinct array operating point and
+        shares them across sweep points."""
+        if self._array_rates_override is not None:
+            return self._array_rates_override
         return self._array.rates(self._rates_method)
 
     @property
@@ -164,8 +173,16 @@ class InternalRaidNodeModel:
             self._params.node_set_size, self._params.redundancy_set_size, self._t
         )
 
-    def chain(self) -> CTMC:
-        """The node-level CTMC (Figure 5, 6 or 7)."""
+    def chain(
+        self,
+        memo: Optional[ChainStructureMemo] = None,
+        memo_key=None,
+    ) -> CTMC:
+        """The node-level CTMC (Figure 5, 6 or 7).
+
+        ``memo``/``memo_key`` optionally reuse a cached topology (see
+        :class:`repro.core.template.ChainStructureMemo`).
+        """
         rates = self.array_rates
         return build_internal_raid_chain(
             self._t,
@@ -175,6 +192,8 @@ class InternalRaidNodeModel:
             rates.restripe_sector_loss_rate,
             self.node_rebuild_rate,
             self.critical_sector_fraction,
+            memo=memo,
+            memo_key=memo_key,
         )
 
     def mttdl_exact(self) -> float:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..core import CTMC, ChainBuilder
+from ..core import CTMC, ChainBuilder, ChainStructureMemo
 from .critical_sets import h_parameters
 from .parameters import Parameters
 from .rebuild import RebuildModel
@@ -46,6 +46,8 @@ def build_no_raid_chain_ft1(
     drive_rebuild_rate: float,
     h_n: float,
     h_d: float,
+    memo: Optional["ChainStructureMemo"] = None,
+    memo_key=None,
 ) -> CTMC:
     """Figure 8: fault tolerance 1, no internal RAID.
 
@@ -73,7 +75,7 @@ def build_no_raid_chain_ft1(
     second = (n - 1) * (lam_n + d * lam_d)
     b.add_rate("N", LOSS, second)
     b.add_rate("d", LOSS, second)
-    return b.build(initial_state="0")
+    return b.build(initial_state="0", memo=memo, memo_key=memo_key)
 
 
 def build_no_raid_chain_ft2(
@@ -84,6 +86,8 @@ def build_no_raid_chain_ft2(
     node_rebuild_rate: float,
     drive_rebuild_rate: float,
     h: Dict[str, float],
+    memo: Optional["ChainStructureMemo"] = None,
+    memo_key=None,
 ) -> CTMC:
     """Figure 9: fault tolerance 2, no internal RAID.
 
@@ -115,7 +119,7 @@ def build_no_raid_chain_ft2(
     third = (n - 2) * (lam_n + d * lam_d)
     for leaf in ("NN", "Nd", "dN", "dd"):
         b.add_rate(leaf, LOSS, third)
-    return b.build(initial_state="00")
+    return b.build(initial_state="00", memo=memo, memo_key=memo_key)
 
 
 def build_no_raid_chain_ft3(
@@ -126,6 +130,8 @@ def build_no_raid_chain_ft3(
     node_rebuild_rate: float,
     drive_rebuild_rate: float,
     h: Dict[str, float],
+    memo: Optional["ChainStructureMemo"] = None,
+    memo_key=None,
 ) -> CTMC:
     """Figure 10: fault tolerance 3, no internal RAID.
 
@@ -165,7 +171,7 @@ def build_no_raid_chain_ft3(
         for second in "Nd":
             for third_letter in "Nd":
                 b.add_rate(first + second + third_letter, LOSS, fourth)
-    return b.build(initial_state="000")
+    return b.build(initial_state="000", memo=memo, memo_key=memo_key)
 
 
 class NoRaidNodeModel:
@@ -211,8 +217,16 @@ class NoRaidNodeModel:
         """The ``h_alpha`` probabilities for this configuration."""
         return h_parameters(self._params, self._t)
 
-    def chain(self) -> CTMC:
-        """The Figure 8/9/10 chain."""
+    def chain(
+        self,
+        memo: Optional[ChainStructureMemo] = None,
+        memo_key=None,
+    ) -> CTMC:
+        """The Figure 8/9/10 chain.
+
+        ``memo``/``memo_key`` optionally reuse a cached topology (see
+        :class:`repro.core.template.ChainStructureMemo`).
+        """
         p = self._params
         common = (
             p.node_set_size,
@@ -224,10 +238,12 @@ class NoRaidNodeModel:
         )
         h = self.hard_error_parameters()
         if self._t == 1:
-            return build_no_raid_chain_ft1(*common, h_n=h["N"], h_d=h["d"])
+            return build_no_raid_chain_ft1(
+                *common, h_n=h["N"], h_d=h["d"], memo=memo, memo_key=memo_key
+            )
         if self._t == 2:
-            return build_no_raid_chain_ft2(*common, h=h)
-        return build_no_raid_chain_ft3(*common, h=h)
+            return build_no_raid_chain_ft2(*common, h=h, memo=memo, memo_key=memo_key)
+        return build_no_raid_chain_ft3(*common, h=h, memo=memo, memo_key=memo_key)
 
     def mttdl_exact(self) -> float:
         """MTTDL in hours from the numeric CTMC solve."""

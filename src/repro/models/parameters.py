@@ -26,6 +26,8 @@ Baseline values (Section 6)::
 from __future__ import annotations
 
 import dataclasses
+import functools
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict
 
@@ -130,6 +132,20 @@ class Parameters:
         """The paper's Section 6 baseline."""
         return cls()
 
+    @classmethod
+    def with_overrides(cls, **overrides: Any) -> "Parameters":
+        """The Section 6 baseline with keyword ``overrides`` applied.
+
+        The preferred way to build a non-baseline parameter set::
+
+            params = Parameters.with_overrides(node_set_size=128)
+
+        Positional construction (``Parameters(400_000.0, ...)``) is
+        deprecated — with fifteen float-heavy fields it is far too easy
+        to transpose two values silently.
+        """
+        return cls(**overrides)
+
     def replace(self, **changes: Any) -> "Parameters":
         """A copy with ``changes`` applied (validated)."""
         return dataclasses.replace(self, **changes)
@@ -198,3 +214,25 @@ class Parameters:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (useful for reports and parameter sweeps)."""
         return dataclasses.asdict(self)
+
+
+# Deprecation shim: positional construction still works but warns.  The
+# generated dataclass __init__ is kept intact underneath so keyword
+# construction, dataclasses.replace and pickling are unaffected.
+_generated_init = Parameters.__init__
+
+
+@functools.wraps(_generated_init)
+def _init_with_deprecation(self: Parameters, *args: Any, **kwargs: Any) -> None:
+    if args:
+        warnings.warn(
+            "positional Parameters(...) construction is deprecated and will "
+            "be removed; use keyword arguments or "
+            "Parameters.with_overrides(**kw)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    _generated_init(self, *args, **kwargs)
+
+
+Parameters.__init__ = _init_with_deprecation  # type: ignore[method-assign]

@@ -108,6 +108,8 @@ def build_recursive_chain(
     node_rebuild_rate: float,
     drive_rebuild_rate: float,
     h: Mapping[str, float],
+    memo: Optional["ChainStructureMemo"] = None,
+    memo_key=None,
 ) -> CTMC:
     """The appendix's no-internal-RAID chain for arbitrary fault tolerance.
 
@@ -153,7 +155,7 @@ def build_recursive_chain(
         h=h,
         n_total=n,
     )
-    return builder.build(initial_state="0" * k)
+    return builder.build(initial_state="0" * k, memo=memo, memo_key=memo_key)
 
 
 # --------------------------------------------------------------------- #
@@ -304,8 +306,16 @@ class RecursiveNoRaidModel:
         """All ``2^k`` h-parameters (Section 5.2.2 generalized)."""
         return h_parameters(self._params, self._t)
 
-    def chain(self) -> CTMC:
-        """The recursively-constructed CTMC."""
+    def chain(
+        self,
+        memo: Optional["ChainStructureMemo"] = None,
+        memo_key=None,
+    ) -> CTMC:
+        """The recursively-constructed CTMC.
+
+        ``memo``/``memo_key`` optionally reuse a cached topology (see
+        :class:`repro.core.template.ChainStructureMemo`).
+        """
         p = self._params
         return build_recursive_chain(
             self._t,
@@ -316,6 +326,8 @@ class RecursiveNoRaidModel:
             self.node_rebuild_rate,
             self.drive_rebuild_rate,
             self.hard_error_parameters(),
+            memo=memo,
+            memo_key=memo_key,
         )
 
     def mttdl_exact(self) -> float:

@@ -1,0 +1,125 @@
+"""ASCII reporting primitives shared by the analysis and engine layers.
+
+The benchmarks "regenerate" the paper's figures as tables of series —
+x-values against events/PB-year per configuration — which these helpers
+render in a stable, diff-friendly format.  They live at the package root
+(rather than under :mod:`repro.analysis`) so the sweep engine can build
+:class:`FigureData`-compatible results without importing the analysis
+package; :mod:`repro.analysis.report` re-exports everything for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "FigureData", "format_table", "format_figure"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line of a figure: a label and y-values over the shared x-axis."""
+
+    label: str
+    values: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """A reproduced figure: shared x-axis plus one series per configuration.
+
+    Attributes:
+        title: e.g. ``"Figure 14: Sensitivity to Drive MTTF"``.
+        x_label: axis label, e.g. ``"drive MTTF (hours)"``.
+        x_values: shared x-axis points.
+        series: the lines.
+        y_label: metric name (defaults to the paper's events/PB-year).
+        target: horizontal reference line (the reliability target).
+    """
+
+    title: str
+    x_label: str
+    x_values: Tuple[float, ...]
+    series: Tuple[Series, ...]
+    y_label: str = "data loss events / PB-year"
+    target: Optional[float] = None
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r}")
+
+    def to_rows(self) -> List[List[str]]:
+        """Table rows: header then one row per x-value."""
+        header = [self.x_label] + [s.label for s in self.series]
+        rows = [header]
+        for i, x in enumerate(self.x_values):
+            rows.append(
+                [_format_number(x)] + [_format_number(s.values[i]) for s in self.series]
+            )
+        return rows
+
+    def to_csv(self) -> str:
+        """The figure as RFC-4180 CSV (full float precision)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow([self.x_label] + [s.label for s in self.series])
+        for i, x in enumerate(self.x_values):
+            writer.writerow([repr(float(x))] + [repr(float(s.values[i])) for s in self.series])
+        return buffer.getvalue()
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the figure."""
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "target": self.target,
+            "x_values": list(self.x_values),
+            "series": [
+                {"label": s.label, "values": list(s.values)} for s in self.series
+            ],
+        }
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if 0.01 <= magnitude < 100_000 and float(value).is_integer():
+        return str(int(value))
+    if 0.01 <= magnitude < 1000:
+        return f"{value:.4g}"
+    return f"{value:.3e}"
+
+
+def format_table(rows: Sequence[Sequence[str]]) -> str:
+    """Align a list of rows into a fixed-width table."""
+    if not rows:
+        return ""
+    widths = [0] * max(len(r) for r in rows)
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for idx, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(row))).rstrip())
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureData) -> str:
+    """Render a reproduced figure as a titled table, with the target line."""
+    parts = [figure.title, "=" * len(figure.title)]
+    if figure.target is not None:
+        parts.append(f"reliability target: {figure.target:.1e} {figure.y_label}")
+    parts.append(format_table(figure.to_rows()))
+    return "\n".join(parts)

@@ -5,6 +5,13 @@ Installed as ``repro-validate``::
     repro-validate                     # default cases, 100 replicas
     repro-validate --replicas 300
     repro-validate --scale 30 --seed 7
+    repro-validate --jobs 4            # fan replicas out over processes
+    repro-validate --no-cache          # always re-simulate
+
+Replicas are independently seeded, so ``--jobs`` changes only wall-clock
+time, never the estimates.  Finished estimates are cached on disk under
+``.repro_cache/`` keyed by (configuration, parameters, replicas, seed),
+so re-running the harness is instant; ``--no-cache`` bypasses that.
 """
 
 from __future__ import annotations
@@ -13,11 +20,14 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..engine.cache import DiskCache
+from ..engine.keys import point_key
+from ..engine.pool import default_jobs
 from ..models.configurations import Configuration
 from ..models.internal_raid import InternalRaidNodeModel
 from ..models.parameters import Parameters
 from ..models.raid import InternalRaid
-from .monte_carlo import accelerated_parameters, estimate_mttdl
+from .monte_carlo import MonteCarloResult, accelerated_parameters, estimate_mttdl
 
 __all__ = ["main"]
 
@@ -49,11 +59,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--nodes", type=int, default=16, help="node set size for the runs"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for the replica fan-out (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (.repro_cache/)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report jobs and cache hit rates on stderr",
+    )
     args = parser.parse_args(argv)
     if args.replicas < 2:
         parser.error("need at least 2 replicas")
     if args.scale <= 0:
         parser.error("scale must be positive")
+    jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
+    cache = None if args.no_cache else DiskCache()
 
     base = Parameters.baseline().replace(
         node_set_size=args.nodes, redundancy_set_size=8
@@ -67,7 +96,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"{'configuration':<26} {'simulated (h)':>14} {'chain (h)':>12} {'z':>7}")
     worst = 0.0
     for config in DEFAULT_CASES:
-        mc = estimate_mttdl(config, acc, replicas=args.replicas, seed=args.seed)
+        mc = _estimate(config, acc, args.replicas, args.seed, jobs, cache)
         if config.internal is InternalRaid.NONE:
             analytic = config.mttdl_hours(acc)
         else:
@@ -85,7 +114,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     print(f"\nworst |z| = {worst:.2f} "
           f"({'OK' if worst < 4 else 'investigate — beyond sampling error'})")
+    if args.verbose:
+        cache_note = (
+            f"disk cache {cache.hits} hits / {cache.misses} misses"
+            if cache is not None
+            else "disk cache off"
+        )
+        print(f"[repro-validate] jobs={jobs}; {cache_note}", file=sys.stderr)
     return 0 if worst < 4 else 1
+
+
+def _estimate(
+    config: Configuration,
+    params: Parameters,
+    replicas: int,
+    seed: int,
+    jobs: int,
+    cache: Optional[DiskCache],
+) -> MonteCarloResult:
+    """Monte-Carlo estimate, through the disk cache when enabled."""
+    key = None
+    if cache is not None:
+        key = point_key(
+            config,
+            params,
+            "monte_carlo",
+            extra={"replicas": replicas, "seed": seed},
+        )
+        payload = cache.get(key)
+        if payload is not None and "mean_hours" in payload:
+            return MonteCarloResult(
+                mean_hours=float(payload["mean_hours"]),
+                std_error_hours=float(payload["std_error_hours"]),
+                replicas=int(payload["replicas"]),
+                loss_causes=tuple(
+                    (str(cause), int(count))
+                    for cause, count in payload["loss_causes"]
+                ),
+            )
+    mc = estimate_mttdl(config, params, replicas=replicas, seed=seed, jobs=jobs)
+    if cache is not None and key is not None:
+        cache.put(
+            key,
+            {
+                "mean_hours": mc.mean_hours,
+                "std_error_hours": mc.std_error_hours,
+                "replicas": mc.replicas,
+                "loss_causes": [list(item) for item in mc.loss_causes],
+            },
+        )
+    return mc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.pool import run_chunks, split_chunks
 from ..models.configurations import Configuration
 from ..models.parameters import Parameters
 from ..models.raid import InternalRaid
@@ -75,6 +76,40 @@ def accelerated_parameters(
     )
 
 
+def _run_replica(
+    task: Tuple[Configuration, Parameters, int, int, str, int],
+) -> Tuple[float, str]:
+    """One independent replica: simulate to first loss.
+
+    Module-level (picklable) so replicas fan out across a process pool.
+    Replica ``i``'s stream seed depends only on ``(seed, i)`` — tuple
+    hashing over ints is deterministic across processes — so any split
+    of replicas over workers reproduces the serial run exactly.
+    """
+    config, params, seed, i, repair_distribution, max_events = task
+    sim = Simulator()
+    streams = StreamFactory(seed=hash((seed, i)) & 0x7FFFFFFF)
+    process = _build_process(sim, config, params, streams, repair_distribution)
+    sim.run(
+        max_events=max_events,
+        stop_when=lambda p=process: p.has_lost_data,
+    )
+    if not process.losses:
+        raise RuntimeError(
+            "replica ended without data loss; increase acceleration or "
+            "max_events_per_replica"
+        )
+    event = process.losses[0]
+    return event.time_hours, event.cause
+
+
+def _run_replica_chunk(
+    tasks: List[Tuple[Configuration, Parameters, int, int, str, int]],
+) -> List[Tuple[float, str]]:
+    """Process-pool entry point: run a contiguous block of replicas."""
+    return [_run_replica(task) for task in tasks]
+
+
 def estimate_mttdl(
     config: Configuration,
     params: Parameters,
@@ -82,6 +117,7 @@ def estimate_mttdl(
     seed: int = 0,
     repair_distribution: str = "exponential",
     max_events_per_replica: int = 5_000_000,
+    jobs: int = 1,
 ) -> MonteCarloResult:
     """Estimate a configuration's MTTDL by repeated simulation to loss.
 
@@ -94,30 +130,27 @@ def estimate_mttdl(
         repair_distribution: ``"exponential"`` (chain-faithful) or
             ``"deterministic"`` (ablation).
         max_events_per_replica: safety cap per run.
+        jobs: replica fan-out width; each replica is seeded independently,
+            so any ``jobs`` gives the identical estimate.
 
     Returns:
         A :class:`MonteCarloResult`.
     """
     if replicas < 2:
         raise ValueError("need at least two replicas for a standard error")
+    tasks = [
+        (config, params, seed, i, repair_distribution, max_events_per_replica)
+        for i in range(replicas)
+    ]
+    chunks = split_chunks(tasks, max(1, jobs))
+    outputs = run_chunks(_run_replica_chunk, chunks, max(1, jobs))
     times = np.empty(replicas)
     causes: dict = {}
-    for i in range(replicas):
-        sim = Simulator()
-        streams = StreamFactory(seed=hash((seed, i)) & 0x7FFFFFFF)
-        process = _build_process(sim, config, params, streams, repair_distribution)
-        sim.run(
-            max_events=max_events_per_replica,
-            stop_when=lambda p=process: p.has_lost_data,
-        )
-        if not process.losses:
-            raise RuntimeError(
-                "replica ended without data loss; increase acceleration or "
-                "max_events_per_replica"
-            )
-        event = process.losses[0]
-        times[i] = event.time_hours
-        causes[event.cause] = causes.get(event.cause, 0) + 1
+    for i, (time_hours, cause) in enumerate(
+        sample for chunk in outputs for sample in chunk
+    ):
+        times[i] = time_hours
+        causes[cause] = causes.get(cause, 0) + 1
     mean = float(times.mean())
     sem = float(times.std(ddof=1) / math.sqrt(replicas))
     return MonteCarloResult(

@@ -1,0 +1,111 @@
+"""Engine-accelerated analysis must reproduce the plain paths bitwise."""
+
+import pytest
+
+from repro import Parameters, SweepEngine, SweepResult
+from repro.analysis.cli import main
+from repro.analysis.design_space import enumerate_designs
+from repro.analysis.elasticity import elasticity_profile
+from repro.analysis.figures import figure17_link_speed, figure20_drives_per_node
+from repro.analysis.sensitivity import sweep, sweep_to_figure
+from repro.models.configurations import (
+    Configuration,
+    sensitivity_configurations,
+)
+from repro.models.raid import InternalRaid
+
+
+def _assert_same_figure(plain, fast):
+    assert plain.title == fast.title
+    assert plain.x_values == fast.x_values
+    assert len(plain.series) == len(fast.series)
+    for a, b in zip(plain.series, fast.series):
+        assert a.label == b.label
+        assert a.values == b.values
+
+
+class TestFigureParity:
+    def test_figure17_bitwise(self, baseline):
+        plain = figure17_link_speed(baseline)
+        fast = figure17_link_speed(baseline, engine=SweepEngine(baseline, jobs=4))
+        _assert_same_figure(plain, fast)
+        assert plain.provenance is None
+        assert fast.provenance is not None
+
+    def test_figure20_bitwise(self, baseline):
+        plain = figure20_drives_per_node(baseline)
+        fast = figure20_drives_per_node(
+            baseline, engine=SweepEngine(baseline, jobs=4)
+        )
+        _assert_same_figure(plain, fast)
+
+    def test_figures_return_sweep_results(self, baseline):
+        assert isinstance(figure17_link_speed(baseline), SweepResult)
+
+
+class TestSweepParity:
+    def test_sweep_engine_kwarg_bitwise(self, baseline):
+        configs = sensitivity_configurations()
+        xs = (100_000.0, 400_000.0)
+        transform = lambda p, x: p.replace(node_mttf_hours=x)
+        plain = sweep(configs, baseline, xs, transform)
+        fast = sweep(configs, baseline, xs, transform, engine=SweepEngine(jobs=4))
+        assert plain == fast
+
+    def test_sweep_to_figure_is_sweep_result(self, baseline):
+        configs = sensitivity_configurations()
+        points = sweep(
+            configs,
+            baseline,
+            (16, 64),
+            lambda p, x: p.replace(node_set_size=int(x)),
+        )
+        fig = sweep_to_figure("t", "N", points, axis_name="node_set_size")
+        assert isinstance(fig, SweepResult)
+        assert fig.axis_name == "node_set_size"
+        assert fig.axis_values == (16, 64)
+        assert fig.points == tuple(points)
+
+
+class TestDesignSpaceParity:
+    def test_bitwise(self, baseline):
+        plain = enumerate_designs(baseline)
+        fast = enumerate_designs(baseline, engine=SweepEngine(baseline, jobs=4))
+        assert plain == fast
+
+
+class TestElasticityParity:
+    def test_bitwise(self, baseline):
+        config = Configuration(InternalRaid.RAID5, 2)
+        plain = elasticity_profile(config, baseline)
+        fast = elasticity_profile(
+            config, baseline, engine=SweepEngine(baseline)
+        )
+        assert plain == fast
+
+
+class TestCliFlags:
+    def test_jobs_and_no_cache(self, capsys):
+        rc = main(["17", "--jobs", "2", "--no-cache"])
+        assert rc == 0
+        assert "Figure 17" in capsys.readouterr().out
+
+    def test_verbose_reports_engine_stats(self, capsys):
+        rc = main(["17", "--no-cache", "--verbose"])
+        assert rc == 0
+        assert "[repro.engine]" in capsys.readouterr().err
+
+    def test_cache_round_trip_same_output(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["17"]) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / ".repro_cache").is_dir()
+        assert main(["17"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_output_matches_pre_engine_flags(self, capsys):
+        """--jobs/--no-cache must not change the rendered tables."""
+        assert main(["17", "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["17", "--no-cache", "--jobs", "3"]) == 0
+        assert capsys.readouterr().out == plain

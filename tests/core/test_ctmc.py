@@ -60,6 +60,17 @@ class TestConstruction:
         with pytest.raises(CTMCError, match="rate"):
             Transition("a", "b", -1.0)
 
+    def test_zero_rate_rejected(self):
+        """Regression: a zero-rate transition is a structural no-op that
+        silently distorted memoized topologies; it must be rejected at
+        construction (ChainBuilder.add_rate drops zero rates instead)."""
+        with pytest.raises(CTMCError, match="rate"):
+            Transition("a", "b", 0.0)
+
+    def test_infinite_rate_rejected(self):
+        with pytest.raises(CTMCError, match="rate"):
+            Transition("a", "b", float("inf"))
+
     def test_nan_rate_rejected(self):
         with pytest.raises(CTMCError, match="rate"):
             Transition("a", "b", float("nan"))
@@ -199,6 +210,17 @@ class TestAbsorption:
         visits = chain.expected_visits()
         # Visits to 'degraded' are geometric with success prob kill/(mu+kill).
         assert visits["degraded"] == pytest.approx((mu + kill) / kill)
+
+    def test_stacked_absorption_system_matches_per_chain(self):
+        chains = [
+            two_state_chain(2.0 * k, 50.0 * k, 1.0 + k) for k in (1, 2, 3)
+        ]
+        off, rates, to_abs = CTMC.stacked_absorption_system(chains)
+        for i, chain in enumerate(chains):
+            o, r, t = chain.absorption_system()
+            assert np.array_equal(off[i], o)
+            assert np.array_equal(rates[i], r)
+            assert np.array_equal(to_abs[i], t)
 
     def test_mttdl_scales_inversely_with_rates(self):
         fast = two_state_chain(2.0, 50.0, 1.0)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import gth_fundamental_matrix, gth_solve
+from repro.core import gth_fundamental_matrix, gth_solve, gth_solve_batched
 
 
 def random_absorbing_system(rng, n):
@@ -161,3 +161,68 @@ def test_gth_agrees_with_numpy_property(n, seed):
     expected = np.linalg.solve(r, np.ones(n))
     got = gth_solve(rates, absorb, np.ones(n))
     assert np.allclose(got, expected, rtol=1e-8)
+
+
+class TestBatchedSolver:
+    def _stack(self, rng, batch, n):
+        rates = np.stack(
+            [random_absorbing_system(rng, n)[0] for _ in range(batch)]
+        )
+        absorb = rng.uniform(0.1, 2.0, size=(batch, n))
+        return rates, absorb
+
+    def test_bitwise_equal_to_scalar_vector_rhs(self):
+        """Each batch slice must reproduce gth_solve exactly — not merely
+        approximately — because the sweep engine's correctness contract is
+        bitwise identity with the point-by-point path."""
+        rng = np.random.default_rng(7)
+        for n in (1, 2, 3, 5, 9):
+            rates, absorb = self._stack(rng, 16, n)
+            rhs = rng.uniform(0.0, 1.0, size=(16, n))
+            batched = gth_solve_batched(rates, absorb, rhs)
+            for b in range(16):
+                scalar = gth_solve(rates[b], absorb[b], rhs[b])
+                assert np.array_equal(batched[b], scalar)
+
+    def test_bitwise_equal_to_scalar_matrix_rhs(self):
+        rng = np.random.default_rng(8)
+        n, batch = 6, 10
+        rates, absorb = self._stack(rng, batch, n)
+        rhs = np.broadcast_to(np.eye(n), (batch, n, n)).copy()
+        batched = gth_solve_batched(rates, absorb, rhs)
+        for b in range(batch):
+            scalar = gth_solve(rates[b], absorb[b], np.eye(n))
+            assert np.array_equal(batched[b], scalar)
+
+    def test_stiff_batches(self):
+        """Stiff slices (rates spanning ~12 orders of magnitude) keep the
+        bitwise guarantee — the whole point of subtraction-free GTH."""
+        rng = np.random.default_rng(9)
+        n, batch = 5, 8
+        scale = 10.0 ** rng.uniform(-6, 6, size=(batch, n, n))
+        rates = rng.uniform(0.1, 5.0, size=(batch, n, n)) * scale
+        for b in range(batch):
+            np.fill_diagonal(rates[b], 0.0)
+        absorb = rng.uniform(0.1, 2.0, size=(batch, n)) * 1e-6
+        rhs = np.ones((batch, n))
+        batched = gth_solve_batched(rates, absorb, rhs)
+        for b in range(batch):
+            assert np.array_equal(
+                batched[b], gth_solve(rates[b], absorb[b], rhs[b])
+            )
+
+    def test_singular_member_reported_with_batch_index(self):
+        rates = np.zeros((2, 2, 2))
+        rates[:, 0, 1] = 1.0
+        absorb = np.zeros((2, 2))
+        absorb[0, 1] = 1.0  # member 0 fine, member 1 singular
+        with pytest.raises(ValueError, match="batch member 1"):
+            gth_solve_batched(rates, absorb, np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            gth_solve_batched(np.zeros((2, 2)), np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            gth_solve_batched(
+                np.zeros((2, 3, 2)), np.ones((2, 3)), np.ones((2, 3))
+            )

@@ -1,0 +1,106 @@
+"""Chain-structure memoization: bitwise fidelity and topology safety."""
+
+import numpy as np
+
+from repro.core import ChainBuilder, ChainStructureMemo, ChainTemplate
+from repro.models import NoRaidNodeModel, Parameters
+
+
+def _toy_builder(scale=1.0):
+    b = ChainBuilder()
+    b.add_rate("up", "degraded", 2.0 * scale)
+    b.add_rate("degraded", "up", 100.0 * scale)
+    b.add_rate("degraded", "lost", 0.5 * scale)
+    return b
+
+
+class TestChainTemplate:
+    def test_bind_reproduces_builder_chain(self):
+        builder = _toy_builder()
+        template = ChainTemplate.from_builder(builder, "up")
+        direct = builder.build("up")
+        bound = template.bind(builder.edge_rates())
+        assert bound.states == direct.states
+        assert np.array_equal(bound.generator_matrix(), direct.generator_matrix())
+
+    def test_rebinding_new_rates(self):
+        template = ChainTemplate.from_builder(_toy_builder(), "up")
+        fresh = _toy_builder(scale=3.0)
+        bound = template.bind(fresh.edge_rates())
+        direct = fresh.build("up")
+        assert np.array_equal(bound.generator_matrix(), direct.generator_matrix())
+        assert (
+            bound.mean_time_to_absorption() == direct.mean_time_to_absorption()
+        )
+
+    def test_matches_detects_topology_change(self):
+        builder = _toy_builder()
+        template = ChainTemplate.from_builder(builder, "up")
+        assert template.matches(builder, "up")
+        other = _toy_builder()
+        other.add_rate("up", "lost", 1e-3)  # extra edge
+        assert not template.matches(other, "up")
+        assert not template.matches(builder, "degraded")
+
+
+class TestChainStructureMemo:
+    def test_hit_is_bitwise_identical(self, baseline):
+        memo = ChainStructureMemo()
+        model = NoRaidNodeModel(baseline, 2)
+        cold = model.chain()
+        warm1 = model.chain(memo=memo, memo_key="ft2")
+        warm2 = model.chain(memo=memo, memo_key="ft2")
+        assert memo.misses == 1
+        assert memo.hits == 1
+        for chain in (warm1, warm2):
+            assert chain.states == cold.states
+            assert np.array_equal(
+                chain.generator_matrix(), cold.generator_matrix()
+            )
+            assert (
+                chain.mean_time_to_absorption()
+                == cold.mean_time_to_absorption()
+            )
+
+    def test_topology_change_under_same_key_is_safe(self, baseline):
+        """h = 0 drops hard-error edges, changing the chain's topology.
+        Reusing the same memo key must transparently rebuild the template
+        rather than binding the wrong structure."""
+        memo = ChainStructureMemo()
+        model = NoRaidNodeModel(baseline, 2)
+        no_errors = NoRaidNodeModel(
+            baseline.replace(hard_error_rate_per_bit=0.0), 2
+        )
+        first = model.chain(memo=memo, memo_key="k")
+        second = no_errors.chain(memo=memo, memo_key="k")
+        assert np.array_equal(
+            second.generator_matrix(), no_errors.chain().generator_matrix()
+        )
+        # And back again: the template re-adapts.
+        third = model.chain(memo=memo, memo_key="k")
+        assert np.array_equal(
+            third.generator_matrix(), first.generator_matrix()
+        )
+
+    def test_distinct_keys_are_independent(self, baseline):
+        memo = ChainStructureMemo()
+        ft2 = NoRaidNodeModel(baseline, 2).chain(memo=memo, memo_key="ft2")
+        ft3 = NoRaidNodeModel(baseline, 3).chain(memo=memo, memo_key="ft3")
+        assert ft2.num_states != ft3.num_states
+        assert len(memo) == 2
+
+    def test_clear(self, baseline):
+        memo = ChainStructureMemo()
+        NoRaidNodeModel(baseline, 2).chain(memo=memo, memo_key="k")
+        memo.clear()
+        assert len(memo) == 0
+
+    def test_bound_chains_are_independent(self):
+        """Each bind() call assembles a fresh Q; solving one bound chain
+        must not disturb another."""
+        template = ChainTemplate.from_builder(_toy_builder(), "up")
+        first = template.bind(_toy_builder().edge_rates())
+        second = template.bind(_toy_builder(scale=2.0).edge_rates())
+        q_before = first.generator_matrix()
+        second.mean_time_to_absorption()
+        assert np.array_equal(first.generator_matrix(), q_before)

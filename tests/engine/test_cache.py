@@ -1,0 +1,66 @@
+"""DiskCache behavior: round-trips, corruption tolerance, counters."""
+
+import pytest
+
+from repro.engine import DiskCache
+
+KEY = "ab" * 32
+OTHER = "cd" * 32
+
+
+class TestDiskCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"mttdl_hours": 1.5})
+        assert cache.get(KEY) == {"mttdl_hours": 1.5}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_float_round_trip_is_exact(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        value = 1.234567890123456789e17 / 3.0
+        cache.put(KEY, {"mttdl_hours": value})
+        assert cache.get(KEY)["mttdl_hours"] == value
+
+    def test_lazy_directory_creation(self, tmp_path):
+        root = tmp_path / "sub" / "cache"
+        cache = DiskCache(root)
+        assert not root.exists()
+        assert len(cache) == 0
+        cache.put(KEY, {"x": 1})
+        assert root.is_dir()
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        (tmp_path / f"{KEY}.json").write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+
+    def test_non_dict_payload_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        (tmp_path / f"{KEY}.json").write_text("[1, 2]", encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        cache.put(OTHER, {"x": 2})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(KEY) is None
+
+    def test_rejects_non_hex_keys(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.get("../escape")
+        with pytest.raises(ValueError):
+            cache.put("UPPER", {})
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []

@@ -1,0 +1,75 @@
+"""Cache-key stability and invalidation."""
+
+import subprocess
+import sys
+
+from repro import Configuration, InternalRaid, Parameters
+from repro.engine import point_key, stable_digest
+
+
+CONFIG = Configuration(InternalRaid.RAID5, 2)
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        payload = {"b": 2, "a": [1.5, "x"], "c": None}
+        assert stable_digest(payload) == stable_digest(payload)
+
+    def test_key_order_independent(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+    def test_hex_sha256(self):
+        digest = stable_digest({"a": 1})
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+
+class TestPointKey:
+    def test_stable_within_process(self, baseline):
+        assert point_key(CONFIG, baseline, "analytic") == point_key(
+            CONFIG, baseline, "analytic"
+        )
+
+    def test_stable_across_interpreter_runs(self, baseline):
+        """The key must not depend on randomized string hashing: a fresh
+        interpreter (fresh PYTHONHASHSEED) computes the identical key."""
+        here = point_key(CONFIG, baseline, "analytic")
+        code = (
+            "from repro import Configuration, InternalRaid, Parameters\n"
+            "from repro.engine import point_key\n"
+            "config = Configuration(InternalRaid.RAID5, 2)\n"
+            "print(point_key(config, Parameters.baseline(), 'analytic'))\n"
+        )
+        fresh = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert fresh == here
+
+    def test_changes_with_params(self, baseline):
+        other = baseline.replace(node_mttf_hours=123_456.0)
+        assert point_key(CONFIG, baseline, "analytic") != point_key(
+            CONFIG, other, "analytic"
+        )
+
+    def test_changes_with_method(self, baseline):
+        assert point_key(CONFIG, baseline, "analytic") != point_key(
+            CONFIG, baseline, "closed_form"
+        )
+
+    def test_changes_with_config(self, baseline):
+        other = Configuration(InternalRaid.RAID6, 2)
+        assert point_key(CONFIG, baseline, "analytic") != point_key(
+            other, baseline, "analytic"
+        )
+
+    def test_changes_with_extra(self, baseline):
+        plain = point_key(CONFIG, baseline, "monte_carlo")
+        seeded = point_key(CONFIG, baseline, "monte_carlo", extra={"seed": 1})
+        other_seed = point_key(CONFIG, baseline, "monte_carlo", extra={"seed": 2})
+        assert len({plain, seeded, other_seed}) == 3

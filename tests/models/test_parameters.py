@@ -120,3 +120,47 @@ class TestConstructors:
     def test_frozen(self, baseline):
         with pytest.raises(Exception):
             baseline.node_set_size = 10  # type: ignore[misc]
+
+
+class TestConstructorDeprecation:
+    def test_with_overrides_equals_keyword_construction(self):
+        assert Parameters.with_overrides(node_set_size=16) == Parameters(
+            node_set_size=16
+        )
+
+    def test_with_overrides_defaults_to_baseline(self):
+        assert Parameters.with_overrides() == Parameters.baseline()
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ParameterError):
+            Parameters.with_overrides(drives_per_node=0)
+
+    def test_positional_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            Parameters(400_000.0)
+
+    def test_positional_values_still_applied(self):
+        with pytest.warns(DeprecationWarning):
+            p = Parameters(123_456.0, 200_000.0)
+        assert p.node_mttf_hours == 123_456.0
+        assert p.drive_mttf_hours == 200_000.0
+
+    def test_keyword_construction_does_not_warn(self, recwarn):
+        Parameters(node_mttf_hours=123_456.0)
+        assert not any(
+            isinstance(w.message, DeprecationWarning) for w in recwarn.list
+        )
+
+    def test_replace_does_not_warn(self, baseline, recwarn):
+        baseline.replace(node_set_size=32)
+        assert not any(
+            isinstance(w.message, DeprecationWarning) for w in recwarn.list
+        )
+
+    def test_pickle_round_trip_does_not_warn(self, baseline, recwarn):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(baseline)) == baseline
+        assert not any(
+            isinstance(w.message, DeprecationWarning) for w in recwarn.list
+        )

@@ -6,8 +6,14 @@ from repro.sim.cli import main
 
 
 class TestValidateCli:
+    @pytest.mark.tier2
     def test_runs_and_reports(self, capsys):
-        rc = main(["--replicas", "30", "--scale", "100", "--seed", "3", "--nodes", "12"])
+        rc = main(
+            [
+                "--replicas", "30", "--scale", "100", "--seed", "3",
+                "--nodes", "12", "--no-cache",
+            ]
+        )
         out = capsys.readouterr().out
         assert "configuration" in out
         assert "worst |z|" in out
@@ -15,9 +21,21 @@ class TestValidateCli:
 
     def test_small_scale_ok(self, capsys):
         # Heavier acceleration keeps runtimes small in CI.
-        rc = main(["--replicas", "40", "--scale", "200", "--nodes", "12"])
+        rc = main(["--replicas", "40", "--scale", "200", "--nodes", "12", "--no-cache"])
         assert rc in (0, 1)
         assert "acceleration x200" in capsys.readouterr().out
+
+    def test_cache_round_trip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        args = ["--replicas", "10", "--scale", "200", "--nodes", "12", "--verbose"]
+        rc1 = main(args)
+        first = capsys.readouterr()
+        assert "disk cache 0 hits / 5 misses" in first.err
+        rc2 = main(args)
+        second = capsys.readouterr()
+        assert "disk cache 5 hits / 0 misses" in second.err
+        assert rc1 == rc2
+        assert first.out == second.out
 
     def test_bad_arguments(self):
         with pytest.raises(SystemExit):

@@ -13,6 +13,7 @@ def acc():
 
 
 class TestEventRate:
+    @pytest.mark.tier2
     def test_matches_analytic_rate(self, acc):
         """Long-run renewal rate equals 1/MTTDL per PB (the paper's
         headline metric), within Poisson error."""

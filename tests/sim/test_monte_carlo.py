@@ -75,3 +75,19 @@ class TestResultType:
     def test_replica_minimum(self, acc):
         with pytest.raises(ValueError):
             estimate_mttdl(Configuration(InternalRaid.NONE, 1), acc, replicas=1)
+
+
+class TestReplicaFanOut:
+    def test_jobs_do_not_change_the_estimate(self, acc):
+        """Replicas are independently seeded, so any pool width returns the
+        identical estimate (tuple-of-int hashing is process-stable)."""
+        config = Configuration(InternalRaid.NONE, 1)
+        serial = estimate_mttdl(config, acc, replicas=12, seed=5, jobs=1)
+        pooled = estimate_mttdl(config, acc, replicas=12, seed=5, jobs=4)
+        assert pooled == serial
+
+    def test_seed_still_controls_the_estimate(self, acc):
+        config = Configuration(InternalRaid.NONE, 1)
+        a = estimate_mttdl(config, acc, replicas=6, seed=5)
+        b = estimate_mttdl(config, acc, replicas=6, seed=6)
+        assert a.mean_hours != b.mean_hours
