@@ -1,0 +1,39 @@
+"""Benchmark: the cost of the verification battery itself.
+
+The invariant registry is only useful if running it is cheap enough to
+gate every PR, so this benchmark times the full deterministic smoke pass
+(nine configurations x the 27-point lattice, every registered invariant
+including the engine fault drill) and archives the per-invariant budget
+breakdown.
+"""
+
+import pytest
+from _bench_utils import emit_text
+
+from repro.analysis import format_table
+from repro.verify import REGISTRY, make_context
+
+
+def run_smoke_battery():
+    report = REGISTRY.run(make_context())
+    assert report.ok, report.format_text()
+    return report
+
+
+def test_verify_smoke_battery(benchmark):
+    report = benchmark.pedantic(run_smoke_battery, rounds=1, iterations=1)
+    # The whole deterministic battery must stay PR-gate cheap.
+    assert report.total_checked > 1000
+    assert sum(c.seconds for c in report.checks) < 60.0
+
+
+def test_verify_budget_report():
+    report = run_smoke_battery()
+    rows = [["invariant", "checked", "seconds"]]
+    for check in report.checks:
+        rows.append([check.name, str(check.checked), f"{check.seconds:.3f}"])
+    rows.append(["total", str(report.total_checked), ""])
+    emit_text(
+        "verification battery budget (smoke)\n" + format_table(rows),
+        "verify_battery_budget.txt",
+    )

@@ -19,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..cli_common import apply_param_overrides
 from ..engine.sweep import SweepEngine
 from ..models.parameters import Parameters
 from .baseline import baseline_figure, run_baseline
@@ -106,17 +107,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error(f"unknown figures: {unknown}; choose from 13-20")
 
-    params = Parameters.baseline()
-    for override in args.set:
-        field, _, raw = override.partition("=")
-        if not raw:
-            parser.error(f"--set needs FIELD=VALUE, got {override!r}")
-        try:
-            current = getattr(params, field)
-        except AttributeError:
-            parser.error(f"unknown parameter field {field!r}")
-        value = type(current)(float(raw)) if isinstance(current, (int, float)) else raw
-        params = params.replace(**{field: value})
+    params = apply_param_overrides(Parameters.baseline(), args.set, parser.error)
 
     engine = SweepEngine(
         params,

@@ -1,0 +1,44 @@
+"""Helpers shared by the command-line entry points.
+
+``repro-figures``, ``repro-validate`` and ``repro-verify`` all accept
+``--set FIELD=VALUE`` overrides of the Section 6 baseline; the parsing
+and type coercion live here so every CLI accepts exactly the same
+spellings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .models.parameters import Parameters
+
+__all__ = ["apply_param_overrides"]
+
+
+def apply_param_overrides(
+    params: Parameters,
+    assignments: Iterable[str],
+    error: Callable[[str], None],
+) -> Parameters:
+    """Apply ``FIELD=VALUE`` strings to ``params``.
+
+    Values are coerced to the field's current type (ints stay ints), so
+    ``--set node_set_size=128`` and ``--set drive_mttf_hours=7.5e5`` both
+    work.  ``error`` is called with a message on a malformed assignment
+    (argparse's ``parser.error`` raises SystemExit, matching the CLIs'
+    existing behavior).
+    """
+    for override in assignments:
+        field, _, raw = override.partition("=")
+        if not raw:
+            error(f"--set needs FIELD=VALUE, got {override!r}")
+        try:
+            current = getattr(params, field)
+        except AttributeError:
+            error(f"unknown parameter field {field!r}")
+            raise  # unreachable when error() raises; keeps type-checkers honest
+        value = (
+            type(current)(float(raw)) if isinstance(current, (int, float)) else raw
+        )
+        params = params.replace(**{field: value})
+    return params

@@ -11,6 +11,7 @@ from .ctmc import (
     AbsorptionResult,
     CTMC,
     CTMCError,
+    GeneratorDiagnostics,
     NotAbsorbingError,
     Transition,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ChainBuilder",
     "ChainStructureMemo",
     "ChainTemplate",
+    "GeneratorDiagnostics",
     "NotAbsorbingError",
     "SampleSummary",
     "Trajectory",

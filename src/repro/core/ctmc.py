@@ -35,6 +35,7 @@ __all__ = [
     "CTMC",
     "AbsorptionResult",
     "CTMCError",
+    "GeneratorDiagnostics",
     "NotAbsorbingError",
 ]
 
@@ -88,6 +89,47 @@ class AbsorptionResult:
     mttdl: float
     expected_times: Dict[State, float]
     absorption_probabilities: Dict[State, float]
+
+
+@dataclass(frozen=True)
+class GeneratorDiagnostics:
+    """Conservation diagnostics of a generator matrix.
+
+    Every mathematically valid generator satisfies three structural laws:
+    rows sum to zero (probability conservation), off-diagonal rates are
+    non-negative, and absorbing rows are entirely null.  The chain
+    constructors enforce these by build order, but memo re-binding, batch
+    stacking and cache round-trips all re-assemble matrices — this report
+    is the introspection hook the verification subsystem audits them
+    through.
+
+    Attributes:
+        num_states: total states.
+        num_absorbing: states with zero exit rate.
+        max_row_residual: largest ``|sum(row)|`` over all rows — exact
+            conservation gives 0.0; float assembly may leave a residual
+            of a few ulps of the largest rate.
+        min_off_diagonal: smallest off-diagonal entry (negative means an
+            invalid rate slipped in; 0.0 is normal).
+        absorbing_rows_null: whether every zero-diagonal row is entirely
+            zero (an absorbing state must have no outgoing rate at all).
+        initial_is_transient: whether the initial state can leave.
+    """
+
+    num_states: int
+    num_absorbing: int
+    max_row_residual: float
+    min_off_diagonal: float
+    absorbing_rows_null: bool
+    initial_is_transient: bool
+
+    def ok(self, atol: float = 1e-9) -> bool:
+        """Whether the generator is conservative within ``atol``."""
+        return (
+            self.max_row_residual <= atol
+            and self.min_off_diagonal >= 0.0
+            and self.absorbing_rows_null
+        )
 
 
 class CTMC:
@@ -567,6 +609,31 @@ class CTMC:
             )
             lines.append(f"  {s!r}: {edges}")
         return "\n".join(lines)
+
+    def diagnostics(self) -> GeneratorDiagnostics:
+        """Conservation report for this chain's generator matrix.
+
+        Unlike :meth:`validate` (which raises), this returns the measured
+        residuals so callers — notably the :mod:`repro.verify` invariant
+        registry — can record *how close* the assembled matrix is to a
+        mathematically exact generator, whichever construction path
+        (builder, template re-bind, batch stacking) produced it.
+        """
+        diag = self._q.diagonal()
+        absorbing_rows = self._q[diag == 0.0]
+        off_diag = self._q - np.diag(diag)
+        return GeneratorDiagnostics(
+            num_states=self.num_states,
+            num_absorbing=int((diag == 0.0).sum()),
+            max_row_residual=float(np.abs(self._q.sum(axis=1)).max()),
+            min_off_diagonal=float(off_diag.min(initial=0.0)),
+            absorbing_rows_null=bool(
+                absorbing_rows.size == 0 or not absorbing_rows.any()
+            ),
+            initial_is_transient=bool(
+                diag[self.index_of(self._initial)] != 0.0
+            ),
+        )
 
     def validate(self) -> None:
         """Structural sanity checks; raises :class:`CTMCError` on failure."""

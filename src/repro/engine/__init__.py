@@ -7,13 +7,14 @@ identical to the plain point-by-point evaluation.  It also hosts the
 unified :func:`repro.evaluate` facade.
 """
 
+from . import faultpoints
 from .cache import DEFAULT_CACHE_DIR, DiskCache
 from .facade import evaluate
 from .keys import CACHE_SCHEMA_VERSION, point_key, stable_digest
 from .pool import default_jobs, should_pool, split_chunks
 from .result import EngineProvenance, SweepResult
 from .solver import SolveContext, evaluate_chunk, mttdl_batched, normalize_method
-from .sweep import Axis, GridPoint, SweepEngine
+from .sweep import Axis, GridPoint, SweepEngine, point_payload_valid
 
 __all__ = [
     "Axis",
@@ -28,9 +29,11 @@ __all__ = [
     "default_jobs",
     "evaluate",
     "evaluate_chunk",
+    "faultpoints",
     "mttdl_batched",
     "normalize_method",
     "point_key",
+    "point_payload_valid",
     "should_pool",
     "split_chunks",
     "stable_digest",

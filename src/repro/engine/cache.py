@@ -2,23 +2,34 @@
 
 One file per key under the cache directory (default ``.repro_cache/``),
 written atomically (temp file + ``os.replace``) so concurrent workers and
-interrupted runs never leave a torn entry.  Corrupt or unreadable entries
-are treated as misses and overwritten.  Values are plain JSON dicts;
+interrupted runs never leave a torn entry.  Values are plain JSON dicts;
 floats round-trip bitwise through ``json`` (repr-based serialization), so
 a cache hit reproduces the computed result exactly.
+
+Corrupted, truncated or schema-mismatched entries can still appear — a
+crashed writer on another filesystem, a partial copy, an old cache
+layout, a stray editor.  Every such entry is treated as a **miss**: the
+damage is logged, the entry is deleted so the recomputed value overwrites
+it, and the caller recomputes.  A bad cache can cost time, never
+correctness.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
+
+from . import faultpoints
 
 __all__ = ["DiskCache", "DEFAULT_CACHE_DIR"]
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+logger = logging.getLogger("repro.engine.cache")
 
 
 class DiskCache:
@@ -26,12 +37,26 @@ class DiskCache:
 
     Args:
         directory: cache root; created lazily on the first write.
+        validator: optional payload schema check.  A stored entry for
+            which ``validator(payload)`` is falsy is handled like any
+            other corruption: miss, log, delete.
+
+    Attributes:
+        hits / misses: lookup counters.
+        rejected: how many stored entries were discarded as corrupt,
+            truncated or schema-mismatched (a subset of ``misses``).
     """
 
-    def __init__(self, directory: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path] = DEFAULT_CACHE_DIR,
+        validator: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> None:
         self._dir = Path(directory)
+        self._validator = validator
         self.hits = 0
         self.misses = 0
+        self.rejected = 0
 
     @property
     def directory(self) -> Path:
@@ -42,17 +67,44 @@ class DiskCache:
             raise ValueError(f"cache keys must be hex digests, got {key!r}")
         return self._dir / f"{key}.json"
 
+    def _reject(self, path: Path, reason: str) -> None:
+        """Discard a damaged entry: log it and delete the file so the next
+        :meth:`put` overwrites it with a freshly computed value."""
+        self.rejected += 1
+        logger.warning("discarding cache entry %s: %s", path, reason)
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone or unremovable; put() will overwrite anyway
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored payload for ``key``, or None (counted as hit/miss)."""
+        """The stored payload for ``key``, or None (counted as hit/miss).
+
+        Never raises on a damaged entry — corruption degrades to a miss.
+        """
         path = self._path(key)
+        faultpoints.fire(faultpoints.CACHE_READ, path)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except OSError as exc:
+            self.misses += 1
+            logger.warning("unreadable cache entry %s: %s", path, exc)
+            return None
+        except ValueError as exc:  # json.JSONDecodeError, bad unicode, ...
+            self.misses += 1
+            self._reject(path, f"invalid JSON ({exc})")
             return None
         if not isinstance(payload, dict):
             self.misses += 1
+            self._reject(path, f"payload is {type(payload).__name__}, not a dict")
+            return None
+        if self._validator is not None and not self._validator(payload):
+            self.misses += 1
+            self._reject(path, "schema mismatch")
             return None
         self.hits += 1
         return payload
@@ -95,5 +147,5 @@ class DiskCache:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DiskCache({str(self._dir)!r}, hits={self.hits}, "
-            f"misses={self.misses})"
+            f"misses={self.misses}, rejected={self.rejected})"
         )

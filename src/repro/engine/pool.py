@@ -5,14 +5,25 @@ the largest possible batch for its structure memo and batched solves.
 Because every execution path is bitwise-deterministic (see
 :mod:`repro.engine.solver`), chunk boundaries and worker scheduling cannot
 affect results — only wall-clock time.
+
+That determinism is also the safety net: if the pool dies mid-batch (a
+worker killed by the OOM killer, a signal, a crashed interpreter),
+:func:`run_chunks` logs the failure and recomputes every chunk in the
+calling process, producing bitwise-identical results — a broken pool can
+cost time, never correctness.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from . import faultpoints
 
 __all__ = ["default_jobs", "should_pool", "split_chunks", "run_chunks"]
+
+logger = logging.getLogger("repro.engine.pool")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -56,6 +67,19 @@ def split_chunks(items: Sequence[T], parts: int) -> List[List[T]]:
     return chunks
 
 
+def _pooled_worker(payload: Tuple[Callable[[List[T]], R], List[T]]) -> R:
+    """Pool entry point: unwrap (worker, chunk) and run it.
+
+    The :data:`~repro.engine.faultpoints.POOL_WORKER_START` fault point
+    fires here — inside the worker process, never on the in-process
+    fallback path — so injected worker deaths exercise exactly the
+    production recovery in :func:`run_chunks`.
+    """
+    worker, chunk = payload
+    faultpoints.fire(faultpoints.POOL_WORKER_START)
+    return worker(chunk)
+
+
 def run_chunks(
     worker: Callable[[List[T]], R],
     chunks: List[List[T]],
@@ -66,11 +90,25 @@ def run_chunks(
     Falls back to in-process execution when a pool cannot help (see
     :func:`should_pool`) or when everything fits in one chunk.  ``worker``
     must be a module-level callable (picklable) for the pooled path.
+
+    If the pool breaks mid-run — a worker process killed or crashed —
+    every chunk is recomputed in-process.  All paths are bitwise
+    deterministic, so the recovery changes wall-clock time only.
     """
     total = sum(len(c) for c in chunks)
     if len(chunks) <= 1 or not should_pool(jobs, total):
         return [worker(chunk) for chunk in chunks]
     from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as executor:
-        return list(executor.map(worker, chunks))
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as executor:
+            return list(
+                executor.map(_pooled_worker, [(worker, c) for c in chunks])
+            )
+    except BrokenProcessPool:
+        logger.warning(
+            "process pool died mid-batch; recomputing %d chunks in-process",
+            len(chunks),
+        )
+        return [worker(chunk) for chunk in chunks]

@@ -35,7 +35,18 @@ from .pool import default_jobs, run_chunks, should_pool, split_chunks
 from .result import EngineProvenance, SweepResult
 from .solver import SolveContext, _worker_evaluate, evaluate_chunk, normalize_method
 
-__all__ = ["Axis", "GridPoint", "SweepEngine"]
+__all__ = ["Axis", "GridPoint", "SweepEngine", "point_payload_valid"]
+
+
+def point_payload_valid(payload: dict) -> bool:
+    """Schema check for cached sweep-point payloads.
+
+    A stored entry must carry a finite numeric ``mttdl_hours``; anything
+    else (an old layout, a truncated write that still parses, a foreign
+    file) is treated as a cache miss and overwritten.
+    """
+    mttdl = payload.get("mttdl_hours")
+    return isinstance(mttdl, (int, float)) and not isinstance(mttdl, bool)
 
 
 @dataclass(frozen=True)
@@ -112,9 +123,9 @@ class SweepEngine:
         if isinstance(cache, DiskCache):
             self._cache: Optional[DiskCache] = cache
         elif cache is True:
-            self._cache = DiskCache(DEFAULT_CACHE_DIR)
+            self._cache = DiskCache(DEFAULT_CACHE_DIR, validator=point_payload_valid)
         elif cache:
-            self._cache = DiskCache(cache)
+            self._cache = DiskCache(cache, validator=point_payload_valid)
         else:
             self._cache = None
         self._ctx = SolveContext()
@@ -206,7 +217,7 @@ class SweepEngine:
             for i, (config, params) in enumerate(pairs):
                 key = point_key(config, params, method)
                 payload = self._cache.get(key)
-                if payload is not None and "mttdl_hours" in payload:
+                if payload is not None and point_payload_valid(payload):
                     mttdls[i] = float(payload["mttdl_hours"])
                 else:
                     miss_indices.append(i)

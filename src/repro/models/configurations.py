@@ -71,6 +71,27 @@ class Configuration:
         }[self.internal]
         return f"ft{self.node_fault_tolerance}_{internal}"
 
+    @classmethod
+    def from_key(cls, key: str) -> "Configuration":
+        """Inverse of :attr:`key`: parse e.g. ``"ft2_raid5"``.
+
+        Raises :class:`ValueError` on anything that is not a well-formed
+        configuration key.
+        """
+        by_name = {
+            "noraid": InternalRaid.NONE,
+            "raid5": InternalRaid.RAID5,
+            "raid6": InternalRaid.RAID6,
+        }
+        prefix, _, internal_name = key.partition("_")
+        if (
+            prefix.startswith("ft")
+            and prefix[2:].isdigit()
+            and internal_name in by_name
+        ):
+            return cls(by_name[internal_name], int(prefix[2:]))
+        raise ValueError(f"not a configuration key: {key!r}")
+
     # ------------------------------------------------------------------ #
 
     def model(

@@ -54,6 +54,24 @@ class MonteCarloResult:
         half = 1.96 * self.std_error_hours
         return (self.mean_hours - half, self.mean_hours + half)
 
+    def ci_hours(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation confidence interval at any level.
+
+        The replica times are i.i.d. and the replica counts used in
+        practice are large enough for the CLT interval to be honest; the
+        verification oracles use this to turn a seeded run into an
+        agreement band of declared coverage.
+
+        Args:
+            confidence: two-sided coverage in (0, 1), e.g. 0.99.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        from scipy.stats import norm
+
+        half = float(norm.ppf(0.5 + confidence / 2.0)) * self.std_error_hours
+        return (self.mean_hours - half, self.mean_hours + half)
+
     def consistent_with(self, analytic_hours: float, sigmas: float = 4.0) -> bool:
         """Whether an analytic MTTDL lies within ``sigmas`` standard errors."""
         return abs(analytic_hours - self.mean_hours) <= sigmas * self.std_error_hours

@@ -1,0 +1,116 @@
+"""Machine-readable verification reports.
+
+A :class:`VerificationReport` aggregates the registry's per-invariant
+outcomes with enough run metadata (configurations, lattice size, seeds,
+engine provenance) that a violation record is reproducible from the
+report alone.  ``to_dict`` / ``to_json`` are the stable machine format
+the CLI emits; ``format_text`` is the human rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.result import EngineProvenance
+from .registry import InvariantCheck, Violation
+
+__all__ = ["VerificationReport", "REPORT_SCHEMA_VERSION"]
+
+#: Bump when the report JSON layout changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one full verification pass.
+
+    Attributes:
+        checks: per-invariant results, in registry order.
+        configs: keys of the audited configurations.
+        lattice_points: number of parameter points in the lattice.
+        mc_replicas: Monte-Carlo replicas used (0 = simulation skipped).
+        mc_seed: the master seed every stochastic check drew from.
+        provenance: engine settings/counters for the run.
+    """
+
+    checks: Tuple[InvariantCheck, ...]
+    configs: Tuple[str, ...] = ()
+    lattice_points: int = 0
+    mc_replicas: int = 0
+    mc_seed: int = 0
+    provenance: Optional[EngineProvenance] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for check in self.checks for v in check.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_checked(self) -> int:
+        return sum(check.checked for check in self.checks)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 0 iff every invariant held."""
+        return 0 if self.ok else 1
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "ok": self.ok,
+            "configurations": list(self.configs),
+            "lattice_points": self.lattice_points,
+            "mc_replicas": self.mc_replicas,
+            "mc_seed": self.mc_seed,
+            "total_checked": self.total_checked,
+            "violation_count": len(self.violations),
+            "engine": self.provenance.describe() if self.provenance else None,
+            "invariants": [check.to_dict() for check in self.checks],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def format_text(self) -> str:
+        """Aligned human-readable rendering, one line per invariant."""
+        lines = [
+            f"verification: {len(self.configs)} configurations x "
+            f"{self.lattice_points} lattice points"
+            + (
+                f", MC x{self.mc_replicas} (seed {self.mc_seed})"
+                if self.mc_replicas
+                else ", MC off"
+            )
+        ]
+        width = max((len(c.name) for c in self.checks), default=0)
+        for check in self.checks:
+            if check.skipped:
+                status = "SKIP"
+            elif check.ok:
+                status = "ok"
+            else:
+                status = f"FAIL({len(check.violations)})"
+            lines.append(
+                f"  {check.name:<{width}}  {status:>8}  "
+                f"[{check.checked} checked, {check.seconds:.2f}s]"
+            )
+        for v in self.violations:
+            where = f" config={v.config}" if v.config else ""
+            at = f" at {dict(v.point)}" if v.point else ""
+            lines.append(f"  VIOLATION {v.invariant}:{where} {v.message}{at}")
+        verdict = (
+            "all invariants held"
+            if self.ok
+            else f"{len(self.violations)} violation(s)"
+        )
+        lines.append(f"result: {verdict} ({self.total_checked} checks)")
+        return "\n".join(lines)

@@ -1,29 +1,29 @@
 """Golden-value regression tests.
 
 The qualitative figure tests check shapes; these pin the *exact* baseline
-numbers the repository documents in README.md and EXPERIMENTS.md, so any
-change to the models, the rebuild calibration or the solver that moves a
-headline number is caught immediately and the docs can be updated
-deliberately.
+numbers to the stored expected results in ``tests/data/golden_baseline.json``
+(the same numbers README.md and EXPERIMENTS.md document), so any change to
+the models, the rebuild calibration or the solver that moves a headline
+number is caught immediately and the docs can be updated deliberately.
+
+To update after a deliberate model change::
+
+    PYTHONPATH=src python tests/data/regen_golden.py
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
+from repro import evaluate
 from repro.analysis import run_baseline
-from repro.models import Parameters, RebuildModel
+from repro.models import Configuration, Parameters, RebuildModel
 
-#: events/PB-year at the Section 6 baseline, as documented in EXPERIMENTS.md.
-GOLDEN_BASELINE = {
-    "ft1_noraid": 3.001e01,
-    "ft1_raid5": 2.744e-02,
-    "ft1_raid6": 5.177e-03,
-    "ft2_noraid": 2.462e-03,
-    "ft2_raid5": 3.808e-06,
-    "ft2_raid6": 2.471e-06,
-    "ft3_noraid": 2.608e-07,
-    "ft3_raid5": 9.410e-10,
-    "ft3_raid6": 8.379e-10,
-}
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_baseline.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+MTTDL_REL = GOLDEN["tolerances"]["mttdl_rel"]
+EVENTS_REL = GOLDEN["tolerances"]["events_rel"]
 
 
 class TestGoldenBaseline:
@@ -31,11 +31,31 @@ class TestGoldenBaseline:
     def report(self):
         return run_baseline()
 
-    @pytest.mark.parametrize("key", sorted(GOLDEN_BASELINE))
-    def test_figure13_values(self, report, key):
-        assert report.result_for(key).events_per_pb_year == pytest.approx(
-            GOLDEN_BASELINE[key], rel=1e-3
+    def test_covers_all_nine_configurations(self, report):
+        assert sorted(GOLDEN["configurations"]) == sorted(
+            config.key for config, _ in report.results
         )
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN["configurations"]))
+    def test_events_per_pb_year(self, report, key):
+        expected = GOLDEN["configurations"][key]["events_per_pb_year"]
+        assert report.result_for(key).events_per_pb_year == pytest.approx(
+            expected, rel=EVENTS_REL
+        )
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN["configurations"]))
+    def test_mttdl_analytic(self, report, key):
+        expected = GOLDEN["configurations"][key]["mttdl_hours_analytic"]
+        assert report.result_for(key).mttdl_hours == pytest.approx(
+            expected, rel=MTTDL_REL
+        )
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN["configurations"]))
+    def test_mttdl_closed_form(self, baseline, key):
+        expected = GOLDEN["configurations"][key]["mttdl_hours_closed_form"]
+        config = Configuration.from_key(key)
+        observed = evaluate(config, baseline, method="closed_form").mttdl_hours
+        assert observed == pytest.approx(expected, rel=MTTDL_REL)
 
 
 class TestGoldenRebuild:

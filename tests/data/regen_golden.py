@@ -1,0 +1,46 @@
+"""Regenerate tests/data/golden_baseline.json after a *deliberate* model
+change.  Run from the repository root::
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+
+Review the diff before committing: every changed digit is a changed
+headline number in README.md / EXPERIMENTS.md.
+"""
+
+import json
+from pathlib import Path
+
+from repro import evaluate
+from repro.models import Parameters
+from repro.models.configurations import ALL_CONFIGURATIONS
+
+TARGET = Path(__file__).with_name("golden_baseline.json")
+
+
+def main() -> None:
+    base = Parameters.baseline()
+    data = {
+        "comment": (
+            "Pinned 9-configuration baseline at the paper's Section 6 "
+            "parameters. These numbers are documented in README.md and "
+            "EXPERIMENTS.md; regenerate them only when a model change is "
+            "deliberate, via: PYTHONPATH=src python tests/data/regen_golden.py"
+        ),
+        "parameters": "Parameters.baseline()",
+        "tolerances": {"mttdl_rel": 1e-9, "events_rel": 1e-9},
+        "configurations": {},
+    }
+    for config in ALL_CONFIGURATIONS:
+        exact = evaluate(config, base, method="analytic")
+        approx = evaluate(config, base, method="closed_form")
+        data["configurations"][config.key] = {
+            "mttdl_hours_analytic": exact.mttdl_hours,
+            "mttdl_hours_closed_form": approx.mttdl_hours,
+            "events_per_pb_year": exact.events_per_pb_year,
+        }
+    TARGET.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {TARGET} ({len(data['configurations'])} configurations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,10 @@
 """DiskCache behavior: round-trips, corruption tolerance, counters."""
 
+import logging
+
 import pytest
 
-from repro.engine import DiskCache
+from repro.engine import DiskCache, point_payload_valid
 
 KEY = "ab" * 32
 OTHER = "cd" * 32
@@ -64,3 +66,67 @@ class TestDiskCache:
         cache.put(KEY, {"x": 1})
         leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
         assert leftovers == []
+
+
+class TestCorruptionHardening:
+    """Planted garbage must degrade to a logged miss and be overwritten —
+    never raise, never return a damaged payload."""
+
+    PLANTS = {
+        "garbage-bytes": b"\x00\xffnot json at all\xfe",
+        "truncated": b'{"mttdl_hours": 1.5, "eve',
+        "empty": b"",
+        "non-dict": b"[1, 2, 3]",
+        "wrong-unicode": b"\xff\xfe\x00j",
+    }
+
+    @pytest.mark.parametrize("mode", sorted(PLANTS))
+    def test_planted_damage_is_a_rejected_miss(self, tmp_path, mode, caplog):
+        cache = DiskCache(tmp_path)
+        (tmp_path / f"{KEY}.json").write_bytes(self.PLANTS[mode])
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            assert cache.get(KEY) is None
+        assert cache.misses == 1
+        assert cache.rejected == 1
+        assert any("discarding cache entry" in r.message for r in caplog.records)
+        # The damaged file is gone, so a recompute can overwrite it.
+        assert not (tmp_path / f"{KEY}.json").exists()
+
+    @pytest.mark.parametrize("mode", sorted(PLANTS))
+    def test_overwrite_after_damage_round_trips(self, tmp_path, mode):
+        cache = DiskCache(tmp_path)
+        (tmp_path / f"{KEY}.json").write_bytes(self.PLANTS[mode])
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"mttdl_hours": 42.0})
+        assert cache.get(KEY) == {"mttdl_hours": 42.0}
+        assert cache.hits == 1
+
+    def test_schema_mismatch_with_validator(self, tmp_path, caplog):
+        cache = DiskCache(tmp_path, validator=point_payload_valid)
+        # Valid JSON dict, but not the point-payload schema.
+        (tmp_path / f"{KEY}.json").write_text(
+            '{"mttdl_hours": "not a number"}', encoding="utf-8"
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            assert cache.get(KEY) is None
+        assert cache.rejected == 1
+        assert any("schema mismatch" in r.message for r in caplog.records)
+
+    def test_validator_accepts_good_payload(self, tmp_path):
+        cache = DiskCache(tmp_path, validator=point_payload_valid)
+        cache.put(KEY, {"mttdl_hours": 7.0})
+        assert cache.get(KEY) == {"mttdl_hours": 7.0}
+        assert cache.rejected == 0
+
+    def test_clean_miss_is_not_rejected(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+        assert cache.rejected == 0
+
+    def test_point_payload_valid(self):
+        assert point_payload_valid({"mttdl_hours": 1.0})
+        assert point_payload_valid({"mttdl_hours": 3})
+        assert not point_payload_valid({"mttdl_hours": True})
+        assert not point_payload_valid({"mttdl_hours": "1.0"})
+        assert not point_payload_valid({})

@@ -1,0 +1,119 @@
+"""Hypothesis property tests: GF(256) is actually a field.
+
+The table-driven arithmetic in :mod:`repro.erasure.gf256` underpins every
+erasure-code guarantee in the repository, so the field axioms themselves
+are checked exhaustively over hypothesis-drawn elements: associativity,
+commutativity, distributivity, identities, inverses, and the consistency
+of the log/exp tables with multiplication.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.gf256 import (
+    FieldError,
+    GF_SIZE,
+    add,
+    addmul_array,
+    div,
+    exp,
+    inv,
+    log,
+    mul,
+    mul_array,
+    pow_,
+    sub,
+)
+
+elements = st.integers(min_value=0, max_value=GF_SIZE - 1)
+nonzero = st.integers(min_value=1, max_value=GF_SIZE - 1)
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements, c=elements)
+    def test_add_associative_commutative(self, a, b, c):
+        assert add(add(a, b), c) == add(a, add(b, c))
+        assert add(a, b) == add(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_mul_associative_commutative(self, a, b, c):
+        assert mul(mul(a, b), c) == mul(a, mul(b, c))
+        assert mul(a, b) == mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributive(self, a, b, c):
+        assert mul(a, add(b, c)) == add(mul(a, b), mul(a, c))
+
+    @given(a=elements)
+    def test_identities(self, a):
+        assert add(a, 0) == a
+        assert mul(a, 1) == a
+        assert mul(a, 0) == 0
+
+    @given(a=elements)
+    def test_characteristic_two(self, a):
+        """Addition is XOR: every element is its own additive inverse."""
+        assert add(a, a) == 0
+        assert sub(a, a) == 0
+
+    @given(a=elements, b=elements)
+    def test_sub_is_add(self, a, b):
+        assert sub(a, b) == add(a, b)
+
+    @given(a=nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert mul(a, inv(a)) == 1
+
+    @given(a=elements, b=nonzero)
+    def test_div_inverts_mul(self, a, b):
+        assert div(mul(a, b), b) == a
+        assert mul(div(a, b), b) == a
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(FieldError):
+            inv(0)
+        with pytest.raises(FieldError):
+            div(1, 0)
+        with pytest.raises(FieldError):
+            log(0)
+
+
+class TestTables:
+    @given(a=nonzero)
+    def test_exp_log_round_trip(self, a):
+        assert exp(log(a)) == a
+
+    @given(a=nonzero, b=nonzero)
+    def test_log_turns_mul_into_add(self, a, b):
+        assert mul(a, b) == exp((log(a) + log(b)) % (GF_SIZE - 1))
+
+    @given(a=elements, n=st.integers(min_value=0, max_value=12))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        for _ in range(n):
+            expected = mul(expected, a)
+        assert pow_(a, n) == expected
+
+
+class TestArrayKernels:
+    @given(
+        scalar=elements,
+        data=st.lists(elements, min_size=1, max_size=64),
+    )
+    def test_mul_array_matches_scalar_mul(self, scalar, data):
+        arr = np.array(data, dtype=np.uint8)
+        out = mul_array(scalar, arr)
+        assert list(out) == [mul(scalar, x) for x in data]
+
+    @given(
+        scalar=elements,
+        data=st.lists(elements, min_size=1, max_size=64),
+        acc=elements,
+    )
+    def test_addmul_array_accumulates(self, scalar, data, acc):
+        arr = np.array(data, dtype=np.uint8)
+        accumulator = np.full(len(data), acc, dtype=np.uint8)
+        addmul_array(accumulator, scalar, arr)
+        assert list(accumulator) == [add(acc, mul(scalar, x)) for x in data]

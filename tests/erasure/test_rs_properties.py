@@ -1,0 +1,108 @@
+"""Hypothesis property tests: the Reed-Solomon codec is MDS.
+
+The defining property — *any* ``k`` of the ``k + m`` shards recover the
+data exactly, for every erasure pattern up to ``m`` losses — is checked
+on hypothesis-drawn geometries, block contents and erasure sets, for both
+matrix constructions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.reed_solomon import CodecError, ReedSolomonCodec
+
+
+@st.composite
+def codec_cases(draw):
+    """(k, m, construction, data blocks, erased indices) with |erased| <= m."""
+    k = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=4))
+    construction = draw(st.sampled_from(["vandermonde", "cauchy"]))
+    length = draw(st.integers(min_value=1, max_value=16))
+    data = draw(
+        st.lists(
+            st.binary(min_size=length, max_size=length),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    erased = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=k + m - 1),
+            min_size=0,
+            max_size=m,
+        )
+    )
+    return k, m, construction, data, erased
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(case=codec_cases())
+    def test_erasures_up_to_parity_decode(self, case):
+        """encode -> erase any <= m shards -> decode recovers the data."""
+        k, m, construction, data, erased = case
+        codec = ReedSolomonCodec(k, m, construction)
+        shards = codec.encode(data)
+        survivors = {
+            i: shard for i, shard in enumerate(shards) if i not in erased
+        }
+        assert codec.decode_data(survivors) == list(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=codec_cases())
+    def test_reconstruct_restores_all_shards(self, case):
+        k, m, construction, data, erased = case
+        codec = ReedSolomonCodec(k, m, construction)
+        shards = codec.encode(data)
+        survivors = {
+            i: shard for i, shard in enumerate(shards) if i not in erased
+        }
+        assert codec.reconstruct(survivors) == shards
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=codec_cases())
+    def test_systematic_prefix(self, case):
+        k, m, construction, data, _ = case
+        codec = ReedSolomonCodec(k, m, construction)
+        assert codec.encode(data)[:k] == list(data)
+
+
+class TestUnrecoverable:
+    @settings(max_examples=30, deadline=None)
+    @given(case=codec_cases())
+    def test_fewer_than_k_shards_raises(self, case):
+        k, m, construction, data, _ = case
+        codec = ReedSolomonCodec(k, m, construction)
+        shards = codec.encode(data)
+        survivors = {i: shards[i] for i in range(k - 1)}
+        with pytest.raises(CodecError):
+            codec.decode_data(survivors)
+
+
+class TestVerify:
+    @settings(max_examples=30, deadline=None)
+    @given(case=codec_cases())
+    def test_verify_accepts_consistent_shards(self, case):
+        k, m, construction, data, _ = case
+        codec = ReedSolomonCodec(k, m, construction)
+        assert codec.verify(codec.encode(data))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        case=codec_cases(),
+        victim=st.integers(min_value=0),
+        byte=st.integers(min_value=0),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    def test_verify_rejects_tampering(self, case, victim, byte, flip):
+        k, m, construction, data, _ = case
+        codec = ReedSolomonCodec(k, m, construction)
+        shards = codec.encode(data)
+        victim %= len(shards)
+        target = bytearray(shards[victim])
+        byte %= len(target)
+        target[byte] ^= flip
+        shards[victim] = bytes(target)
+        assert not codec.verify(shards)

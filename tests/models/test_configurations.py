@@ -41,6 +41,18 @@ class TestGrid:
         with pytest.raises(ValueError):
             Configuration(InternalRaid.RAID5, 0)
 
+    def test_from_key_round_trips(self):
+        for config in all_configurations(max_fault_tolerance=5):
+            assert Configuration.from_key(config.key) == config
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "ft2", "ft2_", "raid5", "ft_raid5", "ftx_raid5", "ft2_raid7", "ft-1_raid5"],
+    )
+    def test_from_key_rejects_garbage(self, bad):
+        with pytest.raises(ValueError, match="configuration key"):
+            Configuration.from_key(bad)
+
 
 class TestModelDispatch:
     def test_no_raid_low_tolerance_uses_explicit(self, baseline):

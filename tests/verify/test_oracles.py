@@ -1,0 +1,143 @@
+"""Metamorphic and cross-method oracles."""
+
+import pytest
+
+from repro.models import Configuration, InternalRaid, Parameters
+from repro.sim import accelerated_parameters
+from repro.verify import (
+    cross_method_check,
+    mc_reference_mttdl,
+    rescaled_parameters,
+)
+from repro.verify.oracles import MC_SYSTEM_OVERRIDES, mc_bias_envelope
+
+pytestmark = pytest.mark.verify
+
+
+class TestRescaledParameters:
+    def test_scales_rates_both_ways(self, baseline):
+        scaled = rescaled_parameters(baseline, 4.0)
+        assert scaled.node_mttf_hours == baseline.node_mttf_hours / 4
+        assert scaled.drive_mttf_hours == baseline.drive_mttf_hours / 4
+        assert scaled.drive_max_iops == baseline.drive_max_iops * 4
+        assert scaled.drive_sustained_bps == baseline.drive_sustained_bps * 4
+        assert scaled.link_speed_bps == baseline.link_speed_bps * 4
+
+    def test_rejects_non_positive_scale(self, baseline):
+        with pytest.raises(ValueError):
+            rescaled_parameters(baseline, 0.0)
+        with pytest.raises(ValueError):
+            rescaled_parameters(baseline, -1.0)
+
+    @pytest.mark.parametrize("config", [
+        Configuration(InternalRaid.NONE, 2),
+        Configuration(InternalRaid.RAID5, 1),
+        Configuration(InternalRaid.RAID6, 3),
+    ], ids=lambda c: c.key)
+    def test_mttdl_scales_exactly(self, baseline, config):
+        """The metamorphic law itself: MTTDL(s * rates) == MTTDL / s."""
+        scale = 16.0
+        base_v = config.mttdl_hours(baseline)
+        scaled_v = config.mttdl_hours(rescaled_parameters(baseline, scale))
+        assert scaled_v == pytest.approx(base_v / scale, rel=1e-9)
+
+
+class TestMcReference:
+    def test_no_raid_matches_chain(self, baseline):
+        config = Configuration(InternalRaid.NONE, 2)
+        assert mc_reference_mttdl(config, baseline) == config.mttdl_hours(baseline)
+
+    def test_raid_uses_exact_rates_under_acceleration(self, baseline):
+        """At heavy acceleration the exact-rates reference must part ways
+        with the approximate chain the engine solves by default."""
+        config = Configuration(InternalRaid.RAID5, 1)
+        acc = accelerated_parameters(
+            baseline.replace(**MC_SYSTEM_OVERRIDES), 200.0
+        )
+        exact_ref = mc_reference_mttdl(config, acc)
+        approx_chain = config.mttdl_hours(acc)
+        assert exact_ref > 0
+        assert exact_ref != approx_chain
+
+    def test_bias_envelope_widens_with_depth(self):
+        raid5 = [
+            mc_bias_envelope(Configuration(InternalRaid.RAID5, t))
+            for t in (1, 2, 3)
+        ]
+        assert raid5 == sorted(raid5)
+        none = mc_bias_envelope(Configuration(InternalRaid.NONE, 1))
+        assert none <= raid5[0] or none < 1.0
+
+
+class TestCrossMethodCheck:
+    def test_smoke_mode_skips_simulation(self, baseline):
+        report = cross_method_check(
+            Configuration(InternalRaid.RAID5, 2), baseline, replicas=0
+        )
+        assert report.ok
+        assert report.monte_carlo is None
+        assert report.mc_analytic_hours is None
+        assert report.closed_form_rel_error <= report.closed_form_bound
+
+    def test_simulation_leg_agrees(self, baseline):
+        small = baseline.replace(**MC_SYSTEM_OVERRIDES)
+        report = cross_method_check(
+            Configuration(InternalRaid.NONE, 1),
+            small,
+            replicas=60,
+            seed=0,
+            acceleration=200.0,
+        )
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert report.monte_carlo is not None
+        assert report.monte_carlo.replicas == 60
+        lo, hi = report.monte_carlo.ci_hours(0.95)
+        assert lo < report.monte_carlo.mean_hours < hi
+
+    def test_zero_band_is_violated(self, baseline):
+        """With the agreement band squeezed to (essentially) nothing the
+        seeded estimate cannot match the chain solve exactly: the oracle
+        must report a simulation violation, proving it can fire."""
+        small = baseline.replace(**MC_SYSTEM_OVERRIDES)
+        report = cross_method_check(
+            Configuration(InternalRaid.NONE, 1),
+            small,
+            replicas=40,
+            seed=0,
+            sigmas=1e-9,
+            mc_bias_rel=0.0,
+            acceleration=200.0,
+        )
+        assert not report.ok
+        assert any("simulation" in v.message for v in report.violations)
+
+    def test_closed_form_violation_with_tight_tolerance(self, baseline):
+        report = cross_method_check(
+            Configuration(InternalRaid.NONE, 1),
+            baseline,
+            closed_form_rel_tol=1e-12,
+            replicas=0,
+        )
+        assert not report.ok
+        assert any("closed form" in v.message for v in report.violations)
+
+
+class TestConfidenceIntervals:
+    def test_ci_hours_width_grows_with_confidence(self, baseline):
+        small = baseline.replace(**MC_SYSTEM_OVERRIDES)
+        report = cross_method_check(
+            Configuration(InternalRaid.NONE, 1),
+            small,
+            replicas=40,
+            seed=0,
+            acceleration=200.0,
+        )
+        mc = report.monte_carlo
+        lo90, hi90 = mc.ci_hours(0.90)
+        lo99, hi99 = mc.ci_hours(0.99)
+        assert hi99 - lo99 > hi90 - lo90
+        # 95% matches the classic 1.96-sigma interval.
+        lo95, hi95 = mc.ci_hours(0.95)
+        classic_lo, classic_hi = mc.ci95_hours
+        assert lo95 == pytest.approx(classic_lo, rel=1e-3)
+        assert hi95 == pytest.approx(classic_hi, rel=1e-3)

@@ -1,0 +1,135 @@
+"""Registry mechanics: registration, selection, context memoization."""
+
+import pytest
+
+from repro.models import Parameters
+from repro.models.configurations import all_configurations
+from repro.verify import REGISTRY, VerifyContext
+from repro.verify.registry import Invariant, InvariantRegistry, Violation
+
+pytestmark = pytest.mark.verify
+
+
+def _noop_check(ctx):
+    return 1, []
+
+
+def _failing_check(ctx):
+    return 1, [Violation(invariant="always-fails", message="by design")]
+
+
+def _inv(name, tags=(), check=_noop_check):
+    return Invariant(name=name, description=name, tags=tuple(tags), check=check)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = InvariantRegistry()
+        inv = reg.register(_inv("a"))
+        assert reg.get("a") is inv
+        assert reg.names() == ["a"]
+        assert len(reg) == 1
+
+    def test_duplicate_name_rejected(self):
+        reg = InvariantRegistry()
+        reg.register(_inv("a"))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(_inv("a"))
+
+    def test_unknown_name_lists_known(self):
+        reg = InvariantRegistry()
+        reg.register(_inv("known"))
+        with pytest.raises(KeyError, match="known"):
+            reg.get("missing")
+
+    def test_decorator_registers_and_returns_function(self):
+        reg = InvariantRegistry()
+
+        @reg.invariant("decorated", "a decorated check", tags=("x",))
+        def check(ctx):
+            return 0, []
+
+        assert reg.get("decorated").check is check
+        assert check(None) == (0, [])
+
+    def test_select_by_name_and_tag(self):
+        reg = InvariantRegistry()
+        reg.register(_inv("a", tags=("fast",)))
+        reg.register(_inv("b", tags=("slow",)))
+        reg.register(_inv("c", tags=("fast", "slow")))
+        assert [i.name for i in reg.select(names=["b", "a"])] == ["b", "a"]
+        assert [i.name for i in reg.select(tags=["fast"])] == ["a", "c"]
+        assert [i.name for i in reg.select(names=["a", "b"], tags=["slow"])] == ["b"]
+
+    def test_run_collects_report(self):
+        reg = InvariantRegistry()
+        reg.register(_inv("ok"))
+        reg.register(_inv("always-fails", check=_failing_check))
+        ctx = VerifyContext(configs=all_configurations(1))
+        report = reg.run(ctx)
+        assert not report.ok
+        assert report.exit_code == 1
+        assert [c.name for c in report.checks] == ["ok", "always-fails"]
+        assert [v.invariant for v in report.violations] == ["always-fails"]
+
+    def test_skipped_means_nothing_checked(self):
+        reg = InvariantRegistry()
+        reg.register(_inv("idle", check=lambda ctx: (0, [])))
+        ctx = VerifyContext(configs=all_configurations(1))
+        report = reg.run(ctx)
+        assert report.checks[0].skipped
+        assert report.checks[0].ok
+        assert report.ok
+
+
+class TestBuiltinRegistry:
+    def test_paper_invariants_are_registered(self):
+        names = REGISTRY.names()
+        for expected in (
+            "generator-conservation",
+            "mttdl-monotone-nft",
+            "raid-level-dominance",
+            "critical-set-fractions",
+            "closed-form-envelope",
+            "time-rescaling-metamorphic",
+            "cross-method-agreement",
+            "engine-fault-degradation",
+        ):
+            assert expected in names
+
+
+class TestVerifyContext:
+    def test_mttdl_table_covers_grid_and_memoizes(self, baseline):
+        configs = all_configurations(2)
+        points = [baseline, baseline.replace(drive_mttf_hours=600_000.0)]
+        ctx = VerifyContext(configs=configs, points=points, base=baseline)
+        table = ctx.mttdl_table("analytic")
+        assert len(table) == len(configs) * len(points)
+        assert set(table) == {
+            (c.key, i) for c in configs for i in range(len(points))
+        }
+        assert all(v > 0 for v in table.values())
+        # Memoized: the same dict object comes back.
+        assert ctx.mttdl_table("analytic") is table
+
+    def test_tables_per_method_differ(self, baseline):
+        configs = all_configurations(1)
+        ctx = VerifyContext(configs=configs, base=baseline)
+        exact = ctx.mttdl_table("analytic")
+        approx = ctx.mttdl_table("closed_form")
+        assert exact != approx
+
+    def test_point_label_diffs_against_base(self, baseline):
+        points = [baseline, baseline.replace(node_mttf_hours=123_456.0)]
+        ctx = VerifyContext(
+            configs=all_configurations(1), points=points, base=baseline
+        )
+        assert ctx.point_label(0) == {"point": 0}
+        assert ctx.point_label(1) == {"node_mttf_hours": 123_456.0}
+
+    def test_total_points(self, baseline):
+        ctx = VerifyContext(
+            configs=all_configurations(2),
+            points=[baseline, baseline, baseline],
+        )
+        assert ctx.total_points == 6 * 3
