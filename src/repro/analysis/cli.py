@@ -7,7 +7,7 @@ Installed as ``repro-figures``::
     repro-figures --approx      # use the paper's closed forms
     repro-figures --jobs 4      # fan sweeps out over 4 processes
     repro-figures --no-cache    # skip the on-disk result cache
-    repro-figures --verbose     # report cache/memo hit rates
+    repro-figures --verbose     # report cache/compiled-spec hit rates
 
 The sensitivity figures run through :class:`repro.engine.SweepEngine`;
 results are bitwise identical at any ``--jobs`` and cache setting.
@@ -97,7 +97,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--verbose",
         action="store_true",
-        help="report cache/memo hit rates on stderr",
+        help="report cache and compiled-spec hit rates on stderr",
     )
     args = parser.parse_args(argv)
 

@@ -90,8 +90,9 @@ def enumerate_designs(
     """Evaluate the full design grid.
 
     Invalid combinations (R <= t, R > N) are skipped silently.  With an
-    ``engine``, the whole grid is evaluated in one batch (memoized,
-    pooled, optionally disk-cached) with bitwise-identical results.
+    ``engine``, the whole grid is evaluated in one batch (compiled specs
+    re-bound per point, pooled, optionally disk-cached) with
+    bitwise-identical results.
     """
     d = base.drives_per_node
     grid = []

@@ -10,8 +10,8 @@ survivors: [FT2, no internal RAID], [FT2, internal RAID 5],
 
 Every driver accepts an optional ``engine`` — a
 :class:`~repro.engine.SweepEngine` through which all points are
-evaluated (memoized, pooled, optionally disk-cached) with bitwise
-identical results; ``repro-figures --jobs N`` uses exactly this hook.
+evaluated (compiled specs re-bound per point, pooled, optionally
+disk-cached) with bitwise identical results; ``repro-figures --jobs N`` uses exactly this hook.
 
 MTTF regimes follow the paper: drive MTTF low/high = 100,000 / 750,000
 hours; node MTTF low/high = 100,000 / 1,000,000 hours.
@@ -298,8 +298,8 @@ def all_figures(
 ) -> List[SweepResult]:
     """Every sensitivity figure, in paper order.
 
-    With an ``engine``, the chain-structure and array-rates memos persist
-    across all seven figures — the later figures re-solve almost nothing.
+    With an ``engine``, the compiled specs and array-rates memo persist
+    across all seven figures — the later figures only re-bind rates.
     """
     return [
         figure14_drive_mttf(params, method=method, engine=engine),

@@ -69,8 +69,9 @@ def sweep(
         transform: maps (baseline, x) to the point's parameters.
         method: ``"exact"`` or ``"approx"`` MTTDL computation.
         engine: optional :class:`~repro.engine.SweepEngine`; when given,
-            all points are evaluated through it (memoized, pooled,
-            optionally disk-cached) with bitwise-identical results.
+            all points are evaluated through it (compiled specs
+            re-bound per point, pooled, optionally disk-cached) with
+            bitwise-identical results.
 
     Returns:
         Points in (x, config) iteration order.

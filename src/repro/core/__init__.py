@@ -1,9 +1,10 @@
 """Absorbing continuous-time Markov chain engine.
 
 This package is the paper-independent mathematical substrate: generator
-matrices, mean time to absorption (MTTDL), transient analysis and
-trajectory sampling.  The paper's specific chains live in
-:mod:`repro.models`.
+matrices, mean time to absorption (MTTDL), transient analysis,
+trajectory sampling, and the declarative spec IR (states + symbolic
+rates compiled once, bound per operating point).  The paper's specific
+chains live in :mod:`repro.models`.
 """
 
 from .builder import ChainBuilder
@@ -17,6 +18,17 @@ from .ctmc import (
 )
 from .exact import exact_expected_times, exact_mttdl
 from .linalg import gth_fundamental_matrix, gth_solve, gth_solve_batched
+from .spec import (
+    CompiledChain,
+    CompiledSpecCache,
+    ModelSpec,
+    RateExpr,
+    SpecBuilder,
+    SpecError,
+    const,
+    param,
+    rate_min,
+)
 from .template import ChainStructureMemo, ChainTemplate
 from .gillespie import (
     SampleSummary,
@@ -32,11 +44,20 @@ __all__ = [
     "ChainBuilder",
     "ChainStructureMemo",
     "ChainTemplate",
+    "CompiledChain",
+    "CompiledSpecCache",
     "GeneratorDiagnostics",
+    "ModelSpec",
     "NotAbsorbingError",
+    "RateExpr",
     "SampleSummary",
+    "SpecBuilder",
+    "SpecError",
     "Trajectory",
     "Transition",
+    "const",
+    "param",
+    "rate_min",
     "exact_expected_times",
     "exact_mttdl",
     "gth_fundamental_matrix",

@@ -20,7 +20,8 @@ template when the topology differs, so it is safe for any rate regime.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+import warnings
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -96,15 +97,33 @@ class ChainStructureMemo:
     """Keyed cache of :class:`ChainTemplate` objects with hit/miss counters.
 
     Pass an instance (plus a structural key) to
-    :meth:`repro.core.builder.ChainBuilder.build` — or through the
-    ``memo``/``memo_key`` kwargs of the model chain constructors — to reuse
-    topologies across the points of a sweep.
+    :meth:`repro.core.builder.ChainBuilder.build` to reuse topologies
+    across the points of a sweep.
+
+    Because :class:`~repro.core.builder.ChainBuilder` drops zero rates, a
+    vanishing term silently *changes the topology* under an unchanged key;
+    the memo stays correct (it verifies structure on every hit) but
+    degrades to rebuilding.  :attr:`structure_rebuilds` counts those
+    key-collision rebuilds separately from first-time :attr:`misses`, and
+    a key whose rebuilds outnumber its hits warns once — the signal that
+    its granularity is wrong (or that the model belongs on the fixed-
+    topology :class:`~repro.core.spec.CompiledChain` path, where the edge
+    set cannot drift).
+
+    Attributes:
+        hits: lookups served by a structurally-matching cached template.
+        misses: first-time builds (no template under the key yet).
+        structure_rebuilds: rebuilds forced by a cached template that no
+            longer matches the builder's topology.
     """
 
     def __init__(self) -> None:
         self._templates: Dict[Hashable, ChainTemplate] = {}
         self.hits = 0
         self.misses = 0
+        self.structure_rebuilds = 0
+        self._key_stats: Dict[Hashable, List[int]] = {}
+        self._warned: set = set()
 
     def __len__(self) -> int:
         return len(self._templates)
@@ -121,18 +140,37 @@ class ChainStructureMemo:
         if initial_state is None:
             initial_state = builder.states[0]
         template = self._templates.get(key)
+        stats = self._key_stats.setdefault(key, [0, 0])  # [hits, rebuilds]
         if template is not None and template.matches(builder, initial_state):
             self.hits += 1
+            stats[0] += 1
         else:
+            if template is not None:
+                self.structure_rebuilds += 1
+                stats[1] += 1
+                if stats[1] > stats[0] and key not in self._warned:
+                    self._warned.add(key)
+                    warnings.warn(
+                        f"chain-structure memo key {key!r} has rebuilt its "
+                        f"topology {stats[1]} time(s) against {stats[0]} "
+                        "hit(s) — the key does not determine the structure "
+                        "(a rate term is vanishing between points?); widen "
+                        "the key or move the model to a compiled spec",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            self.misses += 1
             template = ChainTemplate.from_builder(builder, initial_state)
             self._templates[key] = template
-            self.misses += 1
         return template.bind(builder.edge_rates())
 
     def clear(self) -> None:
         self._templates.clear()
         self.hits = 0
         self.misses = 0
+        self.structure_rebuilds = 0
+        self._key_stats.clear()
+        self._warned.clear()
 
 
 class ChainBuilderLike:

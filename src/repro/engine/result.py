@@ -9,7 +9,7 @@ the :class:`EngineProvenance` describing how it was computed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from ..reporting import FigureData
@@ -27,8 +27,12 @@ class EngineProvenance:
         jobs: process-pool width used (1 = serial).
         cache_enabled: whether the on-disk result cache participated.
         cache_hits / cache_misses: disk-cache counters for this run.
-        memo_hits / memo_misses: chain-topology memo counters.
+        spec_hits / spec_misses: compiled-spec cache counters (a hit
+            re-binds an already-compiled chain; a miss compiles a spec).
         array_hits / array_misses: internal-array rates memo counters.
+        spec_hashes: content hashes of every :class:`~repro.core.spec.
+            ModelSpec` compiled for this result — the exact chain
+            structures the numbers came from.
         engine: engine identifier, e.g. ``"repro.engine/1.0.0"``.
     """
 
@@ -37,14 +41,15 @@ class EngineProvenance:
     cache_enabled: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
-    memo_hits: int = 0
-    memo_misses: int = 0
+    spec_hits: int = 0
+    spec_misses: int = 0
     array_hits: int = 0
     array_misses: int = 0
+    spec_hashes: Tuple[str, ...] = ()
     engine: str = "repro.engine"
 
     def describe(self) -> str:
-        """One-line summary (the ``--verbose`` cache/memo report)."""
+        """One-line summary (the ``--verbose`` cache/spec report)."""
         parts = [f"method={self.method}", f"jobs={self.jobs}"]
         if self.cache_enabled:
             parts.append(
@@ -54,7 +59,8 @@ class EngineProvenance:
         else:
             parts.append("disk cache off")
         parts.append(
-            f"topology memo {self.memo_hits} hits / {self.memo_misses} misses"
+            f"compiled specs {self.spec_hits} binds / "
+            f"{self.spec_misses} compiles ({len(self.spec_hashes)} shapes)"
         )
         parts.append(
             f"array-rates memo {self.array_hits} hits / "

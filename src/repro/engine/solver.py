@@ -1,10 +1,18 @@
-"""Batched, memoized evaluation of (configuration, parameters) points.
+"""Batched evaluation of (configuration, parameters) points.
 
 Three optimizations over calling :meth:`Configuration.reliability` in a
 loop, none of which changes a single output bit:
 
-* **Topology memo** — chain structures are cached per configuration and
-  re-bound with fresh rates (:class:`repro.core.template.ChainStructureMemo`).
+* **Compiled specs** — each chain family is compiled once from its
+  declarative :class:`~repro.core.spec.ModelSpec` and re-bound with fresh
+  rates per point; compiled chains are keyed by content (spec hash) in a
+  :class:`~repro.core.spec.CompiledSpecCache`, and the hashes are
+  recorded in sweep provenance.
+* **Stacked binding** — points sharing a spec hash are bound in one
+  vectorized pass: their environments stack into per-parameter arrays,
+  :meth:`CompiledChain.bind_batch` evaluates every edge expression once
+  over all points and assembles the whole generator tensor feeding
+  :meth:`CTMC.stacked_absorption_system`.
 * **Array-rates memo** — the internal-RAID drive-level rates ``lambda_D``
   / ``lambda_S`` (and the embedded array MTTDL solve) depend on only a
   handful of scalars, which whole sweeps share; they are computed once per
@@ -20,12 +28,13 @@ pre-engine point-by-point code.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import ChainStructureMemo, CTMC
+from ..core import CTMC
 from ..core.linalg import gth_solve_batched
+from ..core.spec import CompiledChain, CompiledSpecCache, ModelSpec
 from ..models.configurations import Configuration
 from ..models.internal_raid import InternalRaidNodeModel
 from ..models.parameters import Parameters
@@ -61,21 +70,25 @@ def normalize_method(method: str) -> str:
 
 
 class SolveContext:
-    """Per-process memo state and counters for chunk evaluation."""
+    """Per-process compiled-spec cache and counters for chunk evaluation."""
 
     def __init__(self) -> None:
-        self.memo = ChainStructureMemo()
+        self.specs = CompiledSpecCache()
         self.array_rates: Dict[Hashable, ArrayRates] = {}
         self.array_hits = 0
         self.array_misses = 0
 
     def stats(self) -> Dict[str, int]:
         return {
-            "memo_hits": self.memo.hits,
-            "memo_misses": self.memo.misses,
+            "spec_hits": self.specs.hits,
+            "spec_misses": self.specs.misses,
             "array_hits": self.array_hits,
             "array_misses": self.array_misses,
         }
+
+    def spec_hashes(self) -> Tuple[str, ...]:
+        """Hashes of every spec compiled in this context (provenance)."""
+        return self.specs.hashes()
 
 
 def _array_rates_for(
@@ -106,10 +119,10 @@ def _array_rates_for(
     return rates
 
 
-def _build_chain(
+def _spec_and_env(
     config: Configuration, params: Parameters, ctx: SolveContext
-) -> CTMC:
-    """The node-level chain for one point, via both memo layers."""
+) -> Tuple[ModelSpec, Dict[str, float]]:
+    """The (spec, binding environment) for one point, via the array memo."""
     if config.internal is InternalRaid.NONE:
         model = config.model(params)
     else:
@@ -119,8 +132,40 @@ def _build_chain(
             config.node_fault_tolerance,
             array_rates=_array_rates_for(config, params, ctx),
         )
-    memo_key = (config.key, params.node_set_size, params.drives_per_node)
-    return model.chain(memo=ctx.memo, memo_key=memo_key)
+    return model.spec(), model.chain_env()
+
+
+def _bind_all(
+    compiled_chains: Sequence[CompiledChain],
+    envs: Sequence[Dict[str, float]],
+) -> List[CTMC]:
+    """Bind every (compiled chain, environment) pair, stacking shared shapes.
+
+    Points with the same spec hash are bound in one
+    :meth:`CompiledChain.bind_batch` pass — per-parameter scalar
+    environments stack into arrays and the rate tensor for the whole
+    group is evaluated at once, bitwise identical to point-by-point
+    :meth:`CompiledChain.bind`.
+    """
+    chains: List[Optional[CTMC]] = [None] * len(envs)
+    groups: Dict[str, List[int]] = {}
+    by_hash: Dict[str, CompiledChain] = {}
+    for i, compiled in enumerate(compiled_chains):
+        groups.setdefault(compiled.spec_hash, []).append(i)
+        by_hash[compiled.spec_hash] = compiled
+    for spec_hash, members in groups.items():
+        compiled = by_hash[spec_hash]
+        if len(members) == 1:
+            i = members[0]
+            chains[i] = compiled.bind(envs[i])
+            continue
+        stacked = {
+            name: np.array([envs[i][name] for i in members])
+            for name in compiled.spec.param_names
+        }
+        for i, chain in zip(members, compiled.bind_batch(stacked)):
+            chains[i] = chain
+    return chains  # type: ignore[return-value]
 
 
 def mttdl_batched(chains: Sequence[CTMC]) -> List[float]:
@@ -171,7 +216,8 @@ def evaluate_chunk(
     if ctx is None:
         ctx = SolveContext()
     mttdls: List[Optional[float]] = [None] * len(tasks)
-    chains: List[CTMC] = []
+    bind_compiled: List[CompiledChain] = []
+    bind_envs: List[Dict[str, float]] = []
     chain_slots: List[int] = []
     for i, (config, params, method) in enumerate(tasks):
         if method == "closed_form":
@@ -186,11 +232,14 @@ def evaluate_chunk(
                 )
                 mttdls[i] = model.mttdl_approx()
         elif method == "analytic":
-            chains.append(_build_chain(config, params, ctx))
+            spec, env = _spec_and_env(config, params, ctx)
+            bind_compiled.append(ctx.specs.get_or_compile(spec))
+            bind_envs.append(env)
             chain_slots.append(i)
         else:
             raise ValueError(f"evaluate_chunk cannot handle method {method!r}")
-    if chains:
+    if chain_slots:
+        chains = _bind_all(bind_compiled, bind_envs)
         for i, mttdl in zip(chain_slots, mttdl_batched(chains)):
             mttdls[i] = mttdl
     return mttdls  # type: ignore[return-value]
@@ -198,8 +247,11 @@ def evaluate_chunk(
 
 def _worker_evaluate(
     tasks: Sequence[Tuple[Configuration, Parameters, str]],
-) -> Tuple[List[float], Dict[str, int]]:
+) -> Tuple[List[float], Dict[str, object]]:
     """Process-pool entry point: evaluate a chunk with a fresh context and
-    report the memo counters back for aggregation."""
+    report the counters (and compiled spec hashes) back for aggregation."""
     ctx = SolveContext()
-    return evaluate_chunk(tasks, ctx), ctx.stats()
+    results = evaluate_chunk(tasks, ctx)
+    stats: Dict[str, object] = dict(ctx.stats())
+    stats["spec_hashes"] = ctx.spec_hashes()
+    return results, stats

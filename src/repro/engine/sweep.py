@@ -1,8 +1,9 @@
 """The parallel sweep engine.
 
 :class:`SweepEngine` evaluates grids of (configuration, parameters)
-points with three accelerators — process-pool fan-out, chain-topology /
-array-rates memos, and an optional on-disk result cache — while
+points with three accelerators — process-pool fan-out, compiled-spec
+binding (plus the array-rates memo), and an optional on-disk result
+cache — while
 guaranteeing the exact floats of the pre-engine point-by-point code (see
 :mod:`repro.engine.solver` for why every path is bitwise-deterministic).
 
@@ -104,7 +105,7 @@ class SweepEngine:
             :class:`DiskCache` instance.
         method: default evaluation method ("analytic" or "closed_form";
             "exact"/"approx" accepted as aliases).
-        verbose: print cache/memo counters to stderr after each batch.
+        verbose: print cache/spec counters to stderr after each batch.
     """
 
     def __init__(
@@ -131,11 +132,14 @@ class SweepEngine:
         self._ctx = SolveContext()
         # Counters from pooled workers, folded into provenance snapshots.
         self._worker_stats = {
-            "memo_hits": 0,
-            "memo_misses": 0,
+            "spec_hits": 0,
+            "spec_misses": 0,
             "array_hits": 0,
             "array_misses": 0,
         }
+        # Spec hashes compiled by pooled workers (the in-process hashes
+        # live in self._ctx.specs).
+        self._worker_spec_hashes: set = set()
 
     # ------------------------------------------------------------------ #
     # properties / stats
@@ -156,17 +160,19 @@ class SweepEngine:
     def provenance(self, method: Optional[str] = None) -> EngineProvenance:
         """A snapshot of the engine's settings and cumulative counters."""
         local = self._ctx.stats()
+        hashes = set(self._ctx.spec_hashes()) | self._worker_spec_hashes
         return EngineProvenance(
             method=normalize_method(method) if method else self._method,
             jobs=self._jobs,
             cache_enabled=self._cache is not None,
             cache_hits=self._cache.hits if self._cache else 0,
             cache_misses=self._cache.misses if self._cache else 0,
-            memo_hits=local["memo_hits"] + self._worker_stats["memo_hits"],
-            memo_misses=local["memo_misses"] + self._worker_stats["memo_misses"],
+            spec_hits=local["spec_hits"] + self._worker_stats["spec_hits"],
+            spec_misses=local["spec_misses"] + self._worker_stats["spec_misses"],
             array_hits=local["array_hits"] + self._worker_stats["array_hits"],
             array_misses=local["array_misses"]
             + self._worker_stats["array_misses"],
+            spec_hashes=tuple(sorted(hashes)),
             engine=f"repro.engine/{__version__}",
         )
 
@@ -238,6 +244,10 @@ class SweepEngine:
                 outputs = run_chunks(_worker_evaluate, chunks, self._jobs)
                 computed = [m for out in outputs for m in out[0]]
                 for _, stats in outputs:
+                    stats = dict(stats)
+                    self._worker_spec_hashes.update(
+                        stats.pop("spec_hashes", ())
+                    )
                     for name, value in stats.items():
                         self._worker_stats[name] += value
             else:

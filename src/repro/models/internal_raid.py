@@ -13,20 +13,27 @@ rebuilt from the other nodes).  Hard errors during internal re-stripes
 ``lambda_S`` contribution on the final transition is scaled by the
 critical-set fraction ``k_t`` of Section 5.2.1 (``k_1 = 1`` for fault
 tolerance 1, matching the paper's NFT-1 formula).
+
+The chain shape is declared in :func:`repro.models.specs.internal_raid_spec`
+and bound per operating point; the original imperative construction is
+kept as :func:`legacy_build_internal_raid_chain`, the equivalence oracle.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Union
 
-from ..core import CTMC, ChainBuilder, ChainStructureMemo
+from ..core import CTMC, ChainBuilder
+from ..core.spec import ModelSpec
 from .critical_sets import critical_fraction
 from .parameters import Parameters
 from .raid import ArrayRates, InternalRaid, Raid5Model, Raid6Model
 from .rebuild import RebuildModel
+from .specs import compiled, internal_raid_env, internal_raid_spec
 
 __all__ = [
     "build_internal_raid_chain",
+    "legacy_build_internal_raid_chain",
     "InternalRaidNodeModel",
 ]
 
@@ -42,8 +49,6 @@ def build_internal_raid_chain(
     node_rebuild_rate: float,
     critical_sector_fraction: float,
     parallel_repair: bool = False,
-    memo: Optional[ChainStructureMemo] = None,
-    memo_key=None,
 ) -> CTMC:
     """Build the Figure 5/6/7 chain for node fault tolerance ``t``.
 
@@ -71,6 +76,30 @@ def build_internal_raid_chain(
             disjoint survivors (rate ``j * mu_N``) — an ablation for the
             distributed-rebuild scheduling choice, not from the paper.
     """
+    env = internal_raid_env(
+        fault_tolerance,
+        n,
+        node_failure_rate,
+        array_failure_rate,
+        restripe_sector_loss_rate,
+        node_rebuild_rate,
+        critical_sector_fraction,
+    )
+    return compiled(internal_raid_spec(fault_tolerance, parallel_repair)).bind(env)
+
+
+def legacy_build_internal_raid_chain(
+    fault_tolerance: int,
+    n: int,
+    node_failure_rate: float,
+    array_failure_rate: float,
+    restripe_sector_loss_rate: float,
+    node_rebuild_rate: float,
+    critical_sector_fraction: float,
+    parallel_repair: bool = False,
+) -> CTMC:
+    """The original imperative Figure 5/6/7 construction (equivalence
+    oracle for the spec path)."""
     if fault_tolerance < 1:
         raise ValueError("fault_tolerance must be >= 1")
     if n <= fault_tolerance:
@@ -83,7 +112,7 @@ def build_internal_raid_chain(
         builder.add_rate(j + 1, j, repair)
     final_rate = lam + critical_sector_fraction * restripe_sector_loss_rate
     builder.add_rate(fault_tolerance, LOSS, (n - fault_tolerance) * final_rate)
-    return builder.build(initial_state=0, memo=memo, memo_key=memo_key)
+    return builder.build(initial_state=0)
 
 
 class InternalRaidNodeModel:
@@ -173,18 +202,14 @@ class InternalRaidNodeModel:
             self._params.node_set_size, self._params.redundancy_set_size, self._t
         )
 
-    def chain(
-        self,
-        memo: Optional[ChainStructureMemo] = None,
-        memo_key=None,
-    ) -> CTMC:
-        """The node-level CTMC (Figure 5, 6 or 7).
+    def spec(self) -> ModelSpec:
+        """The declarative form of the Figure 5/6/7 chain."""
+        return internal_raid_spec(self._t)
 
-        ``memo``/``memo_key`` optionally reuse a cached topology (see
-        :class:`repro.core.template.ChainStructureMemo`).
-        """
+    def chain_env(self) -> Dict[str, Union[int, float]]:
+        """The binding environment for :meth:`spec` at this operating point."""
         rates = self.array_rates
-        return build_internal_raid_chain(
+        return internal_raid_env(
             self._t,
             self._params.node_set_size,
             self._params.node_failure_rate,
@@ -192,8 +217,25 @@ class InternalRaidNodeModel:
             rates.restripe_sector_loss_rate,
             self.node_rebuild_rate,
             self.critical_sector_fraction,
-            memo=memo,
-            memo_key=memo_key,
+        )
+
+    def chain(self) -> CTMC:
+        """The node-level CTMC (Figure 5, 6 or 7), bound through the
+        compiled spec."""
+        return compiled(self.spec()).bind(self.chain_env())
+
+    def legacy_chain(self) -> CTMC:
+        """The same chain through the original imperative builder — the
+        oracle the spec path is checked against (bitwise)."""
+        rates = self.array_rates
+        return legacy_build_internal_raid_chain(
+            self._t,
+            self._params.node_set_size,
+            self._params.node_failure_rate,
+            rates.array_failure_rate,
+            rates.restripe_sector_loss_rate,
+            self.node_rebuild_rate,
+            self.critical_sector_fraction,
         )
 
     def mttdl_exact(self) -> float:

@@ -6,10 +6,13 @@ so a drive failure and a node failure are *distinct* degraded states with
 different repair rates (``mu_d`` vs ``mu_N``).  The state space therefore
 doubles with each additional tolerated failure.
 
-The chains here are hand-transcribed from the paper's figures; the
-appendix's recursive construction (:mod:`repro.models.recursive`) must
-produce exactly the same chains — the test suite checks generator-matrix
-equality for k = 1, 2, 3.
+The chains are declared once in :mod:`repro.models.specs` (states plus
+symbolic rates over the paper's parameters) and bound here per operating
+point; the original hand-transcribed builders are kept as
+``legacy_build_no_raid_chain_ft*`` oracles, and the test suite asserts
+bitwise generator equality between the two paths.  The appendix's
+recursive construction (:mod:`repro.models.recursive`) must also produce
+exactly these chains — the suite checks that for k = 1, 2, 3.
 
 State labels are failure words: ``"0"*k`` is fully operational; a word
 like ``"Nd0"`` means a node failure followed by a drive failure, one more
@@ -22,15 +25,20 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..core import CTMC, ChainBuilder, ChainStructureMemo
+from ..core import CTMC, ChainBuilder
+from ..core.spec import ModelSpec
 from .critical_sets import h_parameters
 from .parameters import Parameters
 from .rebuild import RebuildModel
+from .specs import compiled, no_raid_env, no_raid_spec
 
 __all__ = [
     "build_no_raid_chain_ft1",
     "build_no_raid_chain_ft2",
     "build_no_raid_chain_ft3",
+    "legacy_build_no_raid_chain_ft1",
+    "legacy_build_no_raid_chain_ft2",
+    "legacy_build_no_raid_chain_ft3",
     "NoRaidNodeModel",
 ]
 
@@ -46,8 +54,6 @@ def build_no_raid_chain_ft1(
     drive_rebuild_rate: float,
     h_n: float,
     h_d: float,
-    memo: Optional["ChainStructureMemo"] = None,
-    memo_key=None,
 ) -> CTMC:
     """Figure 8: fault tolerance 1, no internal RAID.
 
@@ -63,6 +69,90 @@ def build_no_raid_chain_ft1(
         h_d: probability of a hard error during a drive rebuild,
             ``(R-1) C HER``.
     """
+    env = no_raid_env(
+        1,
+        n,
+        d,
+        node_failure_rate,
+        drive_failure_rate,
+        node_rebuild_rate,
+        drive_rebuild_rate,
+        {"N": h_n, "d": h_d},
+    )
+    return compiled(no_raid_spec(1)).bind(env)
+
+
+def build_no_raid_chain_ft2(
+    n: int,
+    d: int,
+    node_failure_rate: float,
+    drive_failure_rate: float,
+    node_rebuild_rate: float,
+    drive_rebuild_rate: float,
+    h: Dict[str, float],
+) -> CTMC:
+    """Figure 9: fault tolerance 2, no internal RAID.
+
+    ``h`` maps the four failure words {"NN", "Nd", "dN", "dd"} to the
+    probabilities of a hard error during the second rebuild (Section
+    5.2.2).
+    """
+    env = no_raid_env(
+        2,
+        n,
+        d,
+        node_failure_rate,
+        drive_failure_rate,
+        node_rebuild_rate,
+        drive_rebuild_rate,
+        h,
+    )
+    return compiled(no_raid_spec(2)).bind(env)
+
+
+def build_no_raid_chain_ft3(
+    n: int,
+    d: int,
+    node_failure_rate: float,
+    drive_failure_rate: float,
+    node_rebuild_rate: float,
+    drive_rebuild_rate: float,
+    h: Dict[str, float],
+) -> CTMC:
+    """Figure 10: fault tolerance 3, no internal RAID.
+
+    ``h`` maps the eight failure words of length 3 over {N, d} to hard-
+    error probabilities during the third rebuild.
+    """
+    env = no_raid_env(
+        3,
+        n,
+        d,
+        node_failure_rate,
+        drive_failure_rate,
+        node_rebuild_rate,
+        drive_rebuild_rate,
+        h,
+    )
+    return compiled(no_raid_spec(3)).bind(env)
+
+
+# --------------------------------------------------------------------- #
+# legacy hand-transcribed builders (oracles for spec equivalence tests)
+# --------------------------------------------------------------------- #
+
+
+def legacy_build_no_raid_chain_ft1(
+    n: int,
+    d: int,
+    node_failure_rate: float,
+    drive_failure_rate: float,
+    node_rebuild_rate: float,
+    drive_rebuild_rate: float,
+    h_n: float,
+    h_d: float,
+) -> CTMC:
+    """The original imperative Figure 8 construction (equivalence oracle)."""
     _check(n, d, 1)
     lam_n, lam_d = node_failure_rate, drive_failure_rate
     h_n, h_d = _clamp(h_n), _clamp(h_d)
@@ -75,10 +165,10 @@ def build_no_raid_chain_ft1(
     second = (n - 1) * (lam_n + d * lam_d)
     b.add_rate("N", LOSS, second)
     b.add_rate("d", LOSS, second)
-    return b.build(initial_state="0", memo=memo, memo_key=memo_key)
+    return b.build(initial_state="0")
 
 
-def build_no_raid_chain_ft2(
+def legacy_build_no_raid_chain_ft2(
     n: int,
     d: int,
     node_failure_rate: float,
@@ -86,15 +176,8 @@ def build_no_raid_chain_ft2(
     node_rebuild_rate: float,
     drive_rebuild_rate: float,
     h: Dict[str, float],
-    memo: Optional["ChainStructureMemo"] = None,
-    memo_key=None,
 ) -> CTMC:
-    """Figure 9: fault tolerance 2, no internal RAID.
-
-    ``h`` maps the four failure words {"NN", "Nd", "dN", "dd"} to the
-    probabilities of a hard error during the second rebuild (Section
-    5.2.2).
-    """
+    """The original imperative Figure 9 construction (equivalence oracle)."""
     _check(n, d, 2)
     _check_words(h, 2)
     lam_n, lam_d = node_failure_rate, drive_failure_rate
@@ -106,7 +189,7 @@ def build_no_raid_chain_ft2(
     b.add_rate("N0", "00", mu_n)
     b.add_rate("d0", "00", mu_d)
 
-    for first, mu_back in (("N", mu_n), ("d", mu_d)):
+    for first, _mu_back in (("N", mu_n), ("d", mu_d)):
         root = first + "0"
         h_to_n = _clamp(h[first + "N"])
         h_to_d = _clamp(h[first + "d"])
@@ -119,10 +202,10 @@ def build_no_raid_chain_ft2(
     third = (n - 2) * (lam_n + d * lam_d)
     for leaf in ("NN", "Nd", "dN", "dd"):
         b.add_rate(leaf, LOSS, third)
-    return b.build(initial_state="00", memo=memo, memo_key=memo_key)
+    return b.build(initial_state="00")
 
 
-def build_no_raid_chain_ft3(
+def legacy_build_no_raid_chain_ft3(
     n: int,
     d: int,
     node_failure_rate: float,
@@ -130,14 +213,8 @@ def build_no_raid_chain_ft3(
     node_rebuild_rate: float,
     drive_rebuild_rate: float,
     h: Dict[str, float],
-    memo: Optional["ChainStructureMemo"] = None,
-    memo_key=None,
 ) -> CTMC:
-    """Figure 10: fault tolerance 3, no internal RAID.
-
-    ``h`` maps the eight failure words of length 3 over {N, d} to hard-
-    error probabilities during the third rebuild.
-    """
+    """The original imperative Figure 10 construction (equivalence oracle)."""
     _check(n, d, 3)
     _check_words(h, 3)
     lam_n, lam_d = node_failure_rate, drive_failure_rate
@@ -171,7 +248,7 @@ def build_no_raid_chain_ft3(
         for second in "Nd":
             for third_letter in "Nd":
                 b.add_rate(first + second + third_letter, LOSS, fourth)
-    return b.build(initial_state="000", memo=memo, memo_key=memo_key)
+    return b.build(initial_state="000")
 
 
 class NoRaidNodeModel:
@@ -217,18 +294,34 @@ class NoRaidNodeModel:
         """The ``h_alpha`` probabilities for this configuration."""
         return h_parameters(self._params, self._t)
 
-    def chain(
-        self,
-        memo: Optional[ChainStructureMemo] = None,
-        memo_key=None,
-    ) -> CTMC:
-        """The Figure 8/9/10 chain.
+    def spec(self) -> ModelSpec:
+        """The declarative form of the Figure 8/9/10 chain."""
+        return no_raid_spec(self._t)
 
-        ``memo``/``memo_key`` optionally reuse a cached topology (see
-        :class:`repro.core.template.ChainStructureMemo`).
-        """
+    def chain_env(self) -> Dict[str, float]:
+        """The binding environment for :meth:`spec` at this operating point."""
         p = self._params
-        common = (
+        return no_raid_env(
+            self._t,
+            p.node_set_size,
+            p.drives_per_node,
+            p.node_failure_rate,
+            p.drive_failure_rate,
+            self.node_rebuild_rate,
+            self.drive_rebuild_rate,
+            self.hard_error_parameters(),
+        )
+
+    def chain(self) -> CTMC:
+        """The Figure 8/9/10 chain, bound through the compiled spec."""
+        return compiled(self.spec()).bind(self.chain_env())
+
+    def legacy_chain(self) -> CTMC:
+        """The same chain through the original imperative builder — the
+        oracle the spec path is checked against (bitwise)."""
+        p = self._params
+        h = self.hard_error_parameters()
+        args = (
             p.node_set_size,
             p.drives_per_node,
             p.node_failure_rate,
@@ -236,14 +329,11 @@ class NoRaidNodeModel:
             self.node_rebuild_rate,
             self.drive_rebuild_rate,
         )
-        h = self.hard_error_parameters()
         if self._t == 1:
-            return build_no_raid_chain_ft1(
-                *common, h_n=h["N"], h_d=h["d"], memo=memo, memo_key=memo_key
-            )
+            return legacy_build_no_raid_chain_ft1(*args, h["N"], h["d"])
         if self._t == 2:
-            return build_no_raid_chain_ft2(*common, h=h, memo=memo, memo_key=memo_key)
-        return build_no_raid_chain_ft3(*common, h=h, memo=memo, memo_key=memo_key)
+            return legacy_build_no_raid_chain_ft2(*args, h)
+        return legacy_build_no_raid_chain_ft3(*args, h)
 
     def mttdl_exact(self) -> float:
         """MTTDL in hours from the numeric CTMC solve."""

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict
 
@@ -141,7 +140,7 @@ class Parameters:
             params = Parameters.with_overrides(node_set_size=128)
 
         Positional construction (``Parameters(400_000.0, ...)``) is
-        deprecated — with fifteen float-heavy fields it is far too easy
+        an error — with fifteen float-heavy fields it is far too easy
         to transpose two values silently.
         """
         return cls(**overrides)
@@ -216,23 +215,24 @@ class Parameters:
         return dataclasses.asdict(self)
 
 
-# Deprecation shim: positional construction still works but warns.  The
-# generated dataclass __init__ is kept intact underneath so keyword
-# construction, dataclasses.replace and pickling are unaffected.
+# Keyword-only construction: positional Parameters(...) went through a
+# DeprecationWarning cycle and is now an error.  The generated dataclass
+# __init__ is kept intact underneath so keyword construction,
+# dataclasses.replace and pickling are unaffected.
 _generated_init = Parameters.__init__
 
 
 @functools.wraps(_generated_init)
-def _init_with_deprecation(self: Parameters, *args: Any, **kwargs: Any) -> None:
+def _keyword_only_init(self: Parameters, *args: Any, **kwargs: Any) -> None:
     if args:
-        warnings.warn(
-            "positional Parameters(...) construction is deprecated and will "
-            "be removed; use keyword arguments or "
-            "Parameters.with_overrides(**kw)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "Parameters(...) takes keyword arguments only (positional "
+            "construction was removed after its deprecation cycle); "
+            f"got {len(args)} positional argument(s).  Name the field(s), "
+            "e.g. Parameters(node_set_size=64), or use "
+            "Parameters.baseline().with_overrides(**kw)"
         )
-    _generated_init(self, *args, **kwargs)
+    _generated_init(self, **kwargs)
 
 
-Parameters.__init__ = _init_with_deprecation  # type: ignore[method-assign]
+Parameters.__init__ = _keyword_only_init  # type: ignore[method-assign]

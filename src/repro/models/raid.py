@@ -30,6 +30,7 @@ from typing import Optional
 from ..core import CTMC, ChainBuilder
 from .parameters import Parameters
 from .rebuild import RebuildModel
+from .specs import compiled, raid5_spec, raid6_spec, raid_env
 
 __all__ = [
     "InternalRaid",
@@ -39,6 +40,8 @@ __all__ = [
     "array_model",
     "build_raid5_chain",
     "build_raid6_chain",
+    "legacy_build_raid5_chain",
+    "legacy_build_raid6_chain",
     "raid5_mttdl_exact_formula",
     "raid5_mttdl_approx",
     "raid6_mttdl_approx",
@@ -104,16 +107,11 @@ def build_raid5_chain(
             (``"loss-sector"``) so exact lambda_D / lambda_S can be read
             off the absorption probabilities.
     """
-    _check_array(d, minimum=2)
-    h = _clamp_probability(hard_error_probability)
-    lam, mu = drive_failure_rate, restripe_rate
-    sector, drives = (LOSS_SECTOR, LOSS_DRIVES) if split_loss else (LOSS, LOSS)
-    builder = ChainBuilder().add_states(0, 1)
-    builder.add_rate(0, 1, d * lam * (1.0 - h))
-    builder.add_rate(0, sector, d * lam * h)
-    builder.add_rate(1, 0, mu)
-    builder.add_rate(1, drives, (d - 1) * lam)
-    return builder.build(initial_state=0)
+    env = raid_env(
+        d, drive_failure_rate, restripe_rate, hard_error_probability,
+        minimum_drives=2,
+    )
+    return compiled(raid5_spec(split_loss)).bind(env)
 
 
 def build_raid6_chain(
@@ -131,6 +129,41 @@ def build_raid6_chain(
     critical one; ``h = (d-2) * C * HER``.  ``split_loss`` as in
     :func:`build_raid5_chain`.
     """
+    env = raid_env(
+        d, drive_failure_rate, restripe_rate, hard_error_probability,
+        minimum_drives=3,
+    )
+    return compiled(raid6_spec(split_loss)).bind(env)
+
+
+def legacy_build_raid5_chain(
+    d: int,
+    drive_failure_rate: float,
+    restripe_rate: float,
+    hard_error_probability: float,
+    split_loss: bool = False,
+) -> CTMC:
+    """The original imperative Figure 1 construction (equivalence oracle)."""
+    _check_array(d, minimum=2)
+    h = _clamp_probability(hard_error_probability)
+    lam, mu = drive_failure_rate, restripe_rate
+    sector, drives = (LOSS_SECTOR, LOSS_DRIVES) if split_loss else (LOSS, LOSS)
+    builder = ChainBuilder().add_states(0, 1)
+    builder.add_rate(0, 1, d * lam * (1.0 - h))
+    builder.add_rate(0, sector, d * lam * h)
+    builder.add_rate(1, 0, mu)
+    builder.add_rate(1, drives, (d - 1) * lam)
+    return builder.build(initial_state=0)
+
+
+def legacy_build_raid6_chain(
+    d: int,
+    drive_failure_rate: float,
+    restripe_rate: float,
+    hard_error_probability: float,
+    split_loss: bool = False,
+) -> CTMC:
+    """The original imperative Figure 4 construction (equivalence oracle)."""
     _check_array(d, minimum=3)
     h = _clamp_probability(hard_error_probability)
     lam, mu = drive_failure_rate, restripe_rate

@@ -27,12 +27,15 @@ import math
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core import CTMC, ChainBuilder
+from ..core.spec import ModelSpec
 from .critical_sets import h_parameters
 from .parameters import Parameters
 from .rebuild import RebuildModel
+from .specs import compiled, recursive_env, recursive_spec
 
 __all__ = [
     "build_recursive_chain",
+    "legacy_build_recursive_chain",
     "RecursiveNoRaidModel",
     "l_value",
     "l_k",
@@ -108,8 +111,6 @@ def build_recursive_chain(
     node_rebuild_rate: float,
     drive_rebuild_rate: float,
     h: Mapping[str, float],
-    memo: Optional["ChainStructureMemo"] = None,
-    memo_key=None,
 ) -> CTMC:
     """The appendix's no-internal-RAID chain for arbitrary fault tolerance.
 
@@ -129,6 +130,30 @@ def build_recursive_chain(
         h: mapping from every failure word of length k to its hard-error
             probability (see :func:`repro.models.critical_sets.h_parameters`).
     """
+    env = recursive_env(
+        fault_tolerance,
+        n,
+        d,
+        node_failure_rate,
+        drive_failure_rate,
+        node_rebuild_rate,
+        drive_rebuild_rate,
+        h,
+    )
+    return compiled(recursive_spec(fault_tolerance)).bind(env)
+
+
+def legacy_build_recursive_chain(
+    fault_tolerance: int,
+    n: int,
+    d: int,
+    node_failure_rate: float,
+    drive_failure_rate: float,
+    node_rebuild_rate: float,
+    drive_rebuild_rate: float,
+    h: Mapping[str, float],
+) -> CTMC:
+    """The original imperative appendix construction (equivalence oracle)."""
     k = fault_tolerance
     if k < 1:
         raise ValueError("fault_tolerance must be >= 1")
@@ -155,7 +180,7 @@ def build_recursive_chain(
         h=h,
         n_total=n,
     )
-    return builder.build(initial_state="0" * k, memo=memo, memo_key=memo_key)
+    return builder.build(initial_state="0" * k)
 
 
 # --------------------------------------------------------------------- #
@@ -306,18 +331,14 @@ class RecursiveNoRaidModel:
         """All ``2^k`` h-parameters (Section 5.2.2 generalized)."""
         return h_parameters(self._params, self._t)
 
-    def chain(
-        self,
-        memo: Optional["ChainStructureMemo"] = None,
-        memo_key=None,
-    ) -> CTMC:
-        """The recursively-constructed CTMC.
+    def spec(self) -> ModelSpec:
+        """The declarative form of the appendix chain."""
+        return recursive_spec(self._t)
 
-        ``memo``/``memo_key`` optionally reuse a cached topology (see
-        :class:`repro.core.template.ChainStructureMemo`).
-        """
+    def chain_env(self) -> Dict[str, float]:
+        """The binding environment for :meth:`spec` at this operating point."""
         p = self._params
-        return build_recursive_chain(
+        return recursive_env(
             self._t,
             p.node_set_size,
             p.drives_per_node,
@@ -326,8 +347,26 @@ class RecursiveNoRaidModel:
             self.node_rebuild_rate,
             self.drive_rebuild_rate,
             self.hard_error_parameters(),
-            memo=memo,
-            memo_key=memo_key,
+        )
+
+    def chain(self) -> CTMC:
+        """The recursively-constructed CTMC, bound through the compiled
+        spec."""
+        return compiled(self.spec()).bind(self.chain_env())
+
+    def legacy_chain(self) -> CTMC:
+        """The same chain through the original recursive builder — the
+        oracle the spec path is checked against (bitwise)."""
+        p = self._params
+        return legacy_build_recursive_chain(
+            self._t,
+            p.node_set_size,
+            p.drives_per_node,
+            p.node_failure_rate,
+            p.drive_failure_rate,
+            self.node_rebuild_rate,
+            self.drive_rebuild_rate,
+            self.hard_error_parameters(),
         )
 
     def mttdl_exact(self) -> float:

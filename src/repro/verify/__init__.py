@@ -9,12 +9,12 @@ machine-checkable invariants:
   :class:`VerifyContext` every check runs against;
 * :mod:`~repro.verify.invariants` — the paper-derived properties
   (monotonicity, dominance, ``k3 <= k2 <= 1``, generator conservation,
-  closed-form error envelopes);
+  closed-form error envelopes, spec-vs-legacy bitwise equivalence);
 * :mod:`~repro.verify.oracles` — metamorphic and cross-method oracles
   triangulating analytic, closed-form and seeded Monte-Carlo estimates;
 * :mod:`~repro.verify.faults` — engine fault injection (corrupt cache
-  entries, killed pool workers, stale memo templates) proving failures
-  degrade to recomputation, never to wrong numbers;
+  entries, killed pool workers, poisoned compiled-spec caches) proving
+  failures degrade to recomputation, never to wrong numbers;
 * :mod:`~repro.verify.lattice` — the 27-point parameter lattice the
   battery sweeps;
 * :mod:`~repro.verify.report` / :mod:`~repro.verify.cli` — the
@@ -59,6 +59,7 @@ from .faults import (
     fault_drill,
     kill_worker_action,
     poison_chain_memo,
+    poison_spec_cache,
 )
 
 __all__ = [
@@ -83,5 +84,6 @@ __all__ = [
     "make_context",
     "mc_reference_mttdl",
     "poison_chain_memo",
+    "poison_spec_cache",
     "rescaled_parameters",
 ]

@@ -1,7 +1,7 @@
 """Engine fault injection: prove failures degrade to recomputation.
 
 The engine promises that its three accelerators — the on-disk result
-cache, the process pool and the chain-topology memo — can *never* change
+cache, the process pool and the compiled-spec cache — can *never* change
 a result, only its cost.  This module attacks each one and checks the
 promise:
 
@@ -9,8 +9,10 @@ promise:
   with a schema-mismatched payload between a warm-up sweep and a re-read;
 * pool workers are killed (``os._exit``) the moment they pick up a chunk,
   via the :data:`~repro.engine.faultpoints.POOL_WORKER_START` fault point;
-* the solver's chain-structure memo is poisoned with stale templates
-  whose topology no longer matches what the models build.
+* the solver's compiled-spec cache is poisoned: every entry is replaced
+  with a compiled chain whose structure does not match the hash it is
+  stored under, which the cache must detect (its per-lookup hash check)
+  and recompile from the spec.
 
 After each attack the engine must return results **bitwise identical** to
 a cold, serial, cache-less reference run.  :func:`fault_drill` runs the
@@ -28,6 +30,7 @@ import tempfile
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.spec import CompiledChain, ModelSpec, param
 from ..core.template import ChainTemplate
 from ..engine import faultpoints
 from ..engine.cache import DiskCache
@@ -42,6 +45,7 @@ __all__ = [
     "fault_drill",
     "kill_worker_action",
     "poison_chain_memo",
+    "poison_spec_cache",
 ]
 
 #: The on-disk damage patterns the drill (and the regression tests) plant.
@@ -106,6 +110,29 @@ def poison_chain_memo(memo) -> int:
             edge_keys=stale_edges,
             initial_state=template.initial_state,
         )
+        poisoned += 1
+    return poisoned
+
+
+def poison_spec_cache(cache) -> int:
+    """Replace every entry of a ``CompiledSpecCache`` with a compiled
+    chain whose structure does not match the hash it is stored under.
+
+    A correct cache must notice the mismatch on the next lookup (its
+    per-lookup ``entry.spec_hash == key`` check), count a
+    ``structure_rebuilds`` and recompile from the spec; a cache that
+    blindly trusts its key would solve a two-state decoy chain instead of
+    the real model.  Returns the number of entries poisoned.
+    """
+    decoy: CompiledChain = ModelSpec(
+        name="verify-poison-decoy",
+        states=("up", "down"),
+        edges=(("up", "down", param("x")),),
+        initial_state="up",
+    ).compile()
+    poisoned = 0
+    for key in list(cache._chains):
+        cache._chains[key] = decoy
         poisoned += 1
     return poisoned
 
@@ -201,15 +228,32 @@ def fault_drill(
         observed = _mttdls(SweepEngine(params, jobs=jobs), pairs)
     compare("killed pool workers", observed, {"jobs": jobs})
 
-    # -- stale memoized chain templates -------------------------------- #
+    # -- poisoned compiled-spec cache ---------------------------------- #
     engine = SweepEngine(params, jobs=1)
-    engine.evaluate_many(pairs)  # populate the memo
-    poisoned = poison_chain_memo(engine._ctx.memo)
+    engine.evaluate_many(pairs)  # populate the spec cache
+    poisoned = poison_spec_cache(engine._ctx.specs)
     compare(
-        "stale chain-structure memo",
+        "poisoned compiled-spec cache",
         _mttdls(engine, pairs),
-        {"templates_poisoned": poisoned},
+        {
+            "entries_poisoned": poisoned,
+            "rebuilds_detected": engine._ctx.specs.structure_rebuilds,
+        },
     )
+    if engine._ctx.specs.structure_rebuilds < poisoned:
+        violations.append(
+            Violation(
+                invariant="engine-fault-degradation",
+                message=(
+                    "poisoned compiled-spec cache: mismatched entries were "
+                    "not detected as structure rebuilds"
+                ),
+                details={
+                    "entries_poisoned": poisoned,
+                    "rebuilds_detected": engine._ctx.specs.structure_rebuilds,
+                },
+            )
+        )
 
     return checked, violations
 
@@ -217,7 +261,7 @@ def fault_drill(
 @invariant(
     "engine-fault-degradation",
     "Corrupted/truncated/schema-mismatched cache entries, killed pool "
-    "workers and stale chain-structure memos all degrade to correct "
+    "workers and poisoned compiled-spec caches all degrade to correct "
     "recomputation: results stay bitwise identical to a cold serial run.",
     tags=("engine", "faults", "smoke"),
 )

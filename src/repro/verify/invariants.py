@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from ..models.configurations import Configuration
 from ..models.critical_sets import critical_fraction, k2_factor, k3_factor
 from ..models.raid import InternalRaid
@@ -100,6 +102,45 @@ def check_generator_conservation(ctx: VerifyContext) -> Tuple[int, List[Violatio
                         "absorbing_rows_null": diag.absorbing_rows_null,
                         "initial_is_transient": diag.initial_is_transient,
                         "num_absorbing": diag.num_absorbing,
+                    },
+                )
+            )
+    return checked, violations
+
+
+@invariant(
+    "spec-legacy-equivalence",
+    "Every configuration's chain built through the compiled declarative "
+    "spec is bitwise identical — state order, generator matrix, initial "
+    "state — to the legacy imperative builder it superseded.",
+    tags=("core", "spec", "smoke"),
+)
+def check_spec_legacy_equivalence(ctx: VerifyContext) -> Tuple[int, List[Violation]]:
+    violations: List[Violation] = []
+    checked = 0
+    for i, params in enumerate(ctx.points):
+        for config in ctx.configs:
+            checked += 1
+            model = config.model(params)
+            spec_chain = model.chain()
+            legacy_chain = model.legacy_chain()
+            same_states = spec_chain.states == legacy_chain.states
+            same_initial = spec_chain.initial_state == legacy_chain.initial_state
+            same_generator = same_states and np.array_equal(
+                spec_chain.generator_matrix(), legacy_chain.generator_matrix()
+            )
+            if same_states and same_initial and same_generator:
+                continue
+            violations.append(
+                Violation(
+                    invariant="spec-legacy-equivalence",
+                    message="spec-compiled chain differs from legacy builder",
+                    config=config.key,
+                    point=ctx.point_label(i),
+                    details={
+                        "states_equal": same_states,
+                        "initial_equal": same_initial,
+                        "generator_bitwise_equal": same_generator,
                     },
                 )
             )

@@ -1,9 +1,9 @@
 """Chain-structure memoization: bitwise fidelity and topology safety."""
 
 import numpy as np
+import pytest
 
 from repro.core import ChainBuilder, ChainStructureMemo, ChainTemplate
-from repro.models import NoRaidNodeModel, Parameters
 
 
 def _toy_builder(scale=1.0):
@@ -11,6 +11,17 @@ def _toy_builder(scale=1.0):
     b.add_rate("up", "degraded", 2.0 * scale)
     b.add_rate("degraded", "up", 100.0 * scale)
     b.add_rate("degraded", "lost", 0.5 * scale)
+    return b
+
+
+def _split_builder(h=0.5, scale=1.0):
+    """A toy chain with an h-weighted loss edge that vanishes at h = 0
+    (the builder drops zero rates), changing the topology."""
+    b = ChainBuilder()
+    b.add_rate("up", "degraded", 2.0 * scale * (1.0 - h))
+    b.add_rate("up", "lost", 2.0 * scale * h)
+    b.add_rate("degraded", "up", 100.0 * scale)
+    b.add_rate("degraded", "lost", 1.5 * scale)
     return b
 
 
@@ -44,12 +55,11 @@ class TestChainTemplate:
 
 
 class TestChainStructureMemo:
-    def test_hit_is_bitwise_identical(self, baseline):
+    def test_hit_is_bitwise_identical(self):
         memo = ChainStructureMemo()
-        model = NoRaidNodeModel(baseline, 2)
-        cold = model.chain()
-        warm1 = model.chain(memo=memo, memo_key="ft2")
-        warm2 = model.chain(memo=memo, memo_key="ft2")
+        cold = _toy_builder().build("up")
+        warm1 = memo.build("toy", _toy_builder(), "up")
+        warm2 = memo.build("toy", _toy_builder(), "up")
         assert memo.misses == 1
         assert memo.hits == 1
         for chain in (warm1, warm2):
@@ -62,38 +72,63 @@ class TestChainStructureMemo:
                 == cold.mean_time_to_absorption()
             )
 
-    def test_topology_change_under_same_key_is_safe(self, baseline):
-        """h = 0 drops hard-error edges, changing the chain's topology.
+    def test_topology_change_under_same_key_is_safe(self):
+        """h = 0 drops the weighted loss edge, changing the topology.
         Reusing the same memo key must transparently rebuild the template
         rather than binding the wrong structure."""
         memo = ChainStructureMemo()
-        model = NoRaidNodeModel(baseline, 2)
-        no_errors = NoRaidNodeModel(
-            baseline.replace(hard_error_rate_per_bit=0.0), 2
-        )
-        first = model.chain(memo=memo, memo_key="k")
-        second = no_errors.chain(memo=memo, memo_key="k")
+        first = memo.build("k", _split_builder(h=0.5), "up")
+        with pytest.warns(RuntimeWarning, match="rebuilt its topology"):
+            second = memo.build("k", _split_builder(h=0.0), "up")
         assert np.array_equal(
-            second.generator_matrix(), no_errors.chain().generator_matrix()
+            second.generator_matrix(),
+            _split_builder(h=0.0).build("up").generator_matrix(),
         )
-        # And back again: the template re-adapts.
-        third = model.chain(memo=memo, memo_key="k")
+        # And back again: the template re-adapts (warned once already).
+        third = memo.build("k", _split_builder(h=0.5), "up")
         assert np.array_equal(
             third.generator_matrix(), first.generator_matrix()
         )
 
-    def test_distinct_keys_are_independent(self, baseline):
+    def test_structure_rebuilds_counted_separately(self):
         memo = ChainStructureMemo()
-        ft2 = NoRaidNodeModel(baseline, 2).chain(memo=memo, memo_key="ft2")
-        ft3 = NoRaidNodeModel(baseline, 3).chain(memo=memo, memo_key="ft3")
-        assert ft2.num_states != ft3.num_states
-        assert len(memo) == 2
+        memo.build("k", _split_builder(h=0.5), "up")
+        assert (memo.hits, memo.misses, memo.structure_rebuilds) == (0, 1, 0)
+        with pytest.warns(RuntimeWarning):
+            memo.build("k", _split_builder(h=0.0), "up")
+        assert memo.structure_rebuilds == 1
+        memo.build("k", _split_builder(h=0.0, scale=2.0), "up")
+        assert (memo.hits, memo.structure_rebuilds) == (1, 1)
 
-    def test_clear(self, baseline):
+    def test_rebuild_warns_only_once_per_key(self):
         memo = ChainStructureMemo()
-        NoRaidNodeModel(baseline, 2).chain(memo=memo, memo_key="k")
+        memo.build("k", _split_builder(h=0.5), "up")
+        with pytest.warns(RuntimeWarning, match="rebuilt its topology"):
+            memo.build("k", _split_builder(h=0.0), "up")
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            memo.build("k", _split_builder(h=0.5), "up")  # rebuild, no warn
+        assert memo.structure_rebuilds == 2
+
+    def test_distinct_keys_are_independent(self):
+        memo = ChainStructureMemo()
+        memo.build("toy", _toy_builder(), "up")
+        memo.build("split", _split_builder(), "up")
+        assert len(memo) == 2
+        assert memo.misses == 2
+        # Re-hitting one key never disturbs the other's template.
+        memo.build("toy", _toy_builder(), "up")
+        memo.build("split", _split_builder(), "up")
+        assert memo.hits == 2 and memo.structure_rebuilds == 0
+
+    def test_clear(self):
+        memo = ChainStructureMemo()
+        memo.build("k", _toy_builder(), "up")
         memo.clear()
         assert len(memo) == 0
+        assert (memo.hits, memo.misses, memo.structure_rebuilds) == (0, 0, 0)
 
     def test_bound_chains_are_independent(self):
         """Each bind() call assembles a fresh Q; solving one bound chain

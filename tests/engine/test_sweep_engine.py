@@ -53,8 +53,10 @@ class TestPoolVsSerial:
         pooled_engine = SweepEngine(jobs=4)
         pooled = pooled_engine.evaluate_many(pairs)
         assert [r.mttdl_hours for r in pooled] == [r.mttdl_hours for r in serial]
-        # Worker memo counters are folded into the engine's provenance.
-        assert pooled_engine.provenance().memo_misses > 0
+        # Worker spec counters are folded into the engine's provenance.
+        prov = pooled_engine.provenance()
+        assert prov.spec_misses > 0
+        assert prov.spec_hashes  # workers report the shapes they compiled
 
     def test_monte_carlo_rejected(self, baseline):
         with pytest.raises(ValueError, match="monte_carlo"):
@@ -183,14 +185,17 @@ class TestProvenance:
         engine = SweepEngine(jobs=1)
         engine.evaluate_many([(c, baseline) for c in ALL_CONFIGURATIONS])
         prov = engine.provenance()
-        assert prov.memo_misses > 0
+        assert prov.spec_misses > 0
         assert prov.jobs == 1
         assert not prov.cache_enabled
-        assert "topology memo" in prov.describe()
+        assert "compiled specs" in prov.describe()
+        # The provenance names the exact chain structures it solved.
+        assert len(prov.spec_hashes) == prov.spec_misses
+        assert all(len(h) == 64 for h in prov.spec_hashes)
 
     def test_verbose_reports_to_stderr(self, baseline, capsys):
         engine = SweepEngine(jobs=1, verbose=True)
         engine.evaluate(ALL_CONFIGURATIONS[0], baseline)
         err = capsys.readouterr().err
         assert "[repro.engine]" in err
-        assert "memo" in err
+        assert "compiled specs" in err

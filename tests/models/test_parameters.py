@@ -122,7 +122,7 @@ class TestConstructors:
             baseline.node_set_size = 10  # type: ignore[misc]
 
 
-class TestConstructorDeprecation:
+class TestKeywordOnlyConstruction:
     def test_with_overrides_equals_keyword_construction(self):
         assert Parameters.with_overrides(node_set_size=16) == Parameters(
             node_set_size=16
@@ -135,15 +135,19 @@ class TestConstructorDeprecation:
         with pytest.raises(ParameterError):
             Parameters.with_overrides(drives_per_node=0)
 
-    def test_positional_construction_warns(self):
-        with pytest.warns(DeprecationWarning, match="positional"):
+    def test_positional_construction_raises(self):
+        with pytest.raises(TypeError, match="keyword arguments only"):
             Parameters(400_000.0)
 
-    def test_positional_values_still_applied(self):
-        with pytest.warns(DeprecationWarning):
-            p = Parameters(123_456.0, 200_000.0)
-        assert p.node_mttf_hours == 123_456.0
-        assert p.drive_mttf_hours == 200_000.0
+    def test_error_counts_positional_arguments(self):
+        with pytest.raises(TypeError, match="2 positional"):
+            Parameters(123_456.0, 200_000.0)
+
+    def test_error_points_at_the_fix(self):
+        with pytest.raises(TypeError, match=r"node_set_size=64"):
+            Parameters(400_000.0)
+        with pytest.raises(TypeError, match=r"with_overrides"):
+            Parameters(400_000.0)
 
     def test_keyword_construction_does_not_warn(self, recwarn):
         Parameters(node_mttf_hours=123_456.0)

@@ -14,6 +14,7 @@ from repro.verify import (
     fault_drill,
     kill_worker_action,
     poison_chain_memo,
+    poison_spec_cache,
 )
 from repro.verify.faults import CACHE_CORRUPTION_MODES
 
@@ -101,18 +102,39 @@ class TestKilledWorkers:
         assert _mttdls(SweepEngine(pairs[0][1], jobs=4), pairs) == reference
 
 
-class TestStaleMemo:
-    def test_poisoned_templates_are_rebuilt(self, pairs, reference):
+class TestPoisonedSpecCache:
+    def test_poisoned_entries_are_recompiled(self, pairs, reference):
         engine = SweepEngine(pairs[0][1], jobs=1)
         assert _mttdls(engine, pairs) == reference
-        poisoned = poison_chain_memo(engine._ctx.memo)
+        poisoned = poison_spec_cache(engine._ctx.specs)
         assert poisoned > 0
         assert _mttdls(engine, pairs) == reference
+        # The mismatches were detected, not silently trusted.
+        assert engine._ctx.specs.structure_rebuilds == poisoned
+
+    def test_poisoned_memo_templates_are_rebuilt(self):
+        """The template memo keeps the same guarantee (its per-hit
+        structure check), independent of the engine path."""
+        from repro.core import ChainBuilder, ChainStructureMemo
+
+        def builder():
+            b = ChainBuilder()
+            b.add_rate("up", "down", 2.0)
+            b.add_rate("down", "up", 50.0)
+            b.add_rate("down", "lost", 0.25)
+            return b
+
+        memo = ChainStructureMemo()
+        reference = memo.build("k", builder(), "up").mean_time_to_absorption()
+        assert poison_chain_memo(memo) == 1
+        with pytest.warns(RuntimeWarning, match="rebuilt its topology"):
+            again = memo.build("k", builder(), "up").mean_time_to_absorption()
+        assert again == reference
 
 
 class TestFaultDrill:
     def test_full_drill_is_clean(self):
         checked, violations = fault_drill(all_configurations(3), jobs=2)
         assert violations == []
-        # 4 corruption modes x 2 passes + killed workers + stale memo.
+        # 4 corruption modes x 2 passes + killed workers + poisoned specs.
         assert checked == 10

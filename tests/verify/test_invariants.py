@@ -55,14 +55,23 @@ class TestDeliberateViolationIsCaught:
     @pytest.fixture
     def flipped_chain(self, monkeypatch):
         """Swap the no-RAID chains for NFT 1 and 3: MTTDL then *decreases*
-        as the fault tolerance rises, violating mttdl-monotone-nft."""
-        original = NoRaidNodeModel.chain
+        as the fault tolerance rises, violating mttdl-monotone-nft.  The
+        engine evaluates models through spec()/chain_env(), so both are
+        redirected (chain() follows automatically — it binds the spec)."""
+        original_spec = NoRaidNodeModel.spec
+        original_env = NoRaidNodeModel.chain_env
 
-        def broken(self, memo=None, memo_key=None):
-            swapped = NoRaidNodeModel(self.params, 4 - self.fault_tolerance)
-            return original(swapped)
+        def swapped(self):
+            return NoRaidNodeModel(self.params, 4 - self.fault_tolerance)
 
-        monkeypatch.setattr(NoRaidNodeModel, "chain", broken)
+        monkeypatch.setattr(
+            NoRaidNodeModel, "spec", lambda self: original_spec(swapped(self))
+        )
+        monkeypatch.setattr(
+            NoRaidNodeModel,
+            "chain_env",
+            lambda self: original_env(swapped(self)),
+        )
 
     def test_registry_reports_the_violation(self, flipped_chain):
         base = Parameters.baseline()
