@@ -14,3 +14,22 @@ def baseline_params():
     from repro.models import Parameters
 
     return Parameters.baseline()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_session_from_env():
+    """Trace the whole benchmark session when CI asks for it.
+
+    Setting ``REPRO_TRACE`` / ``REPRO_METRICS`` / ``REPRO_REPORT`` wraps
+    the session in a :class:`repro.obs.TraceSession`, so the bench-smoke
+    CI job gets a JSONL trace and metrics.json of the benchmark run
+    without any benchmark growing flags.
+    """
+    from repro import obs
+
+    session = obs.session_from_env()
+    if session is None:
+        yield
+        return
+    with session:
+        yield

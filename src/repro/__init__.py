@@ -26,6 +26,7 @@ Sweeps run through the engine::
     )
 """
 
+from . import obs
 from .models import (
     ALL_CONFIGURATIONS,
     Configuration,
@@ -68,6 +69,7 @@ __all__ = [
     "all_configurations",
     "evaluate",
     "evaluate_all",
+    "obs",
     "sensitivity_configurations",
     "__version__",
 ]

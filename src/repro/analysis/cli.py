@@ -4,22 +4,33 @@ Installed as ``repro-figures``::
 
     repro-figures                # everything (Figure 13 + sensitivity)
     repro-figures 13 17         # selected figures
+    repro-figures --fig 13      # same, flag spelling (repeatable)
     repro-figures --approx      # use the paper's closed forms
     repro-figures --jobs 4      # fan sweeps out over 4 processes
     repro-figures --no-cache    # skip the on-disk result cache
     repro-figures --verbose     # report cache/compiled-spec hit rates
 
+    repro-figures --fig 13 --trace run.jsonl --report
+                                 # JSONL span trace + per-phase timing tree
+
 The sensitivity figures run through :class:`repro.engine.SweepEngine`;
-results are bitwise identical at any ``--jobs`` and cache setting.
+results are bitwise identical at any ``--jobs`` and cache setting, and
+with tracing on or off.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
-from ..cli_common import apply_param_overrides
+from .. import obs
+from ..cli_common import (
+    add_observability_arguments,
+    apply_param_overrides,
+    observed_session,
+)
 from ..engine.sweep import SweepEngine
 from ..models.parameters import Parameters
 from .baseline import baseline_figure, run_baseline
@@ -62,6 +73,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="figure numbers (13-20); default: all",
     )
     parser.add_argument(
+        "--fig",
+        action="append",
+        type=int,
+        default=[],
+        metavar="N",
+        help="figure number to regenerate (repeatable; merged with the "
+        "positional list)",
+    )
+    parser.add_argument(
         "--approx",
         action="store_true",
         help="use the paper's closed-form approximations instead of the "
@@ -99,10 +119,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="report cache and compiled-spec hit rates on stderr",
     )
+    add_observability_arguments(parser)
     args = parser.parse_args(argv)
 
     method = "approx" if args.approx else "exact"
-    wanted = args.figures or [13] + sorted(_FIGURES)
+    wanted = list(args.figures) + list(args.fig)
+    if not wanted:
+        wanted = [13] + sorted(_FIGURES)
     unknown = [f for f in wanted if f != 13 and f not in _FIGURES]
     if unknown:
         parser.error(f"unknown figures: {unknown}; choose from 13-20")
@@ -114,23 +137,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         method=method,
-        verbose=args.verbose,
     )
-    figures = []
-    for number in wanted:
-        if number == 13:
-            figures.append(baseline_figure(run_baseline(params, method)))
-        else:
-            figures.append(_FIGURES[number](params, method=method, engine=engine))
+    session = observed_session(args, root="repro-figures")
+    with session if session is not None else contextlib.nullcontext():
+        if session is not None:
+            session.add_metrics_source(engine.metrics_snapshot)
+        figures = []
+        for number in wanted:
+            with obs.span(f"figure.{number}", figure=number):
+                if number == 13:
+                    figures.append(baseline_figure(run_baseline(params, method)))
+                else:
+                    figures.append(
+                        _FIGURES[number](params, method=method, engine=engine)
+                    )
 
-    if args.format == "json":
-        import json
+        with obs.span("figures.render", format=args.format):
+            if args.format == "json":
+                import json
 
-        print(json.dumps([f.to_dict() for f in figures], indent=2))
-    elif args.format == "csv":
-        print("\n".join(f.to_csv() for f in figures))
-    else:
-        print("\n\n".join(format_figure(f) for f in figures))
+                rendered = json.dumps([f.to_dict() for f in figures], indent=2)
+            elif args.format == "csv":
+                rendered = "\n".join(f.to_csv() for f in figures)
+            else:
+                rendered = "\n\n".join(format_figure(f) for f in figures)
+        print(rendered)
+        if args.verbose:
+            obs.reporter().emit(
+                "[repro.engine] " + engine.provenance(method).describe()
+            )
     return 0
 
 

@@ -8,11 +8,62 @@ spellings.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+import argparse
+from typing import Callable, Iterable, Optional
 
+from . import obs
 from .models.parameters import Parameters
 
-__all__ = ["apply_param_overrides"]
+__all__ = [
+    "add_observability_arguments",
+    "apply_param_overrides",
+    "observed_session",
+]
+
+
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` / ``--metrics`` / ``--report`` flags.
+
+    Every CLI accepts the same observability spellings; the flags are
+    inert until at least one is given (tracing stays disabled and the hot
+    paths pay only a boolean check).
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL span trace of this run to PATH",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write flat metrics JSON (counters/gauges/histograms) to PATH",
+    )
+    group.add_argument(
+        "--report",
+        action="store_true",
+        help="print a per-phase timing tree and hot-span report to stderr",
+    )
+
+
+def observed_session(
+    args: argparse.Namespace, root: str
+) -> Optional["obs.TraceSession"]:
+    """A :class:`repro.obs.TraceSession` for the parsed CLI flags.
+
+    Returns ``None`` when no observability flag was given, so callers can
+    guard with ``contextlib.nullcontext`` and skip the tracer entirely.
+    """
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    report = bool(getattr(args, "report", False))
+    if not trace and not metrics and not report:
+        return None
+    return obs.trace(
+        trace_path=trace, metrics_path=metrics, report=report, root=root
+    )
 
 
 def apply_param_overrides(

@@ -28,6 +28,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 import numpy as np
 from scipy import linalg as _sla
 
+from ..obs.tracer import span as _obs_span, tracing_active as _tracing_active
 from .linalg import gth_fundamental_matrix
 
 __all__ = [
@@ -290,6 +291,10 @@ class CTMC:
             NotAbsorbingError: if no absorbing state is reachable from the
                 initial state (the expectation would be infinite).
         """
+        # Guarded so the hot path pays one bool check when tracing is off.
+        if _tracing_active():
+            with _obs_span("ctmc.solve", states=len(self.states)):
+                return self.absorb().mttdl
         return self.absorb().mttdl
 
     def absorption_system(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -53,6 +53,7 @@ from typing import (
 
 import numpy as np
 
+from ..obs import Metrics
 from .ctmc import CTMC, CTMCError
 
 __all__ = [
@@ -593,13 +594,44 @@ class CompiledSpecCache:
         hits / misses: lookup counters.
         structure_rebuilds: recompiles forced by mismatched entries
             (0 in any healthy run).
+
+    All three are read-through properties over the ``core.spec_cache.*``
+    counters in :attr:`metrics` (see :mod:`repro.obs`), so every sweep's
+    compiled-spec behavior lands in the flat metrics export.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
         self._chains: Dict[str, CompiledChain] = {}
-        self.hits = 0
-        self.misses = 0
-        self.structure_rebuilds = 0
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._hits = self.metrics.counter("core.spec_cache.hits")
+        self._misses = self.metrics.counter("core.spec_cache.misses")
+        self._rebuilds = self.metrics.counter(
+            "core.spec_cache.structure_rebuilds"
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def structure_rebuilds(self) -> int:
+        return self._rebuilds.value
+
+    @structure_rebuilds.setter
+    def structure_rebuilds(self, value: int) -> None:
+        self._rebuilds.value = value
 
     def __len__(self) -> int:
         return len(self._chains)

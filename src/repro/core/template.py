@@ -25,6 +25,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import Metrics
 from .ctmc import CTMC
 
 __all__ = ["ChainTemplate", "ChainStructureMemo"]
@@ -115,15 +116,46 @@ class ChainStructureMemo:
         misses: first-time builds (no template under the key yet).
         structure_rebuilds: rebuilds forced by a cached template that no
             longer matches the builder's topology.
+
+    The three counters are read-through properties over the
+    ``core.structure_memo.*`` counters in :attr:`metrics`, so the memo
+    folds into a run's flat metrics export without changing any caller.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
         self._templates: Dict[Hashable, ChainTemplate] = {}
-        self.hits = 0
-        self.misses = 0
-        self.structure_rebuilds = 0
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._hits = self.metrics.counter("core.structure_memo.hits")
+        self._misses = self.metrics.counter("core.structure_memo.misses")
+        self._rebuilds = self.metrics.counter(
+            "core.structure_memo.structure_rebuilds"
+        )
         self._key_stats: Dict[Hashable, List[int]] = {}
         self._warned: set = set()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def structure_rebuilds(self) -> int:
+        return self._rebuilds.value
+
+    @structure_rebuilds.setter
+    def structure_rebuilds(self, value: int) -> None:
+        self._rebuilds.value = value
 
     def __len__(self) -> int:
         return len(self._templates)

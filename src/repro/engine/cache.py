@@ -23,6 +23,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
+from ..obs import Metrics
 from . import faultpoints
 
 __all__ = ["DiskCache", "DEFAULT_CACHE_DIR"]
@@ -40,9 +41,13 @@ class DiskCache:
         validator: optional payload schema check.  A stored entry for
             which ``validator(payload)`` is falsy is handled like any
             other corruption: miss, log, delete.
+        metrics: the :class:`~repro.obs.Metrics` registry the counters
+            live in (a private one per cache when omitted, so two caches
+            never share tallies).
 
     Attributes:
-        hits / misses: lookup counters.
+        hits / misses: lookup counters — read-through views of the
+            ``engine.disk_cache.*`` counters in :attr:`metrics`.
         rejected: how many stored entries were discarded as corrupt,
             truncated or schema-mismatched (a subset of ``misses``).
     """
@@ -51,12 +56,41 @@ class DiskCache:
         self,
         directory: Union[str, Path] = DEFAULT_CACHE_DIR,
         validator: Optional[Callable[[Dict[str, Any]], bool]] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self._dir = Path(directory)
         self._validator = validator
-        self.hits = 0
-        self.misses = 0
-        self.rejected = 0
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._hits = self.metrics.counter("engine.disk_cache.hits")
+        self._misses = self.metrics.counter("engine.disk_cache.misses")
+        self._rejected = self.metrics.counter("engine.disk_cache.rejected")
+
+    # Counter attributes kept as read-through properties so provenance
+    # snapshots and existing callers see exactly the pre-obs integers.
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @rejected.setter
+    def rejected(self, value: int) -> None:
+        self._rejected.value = value
 
     @property
     def directory(self) -> Path:

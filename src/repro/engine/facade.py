@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from ..models.configurations import Configuration
 from ..models.metrics import ReliabilityResult
 from ..models.parameters import Parameters
@@ -61,19 +62,20 @@ def evaluate(
     method = normalize_method(method)
     if params is None:
         params = Parameters.baseline()
-    if method == "monte_carlo":
-        if rebuild is not None:
-            raise ValueError(
-                "rebuild overrides are not supported with method="
-                "'monte_carlo'; the simulator derives repair rates from "
-                "params"
-            )
-        from ..sim.monte_carlo import estimate_mttdl
+    with obs.span("repro.evaluate", method=method, config=config.key):
+        if method == "monte_carlo":
+            if rebuild is not None:
+                raise ValueError(
+                    "rebuild overrides are not supported with method="
+                    "'monte_carlo'; the simulator derives repair rates from "
+                    "params"
+                )
+            from ..sim.monte_carlo import estimate_mttdl
 
-        mc = estimate_mttdl(
-            config, params, replicas=replicas, seed=seed, jobs=jobs
+            mc = estimate_mttdl(
+                config, params, replicas=replicas, seed=seed, jobs=jobs
+            )
+            return ReliabilityResult.from_mttdl(mc.mean_hours, params)
+        return config.reliability(
+            params, _CONFIG_METHOD[method], rebuild=rebuild
         )
-        return ReliabilityResult.from_mttdl(mc.mean_hours, params)
-    return config.reliability(
-        params, _CONFIG_METHOD[method], rebuild=rebuild
-    )

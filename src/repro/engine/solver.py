@@ -32,6 +32,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core import CTMC
 from ..core.linalg import gth_solve_batched
 from ..core.spec import CompiledChain, CompiledSpecCache, ModelSpec
@@ -70,13 +71,36 @@ def normalize_method(method: str) -> str:
 
 
 class SolveContext:
-    """Per-process compiled-spec cache and counters for chunk evaluation."""
+    """Per-process compiled-spec cache and counters for chunk evaluation.
+
+    The array-memo counters live in :attr:`metrics` (as
+    ``engine.array_memo.hits`` / ``engine.array_memo.misses``) alongside
+    the spec cache's own registry; ``array_hits`` / ``array_misses``
+    remain as read-through properties for provenance snapshots.
+    """
 
     def __init__(self) -> None:
-        self.specs = CompiledSpecCache()
+        self.metrics = obs.Metrics()
+        self.specs = CompiledSpecCache(metrics=self.metrics)
         self.array_rates: Dict[Hashable, ArrayRates] = {}
-        self.array_hits = 0
-        self.array_misses = 0
+        self._array_hits = self.metrics.counter("engine.array_memo.hits")
+        self._array_misses = self.metrics.counter("engine.array_memo.misses")
+
+    @property
+    def array_hits(self) -> int:
+        return self._array_hits.value
+
+    @array_hits.setter
+    def array_hits(self, value: int) -> None:
+        self._array_hits.value = value
+
+    @property
+    def array_misses(self) -> int:
+        return self._array_misses.value
+
+    @array_misses.setter
+    def array_misses(self, value: int) -> None:
+        self._array_misses.value = value
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -155,16 +179,19 @@ def _bind_all(
         by_hash[compiled.spec_hash] = compiled
     for spec_hash, members in groups.items():
         compiled = by_hash[spec_hash]
-        if len(members) == 1:
-            i = members[0]
-            chains[i] = compiled.bind(envs[i])
-            continue
-        stacked = {
-            name: np.array([envs[i][name] for i in members])
-            for name in compiled.spec.param_names
-        }
-        for i, chain in zip(members, compiled.bind_batch(stacked)):
-            chains[i] = chain
+        with obs.span(
+            "solve.bind", spec=spec_hash[:12], points=len(members)
+        ):
+            if len(members) == 1:
+                i = members[0]
+                chains[i] = compiled.bind(envs[i])
+                continue
+            stacked = {
+                name: np.array([envs[i][name] for i in members])
+                for name in compiled.spec.param_names
+            }
+            for i, chain in zip(members, compiled.bind_batch(stacked)):
+                chains[i] = chain
     return chains  # type: ignore[return-value]
 
 
@@ -191,15 +218,20 @@ def mttdl_batched(chains: Sequence[CTMC]) -> List[float]:
         )
         groups.setdefault(signature, []).append(i)
     for signature, members in groups.items():
-        transient = list(signature[1])
-        init_pos = transient.index(signature[3])
-        a, b, _ = CTMC.stacked_absorption_system([chains[i] for i in members])
-        n = a.shape[1]
-        rhs = np.broadcast_to(np.eye(n), (len(members), n, n)).copy()
-        fundamental = gth_solve_batched(a, b, rhs)
-        taus = fundamental[:, init_pos, :]
-        for j, i in enumerate(members):
-            results[i] = float(taus[j].sum())
+        with obs.span(
+            "solve.gth", states=len(signature[0]), points=len(members)
+        ):
+            transient = list(signature[1])
+            init_pos = transient.index(signature[3])
+            a, b, _ = CTMC.stacked_absorption_system(
+                [chains[i] for i in members]
+            )
+            n = a.shape[1]
+            rhs = np.broadcast_to(np.eye(n), (len(members), n, n)).copy()
+            fundamental = gth_solve_batched(a, b, rhs)
+            taus = fundamental[:, init_pos, :]
+            for j, i in enumerate(members):
+                results[i] = float(taus[j].sum())
     return results  # type: ignore[return-value]
 
 
@@ -219,25 +251,30 @@ def evaluate_chunk(
     bind_compiled: List[CompiledChain] = []
     bind_envs: List[Dict[str, float]] = []
     chain_slots: List[int] = []
-    for i, (config, params, method) in enumerate(tasks):
-        if method == "closed_form":
-            if config.internal is InternalRaid.NONE:
-                mttdls[i] = config.mttdl_hours(params, "approx")
+    with obs.span("solve.prepare", tasks=len(tasks)):
+        # "prepare" covers per-task model construction, the array-rates
+        # memo, and the closed-form evaluations that finish inline.
+        for i, (config, params, method) in enumerate(tasks):
+            if method == "closed_form":
+                if config.internal is InternalRaid.NONE:
+                    mttdls[i] = config.mttdl_hours(params, "approx")
+                else:
+                    model = InternalRaidNodeModel(
+                        params,
+                        config.internal,
+                        config.node_fault_tolerance,
+                        array_rates=_array_rates_for(config, params, ctx),
+                    )
+                    mttdls[i] = model.mttdl_approx()
+            elif method == "analytic":
+                spec, env = _spec_and_env(config, params, ctx)
+                bind_compiled.append(ctx.specs.get_or_compile(spec))
+                bind_envs.append(env)
+                chain_slots.append(i)
             else:
-                model = InternalRaidNodeModel(
-                    params,
-                    config.internal,
-                    config.node_fault_tolerance,
-                    array_rates=_array_rates_for(config, params, ctx),
+                raise ValueError(
+                    f"evaluate_chunk cannot handle method {method!r}"
                 )
-                mttdls[i] = model.mttdl_approx()
-        elif method == "analytic":
-            spec, env = _spec_and_env(config, params, ctx)
-            bind_compiled.append(ctx.specs.get_or_compile(spec))
-            bind_envs.append(env)
-            chain_slots.append(i)
-        else:
-            raise ValueError(f"evaluate_chunk cannot handle method {method!r}")
     if chain_slots:
         chains = _bind_all(bind_compiled, bind_envs)
         for i, mttdl in zip(chain_slots, mttdl_batched(chains)):
@@ -247,11 +284,28 @@ def evaluate_chunk(
 
 def _worker_evaluate(
     tasks: Sequence[Tuple[Configuration, Parameters, str]],
+    tracing: bool = False,
 ) -> Tuple[List[float], Dict[str, object]]:
     """Process-pool entry point: evaluate a chunk with a fresh context and
-    report the counters (and compiled spec hashes) back for aggregation."""
+    report the counters (and compiled spec hashes) back for aggregation.
+
+    When the parent runs traced it passes ``tracing=True`` (via a
+    ``functools.partial``, so the callable stays picklable): the worker
+    then records its spans into a fresh local tracer and ships the
+    finished spans back in the stats dict under ``"spans"`` — the parent
+    re-parents them under its dispatch span, so a pooled sweep's span
+    tree matches the in-process one worker-for-chunk.
+    """
     ctx = SolveContext()
-    results = evaluate_chunk(tasks, ctx)
+    if tracing:
+        with obs.capture_spans() as shipped:
+            with obs.span("engine.worker", tasks=len(tasks)):
+                results = evaluate_chunk(tasks, ctx)
+    else:
+        shipped = None
+        results = evaluate_chunk(tasks, ctx)
     stats: Dict[str, object] = dict(ctx.stats())
     stats["spec_hashes"] = ctx.spec_hashes()
+    if shipped is not None:
+        stats["spans"] = shipped
     return results, stats

@@ -19,8 +19,9 @@ Typical use::
 
 from __future__ import annotations
 
+import functools
 import itertools
-import sys
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
@@ -28,7 +29,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 from ..models.configurations import Configuration
 from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR, ReliabilityResult
 from ..models.parameters import Parameters
-from .. import __version__
+from .. import __version__, obs
 from ..reporting import Series
 from .cache import DEFAULT_CACHE_DIR, DiskCache
 from .keys import point_key
@@ -105,8 +106,14 @@ class SweepEngine:
             :class:`DiskCache` instance.
         method: default evaluation method ("analytic" or "closed_form";
             "exact"/"approx" accepted as aliases).
-        verbose: print cache/spec counters to stderr after each batch.
+        verbose: deprecated — emit a one-line counter report through the
+            :mod:`repro.obs` reporter after each batch.  Prefer the CLI
+            ``--report`` flag (or :func:`repro.obs.trace`) for the full
+            per-phase run report.
     """
+
+    #: Worker-side counter names folded into provenance snapshots.
+    _WORKER_COUNTERS = ("spec_hits", "spec_misses", "array_hits", "array_misses")
 
     def __init__(
         self,
@@ -117,6 +124,14 @@ class SweepEngine:
         method: str = "analytic",
         verbose: bool = False,
     ) -> None:
+        if verbose:
+            warnings.warn(
+                "SweepEngine(verbose=True) is deprecated; use the CLI "
+                "--report flag or repro.obs.trace(report=True) for the "
+                "per-phase run report",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._base = base_params if base_params is not None else Parameters.baseline()
         self._jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self._method = normalize_method(method)
@@ -130,12 +145,14 @@ class SweepEngine:
         else:
             self._cache = None
         self._ctx = SolveContext()
-        # Counters from pooled workers, folded into provenance snapshots.
+        # Engine-level metrics: batch tallies plus the counters shipped
+        # back by pooled workers (folded into provenance snapshots).
+        self.metrics = obs.Metrics()
+        self._points_counter = self.metrics.counter("engine.points")
+        self._batches_counter = self.metrics.counter("engine.batches")
         self._worker_stats = {
-            "spec_hits": 0,
-            "spec_misses": 0,
-            "array_hits": 0,
-            "array_misses": 0,
+            name: self.metrics.counter(f"engine.pool.{name}")
+            for name in self._WORKER_COUNTERS
         }
         # Spec hashes compiled by pooled workers (the in-process hashes
         # live in self._ctx.specs).
@@ -160,6 +177,7 @@ class SweepEngine:
     def provenance(self, method: Optional[str] = None) -> EngineProvenance:
         """A snapshot of the engine's settings and cumulative counters."""
         local = self._ctx.stats()
+        pool = {name: c.value for name, c in self._worker_stats.items()}
         hashes = set(self._ctx.spec_hashes()) | self._worker_spec_hashes
         return EngineProvenance(
             method=normalize_method(method) if method else self._method,
@@ -167,14 +185,28 @@ class SweepEngine:
             cache_enabled=self._cache is not None,
             cache_hits=self._cache.hits if self._cache else 0,
             cache_misses=self._cache.misses if self._cache else 0,
-            spec_hits=local["spec_hits"] + self._worker_stats["spec_hits"],
-            spec_misses=local["spec_misses"] + self._worker_stats["spec_misses"],
-            array_hits=local["array_hits"] + self._worker_stats["array_hits"],
-            array_misses=local["array_misses"]
-            + self._worker_stats["array_misses"],
+            spec_hits=local["spec_hits"] + pool["spec_hits"],
+            spec_misses=local["spec_misses"] + pool["spec_misses"],
+            array_hits=local["array_hits"] + pool["array_hits"],
+            array_misses=local["array_misses"] + pool["array_misses"],
             spec_hashes=tuple(sorted(hashes)),
             engine=f"repro.engine/{__version__}",
         )
+
+    def metrics_snapshot(self) -> obs.Metrics:
+        """Every counter this engine touched, merged into one registry.
+
+        Folds the engine's own tallies (batches, points, pooled-worker
+        counters), the disk cache's registry and the in-process solve
+        context's registry (compiled-spec cache + array memo) — the
+        ``metrics.json`` payload for a sweep run.
+        """
+        merged = obs.Metrics()
+        merged.merge(self.metrics)
+        merged.merge(self._ctx.metrics)
+        if self._cache is not None:
+            merged.merge(self._cache.metrics)
+        return merged
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -215,57 +247,82 @@ class SweepEngine:
                 "repro.sim.estimate_mttdl for simulation"
             )
         pairs = list(pairs)
-        mttdls: List[Optional[float]] = [None] * len(pairs)
+        with obs.span(
+            "engine.evaluate_many", points=len(pairs), method=method
+        ) as batch_span:
+            self._batches_counter.inc()
+            self._points_counter.inc(len(pairs))
+            mttdls: List[Optional[float]] = [None] * len(pairs)
 
-        miss_indices: List[int] = []
-        miss_keys: List[Optional[str]] = []
-        if self._cache is not None:
-            for i, (config, params) in enumerate(pairs):
-                key = point_key(config, params, method)
-                payload = self._cache.get(key)
-                if payload is not None and point_payload_valid(payload):
-                    mttdls[i] = float(payload["mttdl_hours"])
-                else:
-                    miss_indices.append(i)
-                    miss_keys.append(key)
-        else:
-            miss_indices = list(range(len(pairs)))
-            miss_keys = [None] * len(pairs)
-
-        tasks = [
-            (pairs[i][0], pairs[i][1], method) for i in miss_indices
-        ]
-        if tasks:
-            # When the pool cannot help (one job, a tiny batch, or a
-            # single-CPU host) stay in-process so the engine's persistent
-            # memos keep paying off across batches.
-            if should_pool(self._jobs, len(tasks)):
-                chunks = split_chunks(tasks, self._jobs)
-                outputs = run_chunks(_worker_evaluate, chunks, self._jobs)
-                computed = [m for out in outputs for m in out[0]]
-                for _, stats in outputs:
-                    stats = dict(stats)
-                    self._worker_spec_hashes.update(
-                        stats.pop("spec_hashes", ())
-                    )
-                    for name, value in stats.items():
-                        self._worker_stats[name] += value
+            miss_indices: List[int] = []
+            miss_keys: List[Optional[str]] = []
+            if self._cache is not None:
+                with obs.span("engine.cache.lookup", points=len(pairs)):
+                    for i, (config, params) in enumerate(pairs):
+                        key = point_key(config, params, method)
+                        payload = self._cache.get(key)
+                        if payload is not None and point_payload_valid(payload):
+                            mttdls[i] = float(payload["mttdl_hours"])
+                        else:
+                            miss_indices.append(i)
+                            miss_keys.append(key)
             else:
-                computed = evaluate_chunk(tasks, self._ctx)
-            for slot, key, mttdl in zip(miss_indices, miss_keys, computed):
-                mttdls[slot] = mttdl
-                if self._cache is not None and key is not None:
-                    self._cache.put(key, {"mttdl_hours": mttdl})
+                miss_indices = list(range(len(pairs)))
+                miss_keys = [None] * len(pairs)
 
-        results = [
-            ReliabilityResult.from_mttdl(mttdl, params)
-            for mttdl, (_, params) in zip(mttdls, pairs)
-        ]
+            tasks = [
+                (pairs[i][0], pairs[i][1], method) for i in miss_indices
+            ]
+            if tasks:
+                # When the pool cannot help (one job, a tiny batch, or a
+                # single-CPU host) stay in-process so the engine's persistent
+                # memos keep paying off across batches.
+                pooled = should_pool(self._jobs, len(tasks))
+                with obs.span(
+                    "engine.dispatch", tasks=len(tasks), pooled=pooled
+                ):
+                    if pooled:
+                        worker = (
+                            functools.partial(_worker_evaluate, tracing=True)
+                            if obs.tracing_active()
+                            else _worker_evaluate
+                        )
+                        chunks = split_chunks(tasks, self._jobs)
+                        outputs = run_chunks(worker, chunks, self._jobs)
+                        computed = [m for out in outputs for m in out[0]]
+                        for _, stats in outputs:
+                            stats = dict(stats)
+                            self._worker_spec_hashes.update(
+                                stats.pop("spec_hashes", ())
+                            )
+                            # Worker spans re-parent under the dispatch
+                            # span, so pooled and in-process runs grow
+                            # the same tree shape.
+                            obs.adopt_spans(stats.pop("spans", ()))
+                            for name, value in stats.items():
+                                self._worker_stats[name].inc(value)
+                    else:
+                        with obs.span("engine.worker", tasks=len(tasks)):
+                            computed = evaluate_chunk(tasks, self._ctx)
+                for slot, key, mttdl in zip(miss_indices, miss_keys, computed):
+                    mttdls[slot] = mttdl
+                if self._cache is not None:
+                    with obs.span(
+                        "engine.cache.store", points=len(miss_indices)
+                    ):
+                        for key, mttdl in zip(miss_keys, computed):
+                            if key is not None:
+                                self._cache.put(key, {"mttdl_hours": mttdl})
+
+            results = [
+                ReliabilityResult.from_mttdl(mttdl, params)
+                for mttdl, (_, params) in zip(mttdls, pairs)
+            ]
+            batch_span.set("cache_hits", len(pairs) - len(miss_indices))
         if self._verbose:
-            print(
+            obs.reporter().emit(
                 f"[repro.engine] {len(pairs)} points; "
-                + self.provenance(method).describe(),
-                file=sys.stderr,
+                + self.provenance(method).describe()
             )
         return results
 

@@ -1,0 +1,306 @@
+"""Exporters: JSONL traces, ``metrics.json``, and the human run report.
+
+Three output forms, all derived from the same finished-span dicts:
+
+* :func:`write_trace` — one JSON object per line: a header line
+  (``{"type": "trace", "version": 1, ...}``) followed by one ``span``
+  line per finished span.  :func:`validate_trace` is the matching schema
+  check (used by tests and the CI trace-wellformedness leg).
+* :func:`write_metrics` — a flat ``{name: value}`` JSON file from a
+  :class:`~repro.obs.metrics.Metrics` registry.
+* :func:`render_report` — the per-phase time tree plus the top-N hot
+  spans, aggregated by span name at each tree position.
+
+Note on pooled runs: spans shipped from concurrent workers overlap in
+wall time, so a parent's children may sum to more than the parent's own
+wall clock — percentages above 100% mean parallelism, not an error.
+:func:`tree_coverage` (children wall over root wall, clamped to 1.0) is
+the acceptance metric for "the trace explains the run".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import Metrics
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceFormatError",
+    "render_report",
+    "tree_coverage",
+    "validate_trace",
+    "write_metrics",
+    "write_trace",
+]
+
+#: Bump when the trace line schema changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+_REQUIRED_SPAN_FIELDS = {
+    "span_id": str,
+    "name": str,
+    "start_unix": (int, float),
+    "wall_s": (int, float),
+    "cpu_s": (int, float),
+    "pid": int,
+    "attrs": dict,
+}
+
+
+class TraceFormatError(ValueError):
+    """Raised by :func:`validate_trace` for a malformed trace file."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values to something ``json`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def write_trace(
+    spans: Sequence[Mapping[str, Any]],
+    path: str,
+    *,
+    generator: str = "repro.obs",
+) -> None:
+    """Write a JSONL trace: one header line, then one line per span."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "type": "trace",
+                    "version": TRACE_FORMAT_VERSION,
+                    "generator": generator,
+                    "spans": len(spans),
+                }
+            )
+            + "\n"
+        )
+        for span in spans:
+            record = dict(span)
+            record["attrs"] = _jsonable(record.get("attrs", {}))
+            record.setdefault("type", "span")
+            fh.write(json.dumps(record) + "\n")
+
+
+def validate_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse and schema-check a JSONL trace; returns the span dicts.
+
+    Raises:
+        TraceFormatError: on any malformation — unparseable line, missing
+            header, bad field types, duplicate span ids, a parent
+            reference that resolves nowhere, or a parent cycle.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise TraceFormatError(f"{path}: empty trace")
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: invalid JSON ({exc})")
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"{path}:{lineno}: line is not an object")
+        records.append(record)
+    header, spans = records[0], records[1:]
+    if header.get("type") != "trace":
+        raise TraceFormatError(f"{path}:1: first line must be the trace header")
+    if header.get("version") != TRACE_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}:1: unsupported trace version {header.get('version')!r}"
+        )
+    seen = set()
+    for i, span in enumerate(spans, start=2):
+        if span.get("type") != "span":
+            raise TraceFormatError(f"{path}:{i}: expected a span line")
+        for field, types in _REQUIRED_SPAN_FIELDS.items():
+            value = span.get(field)
+            if not isinstance(value, types) or isinstance(value, bool):
+                raise TraceFormatError(
+                    f"{path}:{i}: span field {field!r} is "
+                    f"{type(value).__name__}, not {types}"
+                )
+        if span["wall_s"] < 0 or span["cpu_s"] < 0:
+            raise TraceFormatError(f"{path}:{i}: negative span duration")
+        if span["span_id"] in seen:
+            raise TraceFormatError(
+                f"{path}:{i}: duplicate span id {span['span_id']!r}"
+            )
+        seen.add(span["span_id"])
+        parent = span.get("parent_id")
+        if parent is not None and not isinstance(parent, str):
+            raise TraceFormatError(f"{path}:{i}: parent_id must be str or null")
+    by_id = {span["span_id"]: span for span in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            raise TraceFormatError(
+                f"{path}: span {span['span_id']} references missing parent "
+                f"{parent!r}"
+            )
+        # Walk to a root; ids are unique so a revisit means a cycle.
+        hops, node = set(), span
+        while node.get("parent_id") is not None:
+            if node["span_id"] in hops:
+                raise TraceFormatError(
+                    f"{path}: parent cycle through {span['span_id']}"
+                )
+            hops.add(node["span_id"])
+            node = by_id[node["parent_id"]]
+    return spans
+
+
+def write_metrics(metrics: Metrics, path: str) -> None:
+    """Write the flat ``metrics.json`` snapshot of a registry."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# --------------------------------------------------------------------- #
+# the run report
+# --------------------------------------------------------------------- #
+
+
+def _children_index(
+    spans: Sequence[Mapping[str, Any]],
+) -> Tuple[List[Mapping[str, Any]], Dict[Optional[str], List[Mapping[str, Any]]]]:
+    """(roots, parent_id -> children) with unresolvable parents as roots."""
+    ids = {span["span_id"] for span in spans}
+    roots: List[Mapping[str, Any]] = []
+    children: Dict[Optional[str], List[Mapping[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is None or parent not in ids:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+    return roots, children
+
+
+def tree_coverage(spans: Sequence[Mapping[str, Any]]) -> float:
+    """How much of the longest root span its children explain (0..1).
+
+    The acceptance metric for "the span tree covers the run": the wall
+    time of the longest root's direct children divided by the root's own
+    wall time, clamped to 1.0 (pooled children overlap in wall time).
+    """
+    roots, children = _children_index(spans)
+    if not roots:
+        return 0.0
+    root = max(roots, key=lambda s: s["wall_s"])
+    if root["wall_s"] <= 0.0:
+        return 0.0
+    covered = sum(c["wall_s"] for c in children.get(root["span_id"], ()))
+    return min(1.0, covered / root["wall_s"])
+
+
+class _Agg:
+    """One aggregated tree node: all same-named spans at one position."""
+
+    __slots__ = ("name", "wall", "cpu", "count", "child_wall", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.count = 0
+        self.child_wall = 0.0
+        self.children: Dict[str, _Agg] = {}
+
+
+def _aggregate(
+    members: Sequence[Mapping[str, Any]],
+    name: str,
+    children: Dict[Optional[str], List[Mapping[str, Any]]],
+) -> _Agg:
+    node = _Agg(name)
+    grouped: Dict[str, List[Mapping[str, Any]]] = {}
+    for span in members:
+        node.wall += span["wall_s"]
+        node.cpu += span["cpu_s"]
+        node.count += 1
+        for child in children.get(span["span_id"], ()):
+            grouped.setdefault(child["name"], []).append(child)
+    for child_name in sorted(
+        grouped, key=lambda n: -sum(s["wall_s"] for s in grouped[n])
+    ):
+        child = _aggregate(grouped[child_name], child_name, children)
+        node.child_wall += child.wall
+        node.children[child_name] = child
+    return node
+
+
+def _self_times(node: _Agg, acc: Dict[str, List[float]]) -> None:
+    entry = acc.setdefault(node.name, [0.0, 0])
+    entry[0] += max(0.0, node.wall - node.child_wall)
+    entry[1] += node.count
+    for child in node.children.values():
+        _self_times(child, acc)
+
+
+def render_report(
+    spans: Sequence[Mapping[str, Any]],
+    *,
+    top: int = 10,
+) -> str:
+    """The human-readable run report: time tree plus hot spans.
+
+    The tree aggregates spans by name at each position (so 27 sibling
+    ``solve.gth`` spans render as one ``×27`` row); percentages are
+    relative to the total root wall time and can exceed 100% under
+    process-pool parallelism.
+    """
+    if not spans:
+        return "run report: no spans recorded"
+    roots, children = _children_index(spans)
+    grouped_roots: Dict[str, List[Mapping[str, Any]]] = {}
+    for root in roots:
+        grouped_roots.setdefault(root["name"], []).append(root)
+    total_wall = sum(r["wall_s"] for r in roots)
+    processes = len({span["pid"] for span in spans})
+    lines = [
+        f"run report — {len(spans)} spans, "
+        f"{processes} process{'es' if processes != 1 else ''}, "
+        f"root wall {total_wall:.3f}s"
+    ]
+    lines.append("")
+    lines.append("span tree (wall time):")
+
+    def emit(node: _Agg, depth: int) -> None:
+        pct = 100.0 * node.wall / total_wall if total_wall > 0 else 0.0
+        label = "  " * depth + node.name
+        lines.append(
+            f"  {label:<44} {node.wall:>9.3f}s {pct:>6.1f}%  ×{node.count}"
+        )
+        for child in node.children.values():
+            emit(child, depth + 1)
+
+    aggregated = [
+        _aggregate(members, name, children)
+        for name, members in grouped_roots.items()
+    ]
+    for node in sorted(aggregated, key=lambda n: -n.wall):
+        emit(node, 0)
+    coverage = tree_coverage(spans)
+    lines.append("")
+    lines.append(f"coverage: {100.0 * coverage:.1f}% of root wall time in child spans")
+
+    acc: Dict[str, List[float]] = {}
+    for node in aggregated:
+        _self_times(node, acc)
+    hot = sorted(acc.items(), key=lambda item: -item[1][0])[: max(0, top)]
+    lines.append("")
+    lines.append(f"hot spans (self wall time, top {len(hot)}):")
+    for name, (self_wall, count) in hot:
+        lines.append(f"  {name:<44} {self_wall:>9.3f}s  ×{int(count)}")
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""Metrics: counters, gauges and histograms with associative merging.
+
+A :class:`Metrics` registry owns named instruments.  Components that used
+to carry ad-hoc integer attributes (``DiskCache.hits``,
+``ChainStructureMemo.structure_rebuilds``, ``CompiledSpecCache.misses``,
+the sweep engine's pooled-worker tallies) now create their counters in a
+registry and expose the old attributes as read-through properties — the
+numbers are identical, but every registry can be merged into one flat
+``metrics.json`` snapshot at the end of a run.
+
+Merging is **associative and commutative** (guarded by
+``tests/obs/test_metrics.py``), so per-worker registries can be folded in
+any order — chunk arrival order, pool size and broken-pool recoveries
+cannot change the exported totals:
+
+* counters add,
+* histograms combine ``(count, sum, min, max)`` componentwise,
+* gauges keep the value with the largest update version (ties resolve to
+  the larger value, keeping the merge order-free).
+
+Instrument creation uses ``dict.setdefault`` so concurrent get-or-create
+races resolve to one instrument; increments on a single instrument are
+plain attribute updates (each instrument is owned by one component).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GLOBAL_METRICS",
+    "Histogram",
+    "Metrics",
+    "global_metrics",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically-increasing (by convention) integer tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value instrument; merges keep the most recent update."""
+
+    __slots__ = ("name", "value", "version")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.version = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        self.version += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A streaming summary: count, sum, min, max of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4g})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class Metrics:
+    """A registry of named instruments with snapshot/merge/export.
+
+    Names are dotted, lowercase, and globally meaningful (the taxonomy
+    lives in docs/observability.md); one registry never holds two
+    instruments of different kinds under one name.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    # -- get-or-create -------------------------------------------------- #
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            # setdefault keeps concurrent creators converging on one object.
+            instrument = self._instruments.setdefault(name, cls(name))
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- inspection ----------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list:
+        return sorted(self._instruments)
+
+    def value(self, name: str, default: Optional[Number] = None) -> Any:
+        """The current value of a counter/gauge (histograms return their
+        mean); ``default`` when the instrument does not exist."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        if isinstance(instrument, Histogram):
+            return instrument.mean
+        return instrument.value
+
+    # -- snapshot / merge ----------------------------------------------- #
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A typed, JSON-serializable snapshot (the cross-process wire
+        form: workers ship this, parents merge it)."""
+        counters: Dict[str, Number] = {}
+        gauges: Dict[str, list] = {}
+        histograms: Dict[str, list] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = [instrument.value, instrument.version]
+            else:
+                histograms[name] = [
+                    instrument.count,
+                    instrument.total,
+                    instrument.min,
+                    instrument.max,
+                ]
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Dict[str, Any]]) -> "Metrics":
+        """Fold a :meth:`snapshot` into this registry (associatively)."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, (value, version) in snap.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if (version, value) > (gauge.version, gauge.value):
+                gauge.value = value
+                gauge.version = version
+        for name, (count, total, lo, hi) in snap.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += count
+            hist.total += total
+            if lo < hist.min:
+                hist.min = lo
+            if hi > hist.max:
+                hist.max = hi
+        return self
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold another registry into this one; returns self."""
+        return self.merge_snapshot(other.snapshot())
+
+    @classmethod
+    def merged(cls, registries: Iterable["Metrics"]) -> "Metrics":
+        """A fresh registry holding the fold of ``registries``."""
+        out = cls()
+        for registry in registries:
+            out.merge(registry)
+        return out
+
+    # -- export --------------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The flat export form (``metrics.json``): counters and gauges
+        map name -> value; histograms flatten to ``name.count`` /
+        ``name.sum`` / ``name.min`` / ``name.max`` / ``name.mean``."""
+        flat: Dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                flat[f"{name}.count"] = instrument.count
+                flat[f"{name}.sum"] = instrument.total
+                if instrument.count:
+                    flat[f"{name}.min"] = instrument.min
+                    flat[f"{name}.max"] = instrument.max
+                    flat[f"{name}.mean"] = instrument.mean
+            else:
+                flat[name] = instrument.value
+        return flat
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Metrics({len(self._instruments)} instruments)"
+
+
+#: The process-global registry for cross-cutting counters (simulation
+#: replica tallies, verification check counts, span totals).  Component
+#: caches keep instance-local registries and are merged in at export time.
+GLOBAL_METRICS = Metrics()
+
+
+def global_metrics() -> Metrics:
+    """The process-global :class:`Metrics` registry."""
+    return GLOBAL_METRICS

@@ -1,0 +1,54 @@
+"""The serialized progress reporter.
+
+Engine ``verbose`` output used to ``print`` straight to ``sys.stderr``
+from wherever a batch finished, so two engines (or a traced run and a
+progress line) could interleave mid-line.  :class:`Reporter` funnels
+every progress line through one lock: a line is emitted atomically, and
+the stream is resolved at emit time so test harnesses that swap
+``sys.stderr`` (pytest's capsys) see the output.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Optional, TextIO
+
+__all__ = ["Reporter", "reporter", "set_reporter"]
+
+
+class Reporter:
+    """Thread-safe line-at-a-time progress output.
+
+    Args:
+        stream: destination; None means "``sys.stderr`` at emit time".
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def emit(self, message: str) -> None:
+        """Write one complete line, atomically, flushed."""
+        with self._lock:
+            print(message, file=self.stream, flush=True)
+
+
+_reporter = Reporter()
+
+
+def reporter() -> Reporter:
+    """The process-global reporter every progress line routes through."""
+    return _reporter
+
+
+def set_reporter(new: Reporter) -> Reporter:
+    """Replace the global reporter; returns the old one (for tests)."""
+    global _reporter
+    previous = _reporter
+    _reporter = new
+    return previous

@@ -17,9 +17,12 @@ so re-running the harness is instant; ``--no-cache`` bypasses that.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
+from .. import obs
+from ..cli_common import add_observability_arguments, observed_session
 from ..engine.cache import DiskCache
 from ..engine.keys import point_key
 from ..engine.pool import default_jobs
@@ -76,6 +79,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="report jobs and cache hit rates on stderr",
     )
+    add_observability_arguments(parser)
     args = parser.parse_args(argv)
     if args.replicas < 2:
         parser.error("need at least 2 replicas")
@@ -88,39 +92,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         node_set_size=args.nodes, redundancy_set_size=8
     )
     acc = accelerated_parameters(base, failure_scale=args.scale)
-    print(
-        f"acceleration x{args.scale:g}: drive MTTF {acc.drive_mttf_hours:.0f} h, "
-        f"node MTTF {acc.node_mttf_hours:.0f} h; N = {acc.node_set_size}; "
-        f"{args.replicas} replicas\n"
-    )
-    print(f"{'configuration':<26} {'simulated (h)':>14} {'chain (h)':>12} {'z':>7}")
-    worst = 0.0
-    for config in DEFAULT_CASES:
-        mc = _estimate(config, acc, args.replicas, args.seed, jobs, cache)
-        if config.internal is InternalRaid.NONE:
-            analytic = config.mttdl_hours(acc)
-        else:
-            analytic = InternalRaidNodeModel(
-                acc,
-                config.internal,
-                config.node_fault_tolerance,
-                rates_method="exact",
-            ).mttdl_exact()
-        z = (analytic - mc.mean_hours) / mc.std_error_hours
-        worst = max(worst, abs(z))
+    session = observed_session(args, root="repro-validate")
+    with session if session is not None else contextlib.nullcontext():
+        if session is not None and cache is not None:
+            session.add_metrics_source(lambda: cache.metrics)
         print(
-            f"{config.label:<26} {mc.mean_hours:>14.4g} {analytic:>12.4g} "
-            f"{z:>+7.2f}"
+            f"acceleration x{args.scale:g}: drive MTTF {acc.drive_mttf_hours:.0f} h, "
+            f"node MTTF {acc.node_mttf_hours:.0f} h; N = {acc.node_set_size}; "
+            f"{args.replicas} replicas\n"
         )
-    print(f"\nworst |z| = {worst:.2f} "
-          f"({'OK' if worst < 4 else 'investigate — beyond sampling error'})")
-    if args.verbose:
-        cache_note = (
-            f"disk cache {cache.hits} hits / {cache.misses} misses"
-            if cache is not None
-            else "disk cache off"
-        )
-        print(f"[repro-validate] jobs={jobs}; {cache_note}", file=sys.stderr)
+        print(f"{'configuration':<26} {'simulated (h)':>14} {'chain (h)':>12} {'z':>7}")
+        worst = 0.0
+        for config in DEFAULT_CASES:
+            with obs.span("validate.case", config=config.key) as case_span:
+                mc = _estimate(config, acc, args.replicas, args.seed, jobs, cache)
+                if config.internal is InternalRaid.NONE:
+                    analytic = config.mttdl_hours(acc)
+                else:
+                    analytic = InternalRaidNodeModel(
+                        acc,
+                        config.internal,
+                        config.node_fault_tolerance,
+                        rates_method="exact",
+                    ).mttdl_exact()
+                z = (analytic - mc.mean_hours) / mc.std_error_hours
+                case_span.set("z", z)
+            worst = max(worst, abs(z))
+            print(
+                f"{config.label:<26} {mc.mean_hours:>14.4g} {analytic:>12.4g} "
+                f"{z:>+7.2f}"
+            )
+        print(f"\nworst |z| = {worst:.2f} "
+              f"({'OK' if worst < 4 else 'investigate — beyond sampling error'})")
+        if args.verbose:
+            cache_note = (
+                f"disk cache {cache.hits} hits / {cache.misses} misses"
+                if cache is not None
+                else "disk cache off"
+            )
+            print(f"[repro-validate] jobs={jobs}; {cache_note}", file=sys.stderr)
     return 0 if worst < 4 else 1
 
 

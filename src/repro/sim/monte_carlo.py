@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..engine.pool import run_chunks, split_chunks
 from ..models.configurations import Configuration
 from ..models.parameters import Parameters
@@ -128,6 +129,18 @@ def _run_replica_chunk(
     return [_run_replica(task) for task in tasks]
 
 
+def _run_replica_chunk_traced(
+    tasks: List[Tuple[Configuration, Parameters, int, int, str, int]],
+) -> Tuple[List[Tuple[float, str]], List[dict]]:
+    """Traced pool entry point: run a replica block under a local tracer
+    and ship the finished spans back for re-parenting (same protocol as
+    the sweep engine's traced workers)."""
+    with obs.capture_spans() as shipped:
+        with obs.span("sim.replica_chunk", replicas=len(tasks)):
+            samples = [_run_replica(task) for task in tasks]
+    return samples, shipped
+
+
 def estimate_mttdl(
     config: Configuration,
     params: Parameters,
@@ -160,23 +173,39 @@ def estimate_mttdl(
         (config, params, seed, i, repair_distribution, max_events_per_replica)
         for i in range(replicas)
     ]
-    chunks = split_chunks(tasks, max(1, jobs))
-    outputs = run_chunks(_run_replica_chunk, chunks, max(1, jobs))
-    times = np.empty(replicas)
-    causes: dict = {}
-    for i, (time_hours, cause) in enumerate(
-        sample for chunk in outputs for sample in chunk
+    with obs.span(
+        "sim.estimate_mttdl", config=config.key, replicas=replicas, jobs=jobs
     ):
-        times[i] = time_hours
-        causes[cause] = causes.get(cause, 0) + 1
-    mean = float(times.mean())
-    sem = float(times.std(ddof=1) / math.sqrt(replicas))
-    return MonteCarloResult(
-        mean_hours=mean,
-        std_error_hours=sem,
-        replicas=replicas,
-        loss_causes=tuple(sorted(causes.items())),
-    )
+        chunks = split_chunks(tasks, max(1, jobs))
+        traced = obs.tracing_active()
+        with obs.span("sim.replicas", chunks=len(chunks)):
+            if traced:
+                outputs = []
+                for samples, spans in run_chunks(
+                    _run_replica_chunk_traced, chunks, max(1, jobs)
+                ):
+                    obs.adopt_spans(spans)
+                    outputs.append(samples)
+            else:
+                outputs = run_chunks(_run_replica_chunk, chunks, max(1, jobs))
+        times = np.empty(replicas)
+        causes: dict = {}
+        loss_hist = obs.global_metrics().histogram("sim.loss_hours")
+        for i, (time_hours, cause) in enumerate(
+            sample for chunk in outputs for sample in chunk
+        ):
+            times[i] = time_hours
+            loss_hist.observe(time_hours)
+            causes[cause] = causes.get(cause, 0) + 1
+        obs.global_metrics().counter("sim.replicas").inc(replicas)
+        mean = float(times.mean())
+        sem = float(times.std(ddof=1) / math.sqrt(replicas))
+        return MonteCarloResult(
+            mean_hours=mean,
+            std_error_hours=sem,
+            replicas=replicas,
+            loss_causes=tuple(sorted(causes.items())),
+        )
 
 
 @dataclass(frozen=True)
@@ -254,25 +283,30 @@ def estimate_event_rate(
 
     renew()
     remaining = max_events
-    while sim.now < horizon_hours and remaining > 0:
-        before = sim.events_processed
-        try:
-            sim.run(
-                until=horizon_hours,
-                max_events=remaining,
-                stop_when=lambda: process.has_lost_data,
-            )
-        except SimulationError:
-            # Kernel event budget exhausted: report what we measured so
-            # far over the time actually simulated.
-            horizon_hours = sim.now
-            break
-        remaining -= sim.events_processed - before
-        if process.has_lost_data and sim.now < horizon_hours:
-            events += 1
-            renew()  # instant restore, keep the clock running
-        else:
-            break
+    with obs.span(
+        "sim.event_rate", config=config.key, horizon_hours=horizon_hours
+    ) as rate_span:
+        while sim.now < horizon_hours and remaining > 0:
+            before = sim.events_processed
+            try:
+                sim.run(
+                    until=horizon_hours,
+                    max_events=remaining,
+                    stop_when=lambda: process.has_lost_data,
+                )
+            except SimulationError:
+                # Kernel event budget exhausted: report what we measured so
+                # far over the time actually simulated.
+                horizon_hours = sim.now
+                break
+            remaining -= sim.events_processed - before
+            if process.has_lost_data and sim.now < horizon_hours:
+                events += 1
+                renew()  # instant restore, keep the clock running
+            else:
+                break
+        rate_span.set("events", events)
+        rate_span.set("kernel_events", sim.events_processed)
     return EventRateResult(
         events=events,
         system_years=horizon_hours / HOURS_PER_YEAR,

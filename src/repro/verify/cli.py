@@ -8,6 +8,8 @@ Installed as ``repro-verify``::
     repro-verify --only raid-level-dominance --only mttdl-monotone-nft
     repro-verify --json report.json  # machine-readable violations report
     repro-verify --set node_set_size=128 --jobs 4
+    repro-verify --smoke --trace verify.jsonl --report
+                                     # per-invariant span trace + timing tree
 
 Exit status is 0 when every invariant held and 1 when anything was
 violated, so the command slots directly into CI.
@@ -16,10 +18,15 @@ violated, so the command slots directly into CI.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
-from ..cli_common import apply_param_overrides
+from ..cli_common import (
+    add_observability_arguments,
+    apply_param_overrides,
+    observed_session,
+)
 from ..models.parameters import Parameters
 from .lattice import make_context
 from .registry import REGISTRY
@@ -115,6 +122,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="suppress the human-readable report on stdout",
     )
+    add_observability_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -133,12 +141,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         mc_sigmas=args.sigmas,
         max_fault_tolerance=args.max_fault_tolerance,
     )
-    try:
-        report = REGISTRY.run(
-            ctx, names=args.only or None, tags=args.tag or None
-        )
-    except KeyError as exc:
-        parser.error(str(exc.args[0] if exc.args else exc))
+    session = observed_session(args, root="repro-verify")
+    with session if session is not None else contextlib.nullcontext():
+        if session is not None:
+            session.add_metrics_source(ctx.engine.metrics_snapshot)
+        try:
+            report = REGISTRY.run(
+                ctx, names=args.only or None, tags=args.tag or None
+            )
+        except KeyError as exc:
+            parser.error(str(exc.args[0] if exc.args else exc))
 
     if not args.quiet:
         print(report.format_text())

@@ -30,6 +30,7 @@ from typing import (
     Tuple,
 )
 
+from .. import obs
 from ..engine.sweep import SweepEngine
 from ..models.configurations import ALL_CONFIGURATIONS, Configuration
 from ..models.parameters import Parameters
@@ -123,7 +124,13 @@ class Invariant:
 
     def run(self, ctx: "VerifyContext") -> InvariantCheck:
         start = time.perf_counter()
-        checked, violations = self.check(ctx)
+        with obs.span("verify.invariant", invariant=self.name) as inv_span:
+            checked, violations = self.check(ctx)
+            inv_span.set("checked", checked)
+            inv_span.set("violations", len(violations))
+        metrics = obs.global_metrics()
+        metrics.counter("verify.checks").inc(checked)
+        metrics.counter("verify.violations").inc(len(violations))
         return InvariantCheck(
             name=self.name,
             description=self.description,
@@ -202,7 +209,8 @@ class VerifyContext:
                 for params in self.points
                 for config in self.configs
             ]
-            results = self.engine.evaluate_many(pairs, method=method)
+            with obs.span("verify.table", method=method, points=len(pairs)):
+                results = self.engine.evaluate_many(pairs, method=method)
             table = {}
             index = 0
             for i, _ in enumerate(self.points):

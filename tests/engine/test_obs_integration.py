@@ -1,0 +1,207 @@
+"""Engine × observability integration: span trees, bitwise safety,
+counter read-through.
+
+The hard guarantees under test:
+
+* tracing never changes a result bit (the engine's core promise extends
+  to instrumented runs);
+* a pooled run and a serial run grow *equivalent* span trees — the same
+  set of root-to-leaf name paths — because workers ship their spans home
+  and the parent re-parents them under its dispatch span;
+* the legacy counter attributes (``DiskCache.hits``,
+  ``CompiledSpecCache.misses``, ...) read through to the obs registries.
+"""
+
+import pytest
+
+import repro
+from repro import obs
+from repro.engine.pool import should_pool
+from repro.engine.sweep import SweepEngine
+from repro.obs.tracer import Tracer
+
+
+def sweep_pairs(n_points=3):
+    """9 configurations x n parameter points (enough to engage the pool)."""
+    base = repro.Parameters.baseline()
+    points = [
+        base.replace(drive_mttf_hours=mttf)
+        for mttf in (300_000.0, 500_000.0, 750_000.0)[:n_points]
+    ]
+    return [(c, p) for p in points for c in repro.ALL_CONFIGURATIONS]
+
+
+def run_engine(jobs, traced):
+    engine = SweepEngine(jobs=jobs)
+    pairs = sweep_pairs()
+    if not traced:
+        return engine.evaluate_many(pairs), []
+    tracer = Tracer()
+    with obs.use_tracer(tracer):
+        results = engine.evaluate_many(pairs)
+    return results, tracer.finished()
+
+
+def name_paths(spans):
+    """The set of root-to-span name paths (tree shape, count-free)."""
+    by_id = {s["span_id"]: s for s in spans}
+    paths = set()
+    for span in spans:
+        parts = []
+        node = span
+        while node is not None:
+            parts.append(node["name"])
+            node = by_id.get(node["parent_id"])
+        paths.add("/".join(reversed(parts)))
+    return paths
+
+
+class TestBitwiseSafety:
+    def test_tracing_does_not_change_results(self):
+        plain, _ = run_engine(jobs=1, traced=False)
+        traced, spans = run_engine(jobs=1, traced=True)
+        assert [r.mttdl_hours for r in plain] == [
+            r.mttdl_hours for r in traced
+        ]
+        assert spans  # and the traced run actually recorded something
+
+    def test_pooled_tracing_does_not_change_results(self):
+        plain, _ = run_engine(jobs=4, traced=False)
+        traced, _ = run_engine(jobs=4, traced=True)
+        assert [r.mttdl_hours for r in plain] == [
+            r.mttdl_hours for r in traced
+        ]
+
+
+class TestSpanTrees:
+    def test_serial_tree_shape(self):
+        _, spans = run_engine(jobs=1, traced=True)
+        paths = name_paths(spans)
+        assert "engine.evaluate_many" in paths
+        assert "engine.evaluate_many/engine.dispatch/engine.worker" in paths
+        assert (
+            "engine.evaluate_many/engine.dispatch/engine.worker/solve.prepare"
+            in paths
+        )
+        assert any(p.endswith("solve.bind") for p in paths)
+        assert any(p.endswith("solve.gth") for p in paths)
+
+    def test_pooled_and_serial_trees_equivalent(self):
+        """jobs=1 and jobs=4 record the same name-path set: shipped worker
+        spans re-parent under the dispatch span, so the tree shape does
+        not depend on where the work ran."""
+        _, serial = run_engine(jobs=1, traced=True)
+        _, pooled = run_engine(jobs=4, traced=True)
+        assert name_paths(serial) == name_paths(pooled)
+
+    def test_pooled_spans_reparented_under_dispatch(self):
+        if not should_pool(4, len(sweep_pairs())):
+            pytest.skip("host cannot pool (single CPU)")
+        _, spans = run_engine(jobs=4, traced=True)
+        by_id = {s["span_id"]: s for s in spans}
+        workers = [s for s in spans if s["name"] == "engine.worker"]
+        assert len(workers) > 1  # one per chunk
+        parents = {by_id[w["parent_id"]]["name"] for w in workers}
+        assert parents == {"engine.dispatch"}
+        # worker spans were produced in other processes
+        parent_pid = by_id[workers[0]["parent_id"]]["pid"]
+        assert {w["pid"] for w in workers} != {parent_pid}
+
+    def test_forced_pool_ships_worker_spans(self, monkeypatch):
+        """Even on a single-CPU host: force the pool on and check that
+        worker spans cross the process boundary and re-parent correctly,
+        with results bitwise equal to the serial run."""
+        import repro.engine.pool as pool_mod
+        import repro.engine.sweep as sweep_mod
+
+        forced = lambda jobs, total: jobs > 1 and total >= 8  # noqa: E731
+        monkeypatch.setattr(pool_mod, "should_pool", forced)
+        monkeypatch.setattr(sweep_mod, "should_pool", forced)
+
+        serial, serial_spans = run_engine(jobs=1, traced=True)
+        pooled, spans = run_engine(jobs=4, traced=True)
+        assert [r.mttdl_hours for r in serial] == [
+            r.mttdl_hours for r in pooled
+        ]
+        assert name_paths(serial_spans) == name_paths(spans)
+        by_id = {s["span_id"]: s for s in spans}
+        workers = [s for s in spans if s["name"] == "engine.worker"]
+        assert len(workers) > 1
+        assert {by_id[w["parent_id"]]["name"] for w in workers} == {
+            "engine.dispatch"
+        }
+        parent_pid = by_id[workers[0]["parent_id"]]["pid"]
+        assert {w["pid"] for w in workers} != {parent_pid}
+
+    def test_cache_spans_present_when_cache_enabled(self, tmp_path):
+        engine = SweepEngine(jobs=1, cache=str(tmp_path / "cache"))
+        tracer = Tracer()
+        with obs.use_tracer(tracer):
+            engine.evaluate_many(sweep_pairs())
+        names = {s["name"] for s in tracer.finished()}
+        assert "engine.cache.lookup" in names
+        assert "engine.cache.store" in names
+
+
+class TestCounterReadThrough:
+    def test_spec_cache_properties_match_registry(self):
+        engine = SweepEngine(jobs=1)
+        engine.evaluate_many(sweep_pairs())
+        ctx = engine._ctx
+        assert ctx.specs.hits == ctx.metrics.value("core.spec_cache.hits")
+        assert ctx.specs.misses == ctx.metrics.value("core.spec_cache.misses")
+        assert ctx.array_hits == ctx.metrics.value("engine.array_memo.hits")
+        assert ctx.specs.hits + ctx.specs.misses > 0
+
+    def test_disk_cache_properties_match_registry(self, tmp_path):
+        cache = repro.DiskCache(tmp_path / "cache")
+        cache.put("abc123", {"mttdl_hours": 1.0})
+        assert cache.get("abc123") == {"mttdl_hours": 1.0}
+        assert cache.get("facade0") is None
+        assert cache.hits == cache.metrics.value("engine.disk_cache.hits") == 1
+        assert (
+            cache.misses
+            == cache.metrics.value("engine.disk_cache.misses")
+            == 1
+        )
+
+    def test_engine_metrics_snapshot(self, tmp_path):
+        engine = SweepEngine(jobs=1, cache=str(tmp_path / "cache"))
+        pairs = sweep_pairs()
+        engine.evaluate_many(pairs)
+        flat = engine.metrics_snapshot().to_dict()
+        assert flat["engine.points"] == len(pairs)
+        assert flat["engine.batches"] == 1
+        assert flat["engine.disk_cache.misses"] == len(pairs)
+        assert "core.spec_cache.hits" in flat
+        # second batch: all disk hits
+        engine.evaluate_many(pairs)
+        flat = engine.metrics_snapshot().to_dict()
+        assert flat["engine.disk_cache.hits"] == len(pairs)
+
+    def test_pool_counters_folded(self):
+        if not should_pool(4, len(sweep_pairs())):
+            pytest.skip("host cannot pool (single CPU)")
+        engine = SweepEngine(jobs=4)
+        engine.evaluate_many(sweep_pairs())
+        flat = engine.metrics_snapshot().to_dict()
+        assert (
+            flat["engine.pool.spec_misses"] + flat["engine.pool.spec_hits"]
+            > 0
+        )
+        prov = engine.provenance()
+        assert prov.spec_misses == (
+            flat["engine.pool.spec_misses"] + flat["core.spec_cache.misses"]
+        )
+
+
+class TestVerboseDeprecation:
+    def test_verbose_warns(self):
+        with pytest.warns(DeprecationWarning, match="verbose"):
+            SweepEngine(jobs=1, verbose=True)
+
+    def test_default_does_not_warn(self, recwarn):
+        SweepEngine(jobs=1)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

@@ -194,7 +194,8 @@ class TestProvenance:
         assert all(len(h) == 64 for h in prov.spec_hashes)
 
     def test_verbose_reports_to_stderr(self, baseline, capsys):
-        engine = SweepEngine(jobs=1, verbose=True)
+        with pytest.warns(DeprecationWarning, match="verbose"):
+            engine = SweepEngine(jobs=1, verbose=True)
         engine.evaluate(ALL_CONFIGURATIONS[0], baseline)
         err = capsys.readouterr().err
         assert "[repro.engine]" in err

@@ -1,0 +1,200 @@
+"""Tests for repro.obs.export: trace schema, metrics file, run report."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    Metrics,
+    TraceFormatError,
+    render_report,
+    tree_coverage,
+    validate_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def record_tree():
+    """A real three-span tree recorded through a tracer."""
+    tracer = Tracer()
+    with obs.use_tracer(tracer):
+        with obs.span("root", run=1):
+            with obs.span("phase.a"):
+                pass
+            with obs.span("phase.b"):
+                pass
+    return tracer.finished()
+
+
+class TestTraceRoundTrip:
+    def test_write_then_validate(self, tmp_path):
+        spans = record_tree()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(spans, path)
+        loaded = validate_trace(path)
+        assert {s["span_id"] for s in loaded} == {s["span_id"] for s in spans}
+        assert all(s["type"] == "span" for s in loaded)
+
+    def test_header_line(self, tmp_path):
+        spans = record_tree()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(spans, path, generator="unit-test")
+        header = json.loads(open(path).readline())
+        assert header == {
+            "type": "trace",
+            "version": obs.TRACE_FORMAT_VERSION,
+            "generator": "unit-test",
+            "spans": 3,
+        }
+
+    def test_non_jsonable_attrs_coerced(self, tmp_path):
+        spans = record_tree()
+        spans[0]["attrs"]["weird"] = object()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(spans, path)
+        loaded = validate_trace(path)
+        weird = [s for s in loaded if "weird" in s["attrs"]][0]
+        assert isinstance(weird["attrs"]["weird"], str)
+
+
+class TestValidateRejects:
+    def write_lines(self, tmp_path, lines):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        return path
+
+    def header(self, n=1):
+        return json.dumps(
+            {"type": "trace", "version": obs.TRACE_FORMAT_VERSION, "spans": n}
+        )
+
+    def span_line(self, **overrides):
+        span = {
+            "type": "span",
+            "span_id": "a-1",
+            "parent_id": None,
+            "name": "x",
+            "start_unix": 0.0,
+            "wall_s": 0.1,
+            "cpu_s": 0.1,
+            "pid": 1,
+            "attrs": {},
+        }
+        span.update(overrides)
+        return json.dumps(span)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        with pytest.raises(TraceFormatError, match="empty"):
+            validate_trace(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = self.write_lines(tmp_path, [self.header(), "{not json"])
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            validate_trace(path)
+
+    def test_missing_header(self, tmp_path):
+        path = self.write_lines(tmp_path, [self.span_line()])
+        with pytest.raises(TraceFormatError, match="header"):
+            validate_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        bad = json.dumps({"type": "trace", "version": 999})
+        path = self.write_lines(tmp_path, [bad, self.span_line()])
+        with pytest.raises(TraceFormatError, match="version"):
+            validate_trace(path)
+
+    def test_bad_field_type(self, tmp_path):
+        path = self.write_lines(
+            tmp_path, [self.header(), self.span_line(wall_s="fast")]
+        )
+        with pytest.raises(TraceFormatError, match="wall_s"):
+            validate_trace(path)
+
+    def test_negative_duration(self, tmp_path):
+        path = self.write_lines(
+            tmp_path, [self.header(), self.span_line(wall_s=-1.0)]
+        )
+        with pytest.raises(TraceFormatError, match="negative"):
+            validate_trace(path)
+
+    def test_duplicate_ids(self, tmp_path):
+        path = self.write_lines(
+            tmp_path, [self.header(2), self.span_line(), self.span_line()]
+        )
+        with pytest.raises(TraceFormatError, match="duplicate"):
+            validate_trace(path)
+
+    def test_dangling_parent(self, tmp_path):
+        path = self.write_lines(
+            tmp_path, [self.header(), self.span_line(parent_id="ghost-9")]
+        )
+        with pytest.raises(TraceFormatError, match="missing parent"):
+            validate_trace(path)
+
+    def test_parent_cycle(self, tmp_path):
+        a = self.span_line(span_id="a-1", parent_id="a-2")
+        b = self.span_line(span_id="a-2", parent_id="a-1")
+        path = self.write_lines(tmp_path, [self.header(2), a, b])
+        with pytest.raises(TraceFormatError, match="cycle"):
+            validate_trace(path)
+
+
+class TestMetricsFile:
+    def test_write_metrics(self, tmp_path):
+        m = Metrics()
+        m.counter("a.b").inc(3)
+        m.histogram("h").observe(2.0)
+        path = str(tmp_path / "metrics.json")
+        write_metrics(m, path)
+        loaded = json.load(open(path))
+        assert loaded["a.b"] == 3
+        assert loaded["h.count"] == 1
+
+
+class TestReport:
+    def test_tree_coverage(self):
+        spans = record_tree()
+        root = [s for s in spans if s["name"] == "root"][0]
+        # Children of a trivially fast root still cover nearly all of it;
+        # force exact numbers instead of relying on timing.
+        for s in spans:
+            s["wall_s"] = 1.0 if s["name"] == "root" else 0.4
+        assert tree_coverage(spans) == pytest.approx(0.8)
+        # overlapping (pooled) children clamp at 1.0
+        for s in spans:
+            if s["name"] != "root":
+                s["wall_s"] = 0.9
+        assert tree_coverage(spans) == 1.0
+        assert root["span_id"]  # root survived the edits
+
+    def test_tree_coverage_empty(self):
+        assert tree_coverage([]) == 0.0
+
+    def test_render_report_contents(self):
+        spans = record_tree()
+        text = render_report(spans)
+        assert "run report" in text
+        assert "span tree" in text
+        assert "root" in text
+        assert "phase.a" in text
+        assert "hot spans" in text
+        assert "coverage:" in text
+
+    def test_render_report_aggregates_same_name(self):
+        tracer = Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("root"):
+                for _ in range(5):
+                    with obs.span("solve"):
+                        pass
+        text = render_report(tracer.finished())
+        assert "×5" in text
+
+    def test_render_report_no_spans(self):
+        assert "no spans" in render_report([])

@@ -1,0 +1,143 @@
+"""Tests for repro.obs.metrics: instruments, merging, export."""
+
+import itertools
+import pickle
+
+import pytest
+
+from repro.obs import Metrics
+
+
+def make_registry(counter=0, gauge=None, observations=()):
+    m = Metrics()
+    if counter:
+        m.counter("c").inc(counter)
+    if gauge is not None:
+        m.gauge("g").set(gauge)
+    for value in observations:
+        m.histogram("h").observe(value)
+    return m
+
+
+class TestInstruments:
+    def test_counter(self):
+        m = Metrics()
+        c = m.counter("engine.points")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert m.counter("engine.points") is c  # get-or-create
+
+    def test_gauge(self):
+        m = Metrics()
+        g = m.gauge("obs.spans")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+        assert g.version == 2
+
+    def test_histogram(self):
+        m = Metrics()
+        h = m.histogram("sim.loss_hours")
+        for v in (2.0, 8.0, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 8.0
+        assert h.mean == 5.0
+
+    def test_kind_conflict_raises(self):
+        m = Metrics()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_value_lookup(self):
+        m = make_registry(counter=4, gauge=9, observations=[1.0, 3.0])
+        assert m.value("c") == 4
+        assert m.value("g") == 9
+        assert m.value("h") == 2.0  # histogram -> mean
+        assert m.value("missing", default=-1) == -1
+
+    def test_counters_are_picklable(self):
+        """Counter-holding components cross the pool boundary."""
+        m = make_registry(counter=3)
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone.value("c") == 3
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a = make_registry(counter=2)
+        b = make_registry(counter=5)
+        assert a.merge(b).value("c") == 7
+
+    def test_histograms_combine(self):
+        a = make_registry(observations=[1.0, 9.0])
+        b = make_registry(observations=[4.0])
+        h = a.merge(b).histogram("h")
+        assert (h.count, h.total, h.min, h.max) == (3, 14.0, 1.0, 9.0)
+
+    def test_gauge_keeps_latest_version(self):
+        a = Metrics()
+        a.gauge("g").set(1)
+        a.gauge("g").set(2)  # version 2
+        b = Metrics()
+        b.gauge("g").set(99)  # version 1
+        assert a.merge(b).value("g") == 2  # higher version wins
+
+    def test_merge_associative_and_commutative(self):
+        """Worker registries fold identically in any order/grouping."""
+        registries = [
+            make_registry(counter=1, observations=[2.0]),
+            make_registry(counter=10, gauge=5, observations=[7.0, 0.5]),
+            make_registry(counter=100, observations=[]),
+        ]
+        flats = set()
+        for perm in itertools.permutations(range(3)):
+            # ((a + b) + c)
+            left = Metrics.merged([registries[i] for i in perm])
+            # (a + (b + c))
+            right = Metrics()
+            tail = Metrics()
+            tail.merge(registries[perm[1]]).merge(registries[perm[2]])
+            right.merge(registries[perm[0]]).merge(tail)
+            flats.add(str(sorted(left.to_dict().items())))
+            flats.add(str(sorted(right.to_dict().items())))
+        assert len(flats) == 1
+
+    def test_snapshot_round_trip(self):
+        a = make_registry(counter=3, gauge=4, observations=[1.0, 2.0])
+        clone = Metrics().merge_snapshot(a.snapshot())
+        assert clone.to_dict() == a.to_dict()
+
+    def test_merged_empty(self):
+        assert Metrics.merged([]).to_dict() == {}
+
+
+class TestExport:
+    def test_flat_dict_shape(self):
+        m = make_registry(counter=2, gauge=3, observations=[4.0, 6.0])
+        flat = m.to_dict()
+        assert flat == {
+            "c": 2,
+            "g": 3,
+            "h.count": 2,
+            "h.sum": 10.0,
+            "h.min": 4.0,
+            "h.max": 6.0,
+            "h.mean": 5.0,
+        }
+
+    def test_empty_histogram_omits_stats(self):
+        m = Metrics()
+        m.histogram("h")
+        assert m.to_dict() == {"h.count": 0, "h.sum": 0.0}
+
+    def test_names_and_contains(self):
+        m = make_registry(counter=1, gauge=1)
+        assert m.names() == ["c", "g"]
+        assert "c" in m
+        assert "nope" not in m
+        assert len(m) == 2

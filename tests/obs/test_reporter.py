@@ -1,0 +1,47 @@
+"""Tests for the serialized progress reporter."""
+
+import io
+import threading
+
+from repro.obs import Reporter, reporter, set_reporter
+
+
+class TestReporter:
+    def test_emit_writes_whole_line(self):
+        buf = io.StringIO()
+        Reporter(stream=buf).emit("hello")
+        assert buf.getvalue() == "hello\n"
+
+    def test_stream_resolved_at_emit_time(self, capsys):
+        """A default reporter built before capsys swaps stderr still lands
+        in the captured stream."""
+        reporter().emit("captured-line")
+        assert "captured-line" in capsys.readouterr().err
+
+    def test_concurrent_emits_never_interleave(self):
+        buf = io.StringIO()
+        rep = Reporter(stream=buf)
+        n, width = 50, 200
+
+        def worker(tag):
+            for _ in range(n):
+                rep.emit(str(tag) * width)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in "abcd"]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 4 * n
+        assert all(line == line[0] * width for line in lines)
+
+    def test_set_reporter_round_trip(self):
+        buf = io.StringIO()
+        replacement = Reporter(stream=buf)
+        previous = set_reporter(replacement)
+        try:
+            assert reporter() is replacement
+        finally:
+            set_reporter(previous)
+        assert reporter() is previous

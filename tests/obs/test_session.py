@@ -1,0 +1,80 @@
+"""Tests for TraceSession / trace() / session_from_env."""
+
+import io
+import json
+
+from repro import obs
+from repro.obs import Metrics, session_from_env, validate_trace
+
+
+class TestTraceSession:
+    def test_exports_trace_and_metrics(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        metrics_path = str(tmp_path / "m.json")
+        with obs.trace(
+            trace_path, metrics_path=metrics_path, root="unit"
+        ) as session:
+            with obs.span("work"):
+                pass
+        spans = validate_trace(trace_path)
+        assert {s["name"] for s in spans} == {"unit", "work"}
+        root = [s for s in spans if s["name"] == "unit"][0]
+        work = [s for s in spans if s["name"] == "work"][0]
+        assert work["parent_id"] == root["span_id"]
+        flat = json.load(open(metrics_path))
+        assert flat["obs.spans"] == 2
+        assert session.spans == spans
+
+    def test_restores_previous_tracer(self):
+        assert not obs.tracing_active()
+        with obs.trace(root="r"):
+            assert obs.tracing_active()
+        assert not obs.tracing_active()
+
+    def test_report_rendered_to_stream(self):
+        buf = io.StringIO()
+        with obs.trace(report=True, report_stream=buf, root="r"):
+            with obs.span("inner"):
+                pass
+        text = buf.getvalue()
+        assert "run report" in text
+        assert "inner" in text
+
+    def test_metrics_sources_folded(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        extra = Metrics()
+        extra.counter("component.hits").inc(7)
+        with obs.trace(metrics_path=path) as session:
+            session.add_metrics_source(lambda: extra)
+        assert json.load(open(path))["component.hits"] == 7
+
+    def test_exception_still_exports(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        try:
+            with obs.trace(trace_path, root="r"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert validate_trace(trace_path)
+
+
+class TestSessionFromEnv:
+    def test_none_without_env(self):
+        assert session_from_env({}) is None
+
+    def test_configured_from_env(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        env = {"REPRO_TRACE": trace_path, "REPRO_TRACE_ROOT": "bench"}
+        session = session_from_env(env)
+        assert session is not None
+        with session:
+            with obs.span("inside"):
+                pass
+        spans = validate_trace(trace_path)
+        assert {s["name"] for s in spans} == {"bench", "inside"}
+
+    def test_report_only(self):
+        session = session_from_env({"REPRO_REPORT": "1"})
+        assert session is not None
+        assert session.report
+        assert session.trace_path is None

@@ -37,6 +37,30 @@ class TestValidateCli:
         assert rc1 == rc2
         assert first.out == second.out
 
+    def test_trace_and_metrics_export(self, capsys, tmp_path):
+        from repro.obs import tree_coverage, validate_trace
+
+        trace_path = str(tmp_path / "validate.jsonl")
+        metrics_path = str(tmp_path / "metrics.json")
+        rc = main(
+            ["--replicas", "10", "--scale", "200", "--nodes", "12",
+             "--no-cache", "--trace", trace_path, "--metrics", metrics_path]
+        )
+        assert rc in (0, 1)
+        capsys.readouterr()
+        spans = validate_trace(trace_path)
+        names = {s["name"] for s in spans}
+        assert "repro-validate" in names
+        assert "validate.case" in names
+        assert "sim.estimate_mttdl" in names
+        assert "sim.replica_chunk" in names
+        assert tree_coverage(spans) >= 0.95
+        import json
+
+        flat = json.load(open(metrics_path))
+        assert flat["sim.loss_hours.count"] >= 50  # 5 cases x 10 replicas
+        assert flat["sim.replicas"] >= 50
+
     def test_bad_arguments(self):
         with pytest.raises(SystemExit):
             main(["--replicas", "1"])

@@ -74,6 +74,51 @@ class TestJsonReport:
         assert payload["invariants"][0]["checked"] > 0
 
 
+class TestObservability:
+    def test_smoke_trace_is_well_formed(self, capsys, tmp_path):
+        """The CI leg: --smoke --trace emits a schema-valid trace whose
+        tree hangs off one repro-verify root with per-invariant spans."""
+        from repro.obs import validate_trace
+
+        trace_path = str(tmp_path / "verify.jsonl")
+        assert main(
+            ["--smoke", "--trace", trace_path, "--quiet",
+             "--only", "generator-conservation",
+             "--only", "critical-set-fractions"]
+        ) == 0
+        capsys.readouterr()
+        spans = validate_trace(trace_path)
+        names = {s["name"] for s in spans}
+        assert "repro-verify" in names
+        assert "verify.invariant" in names
+        invariants = {
+            s["attrs"]["invariant"]
+            for s in spans
+            if s["name"] == "verify.invariant"
+        }
+        assert invariants == {
+            "generator-conservation", "critical-set-fractions"
+        }
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["repro-verify"]
+
+    def test_metrics_export_counts_checks(self, capsys, tmp_path):
+        metrics_path = str(tmp_path / "metrics.json")
+        assert main(
+            ["--smoke", "--metrics", metrics_path] + FAST
+        ) == 0
+        capsys.readouterr()
+        flat = json.loads(open(metrics_path).read())
+        assert flat["verify.checks"] > 0
+        assert flat["verify.violations"] == 0
+
+    def test_report_flag_prints_tree(self, capsys):
+        assert main(["--smoke", "--report"] + FAST) == 0
+        err = capsys.readouterr().err
+        assert "run report" in err
+        assert "repro-verify" in err
+
+
 class TestParameterOverrides:
     def test_set_overrides_the_base_point(self):
         assert main(["--smoke", "--set", "node_set_size=32"] + FAST) == 0
