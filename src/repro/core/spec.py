@@ -310,7 +310,15 @@ class ModelSpec:
         Two specs share a hash iff they have the same states (order
         included), the same edges and the same rate expression trees —
         the key compiled-chain caches and sweep provenance use.
+
+        The digest is memoized on the instance: every field is an
+        immutable tuple, and the serving layer's batcher reads the hash
+        on every admitted point, so recomputing the canonical JSON +
+        SHA-256 (~20us) per lookup would tax the hot path for nothing.
         """
+        cached = self.__dict__.get("_spec_hash_memo")
+        if cached is not None:
+            return cached
         payload = {
             "name": self.name,
             "states": [repr(s) for s in self.states],
@@ -321,7 +329,9 @@ class ModelSpec:
             "initial": repr(self.initial_state),
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_spec_hash_memo", digest)
+        return digest
 
     def compile(self) -> "CompiledChain":
         """Lower the spec to a bindable :class:`CompiledChain`."""

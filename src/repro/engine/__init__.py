@@ -13,7 +13,15 @@ from .facade import evaluate
 from .keys import CACHE_SCHEMA_VERSION, point_key, stable_digest
 from .pool import default_jobs, should_pool, split_chunks
 from .result import EngineProvenance, SweepResult
-from .solver import SolveContext, evaluate_chunk, mttdl_batched, normalize_method
+from .solver import (
+    SolveContext,
+    closed_form_mttdl,
+    evaluate_chunk,
+    mttdl_batched,
+    normalize_method,
+    prepare_point,
+    solve_grouped,
+)
 from .sweep import Axis, GridPoint, SweepEngine, point_payload_valid
 
 __all__ = [
@@ -26,6 +34,7 @@ __all__ = [
     "SolveContext",
     "SweepEngine",
     "SweepResult",
+    "closed_form_mttdl",
     "default_jobs",
     "evaluate",
     "evaluate_chunk",
@@ -34,7 +43,9 @@ __all__ = [
     "normalize_method",
     "point_key",
     "point_payload_valid",
+    "prepare_point",
     "should_pool",
+    "solve_grouped",
     "split_chunks",
     "stable_digest",
 ]

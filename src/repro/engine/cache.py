@@ -101,12 +101,30 @@ class DiskCache:
             raise ValueError(f"cache keys must be hex digests, got {key!r}")
         return self._dir / f"{key}.json"
 
-    def _reject(self, path: Path, reason: str) -> None:
+    def _reject(
+        self, path: Path, reason: str, stamp: Optional[os.stat_result] = None
+    ) -> None:
         """Discard a damaged entry: log it and delete the file so the next
-        :meth:`put` overwrites it with a freshly computed value."""
+        :meth:`put` overwrites it with a freshly computed value.
+
+        ``stamp`` is the ``fstat`` of the file descriptor the damaged
+        bytes were read from.  Writers are atomic (temp file +
+        ``os.replace``), so a concurrent :meth:`put` may have already
+        replaced the path with a fresh, valid entry by the time the
+        reader decides to reject — deleting blindly would destroy good
+        data.  The unlink only fires while the path still resolves to the
+        same inode that was read.
+        """
         self.rejected += 1
         logger.warning("discarding cache entry %s: %s", path, reason)
         try:
+            if stamp is not None:
+                current = os.stat(path)
+                if (current.st_ino, current.st_dev) != (
+                    stamp.st_ino,
+                    stamp.st_dev,
+                ):
+                    return  # a concurrent writer already replaced it
             path.unlink()
         except OSError:
             pass  # already gone or unremovable; put() will overwrite anyway
@@ -118,8 +136,10 @@ class DiskCache:
         """
         path = self._path(key)
         faultpoints.fire(faultpoints.CACHE_READ, path)
+        stamp: Optional[os.stat_result] = None
         try:
             with open(path, "r", encoding="utf-8") as fh:
+                stamp = os.fstat(fh.fileno())
                 payload = json.load(fh)
         except FileNotFoundError:
             self.misses += 1
@@ -130,15 +150,17 @@ class DiskCache:
             return None
         except ValueError as exc:  # json.JSONDecodeError, bad unicode, ...
             self.misses += 1
-            self._reject(path, f"invalid JSON ({exc})")
+            self._reject(path, f"invalid JSON ({exc})", stamp)
             return None
         if not isinstance(payload, dict):
             self.misses += 1
-            self._reject(path, f"payload is {type(payload).__name__}, not a dict")
+            self._reject(
+                path, f"payload is {type(payload).__name__}, not a dict", stamp
+            )
             return None
         if self._validator is not None and not self._validator(payload):
             self.misses += 1
-            self._reject(path, "schema mismatch")
+            self._reject(path, "schema mismatch", stamp)
             return None
         self.hits += 1
         return payload

@@ -9,6 +9,12 @@ method and the cache schema version into JSON and hashes it with SHA-256.
 Python's ``json`` serializes floats with ``repr``, which round-trips
 float64 exactly, so two parameter sets produce the same key if and only
 if every field is bitwise equal.
+
+Parameter identity is :meth:`Parameters.cache_key` — the one canonical
+derivation shared by the engine, the serving layer and the verification
+report.  Hashing ``params.to_dict()`` directly (the pre-1.1 private
+path) is deprecated; go through ``cache_key()`` so every component
+agrees on what "the same parameters" means.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ __all__ = ["CACHE_SCHEMA_VERSION", "point_key", "stable_digest"]
 
 #: Bump when the cached payload layout or the meaning of a key changes;
 #: old entries then miss instead of deserializing garbage.
-CACHE_SCHEMA_VERSION = 1
+#: v2: parameter identity goes through :meth:`Parameters.cache_key`
+#: (one canonical derivation) instead of embedding the raw field dict.
+CACHE_SCHEMA_VERSION = 2
 
 
 def stable_digest(payload: Any) -> str:
@@ -55,7 +63,7 @@ def point_key(
         "repro": __version__,
         "config": config.key,
         "method": method,
-        "params": params.to_dict(),
+        "params": params.cache_key(),
         "extra": dict(extra) if extra else None,
     }
     return stable_digest(payload)

@@ -44,8 +44,11 @@ from ..models.raid import ArrayRates, InternalRaid, array_model
 __all__ = [
     "SolveContext",
     "normalize_method",
+    "closed_form_mttdl",
     "evaluate_chunk",
     "mttdl_batched",
+    "prepare_point",
+    "solve_grouped",
 ]
 
 #: Public method names of the unified API mapped to their canonical form;
@@ -159,6 +162,72 @@ def _spec_and_env(
     return model.spec(), model.chain_env()
 
 
+def prepare_point(
+    config: Configuration, params: Parameters, ctx: SolveContext
+) -> Tuple[CompiledChain, Dict[str, float]]:
+    """The (compiled chain, binding environment) for one analytic point.
+
+    Model construction, the array-rates memo and spec compilation all
+    happen here; the returned pair feeds :func:`solve_grouped` (points
+    sharing a :attr:`~repro.core.spec.CompiledChain.spec_hash` can be
+    solved as one group).
+    """
+    spec, env = _spec_and_env(config, params, ctx)
+    return ctx.specs.get_or_compile(spec), env
+
+
+def closed_form_mttdl(
+    config: Configuration, params: Parameters, ctx: SolveContext
+) -> float:
+    """MTTDL (hours) by the paper's closed forms, through the array memo."""
+    if config.internal is InternalRaid.NONE:
+        return config.mttdl_hours(params, "approx")
+    model = InternalRaidNodeModel(
+        params,
+        config.internal,
+        config.node_fault_tolerance,
+        array_rates=_array_rates_for(config, params, ctx),
+    )
+    return model.mttdl_approx()
+
+
+def _bind_group(
+    compiled: CompiledChain, envs: Sequence[Dict[str, float]]
+) -> List[CTMC]:
+    """Bind one pre-grouped batch (every env shares ``compiled``'s spec).
+
+    A single point binds scalar; two or more stack into per-parameter
+    arrays and go through one :meth:`CompiledChain.bind_batch` pass,
+    bitwise identical to point-by-point :meth:`CompiledChain.bind`.
+    """
+    with obs.span(
+        "solve.bind", spec=compiled.spec_hash[:12], points=len(envs)
+    ):
+        if len(envs) == 1:
+            return [compiled.bind(envs[0])]
+        stacked = {
+            name: np.array([env[name] for env in envs])
+            for name in compiled.spec.param_names
+        }
+        return compiled.bind_batch(stacked)
+
+
+def solve_grouped(
+    compiled: CompiledChain, envs: Sequence[Dict[str, float]]
+) -> List[float]:
+    """MTTDL (hours) for a pre-grouped batch sharing one spec hash.
+
+    The batch-solve entry point for callers that have already coalesced
+    their points by :attr:`~repro.core.spec.CompiledChain.spec_hash`
+    (the serving layer's request batcher): the whole group is bound in
+    one :meth:`CompiledChain.bind_batch` pass and solved with one
+    stacked GTH elimination.  Every returned float is bitwise equal to
+    the point's own scalar bind-and-solve (and therefore to
+    ``config.reliability(params)``).
+    """
+    return mttdl_batched(_bind_group(compiled, envs))
+
+
 def _bind_all(
     compiled_chains: Sequence[CompiledChain],
     envs: Sequence[Dict[str, float]],
@@ -179,19 +248,10 @@ def _bind_all(
         by_hash[compiled.spec_hash] = compiled
     for spec_hash, members in groups.items():
         compiled = by_hash[spec_hash]
-        with obs.span(
-            "solve.bind", spec=spec_hash[:12], points=len(members)
+        for i, chain in zip(
+            members, _bind_group(compiled, [envs[i] for i in members])
         ):
-            if len(members) == 1:
-                i = members[0]
-                chains[i] = compiled.bind(envs[i])
-                continue
-            stacked = {
-                name: np.array([envs[i][name] for i in members])
-                for name in compiled.spec.param_names
-            }
-            for i, chain in zip(members, compiled.bind_batch(stacked)):
-                chains[i] = chain
+            chains[i] = chain
     return chains  # type: ignore[return-value]
 
 
@@ -256,19 +316,10 @@ def evaluate_chunk(
         # memo, and the closed-form evaluations that finish inline.
         for i, (config, params, method) in enumerate(tasks):
             if method == "closed_form":
-                if config.internal is InternalRaid.NONE:
-                    mttdls[i] = config.mttdl_hours(params, "approx")
-                else:
-                    model = InternalRaidNodeModel(
-                        params,
-                        config.internal,
-                        config.node_fault_tolerance,
-                        array_rates=_array_rates_for(config, params, ctx),
-                    )
-                    mttdls[i] = model.mttdl_approx()
+                mttdls[i] = closed_form_mttdl(config, params, ctx)
             elif method == "analytic":
-                spec, env = _spec_and_env(config, params, ctx)
-                bind_compiled.append(ctx.specs.get_or_compile(spec))
+                compiled, env = prepare_point(config, params, ctx)
+                bind_compiled.append(compiled)
                 bind_envs.append(env)
                 chain_slots.append(i)
             else:

@@ -212,7 +212,37 @@ class Parameters:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (useful for reports and parameter sweeps)."""
-        return dataclasses.asdict(self)
+        # Every field is a scalar, so a direct dict build gives the same
+        # result as dataclasses.asdict without its recursive deepcopy
+        # (which dominates the serving layer's per-request key cost).
+        return {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+
+    def cache_key(self) -> str:
+        """The canonical value hash of this parameter set.
+
+        A SHA-256 hex digest of the JSON-canonicalized field dict (via the
+        engine's :func:`~repro.engine.keys.stable_digest` helper), stable
+        across interpreter restarts and bitwise-sensitive: two parameter
+        sets share a key if and only if every field is bitwise equal.
+
+        This is **the** parameter identity used everywhere a stable hash
+        of a parameter set is needed — the engine's disk-cache keys, the
+        serving layer's result cache and the verification report all go
+        through it, so the hash is derived in exactly one place.
+
+        Memoized per instance: the fields are frozen scalars, so the
+        digest can never change after construction.
+        """
+        memo = self.__dict__.get("_cache_key_memo")
+        if memo is not None:
+            return memo
+        from ..engine.keys import stable_digest
+
+        digest = stable_digest(self.to_dict())
+        object.__setattr__(self, "_cache_key_memo", digest)
+        return digest
 
 
 # Keyword-only construction: positional Parameters(...) went through a

@@ -55,6 +55,8 @@ __all__ = [
     "compiled",
     "compiled_cache",
     "all_family_specs",
+    "spec_for_key",
+    "spec_hash_index",
 ]
 
 # Absorbing-state labels; textual duplicates of the constants in
@@ -427,12 +429,62 @@ def all_family_specs() -> Dict[str, ModelSpec]:
     return {spec.name: spec for spec in specs}
 
 
+@lru_cache(maxsize=None)
+def spec_for_key(config_key: str) -> ModelSpec:
+    """The node-level spec for a configuration key (e.g. ``"ft2_raid5"``).
+
+    The spec's *structure* depends only on the configuration family and
+    fault tolerance, never on the operating point, so a configuration key
+    alone pins the spec — and therefore the
+    :attr:`~repro.core.spec.ModelSpec.spec_hash` that
+    batched solves group on.  The serving layer uses this to coalesce
+    concurrent requests into per-spec-hash solve groups *before* building
+    any models or binding environments.
+
+    Raises :class:`ValueError` for a malformed key (via
+    :meth:`Configuration.from_key`).
+    """
+    from .configurations import Configuration
+    from .raid import InternalRaid
+
+    config = Configuration.from_key(config_key)
+    if config.internal is InternalRaid.NONE:
+        if config.node_fault_tolerance <= 3:
+            return no_raid_spec(config.node_fault_tolerance)
+        return recursive_spec(config.node_fault_tolerance)
+    return internal_raid_spec(config.node_fault_tolerance)
+
+
+def spec_hash_index(max_fault_tolerance: int = 3) -> Dict[str, str]:
+    """Configuration key -> spec hash, for the standard configuration grid.
+
+    Nine configurations share six distinct spec shapes (the internal-RAID
+    chain's structure does not depend on the RAID level — only its bound
+    rates do), so the index maps nine keys onto six hashes at the default
+    grid.
+    """
+    from .configurations import all_configurations
+
+    return {
+        config.key: spec_for_key(config.key).spec_hash
+        for config in all_configurations(max_fault_tolerance)
+    }
+
+
 # --------------------------------------------------------------------- #
 # shared validation helpers (mirroring the legacy builders')
 # --------------------------------------------------------------------- #
 
 
 def _check_nodes(n: Value, d: Value, t: int) -> None:
+    # Scalar fast path: the serving hot loop binds one point at a time,
+    # and ndarray coercion is ~10x the cost of the comparison itself.
+    if isinstance(n, (int, float)) and isinstance(d, (int, float)):
+        if n <= t:
+            raise ValueError("node set must be larger than the fault tolerance")
+        if d < 1:
+            raise ValueError("need at least one drive per node")
+        return
     if np.any(np.asarray(n) <= t):
         raise ValueError("node set must be larger than the fault tolerance")
     if np.any(np.asarray(d) < 1):
@@ -446,6 +498,10 @@ def _check_words(h: Mapping[str, Value], k: int) -> None:
 
 
 def _clamp_h(h: Value) -> Value:
+    if isinstance(h, (int, float)):  # scalar fast path (np.float64 included)
+        if h < 0:
+            raise ValueError(f"hard error probability must be >= 0, got {h}")
+        return min(h, 1.0)
     if np.any(np.asarray(h) < 0):
         raise ValueError(f"hard error probability must be >= 0, got {h}")
     if isinstance(h, np.ndarray):

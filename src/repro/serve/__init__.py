@@ -1,0 +1,50 @@
+"""repro.serve — the online reliability-query service.
+
+The batch pipeline answers "what does the whole design space look
+like?"; this package answers "what is the MTTDL of *this* configuration
+at *these* parameters, right now?" at interactive latency, over plain
+JSON-over-HTTP with nothing beyond the standard library.
+
+The moving parts:
+
+* :class:`~repro.serve.service.ReliabilityService` — the front door:
+  TTL'd LRU result cache (keyed by the engine's stable config+params
+  hash), in-flight request coalescing, and admission control.
+* :class:`~repro.serve.batcher.CoalescingBatcher` — the continuous
+  batcher: concurrent in-flight points group by spec hash, bind in one
+  :meth:`CompiledChain.bind_batch` pass and solve in one stacked GTH
+  elimination, exactly the shape inference servers use.
+* :class:`~repro.serve.http.HttpServer` — a stdlib-asyncio HTTP/1.1
+  front end exposing ``/v1/evaluate``, ``/v1/sweep``, ``/healthz`` and
+  ``/metricsz``.
+* :mod:`repro.serve.loadgen` — an open-loop load generator reporting
+  p50/p95/p99 latency and achieved throughput.
+
+Every answer is bitwise identical to the corresponding direct
+:func:`repro.evaluate` call; ``docs/serving.md`` documents the endpoint
+schemas, the batching policy knobs and the overload semantics.
+"""
+
+from .batcher import CoalescingBatcher, Overloaded
+from .http import HttpServer, run_server, serving
+from .loadgen import LoadReport, RequestMix, run_loadgen
+from .protocol import PointQuery, ProtocolError, SweepQuery
+from .service import ReliabilityService, ServeConfig
+from .ttl_cache import TTLCache
+
+__all__ = [
+    "CoalescingBatcher",
+    "HttpServer",
+    "LoadReport",
+    "Overloaded",
+    "PointQuery",
+    "ProtocolError",
+    "ReliabilityService",
+    "RequestMix",
+    "ServeConfig",
+    "SweepQuery",
+    "TTLCache",
+    "run_loadgen",
+    "run_server",
+    "serving",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — same entry point as ``repro-serve``."""
+
+import sys
+
+from .app import main
+
+sys.exit(main())

@@ -1,0 +1,146 @@
+"""The ``repro-serve`` console entry point.
+
+Binds the asyncio HTTP front end over a :class:`ReliabilityService` and
+runs until SIGTERM/SIGINT, draining gracefully.  All batching,
+admission-control and caching knobs are flags; the observability flags
+(``--trace`` / ``--metrics`` / ``--report``) are the same ones every
+other CLI takes and capture the full ``serve.*`` span taxonomy plus the
+metrics registry (see ``docs/serving.md`` and ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+from typing import Optional, Sequence
+
+from ..cli_common import (
+    add_observability_arguments,
+    apply_param_overrides,
+    observed_session,
+)
+from ..models.parameters import Parameters
+from .http import run_server
+from .service import ServeConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve online reliability queries (MTTDL, availability, "
+            "sweeps) over JSON-over-HTTP with coalesced batched solves."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    batching = parser.add_argument_group("batching policy")
+    batching.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="close a solve batch at N points (default 64)",
+    )
+    batching.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=2_000,
+        metavar="US",
+        help="close a solve batch US microseconds after its first point "
+        "(default 2000)",
+    )
+    admission = parser.add_argument_group("admission control")
+    admission.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="shed with 429 beyond N queued points (default 1024)",
+    )
+    admission.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="Retry-After hint (seconds) sent with 429 (default 1)",
+    )
+    cache = parser.add_argument_group("result cache")
+    cache.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="result-cache entries (0 disables; default 4096)",
+    )
+    cache.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="result-cache TTL in seconds (0 = no expiry; default 300)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override a baseline parameter field (repeatable); request "
+        "bodies override on top of this baseline",
+    )
+    add_observability_arguments(parser)
+    return parser
+
+
+def config_from_args(args: argparse.Namespace, error) -> ServeConfig:
+    params = apply_param_overrides(Parameters.baseline(), args.set, error)
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        queue_depth=args.queue_depth,
+        retry_after_s=args.retry_after,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
+        base_params=params,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = config_from_args(args, parser.error)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    def announce(server) -> None:
+        print(
+            f"repro-serve listening on http://{server.host}:{server.port} "
+            f"(batch<= {config.max_batch_size}, wait {config.max_wait_us}us, "
+            f"queue {config.queue_depth})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    session = observed_session(args, "repro-serve")
+    with session if session is not None else contextlib.nullcontext():
+        try:
+            asyncio.run(run_server(config, ready=announce))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,414 @@
+"""The coalescing request batcher — continuous batching for chain solves.
+
+Concurrent in-flight queries land on one bounded queue; a single
+consumer assembles them into batches under a two-knob policy (close the
+batch at ``max_batch_size`` points, or ``max_wait_us`` after its first
+point arrived, whichever comes first), groups each batch by spec hash,
+and hands every group to :func:`repro.engine.solve_grouped` — one
+stacked ``bind_batch`` plus one batched GTH elimination per group.  This
+is the continuous-batching shape inference servers use: while one batch
+solves on the solver thread, the next accumulates on the queue, so batch
+sizes grow with load and per-point cost falls exactly when it matters.
+
+Admission control is the queue bound: :meth:`CoalescingBatcher.submit`
+raises :class:`Overloaded` instead of queueing unboundedly, and the HTTP
+layer turns that into ``429 Retry-After``.  Shedding at the door keeps
+tail latency flat for the requests that are admitted.
+
+Observability: the batcher owns the ``serve.queue.*`` / ``serve.batch.*``
+metrics, and when tracing is enabled each solved batch emits a
+``serve.batch`` span tree with per-point queue-wait spans (synthesized
+from enqueue/dequeue stamps, since a span cannot stay open across the
+event loop's task switches), the batch-assembly span, and the engine's
+own ``solve.bind`` / ``solve.gth`` children.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..engine.solver import (
+    SolveContext,
+    closed_form_mttdl,
+    prepare_point,
+    solve_grouped,
+)
+from ..models.configurations import Configuration
+from ..models.parameters import Parameters
+from ..models.specs import spec_for_key
+
+__all__ = ["CoalescingBatcher", "Overloaded", "synth_span"]
+
+#: Synthetic-span id sequence.  Real tracer ids are ``"<pid hex>-<int>"``;
+#: the ``q`` infix keeps these from ever colliding with them.
+_SYNTH_SEQ = itertools.count(1)
+
+
+def synth_span(
+    name: str,
+    start_unix: float,
+    wall_s: float,
+    parent_id: Optional[str] = None,
+    **attrs: Any,
+) -> Dict[str, Any]:
+    """A finished-span dict for a phase that cannot hold a live span
+    open (it crosses task switches or the event loop's task switches);
+    feed the result to :func:`repro.obs.adopt_spans`, which grafts
+    parentless spans under the adopting thread's current span."""
+    return {
+        "type": "span",
+        "span_id": f"{os.getpid():x}-q{next(_SYNTH_SEQ)}",
+        "parent_id": parent_id,
+        "name": name,
+        "start_unix": start_unix,
+        "wall_s": max(0.0, wall_s),
+        "cpu_s": 0.0,
+        "pid": os.getpid(),
+        "attrs": attrs,
+    }
+
+
+class Overloaded(Exception):
+    """The admission queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"admission queue full; retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class _Pending:
+    """One admitted point: its task, its future, and its queue stamps."""
+
+    __slots__ = (
+        "config",
+        "params",
+        "method",
+        "spec_hash",
+        "future",
+        "enqueued_mono",
+        "enqueued_unix",
+    )
+
+    def __init__(
+        self,
+        config: Configuration,
+        params: Parameters,
+        method: str,
+        future: "asyncio.Future[float]",
+    ) -> None:
+        self.config = config
+        self.params = params
+        self.method = method
+        # The spec hash depends only on the configuration family, so the
+        # grouping key is known at admission time, before any model or
+        # binding environment exists.
+        self.spec_hash = (
+            spec_for_key(config.key).spec_hash if method == "analytic" else ""
+        )
+        self.future = future
+        self.enqueued_mono = time.monotonic()
+        self.enqueued_unix = time.time()
+
+
+_STOP = object()
+
+
+class CoalescingBatcher:
+    """Batches concurrent chain-solve queries into grouped stacked solves.
+
+    Args:
+        max_batch_size: close a batch at this many points.
+        max_wait_us: close a batch this long (microseconds) after its
+            first point arrived, even if not full — the latency the
+            service is willing to trade for throughput.
+        queue_depth: admission bound; :meth:`submit` raises
+            :class:`Overloaded` when this many points are already queued.
+        retry_after_s: the hint carried by :class:`Overloaded`.
+        metrics: registry for ``serve.queue.*`` / ``serve.batch.*``
+            instruments (a private one when omitted).
+
+    The solver runs on a dedicated single worker thread: chain solves
+    are milliseconds, so one thread keeps the math off the event loop
+    without cross-thread contention on the solve context.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 64,
+        max_wait_us: int = 2_000,
+        queue_depth: int = 1024,
+        retry_after_s: float = 1.0,
+        metrics: Optional[obs.Metrics] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us must be >= 0")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_us / 1e6
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+        self.ctx = SolveContext()
+        self.metrics = metrics if metrics is not None else obs.Metrics()
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-solver"
+        )
+        self._consumer: Optional["asyncio.Task[None]"] = None
+        self._stopping = False
+        self._depth_gauge = self.metrics.gauge("serve.queue.depth")
+        self._shed = self.metrics.counter("serve.queue.shed")
+        self._admitted = self.metrics.counter("serve.queue.admitted")
+        self._queue_wait = self.metrics.histogram("serve.queue.wait_s")
+        self._batch_size = self.metrics.histogram("serve.batch.size")
+        self._batch_groups = self.metrics.histogram("serve.batch.groups")
+        self._batch_assemble = self.metrics.histogram("serve.batch.assemble_s")
+        self._batch_solve = self.metrics.histogram("serve.batch.solve_s")
+        self._batches = self.metrics.counter("serve.batches")
+        self._points = self.metrics.counter("serve.points")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start the consumer task on the running event loop."""
+        if self._consumer is None:
+            self._stopping = False
+            self._consumer = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-serve-batcher"
+            )
+
+    async def stop(self) -> None:
+        """Drain the queue, solve what is in flight, stop the consumer.
+
+        Admission closes immediately (further :meth:`submit` calls raise
+        :class:`Overloaded`); everything already admitted is answered.
+        """
+        if self._consumer is None:
+            return
+        self._stopping = True
+        await self._queue.put(_STOP)
+        await self._consumer
+        self._consumer = None
+        self._executor.shutdown(wait=True)
+
+    @property
+    def depth(self) -> int:
+        """Points currently queued (excluding the batch being solved)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, config: Configuration, params: Parameters, method: str
+    ) -> "asyncio.Future[float]":
+        """Admit one point; returns the future of its MTTDL (hours).
+
+        Raises:
+            Overloaded: the queue is at ``queue_depth`` (or the batcher
+                is draining); the caller answers 429 / 503.
+        """
+        if self._stopping or self._consumer is None:
+            raise Overloaded(self.retry_after_s)
+        future: "asyncio.Future[float]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        pending = _Pending(config, params, method, future)
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self._shed.inc()
+            raise Overloaded(self.retry_after_s) from None
+        self._admitted.inc()
+        self._depth_gauge.set(self._queue.qsize())
+        return future
+
+    # ------------------------------------------------------------------ #
+    # the consumer
+    # ------------------------------------------------------------------ #
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                break
+            batch = [first]
+            assemble_t0 = time.monotonic()
+            assemble_unix = time.time()
+            deadline = assemble_t0 + self.max_wait_s
+            saw_stop = False
+            while len(batch) < self.max_batch_size:
+                # Drain synchronously first: under load the queue refills
+                # in bursts, and a per-item ``wait_for`` (a Task plus a
+                # timer handle each) would dominate the per-point cost.
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if item is _STOP:
+                    saw_stop = True
+                    break
+                batch.append(item)
+            self._depth_gauge.set(self._queue.qsize())
+            assembled_s = time.monotonic() - assemble_t0
+            try:
+                results = await loop.run_in_executor(
+                    self._executor,
+                    self._solve_batch,
+                    batch,
+                    assemble_unix,
+                    assembled_s,
+                )
+            except BaseException as exc:  # noqa: BLE001 - fanned out below
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            else:
+                for pending, outcome in zip(batch, results):
+                    if pending.future.done():
+                        continue
+                    if isinstance(outcome, BaseException):
+                        pending.future.set_exception(outcome)
+                    else:
+                        pending.future.set_result(outcome)
+            if saw_stop:
+                break
+        # Drain-on-stop: everything admitted before the stop sentinel is
+        # still answered, in arrival order.
+        leftovers: List[_Pending] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _STOP:
+                leftovers.append(item)
+        for chunk_start in range(0, len(leftovers), self.max_batch_size):
+            chunk = leftovers[chunk_start : chunk_start + self.max_batch_size]
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._solve_batch, chunk, time.time(), 0.0
+                )
+            except BaseException as exc:  # noqa: BLE001
+                for pending in chunk:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            else:
+                for pending, outcome in zip(chunk, results):
+                    if pending.future.done():
+                        continue
+                    if isinstance(outcome, BaseException):
+                        pending.future.set_exception(outcome)
+                    else:
+                        pending.future.set_result(outcome)
+        self._depth_gauge.set(self._queue.qsize())
+
+    # ------------------------------------------------------------------ #
+    # the solver (runs on the dedicated worker thread)
+    # ------------------------------------------------------------------ #
+
+    def _solve_batch(
+        self,
+        batch: Sequence[_Pending],
+        assemble_unix: float,
+        assembled_s: float,
+    ) -> List[Any]:
+        """Solve one assembled batch; returns per-point floats (or the
+        exception that point's group raised, position-matched)."""
+        solve_t0 = time.monotonic()
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for i, pending in enumerate(batch):
+            groups.setdefault((pending.method, pending.spec_hash), []).append(i)
+        results: List[Any] = [None] * len(batch)
+        with obs.span(
+            "serve.batch", size=len(batch), groups=len(groups)
+        ) as batch_span:
+            if obs.tracing_active():
+                dequeued = time.time()
+                synthetic = [
+                    synth_span(
+                        "serve.batch.assemble",
+                        assemble_unix,
+                        assembled_s,
+                        points=len(batch),
+                    )
+                ]
+                synthetic.extend(
+                    synth_span(
+                        "serve.queue.wait",
+                        p.enqueued_unix,
+                        dequeued - p.enqueued_unix,
+                        config=p.config.key,
+                    )
+                    for p in batch
+                )
+                obs.adopt_spans(synthetic, batch_span.span_id)
+            for (method, spec_hash), members in groups.items():
+                try:
+                    if method == "analytic":
+                        compiled = None
+                        envs = []
+                        for i in members:
+                            c, env = prepare_point(
+                                batch[i].config, batch[i].params, self.ctx
+                            )
+                            compiled = c
+                            envs.append(env)
+                        with obs.span(
+                            "serve.batch.solve",
+                            method=method,
+                            spec=spec_hash[:12],
+                            points=len(members),
+                        ):
+                            solved = solve_grouped(compiled, envs)
+                    else:
+                        with obs.span(
+                            "serve.batch.solve",
+                            method=method,
+                            points=len(members),
+                        ):
+                            solved = [
+                                closed_form_mttdl(
+                                    batch[i].config, batch[i].params, self.ctx
+                                )
+                                for i in members
+                            ]
+                except Exception as exc:  # noqa: BLE001 - per-group isolation
+                    for i in members:
+                        results[i] = exc
+                else:
+                    for i, mttdl in zip(members, solved):
+                        results[i] = mttdl
+        now = time.monotonic()
+        for pending in batch:
+            self._queue_wait.observe(solve_t0 - pending.enqueued_mono)
+        self._batches.inc()
+        self._points.inc(len(batch))
+        self._batch_size.observe(len(batch))
+        self._batch_groups.observe(len(groups))
+        self._batch_assemble.observe(assembled_s)
+        self._batch_solve.observe(now - solve_t0)
+        return results

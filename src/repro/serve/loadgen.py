@@ -1,0 +1,301 @@
+"""``repro-loadgen`` — an open-loop HTTP load generator for repro-serve.
+
+Open-loop means send times are fixed by the target rate before any
+response arrives: request *i* departs at ``t0 + i / rps`` whether or not
+earlier requests have finished.  That is the arrival model that actually
+stresses admission control — a closed loop slows itself down exactly
+when the server struggles, hiding overload — so shed rates and tail
+latencies measured here mean what they appear to mean.
+
+The request mix is seeded and reproducible: a :class:`RequestMix` draws
+(configuration, method, one parameter override) per request from a
+``random.Random(seed)``, so two runs against the same server hit the
+same key sequence (and therefore the same cache behavior).
+
+The report carries p50/p95/p99 latency, achieved throughput, and a
+status histogram; :func:`run_loadgen` returns it for in-process callers
+(tests, the smoke check, benchmarks) and ``main`` prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LoadReport",
+    "RequestMix",
+    "main",
+    "percentile",
+    "run_loadgen",
+]
+
+#: The nine standard configuration keys (3 internal-RAID levels x 3
+#: node fault tolerances), spelled out so the load generator does not
+#: import model code — it is a pure HTTP client.
+DEFAULT_CONFIGS = (
+    "ft1_noraid",
+    "ft2_noraid",
+    "ft3_noraid",
+    "ft1_raid5",
+    "ft2_raid5",
+    "ft3_raid5",
+    "ft1_raid6",
+    "ft2_raid6",
+    "ft3_raid6",
+)
+
+#: Method draw: mostly the batched analytic path, some closed form.
+DEFAULT_METHODS = ("analytic", "analytic", "analytic", "closed_form")
+
+#: Default swept override axis and its values — enough distinct values
+#: to generate cache misses, few enough to also exercise hits.
+DEFAULT_AXIS = "drive_mttf_hours"
+DEFAULT_VALUES = (100_000.0, 200_000.0, 300_000.0, 461_386.0, 750_000.0)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of pre-sorted values."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without math
+    return sorted_values[int(rank) - 1]
+
+
+class RequestMix:
+    """A seeded stream of ``/v1/evaluate`` request bodies."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        configs: Sequence[str] = DEFAULT_CONFIGS,
+        methods: Sequence[str] = DEFAULT_METHODS,
+        axis: str = DEFAULT_AXIS,
+        values: Sequence[float] = DEFAULT_VALUES,
+    ) -> None:
+        self.seed = seed
+        self.configs = tuple(configs)
+        self.methods = tuple(methods)
+        self.axis = axis
+        self.values = tuple(values)
+        self._rng = random.Random(seed)
+
+    def body(self) -> Dict[str, Any]:
+        """The next request body in the stream."""
+        rng = self._rng
+        return {
+            "config": rng.choice(self.configs),
+            "method": rng.choice(self.methods),
+            "params": {self.axis: rng.choice(self.values)},
+        }
+
+
+@dataclass
+class LoadReport:
+    """Everything one load-generation run measured."""
+
+    target_rps: float
+    duration_s: float
+    sent: int = 0
+    statuses: Dict[int, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    transport_errors: int = 0
+    elapsed_s: float = 0.0
+    #: Per-request log: (status, latency_s) in send order; status -1
+    #: marks a transport failure.  Tests reconcile this against the
+    #: server's admission metrics.
+    log: List[Tuple[int, float]] = field(default_factory=list)
+
+    def record(self, status: int, latency_s: float) -> None:
+        self.sent += 1
+        self.log.append((status, latency_s))
+        if status < 0:
+            self.transport_errors += 1
+            return
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        self.latencies_s.append(latency_s)
+
+    @property
+    def completed(self) -> int:
+        return self.statuses.get(200, 0)
+
+    @property
+    def shed(self) -> int:
+        return self.statuses.get(429, 0)
+
+    @property
+    def server_errors(self) -> int:
+        return sum(n for s, n in self.statuses.items() if s >= 500)
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_percentiles_ms(self) -> Dict[str, float]:
+        ordered = sorted(self.latencies_s)
+        return {
+            "p50": 1e3 * percentile(ordered, 50),
+            "p95": 1e3 * percentile(ordered, 95),
+            "p99": 1e3 * percentile(ordered, 99),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target_rps": self.target_rps,
+            "duration_s": self.duration_s,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "sent": self.sent,
+            "completed": self.completed,
+            "shed": self.shed,
+            "server_errors": self.server_errors,
+            "transport_errors": self.transport_errors,
+            "achieved_rps": round(self.achieved_rps, 2),
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "latency_ms": {
+                k: round(v, 3)
+                for k, v in self.latency_percentiles_ms().items()
+            },
+        }
+
+    def format(self) -> str:
+        pct = self.latency_percentiles_ms()
+        lines = [
+            "loadgen report",
+            f"  target rate     {self.target_rps:g} req/s "
+            f"for {self.duration_s:g}s (open loop)",
+            f"  sent/completed  {self.sent}/{self.completed} "
+            f"(shed {self.shed}, 5xx {self.server_errors}, "
+            f"transport {self.transport_errors})",
+            f"  achieved        {self.achieved_rps:.1f} req/s",
+            f"  latency ms      p50 {pct['p50']:.2f}   "
+            f"p95 {pct['p95']:.2f}   p99 {pct['p99']:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+async def _one_request(
+    host: str,
+    port: int,
+    path: str,
+    body: Dict[str, Any],
+    report: LoadReport,
+    timeout_s: float,
+) -> None:
+    payload = json.dumps(body).encode("utf-8")
+    request = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1") + payload
+    t0 = time.monotonic()
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout_s
+        )
+        try:
+            writer.write(request)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), timeout_s)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        status = int(raw.split(b" ", 2)[1])
+    except (OSError, asyncio.TimeoutError, ValueError, IndexError):
+        report.record(-1, time.monotonic() - t0)
+        return
+    report.record(status, time.monotonic() - t0)
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    rps: float = 50.0,
+    duration_s: float = 5.0,
+    seed: int = 0,
+    mix: Optional[RequestMix] = None,
+    path: str = "/v1/evaluate",
+    timeout_s: float = 30.0,
+) -> LoadReport:
+    """Drive open-loop traffic at ``rps`` for ``duration_s`` seconds."""
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    mix = mix if mix is not None else RequestMix(seed)
+    report = LoadReport(target_rps=rps, duration_s=duration_s)
+    total = max(1, int(rps * duration_s))
+    t0 = time.monotonic()
+    tasks = []
+    for i in range(total):
+        delay = t0 + i / rps - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                _one_request(host, port, path, mix.body(), report, timeout_s)
+            )
+        )
+    await asyncio.gather(*tasks)
+    report.elapsed_s = time.monotonic() - t0
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Open-loop load generator for repro-serve.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--rps", type=float, default=50.0, help="target request rate"
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=5.0, help="run duration"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="request-mix seed"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the report as JSON to PATH",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            rps=args.rps,
+            duration_s=args.seconds,
+            seed=args.seed,
+        )
+    )
+    print(report.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+    return 1 if report.server_errors or report.transport_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

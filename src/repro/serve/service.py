@@ -1,0 +1,338 @@
+"""The reliability-query service: cache, coalescing, admission control.
+
+:class:`ReliabilityService` is the protocol-agnostic core behind the
+HTTP front end (and behind in-process callers like the benchmark
+harness).  A point query flows through three layers, cheapest first:
+
+1. the TTL'd LRU **result cache**, keyed by the engine's stable
+   config+params hash — a hit costs a dict copy;
+2. the **in-flight table** — a second request for a key already being
+   solved awaits the first one's future instead of solving again;
+3. the **coalescing batcher** — admitted points group by spec hash and
+   solve as one stacked GTH elimination
+   (:class:`~repro.serve.batcher.CoalescingBatcher`).
+
+Monte-Carlo points, availability profiles and axis sweeps do not batch
+(their cost profile is different); they run on a single auxiliary worker
+thread behind their own admission bound, so a burst of expensive
+requests sheds with 429 instead of starving the chain solves.
+
+Every answer is bitwise identical to the corresponding direct
+:func:`repro.evaluate` call — the service only re-routes *where* the
+same floats are computed, never *how*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from .. import obs
+from ..engine.sweep import Axis, SweepEngine
+from ..models.availability import AvailabilityModel
+from ..models.metrics import ReliabilityResult
+from ..models.parameters import Parameters
+from .batcher import CoalescingBatcher, Overloaded
+from .protocol import PointQuery, SweepQuery, point_response
+from .ttl_cache import TTLCache
+
+__all__ = ["ReliabilityService", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every serving knob in one immutable bag.
+
+    Attributes:
+        host / port: bind address (port 0 picks an ephemeral port).
+        max_batch_size: close a solve batch at this many points.
+        max_wait_us: close a solve batch this many microseconds after its
+            first point arrived — the latency traded for throughput.
+        queue_depth: admission bound on queued (un-batched) points;
+            beyond it, requests shed with 429.
+        retry_after_s: the ``Retry-After`` hint sent with a 429.
+        cache_size: result-cache entry cap (0 disables caching).
+        cache_ttl_s: result-cache entry lifetime (None = no expiry).
+        aux_depth: admission bound on queued auxiliary work (Monte Carlo,
+            availability profiles, sweeps).
+        base_params: baseline :class:`Parameters` that request-level
+            overrides apply to (the paper's Section 6 baseline when
+            omitted).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch_size: int = 64
+    max_wait_us: int = 2_000
+    queue_depth: int = 1024
+    retry_after_s: float = 1.0
+    cache_size: int = 4096
+    cache_ttl_s: Optional[float] = 300.0
+    aux_depth: int = 8
+    base_params: Optional[Parameters] = field(default=None, repr=False)
+
+    def with_overrides(self, **changes: Any) -> "ServeConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class ReliabilityService:
+    """Answers validated reliability queries; owns cache + batcher.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`stop` explicitly) so the batcher's consumer task exists::
+
+        service = ReliabilityService(ServeConfig())
+        async with service:
+            answers = await service.evaluate(queries)
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        metrics: Optional[obs.Metrics] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else obs.Metrics()
+        self.base_params = (
+            self.config.base_params
+            if self.config.base_params is not None
+            else Parameters.baseline()
+        )
+        self.cache = TTLCache(
+            self.config.cache_size,
+            self.config.cache_ttl_s,
+            metrics=self.metrics,
+        )
+        self.batcher = CoalescingBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_us=self.config.max_wait_us,
+            queue_depth=self.config.queue_depth,
+            retry_after_s=self.config.retry_after_s,
+            metrics=self.metrics,
+        )
+        # One worker: sweeps and Monte-Carlo runs share the engine's
+        # solve context, which is not re-entrant across threads.
+        self._aux = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-aux"
+        )
+        self._aux_pending = 0
+        self._engine = SweepEngine(
+            base_params=self.base_params, jobs=1, cache=False
+        )
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._coalesced = self.metrics.counter("serve.inflight.coalesced")
+        self._aux_gauge = self.metrics.gauge("serve.aux.pending")
+        self._aux_shed = self.metrics.counter("serve.aux.shed")
+        self._eval_requests = self.metrics.counter("serve.requests.evaluate")
+        self._sweep_requests = self.metrics.counter("serve.requests.sweep")
+        self.started_unix = time.time()
+        self.draining = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start the batcher on the running event loop."""
+        self.batcher.start()
+
+    async def stop(self) -> None:
+        """Drain: answer everything admitted, then stop the workers."""
+        self.draining = True
+        await self.batcher.stop()
+        self._aux.shutdown(wait=True)
+
+    async def __aenter__(self) -> "ReliabilityService":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # point evaluation
+    # ------------------------------------------------------------------ #
+
+    async def evaluate(
+        self, queries: List[PointQuery]
+    ) -> List[Dict[str, Any]]:
+        """Answer every query (concurrently); raises on any failure.
+
+        Raises:
+            Overloaded: at least one point was shed and none failed for a
+                worse reason — the whole request is retryable.
+        """
+        self._eval_requests.inc()
+        if len(queries) == 1:
+            return [await self.answer_point(queries[0])]
+        outcomes = await asyncio.gather(
+            *(self.answer_point(q) for q in queries), return_exceptions=True
+        )
+        overloaded: Optional[Overloaded] = None
+        for outcome in outcomes:
+            if isinstance(outcome, Overloaded):
+                overloaded = overloaded or outcome
+            elif isinstance(outcome, BaseException):
+                raise outcome
+        if overloaded is not None:
+            raise overloaded
+        return outcomes  # type: ignore[return-value]
+
+    async def answer_point(self, query: PointQuery) -> Dict[str, Any]:
+        """The JSON-ready answer for one point (cache → in-flight →
+        batcher), raising :class:`Overloaded` when shed."""
+        key = query.cache_key()
+        hit = self.cache.get(key)
+        if hit is not None:
+            out = dict(hit)
+            out["cached"] = True
+            return out
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self._coalesced.inc()
+            return dict(await asyncio.shield(inflight))
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[key] = future
+        try:
+            response = await self._compute_point(query)
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # consumed: no zero-waiter warning
+            raise
+        else:
+            future.set_result(response)
+            self.cache.put(key, response)
+            return dict(response)
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _compute_point(self, query: PointQuery) -> Dict[str, Any]:
+        if query.method == "monte_carlo":
+            result = await self._offload(lambda: self._monte_carlo(query))
+        else:
+            mttdl = await self.batcher.submit(
+                query.config, query.params, query.method
+            )
+            result = ReliabilityResult.from_mttdl(mttdl, query.params)
+        availability = None
+        if query.recovery_hours is not None:
+            availability = await self._offload(
+                lambda: self._availability(query)
+            )
+        return point_response(
+            query, result, cached=False, availability=availability
+        )
+
+    def _monte_carlo(self, query: PointQuery) -> ReliabilityResult:
+        from ..engine.facade import evaluate
+
+        with obs.span(
+            "serve.monte_carlo",
+            config=query.config.key,
+            replicas=query.replicas,
+        ):
+            return evaluate(
+                query.config,
+                query.params,
+                method="monte_carlo",
+                replicas=query.replicas,
+                seed=query.seed,
+            )
+
+    def _availability(self, query: PointQuery) -> Dict[str, float]:
+        with obs.span("serve.availability", config=query.config.key):
+            profile = AvailabilityModel(
+                query.config, query.params, query.recovery_hours
+            ).evaluate()
+        return {
+            "recovery_hours": query.recovery_hours,
+            "fully_operational_fraction": profile.fully_operational_fraction,
+            "degraded_fraction": profile.degraded_fraction,
+            "post_loss_fraction": profile.post_loss_fraction,
+            "degraded_hours_per_year": profile.degraded_hours_per_year,
+        }
+
+    # ------------------------------------------------------------------ #
+    # sweeps
+    # ------------------------------------------------------------------ #
+
+    async def sweep(self, query: SweepQuery) -> Dict[str, Any]:
+        """Answer one axis sweep through :class:`SweepEngine`."""
+        self._sweep_requests.inc()
+
+        def run() -> Any:
+            with obs.span(
+                "serve.sweep",
+                axis=query.axis_name,
+                configs=len(query.configs),
+                values=len(query.values),
+            ):
+                return self._engine.sweep(
+                    list(query.configs),
+                    Axis(query.axis_name, query.values),
+                    method=query.method,
+                )
+
+        result = await self._offload(run)
+        by_config: Dict[str, Dict[str, List[float]]] = {}
+        for point in result.points:
+            entry = by_config.setdefault(
+                point.config.key,
+                {"mttdl_hours": [], "events_per_pb_year": []},
+            )
+            entry["mttdl_hours"].append(point.mttdl_hours)
+            entry["events_per_pb_year"].append(point.events_per_pb_year)
+        return {
+            "axis": query.axis_name,
+            "values": list(query.values),
+            "method": query.method,
+            "series": [
+                {"config": key, **series} for key, series in by_config.items()
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # auxiliary work (single worker thread, bounded backlog)
+    # ------------------------------------------------------------------ #
+
+    async def _offload(self, fn) -> Any:
+        if self.draining or self._aux_pending >= self.config.aux_depth:
+            self._aux_shed.inc()
+            raise Overloaded(self.config.retry_after_s)
+        self._aux_pending += 1
+        self._aux_gauge.set(self._aux_pending)
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._aux, fn
+            )
+        finally:
+            self._aux_pending -= 1
+            self._aux_gauge.set(self._aux_pending)
+
+    # ------------------------------------------------------------------ #
+    # introspection endpoints
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload."""
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "queue_depth": self.batcher.depth,
+            "inflight": len(self._inflight),
+            "cache_entries": len(self.cache),
+        }
+
+    def metricsz(self) -> Dict[str, Any]:
+        """The ``/metricsz`` payload: the service registry folded with
+        the process-global one, in flat ``metrics.json`` form."""
+        return obs.Metrics.merged(
+            [obs.GLOBAL_METRICS, self.metrics]
+        ).to_dict()

@@ -1,0 +1,143 @@
+"""The serve smoke check (CI's ``serve-smoke`` job).
+
+``python -m repro.serve.smoke`` starts ``repro-serve`` on an ephemeral
+port with tracing enabled, drives it with the open-loop load generator
+for a few seconds at a gentle rate, drains the server, and then asserts
+the things that must hold for the service to be considered alive:
+
+* zero 5xx responses and zero transport errors;
+* the solve-batch-size histogram recorded at least one batch (the
+  coalescing pipeline actually ran);
+* every HTTP span count reconciles with the loadgen's request log;
+* the emitted JSONL trace passes :func:`repro.obs.validate_trace` and
+  contains the ``serve.request`` / ``serve.batch`` span taxonomy.
+
+Exit status 0 means all checks passed; the trace and metrics files are
+left behind as CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .. import obs
+from .http import serving
+from .loadgen import LoadReport, run_loadgen
+from .service import ServeConfig
+
+__all__ = ["main", "run_smoke"]
+
+
+async def _drive(
+    config: ServeConfig, rps: float, seconds: float, seed: int
+) -> Tuple[LoadReport, obs.Metrics]:
+    async with serving(config) as server:
+        report = await run_loadgen(
+            server.host, server.port, rps=rps, duration_s=seconds, seed=seed
+        )
+        metrics = obs.Metrics.merged([server.service.metrics])
+    return report, metrics
+
+
+def run_smoke(
+    *,
+    rps: float = 30.0,
+    seconds: float = 5.0,
+    seed: int = 0,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+) -> Tuple[LoadReport, obs.Metrics, List[str]]:
+    """Run the smoke scenario; returns (report, metrics, failures)."""
+    config = ServeConfig(port=0)
+    session = obs.trace(
+        trace_path, metrics_path=metrics_path, root="repro-serve"
+    )
+    with session as active:
+        report, metrics = asyncio.run(_drive(config, rps, seconds, seed))
+        active.add_metrics_source(lambda: metrics)
+
+    failures: List[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("ok   " if ok else "FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    check(report.sent > 0, f"sent {report.sent} requests")
+    check(
+        report.completed == report.sent,
+        f"all {report.sent} requests answered 200 "
+        f"(got {report.completed}, shed {report.shed})",
+    )
+    check(report.server_errors == 0, f"zero 5xx (got {report.server_errors})")
+    check(
+        report.transport_errors == 0,
+        f"zero transport errors (got {report.transport_errors})",
+    )
+    batches = metrics.histogram("serve.batch.size")
+    check(
+        batches.count > 0,
+        f"batch-size histogram non-empty ({batches.count} batches, "
+        f"mean size {batches.mean:.2f})",
+    )
+    http_requests = metrics.value("serve.http.requests", 0)
+    check(
+        http_requests == report.sent,
+        f"serve.http.requests ({http_requests}) == sent ({report.sent})",
+    )
+    admitted = metrics.value("serve.queue.admitted", 0)
+    cache_hits = metrics.value("serve.cache.hits", 0)
+    coalesced = metrics.value("serve.inflight.coalesced", 0)
+    shed = metrics.value("serve.queue.shed", 0)
+    check(
+        admitted + cache_hits + coalesced + shed >= report.sent,
+        f"admission accounting covers every request "
+        f"(admitted {admitted} + cache hits {cache_hits} + "
+        f"coalesced {coalesced} + shed {shed} >= {report.sent})",
+    )
+    if trace_path:
+        try:
+            spans = obs.validate_trace(trace_path)
+        except obs.TraceFormatError as exc:
+            check(False, f"trace validates ({exc})")
+        else:
+            names = {s["name"] for s in spans}
+            check(True, f"trace validates ({len(spans)} spans)")
+            for required in ("repro-serve", "serve.request", "serve.batch"):
+                check(required in names, f"trace contains {required!r} spans")
+    print()
+    print(report.format())
+    return report, metrics, failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.smoke",
+        description="Start repro-serve, drive it with the load generator, "
+        "assert liveness + coalescing, validate the trace.",
+    )
+    parser.add_argument("--rps", type=float, default=30.0)
+    parser.add_argument("--seconds", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", metavar="PATH", default=None)
+    parser.add_argument("--metrics", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+    _, _, failures = run_smoke(
+        rps=args.rps,
+        seconds=args.seconds,
+        seed=args.seed,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+    )
+    if failures:
+        print(f"\nserve-smoke FAILED ({len(failures)} checks)")
+        return 1
+    print("\nserve-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

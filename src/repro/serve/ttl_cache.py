@@ -1,0 +1,113 @@
+"""A TTL'd LRU result cache for served answers.
+
+Keys are the engine's stable config+params hashes
+(:meth:`PointQuery.cache_key`), values are the finished JSON-ready
+response dicts, so a hit skips parsing nothing and solving everything.
+Entries expire ``ttl_s`` seconds after they were stored (results are
+deterministic, so the TTL bounds staleness across deploys rather than
+correctness) and the least-recently-used entry falls out beyond
+``maxsize``.
+
+The cache is synchronous and unlocked by design: the service touches it
+only from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Optional
+
+from ..obs import Metrics
+
+__all__ = ["TTLCache"]
+
+
+class TTLCache:
+    """An LRU mapping with per-entry expiry and obs counters.
+
+    Args:
+        maxsize: entry cap; 0 disables the cache entirely (every get
+            misses, every put is dropped).
+        ttl_s: seconds an entry stays servable; ``None`` means no expiry.
+        metrics: registry for the ``serve.cache.*`` counters (a private
+            one when omitted).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        ttl_s: Optional[float] = 300.0,
+        *,
+        metrics: Optional[Metrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None for no expiry)")
+        self.maxsize = maxsize
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._hits = self.metrics.counter("serve.cache.hits")
+        self._misses = self.metrics.counter("serve.cache.misses")
+        self._expired = self.metrics.counter("serve.cache.expired")
+        self._evicted = self.metrics.counter("serve.cache.evicted")
+        self._size = self.metrics.gauge("serve.cache.size")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Any]:
+        """The live value under ``key``, or None (counted hit/miss).
+
+        An expired entry counts as a miss (plus ``serve.cache.expired``)
+        and is dropped so the store never fills with dead weight.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses.inc()
+            return None
+        expires_at, value = entry
+        if expires_at is not None and self._clock() >= expires_at:
+            del self._entries[key]
+            self._size.set(len(self._entries))
+            self._expired.inc()
+            self._misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._hits.inc()
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value``; evicts the LRU entry beyond ``maxsize``."""
+        if self.maxsize == 0:
+            return
+        expires_at = None if self.ttl_s is None else self._clock() + self.ttl_s
+        self._entries[key] = (expires_at, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evicted.inc()
+        self._size.set(len(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._size.set(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TTLCache(size={len(self._entries)}/{self.maxsize}, "
+            f"ttl={self.ttl_s}, hits={self.hits}, misses={self.misses})"
+        )

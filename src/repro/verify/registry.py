@@ -318,6 +318,7 @@ class InvariantRegistry:
             mc_replicas=ctx.mc_replicas,
             mc_seed=ctx.mc_seed,
             provenance=ctx.engine.provenance(),
+            base_params_key=ctx.base.cache_key(),
         )
 
 

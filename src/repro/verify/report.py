@@ -33,6 +33,10 @@ class VerificationReport:
         mc_replicas: Monte-Carlo replicas used (0 = simulation skipped).
         mc_seed: the master seed every stochastic check drew from.
         provenance: engine settings/counters for the run.
+        base_params_key: :meth:`Parameters.cache_key` of the audited base
+            point — the same stable hash the engine's disk cache and the
+            serving layer key on, so a report can be joined against cached
+            or served results without re-deriving anything.
     """
 
     checks: Tuple[InvariantCheck, ...]
@@ -41,6 +45,7 @@ class VerificationReport:
     mc_replicas: int = 0
     mc_seed: int = 0
     provenance: Optional[EngineProvenance] = None
+    base_params_key: Optional[str] = None
 
     # ------------------------------------------------------------------ #
 
@@ -73,6 +78,7 @@ class VerificationReport:
             "mc_seed": self.mc_seed,
             "total_checked": self.total_checked,
             "violation_count": len(self.violations),
+            "base_params_key": self.base_params_key,
             "engine": self.provenance.describe() if self.provenance else None,
             "invariants": [check.to_dict() for check in self.checks],
         }

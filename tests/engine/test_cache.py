@@ -130,3 +130,97 @@ class TestCorruptionHardening:
         assert not point_payload_valid({"mttdl_hours": True})
         assert not point_payload_valid({"mttdl_hours": "1.0"})
         assert not point_payload_valid({})
+
+
+class TestConcurrentWriters:
+    """Same-key races: concurrent put/get must never surface torn data,
+    and a reader must never delete a writer's fresh entry."""
+
+    def test_thread_hammer_one_key(self, tmp_path):
+        """Many writer and reader threads on one key: every observed
+        payload is complete, nothing is rejected, no temp files leak."""
+        import threading
+
+        cache = DiskCache(tmp_path, validator=point_payload_valid)
+        stop = threading.Event()
+        seen = []
+        errors = []
+
+        def writer(worker):
+            i = 0
+            while not stop.is_set():
+                # Payload is internally consistent: a torn read could
+                # not produce matching fields and still parse.
+                cache.put(
+                    KEY, {"mttdl_hours": float(i), "worker": worker, "i": i}
+                )
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                payload = cache.get(KEY)
+                if payload is None:
+                    continue
+                try:
+                    assert set(payload) == {"mttdl_hours", "worker", "i"}
+                    assert payload["mttdl_hours"] == float(payload["i"])
+                except AssertionError as exc:
+                    errors.append(exc)
+                    return
+                seen.append(payload["i"])
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+
+        assert not errors, errors[0]
+        assert seen, "readers never observed a stored payload"
+        assert cache.rejected == 0
+        leftovers = list(tmp_path.glob(".tmp-*"))
+        assert leftovers == [], leftovers
+        # The surviving entry is whole.
+        final = cache.get(KEY)
+        assert final is not None and point_payload_valid(final)
+
+    def test_reject_spares_concurrently_replaced_entry(
+        self, tmp_path, monkeypatch
+    ):
+        """A reader that saw a corrupt entry must not unlink the fresh
+        valid entry a concurrent put() raced in behind its back."""
+        import json
+
+        cache = DiskCache(tmp_path)
+        path = tmp_path / f"{KEY}.json"
+        path.write_text("{torn", encoding="utf-8")
+
+        real_load = json.load
+
+        def racing_load(fh, *args, **kwargs):
+            # The reader holds the corrupt file open; before it decides
+            # to reject, a concurrent writer replaces the entry.
+            DiskCache(tmp_path).put(KEY, {"mttdl_hours": 9.0})
+            return real_load(fh, *args, **kwargs)
+
+        monkeypatch.setattr(json, "load", racing_load)
+        assert cache.get(KEY) is None  # the corrupt bytes: a miss
+        monkeypatch.undo()
+        assert cache.rejected == 1
+        # The freshly written entry survived the rejection's unlink.
+        assert path.exists()
+        assert cache.get(KEY) == {"mttdl_hours": 9.0}
+
+    def test_reject_still_unlinks_unreplaced_corruption(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = tmp_path / f"{KEY}.json"
+        path.write_text("{torn", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.rejected == 1
+        assert not path.exists()

@@ -168,3 +168,42 @@ class TestKeywordOnlyConstruction:
         assert not any(
             isinstance(w.message, DeprecationWarning) for w in recwarn.list
         )
+
+
+class TestCacheKey:
+    """cache_key() is the canonical parameter identity: one derivation,
+    bitwise-sensitive, stable across processes."""
+
+    def test_is_stable_digest_of_to_dict(self, baseline):
+        from repro.engine.keys import stable_digest
+
+        assert baseline.cache_key() == stable_digest(baseline.to_dict())
+
+    def test_known_value_is_stable_across_processes(self, baseline):
+        # A change here means every persisted cache entry silently
+        # invalidates — bump engine.keys.CACHE_SCHEMA_VERSION instead.
+        key = baseline.cache_key()
+        assert len(key) == 64
+        assert key == Parameters.baseline().cache_key()
+
+    def test_bitwise_sensitive(self, baseline):
+        nudged = baseline.replace(
+            drive_mttf_hours=baseline.drive_mttf_hours * (1 + 2**-52)
+        )
+        assert nudged.drive_mttf_hours != baseline.drive_mttf_hours
+        assert nudged.cache_key() != baseline.cache_key()
+
+    def test_equal_params_equal_key(self, baseline):
+        same = baseline.replace(drive_mttf_hours=baseline.drive_mttf_hours)
+        assert same == baseline
+        assert same.cache_key() == baseline.cache_key()
+
+    def test_memo_does_not_leak_into_value_semantics(self, baseline):
+        import pickle
+
+        _ = baseline.cache_key()  # populate the memo
+        clone = pickle.loads(pickle.dumps(baseline))
+        assert clone == baseline
+        assert clone.cache_key() == baseline.cache_key()
+        assert baseline.to_dict() == clone.to_dict()
+        assert "_cache_key_memo" not in baseline.to_dict()

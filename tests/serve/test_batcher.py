@@ -1,0 +1,203 @@
+"""The coalescing batcher: grouping, identity, admission, drain."""
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.models.configurations import all_configurations
+from repro.serve.batcher import CoalescingBatcher, Overloaded
+
+pytestmark = pytest.mark.serve
+
+CONFIGS = all_configurations(3)
+
+
+def _unique_points(base, n):
+    """n unique (config, params) points cycling over all nine configs."""
+    return [
+        (
+            CONFIGS[i % len(CONFIGS)],
+            base.replace(drive_mttf_hours=1e5 * (1 + i * 1e-6)),
+        )
+        for i in range(n)
+    ]
+
+
+def test_concurrent_submits_coalesce_and_match_evaluate(baseline):
+    """Concurrent points batch (mean batch size > 1) and every answer is
+    bitwise identical to the direct repro.evaluate() path."""
+    points = _unique_points(baseline, 60)
+
+    async def drive():
+        batcher = CoalescingBatcher(max_batch_size=64, max_wait_us=5000)
+        batcher.start()
+        try:
+            futures = [
+                batcher.submit(config, params, "analytic")
+                for config, params in points
+            ]
+            return await asyncio.gather(*futures), batcher.metrics
+        finally:
+            await batcher.stop()
+
+    answers, metrics = asyncio.run(drive())
+    sizes = metrics.histogram("serve.batch.size")
+    assert sizes.count >= 1
+    assert sizes.mean > 1.0, "concurrent submits did not batch"
+    for (config, params), mttdl in zip(points, answers):
+        direct = repro.evaluate(config, params, method="analytic")
+        assert mttdl == direct.mttdl_hours, config.key
+
+
+def test_closed_form_points_batch_too(baseline):
+    async def drive():
+        batcher = CoalescingBatcher(max_batch_size=16, max_wait_us=5000)
+        batcher.start()
+        try:
+            futures = [
+                batcher.submit(config, baseline, "closed_form")
+                for config in CONFIGS
+            ]
+            return await asyncio.gather(*futures)
+        finally:
+            await batcher.stop()
+
+    answers = asyncio.run(drive())
+    for config, mttdl in zip(CONFIGS, answers):
+        direct = repro.evaluate(config, baseline, method="closed_form")
+        assert mttdl == direct.mttdl_hours, config.key
+
+
+def test_mixed_methods_group_separately(baseline):
+    async def drive():
+        batcher = CoalescingBatcher(max_batch_size=32, max_wait_us=5000)
+        batcher.start()
+        try:
+            futures = [
+                batcher.submit(
+                    config,
+                    baseline,
+                    "analytic" if i % 2 == 0 else "closed_form",
+                )
+                for i, config in enumerate(CONFIGS)
+            ]
+            return await asyncio.gather(*futures), batcher.metrics
+        finally:
+            await batcher.stop()
+
+    answers, metrics = asyncio.run(drive())
+    assert metrics.histogram("serve.batch.groups").count >= 1
+    for i, (config, mttdl) in enumerate(zip(CONFIGS, answers)):
+        method = "analytic" if i % 2 == 0 else "closed_form"
+        direct = repro.evaluate(config, baseline, method=method)
+        assert mttdl == direct.mttdl_hours, (config.key, method)
+
+
+def test_submit_before_start_sheds(baseline):
+    async def drive():
+        batcher = CoalescingBatcher()
+        with pytest.raises(Overloaded):
+            batcher.submit(CONFIGS[0], baseline, "analytic")
+
+    asyncio.run(drive())
+
+
+def test_full_queue_sheds_with_retry_hint(baseline):
+    """Admission is the queue bound: submit is synchronous, so filling
+    the queue without yielding to the consumer sheds deterministically."""
+
+    async def drive():
+        batcher = CoalescingBatcher(
+            queue_depth=4, retry_after_s=2.5, max_wait_us=0
+        )
+        batcher.start()
+        try:
+            admitted = [
+                batcher.submit(CONFIGS[0], baseline, "analytic")
+                for _ in range(4)
+            ]
+            with pytest.raises(Overloaded) as exc_info:
+                batcher.submit(CONFIGS[0], baseline, "analytic")
+            assert exc_info.value.retry_after_s == 2.5
+            assert batcher.metrics.value("serve.queue.shed") == 1
+            assert batcher.metrics.value("serve.queue.admitted") == 4
+            await asyncio.gather(*admitted)
+        finally:
+            await batcher.stop()
+
+    asyncio.run(drive())
+
+
+def test_stop_drains_admitted_points(baseline):
+    """Everything admitted before stop() is still answered."""
+    points = _unique_points(baseline, 20)
+
+    async def drive():
+        batcher = CoalescingBatcher(max_batch_size=8, max_wait_us=0)
+        batcher.start()
+        futures = [
+            batcher.submit(config, params, "analytic")
+            for config, params in points
+        ]
+        await batcher.stop()
+        # Draining: new work sheds...
+        with pytest.raises(Overloaded):
+            batcher.submit(CONFIGS[0], baseline, "analytic")
+        # ...but every admitted future already resolved.
+        assert all(f.done() for f in futures)
+        return [f.result() for f in futures]
+
+    answers = asyncio.run(drive())
+    for (config, params), mttdl in zip(points, answers):
+        direct = repro.evaluate(config, params, method="analytic")
+        assert mttdl == direct.mttdl_hours
+
+
+def test_group_failure_is_isolated(baseline, monkeypatch):
+    """A solver error poisons only its own spec-hash group; the other
+    groups in the same batch still answer."""
+    import repro.serve.batcher as batcher_mod
+
+    real = batcher_mod.solve_grouped
+    boom = RuntimeError("synthetic solver failure")
+
+    def failing(compiled, envs):
+        if len(envs) and compiled.spec.name.startswith("no_raid"):
+            raise boom
+        return real(compiled, envs)
+
+    monkeypatch.setattr(batcher_mod, "solve_grouped", failing)
+
+    async def drive():
+        batcher = CoalescingBatcher(max_batch_size=32, max_wait_us=5000)
+        batcher.start()
+        try:
+            futures = [
+                batcher.submit(config, baseline, "analytic")
+                for config in CONFIGS
+            ]
+            return await asyncio.gather(*futures, return_exceptions=True)
+        finally:
+            await batcher.stop()
+
+    outcomes = asyncio.run(drive())
+    failed = [
+        config.key
+        for config, out in zip(CONFIGS, outcomes)
+        if isinstance(out, BaseException)
+    ]
+    assert failed == [c.key for c in CONFIGS if "noraid" in c.key]
+    for config, out in zip(CONFIGS, outcomes):
+        if not isinstance(out, BaseException):
+            direct = repro.evaluate(config, baseline, method="analytic")
+            assert out == direct.mttdl_hours
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CoalescingBatcher(max_batch_size=0)
+    with pytest.raises(ValueError):
+        CoalescingBatcher(max_wait_us=-1)
+    with pytest.raises(ValueError):
+        CoalescingBatcher(queue_depth=0)

@@ -1,0 +1,88 @@
+"""The open-loop load generator: percentiles, seeded mix, accounting."""
+
+import math
+
+import pytest
+
+from repro.serve.loadgen import LoadReport, RequestMix, percentile
+
+pytestmark = pytest.mark.serve
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 95) == 10.0
+        assert percentile(values, 99) == 10.0
+        assert percentile(values, 10) == 1.0
+        assert percentile(values, 100) == 10.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_zero_quantile_clamps_to_first(self):
+        assert percentile([1.0, 2.0], 0) == 1.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+
+class TestRequestMix:
+    def test_same_seed_same_stream(self):
+        a = RequestMix(seed=42)
+        b = RequestMix(seed=42)
+        assert [a.body() for _ in range(50)] == [b.body() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = [RequestMix(seed=1).body() for _ in range(20)]
+        b = [RequestMix(seed=2).body() for _ in range(20)]
+        assert a != b
+
+    def test_bodies_are_valid_requests(self, baseline):
+        from repro.serve.protocol import parse_evaluate_body
+
+        mix = RequestMix(seed=0)
+        for _ in range(30):
+            queries = parse_evaluate_body(mix.body(), baseline)
+            assert len(queries) == 1
+
+
+class TestLoadReport:
+    def test_accounting(self):
+        report = LoadReport(target_rps=10, duration_s=1)
+        report.record(200, 0.010)
+        report.record(200, 0.020)
+        report.record(429, 0.001)
+        report.record(500, 0.002)
+        report.record(-1, 0.5)
+        assert report.sent == 5
+        assert report.completed == 2
+        assert report.shed == 1
+        assert report.server_errors == 1
+        assert report.transport_errors == 1
+        # Transport failures carry no status and no latency sample.
+        assert len(report.latencies_s) == 4
+        assert report.log[-1][0] == -1
+
+    def test_achieved_rps(self):
+        report = LoadReport(target_rps=10, duration_s=1)
+        for _ in range(20):
+            report.record(200, 0.01)
+        report.elapsed_s = 2.0
+        assert report.achieved_rps == 10.0
+
+    def test_to_dict_and_format(self):
+        report = LoadReport(target_rps=10, duration_s=1)
+        report.record(200, 0.010)
+        report.record(429, 0.001)
+        report.elapsed_s = 1.0
+        out = report.to_dict()
+        assert out["sent"] == 2
+        assert out["completed"] == 1
+        assert out["shed"] == 1
+        assert out["statuses"] == {"200": 1, "429": 1}
+        assert set(out["latency_ms"]) == {"p50", "p95", "p99"}
+        text = report.format()
+        assert "sent/completed  2/1" in text

@@ -1,0 +1,100 @@
+"""The TTL'd LRU result cache, driven by an injected clock."""
+
+import pytest
+
+from repro.obs import Metrics
+from repro.serve.ttl_cache import TTLCache
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def test_basic_hit_miss_counters(clock):
+    cache = TTLCache(maxsize=4, ttl_s=10.0, clock=clock)
+    assert cache.get("aa") is None
+    cache.put("aa", {"v": 1})
+    assert cache.get("aa") == {"v": 1}
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_entries_expire_after_ttl(clock):
+    cache = TTLCache(maxsize=4, ttl_s=10.0, clock=clock)
+    cache.put("aa", 1)
+    clock.advance(9.999)
+    assert cache.get("aa") == 1
+    clock.advance(0.001)  # exactly at expiry: dead
+    assert cache.get("aa") is None
+    assert cache.metrics.value("serve.cache.expired") == 1
+    assert len(cache) == 0  # expired entries are dropped eagerly
+
+
+def test_no_ttl_means_no_expiry(clock):
+    cache = TTLCache(maxsize=4, ttl_s=None, clock=clock)
+    cache.put("aa", 1)
+    clock.advance(1e9)
+    assert cache.get("aa") == 1
+
+
+def test_lru_eviction_order(clock):
+    cache = TTLCache(maxsize=2, ttl_s=None, clock=clock)
+    cache.put("aa", 1)
+    cache.put("bb", 2)
+    assert cache.get("aa") == 1  # refresh aa: bb is now LRU
+    cache.put("cc", 3)
+    assert cache.get("bb") is None
+    assert cache.get("aa") == 1
+    assert cache.get("cc") == 3
+    assert cache.metrics.value("serve.cache.evicted") == 1
+
+
+def test_put_refreshes_recency_and_value(clock):
+    cache = TTLCache(maxsize=2, ttl_s=None, clock=clock)
+    cache.put("aa", 1)
+    cache.put("bb", 2)
+    cache.put("aa", 10)  # re-put refreshes both value and recency
+    cache.put("cc", 3)
+    assert cache.get("aa") == 10
+    assert cache.get("bb") is None
+
+
+def test_maxsize_zero_disables(clock):
+    cache = TTLCache(maxsize=0, ttl_s=None, clock=clock)
+    cache.put("aa", 1)
+    assert cache.get("aa") is None
+    assert len(cache) == 0
+
+
+def test_clear_resets_size_gauge(clock):
+    metrics = Metrics()
+    cache = TTLCache(maxsize=4, ttl_s=None, metrics=metrics, clock=clock)
+    cache.put("aa", 1)
+    assert metrics.value("serve.cache.size") == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert metrics.value("serve.cache.size") == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        TTLCache(maxsize=-1)
+    with pytest.raises(ValueError):
+        TTLCache(ttl_s=0.0)
+    with pytest.raises(ValueError):
+        TTLCache(ttl_s=-5.0)
