@@ -15,7 +15,9 @@ Quickstart::
     params = repro.Parameters.baseline()
     config = repro.Configuration(repro.InternalRaid.RAID5, node_fault_tolerance=2)
     result = repro.evaluate(config, params)           # analytic chain solve
-    approx = repro.evaluate(config, params, method="closed_form")
+    approx = repro.evaluate(
+        config, params, options=repro.core.SolveOptions(backend="closed_form")
+    )
     print(result.events_per_pb_year, result.meets_target)
 
 Sweeps run through the engine::

@@ -23,13 +23,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 from scipy import linalg as _sla
 
 from ..obs.tracer import span as _obs_span, tracing_active as _tracing_active
-from .linalg import gth_fundamental_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .solvers import SolveOptions, SolveResult
 
 __all__ = [
     "Transition",
@@ -281,6 +293,33 @@ class CTMC:
             raise NotAbsorbingError("chain has no transient states")
         return -self._q[np.ix_(transient, transient)]
 
+    def solve(self, options: Optional["SolveOptions"] = None) -> "SolveResult":
+        """Solve this chain through the strategy interface.
+
+        The instance-level door into :func:`repro.core.solvers.solve`:
+        builds a single-chain ``"mttdl"`` request and dispatches to the
+        backend the options select (``"auto"`` picks dense GTH below the
+        state-count crossover, the sparse kernels above it).
+
+        Args:
+            options: a :class:`~repro.core.solvers.SolveOptions`;
+                defaults apply when omitted.
+
+        Returns:
+            The backend's :class:`~repro.core.solvers.SolveResult`;
+            ``result.values[0]`` is the MTTDL.
+        """
+        from .solvers import DEFAULT_SOLVE_OPTIONS, SolveRequest
+        from .solvers import solve as _solve
+
+        return _solve(
+            SolveRequest(
+                chains=(self,),
+                query="mttdl",
+                options=options if options is not None else DEFAULT_SOLVE_OPTIONS,
+            )
+        )
+
     def mean_time_to_absorption(self) -> float:
         """Mean time until the chain first enters any absorbing state.
 
@@ -355,39 +394,27 @@ class CTMC:
     def absorb(self) -> AbsorptionResult:
         """Full absorption analysis from the initial state.
 
+        Routed through the ``dense_gth`` solver backend (the per-state
+        tau vector needs the full fundamental matrix, a dense-only
+        feature); the floats are the backend's verbatim GTH arithmetic.
+
         Returns:
             An :class:`AbsorptionResult` with the MTTDL, the expected total
             time spent in each transient state (tau vector), and the
             distribution over absorbing states.
         """
-        transient = list(self.transient_states())
-        absorbing = list(self.absorbing_states())
-        if not absorbing:
-            raise NotAbsorbingError("chain has no absorbing states")
-        if self._initial in absorbing:
-            return AbsorptionResult(
-                mttdl=0.0,
-                expected_times={s: 0.0 for s in transient},
-                absorption_probabilities={
-                    s: 1.0 if s == self._initial else 0.0 for s in absorbing
-                },
+        from .solvers import SolveOptions, SolveRequest
+        from .solvers import solve as _solve
+
+        result = _solve(
+            SolveRequest(
+                chains=(self,),
+                query="absorption",
+                options=SolveOptions(backend="dense_gth"),
             )
-
-        off_diagonal, absorb_rates, rates_to_absorbing = self.absorption_system()
-        try:
-            fundamental = gth_fundamental_matrix(off_diagonal, absorb_rates)
-        except ValueError as exc:
-            raise NotAbsorbingError(str(exc)) from exc
-        tau = fundamental[transient.index(self._initial)]
-
-        probs = tau @ rates_to_absorbing
-        probs = probs / probs.sum()
-
-        return AbsorptionResult(
-            mttdl=float(tau.sum()),
-            expected_times=dict(zip(transient, map(float, tau))),
-            absorption_probabilities=dict(zip(absorbing, map(float, probs))),
         )
+        assert result.absorption is not None
+        return result.absorption
 
     def expected_visits(self) -> Dict[State, float]:
         """Expected number of visits to each transient state before absorption.
@@ -515,33 +542,18 @@ class CTMC:
             CTMCError: if the chain has absorbing states or is reducible
                 in a way that leaves the distribution undefined.
         """
-        if self.absorbing_states():
-            raise CTMCError(
-                "stationary distribution undefined for chains with "
-                "absorbing states; use with_renewal() to close the chain"
+        from .solvers import SolveOptions, SolveRequest
+        from .solvers import solve as _solve
+
+        result = _solve(
+            SolveRequest(
+                chains=(self,),
+                query="stationary",
+                options=SolveOptions(backend="dense_gth"),
             )
-        n = self.num_states
-        if n == 1:
-            return {self._states[0]: 1.0}
-        # GTH for stationary vectors: eliminate states n-1 .. 1 with the
-        # diagonal re-derived from off-diagonal sums (no subtraction).
-        a = self._q.copy()
-        np.fill_diagonal(a, 0.0)
-        for p in range(n - 1, 0, -1):
-            total = a[p, :p].sum()
-            if total <= 0:
-                raise CTMCError(
-                    f"state {self._states[p]!r} cannot reach lower-indexed "
-                    "states; reorder states or check irreducibility"
-                )
-            a[:p, :p] += np.outer(a[:p, p] / total, a[p, :p])
-        pi = np.zeros(n)
-        pi[0] = 1.0
-        for p in range(1, n):
-            total = a[p, :p].sum()
-            pi[p] = (pi[:p] @ a[:p, p]) / total
-        pi /= pi.sum()
-        return dict(zip(self._states, map(float, pi)))
+        )
+        assert result.distribution is not None
+        return result.distribution
 
     def with_renewal(self, renewal_rate: float) -> "CTMC":
         """A copy where every absorbing state transitions back to the

@@ -556,6 +556,32 @@ class CompiledChain:
             self._states_list, self._index, q, self.initial_state
         )
 
+    def bind_sparse(self, env: Env) -> "SparseChain":
+        """One chain at a scalar operating point, assembled as CSR.
+
+        The sparse mirror of :meth:`bind`: the edge expressions are
+        evaluated identically, but the rates scatter into a
+        :class:`~repro.core.sparse.CsrMatrix` built straight from the
+        compiled edge index arrays — the dense ``(n, n)`` generator is
+        never materialized, so specs whose state spaces exceed the dense
+        memory ceiling still bind in ``O(edges)``.  Zero-valued rates
+        keep their stored entry (the topology stays fixed across
+        operating points, exactly as in the dense binds).
+        """
+        from .sparse import CsrMatrix, SparseChain
+
+        self._check_env(env)
+        rates = self.rate_tensor(env)
+        csr = CsrMatrix.from_coo(
+            self._src_idx, self._dst_idx, rates[0], (self._n, self._n)
+        )
+        self.hits += 1
+        return SparseChain(
+            csr,
+            initial_index=self._index[self.initial_state],
+            states=self._states_list,
+        )
+
     def bind_batch(self, env: Env) -> List[CTMC]:
         """One chain per lattice point, assembled as a stacked tensor.
 

@@ -1,33 +1,88 @@
 """The unified single-point evaluation API.
 
 :func:`evaluate` is the one front door for "how reliable is this
-configuration under these parameters?", dispatching to the analytic
-chain solve, the paper's closed forms, or the Monte-Carlo simulator.  It
-is re-exported as :func:`repro.evaluate`.
+configuration under these parameters?", dispatching through the
+solver-strategy interface (:mod:`repro.core.solvers`) to the analytic
+chain solve (dense or sparse backend), the paper's closed forms, or the
+Monte-Carlo simulator.  It is re-exported as :func:`repro.evaluate`.
+
+Solve-shaping knobs travel in a single frozen
+:class:`~repro.core.solvers.SolveOptions` value.  The pre-API ``method=``
+kwarg (and its ``"exact"``/``"approx"`` alias spellings) keeps working
+as a deprecation shim for one release — it maps onto the equivalent
+options and warns.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from .. import obs
+from ..core.solvers import (
+    DEFAULT_SOLVE_OPTIONS,
+    SolveOptions,
+    SolveRequest,
+)
+from ..core.solvers import solve as _core_solve
 from ..models.configurations import Configuration
+from ..models.internal_raid import InternalRaidNodeModel
 from ..models.metrics import ReliabilityResult
 from ..models.parameters import Parameters
+from ..models.raid import InternalRaid
 from ..models.rebuild import RebuildModel
 from .solver import normalize_method
 
 __all__ = ["evaluate"]
 
-#: Canonical method name -> Configuration.mttdl_hours spelling.
-_CONFIG_METHOD = {"analytic": "exact", "closed_form": "approx"}
+#: Canonical method name -> the SolveOptions backend it shims onto.
+_METHOD_BACKEND = {
+    "analytic": "auto",
+    "closed_form": "closed_form",
+    "monte_carlo": "monte_carlo",
+}
+
+
+def _merge_method_shim(
+    method: str, options: Optional[SolveOptions]
+) -> SolveOptions:
+    """Fold the deprecated ``method=`` kwarg into the options."""
+    canonical = normalize_method(method)
+    warnings.warn(
+        "evaluate(method=...) is deprecated; pass "
+        "options=SolveOptions(backend=...) instead "
+        "('analytic' -> 'auto'/'dense_gth', 'closed_form' -> "
+        "'closed_form', 'monte_carlo' -> 'monte_carlo')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    shimmed = _METHOD_BACKEND[canonical]
+    if options is None:
+        if shimmed == "auto":
+            return DEFAULT_SOLVE_OPTIONS
+        return DEFAULT_SOLVE_OPTIONS.replace(backend=shimmed)
+    compatible = {
+        "auto": ("auto", "dense_gth", "sparse_iterative"),
+        "closed_form": ("auto", "closed_form"),
+        "monte_carlo": ("auto", "monte_carlo"),
+    }[shimmed]
+    if options.backend not in compatible:
+        raise ValueError(
+            f"method={method!r} conflicts with "
+            f"options.backend={options.backend!r}; drop the deprecated "
+            "method= kwarg and express the choice in options alone"
+        )
+    if options.backend == "auto" and shimmed != "auto":
+        return options.replace(backend=shimmed)
+    return options
 
 
 def evaluate(
     config: Configuration,
     params: Optional[Parameters] = None,
     *,
-    method: str = "analytic",
+    options: Optional[SolveOptions] = None,
+    method: Optional[str] = None,
     rebuild: Optional[RebuildModel] = None,
     replicas: int = 200,
     seed: int = 0,
@@ -38,12 +93,21 @@ def evaluate(
     Args:
         config: the redundancy configuration.
         params: system parameters (the paper's baseline when omitted).
-        method: ``"analytic"`` (numeric chain solve, the default),
-            ``"closed_form"`` (the paper's approximations) or
-            ``"monte_carlo"`` (simulation to first loss).  The pre-1.x
-            spellings ``"exact"``/``"approx"`` are accepted as aliases.
-        rebuild: optional rebuild-time model override (analytic and
-            closed-form methods only).
+        options: a :class:`~repro.core.solvers.SolveOptions` selecting
+            the solver backend (``"auto"``/``"dense_gth"``/
+            ``"sparse_iterative"`` for the numeric chain solve,
+            ``"closed_form"`` for the paper's approximations,
+            ``"monte_carlo"`` for simulation to first loss), the
+            internal array-rates derivation and the iterative
+            tolerances.  Defaults solve the chain with auto backend
+            selection.
+        method: deprecated — the pre-options spelling (``"analytic"``,
+            ``"closed_form"``, ``"monte_carlo"``; pre-1.x
+            ``"exact"``/``"approx"`` aliases accepted).  Maps onto the
+            equivalent ``options`` and emits a ``DeprecationWarning``;
+            removed one release after the options API landed.
+        rebuild: optional rebuild-time model override (chain and
+            closed-form solves only).
         replicas: Monte-Carlo replica count (``monte_carlo`` only).
         seed: Monte-Carlo master seed (``monte_carlo`` only).
         jobs: Monte-Carlo replica fan-out width (``monte_carlo`` only).
@@ -59,16 +123,27 @@ def evaluate(
         baseline a loss event is so rare that every replica grinds to the
         event-count safety cap instead of finishing.
     """
-    method = normalize_method(method)
+    if method is not None:
+        options = _merge_method_shim(method, options)
+    elif options is None:
+        options = DEFAULT_SOLVE_OPTIONS
     if params is None:
         params = Parameters.baseline()
-    with obs.span("repro.evaluate", method=method, config=config.key):
-        if method == "monte_carlo":
+    backend = options.backend
+    family = (
+        backend
+        if backend in ("monte_carlo", "closed_form")
+        else "analytic"
+    )
+    with obs.span(
+        "repro.evaluate", method=family, config=config.key, backend=backend
+    ):
+        if family == "monte_carlo":
             if rebuild is not None:
                 raise ValueError(
-                    "rebuild overrides are not supported with method="
-                    "'monte_carlo'; the simulator derives repair rates from "
-                    "params"
+                    "rebuild overrides are not supported with the "
+                    "monte_carlo backend; the simulator derives repair "
+                    "rates from params"
                 )
             from ..sim.monte_carlo import estimate_mttdl
 
@@ -76,6 +151,37 @@ def evaluate(
                 config, params, replicas=replicas, seed=seed, jobs=jobs
             )
             return ReliabilityResult.from_mttdl(mc.mean_hours, params)
-        return config.reliability(
-            params, _CONFIG_METHOD[method], rebuild=rebuild
+        if family == "closed_form":
+            request = SolveRequest(
+                closed_form=lambda: (
+                    config.mttdl_hours(params, "approx", rebuild=rebuild),
+                ),
+                query="mttdl",
+                options=options,
+            )
+            return ReliabilityResult.from_mttdl(
+                _core_solve(request).values[0], params
+            )
+        if backend == "auto" and options.rates_method == "approx":
+            # The legacy fast path: the model's own exact solve, whose
+            # chain routes through the dense backend internally.  Kept
+            # as-is so default answers stay bitwise identical.
+            return config.reliability(params, "exact", rebuild=rebuild)
+        # Explicit backend (or non-default array rates): build the chain
+        # and put it through the strategy interface directly.
+        if config.internal is InternalRaid.NONE:
+            model = config.model(params, rebuild)
+        else:
+            model = InternalRaidNodeModel(
+                params,
+                config.internal,
+                config.node_fault_tolerance,
+                rebuild,
+                rates_method=options.rates_method,
+            )
+        result = _core_solve(
+            SolveRequest(
+                chains=(model.chain(),), query="mttdl", options=options
+            )
         )
+        return ReliabilityResult.from_mttdl(result.values[0], params)

@@ -17,9 +17,12 @@ loop, none of which changes a single output bit:
   / ``lambda_S`` (and the embedded array MTTDL solve) depend on only a
   handful of scalars, which whole sweeps share; they are computed once per
   distinct operating point.
-* **Batched GTH** — structurally-identical node chains are stacked and
-  solved in one :func:`repro.core.linalg.gth_solve_batched` call, whose
-  per-slice arithmetic is bit-identical to the scalar solver.
+* **Strategy-routed solves** — bound chains go through the solver
+  strategy interface (:func:`repro.core.solvers.solve`); the default
+  dense backend stacks structurally-identical chains into one batched
+  GTH elimination whose per-slice arithmetic is bit-identical to the
+  scalar solver, and an explicit :class:`~repro.core.solvers.SolveOptions`
+  can reroute the same points to the sparse backend.
 
 The bitwise guarantee is what lets the sweep engine mix serial, pooled
 and cached execution freely: every path yields the exact floats of the
@@ -34,7 +37,12 @@ import numpy as np
 
 from .. import obs
 from ..core import CTMC
-from ..core.linalg import gth_solve_batched
+from ..core.solvers import (
+    DEFAULT_SOLVE_OPTIONS,
+    SolveOptions,
+    SolveRequest,
+)
+from ..core.solvers import solve as _core_solve
 from ..core.spec import CompiledChain, CompiledSpecCache, ModelSpec
 from ..models.configurations import Configuration
 from ..models.internal_raid import InternalRaidNodeModel
@@ -119,14 +127,18 @@ class SolveContext:
 
 
 def _array_rates_for(
-    config: Configuration, params: Parameters, ctx: SolveContext
+    config: Configuration,
+    params: Parameters,
+    ctx: SolveContext,
+    rates_method: str = "approx",
 ) -> ArrayRates:
-    """Memoized ``rates("approx")`` of the internal array model.
+    """Memoized ``rates(rates_method)`` of the internal array model.
 
-    The approx rates (and the array MTTDL they carry) are functions of
-    exactly ``(level, d, lambda_d, mu_d, C*HER)``; keying on those scalars
-    makes the memo exact — identical inputs give identical outputs, so a
-    hit returns the same floats a fresh computation would.
+    The rates (and the array MTTDL they carry) are functions of exactly
+    ``(level, d, lambda_d, mu_d, C*HER)``; keying on those scalars plus
+    the derivation method makes the memo exact — identical inputs give
+    identical outputs, so a hit returns the same floats a fresh
+    computation would.
     """
     arr = array_model(params, config.internal)
     key = (
@@ -135,10 +147,11 @@ def _array_rates_for(
         params.drive_failure_rate,
         arr.restripe_rate,
         params.hard_error_per_drive_read,
+        rates_method,
     )
     rates = ctx.array_rates.get(key)
     if rates is None:
-        rates = arr.rates("approx")
+        rates = arr.rates(rates_method)
         ctx.array_rates[key] = rates
         ctx.array_misses += 1
     else:
@@ -147,7 +160,10 @@ def _array_rates_for(
 
 
 def _spec_and_env(
-    config: Configuration, params: Parameters, ctx: SolveContext
+    config: Configuration,
+    params: Parameters,
+    ctx: SolveContext,
+    rates_method: str = "approx",
 ) -> Tuple[ModelSpec, Dict[str, float]]:
     """The (spec, binding environment) for one point, via the array memo."""
     if config.internal is InternalRaid.NONE:
@@ -157,13 +173,16 @@ def _spec_and_env(
             params,
             config.internal,
             config.node_fault_tolerance,
-            array_rates=_array_rates_for(config, params, ctx),
+            array_rates=_array_rates_for(config, params, ctx, rates_method),
         )
     return model.spec(), model.chain_env()
 
 
 def prepare_point(
-    config: Configuration, params: Parameters, ctx: SolveContext
+    config: Configuration,
+    params: Parameters,
+    ctx: SolveContext,
+    rates_method: str = "approx",
 ) -> Tuple[CompiledChain, Dict[str, float]]:
     """The (compiled chain, binding environment) for one analytic point.
 
@@ -172,7 +191,7 @@ def prepare_point(
     sharing a :attr:`~repro.core.spec.CompiledChain.spec_hash` can be
     solved as one group).
     """
-    spec, env = _spec_and_env(config, params, ctx)
+    spec, env = _spec_and_env(config, params, ctx, rates_method)
     return ctx.specs.get_or_compile(spec), env
 
 
@@ -213,19 +232,22 @@ def _bind_group(
 
 
 def solve_grouped(
-    compiled: CompiledChain, envs: Sequence[Dict[str, float]]
+    compiled: CompiledChain,
+    envs: Sequence[Dict[str, float]],
+    options: Optional[SolveOptions] = None,
 ) -> List[float]:
     """MTTDL (hours) for a pre-grouped batch sharing one spec hash.
 
     The batch-solve entry point for callers that have already coalesced
     their points by :attr:`~repro.core.spec.CompiledChain.spec_hash`
     (the serving layer's request batcher): the whole group is bound in
-    one :meth:`CompiledChain.bind_batch` pass and solved with one
-    stacked GTH elimination.  Every returned float is bitwise equal to
-    the point's own scalar bind-and-solve (and therefore to
-    ``config.reliability(params)``).
+    one :meth:`CompiledChain.bind_batch` pass and handed to the solver
+    strategy interface in one request — under the default (dense)
+    backend, one stacked GTH elimination.  Every returned float is
+    bitwise equal to the point's own scalar bind-and-solve (and
+    therefore to ``config.reliability(params)``).
     """
-    return mttdl_batched(_bind_group(compiled, envs))
+    return mttdl_batched(_bind_group(compiled, envs), options)
 
 
 def _bind_all(
@@ -255,70 +277,63 @@ def _bind_all(
     return chains  # type: ignore[return-value]
 
 
-def mttdl_batched(chains: Sequence[CTMC]) -> List[float]:
-    """Mean time to absorption of many chains, batching by structure.
+def mttdl_batched(
+    chains: Sequence[CTMC], options: Optional[SolveOptions] = None
+) -> List[float]:
+    """Mean time to absorption of many chains, via the solver strategy API.
 
-    Chains are grouped by (state order, transient/absorbing partition,
-    initial state); each group is stacked and solved in one batched GTH
-    elimination.  Every returned float is bitwise equal to the chain's own
-    :meth:`~repro.core.ctmc.CTMC.mean_time_to_absorption`.
+    A thin routing layer over :func:`repro.core.solvers.solve`: the whole
+    batch travels in one :class:`~repro.core.solvers.SolveRequest` and the
+    selected backend decides how to execute it.  Under the default dense
+    backend, chains are grouped by (state order, transient/absorbing
+    partition, initial state) and each group is stacked into one batched
+    GTH elimination — every returned float is bitwise equal to the
+    chain's own :meth:`~repro.core.ctmc.CTMC.mean_time_to_absorption`.
     """
-    results: List[Optional[float]] = [None] * len(chains)
-    groups: Dict[Tuple, List[int]] = {}
-    for i, chain in enumerate(chains):
-        absorbing = chain.absorbing_states()
-        if chain.initial_state in absorbing:
-            results[i] = 0.0
-            continue
-        signature = (
-            chain.states,
-            chain.transient_states(),
-            absorbing,
-            chain.initial_state,
-        )
-        groups.setdefault(signature, []).append(i)
-    for signature, members in groups.items():
-        with obs.span(
-            "solve.gth", states=len(signature[0]), points=len(members)
-        ):
-            transient = list(signature[1])
-            init_pos = transient.index(signature[3])
-            a, b, _ = CTMC.stacked_absorption_system(
-                [chains[i] for i in members]
-            )
-            n = a.shape[1]
-            rhs = np.broadcast_to(np.eye(n), (len(members), n, n)).copy()
-            fundamental = gth_solve_batched(a, b, rhs)
-            taus = fundamental[:, init_pos, :]
-            for j, i in enumerate(members):
-                results[i] = float(taus[j].sum())
-    return results  # type: ignore[return-value]
+    if not chains:
+        return []
+    request = SolveRequest(
+        chains=tuple(chains),
+        query="mttdl",
+        options=DEFAULT_SOLVE_OPTIONS if options is None else options,
+    )
+    return list(_core_solve(request).values)
 
 
 def evaluate_chunk(
     tasks: Sequence[Tuple[Configuration, Parameters, str]],
     ctx: Optional[SolveContext] = None,
+    options: Optional[SolveOptions] = None,
 ) -> List[float]:
     """MTTDL (hours) for each ``(config, params, method)`` task.
 
     ``method`` must already be normalized ("analytic" or "closed_form");
     Monte-Carlo evaluation lives in :mod:`repro.sim` and is dispatched by
-    the facade, not here.  Order is preserved.
+    the facade, not here.  Order is preserved.  Both task families route
+    through the solver strategy interface: analytic points are bound and
+    shipped as one chain batch, closed-form points as one
+    ``closed_form`` request whose thunk runs them through the array memo.
     """
     if ctx is None:
         ctx = SolveContext()
+    if options is None:
+        options = DEFAULT_SOLVE_OPTIONS
     mttdls: List[Optional[float]] = [None] * len(tasks)
     bind_compiled: List[CompiledChain] = []
     bind_envs: List[Dict[str, float]] = []
     chain_slots: List[int] = []
+    cf_slots: List[int] = []
     with obs.span("solve.prepare", tasks=len(tasks)):
-        # "prepare" covers per-task model construction, the array-rates
-        # memo, and the closed-form evaluations that finish inline.
+        # "prepare" covers per-task model construction and the
+        # array-rates memo; closed-form values are computed later inside
+        # their backend's solve span.
         for i, (config, params, method) in enumerate(tasks):
             if method == "closed_form":
-                mttdls[i] = closed_form_mttdl(config, params, ctx)
+                cf_slots.append(i)
             elif method == "analytic":
-                compiled, env = prepare_point(config, params, ctx)
+                compiled, env = prepare_point(
+                    config, params, ctx, options.rates_method
+                )
                 bind_compiled.append(compiled)
                 bind_envs.append(env)
                 chain_slots.append(i)
@@ -326,9 +341,28 @@ def evaluate_chunk(
                 raise ValueError(
                     f"evaluate_chunk cannot handle method {method!r}"
                 )
+    if cf_slots:
+        cf_tasks = [tasks[i] for i in cf_slots]
+        cf_options = (
+            options
+            if options.backend == "closed_form"
+            else options.replace(backend="closed_form")
+        )
+        result = _core_solve(
+            SolveRequest(
+                closed_form=lambda: [
+                    closed_form_mttdl(config, params, ctx)
+                    for config, params, _ in cf_tasks
+                ],
+                query="mttdl",
+                options=cf_options,
+            )
+        )
+        for i, mttdl in zip(cf_slots, result.values):
+            mttdls[i] = mttdl
     if chain_slots:
         chains = _bind_all(bind_compiled, bind_envs)
-        for i, mttdl in zip(chain_slots, mttdl_batched(chains)):
+        for i, mttdl in zip(chain_slots, mttdl_batched(chains, options)):
             mttdls[i] = mttdl
     return mttdls  # type: ignore[return-value]
 
@@ -336,6 +370,7 @@ def evaluate_chunk(
 def _worker_evaluate(
     tasks: Sequence[Tuple[Configuration, Parameters, str]],
     tracing: bool = False,
+    options: Optional[SolveOptions] = None,
 ) -> Tuple[List[float], Dict[str, object]]:
     """Process-pool entry point: evaluate a chunk with a fresh context and
     report the counters (and compiled spec hashes) back for aggregation.
@@ -351,10 +386,10 @@ def _worker_evaluate(
     if tracing:
         with obs.capture_spans() as shipped:
             with obs.span("engine.worker", tasks=len(tasks)):
-                results = evaluate_chunk(tasks, ctx)
+                results = evaluate_chunk(tasks, ctx, options)
     else:
         shipped = None
-        results = evaluate_chunk(tasks, ctx)
+        results = evaluate_chunk(tasks, ctx, options)
     stats: Dict[str, object] = dict(ctx.stats())
     stats["spec_hashes"] = ctx.spec_hashes()
     if shipped is not None:

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import functools
 import itertools
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
+from ..core.solvers import DEFAULT_SOLVE_OPTIONS, SolveOptions
 from ..models.configurations import Configuration
 from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR, ReliabilityResult
 from ..models.parameters import Parameters
@@ -106,10 +106,11 @@ class SweepEngine:
             :class:`DiskCache` instance.
         method: default evaluation method ("analytic" or "closed_form";
             "exact"/"approx" accepted as aliases).
-        verbose: deprecated — emit a one-line counter report through the
-            :mod:`repro.obs` reporter after each batch.  Prefer the CLI
-            ``--report`` flag (or :func:`repro.obs.trace`) for the full
-            per-phase run report.
+        options: default :class:`~repro.core.solvers.SolveOptions` for
+            every evaluation — solver backend, array-rates derivation
+            and iterative tolerances.  Non-default options participate
+            in disk-cache keys, so switching backends never reads a
+            stale entry.
     """
 
     #: Worker-side counter names folded into provenance snapshots.
@@ -122,20 +123,12 @@ class SweepEngine:
         jobs: Optional[int] = None,
         cache: Union[bool, str, Path, DiskCache] = False,
         method: str = "analytic",
-        verbose: bool = False,
+        options: Optional[SolveOptions] = None,
     ) -> None:
-        if verbose:
-            warnings.warn(
-                "SweepEngine(verbose=True) is deprecated; use the CLI "
-                "--report flag or repro.obs.trace(report=True) for the "
-                "per-phase run report",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         self._base = base_params if base_params is not None else Parameters.baseline()
         self._jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self._method = normalize_method(method)
-        self._verbose = verbose
+        self._options = DEFAULT_SOLVE_OPTIONS if options is None else options
         if isinstance(cache, DiskCache):
             self._cache: Optional[DiskCache] = cache
         elif cache is True:
@@ -218,11 +211,13 @@ class SweepEngine:
         params: Optional[Parameters] = None,
         *,
         method: Optional[str] = None,
+        options: Optional[SolveOptions] = None,
     ) -> ReliabilityResult:
         """Evaluate a single point (engine-accelerated, cacheable)."""
         return self.evaluate_many(
             [(config, params if params is not None else self._base)],
             method=method,
+            options=options,
         )[0]
 
     def evaluate_many(
@@ -230,16 +225,20 @@ class SweepEngine:
         pairs: Sequence[Tuple[Configuration, Parameters]],
         *,
         method: Optional[str] = None,
+        options: Optional[SolveOptions] = None,
     ) -> List[ReliabilityResult]:
         """Evaluate many (configuration, parameters) points, in order.
 
         The disk cache is consulted first; remaining points are chunked
         across the process pool (or evaluated in-process with the
-        engine's persistent memos when the batch is small).  Outputs are
-        bitwise identical to ``config.reliability(params, method)`` for
-        every point.
+        engine's persistent memos when the batch is small).  Under the
+        default options, outputs are bitwise identical to
+        ``config.reliability(params, method)`` for every point;
+        non-default options reroute the solve through the selected
+        backend and contribute to the cache key.
         """
         method = normalize_method(method) if method else self._method
+        options = self._options if options is None else options
         if method == "monte_carlo":
             raise ValueError(
                 "SweepEngine evaluates analytic/closed-form points; use "
@@ -254,12 +253,20 @@ class SweepEngine:
             self._points_counter.inc(len(pairs))
             mttdls: List[Optional[float]] = [None] * len(pairs)
 
+            # Default options add no key material, so pre-options cache
+            # entries (and every default-path run) keep their keys.
+            key_extra = (
+                None
+                if options.is_default()
+                else {"solve_options": options.cache_key()}
+            )
+
             miss_indices: List[int] = []
             miss_keys: List[Optional[str]] = []
             if self._cache is not None:
                 with obs.span("engine.cache.lookup", points=len(pairs)):
                     for i, (config, params) in enumerate(pairs):
-                        key = point_key(config, params, method)
+                        key = point_key(config, params, method, key_extra)
                         payload = self._cache.get(key)
                         if payload is not None and point_payload_valid(payload):
                             mttdls[i] = float(payload["mttdl_hours"])
@@ -282,10 +289,10 @@ class SweepEngine:
                     "engine.dispatch", tasks=len(tasks), pooled=pooled
                 ):
                     if pooled:
-                        worker = (
-                            functools.partial(_worker_evaluate, tracing=True)
-                            if obs.tracing_active()
-                            else _worker_evaluate
+                        worker = functools.partial(
+                            _worker_evaluate,
+                            tracing=obs.tracing_active(),
+                            options=options,
                         )
                         chunks = split_chunks(tasks, self._jobs)
                         outputs = run_chunks(worker, chunks, self._jobs)
@@ -303,7 +310,7 @@ class SweepEngine:
                                 self._worker_stats[name].inc(value)
                     else:
                         with obs.span("engine.worker", tasks=len(tasks)):
-                            computed = evaluate_chunk(tasks, self._ctx)
+                            computed = evaluate_chunk(tasks, self._ctx, options)
                 for slot, key, mttdl in zip(miss_indices, miss_keys, computed):
                     mttdls[slot] = mttdl
                 if self._cache is not None:
@@ -319,11 +326,6 @@ class SweepEngine:
                 for mttdl, (_, params) in zip(mttdls, pairs)
             ]
             batch_span.set("cache_hits", len(pairs) - len(miss_indices))
-        if self._verbose:
-            obs.reporter().emit(
-                f"[repro.engine] {len(pairs)} points; "
-                + self.provenance(method).describe()
-            )
         return results
 
     # ------------------------------------------------------------------ #
@@ -337,6 +339,7 @@ class SweepEngine:
         *,
         base_params: Optional[Parameters] = None,
         method: Optional[str] = None,
+        options: Optional[SolveOptions] = None,
         title: Optional[str] = None,
         label_fn: Optional[Callable[[Any], str]] = None,
     ) -> SweepResult:
@@ -352,7 +355,7 @@ class SweepEngine:
         pairs = [
             (config, axis.apply(base, x)) for x in xs for config in configs
         ]
-        results = self.evaluate_many(pairs, method=method)
+        results = self.evaluate_many(pairs, method=method, options=options)
         points = tuple(
             SweepPoint(
                 x=x,
@@ -397,6 +400,7 @@ class SweepEngine:
         *,
         base_params: Optional[Parameters] = None,
         method: Optional[str] = None,
+        options: Optional[SolveOptions] = None,
     ) -> List[GridPoint]:
         """Evaluate the full cartesian product of ``axes`` for every
         configuration; returns points in (axes-major, config-minor) order."""
@@ -413,7 +417,9 @@ class SweepEngine:
             for config in configs:
                 entries.append((config, coords, params))
         results = self.evaluate_many(
-            [(config, params) for config, _, params in entries], method=method
+            [(config, params) for config, _, params in entries],
+            method=method,
+            options=options,
         )
         return [
             GridPoint(config=config, coords=coords, params=params, result=result)

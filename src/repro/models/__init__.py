@@ -4,8 +4,13 @@ Everything in the paper's Sections 3-6: the nine redundancy
 configurations, the drive-level and node-level Markov chains, the
 rebuild-time model, the critical-redundancy-set combinatorics and the
 closed-form MTTDL approximations.
+
+The supported public surface is exactly ``__all__`` below.  The
+pre-spec imperative chain builders live in :mod:`repro.models.legacy`
+as equivalence oracles and are deliberately not re-exported here.
 """
 
+from . import legacy
 from .availability import (
     AvailabilityModel,
     AvailabilityResult,
@@ -133,6 +138,7 @@ __all__ = [
     "k3_factor",
     "l_k",
     "l_value",
+    "legacy",
     "mttdl_general_approx",
     "mttdl_hours_for_target",
     "mttdl_hours_to_events_per_year",

@@ -33,7 +33,6 @@ from .specs import compiled, internal_raid_env, internal_raid_spec
 
 __all__ = [
     "build_internal_raid_chain",
-    "legacy_build_internal_raid_chain",
     "InternalRaidNodeModel",
 ]
 

@@ -1,0 +1,33 @@
+"""The pre-spec imperative chain builders, kept as equivalence oracles.
+
+Every chain family is built from its declarative
+:class:`~repro.core.spec.ModelSpec` (see :mod:`repro.models.specs`); the
+original hand-written builders below are retained solely so the test
+suite can assert generator-for-generator equality between the two
+constructions.  They are not part of the supported modeling API — new
+code should go through :class:`~repro.models.configurations.Configuration`
+or the spec layer.
+
+Importing them from their defining modules
+(``repro.models.no_raid`` etc.) still works, but this module is their
+documented home.
+"""
+
+from .internal_raid import legacy_build_internal_raid_chain
+from .no_raid import (
+    legacy_build_no_raid_chain_ft1,
+    legacy_build_no_raid_chain_ft2,
+    legacy_build_no_raid_chain_ft3,
+)
+from .raid import legacy_build_raid5_chain, legacy_build_raid6_chain
+from .recursive import legacy_build_recursive_chain
+
+__all__ = [
+    "legacy_build_internal_raid_chain",
+    "legacy_build_no_raid_chain_ft1",
+    "legacy_build_no_raid_chain_ft2",
+    "legacy_build_no_raid_chain_ft3",
+    "legacy_build_raid5_chain",
+    "legacy_build_raid6_chain",
+    "legacy_build_recursive_chain",
+]

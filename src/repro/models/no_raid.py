@@ -36,9 +36,6 @@ __all__ = [
     "build_no_raid_chain_ft1",
     "build_no_raid_chain_ft2",
     "build_no_raid_chain_ft3",
-    "legacy_build_no_raid_chain_ft1",
-    "legacy_build_no_raid_chain_ft2",
-    "legacy_build_no_raid_chain_ft3",
     "NoRaidNodeModel",
 ]
 

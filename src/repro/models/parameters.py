@@ -26,7 +26,6 @@ Baseline values (Section 6)::
 from __future__ import annotations
 
 import dataclasses
-import functools
 from dataclasses import dataclass
 from typing import Any, Dict
 
@@ -42,9 +41,11 @@ class ParameterError(ValueError):
     """Raised for physically-meaningless parameter values."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class Parameters:
     """Complete parameterization of a networked-storage-node system.
+    Construction is keyword-only (positional construction went through a
+    DeprecationWarning cycle and was removed).
 
     Attributes:
         node_mttf_hours: mean time to failure of a whole node (controller,
@@ -245,24 +246,3 @@ class Parameters:
         return digest
 
 
-# Keyword-only construction: positional Parameters(...) went through a
-# DeprecationWarning cycle and is now an error.  The generated dataclass
-# __init__ is kept intact underneath so keyword construction,
-# dataclasses.replace and pickling are unaffected.
-_generated_init = Parameters.__init__
-
-
-@functools.wraps(_generated_init)
-def _keyword_only_init(self: Parameters, *args: Any, **kwargs: Any) -> None:
-    if args:
-        raise TypeError(
-            "Parameters(...) takes keyword arguments only (positional "
-            "construction was removed after its deprecation cycle); "
-            f"got {len(args)} positional argument(s).  Name the field(s), "
-            "e.g. Parameters(node_set_size=64), or use "
-            "Parameters.baseline().with_overrides(**kw)"
-        )
-    _generated_init(self, **kwargs)
-
-
-Parameters.__init__ = _keyword_only_init  # type: ignore[method-assign]

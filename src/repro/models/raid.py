@@ -40,8 +40,6 @@ __all__ = [
     "array_model",
     "build_raid5_chain",
     "build_raid6_chain",
-    "legacy_build_raid5_chain",
-    "legacy_build_raid6_chain",
     "raid5_mttdl_exact_formula",
     "raid5_mttdl_approx",
     "raid6_mttdl_approx",

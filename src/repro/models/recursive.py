@@ -35,7 +35,6 @@ from .specs import compiled, recursive_env, recursive_spec
 
 __all__ = [
     "build_recursive_chain",
-    "legacy_build_recursive_chain",
     "RecursiveNoRaidModel",
     "l_value",
     "l_k",

@@ -33,6 +33,12 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..core.solvers import (
+    DEFAULT_SOLVE_OPTIONS,
+    SolveOptions,
+    SolveRequest,
+)
+from ..core.solvers import solve as _core_solve
 from ..engine.solver import (
     SolveContext,
     closed_form_mttdl,
@@ -91,6 +97,7 @@ class _Pending:
         "config",
         "params",
         "method",
+        "options",
         "spec_hash",
         "future",
         "enqueued_mono",
@@ -102,11 +109,13 @@ class _Pending:
         config: Configuration,
         params: Parameters,
         method: str,
+        options: SolveOptions,
         future: "asyncio.Future[float]",
     ) -> None:
         self.config = config
         self.params = params
         self.method = method
+        self.options = options
         # The spec hash depends only on the configuration family, so the
         # grouping key is known at admission time, before any model or
         # binding environment exists.
@@ -214,7 +223,11 @@ class CoalescingBatcher:
     # ------------------------------------------------------------------ #
 
     def submit(
-        self, config: Configuration, params: Parameters, method: str
+        self,
+        config: Configuration,
+        params: Parameters,
+        method: str,
+        options: Optional[SolveOptions] = None,
     ) -> "asyncio.Future[float]":
         """Admit one point; returns the future of its MTTDL (hours).
 
@@ -227,7 +240,9 @@ class CoalescingBatcher:
         future: "asyncio.Future[float]" = (
             asyncio.get_running_loop().create_future()
         )
-        pending = _Pending(config, params, method, future)
+        if options is None:
+            options = DEFAULT_SOLVE_OPTIONS
+        pending = _Pending(config, params, method, options, future)
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
@@ -339,9 +354,14 @@ class CoalescingBatcher:
         """Solve one assembled batch; returns per-point floats (or the
         exception that point's group raised, position-matched)."""
         solve_t0 = time.monotonic()
-        groups: Dict[Tuple[str, str], List[int]] = {}
+        # Grouping includes the (hashable, frozen) solve options: points
+        # asking for different backends or tolerances never share a
+        # stacked solve.
+        groups: Dict[Tuple[str, str, SolveOptions], List[int]] = {}
         for i, pending in enumerate(batch):
-            groups.setdefault((pending.method, pending.spec_hash), []).append(i)
+            groups.setdefault(
+                (pending.method, pending.spec_hash, pending.options), []
+            ).append(i)
         results: List[Any] = [None] * len(batch)
         with obs.span(
             "serve.batch", size=len(batch), groups=len(groups)
@@ -366,14 +386,17 @@ class CoalescingBatcher:
                     for p in batch
                 )
                 obs.adopt_spans(synthetic, batch_span.span_id)
-            for (method, spec_hash), members in groups.items():
+            for (method, spec_hash, options), members in groups.items():
                 try:
                     if method == "analytic":
                         compiled = None
                         envs = []
                         for i in members:
                             c, env = prepare_point(
-                                batch[i].config, batch[i].params, self.ctx
+                                batch[i].config,
+                                batch[i].params,
+                                self.ctx,
+                                options.rates_method,
                             )
                             compiled = c
                             envs.append(env)
@@ -383,19 +406,34 @@ class CoalescingBatcher:
                             spec=spec_hash[:12],
                             points=len(members),
                         ):
-                            solved = solve_grouped(compiled, envs)
+                            solved = solve_grouped(compiled, envs, options)
                     else:
+                        cf_options = (
+                            options
+                            if options.backend == "closed_form"
+                            else options.replace(backend="closed_form")
+                        )
                         with obs.span(
                             "serve.batch.solve",
                             method=method,
                             points=len(members),
                         ):
-                            solved = [
-                                closed_form_mttdl(
-                                    batch[i].config, batch[i].params, self.ctx
-                                )
-                                for i in members
-                            ]
+                            solved = list(
+                                _core_solve(
+                                    SolveRequest(
+                                        closed_form=lambda members=members: [
+                                            closed_form_mttdl(
+                                                batch[i].config,
+                                                batch[i].params,
+                                                self.ctx,
+                                            )
+                                            for i in members
+                                        ],
+                                        query="mttdl",
+                                        options=cf_options,
+                                    )
+                                ).values
+                            )
                 except Exception as exc:  # noqa: BLE001 - per-group isolation
                     for i in members:
                         results[i] = exc

@@ -23,9 +23,10 @@ The JSON shapes are documented in ``docs/serving.md``; briefly::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..core.solvers import DEFAULT_SOLVE_OPTIONS, SolveOptions, SolverError
 from ..engine.keys import point_key
 from ..engine.solver import normalize_method
 from ..models.configurations import Configuration
@@ -104,6 +105,9 @@ class PointQuery:
         config: the parsed configuration.
         params: the full parameter set (baseline + request overrides).
         method: normalized method name.
+        options: solver options (:class:`~repro.core.solvers.SolveOptions`)
+            applied to the chain solve; defaults add no cache-key
+            material, so pre-options clients keep their keys.
         replicas / seed: Monte-Carlo controls (``monte_carlo`` only).
         recovery_hours: when set, the response also carries the
             steady-state availability profile at this restore time.
@@ -112,6 +116,7 @@ class PointQuery:
     config: Configuration
     params: Parameters
     method: str = "analytic"
+    options: SolveOptions = field(default=DEFAULT_SOLVE_OPTIONS)
     replicas: int = 200
     seed: int = 0
     recovery_hours: Optional[float] = None
@@ -125,6 +130,8 @@ class PointQuery:
             extra["seed"] = self.seed
         if self.recovery_hours is not None:
             extra["recovery_hours"] = self.recovery_hours
+        if not self.options.is_default():
+            extra["solve_options"] = self.options.cache_key()
         return point_key(self.config, self.params, self.method, extra or None)
 
 
@@ -133,6 +140,7 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
     unknown = set(obj) - {
         "config",
         "method",
+        "options",
         "params",
         "replicas",
         "seed",
@@ -154,6 +162,20 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
     except ValueError as exc:
         raise ProtocolError(str(exc)) from None
     params = params_with_overrides(base, obj.get("params"))
+    raw_options = obj.get("options")
+    options = DEFAULT_SOLVE_OPTIONS
+    if raw_options is not None:
+        _require(
+            isinstance(raw_options, Mapping), '"options" must be an object'
+        )
+        try:
+            options = SolveOptions.from_dict(raw_options)
+        except (SolverError, ValueError) as exc:
+            raise ProtocolError(f'bad "options": {exc}') from None
+        _require(
+            options.backend != "monte_carlo",
+            'select monte_carlo with "method", not "options.backend"',
+        )
     replicas = obj.get("replicas", 200)
     seed = obj.get("seed", 0)
     _require(
@@ -191,6 +213,7 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
         config=config,
         params=params,
         method=method,
+        options=options,
         replicas=replicas,
         seed=seed,
         recovery_hours=recovery_hours,

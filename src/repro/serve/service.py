@@ -218,7 +218,7 @@ class ReliabilityService:
             result = await self._offload(lambda: self._monte_carlo(query))
         else:
             mttdl = await self.batcher.submit(
-                query.config, query.params, query.method
+                query.config, query.params, query.method, query.options
             )
             result = ReliabilityResult.from_mttdl(mttdl, query.params)
         availability = None
@@ -231,6 +231,7 @@ class ReliabilityService:
         )
 
     def _monte_carlo(self, query: PointQuery) -> ReliabilityResult:
+        from ..core.solvers import SolveOptions
         from ..engine.facade import evaluate
 
         with obs.span(
@@ -241,7 +242,7 @@ class ReliabilityService:
             return evaluate(
                 query.config,
                 query.params,
-                method="monte_carlo",
+                options=SolveOptions(backend="monte_carlo"),
                 replicas=query.replicas,
                 seed=query.seed,
             )

@@ -18,6 +18,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..core.solvers import SolveOptions, SolveRequest, solve
+from ..core.sparse import SparseChain
 from ..models.configurations import Configuration
 from ..models.critical_sets import critical_fraction, k2_factor, k3_factor
 from ..models.raid import InternalRaid
@@ -25,8 +27,17 @@ from .registry import VerifyContext, Violation, invariant
 
 __all__ = [
     "CLOSED_FORM_REL_ERROR_BOUNDS",
+    "SPARSE_DENSE_REL_TOL",
     "closed_form_bound",
 ]
+
+#: Declared agreement between the sparse-iterative and dense-GTH
+#: backends on the same chain.  Both are componentwise-accurate direct
+#: eliminations (the sparse backend certifies its answer with iterative
+#: refinement against this tolerance), so the bound is tight — far below
+#: any modeling error — while allowing the different elimination
+#: orderings their few ulps of rounding freedom.
+SPARSE_DENSE_REL_TOL = 1e-9
 
 #: Slack for "non-strict" float comparisons: a genuine tie (equal chains)
 #: must pass, but anything past a few ulps is a real ordering flip.
@@ -141,6 +152,53 @@ def check_spec_legacy_equivalence(ctx: VerifyContext) -> Tuple[int, List[Violati
                         "states_equal": same_states,
                         "initial_equal": same_initial,
                         "generator_bitwise_equal": same_generator,
+                    },
+                )
+            )
+    return checked, violations
+
+
+@invariant(
+    "sparse-dense-agreement",
+    "For every chain family at every lattice point, the sparse-iterative "
+    "solver backend reproduces the dense GTH MTTDL within the declared "
+    "relative tolerance.",
+    tags=("core", "solvers", "smoke"),
+)
+def check_sparse_dense_agreement(ctx: VerifyContext) -> Tuple[int, List[Violation]]:
+    dense_table = ctx.mttdl_table("analytic")
+    options = SolveOptions(backend="sparse_iterative")
+    violations: List[Violation] = []
+    checked = 0
+    for i, params in enumerate(ctx.points):
+        for config in ctx.configs:
+            checked += 1
+            dense = dense_table[(config.key, i)]
+            sparse_chain = SparseChain.from_ctmc(config.chain(params))
+            result = solve(
+                SolveRequest(sparse=sparse_chain, options=options)
+            )
+            sparse = result.values[0]
+            rel = abs(sparse - dense) / dense
+            if rel <= SPARSE_DENSE_REL_TOL and result.converged:
+                continue
+            violations.append(
+                Violation(
+                    invariant="sparse-dense-agreement",
+                    message=(
+                        f"sparse backend off by {rel:.3g} "
+                        f"(declared tolerance {SPARSE_DENSE_REL_TOL:g})"
+                    ),
+                    config=config.key,
+                    point=ctx.point_label(i),
+                    details={
+                        "dense_mttdl": dense,
+                        "sparse_mttdl": sparse,
+                        "relative_difference": rel,
+                        "converged": result.converged,
+                        "residual": result.residual,
+                        "states": sparse_chain.num_states,
+                        "nnz": sparse_chain.nnz,
                     },
                 )
             )

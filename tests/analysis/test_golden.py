@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro import evaluate
+from repro.core.solvers import SolveOptions
 from repro.analysis import run_baseline
 from repro.models import Configuration, Parameters, RebuildModel
 
@@ -54,7 +55,9 @@ class TestGoldenBaseline:
     def test_mttdl_closed_form(self, baseline, key):
         expected = GOLDEN["configurations"][key]["mttdl_hours_closed_form"]
         config = Configuration.from_key(key)
-        observed = evaluate(config, baseline, method="closed_form").mttdl_hours
+        observed = evaluate(
+            config, baseline, options=SolveOptions(backend="closed_form")
+        ).mttdl_hours
         assert observed == pytest.approx(expected, rel=MTTDL_REL)
 
 

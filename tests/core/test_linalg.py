@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import gth_fundamental_matrix, gth_solve, gth_solve_batched
+from repro.core.linalg import gth_fundamental_matrix, gth_solve, gth_solve_batched
 
 
 def random_absorbing_system(rng, n):

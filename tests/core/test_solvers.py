@@ -1,0 +1,247 @@
+"""Tests for the solver-strategy API (SolveOptions/SolveRequest/backends)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BACKENDS,
+    CTMC,
+    DEFAULT_SOLVE_OPTIONS,
+    SolveOptions,
+    SolveRequest,
+    SolverError,
+    Transition,
+    build_indirect,
+    get_backend,
+    select_backend,
+    solve,
+)
+from repro.core.sparse import SparseChain
+
+pytestmark = pytest.mark.solvers
+
+
+def _chain():
+    return CTMC(
+        ["up", "degraded", "down"],
+        [
+            Transition("up", "degraded", 2.0),
+            Transition("degraded", "up", 50.0),
+            Transition("degraded", "down", 0.5),
+        ],
+        initial_state="up",
+    )
+
+
+class TestSolveOptions:
+    def test_defaults_are_the_default_singleton(self):
+        assert SolveOptions() == DEFAULT_SOLVE_OPTIONS
+        assert SolveOptions().is_default()
+        assert not SolveOptions(backend="dense_gth").is_default()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "quantum"},
+            {"rates_method": "guess"},
+            {"sparse_algorithm": "magic"},
+            {"tolerance": 0.0},
+            {"tolerance": -1.0},
+            {"max_iterations": 0},
+            {"dense_state_limit": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SolverError):
+            SolveOptions(**kwargs)
+
+    def test_monte_carlo_is_a_valid_backend_name(self):
+        # Valid in options (so the whole method choice travels in one
+        # value) but not a chain-solve backend.
+        opts = SolveOptions(backend="monte_carlo")
+        with pytest.raises(SolverError, match="repro.evaluate"):
+            get_backend(opts.backend)
+
+    def test_round_trip_dict(self):
+        opts = SolveOptions(backend="sparse_iterative", tolerance=1e-7)
+        assert SolveOptions.from_dict(opts.to_dict()) == opts
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises((SolverError, ValueError)):
+            SolveOptions.from_dict({"backened": "dense_gth"})
+
+    def test_cache_key_stable_and_sensitive(self):
+        a = SolveOptions(backend="sparse_iterative")
+        b = SolveOptions(backend="sparse_iterative")
+        c = SolveOptions(backend="sparse_iterative", tolerance=1e-6)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+        assert len(a.cache_key()) == 64
+
+    def test_replace(self):
+        opts = DEFAULT_SOLVE_OPTIONS.replace(backend="dense_gth")
+        assert opts.backend == "dense_gth"
+        assert DEFAULT_SOLVE_OPTIONS.backend == "auto"
+
+    def test_hashable_for_grouping(self):
+        assert len({SolveOptions(), SolveOptions(), SolveOptions(tolerance=1e-6)}) == 2
+
+
+class TestSolveRequest:
+    def test_exactly_one_payload(self):
+        with pytest.raises(SolverError):
+            SolveRequest()
+        with pytest.raises(SolverError):
+            SolveRequest(
+                chains=(_chain(),),
+                sparse=SparseChain.from_ctmc(_chain()),
+            )
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SolverError):
+            SolveRequest(chains=(_chain(),), query="eigenvalues")
+
+
+class TestBackendSelection:
+    def test_explicit_choice_honored(self):
+        request = SolveRequest(
+            chains=(_chain(),),
+            options=SolveOptions(backend="sparse_iterative"),
+        )
+        assert select_backend(request).name == "sparse_iterative"
+
+    def test_auto_small_dense(self):
+        request = SolveRequest(chains=(_chain(),))
+        assert select_backend(request).name == "dense_gth"
+
+    def test_auto_large_goes_sparse(self):
+        request = SolveRequest(
+            chains=(_chain(),),
+            options=SolveOptions(dense_state_limit=2),
+        )
+        assert select_backend(request).name == "sparse_iterative"
+
+    def test_auto_sparse_payload_goes_sparse(self):
+        request = SolveRequest(sparse=SparseChain.from_ctmc(_chain()))
+        assert select_backend(request).name == "sparse_iterative"
+
+    def test_auto_closed_form_thunk(self):
+        request = SolveRequest(closed_form=lambda: (1.0,))
+        assert select_backend(request).name == "closed_form"
+
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"dense_gth", "sparse_iterative", "closed_form"}
+        with pytest.raises(SolverError, match="unknown backend"):
+            get_backend("quantum")
+
+
+class TestSolveDispatch:
+    def test_dense_matches_ctmc_method(self):
+        chain = _chain()
+        result = solve(
+            SolveRequest(
+                chains=(chain,), options=SolveOptions(backend="dense_gth")
+            )
+        )
+        assert result.backend == "dense_gth"
+        assert result.values[0] == chain.mean_time_to_absorption()
+
+    def test_sparse_matches_dense(self):
+        chain = _chain()
+        result = solve(
+            SolveRequest(
+                sparse=SparseChain.from_ctmc(chain),
+                options=SolveOptions(backend="sparse_iterative"),
+            )
+        )
+        assert result.converged
+        assert math.isclose(
+            result.values[0],
+            chain.mean_time_to_absorption(),
+            rel_tol=1e-9,
+        )
+
+    def test_closed_form_backend_runs_thunk(self):
+        result = solve(
+            SolveRequest(closed_form=lambda: [1.0, 2.5], query="mttdl")
+        )
+        assert result.backend == "closed_form"
+        assert result.values == (1.0, 2.5)
+
+    def test_sparse_refuses_absorption_query(self):
+        request = SolveRequest(
+            sparse=SparseChain.from_ctmc(_chain()),
+            query="absorption",
+            options=SolveOptions(backend="sparse_iterative"),
+        )
+        with pytest.raises(SolverError):
+            solve(request)
+
+    def test_stationary_queries_agree(self):
+        chain = CTMC(
+            ["a", "b"],
+            [Transition("a", "b", 1.0), Transition("b", "a", 3.0)],
+            initial_state="a",
+        )
+        dense = solve(
+            SolveRequest(
+                chains=(chain,),
+                query="stationary",
+                options=SolveOptions(backend="dense_gth"),
+            )
+        )
+        sparse = solve(
+            SolveRequest(
+                sparse=SparseChain.from_ctmc(chain),
+                query="stationary",
+                options=SolveOptions(backend="sparse_iterative"),
+            )
+        )
+        for state in chain.states:
+            assert math.isclose(
+                dense.distribution[state],
+                sparse.distribution[state],
+                rel_tol=1e-8,
+            )
+
+
+class TestCtmcSolveMethod:
+    def test_ctmc_solve_routes_through_backends(self):
+        chain = _chain()
+        result = chain.solve()
+        assert result.values[0] == chain.mean_time_to_absorption()
+        sparse = chain.solve(SolveOptions(backend="sparse_iterative"))
+        assert math.isclose(
+            sparse.values[0], result.values[0], rel_tol=1e-9
+        )
+
+    def test_absorb_still_exact(self):
+        chain = _chain()
+        absorb = chain.absorb()
+        assert absorb.mttdl == chain.mean_time_to_absorption()
+        assert math.isclose(
+            sum(absorb.absorption_probabilities.values()), 1.0, rel_tol=1e-12
+        )
+
+
+class TestScale:
+    def test_indirect_chain_beyond_dense_limit_solves(self):
+        n = 9_000  # past DENSE_MATERIALIZE_LIMIT
+
+        def transitions(k):
+            if k == "loss":
+                return {}
+            out = {}
+            if k < n:
+                out[k + 1] = (n - k) * 1e-4
+            if k > 0:
+                out[k - 1] = k * 1.0
+                out["loss"] = k * 1e-6
+            return out
+
+        chain = build_indirect(0, transitions)
+        result = solve(SolveRequest(sparse=chain))  # auto -> sparse
+        assert result.backend == "sparse_iterative"
+        assert result.converged
+        assert result.values[0] > 0.0

@@ -1,0 +1,231 @@
+"""Tests for the scipy-free sparse CTMC layer (CSR, builders, kernels)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CTMC, CTMCError, Transition, build_indirect
+from repro.core.sparse import (
+    DENSE_MATERIALIZE_LIMIT,
+    CsrMatrix,
+    SparseChain,
+    power_stationary,
+    sparse_gth_factorize,
+    uniformized_mttdl,
+)
+
+pytestmark = pytest.mark.solvers
+
+
+def birth_death_kill(n, lam=0.3, mu=2.0, kill=0.05):
+    """A birth-death chain with killing: states 0..n plus "loss"."""
+
+    def transitions(k):
+        if k == "loss":
+            return {}
+        out = {}
+        if k < n:
+            out[k + 1] = (n - k) * lam
+        if k > 0:
+            out[k - 1] = k * mu
+            out["loss"] = k * kill
+        return out
+
+    return build_indirect(0, transitions)
+
+
+class TestCsrMatrix:
+    def test_from_coo_sums_duplicates(self):
+        m = CsrMatrix.from_coo([0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0], (2, 2))
+        assert m.nnz == 2
+        assert m.to_dense().tolist() == [[0.0, 5.0], [1.0, 0.0]]
+
+    def test_matvec_vecmat_match_dense(self):
+        rng = np.random.default_rng(7)
+        dense = rng.uniform(size=(5, 5)) * (rng.uniform(size=(5, 5)) > 0.5)
+        rows, cols = np.nonzero(dense)
+        m = CsrMatrix.from_coo(rows, cols, dense[rows, cols], (5, 5))
+        x = rng.uniform(size=5)
+        np.testing.assert_allclose(m.matvec(x), dense @ x, rtol=1e-14)
+        np.testing.assert_allclose(m.vecmat(x), x @ dense, rtol=1e-14)
+
+    def test_row_sums(self):
+        m = CsrMatrix.from_coo([0, 0, 2], [1, 2, 0], [1.0, 2.0, 4.0], (3, 3))
+        assert m.row_sums().tolist() == [3.0, 0.0, 4.0]
+
+
+class TestSparseChainRoundTrip:
+    def test_from_ctmc_to_ctmc_round_trip(self):
+        chain = CTMC(
+            ["up", "degraded", "down"],
+            [
+                Transition("up", "degraded", 1.5),
+                Transition("degraded", "up", 10.0),
+                Transition("degraded", "down", 0.1),
+            ],
+            initial_state="up",
+        )
+        sparse = SparseChain.from_ctmc(chain)
+        back = sparse.to_ctmc()
+        assert back.states == chain.states
+        assert back.initial_state == chain.initial_state
+        assert np.array_equal(
+            back.generator_matrix(), chain.generator_matrix()
+        )
+
+    def test_to_ctmc_refuses_past_dense_limit(self):
+        chain = birth_death_kill(3)
+        with pytest.raises(CTMCError, match="dense"):
+            chain.to_ctmc(dense_limit=2)
+        assert DENSE_MATERIALIZE_LIMIT == 8192
+
+    def test_absorbing_mask_and_exit_rates(self):
+        chain = birth_death_kill(3)
+        mask = chain.absorbing_mask()
+        assert mask.sum() == 1
+        assert chain.label(int(np.flatnonzero(mask)[0])) == "loss"
+
+
+class TestIndirectBuilder:
+    def test_cyclic_transition_function_terminates(self):
+        # A ring: every state's successor eventually loops back to 0.
+        ring = build_indirect(0, lambda k: {(k + 1) % 5: 1.0})
+        assert ring.num_states == 5
+        assert ring.states == (0, 1, 2, 3, 4)
+
+    def test_deduplicates_states_reached_twice(self):
+        # Diamond: 0 -> 1, 0 -> 2, both -> 3.  State 3 appears once.
+        def transitions(k):
+            if k == 0:
+                return [(1, 1.0), (2, 1.0)]
+            if k in (1, 2):
+                return [(3, 1.0)]
+            return []
+
+        chain = build_indirect(0, transitions)
+        assert chain.num_states == 4
+        assert len(set(chain.states)) == 4
+
+    def test_pair_iterable_and_mapping_agree(self):
+        as_map = build_indirect(0, lambda k: {1: 2.0} if k == 0 else {})
+        as_pairs = build_indirect(0, lambda k: [(1, 2.0)] if k == 0 else [])
+        assert as_map.states == as_pairs.states
+        assert as_map.nnz == as_pairs.nnz
+
+    def test_parallel_edges_sum(self):
+        chain = build_indirect(
+            0, lambda k: [(1, 2.0), (1, 3.0)] if k == 0 else []
+        )
+        assert chain.rates.to_dense()[0, 1] == 5.0
+
+    def test_max_states_cap(self):
+        with pytest.raises(CTMCError, match="max_states"):
+            build_indirect(0, lambda k: {k + 1: 1.0}, max_states=10)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(CTMCError, match="finite"):
+            build_indirect(0, lambda k: {1: -1.0} if k == 0 else {})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CTMCError, match="self-loop"):
+            build_indirect(0, lambda k: {0: 1.0})
+
+    def test_zero_rates_dropped(self):
+        chain = build_indirect(
+            0, lambda k: [(1, 1.0), (2, 0.0)] if k == 0 else []
+        )
+        assert chain.num_states == 2  # state 2 never discovered
+
+
+class TestSparseGth:
+    def test_matches_dense_mttdl(self):
+        chain = birth_death_kill(40)
+        sparse_mttdl = _sparse_mttdl(chain)
+        dense_mttdl = chain.to_ctmc().mean_time_to_absorption()
+        assert math.isclose(sparse_mttdl, dense_mttdl, rel_tol=1e-12)
+
+    def test_factors_support_resolve(self):
+        chain = birth_death_kill(10)
+        a, b, _, init_pos = chain.transient_system()
+        factors = sparse_gth_factorize(a, b)
+        x1 = factors.solve([1.0] * a.shape[0])
+        x2 = factors.solve([2.0] * a.shape[0])
+        np.testing.assert_allclose(np.asarray(x2), 2.0 * np.asarray(x1), rtol=1e-12)
+
+
+def _sparse_mttdl(chain):
+    a, b, _, init_pos = chain.transient_system()
+    factors = sparse_gth_factorize(a, b)
+    x = factors.solve([1.0] * a.shape[0])
+    return float(x[init_pos])
+
+
+class TestIterativeKernels:
+    def test_power_stationary_matches_dense(self):
+        chain = CTMC(
+            ["a", "b", "c"],
+            [
+                Transition("a", "b", 1.0),
+                Transition("b", "c", 2.0),
+                Transition("c", "a", 3.0),
+                Transition("b", "a", 0.5),
+            ],
+            initial_state="a",
+        )
+        dense = chain.stationary_distribution()
+        sparse = SparseChain.from_ctmc(chain)
+        pi, iterations, change, converged = power_stationary(sparse)
+        assert converged and iterations > 0
+        for i, s in enumerate(sparse.states):
+            assert math.isclose(pi[i], dense[s], rel_tol=1e-8, abs_tol=1e-12)
+
+    def test_power_stationary_rejects_absorbing(self):
+        chain = birth_death_kill(3)
+        with pytest.raises(CTMCError, match="absorbing"):
+            power_stationary(chain)
+
+    def test_uniformized_mttdl_non_stiff(self):
+        chain = birth_death_kill(8, lam=0.5, mu=1.0, kill=0.8)
+        a, b, _, init_pos = chain.transient_system()
+        mttdl, iterations, tail, converged = uniformized_mttdl(
+            a, b, init_pos, tolerance=1e-10
+        )
+        assert converged
+        dense = chain.to_ctmc().mean_time_to_absorption()
+        assert math.isclose(mttdl, dense, rel_tol=1e-8)
+
+
+@st.composite
+def random_absorbing_ctmcs(draw):
+    """Small random CTMCs with at least one absorbing state reachable."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    states = [f"s{i}" for i in range(n)] + ["dead"]
+    rate = st.floats(
+        min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+    )
+    transitions = []
+    for i in range(n):
+        # A forward edge keeps every transient state connected to
+        # absorption; extra random edges add structure (and stiffness).
+        nxt = states[i + 1]
+        transitions.append((states[i], nxt, draw(rate)))
+        for j in range(n + 1):
+            if j != i and draw(st.booleans()):
+                transitions.append((states[i], states[j], draw(rate)))
+    return CTMC(
+        states,
+        [Transition(s, t, r) for s, t, r in transitions],
+        initial_state="s0",
+    )
+
+
+class TestSparseDenseProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(random_absorbing_ctmcs())
+    def test_sparse_gth_agrees_with_dense(self, chain):
+        dense = chain.mean_time_to_absorption()
+        sparse = _sparse_mttdl(SparseChain.from_ctmc(chain))
+        assert math.isclose(sparse, dense, rel_tol=1e-9), (sparse, dense)

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 
 from repro import evaluate
+from repro.core.solvers import SolveOptions
 from repro.models import Parameters
 from repro.models.configurations import ALL_CONFIGURATIONS
 
@@ -31,8 +32,10 @@ def main() -> None:
         "configurations": {},
     }
     for config in ALL_CONFIGURATIONS:
-        exact = evaluate(config, base, method="analytic")
-        approx = evaluate(config, base, method="closed_form")
+        exact = evaluate(config, base)
+        approx = evaluate(
+            config, base, options=SolveOptions(backend="closed_form")
+        )
         data["configurations"][config.key] = {
             "mttdl_hours_analytic": exact.mttdl_hours,
             "mttdl_hours_closed_form": approx.mttdl_hours,

@@ -1,9 +1,12 @@
 """The unified repro.evaluate() facade."""
 
+import math
+
 import pytest
 
 import repro
 from repro import ALL_CONFIGURATIONS, Configuration, InternalRaid, Parameters
+from repro.core.solvers import SolveOptions
 from repro.engine.facade import evaluate
 from repro.sim import accelerated_parameters, estimate_mttdl
 
@@ -13,32 +16,39 @@ class TestAnalyticParity:
     def test_matches_pre_engine_entry_point(self, config, baseline):
         """repro.evaluate() must equal the old evaluate()/reliability path
         for every one of the paper's nine configurations."""
-        new = evaluate(config, baseline, method="analytic")
+        new = evaluate(config, baseline)
         old = config.reliability(baseline, "exact")
         assert new.mttdl_hours == old.mttdl_hours
         assert new.events_per_pb_year == old.events_per_pb_year
 
-    def test_exact_alias(self, baseline):
-        config = ALL_CONFIGURATIONS[4]
-        assert (
-            evaluate(config, baseline, method="exact").mttdl_hours
-            == evaluate(config, baseline, method="analytic").mttdl_hours
+    @pytest.mark.solvers
+    @pytest.mark.parametrize("config", ALL_CONFIGURATIONS, ids=lambda c: c.key)
+    def test_sparse_backend_agrees(self, config, baseline):
+        dense = evaluate(config, baseline)
+        sparse = evaluate(
+            config, baseline, options=SolveOptions(backend="sparse_iterative")
         )
+        assert math.isclose(
+            sparse.mttdl_hours, dense.mttdl_hours, rel_tol=1e-9
+        )
+
+    def test_exact_rates_differ_from_approx(self, baseline):
+        config = ALL_CONFIGURATIONS[4]
+        approx = evaluate(config, baseline)
+        exact = evaluate(
+            config, baseline, options=SolveOptions(rates_method="exact")
+        )
+        assert approx.mttdl_hours != exact.mttdl_hours
 
 
 class TestClosedFormParity:
     @pytest.mark.parametrize("config", ALL_CONFIGURATIONS, ids=lambda c: c.key)
     def test_matches_pre_engine_entry_point(self, config, baseline):
-        new = evaluate(config, baseline, method="closed_form")
+        new = evaluate(
+            config, baseline, options=SolveOptions(backend="closed_form")
+        )
         old = config.reliability(baseline, "approx")
         assert new.mttdl_hours == old.mttdl_hours
-
-    def test_approx_alias(self, baseline):
-        config = ALL_CONFIGURATIONS[1]
-        assert (
-            evaluate(config, baseline, method="approx").mttdl_hours
-            == evaluate(config, baseline, method="closed_form").mttdl_hours
-        )
 
 
 class TestMonteCarlo:
@@ -46,7 +56,13 @@ class TestMonteCarlo:
         base = Parameters.with_overrides(node_set_size=12, redundancy_set_size=6)
         acc = accelerated_parameters(base, failure_scale=200.0)
         config = Configuration(InternalRaid.NONE, 1)
-        result = evaluate(config, acc, method="monte_carlo", replicas=10, seed=7)
+        result = evaluate(
+            config,
+            acc,
+            options=SolveOptions(backend="monte_carlo"),
+            replicas=10,
+            seed=7,
+        )
         mc = estimate_mttdl(config, acc, replicas=10, seed=7)
         assert result.mttdl_hours == mc.mean_hours
 
@@ -55,9 +71,62 @@ class TestMonteCarlo:
             evaluate(
                 ALL_CONFIGURATIONS[0],
                 baseline,
-                method="monte_carlo",
+                options=SolveOptions(backend="monte_carlo"),
                 rebuild=object(),
             )
+
+
+class TestMethodShim:
+    """The deprecated method= keyword still works, with a warning."""
+
+    def test_analytic_method_warns_and_matches(self, baseline):
+        config = ALL_CONFIGURATIONS[0]
+        with pytest.warns(DeprecationWarning, match="options"):
+            old_style = evaluate(config, baseline, method="analytic")
+        assert old_style.mttdl_hours == evaluate(config, baseline).mttdl_hours
+
+    def test_exact_alias(self, baseline):
+        config = ALL_CONFIGURATIONS[4]
+        with pytest.warns(DeprecationWarning):
+            shimmed = evaluate(config, baseline, method="exact")
+        assert shimmed.mttdl_hours == evaluate(config, baseline).mttdl_hours
+
+    def test_approx_alias_maps_to_closed_form(self, baseline):
+        config = ALL_CONFIGURATIONS[1]
+        with pytest.warns(DeprecationWarning):
+            shimmed = evaluate(config, baseline, method="approx")
+        assert (
+            shimmed.mttdl_hours
+            == evaluate(
+                config, baseline, options=SolveOptions(backend="closed_form")
+            ).mttdl_hours
+        )
+
+    def test_method_with_compatible_options(self, baseline):
+        config = ALL_CONFIGURATIONS[0]
+        with pytest.warns(DeprecationWarning):
+            result = evaluate(
+                config,
+                baseline,
+                method="analytic",
+                options=SolveOptions(backend="sparse_iterative"),
+            )
+        assert result.mttdl_hours > 0
+
+    def test_method_conflicting_with_options_rejected(self, baseline):
+        config = ALL_CONFIGURATIONS[0]
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicts"):
+                evaluate(
+                    config,
+                    baseline,
+                    method="closed_form",
+                    options=SolveOptions(backend="sparse_iterative"),
+                )
+
+    def test_unknown_method_rejected(self, baseline):
+        with pytest.raises(ValueError, match="unknown method"):
+            evaluate(ALL_CONFIGURATIONS[0], baseline, method="magic")
 
 
 class TestApiSurface:
@@ -70,10 +139,6 @@ class TestApiSurface:
             evaluate(config).mttdl_hours
             == evaluate(config, Parameters.baseline()).mttdl_hours
         )
-
-    def test_unknown_method_rejected(self, baseline):
-        with pytest.raises(ValueError, match="unknown method"):
-            evaluate(ALL_CONFIGURATIONS[0], baseline, method="magic")
 
     def test_evaluate_all_still_exported(self, baseline):
         pairs = repro.evaluate_all(baseline, ALL_CONFIGURATIONS[:2])

@@ -195,9 +195,10 @@ class TestCounterReadThrough:
         )
 
 
-class TestVerboseDeprecation:
-    def test_verbose_warns(self):
-        with pytest.warns(DeprecationWarning, match="verbose"):
+class TestVerboseRemoved:
+    def test_verbose_kwarg_is_gone(self):
+        # Deprecated in the obs PR; the removal completes the cycle.
+        with pytest.raises(TypeError):
             SweepEngine(jobs=1, verbose=True)
 
     def test_default_does_not_warn(self, recwarn):

@@ -193,10 +193,6 @@ class TestProvenance:
         assert len(prov.spec_hashes) == prov.spec_misses
         assert all(len(h) == 64 for h in prov.spec_hashes)
 
-    def test_verbose_reports_to_stderr(self, baseline, capsys):
-        with pytest.warns(DeprecationWarning, match="verbose"):
-            engine = SweepEngine(jobs=1, verbose=True)
-        engine.evaluate(ALL_CONFIGURATIONS[0], baseline)
-        err = capsys.readouterr().err
-        assert "[repro.engine]" in err
-        assert "compiled specs" in err
+    def test_verbose_kwarg_removed(self, baseline):
+        with pytest.raises(TypeError):
+            SweepEngine(jobs=1, verbose=True)

@@ -6,6 +6,7 @@ import pytest
 
 import repro
 from repro.models.configurations import all_configurations
+from repro.core.solvers import SolveOptions
 from repro.serve.batcher import CoalescingBatcher, Overloaded
 
 pytestmark = pytest.mark.serve
@@ -46,7 +47,7 @@ def test_concurrent_submits_coalesce_and_match_evaluate(baseline):
     assert sizes.count >= 1
     assert sizes.mean > 1.0, "concurrent submits did not batch"
     for (config, params), mttdl in zip(points, answers):
-        direct = repro.evaluate(config, params, method="analytic")
+        direct = repro.evaluate(config, params)
         assert mttdl == direct.mttdl_hours, config.key
 
 
@@ -65,7 +66,9 @@ def test_closed_form_points_batch_too(baseline):
 
     answers = asyncio.run(drive())
     for config, mttdl in zip(CONFIGS, answers):
-        direct = repro.evaluate(config, baseline, method="closed_form")
+        direct = repro.evaluate(
+            config, baseline, options=SolveOptions(backend="closed_form")
+        )
         assert mttdl == direct.mttdl_hours, config.key
 
 
@@ -90,7 +93,10 @@ def test_mixed_methods_group_separately(baseline):
     assert metrics.histogram("serve.batch.groups").count >= 1
     for i, (config, mttdl) in enumerate(zip(CONFIGS, answers)):
         method = "analytic" if i % 2 == 0 else "closed_form"
-        direct = repro.evaluate(config, baseline, method=method)
+        backend = "auto" if method == "analytic" else "closed_form"
+        direct = repro.evaluate(
+            config, baseline, options=SolveOptions(backend=backend)
+        )
         assert mttdl == direct.mttdl_hours, (config.key, method)
 
 
@@ -150,7 +156,7 @@ def test_stop_drains_admitted_points(baseline):
 
     answers = asyncio.run(drive())
     for (config, params), mttdl in zip(points, answers):
-        direct = repro.evaluate(config, params, method="analytic")
+        direct = repro.evaluate(config, params)
         assert mttdl == direct.mttdl_hours
 
 
@@ -162,10 +168,10 @@ def test_group_failure_is_isolated(baseline, monkeypatch):
     real = batcher_mod.solve_grouped
     boom = RuntimeError("synthetic solver failure")
 
-    def failing(compiled, envs):
+    def failing(compiled, envs, options=None):
         if len(envs) and compiled.spec.name.startswith("no_raid"):
             raise boom
-        return real(compiled, envs)
+        return real(compiled, envs, options)
 
     monkeypatch.setattr(batcher_mod, "solve_grouped", failing)
 
@@ -190,7 +196,7 @@ def test_group_failure_is_isolated(baseline, monkeypatch):
     assert failed == [c.key for c in CONFIGS if "noraid" in c.key]
     for config, out in zip(CONFIGS, outcomes):
         if not isinstance(out, BaseException):
-            direct = repro.evaluate(config, baseline, method="analytic")
+            direct = repro.evaluate(config, baseline)
             assert out == direct.mttdl_hours
 
 

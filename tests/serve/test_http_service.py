@@ -6,6 +6,7 @@ import json
 import pytest
 
 import repro
+from repro.core.solvers import SolveOptions
 from repro.engine.sweep import Axis, SweepEngine
 from repro.models.configurations import Configuration, all_configurations
 from repro.serve import ServeConfig, serving
@@ -103,9 +104,7 @@ def test_single_point_bitwise_identical_to_evaluate(baseline):
 
     status, _, answer = _run(drive())
     assert status == 200
-    direct = repro.evaluate(
-        Configuration.from_key("ft2_raid5"), baseline, method="analytic"
-    )
+    direct = repro.evaluate(Configuration.from_key("ft2_raid5"), baseline)
     assert answer["mttdl_hours"] == direct.mttdl_hours
     assert answer["events_per_pb_year"] == direct.events_per_pb_year
     assert answer["mttdl_years"] == direct.mttdl_years
@@ -137,8 +136,11 @@ def test_every_config_and_method_matches_evaluate(baseline):
     answers = _run(drive())
     for method, results in answers.items():
         for key, served in zip(keys, results):
+            backend = "auto" if method == "analytic" else "closed_form"
             direct = repro.evaluate(
-                Configuration.from_key(key), baseline, method=method
+                Configuration.from_key(key),
+                baseline,
+                options=SolveOptions(backend=backend),
             )
             assert served["mttdl_hours"] == direct.mttdl_hours, (key, method)
             assert (
@@ -165,7 +167,6 @@ def test_params_override_round_trip(baseline):
     direct = repro.evaluate(
         Configuration.from_key("ft1_raid6"),
         baseline.replace(drive_mttf_hours=250_000.0),
-        method="analytic",
     )
     assert answer["mttdl_hours"] == direct.mttdl_hours
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.solvers import DEFAULT_SOLVE_OPTIONS, SolveOptions
 from repro.engine.keys import point_key
 from repro.models.configurations import Configuration
 from repro.models.metrics import ReliabilityResult
@@ -158,6 +159,43 @@ class TestParseEvaluateBody:
                 baseline,
             )
 
+    def test_solve_options_parsed(self, baseline):
+        q = parse_evaluate_body(
+            {
+                "config": "ft1_raid5",
+                "options": {"backend": "sparse_iterative", "tolerance": 1e-8},
+            },
+            baseline,
+        )[0]
+        assert q.options.backend == "sparse_iterative"
+        assert q.options.tolerance == 1e-8
+
+    def test_solve_options_default(self, baseline):
+        q = parse_evaluate_body({"config": "ft1_raid5"}, baseline)[0]
+        assert q.options is DEFAULT_SOLVE_OPTIONS
+
+    def test_bad_solve_options_rejected(self, baseline):
+        with pytest.raises(ProtocolError, match='bad "options"'):
+            parse_evaluate_body(
+                {"config": "ft1_raid5", "options": {"backend": "quantum"}},
+                baseline,
+            )
+        with pytest.raises(ProtocolError, match='bad "options"'):
+            parse_evaluate_body(
+                {"config": "ft1_raid5", "options": {"turbo": True}},
+                baseline,
+            )
+
+    def test_monte_carlo_backend_must_use_method(self, baseline):
+        with pytest.raises(ProtocolError, match='"method"'):
+            parse_evaluate_body(
+                {
+                    "config": "ft1_raid5",
+                    "options": {"backend": "monte_carlo"},
+                },
+                baseline,
+            )
+
 
 # --------------------------------------------------------------------- #
 # /v1/sweep parsing
@@ -247,6 +285,34 @@ class TestCacheKey:
             config=config, params=baseline.replace(drive_mttf_hours=461387.0)
         )
         assert a.cache_key() != b.cache_key()
+
+    def test_default_options_leave_key_unchanged(self, baseline):
+        # Pre-options cache entries must stay valid: the default options
+        # contribute nothing to the key.
+        config = Configuration.from_key("ft2_raid5")
+        q = PointQuery(
+            config=config,
+            params=baseline,
+            method="analytic",
+            options=SolveOptions(),
+        )
+        assert q.cache_key() == point_key(config, baseline, "analytic", None)
+
+    def test_non_default_options_change_key(self, baseline):
+        config = Configuration.from_key("ft2_raid5")
+        plain = PointQuery(config=config, params=baseline)
+        sparse = PointQuery(
+            config=config,
+            params=baseline,
+            options=SolveOptions(backend="sparse_iterative"),
+        )
+        tight = PointQuery(
+            config=config,
+            params=baseline,
+            options=SolveOptions(backend="sparse_iterative", tolerance=1e-6),
+        )
+        assert plain.cache_key() != sparse.cache_key()
+        assert sparse.cache_key() != tight.cache_key()
 
 
 class TestPointResponse:
