@@ -1,0 +1,85 @@
+"""Benchmark: the full scenario-corpus flywheel at acceptance scale.
+
+The differential oracles are only an acceptance gate if they hold over a
+corpus large enough to exercise every scenario family and both solver
+backends, so this benchmark generates the pinned 1000-scenario corpus,
+pumps it through :func:`repro.fleet.run_corpus` and archives the oracle
+and backend breakdown.  Any oracle violation fails the run outright.
+"""
+
+import statistics
+from collections import Counter
+
+from _bench_utils import emit_text
+
+from repro.analysis import format_table
+from repro.engine import SweepEngine
+from repro.fleet import ScenarioGenerator, run_corpus
+
+CORPUS_SEED = 2006  # the paper's year; pinned so results are comparable
+CORPUS_COUNT = 1000
+DENSE_CHECK_LIMIT = 2048
+
+
+def run_acceptance_corpus():
+    scenarios = list(
+        ScenarioGenerator(seed=CORPUS_SEED).generate(CORPUS_COUNT)
+    )
+    engine = SweepEngine(jobs=1, cache=False)
+    return scenarios, run_corpus(
+        scenarios, engine=engine, dense_check_limit=DENSE_CHECK_LIMIT
+    )
+
+
+def test_fleet_corpus_acceptance(benchmark):
+    scenarios, run = benchmark.pedantic(
+        run_acceptance_corpus, rounds=1, iterations=1
+    )
+    assert run.ok, run.violations[:5]
+    assert len(run.results) == CORPUS_COUNT
+    assert all(result.ok for result in run.results)
+
+    dense_checked = [
+        r for r in run.results if r.sparse_dense_rel_gap is not None
+    ]
+    assert dense_checked, "no scenario was densely solvable"
+    worst_gap = max(r.sparse_dense_rel_gap for r in dense_checked)
+    assert worst_gap <= 1e-9
+
+    families = Counter(s.family for s in scenarios)
+    backends = Counter(r.backend for r in run.results)
+    states = sorted(r.num_states for r in run.results)
+    ratios = sorted(r.heterogeneity_ratio for r in run.results)
+
+    rows = [["metric", "value"]]
+    rows.append(["scenarios", str(CORPUS_COUNT)])
+    rows.append(["seed", str(CORPUS_SEED)])
+    rows.append(["oracle violations", str(len(run.violations))])
+    for family in sorted(families):
+        rows.append([f"family {family}", str(families[family])])
+    for backend in sorted(backends):
+        rows.append([f"backend {backend}", str(backends[backend])])
+    rows.append(["dense cross-checks", str(len(dense_checked))])
+    rows.append(["worst sparse/dense rel gap", f"{worst_gap:.3e}"])
+    rows.append(
+        [
+            "states min/median/max",
+            f"{states[0]} / {statistics.median(states):.0f} / {states[-1]}",
+        ]
+    )
+    rows.append(
+        [
+            "heterogeneity ratio min/max",
+            f"{ratios[0]:.4f} / {ratios[-1]:.4f}",
+        ]
+    )
+    rows.append(
+        [
+            "elapsed seconds",
+            f"{run.header.provenance['elapsed_seconds']:.1f}",
+        ]
+    )
+    emit_text(
+        "fleet scenario corpus (acceptance scale)\n" + format_table(rows),
+        "fleet_corpus.txt",
+    )

@@ -391,7 +391,16 @@ def build_indirect(
             ``{next_state: rate}`` mapping or an iterable of
             ``(next_state, rate)`` pairs; rates must be finite and
             non-negative (zero-rate entries are dropped), self-loops are
-            rejected.  Parallel entries to the same successor are summed.
+            rejected.  Parallel entries to the same successor are
+            **summed** (never last-write-wins): competing physical
+            processes that happen to share a source/target pair add
+            their rates.  The reduction (:meth:`CsrMatrix.from_coo`) is
+            deterministic but *pairwise*, not left-nested — three or
+            more duplicates may round differently from a sequential
+            ``(a + b) + c``.  Callers that need an exact float-op order
+            across parallel edges — e.g. for bitwise differential
+            testing — should pre-merge them before yielding, as
+            :func:`repro.fleet.chain.fleet_edges` does.
         max_states: exploration cap; exceeding it raises rather than
             exhausting memory on a runaway transition function.
 

@@ -1,0 +1,95 @@
+"""repro.fleet — heterogeneous, time-varying fleet modelling.
+
+The paper assumes ``N`` identical exponential bricks.  This package
+relaxes both assumptions on top of the compile-bind-solve pipeline:
+
+* :mod:`~repro.fleet.cohorts` — :class:`FleetSpec`: the fleet as
+  cohorts (vintages, batches) with per-cohort ``Parameters`` overrides,
+  repair-interval delays and repair costs, in the spirit of the
+  tahoe-lafs lossmodel's non-uniform peer MTBFs;
+* :mod:`~repro.fleet.phasetype` — Weibull infant-mortality / wear-out
+  lifetimes fitted to 2-3 stage Coxian / mixed-Erlang phase-type
+  distributions with measured, certifiable moment errors;
+* :mod:`~repro.fleet.chain` — the fleet CTMC (per-cohort failure counts
+  x lifetime stages) rendered through one canonical topology walker
+  into both a declarative :class:`ModelSpec` (dense backend) and an
+  indirect sparse build, bitwise-consistently; homogeneous fleets
+  collapse bitwise onto the paper's uniform chain;
+* :mod:`~repro.fleet.scenarios` — the seeded scenario generator and
+  corpus runner behind the ``repro-scenarios`` CLI: thousands of
+  deterministic scenarios through the sweep engine and both solver
+  backends, every one held to differential oracles;
+* :mod:`~repro.fleet.simulate` — the entity-level Gillespie leg drawing
+  phase-type lifetimes, cross-checking the stage expansion.
+
+The matching verification lattice lives in :mod:`repro.verify.fleet`
+(the ``fleet-*`` invariants).
+"""
+
+from .chain import (
+    DEFAULT_SPEC_STATE_LIMIT,
+    FleetModel,
+    count_states,
+    fleet_edges,
+    fleet_env,
+    fleet_model_spec,
+    fleet_structure,
+    initial_state,
+)
+from .cohorts import Cohort, CohortRates, FleetError, FleetSpec
+from .phasetype import (
+    DEFAULT_MAX_STAGES,
+    PhaseType,
+    PhaseTypeError,
+    PhaseTypeFit,
+    fit_lifetime,
+    fit_weibull,
+    weibull_moments,
+)
+from .scenarios import (
+    FAMILIES,
+    CorpusHeader,
+    CorpusRun,
+    Scenario,
+    ScenarioGenerator,
+    ScenarioResult,
+    canonical_fleets,
+    read_corpus,
+    run_corpus,
+    write_corpus,
+)
+from .simulate import FleetMonteCarloResult, estimate_fleet_mttdl
+
+__all__ = [
+    "Cohort",
+    "CohortRates",
+    "CorpusHeader",
+    "CorpusRun",
+    "DEFAULT_MAX_STAGES",
+    "DEFAULT_SPEC_STATE_LIMIT",
+    "FAMILIES",
+    "FleetError",
+    "FleetModel",
+    "FleetMonteCarloResult",
+    "FleetSpec",
+    "PhaseType",
+    "PhaseTypeError",
+    "PhaseTypeFit",
+    "Scenario",
+    "ScenarioGenerator",
+    "ScenarioResult",
+    "canonical_fleets",
+    "count_states",
+    "estimate_fleet_mttdl",
+    "fit_lifetime",
+    "fit_weibull",
+    "fleet_edges",
+    "fleet_env",
+    "fleet_model_spec",
+    "fleet_structure",
+    "initial_state",
+    "read_corpus",
+    "run_corpus",
+    "weibull_moments",
+    "write_corpus",
+]

@@ -1,0 +1,400 @@
+"""Fleet CTMCs: per-cohort failure counts and phase-type stages.
+
+State encoding
+--------------
+
+A fleet state is a tuple with one entry per cohort; cohort ``c``'s
+entry is ``(s_1, ..., s_K, f)`` — healthy bricks per lifetime stage
+plus the failed count — with ``s_1 + ... + s_K + f == nodes_c``.  The
+absorbing state is the shared ``"loss"`` label.  Transitions:
+
+* *failure*: a stage-``i`` brick fails (stage exit x (1 - continue),
+  plus the cohort's internal-array rate ``lambda_D`` from every stage);
+* *ageing*: a stage-``i`` brick advances to stage ``i + 1``;
+* *repair*: each failed brick rebuilds independently at the cohort's
+  effective rate — ``f_c * mu_c`` in aggregate.  Fully parallel repair
+  is what makes MTTDL invariant under cohort permutation *and* makes an
+  all-equal fleet lump exactly onto the paper's uniform chain with
+  ``parallel_repair=True`` (the scheduling ablation of
+  :func:`repro.models.specs.internal_raid_spec`);
+* *loss*: with ``t`` bricks already down, any further failure — or a
+  critical-restripe hard error at rate ``(n_c - f_c) k_t lambda_S_c``
+  per cohort — absorbs.
+
+Bitwise differential contract
+-----------------------------
+
+One walker (:func:`fleet_edges`) is the single source of truth for the
+topology.  It emits, per source state, an ordered list of
+``(target, ((coeff, param), ...))`` entries with **at most one edge per
+(source, target) pair** — parallel contributions are pre-merged into a
+left-nested term sum.  The spec path renders each entry as
+``const(c1)*param(p1) + const(c2)*param(p2) + ...`` and the sparse
+:func:`~repro.core.sparse.build_indirect` path accumulates
+``c1*env[p1] + c2*env[p2] + ...`` left-to-right: identical IEEE
+operation order, so the dense and sparse generators agree bitwise.
+For a single exponential cohort the chain reduces edge-for-edge to
+``internal_raid_spec(t, parallel_repair=True)`` — the environment
+pre-computes ``lam = lambda_N + lambda_D`` and
+``loss = lam + k_t * lambda_S`` with exactly the float-op order of the
+uniform spec's rate expressions, which the homogeneous-collapse oracle
+in :mod:`repro.verify.fleet` checks bitwise.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core import CTMC
+from ..core.solvers import (
+    SolveOptions,
+    SolveRequest,
+    solve,
+)
+from ..core.sparse import SparseChain, build_indirect
+from ..core.spec import ModelSpec, RateExpr, SpecBuilder, const, param
+from ..models.specs import compiled, internal_raid_env, internal_raid_spec
+from .cohorts import FleetError, FleetSpec
+
+__all__ = [
+    "DEFAULT_SPEC_STATE_LIMIT",
+    "FleetModel",
+    "LOSS",
+    "count_states",
+    "fleet_edges",
+    "fleet_env",
+    "fleet_model_spec",
+    "fleet_structure",
+    "initial_state",
+]
+
+LOSS = "loss"
+
+#: Beyond this many states the declarative-spec path (which enumerates
+#: every state into a ModelSpec) refuses; use the sparse indirect path.
+DEFAULT_SPEC_STATE_LIMIT = 20_000
+
+#: ``(nodes, stages)`` per cohort — everything the topology depends on.
+Structure = Tuple[Tuple[int, int], ...]
+CohortState = Tuple[int, ...]
+FleetState = Union[str, Tuple[CohortState, ...]]
+EdgeTerms = Tuple[Tuple[int, str], ...]
+
+
+def fleet_structure(fleet: FleetSpec) -> Structure:
+    """The ``(nodes, stages)`` shape of each cohort."""
+    return tuple((c.nodes, c.stages) for c in fleet.cohorts)
+
+
+def initial_state(structure: Structure) -> FleetState:
+    """All bricks healthy, in lifetime stage 1."""
+    return tuple(
+        (nodes,) + (0,) * (stages - 1) + (0,) for nodes, stages in structure
+    )
+
+
+def count_states(structure: Structure, fault_tolerance: int) -> int:
+    """Exact transient-state count (+1 for loss), without enumeration.
+
+    Per cohort with ``f_c`` failed bricks the healthy remainder can sit
+    in any stage composition — ``C(healthy + K - 1, K - 1)`` of them —
+    and the fleet-level count convolves cohorts under
+    ``sum f_c <= t``.  Every composition is reachable (ageing moves one
+    brick at a time), so this matches the BFS exactly.
+    """
+    dp = [1] + [0] * fault_tolerance
+    for nodes, stages in structure:
+        new = [0] * (fault_tolerance + 1)
+        for f_prev, ways in enumerate(dp):
+            if not ways:
+                continue
+            for f_c in range(0, min(nodes, fault_tolerance - f_prev) + 1):
+                healthy = nodes - f_c
+                new[f_prev + f_c] += ways * comb(
+                    healthy + stages - 1, stages - 1
+                )
+        dp = new
+    return sum(dp) + 1
+
+
+def _with_cohort(
+    state: Tuple[CohortState, ...], index: int, entry: CohortState
+) -> Tuple[CohortState, ...]:
+    return state[:index] + (entry,) + state[index + 1 :]
+
+
+def fleet_edges(
+    state: FleetState, structure: Structure, fault_tolerance: int
+) -> Iterator[Tuple[FleetState, EdgeTerms]]:
+    """Outgoing edges of ``state``, merged per target, in canonical
+    order (cohorts in declaration order; within a cohort: failures by
+    stage, ageing by stage, critical sector loss, repair)."""
+    if state == LOSS:
+        return
+    failed_total = sum(cs[-1] for cs in state)
+    critical = failed_total == fault_tolerance
+    terms: Dict[FleetState, List[Tuple[int, str]]] = {}
+
+    def add(target: FleetState, coeff: int, name: str) -> None:
+        terms.setdefault(target, []).append((coeff, name))
+
+    for c, (cohort_state, (nodes, stages)) in enumerate(zip(state, structure)):
+        failed = cohort_state[-1]
+        healthy = nodes - failed
+        for i in range(stages):
+            count = cohort_state[i]
+            if not count:
+                continue
+            if stages == 1:
+                name = f"loss_{c}" if critical else f"lam_{c}"
+            else:
+                name = f"fail_{c}_{i + 1}"
+            if critical:
+                add(LOSS, count, name)
+            else:
+                entry = list(cohort_state)
+                entry[i] -= 1
+                entry[-1] += 1
+                add(_with_cohort(state, c, tuple(entry)), count, name)
+        for i in range(stages - 1):
+            count = cohort_state[i]
+            if not count:
+                continue
+            entry = list(cohort_state)
+            entry[i] -= 1
+            entry[i + 1] += 1
+            add(_with_cohort(state, c, tuple(entry)), count, f"adv_{c}_{i + 1}")
+        if critical and stages > 1 and healthy:
+            add(LOSS, healthy, f"crit_{c}")
+        if failed:
+            entry = list(cohort_state)
+            entry[0] += 1
+            entry[-1] -= 1
+            add(_with_cohort(state, c, tuple(entry)), failed, f"mu_{c}")
+    for target, parts in terms.items():
+        yield target, tuple(parts)
+
+
+def _terms_expr(parts: EdgeTerms) -> RateExpr:
+    """``const(c1)*param(p1) + const(c2)*param(p2) + ...`` left-nested —
+    the same association order the sparse path's float accumulation
+    uses, keeping both generators bitwise identical."""
+    coeff, name = parts[0]
+    expr = const(float(coeff)) * param(name)
+    for coeff, name in parts[1:]:
+        expr = expr + const(float(coeff)) * param(name)
+    return expr
+
+
+@lru_cache(maxsize=None)
+def fleet_model_spec(structure: Structure, fault_tolerance: int) -> ModelSpec:
+    """The fleet chain as a declarative :class:`ModelSpec`.
+
+    Structurally identical fleets (same cohort sizes and stage counts)
+    share one spec — and therefore one compiled topology in the
+    :func:`repro.models.specs.compiled` cache — regardless of their
+    rates; heterogeneity lives entirely in the binding environment.
+    """
+    total = sum(nodes for nodes, _ in structure)
+    if fault_tolerance < 1:
+        raise FleetError("fault_tolerance must be >= 1")
+    if total <= fault_tolerance:
+        raise FleetError("fleet must be larger than the fault tolerance")
+    start = initial_state(structure)
+    builder = SpecBuilder()
+    order: List[FleetState] = [start]
+    seen = {start}
+    pos = 0
+    while pos < len(order):
+        source = order[pos]
+        for target, parts in fleet_edges(source, structure, fault_tolerance):
+            builder.add_rate(source, target, _terms_expr(parts))
+            if target not in seen:
+                seen.add(target)
+                order.append(target)
+        pos += 1
+    name = f"fleet_t{fault_tolerance}_" + "_".join(
+        f"{nodes}x{stages}" for nodes, stages in structure
+    )
+    return builder.build(name, initial_state=start)
+
+
+def fleet_env(fleet: FleetSpec) -> Dict[str, float]:
+    """Binding environment for :func:`fleet_model_spec`.
+
+    Exponential cohorts pre-compute ``lam_c = lambda_N + lambda_D`` and
+    ``loss_c = lam_c + k_t * lambda_S`` in exactly the float-op order of
+    the uniform spec's rate tree, so a homogeneous fleet binds to a
+    generator bitwise equal to the paper's chain.  Phase-type cohorts
+    expose per-stage ageing (``adv``) and failure (``fail``, with
+    ``lambda_D`` competing from every stage) rates plus the critical
+    sector term ``crit_c = k_t * lambda_S``.
+    """
+    k_t = fleet.critical_sector_fraction
+    env: Dict[str, float] = {}
+    for c, cohort in enumerate(fleet.cohorts):
+        rates = fleet.cohort_rates(cohort)
+        lambda_d = rates.array_failure_rate
+        lambda_s = rates.restripe_sector_loss_rate
+        lifetime = cohort.lifetime
+        if lifetime is None or lifetime.num_stages == 1:
+            if lifetime is None:
+                node_hazard = rates.node_failure_rate
+            else:
+                node_hazard = lifetime.rates[0] * (1.0 - lifetime.continues[0])
+            lam = node_hazard + lambda_d
+            env[f"lam_{c}"] = lam
+            env[f"loss_{c}"] = lam + k_t * lambda_s
+        else:
+            for i, (rate, cont) in enumerate(
+                zip(lifetime.rates, lifetime.continues), start=1
+            ):
+                if i < lifetime.num_stages:
+                    env[f"adv_{c}_{i}"] = rate * cont
+                env[f"fail_{c}_{i}"] = rate * (1.0 - cont) + lambda_d
+            env[f"crit_{c}"] = k_t * lambda_s
+        env[f"mu_{c}"] = rates.repair_rate
+    return env
+
+
+class FleetModel:
+    """MTTDL model for a heterogeneous fleet.
+
+    Wraps a :class:`FleetSpec` with the compile-bind-solve machinery:
+    a shared declarative spec for the dense path, an indirect BFS build
+    for the sparse path, and backend routing through
+    :func:`repro.core.solvers.solve` (small fleets solve densely, large
+    ones through the sparse/iterative backend, per
+    :class:`SolveOptions`).
+    """
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        *,
+        max_spec_states: int = DEFAULT_SPEC_STATE_LIMIT,
+    ) -> None:
+        self._fleet = fleet
+        self._max_spec_states = max_spec_states
+        self._structure = fleet_structure(fleet)
+        self._num_states = count_states(self._structure, fleet.fault_tolerance)
+        self._env: Optional[Dict[str, float]] = None
+
+    @property
+    def fleet(self) -> FleetSpec:
+        return self._fleet
+
+    @property
+    def structure(self) -> Structure:
+        return self._structure
+
+    @property
+    def num_states(self) -> int:
+        """Exact state count (loss included), computed combinatorially."""
+        return self._num_states
+
+    def env(self) -> Dict[str, float]:
+        if self._env is None:
+            self._env = fleet_env(self._fleet)
+        return self._env
+
+    def spec(self) -> ModelSpec:
+        if self._num_states > self._max_spec_states:
+            raise FleetError(
+                f"fleet has {self._num_states} states, beyond the spec "
+                f"path's limit of {self._max_spec_states}; use "
+                "sparse_chain() / the sparse_iterative backend"
+            )
+        return fleet_model_spec(self._structure, self._fleet.fault_tolerance)
+
+    def chain(self) -> CTMC:
+        """The dense CTMC, bound through the compiled shared spec."""
+        return compiled(self.spec()).bind(self.env())
+
+    def sparse_chain(self, *, max_states: int = 2_000_000) -> SparseChain:
+        """The same chain grown indirectly — no dense materialization."""
+        env = self.env()
+        structure = self._structure
+        fault_tolerance = self._fleet.fault_tolerance
+
+        def transitions(state: FleetState):
+            out = []
+            for target, parts in fleet_edges(state, structure, fault_tolerance):
+                coeff, name = parts[0]
+                value = coeff * env[name]
+                for coeff, name in parts[1:]:
+                    value = value + coeff * env[name]
+                out.append((target, value))
+            return out
+
+        return build_indirect(
+            initial_state(structure), transitions, max_states=max_states
+        )
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+
+    def solve_request(
+        self, options: Optional[SolveOptions] = None
+    ) -> SolveRequest:
+        """The :class:`SolveRequest` for this fleet's MTTDL: a dense
+        chain payload when the state count fits the dense backend (or it
+        was asked for explicitly), the sparse payload otherwise."""
+        options = options if options is not None else SolveOptions()
+        wants_sparse = options.backend == "sparse_iterative" or (
+            options.backend == "auto"
+            and self._num_states > options.dense_state_limit
+        )
+        if wants_sparse:
+            return SolveRequest(
+                sparse=self.sparse_chain(), query="mttdl", options=options
+            )
+        return SolveRequest(
+            chains=(self.chain(),), query="mttdl", options=options
+        )
+
+    def mttdl_hours(self, options: Optional[SolveOptions] = None) -> float:
+        """MTTDL in hours through the solver-strategy API."""
+        return float(solve(self.solve_request(options)).values[0])
+
+    # ------------------------------------------------------------------ #
+    # differential-oracle references
+    # ------------------------------------------------------------------ #
+
+    def uniform_reference_chain(self) -> CTMC:
+        """The paper's uniform chain this fleet must collapse onto when
+        homogeneous: ``internal_raid_spec(t, parallel_repair=True)``
+        bound with cohort 0's rates at the fleet's full node count.
+
+        Built from the same :class:`CohortRates` pipeline as the fleet
+        environment, so for a homogeneous single-stage fleet the
+        generator is *bitwise* the collapsed fleet chain's.
+        """
+        first = self._fleet.cohorts[0]
+        if first.stages != 1:
+            raise FleetError(
+                "the uniform reference requires exponential lifetimes "
+                "(1 stage); phase-type cohorts have no paper counterpart"
+            )
+        rates = self._fleet.cohort_rates(first)
+        lifetime = first.lifetime
+        if lifetime is None:
+            node_hazard = rates.node_failure_rate
+        else:
+            node_hazard = lifetime.rates[0] * (1.0 - lifetime.continues[0])
+        env = internal_raid_env(
+            self._fleet.fault_tolerance,
+            self._fleet.total_nodes,
+            node_hazard,
+            rates.array_failure_rate,
+            rates.restripe_sector_loss_rate,
+            rates.repair_rate,
+            self._fleet.critical_sector_fraction,
+        )
+        spec = internal_raid_spec(
+            self._fleet.fault_tolerance, parallel_repair=True
+        )
+        return compiled(spec).bind(env)

@@ -1,0 +1,492 @@
+"""Heterogeneous fleet description: cohorts of bricks over one base.
+
+The paper models ``N`` identical bricks.  A :class:`FleetSpec` relaxes
+that: the fleet is partitioned into *cohorts* (vintages, batches,
+hardware generations), each carrying
+
+* per-cohort :class:`~repro.models.parameters.Parameters` overrides
+  (non-uniform peer MTBFs, slower links, denser drives, ...),
+* an optional non-exponential lifetime as a
+  :class:`~repro.fleet.phasetype.PhaseType`,
+* a repair-interval delay and a relative repair cost, in the spirit of
+  the tahoe-lafs lossmodel's non-aggressive repair: a failed brick
+  waits ``repair_delay_hours`` on average before its rebuild starts,
+  which folds into an effective exponential repair rate
+  ``1 / (delay + 1/mu_N)`` matched on the mean.
+
+Everything stays on top of the paper's machinery: per-cohort rates are
+derived through the same :class:`~repro.models.internal_raid.InternalRaidNodeModel`
+/ :class:`~repro.models.rebuild.RebuildModel` pipeline as the uniform
+chains, which is what makes the homogeneous-collapse differential
+oracle *bitwise* rather than merely approximate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..models.critical_sets import critical_fraction
+from ..models.internal_raid import InternalRaidNodeModel
+from ..models.parameters import Parameters
+from ..models.raid import InternalRaid
+from .phasetype import PhaseType
+
+__all__ = [
+    "Cohort",
+    "CohortRates",
+    "FleetError",
+    "FleetSpec",
+]
+
+
+class FleetError(ValueError):
+    """Raised for invalid fleet descriptions."""
+
+
+#: Parameters fields that are fleet-global by construction: the state
+#: space and the critical-set fraction k_t are defined over the whole
+#: node set, so no cohort may disagree about them.
+_FLEET_GLOBAL_FIELDS = ("node_set_size", "redundancy_set_size")
+
+#: Overrides rescaled by :meth:`Cohort.scaled` — mirror exactly the
+#: fields :func:`repro.verify.oracles.rescaled_parameters` touches.
+_SCALE_DIVIDE = ("node_mttf_hours", "drive_mttf_hours")
+_SCALE_MULTIPLY = ("drive_max_iops", "drive_sustained_bps", "link_speed_bps")
+
+_PARAMETER_FIELDS = frozenset(f.name for f in dataclasses.fields(Parameters))
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """One homogeneous slice of the fleet.
+
+    Attributes:
+        name: unique label within the fleet.
+        nodes: brick count, >= 1.
+        overrides: ``Parameters`` field overrides for this cohort, as a
+            sorted tuple of ``(field, value)`` pairs (hashable; use
+            :meth:`make` to pass keyword overrides).
+        lifetime: optional phase-type node-hardware lifetime replacing
+            the exponential ``lambda_N`` hazard (internal-array failures
+            stay exponential and compete from every stage).
+        repair_delay_hours: mean wait before a failed brick's rebuild
+            begins (repair-interval model); folded into the effective
+            repair rate on the mean.
+        repair_cost: relative cost per repair event, used by the
+            fleet-level repair-cost bookkeeping only (never by the
+            reliability chain).
+    """
+
+    name: str
+    nodes: int
+    overrides: Tuple[Tuple[str, float], ...] = ()
+    lifetime: Optional[PhaseType] = None
+    repair_delay_hours: float = 0.0
+    repair_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FleetError("cohort name must be non-empty")
+        if self.nodes < 1:
+            raise FleetError(f"cohort {self.name!r} needs >= 1 node")
+        overrides = tuple(sorted((str(k), v) for k, v in self.overrides))
+        object.__setattr__(self, "overrides", overrides)
+        seen = set()
+        for key, _ in overrides:
+            if key in _FLEET_GLOBAL_FIELDS:
+                raise FleetError(
+                    f"cohort {self.name!r} may not override fleet-global "
+                    f"field {key!r}"
+                )
+            if key not in _PARAMETER_FIELDS:
+                raise FleetError(
+                    f"cohort {self.name!r} overrides unknown Parameters "
+                    f"field {key!r}"
+                )
+            if key in seen:
+                raise FleetError(
+                    f"cohort {self.name!r} overrides {key!r} twice"
+                )
+            seen.add(key)
+        if self.repair_delay_hours < 0.0:
+            raise FleetError("repair_delay_hours must be >= 0")
+        if self.repair_cost < 0.0:
+            raise FleetError("repair_cost must be >= 0")
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        nodes: int,
+        *,
+        lifetime: Optional[PhaseType] = None,
+        repair_delay_hours: float = 0.0,
+        repair_cost: float = 1.0,
+        **overrides: float,
+    ) -> "Cohort":
+        """Keyword-friendly constructor: ``Cohort.make("vintage-b", 8,
+        node_mttf_hours=200_000.0)``."""
+        return cls(
+            name=name,
+            nodes=nodes,
+            overrides=tuple(overrides.items()),
+            lifetime=lifetime,
+            repair_delay_hours=repair_delay_hours,
+            repair_cost=repair_cost,
+        )
+
+    @property
+    def overrides_dict(self) -> Dict[str, float]:
+        return dict(self.overrides)
+
+    @property
+    def stages(self) -> int:
+        """CTMC stages this cohort's healthy bricks occupy."""
+        return self.lifetime.num_stages if self.lifetime is not None else 1
+
+    def scaled(self, scale: float) -> "Cohort":
+        """Time-rescaled copy (rates x ``scale``): MTTF-like overrides
+        divide, bandwidth-like overrides multiply, the lifetime's stage
+        rates multiply and the repair delay divides."""
+        if scale <= 0.0:
+            raise FleetError("scale must be positive")
+        overrides = {}
+        for key, value in self.overrides:
+            if key in _SCALE_DIVIDE:
+                overrides[key] = value / scale
+            elif key in _SCALE_MULTIPLY:
+                overrides[key] = value * scale
+            else:
+                overrides[key] = value
+        return Cohort(
+            name=self.name,
+            nodes=self.nodes,
+            overrides=tuple(overrides.items()),
+            lifetime=(
+                self.lifetime.scaled(scale)
+                if self.lifetime is not None
+                else None
+            ),
+            repair_delay_hours=self.repair_delay_hours / scale,
+            repair_cost=self.repair_cost,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "overrides": dict(self.overrides),
+            "lifetime": (
+                self.lifetime.to_dict() if self.lifetime is not None else None
+            ),
+            "repair_delay_hours": self.repair_delay_hours,
+            "repair_cost": self.repair_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Cohort":
+        lifetime = payload.get("lifetime")
+        return cls(
+            name=payload["name"],
+            nodes=int(payload["nodes"]),
+            overrides=tuple(payload.get("overrides", {}).items()),
+            lifetime=(
+                PhaseType.from_dict(lifetime) if lifetime is not None else None
+            ),
+            repair_delay_hours=float(payload.get("repair_delay_hours", 0.0)),
+            repair_cost=float(payload.get("repair_cost", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class CohortRates:
+    """Numeric rates one cohort contributes to the fleet chain.
+
+    All four come out of the same model pipeline the uniform chains
+    use; ``repair_rate`` already folds in the cohort's repair delay.
+    """
+
+    node_failure_rate: float
+    array_failure_rate: float
+    restripe_sector_loss_rate: float
+    repair_rate: float
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A heterogeneous fleet: shared base parameters plus cohorts.
+
+    The effective per-cohort parameter set is
+    ``base.replace(node_set_size=total_nodes, **cohort.overrides)`` —
+    the node-set size always reflects the *whole* fleet, because rebuild
+    fan-out and the critical-set fraction are properties of the full
+    redundancy group, not of a vintage.
+
+    Attributes:
+        base: shared baseline parameters.
+        internal: internal RAID level of every brick (RAID5 or RAID6;
+            the paper's no-RAID bricks track drives individually, which
+            the cohort state encoding does not model — see docs/fleet.md).
+        fault_tolerance: cross-node erasure-code tolerance ``t >= 1``.
+        cohorts: the partition of the fleet, in declaration order.
+        rates_method: how internal-array rates are derived ("approx" /
+            "exact"), as in :class:`SolveOptions`.
+    """
+
+    base: Parameters
+    internal: InternalRaid
+    fault_tolerance: int
+    cohorts: Tuple[Cohort, ...]
+    rates_method: str = "approx"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cohorts", tuple(self.cohorts))
+        if self.internal is InternalRaid.NONE:
+            raise FleetError(
+                "FleetSpec models bricks with internal RAID (RAID5/RAID6); "
+                "the no-RAID drive-level heterogeneity is future work"
+            )
+        if self.fault_tolerance < 1:
+            raise FleetError("fault_tolerance must be >= 1")
+        if not self.cohorts:
+            raise FleetError("a fleet needs at least one cohort")
+        names = [c.name for c in self.cohorts]
+        if len(set(names)) != len(names):
+            raise FleetError(f"cohort names must be unique, got {names}")
+        if self.rates_method not in ("approx", "exact"):
+            raise FleetError("rates_method must be 'approx' or 'exact'")
+        total = self.total_nodes
+        if total <= self.fault_tolerance:
+            raise FleetError(
+                f"fleet of {total} nodes cannot tolerate "
+                f"{self.fault_tolerance} failures"
+            )
+        if total < self.base.redundancy_set_size:
+            raise FleetError(
+                f"fleet of {total} nodes is smaller than the redundancy "
+                f"set size {self.base.redundancy_set_size}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # derived structure and rates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(c.nodes for c in self.cohorts)
+
+    @property
+    def critical_sector_fraction(self) -> float:
+        """``k_t`` over the whole fleet (1 for t = 1, the Section 5.2.1
+        fraction otherwise) — fleet-global, like the uniform models."""
+        if self.fault_tolerance == 1:
+            return 1.0
+        return critical_fraction(
+            self.total_nodes,
+            self.base.redundancy_set_size,
+            self.fault_tolerance,
+        )
+
+    def cohort_params(self, cohort: Cohort) -> Parameters:
+        """The effective :class:`Parameters` for ``cohort``."""
+        return self.base.replace(
+            node_set_size=self.total_nodes, **cohort.overrides_dict
+        )
+
+    def cohort_rates(self, cohort: Cohort) -> CohortRates:
+        """``cohort``'s chain rates, via the uniform models' pipeline."""
+        params = self.cohort_params(cohort)
+        model = InternalRaidNodeModel(
+            params,
+            self.internal,
+            self.fault_tolerance,
+            rates_method=self.rates_method,
+        )
+        rates = model.array_rates
+        mu = model.node_rebuild_rate
+        if cohort.repair_delay_hours > 0.0:
+            # Repair-interval model: mean time in "failed" is the wait
+            # plus the rebuild; matched on the mean as one exponential.
+            mu = 1.0 / (cohort.repair_delay_hours + 1.0 / mu)
+        return CohortRates(
+            node_failure_rate=params.node_failure_rate,
+            array_failure_rate=rates.array_failure_rate,
+            restripe_sector_loss_rate=rates.restripe_sector_loss_rate,
+            repair_rate=mu,
+        )
+
+    # ------------------------------------------------------------------ #
+    # metamorphic / differential transforms
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Every cohort has identical settings (counts aside)."""
+        first = self.cohorts[0]
+        return all(
+            c.overrides == first.overrides
+            and c.lifetime == first.lifetime
+            and c.repair_delay_hours == first.repair_delay_hours
+            for c in self.cohorts
+        )
+
+    def with_cohorts(self, cohorts: Sequence[Cohort]) -> "FleetSpec":
+        return dataclasses.replace(self, cohorts=tuple(cohorts))
+
+    def homogenized(self, index: int = 0) -> "FleetSpec":
+        """Every cohort replaced by cohort ``index``'s settings (names
+        and node counts kept) — the homogeneous-collapse transform."""
+        template = self.cohorts[index]
+        return self.with_cohorts(
+            dataclasses.replace(
+                template, name=c.name, nodes=c.nodes
+            )
+            for c in self.cohorts
+        )
+
+    def merged(self) -> "FleetSpec":
+        """The homogeneous fleet as a *single* cohort (node counts
+        summed).  Only meaningful when :attr:`is_homogeneous`."""
+        if not self.is_homogeneous:
+            raise FleetError("merged() requires a homogeneous fleet")
+        merged = dataclasses.replace(
+            self.cohorts[0], name="fleet", nodes=self.total_nodes
+        )
+        return self.with_cohorts((merged,))
+
+    def permuted(self, order: Sequence[int]) -> "FleetSpec":
+        """Cohorts reordered by ``order`` (a permutation of indices) —
+        MTTDL must be invariant under this."""
+        if sorted(order) != list(range(len(self.cohorts))):
+            raise FleetError(f"{order!r} is not a permutation")
+        return self.with_cohorts(self.cohorts[i] for i in order)
+
+    def scaled(self, scale: float) -> "FleetSpec":
+        """Time-rescaled fleet (all physical rates x ``scale``): the
+        exact metamorphic law is ``MTTDL(scaled) == MTTDL / scale``."""
+        if scale <= 0.0:
+            raise FleetError("scale must be positive")
+        base = self.base.replace(
+            node_mttf_hours=self.base.node_mttf_hours / scale,
+            drive_mttf_hours=self.base.drive_mttf_hours / scale,
+            drive_max_iops=self.base.drive_max_iops * scale,
+            drive_sustained_bps=self.base.drive_sustained_bps * scale,
+            link_speed_bps=self.base.link_speed_bps * scale,
+        )
+        return dataclasses.replace(
+            self,
+            base=base,
+            cohorts=tuple(c.scaled(scale) for c in self.cohorts),
+        )
+
+    def split_degraded(
+        self, index: int, nodes: int, factor: float
+    ) -> "FleetSpec":
+        """Split ``nodes`` bricks out of cohort ``index`` into a strictly
+        *worse* cohort (node lifetimes shortened by ``factor < 1``),
+        keeping the total node count — the dominance-law transform:
+        the result's MTTDL must never exceed the original's.
+        """
+        if not 0.0 < factor < 1.0:
+            raise FleetError("factor must be in (0, 1)")
+        donor = self.cohorts[index]
+        if nodes < 1 or nodes >= donor.nodes:
+            raise FleetError(
+                f"can split 1..{donor.nodes - 1} nodes out of cohort "
+                f"{donor.name!r}, got {nodes}"
+            )
+        overrides = donor.overrides_dict
+        effective_mttf = overrides.get(
+            "node_mttf_hours", self.base.node_mttf_hours
+        )
+        overrides["node_mttf_hours"] = effective_mttf * factor
+        worse = Cohort(
+            name=f"{donor.name}-degraded",
+            nodes=nodes,
+            overrides=tuple(overrides.items()),
+            lifetime=(
+                donor.lifetime.scaled(1.0 / factor)
+                if donor.lifetime is not None
+                else None
+            ),
+            repair_delay_hours=donor.repair_delay_hours,
+            repair_cost=donor.repair_cost,
+        )
+        shrunk = dataclasses.replace(donor, nodes=donor.nodes - nodes)
+        cohorts = list(self.cohorts)
+        cohorts[index] = shrunk
+        cohorts.append(worse)
+        return self.with_cohorts(cohorts)
+
+    # ------------------------------------------------------------------ #
+    # repair-cost bookkeeping (tahoe-style)
+    # ------------------------------------------------------------------ #
+
+    def expected_repairs_per_year(self) -> float:
+        """Long-run repair events per year across the fleet, from each
+        cohort's steady failure rate (1/mean for phase-type lifetimes)
+        plus its internal-array failure rate."""
+        from ..models.metrics import HOURS_PER_YEAR
+
+        total = 0.0
+        for cohort in self.cohorts:
+            rates = self.cohort_rates(cohort)
+            if cohort.lifetime is not None:
+                node_rate = 1.0 / cohort.lifetime.mean()
+            else:
+                node_rate = rates.node_failure_rate
+            total += cohort.nodes * (node_rate + rates.array_failure_rate)
+        return total * HOURS_PER_YEAR
+
+    def repair_cost_per_year(self) -> float:
+        """Expected annual repair cost: per-cohort repair rate weighted
+        by the cohort's relative ``repair_cost``."""
+        from ..models.metrics import HOURS_PER_YEAR
+
+        total = 0.0
+        for cohort in self.cohorts:
+            rates = self.cohort_rates(cohort)
+            if cohort.lifetime is not None:
+                node_rate = 1.0 / cohort.lifetime.mean()
+            else:
+                node_rate = rates.node_failure_rate
+            total += (
+                cohort.nodes
+                * (node_rate + rates.array_failure_rate)
+                * cohort.repair_cost
+            )
+        return total * HOURS_PER_YEAR
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base.to_dict(),
+            "internal": self.internal.value,
+            "fault_tolerance": self.fault_tolerance,
+            "rates_method": self.rates_method,
+            "cohorts": [c.to_dict() for c in self.cohorts],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FleetSpec":
+        return cls(
+            base=Parameters(**payload["base"]),
+            internal=InternalRaid(payload["internal"]),
+            fault_tolerance=int(payload["fault_tolerance"]),
+            cohorts=tuple(
+                Cohort.from_dict(c) for c in payload["cohorts"]
+            ),
+            rates_method=payload.get("rates_method", "approx"),
+        )
+
+    def cache_key(self) -> str:
+        """Stable content digest (canonical-JSON SHA-256 of
+        :meth:`to_dict`), for corpus provenance and result caching."""
+        from ..engine.keys import stable_digest
+
+        return stable_digest(self.to_dict())

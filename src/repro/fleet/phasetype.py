@@ -1,0 +1,354 @@
+"""Phase-type lifetime approximation for non-exponential bricks.
+
+The paper's chains assume exponential node lifetimes; real fleets show
+infant mortality (decreasing hazard, Weibull shape < 1) and wear-out
+(increasing hazard, shape > 1).  Both are captured here by *acyclic
+phase-type* (Coxian) distributions — a node walks a short chain of
+exponential stages and "fails" when it exits — which expand naturally
+into extra CTMC stages in :mod:`repro.fleet.chain`.
+
+Fitting strategy (2-3 stages, the classic moment-matching menu):
+
+* ``cv^2 == 1`` — a single exponential stage, exact;
+* ``cv^2 > 1`` (infant mortality) — a 2-stage Coxian with
+  ``r1 = 2/mean``, ``p = 1/(2 cv^2)``, ``r2 = p r1``: matches the first
+  two moments exactly for every ``cv^2 >= 1``;
+* ``cv^2 < 1`` (wear-out) — Tijms' mixed Erlang ``E_{k-1,k}`` fit with
+  ``k = ceil(1/cv^2)`` equal-rate stages, exact in the first two moments
+  whenever ``k`` fits within ``max_stages``; otherwise the stage budget
+  clamps to an Erlang-``max_stages`` that matches the mean only.
+
+Every fit returns a :class:`PhaseTypeFit` carrying the *measured*
+relative moment errors (recomputed from the fitted distribution, not
+assumed from the construction), so callers can certify the
+approximation before trusting downstream MTTDLs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_MAX_STAGES",
+    "PhaseType",
+    "PhaseTypeError",
+    "PhaseTypeFit",
+    "fit_lifetime",
+    "fit_weibull",
+    "weibull_moments",
+]
+
+#: The ISSUE's stage budget: 2-3 stage expansions keep the fleet state
+#: spaces within reach of the dense backend for differential testing.
+DEFAULT_MAX_STAGES = 3
+
+#: ``cv^2`` this close to 1 is treated as exactly exponential.
+_EXPONENTIAL_CV2_TOL = 1e-12
+
+
+class PhaseTypeError(ValueError):
+    """Raised for invalid phase-type parameters or fit targets."""
+
+
+@dataclass(frozen=True)
+class PhaseType:
+    """An acyclic (Coxian) phase-type distribution.
+
+    A fresh item starts in stage 1.  From stage ``i`` it leaves at rate
+    ``rates[i]``; with probability ``continues[i]`` it advances to stage
+    ``i + 1``, otherwise it fails.  The last stage always fails
+    (``continues[-1] == 0``).  This canonical form covers exponential,
+    Erlang, mixed-Erlang and hyperexponential-equivalent 2-stage shapes
+    without an initial-distribution vector — exactly what the fleet
+    chain expansion needs (every repaired node re-enters stage 1).
+
+    Attributes:
+        rates: per-stage exit rates (per hour), all positive.
+        continues: per-stage advance probabilities; intermediate stages
+            must have ``continues[i] > 0`` (a zero would strand
+            unreachable stages), the final stage must have 0.
+    """
+
+    rates: Tuple[float, ...]
+    continues: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        rates = tuple(float(r) for r in self.rates)
+        continues = tuple(float(p) for p in self.continues)
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "continues", continues)
+        if not rates:
+            raise PhaseTypeError("a phase-type needs at least one stage")
+        if len(rates) != len(continues):
+            raise PhaseTypeError(
+                f"rates ({len(rates)}) and continues ({len(continues)}) "
+                "must have the same length"
+            )
+        for r in rates:
+            if not math.isfinite(r) or r <= 0.0:
+                raise PhaseTypeError(f"stage rates must be positive, got {r!r}")
+        for i, p in enumerate(continues[:-1]):
+            if not 0.0 < p <= 1.0:
+                raise PhaseTypeError(
+                    f"intermediate continue probability {p!r} at stage "
+                    f"{i + 1} must be in (0, 1]"
+                )
+        if continues[-1] != 0.0:
+            raise PhaseTypeError(
+                "the final stage must absorb: continues[-1] must be 0"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def exponential(cls, rate: float) -> "PhaseType":
+        """A single exponential stage with the given *rate* (not mean):
+        bitwise-faithful to a legacy exponential brick, no ``1/(1/rate)``
+        round trip."""
+        return cls(rates=(rate,), continues=(0.0,))
+
+    @classmethod
+    def erlang(cls, stages: int, rate: float) -> "PhaseType":
+        """Erlang-``stages`` with per-stage ``rate`` (mean ``stages/rate``)."""
+        if stages < 1:
+            raise PhaseTypeError("stages must be >= 1")
+        return cls(
+            rates=(float(rate),) * stages,
+            continues=(1.0,) * (stages - 1) + (0.0,),
+        )
+
+    @classmethod
+    def mixed_erlang(cls, stages: int, rate: float, short_prob: float) -> "PhaseType":
+        """Tijms' ``E_{k-1,k}`` mixture: after stage ``k - 1`` fail with
+        probability ``short_prob``, else traverse stage ``k`` too."""
+        if stages < 2:
+            raise PhaseTypeError("a mixed Erlang needs >= 2 stages")
+        if not 0.0 <= short_prob < 1.0:
+            raise PhaseTypeError("short_prob must be in [0, 1)")
+        continues = (1.0,) * (stages - 2) + (1.0 - short_prob, 0.0)
+        return cls(rates=(float(rate),) * stages, continues=continues)
+
+    @classmethod
+    def coxian2(cls, r1: float, r2: float, p: float) -> "PhaseType":
+        """A 2-stage Coxian: exit stage 1 at ``r1``, advance w.p. ``p``."""
+        if not 0.0 < p <= 1.0:
+            raise PhaseTypeError("coxian2 advance probability must be in (0, 1]")
+        return cls(rates=(float(r1), float(r2)), continues=(float(p), 0.0))
+
+    # ------------------------------------------------------------------ #
+    # moments
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.rates)
+
+    def moments(self) -> Tuple[float, float, float]:
+        """The first three raw moments, by backward recursion over the
+        stages (``T_i = Exp(r_i) + Bernoulli(p_i) * T_{i+1}``)."""
+        m1 = m2 = m3 = 0.0
+        for r, p in zip(reversed(self.rates), reversed(self.continues)):
+            n1 = 1.0 / r + p * m1
+            n2 = 2.0 / (r * r) + p * (2.0 * m1 / r + m2)
+            n3 = 6.0 / (r * r * r) + p * (
+                6.0 * m1 / (r * r) + 3.0 * m2 / r + m3
+            )
+            m1, m2, m3 = n1, n2, n3
+        return m1, m2, m3
+
+    def mean(self) -> float:
+        return self.moments()[0]
+
+    def cv2(self) -> float:
+        """Squared coefficient of variation (1 for an exponential)."""
+        m1, m2, _ = self.moments()
+        return m2 / (m1 * m1) - 1.0
+
+    def scaled(self, scale: float) -> "PhaseType":
+        """Time-rescaled copy: every stage rate multiplied by ``scale``
+        (lifetimes shrink by ``scale``) — the metamorphic-law transform."""
+        if scale <= 0.0:
+            raise PhaseTypeError("scale must be positive")
+        return PhaseType(
+            rates=tuple(r * scale for r in self.rates),
+            continues=self.continues,
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization (scenario corpus lines)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rates": list(self.rates), "continues": list(self.continues)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PhaseType":
+        return cls(
+            rates=tuple(payload["rates"]),
+            continues=tuple(payload["continues"]),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTypeFit:
+    """A fitted distribution plus its *measured* moment-matching errors.
+
+    ``rel_error_mean`` / ``rel_error_cv2`` are recomputed from the
+    fitted :class:`PhaseType` via :meth:`PhaseType.moments`, so a bug in
+    a closed-form fit cannot silently self-certify.
+    """
+
+    dist: PhaseType
+    method: str
+    target_mean: float
+    target_cv2: float
+    rel_error_mean: float
+    rel_error_cv2: float
+    target_third_moment: Optional[float] = None
+    rel_error_third_moment: Optional[float] = None
+
+    def certified(self, tolerance: float = 1e-9) -> bool:
+        """Whether the first two moments match within ``tolerance``
+        (relative).  Clamped fits (stage budget too small for the target
+        ``cv^2``) report honest errors and fail certification."""
+        return (
+            self.rel_error_mean <= tolerance
+            and self.rel_error_cv2 <= tolerance
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dist": self.dist.to_dict(),
+            "method": self.method,
+            "target_mean": self.target_mean,
+            "target_cv2": self.target_cv2,
+            "rel_error_mean": self.rel_error_mean,
+            "rel_error_cv2": self.rel_error_cv2,
+            "target_third_moment": self.target_third_moment,
+            "rel_error_third_moment": self.rel_error_third_moment,
+        }
+
+
+def _measured_fit(
+    dist: PhaseType,
+    method: str,
+    mean: float,
+    cv2: float,
+    third_moment: Optional[float],
+) -> PhaseTypeFit:
+    m1, m2, m3 = dist.moments()
+    got_cv2 = m2 / (m1 * m1) - 1.0
+    rel_m3 = None
+    if third_moment is not None:
+        rel_m3 = abs(m3 - third_moment) / third_moment
+    return PhaseTypeFit(
+        dist=dist,
+        method=method,
+        target_mean=mean,
+        target_cv2=cv2,
+        rel_error_mean=abs(m1 - mean) / mean,
+        rel_error_cv2=abs(got_cv2 - cv2) / cv2,
+        target_third_moment=third_moment,
+        rel_error_third_moment=rel_m3,
+    )
+
+
+def fit_lifetime(
+    mean: float,
+    cv2: float,
+    max_stages: int = DEFAULT_MAX_STAGES,
+    *,
+    third_moment: Optional[float] = None,
+) -> PhaseTypeFit:
+    """Fit a phase-type distribution to a target mean and ``cv^2``.
+
+    Args:
+        mean: target mean lifetime (hours), positive.
+        cv2: target squared coefficient of variation, positive.
+        max_stages: stage budget; fits needing more stages than this
+            clamp and report the residual ``cv^2`` error.
+        third_moment: optional target third raw moment (e.g. from a
+            Weibull); reported as an informational error, never matched.
+
+    Returns:
+        A :class:`PhaseTypeFit`; call :meth:`PhaseTypeFit.certified` to
+        check the two-moment match before relying on it.
+    """
+    if not math.isfinite(mean) or mean <= 0.0:
+        raise PhaseTypeError(f"mean must be positive and finite, got {mean!r}")
+    if not math.isfinite(cv2) or cv2 <= 0.0:
+        raise PhaseTypeError(f"cv2 must be positive and finite, got {cv2!r}")
+    if max_stages < 1:
+        raise PhaseTypeError("max_stages must be >= 1")
+
+    if abs(cv2 - 1.0) <= _EXPONENTIAL_CV2_TOL:
+        dist = PhaseType.exponential(1.0 / mean)
+        return _measured_fit(dist, "exponential", mean, cv2, third_moment)
+
+    if cv2 > 1.0:
+        if max_stages < 2:
+            dist = PhaseType.exponential(1.0 / mean)
+            return _measured_fit(
+                dist, "exponential-clamped", mean, cv2, third_moment
+            )
+        # Two-moment-exact Coxian-2: mean splits evenly across the two
+        # stages' expected contributions, and p carries the variance.
+        r1 = 2.0 / mean
+        p = 1.0 / (2.0 * cv2)
+        r2 = p * r1
+        dist = PhaseType.coxian2(r1, r2, p)
+        return _measured_fit(dist, "coxian2", mean, cv2, third_moment)
+
+    # cv2 < 1: Tijms' mixed Erlang E_{k-1,k} with 1/k <= cv2 <= 1/(k-1).
+    k = math.ceil(1.0 / cv2 - 1e-12)
+    if k > max_stages:
+        dist = PhaseType.erlang(max_stages, max_stages / mean)
+        return _measured_fit(dist, "erlang-clamped", mean, cv2, third_moment)
+    if k < 2:  # pragma: no cover - cv2 < 1 forces k >= 2
+        k = 2
+    discriminant = max(k * (1.0 + cv2) - k * k * cv2, 0.0)
+    p = (k * cv2 - math.sqrt(discriminant)) / (1.0 + cv2)
+    p = min(max(p, 0.0), 1.0 - 1e-15)
+    nu = (k - p) / mean
+    dist = PhaseType.mixed_erlang(k, nu, p)
+    return _measured_fit(dist, "mixed-erlang", mean, cv2, third_moment)
+
+
+def weibull_moments(shape: float, scale: float) -> Tuple[float, float, float]:
+    """First three raw moments of a Weibull(shape, scale):
+    ``m_k = scale^k Gamma(1 + k/shape)``."""
+    if shape <= 0.0 or scale <= 0.0:
+        raise PhaseTypeError("Weibull shape and scale must be positive")
+    return tuple(
+        scale**k * math.gamma(1.0 + k / shape) for k in (1, 2, 3)
+    )
+
+
+def fit_weibull(
+    shape: float,
+    *,
+    scale: Optional[float] = None,
+    mean: Optional[float] = None,
+    max_stages: int = DEFAULT_MAX_STAGES,
+) -> PhaseTypeFit:
+    """Fit a phase-type to a Weibull lifetime.
+
+    ``shape < 1`` is infant mortality (hyperexponential-like, Coxian-2
+    fit), ``shape > 1`` wear-out (mixed-Erlang fit), ``shape == 1``
+    exactly exponential.  Exactly one of ``scale`` / ``mean`` selects
+    the time scale; the Weibull's third moment is carried through as the
+    informational target.
+    """
+    if (scale is None) == (mean is None):
+        raise PhaseTypeError("pass exactly one of scale= or mean=")
+    if shape <= 0.0:
+        raise PhaseTypeError("Weibull shape must be positive")
+    if scale is None:
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+    m1, m2, m3 = weibull_moments(shape, scale)
+    cv2 = m2 / (m1 * m1) - 1.0
+    return fit_lifetime(m1, cv2, max_stages, third_moment=m3)

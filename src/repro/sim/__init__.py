@@ -21,7 +21,7 @@ from .processes import (
     InternalRaidFailureProcess,
     NoRaidFailureProcess,
 )
-from .rng import StreamFactory, bernoulli, exponential
+from .rng import StreamFactory, bernoulli, exponential, phase_type
 from .trace import TraceRecord, TraceRecorder
 
 __all__ = [
@@ -46,5 +46,6 @@ __all__ = [
     "bernoulli",
     "estimate_mttdl",
     "exponential",
+    "phase_type",
     "simulate_lifetime",
 ]

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-__all__ = ["StreamFactory", "exponential", "bernoulli"]
+__all__ = ["StreamFactory", "exponential", "bernoulli", "phase_type"]
 
 
 class StreamFactory:
@@ -35,10 +35,14 @@ class StreamFactory:
         """The generator for ``name`` (created on first use)."""
         if name not in self._streams:
             # Derive a child seed deterministically from the name so the
-            # mapping is stable regardless of request order.
-            digest = np.frombuffer(
-                name.encode("utf-8").ljust(16, b"\0")[:16], dtype=np.uint32
-            )
+            # mapping is stable regardless of request order.  Every byte
+            # of the name feeds the spawn key (padded to whole uint32
+            # words) — truncating would alias long names that share a
+            # prefix onto one stream (e.g. per-replica names "...-10"
+            # and "...-100"), silently replaying identical draws.
+            raw = name.encode("utf-8")
+            width = max(16, (len(raw) + 3) // 4 * 4)
+            digest = np.frombuffer(raw.ljust(width, b"\0"), dtype=np.uint32)
             child = np.random.SeedSequence(
                 entropy=self._seed_seq.entropy, spawn_key=tuple(int(x) for x in digest)
             )
@@ -57,3 +61,23 @@ def bernoulli(rng: np.random.Generator, probability: float) -> bool:
     """Sample a Bernoulli trial; probabilities are clamped into [0, 1]."""
     p = min(max(probability, 0.0), 1.0)
     return bool(rng.random() < p)
+
+
+def phase_type(rng, rates, continues) -> float:
+    """Sample an absorption time from an acyclic (Coxian) phase-type
+    distribution: from stage ``i`` hold ``Exp(rates[i])``, then advance
+    with probability ``continues[i]`` or absorb.
+
+    This is the Gillespie leg for non-exponential brick lifetimes
+    (:class:`repro.fleet.phasetype.PhaseType` unpacks into exactly these
+    two sequences); a single stage with ``continues == (0,)`` reproduces
+    :func:`exponential` draw-for-draw.
+    """
+    if len(rates) != len(continues) or not rates:
+        raise ValueError("rates and continues must be equal-length, non-empty")
+    total = 0.0
+    for rate, cont in zip(rates, continues):
+        total += exponential(rng, rate)
+        if not (cont and bernoulli(rng, cont)):
+            break
+    return total

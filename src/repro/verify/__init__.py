@@ -15,6 +15,9 @@ machine-checkable invariants:
 * :mod:`~repro.verify.faults` — engine fault injection (corrupt cache
   entries, killed pool workers, poisoned compiled-spec caches) proving
   failures degrade to recomputation, never to wrong numbers;
+* :mod:`~repro.verify.fleet` — collapse, metamorphic and dominance laws
+  for heterogeneous fleets (the ``fleet-*`` invariants), audited on a
+  fixed-seed slice of the ``repro-scenarios`` corpus;
 * :mod:`~repro.verify.lattice` — the 27-point parameter lattice the
   battery sweeps;
 * :mod:`~repro.verify.report` / :mod:`~repro.verify.cli` — the
@@ -46,6 +49,7 @@ from .report import VerificationReport
 from . import invariants as _invariants  # noqa: F401
 from . import oracles as _oracles  # noqa: F401
 from . import faults as _faults  # noqa: F401
+from . import fleet as _fleet  # noqa: F401
 
 from .invariants import CLOSED_FORM_REL_ERROR_BOUNDS, closed_form_bound
 from .oracles import (

@@ -1,0 +1,361 @@
+"""Differential invariants for heterogeneous fleets.
+
+:mod:`repro.fleet` generalizes the paper's uniform-brick chain along two
+axes — per-cohort parameter overrides and phase-type lifetimes — and
+every generalization must *collapse back* onto already-verified ground
+when the new degrees of freedom are switched off:
+
+* **homogeneous collapse** — a fleet whose cohorts are all identical is
+  the paper's chain wearing a different state encoding: the merged
+  single-cohort generator must be *bitwise* the uniform
+  ``internal_raid_spec(t, parallel_repair=True)`` generator, and the
+  multi-cohort encoding must lump onto it within float tolerance;
+* **exponential collapse** — an explicit 1-stage
+  :class:`~repro.fleet.phasetype.PhaseType` is just an exponential, so
+  swapping one in must leave the binding environment, the spec hash and
+  the MTTDL bitwise unchanged;
+* **time rescaling** — the metamorphic law of
+  :mod:`repro.verify.oracles` extends to fleets: scaling every physical
+  rate by ``s`` scales MTTDL by exactly ``1/s``;
+* **dominance** — replacing bricks with strictly worse bricks
+  (:meth:`~repro.fleet.cohorts.FleetSpec.split_degraded`) must never
+  raise MTTDL;
+* **sparse/dense agreement** — both solver backends see the same
+  scenario corpus the ``repro-scenarios`` flywheel generates and must
+  agree within the corpus oracle tolerance.
+
+All checks run on a small, fixed-seed slice of the scenario corpus, so
+``repro-verify --smoke`` exercises the same generator the corpus CLI
+ships.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.solvers import SolveOptions
+from ..fleet.chain import FleetModel
+from ..fleet.cohorts import FleetSpec
+from ..fleet.phasetype import PhaseType, fit_weibull
+from ..fleet.scenarios import ScenarioGenerator
+from .registry import VerifyContext, Violation, invariant
+
+__all__ = [
+    "FLEET_REL_TOL",
+    "FLEET_SCENARIO_COUNT",
+    "FLEET_SCENARIO_SEED",
+    "fleet_scenarios",
+]
+
+#: Relative tolerance for every non-bitwise fleet comparison — matches
+#: the scenario corpus oracle tolerance.
+FLEET_REL_TOL = 1e-9
+
+#: The fixed-seed corpus slice the invariants audit.
+FLEET_SCENARIO_SEED = 1106
+FLEET_SCENARIO_COUNT = 10
+
+#: Dense solves only below this many states (matches the corpus runner's
+#: default dense cross-check limit).
+_DENSE_LIMIT = 2048
+
+#: Exact metamorphic time-rescale factor (a power of two, so parameter
+#: divisions are exact in binary floating point).
+_RESCALE = 8.0
+
+
+def fleet_scenarios(ctx: VerifyContext) -> List[FleetSpec]:
+    """The deterministic scenario slice audited by every fleet
+    invariant: same generator, seed and families as the
+    ``repro-scenarios`` corpus, grown from the context's base
+    parameters."""
+    generator = ScenarioGenerator(base=ctx.base, seed=FLEET_SCENARIO_SEED)
+    return [s.fleet for s in generator.generate(FLEET_SCENARIO_COUNT)]
+
+
+def _rel(a: float, b: float) -> float:
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale else 0.0
+
+
+# --------------------------------------------------------------------- #
+# collapse laws
+# --------------------------------------------------------------------- #
+
+
+@invariant(
+    "fleet-homogeneous-collapse",
+    "A homogeneous exponential fleet is the paper's uniform chain: the "
+    "merged single-cohort generator and MTTDL are bitwise the "
+    "parallel-repair internal-RAID reference, and the multi-cohort "
+    "state encoding lumps onto it within 1e-9.",
+    tags=("fleet", "collapse", "smoke"),
+)
+def check_fleet_homogeneous_collapse(
+    ctx: VerifyContext,
+) -> Tuple[int, List[Violation]]:
+    violations: List[Violation] = []
+    checked = 0
+    for fleet in fleet_scenarios(ctx):
+        # Collapse the heterogeneous scenario: every cohort becomes a
+        # copy of cohort 0, exponentialized so the paper chain applies.
+        template = dataclasses.replace(fleet.cohorts[0], lifetime=None)
+        homogeneous = fleet.with_cohorts(
+            dataclasses.replace(template, name=c.name, nodes=c.nodes)
+            for c in fleet.cohorts
+        )
+        checked += 1
+        merged_model = FleetModel(homogeneous.merged())
+        reference = merged_model.uniform_reference_chain()
+        merged_chain = merged_model.chain()
+        bitwise_generator = np.array_equal(
+            merged_chain.generator_matrix(), reference.generator_matrix()
+        )
+        merged_mttdl = merged_chain.mean_time_to_absorption()
+        reference_mttdl = reference.mean_time_to_absorption()
+        lumped_mttdl = FleetModel(homogeneous).mttdl_hours()
+        lumped_gap = _rel(lumped_mttdl, reference_mttdl)
+        if (
+            bitwise_generator
+            and merged_mttdl == reference_mttdl
+            and lumped_gap <= FLEET_REL_TOL
+        ):
+            continue
+        violations.append(
+            Violation(
+                invariant="fleet-homogeneous-collapse",
+                message="homogeneous fleet does not collapse onto the "
+                "uniform paper chain",
+                details={
+                    "fleet": homogeneous.cache_key(),
+                    "generator_bitwise_equal": bitwise_generator,
+                    "merged_mttdl": merged_mttdl,
+                    "reference_mttdl": reference_mttdl,
+                    "lumped_mttdl": lumped_mttdl,
+                    "lumped_rel_gap": lumped_gap,
+                },
+            )
+        )
+    return checked, violations
+
+
+@invariant(
+    "fleet-exponential-collapse",
+    "An explicit 1-stage phase-type lifetime is an exponential: "
+    "swapping one into any exponential cohort leaves the binding "
+    "environment, the spec hash and the MTTDL bitwise unchanged.",
+    tags=("fleet", "collapse", "smoke"),
+)
+def check_fleet_exponential_collapse(
+    ctx: VerifyContext,
+) -> Tuple[int, List[Violation]]:
+    violations: List[Violation] = []
+    checked = 0
+    for fleet in fleet_scenarios(ctx):
+        explicit = fleet.with_cohorts(
+            dataclasses.replace(
+                c,
+                lifetime=PhaseType.exponential(
+                    fleet.cohort_rates(c).node_failure_rate
+                ),
+            )
+            if c.lifetime is None
+            else c
+            for c in fleet.cohorts
+        )
+        checked += 1
+        implicit_model = FleetModel(fleet)
+        explicit_model = FleetModel(explicit)
+        same_env = implicit_model.env() == explicit_model.env()
+        same_spec = (
+            implicit_model.spec().spec_hash == explicit_model.spec().spec_hash
+        )
+        implicit_mttdl = implicit_model.mttdl_hours()
+        explicit_mttdl = explicit_model.mttdl_hours()
+        if same_env and same_spec and implicit_mttdl == explicit_mttdl:
+            continue
+        violations.append(
+            Violation(
+                invariant="fleet-exponential-collapse",
+                message="1-stage phase-type cohort differs from its "
+                "exponential twin",
+                details={
+                    "fleet": fleet.cache_key(),
+                    "env_equal": same_env,
+                    "spec_hash_equal": same_spec,
+                    "implicit_mttdl": implicit_mttdl,
+                    "explicit_mttdl": explicit_mttdl,
+                },
+            )
+        )
+    return checked, violations
+
+
+# --------------------------------------------------------------------- #
+# metamorphic and ordering laws
+# --------------------------------------------------------------------- #
+
+
+@invariant(
+    "fleet-time-rescaling",
+    "Scaling every physical rate of a heterogeneous fleet by s scales "
+    "its MTTDL by exactly 1/s — the metamorphic law survives cohort "
+    "overrides, repair delays and phase-type stage expansion.",
+    tags=("fleet", "metamorphic", "smoke"),
+)
+def check_fleet_time_rescaling(
+    ctx: VerifyContext,
+) -> Tuple[int, List[Violation]]:
+    violations: List[Violation] = []
+    checked = 0
+    for fleet in fleet_scenarios(ctx):
+        checked += 1
+        original = FleetModel(fleet).mttdl_hours()
+        rescaled = FleetModel(fleet.scaled(_RESCALE)).mttdl_hours()
+        gap = _rel(rescaled * _RESCALE, original)
+        if gap <= FLEET_REL_TOL:
+            continue
+        violations.append(
+            Violation(
+                invariant="fleet-time-rescaling",
+                message="fleet MTTDL does not rescale as 1/s",
+                details={
+                    "fleet": fleet.cache_key(),
+                    "scale": _RESCALE,
+                    "original_mttdl": original,
+                    "rescaled_times_s": rescaled * _RESCALE,
+                    "rel_gap": gap,
+                },
+            )
+        )
+    return checked, violations
+
+
+@invariant(
+    "fleet-dominance",
+    "Replacing bricks with strictly worse bricks (shorter lifetimes, "
+    "same repair) never raises fleet MTTDL — the coupling argument the "
+    "heterogeneity analysis rests on.",
+    tags=("fleet", "ordering", "smoke"),
+)
+def check_fleet_dominance(ctx: VerifyContext) -> Tuple[int, List[Violation]]:
+    violations: List[Violation] = []
+    checked = 0
+    for fleet in fleet_scenarios(ctx):
+        donor = next(
+            (i for i, c in enumerate(fleet.cohorts) if c.nodes >= 2), None
+        )
+        if donor is None:
+            continue
+        checked += 1
+        degraded = fleet.split_degraded(donor, 1, 0.5)
+        original = FleetModel(fleet).mttdl_hours()
+        worse = FleetModel(degraded).mttdl_hours()
+        if worse <= original * (1.0 + FLEET_REL_TOL):
+            continue
+        violations.append(
+            Violation(
+                invariant="fleet-dominance",
+                message="degrading a brick raised fleet MTTDL",
+                details={
+                    "fleet": fleet.cache_key(),
+                    "donor_cohort": fleet.cohorts[donor].name,
+                    "original_mttdl": original,
+                    "degraded_mttdl": worse,
+                },
+            )
+        )
+    return checked, violations
+
+
+@invariant(
+    "fleet-sparse-dense-agreement",
+    "Both solver backends agree on every densely solvable fleet "
+    "scenario within the corpus oracle tolerance (the generators are "
+    "bitwise identical by construction; this checks the solves).",
+    tags=("fleet", "solvers", "smoke"),
+)
+def check_fleet_sparse_dense_agreement(
+    ctx: VerifyContext,
+) -> Tuple[int, List[Violation]]:
+    violations: List[Violation] = []
+    checked = 0
+    for fleet in fleet_scenarios(ctx):
+        model = FleetModel(fleet)
+        if model.num_states > _DENSE_LIMIT:
+            continue
+        checked += 1
+        dense = model.mttdl_hours(SolveOptions(backend="dense_gth"))
+        sparse = model.mttdl_hours(SolveOptions(backend="sparse_iterative"))
+        gap = _rel(dense, sparse)
+        if gap <= FLEET_REL_TOL:
+            continue
+        violations.append(
+            Violation(
+                invariant="fleet-sparse-dense-agreement",
+                message="solver backends disagree on a fleet scenario",
+                details={
+                    "fleet": fleet.cache_key(),
+                    "num_states": model.num_states,
+                    "dense_mttdl": dense,
+                    "sparse_mttdl": sparse,
+                    "rel_gap": gap,
+                },
+            )
+        )
+    return checked, violations
+
+
+@invariant(
+    "fleet-phase-type-certification",
+    "Weibull lifetime fits inside the 3-stage moment envelope (cv^2 >= "
+    "1/3) certify their first-two-moment match to 1e-9; outside it the "
+    "fit reports the clamp honestly instead of certifying, and one "
+    "extra stage restores an exact fit.",
+    tags=("fleet", "phasetype", "smoke"),
+)
+def check_fleet_phase_type_certification(
+    ctx: VerifyContext,
+) -> Tuple[int, List[Violation]]:
+    violations: List[Violation] = []
+    checked = 0
+    mean = ctx.base.node_mttf_hours
+
+    def flag(shape: float, fit, problem: str) -> None:
+        violations.append(
+            Violation(
+                invariant="fleet-phase-type-certification",
+                message=problem,
+                details={
+                    "shape": shape,
+                    "method": fit.method,
+                    "rel_error_mean": fit.rel_error_mean,
+                    "rel_error_cv2": fit.rel_error_cv2,
+                },
+            )
+        )
+
+    for shape in (0.45, 0.6, 0.75, 0.9, 1.0, 1.3, 1.5, 1.7, 1.75):
+        checked += 1
+        fit = fit_weibull(shape, mean=mean)
+        if not (
+            fit.certified(FLEET_REL_TOL)
+            and _rel(fit.dist.mean(), mean) <= FLEET_REL_TOL
+        ):
+            flag(shape, fit, "Weibull phase-type fit failed certification")
+    for shape in (1.85, 1.95):
+        # cv^2 < 1/3: three stages cannot match both moments.  The
+        # default fit must clamp *loudly*, and max_stages=4 must fit.
+        checked += 1
+        clamped = fit_weibull(shape, mean=mean)
+        if clamped.certified(FLEET_REL_TOL) or not clamped.method.endswith(
+            "-clamped"
+        ):
+            flag(shape, clamped, "out-of-envelope fit certified silently")
+        widened = fit_weibull(shape, mean=mean, max_stages=4)
+        if not widened.certified(FLEET_REL_TOL):
+            flag(shape, widened, "4-stage fit failed inside its envelope")
+    return checked, violations

@@ -121,6 +121,50 @@ class TestIndirectBuilder:
         )
         assert chain.rates.to_dense()[0, 1] == 5.0
 
+    def test_parallel_edges_sum_not_last_write_wins(self):
+        # Regression: duplicate (state, rate) pairs model *competing*
+        # processes and must add — asymmetric rates would expose any
+        # first-/last-write-wins regression immediately.
+        chain = build_indirect(
+            0, lambda k: [(1, 0.25), (1, 0.5)] if k == 0 else []
+        )
+        assert chain.rates.to_dense()[0, 1] == 0.75
+        reversed_chain = build_indirect(
+            0, lambda k: [(1, 0.5), (1, 0.25)] if k == 0 else []
+        )
+        assert reversed_chain.rates.to_dense()[0, 1] == 0.75
+
+    def test_parallel_edges_three_way_sum_deterministic(self):
+        # Three-plus duplicates sum through a deterministic pairwise
+        # reduction: bit-identical across rebuilds, within one ulp of
+        # the sequential sum, but not necessarily *equal* to it — which
+        # is exactly why bitwise-differential callers pre-merge.
+        def fn(k):
+            return [(1, 0.1), (1, 0.2), (1, 0.3)] if k == 0 else []
+
+        first = build_indirect(0, fn).rates.to_dense()[0, 1]
+        second = build_indirect(0, fn).rates.to_dense()[0, 1]
+        assert first == second
+        assert first == pytest.approx((0.1 + 0.2) + 0.3, rel=1e-15)
+
+    def test_parallel_edges_solve_matches_premerged(self):
+        # Duplicates must be *semantically* invisible: the chain built
+        # from split parallel edges solves to the same MTTDL as one
+        # built from the pre-merged rates.
+        def split(k):
+            return [(1, 0.5), (1, 1.5), (2, 0.25)] if k == 0 else (
+                [(0, 2.0)] if k == 1 else []
+            )
+
+        def merged(k):
+            return [(1, 2.0), (2, 0.25)] if k == 0 else (
+                [(0, 2.0)] if k == 1 else []
+            )
+
+        a = build_indirect(0, split).to_ctmc().mean_time_to_absorption()
+        b = build_indirect(0, merged).to_ctmc().mean_time_to_absorption()
+        assert a == pytest.approx(b, rel=1e-12)
+
     def test_max_states_cap(self):
         with pytest.raises(CTMCError, match="max_states"):
             build_indirect(0, lambda k: {k + 1: 1.0}, max_states=10)

@@ -12,6 +12,7 @@ from pathlib import Path
 
 from repro import evaluate
 from repro.core.solvers import SolveOptions
+from repro.fleet import FleetModel, canonical_fleets
 from repro.models import Parameters
 from repro.models.configurations import ALL_CONFIGURATIONS
 
@@ -41,8 +42,19 @@ def main() -> None:
             "mttdl_hours_closed_form": approx.mttdl_hours,
             "events_per_pb_year": exact.events_per_pb_year,
         }
+    data["fleets"] = {}
+    for name, fleet in canonical_fleets(base).items():
+        model = FleetModel(fleet)
+        data["fleets"][name] = {
+            "mttdl_hours_analytic": model.mttdl_hours(),
+            "num_states": model.num_states,
+            "expected_repairs_per_year": fleet.expected_repairs_per_year(),
+        }
     TARGET.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {TARGET} ({len(data['configurations'])} configurations)")
+    print(
+        f"wrote {TARGET} ({len(data['configurations'])} configurations, "
+        f"{len(data['fleets'])} fleets)"
+    )
 
 
 if __name__ == "__main__":

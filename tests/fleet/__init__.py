@@ -1,0 +1,1 @@
+"""Heterogeneous-fleet test package."""

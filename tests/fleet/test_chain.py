@@ -1,0 +1,262 @@
+"""Fleet chain construction: collapse laws, state counting, backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.solvers import SolveOptions
+from repro.fleet import (
+    Cohort,
+    FleetError,
+    FleetModel,
+    FleetSpec,
+    PhaseType,
+    count_states,
+    fit_weibull,
+    fleet_structure,
+    initial_state,
+)
+from repro.models import Parameters
+from repro.models.raid import InternalRaid
+
+pytestmark = pytest.mark.fleet
+
+
+@pytest.fixture
+def base() -> Parameters:
+    return Parameters.baseline().replace(redundancy_set_size=6)
+
+
+def uniform_fleet(base, t=1, nodes=8) -> FleetSpec:
+    return FleetSpec(
+        base=base,
+        internal=InternalRaid.RAID5,
+        fault_tolerance=t,
+        cohorts=(Cohort.make("all", nodes),),
+    )
+
+
+def het_fleet(base, t=1) -> FleetSpec:
+    fit = fit_weibull(0.6, mean=base.node_mttf_hours)
+    return FleetSpec(
+        base=base,
+        internal=InternalRaid.RAID5,
+        fault_tolerance=t,
+        cohorts=(
+            Cohort.make("burn-in", 4, lifetime=fit.dist),
+            Cohort.make("mature", 4, node_mttf_hours=150_000.0),
+        ),
+    )
+
+
+class TestSpecValidation:
+    def test_rejects_no_raid(self, base):
+        with pytest.raises(FleetError, match="future work"):
+            FleetSpec(
+                base=base,
+                internal=InternalRaid.NONE,
+                fault_tolerance=1,
+                cohorts=(Cohort.make("a", 8),),
+            )
+
+    def test_rejects_duplicate_cohort_names(self, base):
+        with pytest.raises(FleetError, match="unique"):
+            FleetSpec(
+                base=base,
+                internal=InternalRaid.RAID5,
+                fault_tolerance=1,
+                cohorts=(Cohort.make("a", 4), Cohort.make("a", 4)),
+            )
+
+    def test_rejects_fleet_smaller_than_tolerance(self, base):
+        with pytest.raises(FleetError):
+            FleetSpec(
+                base=base,
+                internal=InternalRaid.RAID5,
+                fault_tolerance=8,
+                cohorts=(Cohort.make("a", 8),),
+            )
+
+    def test_rejects_fleet_global_override(self):
+        with pytest.raises(FleetError, match="node_set_size"):
+            Cohort.make("a", 4, node_set_size=10)
+
+    def test_rejects_unknown_override(self):
+        with pytest.raises(FleetError, match="unknown"):
+            Cohort.make("a", 4, not_a_field=1.0)
+
+
+class TestHomogeneousCollapse:
+    def test_generator_bitwise_equals_uniform_reference(self, base):
+        for t in (1, 2):
+            model = FleetModel(uniform_fleet(base, t=t))
+            chain = model.chain()
+            reference = model.uniform_reference_chain()
+            assert np.array_equal(
+                chain.generator_matrix(), reference.generator_matrix()
+            )
+            assert (
+                chain.mean_time_to_absorption()
+                == reference.mean_time_to_absorption()
+            )
+
+    def test_multi_cohort_lumps_onto_reference(self, base):
+        split = FleetSpec(
+            base=base,
+            internal=InternalRaid.RAID5,
+            fault_tolerance=2,
+            cohorts=(Cohort.make("a", 3), Cohort.make("b", 5)),
+        )
+        reference = FleetModel(split.merged()).uniform_reference_chain()
+        assert FleetModel(split).mttdl_hours() == pytest.approx(
+            reference.mean_time_to_absorption(), rel=1e-9
+        )
+
+    def test_explicit_exponential_lifetime_is_bitwise_noop(self, base):
+        fleet = uniform_fleet(base)
+        rate = fleet.cohort_rates(fleet.cohorts[0]).node_failure_rate
+        explicit = fleet.with_cohorts(
+            (
+                Cohort(
+                    name="all",
+                    nodes=8,
+                    overrides=(),
+                    lifetime=PhaseType.exponential(rate),
+                ),
+            )
+        )
+        implicit_model = FleetModel(fleet)
+        explicit_model = FleetModel(explicit)
+        assert implicit_model.env() == explicit_model.env()
+        assert implicit_model.mttdl_hours() == explicit_model.mttdl_hours()
+
+
+class TestStateCounting:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_count_matches_enumeration(self, base, t):
+        fit = fit_weibull(0.7, mean=base.node_mttf_hours)
+        fleet = FleetSpec(
+            base=base,
+            internal=InternalRaid.RAID6,
+            fault_tolerance=t,
+            cohorts=(
+                Cohort.make("ph", 3, lifetime=fit.dist),
+                Cohort.make("exp", 4),
+            ),
+        )
+        model = FleetModel(fleet)
+        spec = model.spec()
+        assert model.num_states == len(spec.states)
+        assert model.num_states == count_states(
+            fleet_structure(fleet), t
+        )
+
+    def test_initial_state_everyone_in_stage_one(self, base):
+        fleet = het_fleet(base)
+        start = initial_state(fleet_structure(fleet))
+        assert start == ((4, 0, 0), (4, 0))
+
+    def test_spec_state_cap_enforced(self, base):
+        model = FleetModel(het_fleet(base, t=2), max_spec_states=5)
+        with pytest.raises(FleetError, match="sparse"):
+            model.spec()
+
+
+class TestBackends:
+    def test_sparse_offdiagonal_bitwise_equals_dense(self, base):
+        model = FleetModel(het_fleet(base))
+        dense = model.chain()
+        sparse = model.sparse_chain()
+        n = dense.num_states
+        dense_q = dense.generator_matrix()
+        sparse_q = np.zeros((n, n))
+        for i in range(n):
+            cols, vals = sparse.rates.row(i)
+            sparse_q[i, cols] = vals
+        off = ~np.eye(n, dtype=bool)
+        assert np.array_equal(dense_q[off], sparse_q[off])
+
+    def test_backends_agree_on_mttdl(self, base):
+        model = FleetModel(het_fleet(base, t=2))
+        dense = model.mttdl_hours(SolveOptions(backend="dense_gth"))
+        sparse = model.mttdl_hours(SolveOptions(backend="sparse_iterative"))
+        assert sparse == pytest.approx(dense, rel=1e-9)
+
+    def test_auto_routes_large_fleets_to_sparse(self, base):
+        model = FleetModel(het_fleet(base))
+        request = model.solve_request(SolveOptions(dense_state_limit=4))
+        assert request.sparse is not None
+
+
+class TestTransforms:
+    def test_permutation_invariance(self, base):
+        fleet = het_fleet(base, t=2)
+        original = FleetModel(fleet).mttdl_hours()
+        permuted = FleetModel(fleet.permuted([1, 0])).mttdl_hours()
+        assert permuted == pytest.approx(original, rel=1e-9)
+
+    def test_time_rescaling_law(self, base):
+        fleet = het_fleet(base)
+        original = FleetModel(fleet).mttdl_hours()
+        rescaled = FleetModel(fleet.scaled(8.0)).mttdl_hours()
+        assert rescaled * 8.0 == pytest.approx(original, rel=1e-9)
+
+    def test_split_degraded_never_helps(self, base):
+        fleet = het_fleet(base)
+        original = FleetModel(fleet).mttdl_hours()
+        worse = FleetModel(fleet.split_degraded(1, 2, 0.5)).mttdl_hours()
+        assert worse <= original * (1.0 + 1e-9)
+        assert fleet.split_degraded(1, 2, 0.5).total_nodes == fleet.total_nodes
+
+    def test_repair_delay_none_is_bitwise_noop(self, base):
+        plain = uniform_fleet(base)
+        delayed = plain.with_cohorts(
+            (Cohort.make("all", 8, repair_delay_hours=0.0),)
+        )
+        assert (
+            plain.cohort_rates(plain.cohorts[0]).repair_rate
+            == delayed.cohort_rates(delayed.cohorts[0]).repair_rate
+        )
+
+    def test_repair_delay_slows_repair(self, base):
+        plain = uniform_fleet(base)
+        delayed = plain.with_cohorts(
+            (Cohort.make("all", 8, repair_delay_hours=168.0),)
+        )
+        assert (
+            delayed.cohort_rates(delayed.cohorts[0]).repair_rate
+            < plain.cohort_rates(plain.cohorts[0]).repair_rate
+        )
+        assert (
+            FleetModel(delayed).mttdl_hours()
+            < FleetModel(plain).mttdl_hours()
+        )
+
+    def test_repair_cost_bookkeeping(self, base):
+        fleet = het_fleet(base)
+        pricey = fleet.with_cohorts(
+            [
+                fleet.cohorts[0],
+                Cohort.make(
+                    "mature",
+                    4,
+                    node_mttf_hours=150_000.0,
+                    repair_cost=3.0,
+                ),
+            ]
+        )
+        assert fleet.expected_repairs_per_year() > 0.0
+        assert (
+            pricey.repair_cost_per_year() > fleet.repair_cost_per_year()
+        )
+        # Cost never perturbs the chain itself.
+        assert (
+            FleetModel(pricey).mttdl_hours()
+            == FleetModel(fleet).mttdl_hours()
+        )
+
+    def test_roundtrip_dict_and_cache_key(self, base):
+        fleet = het_fleet(base, t=2)
+        clone = FleetSpec.from_dict(fleet.to_dict())
+        assert clone == fleet
+        assert clone.cache_key() == fleet.cache_key()
+        assert fleet.cache_key() != uniform_fleet(base).cache_key()

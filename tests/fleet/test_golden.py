@@ -1,0 +1,57 @@
+"""Golden-value regression for the canonical heterogeneous fleets.
+
+Three hand-pinned fleets — two-vintage batches, an infant-mortality
+phase-type cohort, tahoe-style non-uniform peers — solve to the exact
+numbers stored in ``tests/data/golden_baseline.json``.  Regenerate after
+a *deliberate* model change::
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import FleetModel, canonical_fleets
+from repro.models import Parameters
+
+pytestmark = pytest.mark.fleet
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_baseline.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+MTTDL_REL = GOLDEN["tolerances"]["mttdl_rel"]
+
+
+class TestGoldenFleets:
+    @pytest.fixture(scope="class")
+    def fleets(self):
+        return canonical_fleets(Parameters.baseline())
+
+    def test_covers_all_pinned_fleets(self, fleets):
+        assert sorted(GOLDEN["fleets"]) == sorted(fleets)
+
+    @pytest.mark.parametrize(
+        "name", ["two-vintage", "infant-mortality", "non-uniform-peers"]
+    )
+    def test_mttdl_pinned(self, fleets, name):
+        expected = GOLDEN["fleets"][name]["mttdl_hours_analytic"]
+        assert FleetModel(fleets[name]).mttdl_hours() == pytest.approx(
+            expected, rel=MTTDL_REL
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["two-vintage", "infant-mortality", "non-uniform-peers"]
+    )
+    def test_state_count_pinned(self, fleets, name):
+        expected = GOLDEN["fleets"][name]["num_states"]
+        assert FleetModel(fleets[name]).num_states == expected
+
+    @pytest.mark.parametrize(
+        "name", ["two-vintage", "infant-mortality", "non-uniform-peers"]
+    )
+    def test_repairs_per_year_pinned(self, fleets, name):
+        expected = GOLDEN["fleets"][name]["expected_repairs_per_year"]
+        assert fleets[name].expected_repairs_per_year() == pytest.approx(
+            expected, rel=MTTDL_REL
+        )

@@ -1,0 +1,163 @@
+"""Phase-type lifetimes: constructors, moments, fits, certification."""
+
+import math
+
+import pytest
+
+from repro.fleet import (
+    DEFAULT_MAX_STAGES,
+    PhaseType,
+    PhaseTypeError,
+    fit_lifetime,
+    fit_weibull,
+    weibull_moments,
+)
+
+pytestmark = pytest.mark.fleet
+
+
+class TestPhaseTypeValidation:
+    def test_needs_a_stage(self):
+        with pytest.raises(PhaseTypeError, match="at least one stage"):
+            PhaseType(rates=(), continues=())
+
+    def test_length_mismatch(self):
+        with pytest.raises(PhaseTypeError, match="same length"):
+            PhaseType(rates=(1.0, 2.0), continues=(0.0,))
+
+    def test_nonpositive_rate(self):
+        with pytest.raises(PhaseTypeError, match="positive"):
+            PhaseType(rates=(0.0,), continues=(0.0,))
+
+    def test_final_stage_must_absorb(self):
+        with pytest.raises(PhaseTypeError, match="final stage"):
+            PhaseType(rates=(1.0,), continues=(0.5,))
+
+    def test_intermediate_continue_in_unit_interval(self):
+        with pytest.raises(PhaseTypeError, match="intermediate"):
+            PhaseType(rates=(1.0, 1.0), continues=(0.0, 0.0))
+        with pytest.raises(PhaseTypeError, match="intermediate"):
+            PhaseType(rates=(1.0, 1.0), continues=(1.5, 0.0))
+
+
+class TestConstructorsAndMoments:
+    def test_exponential_is_bitwise_faithful(self):
+        rate = 1.0 / 460_000.0
+        dist = PhaseType.exponential(rate)
+        assert dist.rates == (rate,)  # no 1/(1/rate) round trip
+        assert dist.mean() == pytest.approx(1.0 / rate, rel=1e-15)
+        assert dist.cv2() == pytest.approx(1.0, rel=1e-12)
+
+    def test_erlang_moments(self):
+        dist = PhaseType.erlang(3, 0.03)
+        assert dist.mean() == pytest.approx(100.0, rel=1e-12)
+        assert dist.cv2() == pytest.approx(1.0 / 3.0, rel=1e-12)
+
+    def test_erlang_needs_positive_stages(self):
+        with pytest.raises(PhaseTypeError, match=">= 1"):
+            PhaseType.erlang(0, 1.0)
+
+    def test_mixed_erlang_interpolates_cv2(self):
+        # E_{k-1,k}: cv^2 between 1/k (pure E_k) and 1/(k-1).
+        low = PhaseType.mixed_erlang(3, 1.0, 0.0).cv2()
+        high = PhaseType.mixed_erlang(3, 1.0, 0.999).cv2()
+        assert low == pytest.approx(1.0 / 3.0, rel=1e-9)
+        assert high > low
+
+    def test_coxian2_rejects_bad_probability(self):
+        with pytest.raises(PhaseTypeError, match="in \\(0, 1\\]"):
+            PhaseType.coxian2(1.0, 1.0, 0.0)
+
+    def test_scaled_shrinks_mean_keeps_shape(self):
+        dist = PhaseType.coxian2(2.0, 0.4, 0.2)
+        fast = dist.scaled(8.0)
+        assert fast.mean() == pytest.approx(dist.mean() / 8.0, rel=1e-12)
+        assert fast.cv2() == pytest.approx(dist.cv2(), rel=1e-12)
+
+    def test_roundtrip_dict(self):
+        dist = PhaseType.mixed_erlang(3, 0.5, 0.25)
+        assert PhaseType.from_dict(dist.to_dict()) == dist
+
+
+class TestFitLifetime:
+    def test_exponential_branch(self):
+        fit = fit_lifetime(1000.0, 1.0)
+        assert fit.method == "exponential"
+        assert fit.dist.num_stages == 1
+        assert fit.certified()
+
+    @pytest.mark.parametrize("cv2", [1.5, 3.0, 10.0, 40.0])
+    def test_coxian2_exact_for_high_variance(self, cv2):
+        fit = fit_lifetime(250_000.0, cv2)
+        assert fit.method == "coxian2"
+        assert fit.certified(1e-9)
+        assert fit.dist.mean() == pytest.approx(250_000.0, rel=1e-12)
+        assert fit.dist.cv2() == pytest.approx(cv2, rel=1e-9)
+
+    @pytest.mark.parametrize("cv2", [0.4, 0.55, 0.75, 0.95])
+    def test_mixed_erlang_exact_within_budget(self, cv2):
+        fit = fit_lifetime(250_000.0, cv2)
+        assert fit.method == "mixed-erlang"
+        assert fit.dist.num_stages <= DEFAULT_MAX_STAGES
+        assert fit.certified(1e-9)
+
+    def test_low_cv2_clamps_honestly(self):
+        fit = fit_lifetime(1000.0, 0.2)  # needs 5 stages, budget is 3
+        assert fit.method == "erlang-clamped"
+        assert not fit.certified(1e-9)
+        # The clamp still matches the mean exactly and says so.
+        assert fit.rel_error_mean <= 1e-12
+        assert fit.rel_error_cv2 > 1e-2
+
+    def test_single_stage_budget_clamps_high_variance(self):
+        fit = fit_lifetime(1000.0, 4.0, max_stages=1)
+        assert fit.method == "exponential-clamped"
+        assert not fit.certified(1e-9)
+
+    def test_wider_budget_unclamps(self):
+        assert fit_lifetime(1000.0, 0.2, max_stages=5).certified(1e-9)
+
+    @pytest.mark.parametrize(
+        "mean,cv2", [(0.0, 1.0), (-5.0, 1.0), (1.0, 0.0), (1.0, -2.0)]
+    )
+    def test_invalid_targets_rejected(self, mean, cv2):
+        with pytest.raises(PhaseTypeError):
+            fit_lifetime(mean, cv2)
+
+
+class TestFitWeibull:
+    def test_moments_formula(self):
+        m1, m2, m3 = weibull_moments(2.0, 100.0)
+        assert m1 == pytest.approx(100.0 * math.gamma(1.5), rel=1e-12)
+        assert m2 == pytest.approx(100.0**2 * math.gamma(2.0), rel=1e-12)
+        assert m3 == pytest.approx(100.0**3 * math.gamma(2.5), rel=1e-12)
+
+    def test_mean_targeting(self):
+        fit = fit_weibull(0.7, mean=460_000.0)
+        assert fit.dist.mean() == pytest.approx(460_000.0, rel=1e-9)
+        assert fit.certified(1e-9)
+        assert fit.method == "coxian2"  # shape < 1: infant mortality
+
+    def test_wear_out_uses_mixed_erlang(self):
+        fit = fit_weibull(1.5, mean=460_000.0)
+        assert fit.method == "mixed-erlang"
+        assert fit.certified(1e-9)
+
+    def test_shape_one_is_exponential(self):
+        assert fit_weibull(1.0, mean=1000.0).method == "exponential"
+
+    def test_third_moment_reported_not_matched(self):
+        fit = fit_weibull(0.6, mean=1000.0)
+        assert fit.target_third_moment is not None
+        assert fit.rel_error_third_moment is not None
+        assert fit.rel_error_third_moment >= 0.0
+
+    def test_scale_and_mean_are_exclusive(self):
+        with pytest.raises(PhaseTypeError, match="exactly one"):
+            fit_weibull(0.6, scale=1.0, mean=1.0)
+        with pytest.raises(PhaseTypeError, match="exactly one"):
+            fit_weibull(0.6)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(PhaseTypeError, match="shape"):
+            fit_weibull(-1.0, mean=100.0)

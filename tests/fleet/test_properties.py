@@ -1,0 +1,125 @@
+"""Property-based differential tests over the scenario space.
+
+Hypothesis drives the same machinery the corpus flywheel uses — random
+moment targets through the phase-type fitter, random seeds through the
+scenario generator, random cohort permutations through the chain — and
+every property is one of the PR's differential oracles.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solvers import SolveOptions
+from repro.fleet import (
+    FleetModel,
+    ScenarioGenerator,
+    fit_lifetime,
+)
+
+pytestmark = pytest.mark.fleet
+
+# Scenario draws solve a small CTMC each; keep example counts modest so
+# the property suite stays inside the tier-1 budget.
+_EXAMPLES = 25
+
+
+class TestPhaseTypeFitProperties:
+    @given(
+        mean=st.floats(min_value=1.0, max_value=1e7),
+        cv2=st.floats(min_value=0.34, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_two_moment_fit_certifies_inside_envelope(self, mean, cv2):
+        # cv2 >= 1/3 always fits in the 3-stage budget; the fit must
+        # certify and its measured moments must match the targets.
+        fit = fit_lifetime(mean, cv2)
+        assert fit.certified(1e-9)
+        assert fit.dist.mean() == pytest.approx(mean, rel=1e-9)
+        assert fit.dist.cv2() == pytest.approx(cv2, rel=1e-6)
+
+    @given(
+        mean=st.floats(min_value=1.0, max_value=1e7),
+        cv2=st.floats(min_value=0.05, max_value=0.33),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_clamped_fits_never_self_certify(self, mean, cv2):
+        fit = fit_lifetime(mean, cv2)
+        assert fit.method == "erlang-clamped"
+        assert not fit.certified(1e-9)
+        assert fit.dist.mean() == pytest.approx(mean, rel=1e-12)
+
+    @given(
+        mean=st.floats(min_value=1.0, max_value=1e7),
+        cv2=st.floats(min_value=0.34, max_value=50.0),
+        scale=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_commutes_with_fitting(self, mean, cv2, scale):
+        direct = fit_lifetime(mean / scale, cv2).dist
+        scaled = fit_lifetime(mean, cv2).dist.scaled(scale)
+        assert scaled.mean() == pytest.approx(direct.mean(), rel=1e-9)
+        assert scaled.cv2() == pytest.approx(direct.cv2(), rel=1e-9)
+
+
+class TestGeneratorProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    def test_corpus_is_bitwise_deterministic(self, seed):
+        a = [
+            json.dumps(s.to_dict(), sort_keys=True)
+            for s in ScenarioGenerator(seed=seed).generate(5)
+        ]
+        b = [
+            json.dumps(s.to_dict(), sort_keys=True)
+            for s in ScenarioGenerator(seed=seed).generate(5)
+        ]
+        assert a == b
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        index=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    def test_scenarios_always_valid_and_solvable(self, seed, index):
+        gen = ScenarioGenerator(seed=seed)
+        family = gen.families[index % len(gen.families)]
+        scenario = gen.scenario(family, index)
+        fleet = scenario.fleet
+        assert fleet.total_nodes > fleet.fault_tolerance
+        assert fleet.total_nodes >= fleet.base.redundancy_set_size
+        assert FleetModel(fleet).mttdl_hours() > 0.0
+
+
+class TestChainProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    def test_cohort_permutation_invariance(self, seed, data):
+        gen = ScenarioGenerator(seed=seed)
+        fleet = gen.scenario("non-uniform-peers", seed % 100).fleet
+        order = data.draw(
+            st.permutations(range(len(fleet.cohorts))), label="order"
+        )
+        original = FleetModel(fleet).mttdl_hours()
+        permuted = FleetModel(fleet.permuted(order)).mttdl_hours()
+        assert permuted == pytest.approx(original, rel=1e-9)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        index=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    def test_sparse_dense_agree_on_any_scenario(self, seed, index):
+        gen = ScenarioGenerator(seed=seed)
+        family = gen.families[index % len(gen.families)]
+        model = FleetModel(gen.scenario(family, index).fleet)
+        if model.num_states > 2048:
+            return  # dense backend out of reach; corpus covers via CI
+        dense = model.mttdl_hours(SolveOptions(backend="dense_gth"))
+        sparse = model.mttdl_hours(SolveOptions(backend="sparse_iterative"))
+        assert sparse == pytest.approx(dense, rel=1e-9)

@@ -1,0 +1,204 @@
+"""Scenario generator, corpus runner, oracles and the CLI."""
+
+import json
+
+import pytest
+
+from repro.engine import SweepEngine
+from repro.fleet import (
+    FAMILIES,
+    FleetModel,
+    Scenario,
+    ScenarioGenerator,
+    canonical_fleets,
+    read_corpus,
+    run_corpus,
+    write_corpus,
+)
+from repro.fleet.cli import main as scenarios_main
+from repro.fleet.scenarios import CORPUS_KIND
+from repro.models import Parameters
+
+pytestmark = pytest.mark.fleet
+
+
+@pytest.fixture
+def generator() -> ScenarioGenerator:
+    return ScenarioGenerator(seed=7)
+
+
+class TestGenerator:
+    def test_round_robin_families(self, generator):
+        scenarios = list(generator.generate(len(FAMILIES) * 2))
+        assert [s.family for s in scenarios] == list(FAMILIES) * 2
+
+    def test_bitwise_deterministic_across_instances(self, generator):
+        twin = ScenarioGenerator(seed=7)
+        a = [json.dumps(s.to_dict(), sort_keys=True) for s in generator.generate(15)]
+        b = [json.dumps(s.to_dict(), sort_keys=True) for s in twin.generate(15)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [s.to_dict() for s in ScenarioGenerator(seed=1).generate(5)]
+        b = [s.to_dict() for s in ScenarioGenerator(seed=2).generate(5)]
+        assert a != b
+
+    def test_scenario_roundtrip(self, generator):
+        for scenario in generator.generate(10):
+            clone = Scenario.from_dict(scenario.to_dict())
+            assert clone == scenario
+            assert clone.fleet.cache_key() == scenario.fleet.cache_key()
+
+    def test_scenarios_are_solvable(self, generator):
+        for scenario in generator.generate(10):
+            assert FleetModel(scenario.fleet).mttdl_hours() > 0.0
+
+    def test_family_subset(self):
+        gen = ScenarioGenerator(seed=0, families=("two-vintage",))
+        assert {s.family for s in gen.generate(4)} == {"two-vintage"}
+
+    def test_ids_are_stable(self, generator):
+        scenario = generator.scenario("wear-out", 12)
+        assert scenario.scenario_id == "wear-out-00012"
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def run(self):
+        scenarios = list(ScenarioGenerator(seed=3).generate(10))
+        engine = SweepEngine(jobs=1, cache=False)
+        return run_corpus(scenarios, engine=engine)
+
+    def test_all_oracles_hold(self, run):
+        assert run.ok
+        assert run.violations == ()
+        for result in run.results:
+            assert result.ok
+            assert all(result.oracles.values())
+
+    def test_results_carry_both_backends(self, run):
+        for result in run.results:
+            if result.num_states <= 2048:
+                assert result.backend == "dense_gth"
+                assert result.dense_mttdl_hours is not None
+                assert result.sparse_dense_rel_gap <= 1e-9
+            else:
+                assert result.backend == "sparse_iterative"
+
+    def test_uniform_baseline_column(self, run):
+        for result in run.results:
+            assert result.uniform_mttdl_hours > 0.0
+            assert result.heterogeneity_ratio > 0.0
+
+    def test_header_provenance(self, run):
+        assert run.header.solved
+        assert run.header.count == 10
+        assert "options" in run.header.provenance
+        assert run.header.provenance["oracle_rel_tol"] == 1e-9
+
+    def test_jsonl_roundtrip(self, run, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        scenarios = list(ScenarioGenerator(seed=3).generate(10))
+        with open(path, "w", encoding="utf-8") as fh:
+            write_corpus(fh, run.header, scenarios, run.results)
+        header, entries = read_corpus(
+            path.read_text(encoding="utf-8").splitlines()
+        )
+        assert header["kind"] == CORPUS_KIND
+        assert len(entries) == len(scenarios)
+        loaded, result_payload = entries[0]
+        assert loaded.fleet == scenarios[0].fleet
+        assert result_payload["mttdl_hours"] == run.results[0].mttdl_hours
+
+    def test_read_corpus_rejects_wrong_kind(self):
+        bogus = json.dumps({"kind": "not-a-corpus", "version": 1})
+        with pytest.raises(ValueError, match="kind"):
+            read_corpus([bogus])
+
+
+class TestCanonicalFleets:
+    def test_three_families_pinned(self):
+        fleets = canonical_fleets(Parameters.baseline())
+        assert sorted(fleets) == [
+            "infant-mortality",
+            "non-uniform-peers",
+            "two-vintage",
+        ]
+        for fleet in fleets.values():
+            assert FleetModel(fleet).mttdl_hours() > 0.0
+
+
+class TestCli:
+    def test_solve_run_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        rc = scenarios_main(
+            ["--count", "6", "--seed", "5", "--out", str(out)]
+        )
+        assert rc == 0
+        header, entries = read_corpus(
+            out.read_text(encoding="utf-8").splitlines()
+        )
+        assert header["solved"]
+        assert len(entries) == 6
+        assert all(result is not None for _, result in entries)
+        err = capsys.readouterr().err
+        assert "6 scenarios" in err
+        assert "0 oracle violations" in err
+
+    def test_no_solve_generates_only(self, tmp_path):
+        out = tmp_path / "corpus.jsonl"
+        rc = scenarios_main(
+            ["--count", "4", "--no-solve", "--quiet", "--out", str(out)]
+        )
+        assert rc == 0
+        header, entries = read_corpus(
+            out.read_text(encoding="utf-8").splitlines()
+        )
+        assert not header["solved"]
+        assert len(entries) == 4
+        assert all(result is None for _, result in entries)
+
+    def test_same_seed_same_bytes(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert (
+                scenarios_main(
+                    [
+                        "--count",
+                        "8",
+                        "--seed",
+                        "9",
+                        "--no-solve",
+                        "--quiet",
+                        "--out",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_param_override_flows_into_scenarios(self, tmp_path):
+        out = tmp_path / "corpus.jsonl"
+        rc = scenarios_main(
+            [
+                "--count",
+                "2",
+                "--no-solve",
+                "--quiet",
+                "--set",
+                "node_mttf_hours=123456.0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        _, entries = read_corpus(
+            out.read_text(encoding="utf-8").splitlines()
+        )
+        assert entries[0][0].fleet.base.node_mttf_hours == 123456.0
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(SystemExit):
+            scenarios_main(["--count", "0"])

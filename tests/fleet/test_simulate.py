@@ -1,0 +1,114 @@
+"""Monte-Carlo cross-validation of the fleet chain's stage expansion."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    Cohort,
+    FleetModel,
+    FleetSpec,
+    estimate_fleet_mttdl,
+    fit_weibull,
+)
+from repro.models import Parameters
+from repro.models.raid import InternalRaid
+from repro.sim import phase_type
+
+pytestmark = pytest.mark.fleet
+
+
+@pytest.fixture
+def base() -> Parameters:
+    return Parameters.baseline().replace(redundancy_set_size=4)
+
+
+class TestPhaseTypeSampler:
+    def test_matches_analytic_moments(self):
+        dist = fit_weibull(0.6, mean=10_000.0).dist
+        rng = np.random.default_rng(5)
+        draws = np.array(
+            [phase_type(rng, dist.rates, dist.continues) for _ in range(50_000)]
+        )
+        stderr = draws.std(ddof=1) / np.sqrt(len(draws))
+        assert abs(draws.mean() - dist.mean()) <= 4.0 * stderr
+
+    def test_single_stage_reproduces_exponential(self):
+        a = np.random.default_rng(1)
+        b = np.random.default_rng(1)
+        from repro.sim import exponential
+
+        assert phase_type(a, (0.5,), (0.0,)) == exponential(b, 0.5)
+
+    def test_rejects_mismatched_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            phase_type(rng, (), ())
+        with pytest.raises(ValueError):
+            phase_type(rng, (1.0, 2.0), (0.5,))
+
+
+class TestEstimateFleetMttdl:
+    def test_agrees_with_chain_heterogeneous(self, base):
+        fit = fit_weibull(0.6, mean=base.node_mttf_hours)
+        fleet = FleetSpec(
+            base=base,
+            internal=InternalRaid.RAID5,
+            fault_tolerance=1,
+            cohorts=(
+                Cohort.make("burn-in", 2, lifetime=fit.dist),
+                Cohort.make("mature", 2),
+            ),
+        ).scaled(2000.0)
+        reference = FleetModel(fleet).mttdl_hours()
+        estimate = estimate_fleet_mttdl(fleet, replicas=800, seed=3)
+        assert estimate.contains(reference, sigmas=4.0)
+
+    def test_agrees_with_chain_repair_delay(self, base):
+        fleet = FleetSpec(
+            base=base,
+            internal=InternalRaid.RAID5,
+            fault_tolerance=1,
+            cohorts=(
+                Cohort.make("slow", 2, repair_delay_hours=24.0),
+                Cohort.make("fast", 2),
+            ),
+        ).scaled(2000.0)
+        reference = FleetModel(fleet).mttdl_hours()
+        estimate = estimate_fleet_mttdl(fleet, replicas=600, seed=7)
+        assert estimate.contains(reference, sigmas=4.0)
+
+    def test_seeded_reproducibility(self, base):
+        fleet = FleetSpec(
+            base=base,
+            internal=InternalRaid.RAID5,
+            fault_tolerance=1,
+            cohorts=(Cohort.make("all", 4),),
+        ).scaled(2000.0)
+        a = estimate_fleet_mttdl(fleet, replicas=50, seed=11)
+        b = estimate_fleet_mttdl(fleet, replicas=50, seed=11)
+        c = estimate_fleet_mttdl(fleet, replicas=50, seed=12)
+        assert a == b
+        assert a.mean_hours != c.mean_hours
+
+    def test_ci_helpers(self, base):
+        fleet = FleetSpec(
+            base=base,
+            internal=InternalRaid.RAID5,
+            fault_tolerance=1,
+            cohorts=(Cohort.make("all", 4),),
+        ).scaled(2000.0)
+        est = estimate_fleet_mttdl(fleet, replicas=50, seed=0)
+        lo, hi = est.ci95()
+        assert lo < est.mean_hours < hi
+        assert est.contains(est.mean_hours)
+        assert not est.contains(est.mean_hours * 100.0)
+
+    def test_needs_two_replicas(self, base):
+        fleet = FleetSpec(
+            base=base,
+            internal=InternalRaid.RAID5,
+            fault_tolerance=1,
+            cohorts=(Cohort.make("all", 4),),
+        )
+        with pytest.raises(ValueError, match="replicas"):
+            estimate_fleet_mttdl(fleet, replicas=1)

@@ -35,6 +35,35 @@ class TestStreamFactory:
         b = StreamFactory(seed=2).stream("x").random(5)
         assert not np.allclose(a, b)
 
+    def test_long_names_sharing_a_prefix_are_independent(self):
+        # Regression: the seed derivation once truncated names to their
+        # first 16 bytes, so "...-replica-10" and "...-replica-100"
+        # aliased onto one stream and replayed identical draws —
+        # silently collapsing a Monte-Carlo run's effective sample size.
+        f = StreamFactory(seed=0)
+        a = f.stream("fleet-replica-10").random(8)
+        b = f.stream("fleet-replica-100").random(8)
+        c = f.stream("fleet-replica-101").random(8)
+        assert not np.allclose(a, b)
+        assert not np.allclose(b, c)
+
+    def test_short_name_seed_derivation_is_stable(self):
+        # Names up to 16 bytes keep their historical child seeds (the
+        # padded-name spawn key), so existing seeded runs reproduce.
+        draws = StreamFactory(seed=123).stream("node-failures").random(3)
+        expected = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=123,
+                spawn_key=tuple(
+                    int(x)
+                    for x in np.frombuffer(
+                        b"node-failures\0\0\0", dtype=np.uint32
+                    )
+                ),
+            )
+        ).random(3)
+        assert np.array_equal(draws, expected)
+
 
 class TestDistributions:
     def test_exponential_mean(self):

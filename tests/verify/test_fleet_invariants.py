@@ -1,0 +1,73 @@
+"""The fleet-* invariants: registered, smoke-tagged, green on main,
+and loud when a collapse law is deliberately broken."""
+
+import pytest
+
+from repro.fleet import PhaseType
+from repro.models import Parameters
+from repro.verify import REGISTRY, VerifyContext
+from repro.verify.fleet import FLEET_REL_TOL, fleet_scenarios
+
+pytestmark = [pytest.mark.verify, pytest.mark.fleet]
+
+FLEET_INVARIANTS = [
+    "fleet-homogeneous-collapse",
+    "fleet-exponential-collapse",
+    "fleet-time-rescaling",
+    "fleet-dominance",
+    "fleet-sparse-dense-agreement",
+    "fleet-phase-type-certification",
+]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    base = Parameters.baseline()
+    return VerifyContext(points=[base], base=base)
+
+
+class TestRegistration:
+    @pytest.mark.parametrize("name", FLEET_INVARIANTS)
+    def test_registered_and_smoke_tagged(self, name):
+        inv = REGISTRY.get(name)
+        assert "fleet" in inv.tags
+        assert "smoke" in inv.tags  # repro-verify --smoke runs them
+
+    def test_selectable_by_fleet_tag(self):
+        names = {inv.name for inv in REGISTRY.select(tags=["fleet"])}
+        assert set(FLEET_INVARIANTS) <= names
+
+
+class TestInvariantsHoldOnMain:
+    @pytest.mark.parametrize("name", FLEET_INVARIANTS)
+    def test_invariant_passes_at_baseline(self, ctx, name):
+        check = REGISTRY.get(name).run(ctx)
+        assert check.ok, [v.to_dict() for v in check.violations]
+        assert check.checked > 0
+
+    def test_scenario_slice_is_deterministic(self, ctx):
+        a = [f.cache_key() for f in fleet_scenarios(ctx)]
+        b = [f.cache_key() for f in fleet_scenarios(ctx)]
+        assert a == b
+
+
+class TestDeliberateViolationIsCaught:
+    def test_broken_exponential_twin_is_flagged(self, ctx, monkeypatch):
+        # Sabotage the collapse: make "exponential" phase-types carry a
+        # slightly wrong rate.  The bitwise oracle must catch it.
+        true_exponential = PhaseType.exponential.__func__
+
+        def skewed(cls, rate):
+            return true_exponential(cls, rate * (1.0 + 1e-6))
+
+        monkeypatch.setattr(
+            PhaseType, "exponential", classmethod(skewed)
+        )
+        check = REGISTRY.get("fleet-exponential-collapse").run(ctx)
+        assert not check.ok
+        assert all(
+            not v.details["env_equal"] for v in check.violations
+        )
+
+    def test_tolerance_is_the_corpus_bound(self):
+        assert FLEET_REL_TOL == 1e-9
