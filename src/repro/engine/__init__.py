@@ -11,7 +11,7 @@ from . import faultpoints
 from .cache import DEFAULT_CACHE_DIR, DiskCache
 from .facade import evaluate
 from .keys import CACHE_SCHEMA_VERSION, point_key, stable_digest
-from .pool import default_jobs, should_pool, split_chunks
+from ..runtime import default_jobs, should_pool, split_chunks
 from .result import EngineProvenance, SweepResult
 from .solver import (
     SolveContext,

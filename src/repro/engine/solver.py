@@ -369,29 +369,21 @@ def evaluate_chunk(
 
 def _worker_evaluate(
     tasks: Sequence[Tuple[Configuration, Parameters, str]],
-    tracing: bool = False,
     options: Optional[SolveOptions] = None,
 ) -> Tuple[List[float], Dict[str, object]]:
-    """Process-pool entry point: evaluate a chunk with a fresh context and
+    """Pool-worker entry point: evaluate a chunk with a fresh context and
     report the counters (and compiled spec hashes) back for aggregation.
 
-    When the parent runs traced it passes ``tracing=True`` (via a
-    ``functools.partial``, so the callable stays picklable): the worker
-    then records its spans into a fresh local tracer and ships the
-    finished spans back in the stats dict under ``"spans"`` — the parent
-    re-parents them under its dispatch span, so a pooled sweep's span
-    tree matches the in-process one worker-for-chunk.
+    Span shipping is the runtime's job now: when the parent submits a
+    traced task, :class:`repro.runtime.ProcessTopology` wraps the worker
+    call in :func:`obs.capture_spans` and adopts the finished spans under
+    the parent's dispatch span, so a pooled sweep's span tree matches the
+    in-process one worker-for-chunk.  The span opened here is a free
+    no-op when tracing is off.
     """
     ctx = SolveContext()
-    if tracing:
-        with obs.capture_spans() as shipped:
-            with obs.span("engine.worker", tasks=len(tasks)):
-                results = evaluate_chunk(tasks, ctx, options)
-    else:
-        shipped = None
+    with obs.span("engine.worker", tasks=len(tasks)):
         results = evaluate_chunk(tasks, ctx, options)
     stats: Dict[str, object] = dict(ctx.stats())
     stats["spec_hashes"] = ctx.spec_hashes()
-    if shipped is not None:
-        stats["spans"] = shipped
     return results, stats

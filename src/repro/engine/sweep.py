@@ -33,7 +33,7 @@ from .. import __version__, obs
 from ..reporting import Series
 from .cache import DEFAULT_CACHE_DIR, DiskCache
 from .keys import point_key
-from .pool import default_jobs, run_chunks, should_pool, split_chunks
+from ..runtime import default_jobs, run_chunks, should_pool, split_chunks
 from .result import EngineProvenance, SweepResult
 from .solver import SolveContext, _worker_evaluate, evaluate_chunk, normalize_method
 
@@ -289,10 +289,12 @@ class SweepEngine:
                     "engine.dispatch", tasks=len(tasks), pooled=pooled
                 ):
                     if pooled:
+                        # Worker spans re-parent under this dispatch span
+                        # automatically (the runtime adopts them), so
+                        # pooled and in-process runs grow the same tree
+                        # shape.
                         worker = functools.partial(
-                            _worker_evaluate,
-                            tracing=obs.tracing_active(),
-                            options=options,
+                            _worker_evaluate, options=options
                         )
                         chunks = split_chunks(tasks, self._jobs)
                         outputs = run_chunks(worker, chunks, self._jobs)
@@ -302,10 +304,6 @@ class SweepEngine:
                             self._worker_spec_hashes.update(
                                 stats.pop("spec_hashes", ())
                             )
-                            # Worker spans re-parent under the dispatch
-                            # span, so pooled and in-process runs grow
-                            # the same tree shape.
-                            obs.adopt_spans(stats.pop("spans", ()))
                             for name, value in stats.items():
                                 self._worker_stats[name].inc(value)
                     else:

@@ -1,4 +1,4 @@
-"""Process-pool fan-out for sweep evaluation.
+"""Chunked fan-out over a :class:`~repro.runtime.topology.ProcessTopology`.
 
 Work is split into one contiguous chunk per worker so each process gets
 the largest possible batch for its structure memo and batched solves.
@@ -6,11 +6,11 @@ Because every execution path is bitwise-deterministic (see
 :mod:`repro.engine.solver`), chunk boundaries and worker scheduling cannot
 affect results — only wall-clock time.
 
-That determinism is also the safety net: if the pool dies mid-batch (a
+That determinism is also the safety net: if a worker dies mid-batch (a
 worker killed by the OOM killer, a signal, a crashed interpreter),
-:func:`run_chunks` logs the failure and recomputes every chunk in the
-calling process, producing bitwise-identical results — a broken pool can
-cost time, never correctness.
+:func:`run_chunks` logs the failure and recomputes the crashed chunks in
+the calling process, producing bitwise-identical results — a dead worker
+can cost time, never correctness.
 """
 
 from __future__ import annotations
@@ -20,10 +20,11 @@ import os
 from typing import Callable, List, Sequence, Tuple, TypeVar
 
 from . import faultpoints
+from .topology import ProcessTopology, WorkerCrashed
 
-__all__ = ["default_jobs", "should_pool", "split_chunks", "run_chunks"]
+__all__ = ["MIN_TASKS_FOR_POOL", "default_jobs", "should_pool", "split_chunks", "run_chunks"]
 
-logger = logging.getLogger("repro.engine.pool")
+logger = logging.getLogger("repro.runtime.chunks")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -67,10 +68,10 @@ def split_chunks(items: Sequence[T], parts: int) -> List[List[T]]:
     return chunks
 
 
-def _pooled_worker(payload: Tuple[Callable[[List[T]], R], List[T]]) -> R:
-    """Pool entry point: unwrap (worker, chunk) and run it.
+def _call_chunk(state: None, payload: Tuple[Callable[[List[T]], R], List[T]]) -> R:
+    """Worker entry point: unwrap (worker, chunk) and run it.
 
-    The :data:`~repro.engine.faultpoints.POOL_WORKER_START` fault point
+    The :data:`~repro.runtime.faultpoints.POOL_WORKER_START` fault point
     fires here — inside the worker process, never on the in-process
     fallback path — so injected worker deaths exercise exactly the
     production recovery in :func:`run_chunks`.
@@ -91,24 +92,32 @@ def run_chunks(
     :func:`should_pool`) or when everything fits in one chunk.  ``worker``
     must be a module-level callable (picklable) for the pooled path.
 
-    If the pool breaks mid-run — a worker process killed or crashed —
-    every chunk is recomputed in-process.  All paths are bitwise
-    deterministic, so the recovery changes wall-clock time only.
+    Chunks whose worker process died are recomputed in-process.  All
+    paths are bitwise deterministic, so the recovery changes wall-clock
+    time only.  Worker spans ship back automatically when tracing is
+    active — the topology adopts them under the caller's current span.
     """
     total = sum(len(c) for c in chunks)
     if len(chunks) <= 1 or not should_pool(jobs, total):
         return [worker(chunk) for chunk in chunks]
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
-
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as executor:
-            return list(
-                executor.map(_pooled_worker, [(worker, c) for c in chunks])
-            )
-    except BrokenProcessPool:
+    with ProcessTopology(
+        _call_chunk, size=min(jobs, len(chunks)), name="repro-pool"
+    ) as topology:
+        futures = [
+            topology.submit((worker, chunk), shard=i) for i, chunk in enumerate(chunks)
+        ]
+        results: List[R] = []
+        crashed = 0
+        for future, chunk in zip(futures, chunks):
+            try:
+                results.append(future.result())
+            except WorkerCrashed:
+                crashed += 1
+                results.append(worker(chunk))
+    if crashed:
         logger.warning(
-            "process pool died mid-batch; recomputing %d chunks in-process",
-            len(chunks),
+            "%d pool worker(s) died mid-batch; recomputed %d chunk(s) in-process",
+            crashed,
+            crashed,
         )
-        return [worker(chunk) for chunk in chunks]
+    return results

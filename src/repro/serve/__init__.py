@@ -17,7 +17,12 @@ The moving parts:
 * :class:`~repro.serve.http.HttpServer` — a stdlib-asyncio HTTP/1.1
   front end exposing ``/v1/evaluate``, ``/v1/sweep``, ``/healthz`` and
   ``/metricsz``.
-* :mod:`repro.serve.loadgen` — an open-loop load generator reporting
+* :mod:`repro.serve.shard` + ``ServeConfig(workers=N)`` — the sharded
+  topology: N forked solver workers on :mod:`repro.runtime`, requests
+  routed by spec hash so each worker owns its shard's compiled chains
+  and TTL cache, with crash-restart and 503-retry semantics.
+* :mod:`repro.serve.loadgen` — an open-loop load generator with
+  realistic traffic shapes (diurnal, bursty, hot-key skew) reporting
   p50/p95/p99 latency and achieved throughput.
 
 Every answer is bitwise identical to the corresponding direct
@@ -27,9 +32,10 @@ schemas, the batching policy knobs and the overload semantics.
 
 from .batcher import CoalescingBatcher, Overloaded
 from .http import HttpServer, run_server, serving
-from .loadgen import LoadReport, RequestMix, run_loadgen
+from .loadgen import LoadReport, RequestMix, TrafficShape, run_loadgen, shape_by_name
 from .protocol import PointQuery, ProtocolError, SweepQuery
 from .service import ReliabilityService, ServeConfig
+from .shard import shard_index
 from .ttl_cache import TTLCache
 
 __all__ = [
@@ -44,7 +50,10 @@ __all__ = [
     "ServeConfig",
     "SweepQuery",
     "TTLCache",
+    "TrafficShape",
     "run_loadgen",
     "run_server",
     "serving",
+    "shape_by_name",
+    "shard_index",
 ]

@@ -59,6 +59,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="close a solve batch US microseconds after its first point "
         "(default 2000)",
     )
+    batching.add_argument(
+        "--deadline-margin-us",
+        type=int,
+        default=500,
+        metavar="US",
+        help="close a batch early when a member's deadline is within this "
+        "margin plus the solve-time estimate (default 500)",
+    )
+    batching.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="deadline applied to requests that do not declare one "
+        "(default: none)",
+    )
+    topology = parser.add_argument_group("worker topology")
+    topology.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard solves across N forked worker processes routed by "
+        "spec hash (0 = single-process; default 0)",
+    )
     admission = parser.add_argument_group("admission control")
     admission.add_argument(
         "--queue-depth",
@@ -113,6 +138,9 @@ def config_from_args(args: argparse.Namespace, error) -> ServeConfig:
         cache_size=args.cache_size,
         cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
         base_params=params,
+        workers=args.workers,
+        deadline_margin_us=args.deadline_margin_us,
+        default_deadline_ms=args.default_deadline_ms,
     )
 
 
@@ -128,7 +156,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"repro-serve listening on http://{server.host}:{server.port} "
             f"(batch<= {config.max_batch_size}, wait {config.max_wait_us}us, "
-            f"queue {config.queue_depth})",
+            f"queue {config.queue_depth}, workers {config.workers})",
             file=sys.stderr,
             flush=True,
         )

@@ -1,83 +1,58 @@
 """The coalescing request batcher — continuous batching for chain solves.
 
 Concurrent in-flight queries land on one bounded queue; a single
-consumer assembles them into batches under a two-knob policy (close the
-batch at ``max_batch_size`` points, or ``max_wait_us`` after its first
-point arrived, whichever comes first), groups each batch by spec hash,
-and hands every group to :func:`repro.engine.solve_grouped` — one
-stacked ``bind_batch`` plus one batched GTH elimination per group.  This
-is the continuous-batching shape inference servers use: while one batch
-solves on the solver thread, the next accumulates on the queue, so batch
-sizes grow with load and per-point cost falls exactly when it matters.
+consumer assembles them into batches under a close policy (full at
+``max_batch_size`` points, ``max_wait_us`` after the first point
+arrived, or *earlier* when the tightest per-request deadline is at
+risk), and hands every batch to the runtime: a
+:class:`repro.runtime.ThreadTopology` solver thread in single-process
+mode, or a shard of a :class:`repro.runtime.ProcessTopology` in sharded
+mode.  The solve itself — grouping by spec hash, one stacked
+``bind_batch`` plus one batched GTH elimination per group — lives in
+:mod:`repro.serve.solvecore` and is identical everywhere.  This is the
+continuous-batching shape inference servers use: while one batch solves,
+the next accumulates on the queue, so batch sizes grow with load and
+per-point cost falls exactly when it matters.
 
 Admission control is the queue bound: :meth:`CoalescingBatcher.submit`
 raises :class:`Overloaded` instead of queueing unboundedly, and the HTTP
 layer turns that into ``429 Retry-After``.  Shedding at the door keeps
 tail latency flat for the requests that are admitted.
 
+Deadline-aware closing: a request may carry a deadline; the batcher
+closes the batch early when waiting longer would push the oldest
+waiter past ``deadline - margin``, where the margin covers the solve
+itself (an EWMA of recent batch solve times plus a configured safety
+margin).  Without deadlines the policy degenerates to the original
+two-knob close.
+
 Observability: the batcher owns the ``serve.queue.*`` / ``serve.batch.*``
-metrics, and when tracing is enabled each solved batch emits a
-``serve.batch`` span tree with per-point queue-wait spans (synthesized
-from enqueue/dequeue stamps, since a span cannot stay open across the
-event loop's task switches), the batch-assembly span, and the engine's
-own ``solve.bind`` / ``solve.gth`` children.
+metrics (plus ``serve.shard.<i>.*`` when it fronts a shard), and when
+tracing is enabled each solved batch emits a ``serve.batch`` span tree
+with per-point queue-wait spans, the batch-assembly span, and the
+engine's own ``solve.bind`` / ``solve.gth`` children — shipped home
+automatically by the runtime when the solve ran in a shard worker.
 """
 
 from __future__ import annotations
 
 import asyncio
-import itertools
-import os
+import functools
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional
 
 from .. import obs
-from ..core.solvers import (
-    DEFAULT_SOLVE_OPTIONS,
-    SolveOptions,
-    SolveRequest,
-)
-from ..core.solvers import solve as _core_solve
-from ..engine.solver import (
-    SolveContext,
-    closed_form_mttdl,
-    prepare_point,
-    solve_grouped,
-)
+from ..core.solvers import DEFAULT_SOLVE_OPTIONS, SolveOptions
 from ..models.configurations import Configuration
 from ..models.parameters import Parameters
 from ..models.specs import spec_for_key
+from ..runtime import WorkerTopology, ThreadTopology
+from .solvecore import PointTask, make_state, solve_handler, synth_span
 
-__all__ = ["CoalescingBatcher", "Overloaded", "synth_span"]
+__all__ = ["CoalescingBatcher", "Overloaded", "batch_close_at", "synth_span"]
 
-#: Synthetic-span id sequence.  Real tracer ids are ``"<pid hex>-<int>"``;
-#: the ``q`` infix keeps these from ever colliding with them.
-_SYNTH_SEQ = itertools.count(1)
-
-
-def synth_span(
-    name: str,
-    start_unix: float,
-    wall_s: float,
-    parent_id: Optional[str] = None,
-    **attrs: Any,
-) -> Dict[str, Any]:
-    """A finished-span dict for a phase that cannot hold a live span
-    open (it crosses task switches or the event loop's task switches);
-    feed the result to :func:`repro.obs.adopt_spans`, which grafts
-    parentless spans under the adopting thread's current span."""
-    return {
-        "type": "span",
-        "span_id": f"{os.getpid():x}-q{next(_SYNTH_SEQ)}",
-        "parent_id": parent_id,
-        "name": name,
-        "start_unix": start_unix,
-        "wall_s": max(0.0, wall_s),
-        "cpu_s": 0.0,
-        "pid": os.getpid(),
-        "attrs": attrs,
-    }
+#: Fraction of the previous solve-time EWMA kept per update.
+_EWMA_KEEP = 0.8
 
 
 class Overloaded(Exception):
@@ -90,41 +65,41 @@ class Overloaded(Exception):
         self.retry_after_s = retry_after_s
 
 
-class _Pending:
-    """One admitted point: its task, its future, and its queue stamps."""
+def batch_close_at(
+    assemble_t0: float,
+    max_wait_s: float,
+    deadlines: Iterable[Optional[float]],
+    margin_s: float,
+) -> float:
+    """When the batch being assembled must stop waiting for more points.
 
-    __slots__ = (
-        "config",
-        "params",
-        "method",
-        "options",
-        "spec_hash",
-        "future",
-        "enqueued_mono",
-        "enqueued_unix",
-    )
+    The nominal close is ``assemble_t0 + max_wait_s``; any member with a
+    deadline pulls it in to ``deadline - margin_s`` so the solve (whose
+    expected cost is inside the margin) still lands within budget.  Never
+    before ``assemble_t0`` itself — a batch always accepts the point that
+    opened it.
+    """
+    close_at = assemble_t0 + max_wait_s
+    for deadline in deadlines:
+        if deadline is not None and deadline - margin_s < close_at:
+            close_at = deadline - margin_s
+    return max(assemble_t0, close_at)
+
+
+class _Pending:
+    """One admitted point: its task, its future, and its deadline."""
+
+    __slots__ = ("task", "future", "deadline_mono")
 
     def __init__(
         self,
-        config: Configuration,
-        params: Parameters,
-        method: str,
-        options: SolveOptions,
+        task: PointTask,
         future: "asyncio.Future[float]",
+        deadline_mono: Optional[float],
     ) -> None:
-        self.config = config
-        self.params = params
-        self.method = method
-        self.options = options
-        # The spec hash depends only on the configuration family, so the
-        # grouping key is known at admission time, before any model or
-        # binding environment exists.
-        self.spec_hash = (
-            spec_for_key(config.key).spec_hash if method == "analytic" else ""
-        )
+        self.task = task
         self.future = future
-        self.enqueued_mono = time.monotonic()
-        self.enqueued_unix = time.time()
+        self.deadline_mono = deadline_mono
 
 
 _STOP = object()
@@ -143,10 +118,16 @@ class CoalescingBatcher:
         retry_after_s: the hint carried by :class:`Overloaded`.
         metrics: registry for ``serve.queue.*`` / ``serve.batch.*``
             instruments (a private one when omitted).
-
-    The solver runs on a dedicated single worker thread: chain solves
-    are milliseconds, so one thread keeps the math off the event loop
-    without cross-thread contention on the solve context.
+        runtime: the worker topology that solves batches.  When omitted
+            the batcher owns a single-thread
+            :class:`~repro.runtime.ThreadTopology` (the classic
+            single-process solver thread) and manages its lifecycle;
+            when provided (sharded mode) the caller owns it.
+        shard: pin every batch to this topology slot and emit
+            ``serve.shard.<shard>.*`` metrics (sharded mode).
+        deadline_margin_us: safety margin subtracted from request
+            deadlines on top of the solve-time EWMA when computing the
+            early close.
     """
 
     def __init__(
@@ -157,6 +138,9 @@ class CoalescingBatcher:
         queue_depth: int = 1024,
         retry_after_s: float = 1.0,
         metrics: Optional[obs.Metrics] = None,
+        runtime: Optional[WorkerTopology] = None,
+        shard: Optional[int] = None,
+        deadline_margin_us: int = 500,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -164,16 +148,26 @@ class CoalescingBatcher:
             raise ValueError("max_wait_us must be >= 0")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if deadline_margin_us < 0:
+            raise ValueError("deadline_margin_us must be >= 0")
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_us / 1e6
         self.queue_depth = queue_depth
         self.retry_after_s = retry_after_s
-        self.ctx = SolveContext()
+        self.deadline_margin_s = deadline_margin_us / 1e6
         self.metrics = metrics if metrics is not None else obs.Metrics()
+        self._owns_runtime = runtime is None
+        if runtime is None:
+            runtime = ThreadTopology(
+                solve_handler,
+                size=1,
+                worker_state=functools.partial(make_state, 0, None, False),
+                name="repro-serve-solver",
+            )
+        self._runtime = runtime
+        self._shard = shard
+        self._solve_ewma: Optional[float] = None
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=queue_depth)
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-solver"
-        )
         self._consumer: Optional["asyncio.Task[None]"] = None
         self._stopping = False
         self._depth_gauge = self.metrics.gauge("serve.queue.depth")
@@ -186,6 +180,21 @@ class CoalescingBatcher:
         self._batch_solve = self.metrics.histogram("serve.batch.solve_s")
         self._batches = self.metrics.counter("serve.batches")
         self._points = self.metrics.counter("serve.points")
+        self._closed_early = self.metrics.counter("serve.batch.closed_early")
+        self._worker_cache_hits = self.metrics.counter("serve.worker.cache.hits")
+        self._worker_cache_misses = self.metrics.counter(
+            "serve.worker.cache.misses"
+        )
+        if shard is not None:
+            self._shard_batches = self.metrics.counter(
+                f"serve.shard.{shard}.batches"
+            )
+            self._shard_batch_size = self.metrics.histogram(
+                f"serve.shard.{shard}.batch.size"
+            )
+        else:
+            self._shard_batches = None
+            self._shard_batch_size = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -194,6 +203,8 @@ class CoalescingBatcher:
     def start(self) -> None:
         """Start the consumer task on the running event loop."""
         if self._consumer is None:
+            if self._owns_runtime:
+                self._runtime.start()
             self._stopping = False
             self._consumer = asyncio.get_running_loop().create_task(
                 self._run(), name="repro-serve-batcher"
@@ -204,6 +215,7 @@ class CoalescingBatcher:
 
         Admission closes immediately (further :meth:`submit` calls raise
         :class:`Overloaded`); everything already admitted is answered.
+        A shared (caller-owned) runtime is left running.
         """
         if self._consumer is None:
             return
@@ -211,7 +223,8 @@ class CoalescingBatcher:
         await self._queue.put(_STOP)
         await self._consumer
         self._consumer = None
-        self._executor.shutdown(wait=True)
+        if self._owns_runtime:
+            self._runtime.stop(drain=True)
 
     @property
     def depth(self) -> int:
@@ -228,8 +241,17 @@ class CoalescingBatcher:
         params: Parameters,
         method: str,
         options: Optional[SolveOptions] = None,
+        *,
+        deadline_s: Optional[float] = None,
+        cache_key: Optional[str] = None,
     ) -> "asyncio.Future[float]":
         """Admit one point; returns the future of its MTTDL (hours).
+
+        Args:
+            deadline_s: the requester's latency budget from now; the
+                batcher closes batches early rather than blow it.
+            cache_key: stable result key enabling the worker-local TTL
+                cache for this point (None bypasses it).
 
         Raises:
             Overloaded: the queue is at ``queue_depth`` (or the batcher
@@ -242,7 +264,17 @@ class CoalescingBatcher:
         )
         if options is None:
             options = DEFAULT_SOLVE_OPTIONS
-        pending = _Pending(config, params, method, options, future)
+        # The spec hash depends only on the configuration family, so the
+        # grouping key is known at admission time, before any model or
+        # binding environment exists.
+        spec_hash = (
+            spec_for_key(config.key).spec_hash if method == "analytic" else ""
+        )
+        task = PointTask(config, params, method, options, spec_hash, cache_key)
+        deadline_mono = (
+            task.enqueued_mono + deadline_s if deadline_s is not None else None
+        )
+        pending = _Pending(task, future, deadline_mono)
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
@@ -256,8 +288,12 @@ class CoalescingBatcher:
     # the consumer
     # ------------------------------------------------------------------ #
 
+    def _margin_s(self) -> float:
+        """Early-close margin: expected solve cost plus the safety knob."""
+        ewma = self._solve_ewma if self._solve_ewma is not None else 0.0
+        return self.deadline_margin_s + ewma
+
     async def _run(self) -> None:
-        loop = asyncio.get_running_loop()
         while True:
             first = await self._queue.get()
             if first is _STOP:
@@ -265,8 +301,14 @@ class CoalescingBatcher:
             batch = [first]
             assemble_t0 = time.monotonic()
             assemble_unix = time.time()
-            deadline = assemble_t0 + self.max_wait_s
+            margin_s = self._margin_s()
+            min_deadline = first.deadline_mono
+            nominal_close = assemble_t0 + self.max_wait_s
+            close_at = batch_close_at(
+                assemble_t0, self.max_wait_s, (min_deadline,), margin_s
+            )
             saw_stop = False
+            timed_out = False
             while len(batch) < self.max_batch_size:
                 # Drain synchronously first: under load the queue refills
                 # in bursts, and a per-item ``wait_for`` (a Task plus a
@@ -274,41 +316,32 @@ class CoalescingBatcher:
                 try:
                     item = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
-                    remaining = deadline - time.monotonic()
+                    remaining = close_at - time.monotonic()
                     if remaining <= 0:
+                        timed_out = True
                         break
                     try:
                         item = await asyncio.wait_for(
                             self._queue.get(), remaining
                         )
                     except asyncio.TimeoutError:
+                        timed_out = True
                         break
                 if item is _STOP:
                     saw_stop = True
                     break
                 batch.append(item)
+                if item.deadline_mono is not None and (
+                    min_deadline is None or item.deadline_mono < min_deadline
+                ):
+                    min_deadline = item.deadline_mono
+                    close_at = batch_close_at(
+                        assemble_t0, self.max_wait_s, (min_deadline,), margin_s
+                    )
             self._depth_gauge.set(self._queue.qsize())
             assembled_s = time.monotonic() - assemble_t0
-            try:
-                results = await loop.run_in_executor(
-                    self._executor,
-                    self._solve_batch,
-                    batch,
-                    assemble_unix,
-                    assembled_s,
-                )
-            except BaseException as exc:  # noqa: BLE001 - fanned out below
-                for pending in batch:
-                    if not pending.future.done():
-                        pending.future.set_exception(exc)
-            else:
-                for pending, outcome in zip(batch, results):
-                    if pending.future.done():
-                        continue
-                    if isinstance(outcome, BaseException):
-                        pending.future.set_exception(outcome)
-                    else:
-                        pending.future.set_result(outcome)
+            closed_early = timed_out and close_at < nominal_close
+            await self._dispatch(batch, assemble_unix, assembled_s, closed_early)
             if saw_stop:
                 break
         # Drain-on-stop: everything admitted before the stop sentinel is
@@ -323,130 +356,63 @@ class CoalescingBatcher:
                 leftovers.append(item)
         for chunk_start in range(0, len(leftovers), self.max_batch_size):
             chunk = leftovers[chunk_start : chunk_start + self.max_batch_size]
-            try:
-                results = await loop.run_in_executor(
-                    self._executor, self._solve_batch, chunk, time.time(), 0.0
-                )
-            except BaseException as exc:  # noqa: BLE001
-                for pending in chunk:
-                    if not pending.future.done():
-                        pending.future.set_exception(exc)
-            else:
-                for pending, outcome in zip(chunk, results):
-                    if pending.future.done():
-                        continue
-                    if isinstance(outcome, BaseException):
-                        pending.future.set_exception(outcome)
-                    else:
-                        pending.future.set_result(outcome)
+            await self._dispatch(chunk, time.time(), 0.0, False)
         self._depth_gauge.set(self._queue.qsize())
 
     # ------------------------------------------------------------------ #
-    # the solver (runs on the dedicated worker thread)
+    # dispatch to the runtime
     # ------------------------------------------------------------------ #
 
-    def _solve_batch(
+    async def _dispatch(
         self,
-        batch: Sequence[_Pending],
+        batch: List[_Pending],
         assemble_unix: float,
         assembled_s: float,
-    ) -> List[Any]:
-        """Solve one assembled batch; returns per-point floats (or the
-        exception that point's group raised, position-matched)."""
+        closed_early: bool,
+    ) -> None:
+        """Hand one assembled batch to the runtime and fan results out."""
+        tasks = [pending.task for pending in batch]
         solve_t0 = time.monotonic()
-        # Grouping includes the (hashable, frozen) solve options: points
-        # asking for different backends or tolerances never share a
-        # stacked solve.
-        groups: Dict[Tuple[str, str, SolveOptions], List[int]] = {}
-        for i, pending in enumerate(batch):
-            groups.setdefault(
-                (pending.method, pending.spec_hash, pending.options), []
-            ).append(i)
-        results: List[Any] = [None] * len(batch)
-        with obs.span(
-            "serve.batch", size=len(batch), groups=len(groups)
-        ) as batch_span:
-            if obs.tracing_active():
-                dequeued = time.time()
-                synthetic = [
-                    synth_span(
-                        "serve.batch.assemble",
-                        assemble_unix,
-                        assembled_s,
-                        points=len(batch),
-                    )
-                ]
-                synthetic.extend(
-                    synth_span(
-                        "serve.queue.wait",
-                        p.enqueued_unix,
-                        dequeued - p.enqueued_unix,
-                        config=p.config.key,
-                    )
-                    for p in batch
-                )
-                obs.adopt_spans(synthetic, batch_span.span_id)
-            for (method, spec_hash, options), members in groups.items():
-                try:
-                    if method == "analytic":
-                        compiled = None
-                        envs = []
-                        for i in members:
-                            c, env = prepare_point(
-                                batch[i].config,
-                                batch[i].params,
-                                self.ctx,
-                                options.rates_method,
-                            )
-                            compiled = c
-                            envs.append(env)
-                        with obs.span(
-                            "serve.batch.solve",
-                            method=method,
-                            spec=spec_hash[:12],
-                            points=len(members),
-                        ):
-                            solved = solve_grouped(compiled, envs, options)
-                    else:
-                        cf_options = (
-                            options
-                            if options.backend == "closed_form"
-                            else options.replace(backend="closed_form")
-                        )
-                        with obs.span(
-                            "serve.batch.solve",
-                            method=method,
-                            points=len(members),
-                        ):
-                            solved = list(
-                                _core_solve(
-                                    SolveRequest(
-                                        closed_form=lambda members=members: [
-                                            closed_form_mttdl(
-                                                batch[i].config,
-                                                batch[i].params,
-                                                self.ctx,
-                                            )
-                                            for i in members
-                                        ],
-                                        query="mttdl",
-                                        options=cf_options,
-                                    )
-                                ).values
-                            )
-                except Exception as exc:  # noqa: BLE001 - per-group isolation
-                    for i in members:
-                        results[i] = exc
-                else:
-                    for i, mttdl in zip(members, solved):
-                        results[i] = mttdl
-        now = time.monotonic()
         for pending in batch:
-            self._queue_wait.observe(solve_t0 - pending.enqueued_mono)
+            self._queue_wait.observe(solve_t0 - pending.task.enqueued_mono)
+        try:
+            outcomes, stats = await self._runtime.asubmit(
+                (tasks, assemble_unix, assembled_s), shard=self._shard
+            )
+        except BaseException as exc:  # noqa: BLE001 - fanned out below
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        solve_wall = time.monotonic() - solve_t0
+        if self._solve_ewma is None:
+            self._solve_ewma = solve_wall
+        else:
+            self._solve_ewma = (
+                _EWMA_KEEP * self._solve_ewma + (1.0 - _EWMA_KEEP) * solve_wall
+            )
+        groups = len({(t.method, t.spec_hash, t.options) for t in tasks})
         self._batches.inc()
         self._points.inc(len(batch))
         self._batch_size.observe(len(batch))
-        self._batch_groups.observe(len(groups))
+        self._batch_groups.observe(groups)
         self._batch_assemble.observe(assembled_s)
-        self._batch_solve.observe(now - solve_t0)
-        return results
+        self._batch_solve.observe(solve_wall)
+        if closed_early:
+            self._closed_early.inc()
+        hits = stats.get("cache_hits", 0)
+        misses = stats.get("cache_misses", 0)
+        if hits:
+            self._worker_cache_hits.inc(hits)
+        if misses:
+            self._worker_cache_misses.inc(misses)
+        if self._shard_batches is not None:
+            self._shard_batches.inc()
+            self._shard_batch_size.observe(len(batch))
+        for pending, outcome in zip(batch, outcomes):
+            if pending.future.done():
+                continue
+            if isinstance(outcome, BaseException):
+                pending.future.set_exception(outcome)
+            else:
+                pending.future.set_result(outcome)

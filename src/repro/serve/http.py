@@ -31,6 +31,7 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from .. import obs
+from ..runtime import WorkerCrashed
 from .batcher import Overloaded, synth_span
 from .protocol import ProtocolError, parse_evaluate_body, parse_sweep_body
 from .service import ReliabilityService, ServeConfig
@@ -251,6 +252,18 @@ class HttpServer:
             payload = {
                 "error": str(exc),
                 "retry_after_s": exc.retry_after_s,
+            }
+        except WorkerCrashed as exc:
+            # A shard worker died with this request in flight; the
+            # runtime is already restarting it — the request is cleanly
+            # retryable, so answer 503 + Retry-After rather than 500.
+            logger.warning("shard worker crashed serving %s: %s", request.path, exc)
+            status = 503
+            retry = max(1, round(self.service.config.retry_after_s))
+            headers["Retry-After"] = str(retry)
+            payload = {
+                "error": f"shard worker crashed; retry: {exc}",
+                "retry_after_s": self.service.config.retry_after_s,
             }
         except Exception as exc:  # noqa: BLE001 - the 500 boundary
             logger.exception("unhandled error serving %s", request.path)

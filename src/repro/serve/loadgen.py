@@ -1,20 +1,33 @@
 """``repro-loadgen`` — an open-loop HTTP load generator for repro-serve.
 
 Open-loop means send times are fixed by the target rate before any
-response arrives: request *i* departs at ``t0 + i / rps`` whether or not
-earlier requests have finished.  That is the arrival model that actually
-stresses admission control — a closed loop slows itself down exactly
-when the server struggles, hiding overload — so shed rates and tail
-latencies measured here mean what they appear to mean.
+response arrives: request *i* departs at ``t0 + offset[i]`` whether or
+not earlier requests have finished.  That is the arrival model that
+actually stresses admission control — a closed loop slows itself down
+exactly when the server struggles, hiding overload — so shed rates and
+tail latencies measured here mean what they appear to mean.
 
 The request mix is seeded and reproducible: a :class:`RequestMix` draws
 (configuration, method, one parameter override) per request from a
 ``random.Random(seed)``, so two runs against the same server hit the
 same key sequence (and therefore the same cache behavior).
 
-The report carries p50/p95/p99 latency, achieved throughput, and a
-status histogram; :func:`run_loadgen` returns it for in-process callers
-(tests, the smoke check, benchmarks) and ``main`` prints it.
+Traffic shapes generalize the arrival process and the key skew beyond
+the uniform default.  A :class:`TrafficShape` owns both the arrival
+offsets and the request-mix factory, so a shape is one seeded object:
+
+* ``uniform`` — evenly spaced arrivals, uniform key mix (the default);
+* ``diurnal`` — a sinusoidal rate ramp (a day/night cycle compressed
+  into the run), arrivals placed by inverting the cumulative rate;
+* ``bursty`` — on/off square-wave bursts with the on-rate scaled up so
+  the average rate still matches the target;
+* ``hotkey`` — uniform arrivals but a Zipf-skewed key mix, the shape
+  that rewards shard-local caching.
+
+The report carries p50/p95/p99 latency, achieved throughput, a status
+histogram and the shape name; :func:`run_loadgen` returns it for
+in-process callers (tests, the smoke check, benchmarks) and ``main``
+prints it.
 """
 
 from __future__ import annotations
@@ -22,6 +35,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import math
 import random
 import sys
 import time
@@ -29,11 +43,17 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "BurstyShape",
+    "DiurnalShape",
+    "HotKeyShape",
     "LoadReport",
     "RequestMix",
+    "TrafficShape",
+    "ZipfRequestMix",
     "main",
     "percentile",
     "run_loadgen",
+    "shape_by_name",
 ]
 
 #: The nine standard configuration keys (3 internal-RAID levels x 3
@@ -97,12 +117,181 @@ class RequestMix:
         }
 
 
+class ZipfRequestMix(RequestMix):
+    """A request mix whose (config, value) popularity follows a Zipf law.
+
+    Rank *r* (0-based) of the ``configs x values`` key space carries
+    weight ``1 / (r + 1) ** skew``, so a handful of hot keys dominate —
+    the access pattern real caches live under.  Methods stay uniform.
+    The hot-key order is itself a seeded shuffle, so the hottest key is
+    not always ``configs[0]`` but is stable for a given seed.
+    """
+
+    def __init__(self, seed: int = 0, *, skew: float = 1.2, **kwargs: Any) -> None:
+        super().__init__(seed, **kwargs)
+        if skew <= 0:
+            raise ValueError("skew must be positive")
+        self.skew = skew
+        keys = [(c, v) for c in self.configs for v in self.values]
+        order_rng = random.Random(seed ^ 0x5A1F)
+        order_rng.shuffle(keys)
+        self._keys = keys
+        self._weights = [1.0 / (r + 1) ** skew for r in range(len(keys))]
+
+    def body(self) -> Dict[str, Any]:
+        rng = self._rng
+        config, value = rng.choices(self._keys, weights=self._weights, k=1)[0]
+        return {
+            "config": config,
+            "method": rng.choice(self.methods),
+            "params": {self.axis: value},
+        }
+
+
+class TrafficShape:
+    """A named, seeded traffic pattern: arrival times plus key mix.
+
+    The base class is the ``uniform`` shape — evenly spaced arrivals and
+    the plain :class:`RequestMix`.  Subclasses override
+    :meth:`arrival_offsets` (when the *rate* varies over the run) or
+    :meth:`request_mix` (when the *keys* are skewed), or both.  All
+    shapes send ``max(1, int(rps * duration_s))`` requests total, so the
+    average rate always matches the target.
+    """
+
+    name = "uniform"
+
+    def arrival_offsets(self, rps: float, duration_s: float) -> List[float]:
+        """Send offsets (seconds from start), sorted ascending."""
+        total = max(1, int(rps * duration_s))
+        return [i / rps for i in range(total)]
+
+    def request_mix(self, seed: int) -> RequestMix:
+        return RequestMix(seed)
+
+
+class DiurnalShape(TrafficShape):
+    """A sinusoidal rate ramp: ``rate(t) = rps * (1 - amp * cos(w t))``.
+
+    One full period spans ``duration_s / periods`` — a day/night cycle
+    compressed into the run, starting at the trough.  Arrival *k* is
+    placed where the cumulative rate
+    ``R(t) = rps * (t - amp * sin(w t) / w)`` reaches *k*, found by
+    bisection (R is strictly increasing for amp < 1).
+    """
+
+    name = "diurnal"
+
+    def __init__(self, *, amplitude: float = 0.8, periods: int = 1) -> None:
+        if not 0 < amplitude < 1:
+            raise ValueError("amplitude must be in (0, 1)")
+        if periods < 1:
+            raise ValueError("periods must be >= 1")
+        self.amplitude = amplitude
+        self.periods = periods
+
+    def arrival_offsets(self, rps: float, duration_s: float) -> List[float]:
+        total = max(1, int(rps * duration_s))
+        amp = self.amplitude
+        omega = 2.0 * math.pi * self.periods / duration_s
+
+        def cumulative(t: float) -> float:
+            return rps * (t - amp * math.sin(omega * t) / omega)
+
+        offsets: List[float] = []
+        lo = 0.0
+        for k in range(total):
+            target = float(k)
+            a, b = lo, duration_s
+            for _ in range(48):  # ~fs resolution over a seconds-long run
+                mid = 0.5 * (a + b)
+                if cumulative(mid) < target:
+                    a = mid
+                else:
+                    b = mid
+            offsets.append(b)
+            lo = b  # arrivals are monotone; resume bisection from here
+        return offsets
+
+
+class BurstyShape(TrafficShape):
+    """An on/off square wave: bursts at an elevated rate, then silence.
+
+    The on-rate is scaled by ``(on + off) / on`` so the run still sends
+    ``rps * duration_s`` requests on average — the bursts are a pure
+    redistribution of the same load into pulses.
+    """
+
+    name = "bursty"
+
+    def __init__(self, *, on_s: float = 0.5, off_s: float = 0.5) -> None:
+        if on_s <= 0 or off_s < 0:
+            raise ValueError("on_s must be positive and off_s non-negative")
+        self.on_s = on_s
+        self.off_s = off_s
+
+    def arrival_offsets(self, rps: float, duration_s: float) -> List[float]:
+        total = max(1, int(rps * duration_s))
+        cycle = self.on_s + self.off_s
+        burst_rate = rps * cycle / self.on_s
+        offsets: List[float] = []
+        window_start = 0.0
+        while len(offsets) < total and window_start < duration_s:
+            per_window = max(1, int(burst_rate * self.on_s))
+            for j in range(per_window):
+                if len(offsets) >= total:
+                    break
+                t = window_start + j / burst_rate
+                if t >= duration_s:
+                    break
+                offsets.append(t)
+            window_start += cycle
+        # Rounding can undershoot; top up at the tail inside the run.
+        while len(offsets) < total:
+            offsets.append(offsets[-1] if offsets else 0.0)
+        return offsets
+
+
+class HotKeyShape(TrafficShape):
+    """Uniform arrivals, Zipf-skewed keys — the cache-locality shape."""
+
+    name = "hotkey"
+
+    def __init__(self, *, skew: float = 1.2) -> None:
+        if skew <= 0:
+            raise ValueError("skew must be positive")
+        self.skew = skew
+
+    def request_mix(self, seed: int) -> RequestMix:
+        return ZipfRequestMix(seed, skew=self.skew)
+
+
+_SHAPES = {
+    "uniform": TrafficShape,
+    "diurnal": DiurnalShape,
+    "bursty": BurstyShape,
+    "hotkey": HotKeyShape,
+}
+
+
+def shape_by_name(name: str) -> TrafficShape:
+    """Instantiate a traffic shape by its registered name."""
+    try:
+        cls = _SHAPES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic shape {name!r}; choose from {sorted(_SHAPES)}"
+        ) from None
+    return cls()
+
+
 @dataclass
 class LoadReport:
     """Everything one load-generation run measured."""
 
     target_rps: float
     duration_s: float
+    shape: str = "uniform"
     sent: int = 0
     statuses: Dict[int, int] = field(default_factory=dict)
     latencies_s: List[float] = field(default_factory=list)
@@ -112,6 +301,12 @@ class LoadReport:
     #: marks a transport failure.  Tests reconcile this against the
     #: server's admission metrics.
     log: List[Tuple[int, float]] = field(default_factory=list)
+    #: Response bodies indexed by *send order*, populated only when
+    #: ``run_loadgen(capture_bodies=True)``: ``bodies[i]`` is the raw
+    #: body of the i-th request sent, or ``None`` on transport failure.
+    #: Send-indexed (``log`` is completion-ordered) so two runs with the
+    #: same seed can be compared request-by-request.
+    bodies: List[Optional[bytes]] = field(default_factory=list)
 
     def record(self, status: int, latency_s: float) -> None:
         self.sent += 1
@@ -150,6 +345,7 @@ class LoadReport:
         return {
             "target_rps": self.target_rps,
             "duration_s": self.duration_s,
+            "shape": self.shape,
             "elapsed_s": round(self.elapsed_s, 3),
             "sent": self.sent,
             "completed": self.completed,
@@ -169,7 +365,7 @@ class LoadReport:
         lines = [
             "loadgen report",
             f"  target rate     {self.target_rps:g} req/s "
-            f"for {self.duration_s:g}s (open loop)",
+            f"for {self.duration_s:g}s (open loop, shape {self.shape})",
             f"  sent/completed  {self.sent}/{self.completed} "
             f"(shed {self.shed}, 5xx {self.server_errors}, "
             f"transport {self.transport_errors})",
@@ -187,6 +383,7 @@ async def _one_request(
     body: Dict[str, Any],
     report: LoadReport,
     timeout_s: float,
+    body_slot: Optional[int] = None,
 ) -> None:
     payload = json.dumps(body).encode("utf-8")
     request = (
@@ -215,6 +412,9 @@ async def _one_request(
     except (OSError, asyncio.TimeoutError, ValueError, IndexError):
         report.record(-1, time.monotonic() - t0)
         return
+    if body_slot is not None:
+        parts = raw.split(b"\r\n\r\n", 1)
+        report.bodies[body_slot] = parts[1] if len(parts) == 2 else b""
     report.record(status, time.monotonic() - t0)
 
 
@@ -226,26 +426,48 @@ async def run_loadgen(
     duration_s: float = 5.0,
     seed: int = 0,
     mix: Optional[RequestMix] = None,
+    shape: Optional[TrafficShape] = None,
     path: str = "/v1/evaluate",
     timeout_s: float = 30.0,
+    capture_bodies: bool = False,
 ) -> LoadReport:
-    """Drive open-loop traffic at ``rps`` for ``duration_s`` seconds."""
+    """Drive open-loop traffic at ``rps`` for ``duration_s`` seconds.
+
+    ``shape`` selects the arrival process and the default key mix; an
+    explicit ``mix`` overrides the shape's mix (arrivals still follow
+    the shape).  ``capture_bodies`` stores each response body in
+    ``report.bodies`` indexed by send order, for request-by-request
+    comparison of two seeded runs.
+    """
     if rps <= 0:
         raise ValueError("rps must be positive")
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
-    mix = mix if mix is not None else RequestMix(seed)
-    report = LoadReport(target_rps=rps, duration_s=duration_s)
-    total = max(1, int(rps * duration_s))
+    shape = shape if shape is not None else TrafficShape()
+    mix = mix if mix is not None else shape.request_mix(seed)
+    offsets = shape.arrival_offsets(rps, duration_s)
+    report = LoadReport(
+        target_rps=rps, duration_s=duration_s, shape=shape.name
+    )
+    if capture_bodies:
+        report.bodies = [None] * len(offsets)
     t0 = time.monotonic()
     tasks = []
-    for i in range(total):
-        delay = t0 + i / rps - time.monotonic()
+    for i, offset in enumerate(offsets):
+        delay = t0 + offset - time.monotonic()
         if delay > 0:
             await asyncio.sleep(delay)
         tasks.append(
             asyncio.ensure_future(
-                _one_request(host, port, path, mix.body(), report, timeout_s)
+                _one_request(
+                    host,
+                    port,
+                    path,
+                    mix.body(),
+                    report,
+                    timeout_s,
+                    body_slot=i if capture_bodies else None,
+                )
             )
         )
     await asyncio.gather(*tasks)
@@ -270,6 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="request-mix seed"
     )
     parser.add_argument(
+        "--shape",
+        choices=sorted(_SHAPES),
+        default="uniform",
+        help="traffic shape: arrival process and key skew",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -287,6 +515,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rps=args.rps,
             duration_s=args.seconds,
             seed=args.seed,
+            shape=shape_by_name(args.shape),
         )
     )
     print(report.format())

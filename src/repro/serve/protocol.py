@@ -111,6 +111,9 @@ class PointQuery:
         replicas / seed: Monte-Carlo controls (``monte_carlo`` only).
         recovery_hours: when set, the response also carries the
             steady-state availability profile at this restore time.
+        deadline_ms: the requester's latency budget; the batcher closes
+            batches early rather than blow it.  Excluded from the cache
+            key — a deadline changes scheduling, never the answer.
     """
 
     config: Configuration
@@ -120,6 +123,7 @@ class PointQuery:
     replicas: int = 200
     seed: int = 0
     recovery_hours: Optional[float] = None
+    deadline_ms: Optional[float] = None
 
     def cache_key(self) -> str:
         """The stable result-cache key for this query — the engine's
@@ -145,6 +149,7 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
         "replicas",
         "seed",
         "availability",
+        "deadline_ms",
     }
     _require(not unknown, f"unknown point field(s): {sorted(unknown)}")
     key = obj.get("config")
@@ -209,6 +214,16 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
             method != "monte_carlo",
             "availability is defined for the chain methods, not monte_carlo",
         )
+    deadline_ms: Optional[float] = None
+    raw_deadline = obj.get("deadline_ms")
+    if raw_deadline is not None:
+        _require(
+            isinstance(raw_deadline, (int, float))
+            and not isinstance(raw_deadline, bool)
+            and raw_deadline > 0,
+            '"deadline_ms" must be a positive number',
+        )
+        deadline_ms = float(raw_deadline)
     return PointQuery(
         config=config,
         params=params,
@@ -217,6 +232,7 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
         replicas=replicas,
         seed=seed,
         recovery_hours=recovery_hours,
+        deadline_ms=deadline_ms,
     )
 
 

@@ -1,16 +1,29 @@
-"""The reliability-query service: cache, coalescing, admission control.
+"""The reliability-query service: cache, coalescing, admission, sharding.
 
 :class:`ReliabilityService` is the protocol-agnostic core behind the
 HTTP front end (and behind in-process callers like the benchmark
-harness).  A point query flows through three layers, cheapest first:
+harness).  A point query flows through the layers cheapest first:
 
 1. the TTL'd LRU **result cache**, keyed by the engine's stable
-   config+params hash — a hit costs a dict copy;
+   config+params hash — a hit costs a dict copy (single-process mode;
+   in sharded mode caching moves into the workers, see below);
 2. the **in-flight table** — a second request for a key already being
    solved awaits the first one's future instead of solving again;
 3. the **coalescing batcher** — admitted points group by spec hash and
    solve as one stacked GTH elimination
-   (:class:`~repro.serve.batcher.CoalescingBatcher`).
+   (:class:`~repro.serve.batcher.CoalescingBatcher`) on the runtime.
+
+With ``workers=N`` (N > 0) the service runs the sharded topology: one
+:class:`repro.runtime.ProcessTopology` of N forked solver workers, one
+batcher per shard, and every point routed by its spec hash
+(:func:`repro.serve.shard.shard_index`) to the worker that owns its
+chain family's compiled spec and shard-local TTL cache — hot keys stay
+cache-local to one process.  The front-end result cache is disabled in
+this mode (the shard caches own TTL semantics); in-flight coalescing
+still applies.  Workers that crash are restarted by the runtime;
+requests in flight on the dead worker fail with
+:class:`~repro.runtime.WorkerCrashed`, which the HTTP layer answers with
+``503 Retry-After``.
 
 Monte-Carlo points, availability profiles and axis sweeps do not batch
 (their cost profile is different); they run on a single auxiliary worker
@@ -25,8 +38,8 @@ same floats are computed, never *how*.
 from __future__ import annotations
 
 import asyncio
+import functools
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
@@ -35,8 +48,11 @@ from ..engine.sweep import Axis, SweepEngine
 from ..models.availability import AvailabilityModel
 from ..models.metrics import ReliabilityResult
 from ..models.parameters import Parameters
+from ..runtime import ProcessTopology, ThreadTopology
 from .batcher import CoalescingBatcher, Overloaded
 from .protocol import PointQuery, SweepQuery, point_response
+from .shard import shard_index
+from .solvecore import make_state, solve_handler
 from .ttl_cache import TTLCache
 
 __all__ = ["ReliabilityService", "ServeConfig"]
@@ -51,13 +67,23 @@ class ServeConfig:
         max_batch_size: close a solve batch at this many points.
         max_wait_us: close a solve batch this many microseconds after its
             first point arrived — the latency traded for throughput.
-        queue_depth: admission bound on queued (un-batched) points;
-            beyond it, requests shed with 429.
+        queue_depth: admission bound on queued (un-batched) points,
+            per batcher (per shard in sharded mode); beyond it, requests
+            shed with 429.
         retry_after_s: the ``Retry-After`` hint sent with a 429.
-        cache_size: result-cache entry cap (0 disables caching).
+        cache_size: result-cache entry cap (0 disables caching).  In
+            sharded mode this sizes each worker's shard-local cache; the
+            front-end cache is off.
         cache_ttl_s: result-cache entry lifetime (None = no expiry).
         aux_depth: admission bound on queued auxiliary work (Monte Carlo,
             availability profiles, sweeps).
+        workers: shard worker processes.  0 (default) keeps the classic
+            single-process topology (solver thread); N > 0 forks N
+            workers and shards points across them by spec hash.
+        deadline_margin_us: safety margin for deadline-aware batch
+            closing (added to the solve-time EWMA).
+        default_deadline_ms: deadline applied to points that do not
+            carry their own ``deadline_ms`` (None = no deadline).
         base_params: baseline :class:`Parameters` that request-level
             overrides apply to (the paper's Section 6 baseline when
             omitted).
@@ -72,6 +98,9 @@ class ServeConfig:
     cache_size: int = 4096
     cache_ttl_s: Optional[float] = 300.0
     aux_depth: int = 8
+    workers: int = 0
+    deadline_margin_us: int = 500
+    default_deadline_ms: Optional[float] = None
     base_params: Optional[Parameters] = field(default=None, repr=False)
 
     def with_overrides(self, **changes: Any) -> "ServeConfig":
@@ -79,8 +108,13 @@ class ServeConfig:
         return replace(self, **changes)
 
 
+def _call_aux(state: None, fn) -> Any:
+    """Aux-lane handler: run the offloaded callable."""
+    return fn()
+
+
 class ReliabilityService:
-    """Answers validated reliability queries; owns cache + batcher.
+    """Answers validated reliability queries; owns cache + batcher(s).
 
     Use as an async context manager (or call :meth:`start` /
     :meth:`stop` explicitly) so the batcher's consumer task exists::
@@ -97,29 +131,50 @@ class ReliabilityService:
         metrics: Optional[obs.Metrics] = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
+        if self.config.workers < 0:
+            raise ValueError("workers must be >= 0")
         self.metrics = metrics if metrics is not None else obs.Metrics()
         self.base_params = (
             self.config.base_params
             if self.config.base_params is not None
             else Parameters.baseline()
         )
+        sharded = self.config.workers > 0
+        # In sharded mode results cache inside the shard workers (that is
+        # the locality the topology buys); the front cache would shadow
+        # them with a second TTL policy.
         self.cache = TTLCache(
-            self.config.cache_size,
+            0 if sharded else self.config.cache_size,
             self.config.cache_ttl_s,
             metrics=self.metrics,
         )
-        self.batcher = CoalescingBatcher(
-            max_batch_size=self.config.max_batch_size,
-            max_wait_us=self.config.max_wait_us,
-            queue_depth=self.config.queue_depth,
-            retry_after_s=self.config.retry_after_s,
-            metrics=self.metrics,
-        )
-        # One worker: sweeps and Monte-Carlo runs share the engine's
+        self.topology: Optional[ProcessTopology] = None
+        if sharded:
+            self.topology = ProcessTopology(
+                solve_handler,
+                size=self.config.workers,
+                worker_state=functools.partial(
+                    make_state,
+                    self.config.cache_size,
+                    self.config.cache_ttl_s,
+                    True,
+                ),
+                restart=True,
+                metrics=self.metrics,
+                name="repro-serve-shard",
+            )
+            self.batchers = [
+                self._make_batcher(runtime=self.topology, shard=i)
+                for i in range(self.config.workers)
+            ]
+        else:
+            self.batchers = [self._make_batcher(runtime=None, shard=None)]
+        # Compatibility alias: the single-process batcher (shard 0's in
+        # sharded mode).
+        self.batcher = self.batchers[0]
+        # One aux worker: sweeps and Monte-Carlo runs share the engine's
         # solve context, which is not re-entrant across threads.
-        self._aux = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-aux"
-        )
+        self._aux = ThreadTopology(_call_aux, size=1, name="repro-serve-aux")
         self._aux_pending = 0
         self._engine = SweepEngine(
             base_params=self.base_params, jobs=1, cache=False
@@ -133,19 +188,43 @@ class ReliabilityService:
         self.started_unix = time.time()
         self.draining = False
 
+    def _make_batcher(
+        self, runtime, shard: Optional[int]
+    ) -> CoalescingBatcher:
+        return CoalescingBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_us=self.config.max_wait_us,
+            queue_depth=self.config.queue_depth,
+            retry_after_s=self.config.retry_after_s,
+            metrics=self.metrics,
+            runtime=runtime,
+            shard=shard,
+            deadline_margin_us=self.config.deadline_margin_us,
+        )
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 
     def start(self) -> None:
-        """Start the batcher on the running event loop."""
-        self.batcher.start()
+        """Start the topology and batcher(s) on the running event loop."""
+        if self.topology is not None:
+            self.topology.start()
+        self._aux.start()
+        for batcher in self.batchers:
+            batcher.start()
 
     async def stop(self) -> None:
         """Drain: answer everything admitted, then stop the workers."""
         self.draining = True
-        await self.batcher.stop()
-        self._aux.shutdown(wait=True)
+        for batcher in self.batchers:
+            await batcher.stop()
+        if self.topology is not None:
+            # Joining worker processes blocks; keep it off the loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.topology.stop
+            )
+        self._aux.stop(drain=True)
 
     async def __aenter__(self) -> "ReliabilityService":
         self.start()
@@ -201,7 +280,7 @@ class ReliabilityService:
         )
         self._inflight[key] = future
         try:
-            response = await self._compute_point(query)
+            response = await self._compute_point(query, key)
         except BaseException as exc:
             future.set_exception(exc)
             future.exception()  # consumed: no zero-waiter warning
@@ -213,12 +292,34 @@ class ReliabilityService:
         finally:
             self._inflight.pop(key, None)
 
-    async def _compute_point(self, query: PointQuery) -> Dict[str, Any]:
+    def _route(self, query: PointQuery) -> CoalescingBatcher:
+        """The batcher owning this query's shard (trivial when unsharded)."""
+        if len(self.batchers) == 1:
+            return self.batchers[0]
+        return self.batchers[
+            shard_index(query.config.key, query.method, len(self.batchers))
+        ]
+
+    async def _compute_point(
+        self, query: PointQuery, key: str
+    ) -> Dict[str, Any]:
         if query.method == "monte_carlo":
             result = await self._offload(lambda: self._monte_carlo(query))
         else:
-            mttdl = await self.batcher.submit(
-                query.config, query.params, query.method, query.options
+            deadline_ms = (
+                query.deadline_ms
+                if query.deadline_ms is not None
+                else self.config.default_deadline_ms
+            )
+            mttdl = await self._route(query).submit(
+                query.config,
+                query.params,
+                query.method,
+                query.options,
+                deadline_s=(
+                    deadline_ms / 1e3 if deadline_ms is not None else None
+                ),
+                cache_key=key if self.topology is not None else None,
             )
             result = ReliabilityResult.from_mttdl(mttdl, query.params)
         availability = None
@@ -310,9 +411,7 @@ class ReliabilityService:
         self._aux_pending += 1
         self._aux_gauge.set(self._aux_pending)
         try:
-            return await asyncio.get_running_loop().run_in_executor(
-                self._aux, fn
-            )
+            return await self._aux.asubmit(fn)
         finally:
             self._aux_pending -= 1
             self._aux_gauge.set(self._aux_pending)
@@ -323,13 +422,25 @@ class ReliabilityService:
 
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` payload."""
-        return {
+        payload = {
             "status": "draining" if self.draining else "ok",
             "uptime_s": round(time.time() - self.started_unix, 3),
-            "queue_depth": self.batcher.depth,
+            "queue_depth": sum(b.depth for b in self.batchers),
             "inflight": len(self._inflight),
             "cache_entries": len(self.cache),
         }
+        if self.topology is not None:
+            payload["workers"] = [
+                {
+                    "index": info.index,
+                    "pid": info.pid,
+                    "alive": info.alive,
+                    "restarts": info.restarts,
+                    "pending": info.pending,
+                }
+                for info in self.topology.health()
+            ]
+        return payload
 
     def metricsz(self) -> Dict[str, Any]:
         """The ``/metricsz`` payload: the service registry folded with

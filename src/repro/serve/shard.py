@@ -1,0 +1,36 @@
+"""Spec-hash shard routing for the multi-process serve topology.
+
+A sharded server runs N forked solver workers; every point query is
+routed to exactly one of them by its model's content address, so each
+worker only ever compiles (and caches) its own slice of the spec space:
+
+* ``analytic`` points route on ``spec_for_key(config).spec_hash`` — the
+  same content address the compiled-spec cache uses, so all points of a
+  chain family land on the worker holding that family's compiled chain;
+* other methods (today ``closed_form``) have no compiled spec, so they
+  route on a stable digest of the config key — deterministic, and spread
+  across workers.
+
+Routing is pure arithmetic on strings available at admission time: the
+front end never compiles anything.  The nine standard configurations
+cover every residue at four shards for both routes, so a 4-worker server
+exercises all of its workers under the standard loadgen mixes.
+"""
+
+from __future__ import annotations
+
+from ..engine.keys import stable_digest
+from ..models.specs import spec_for_key
+
+__all__ = ["shard_index"]
+
+
+def shard_index(config_key: str, method: str, num_shards: int) -> int:
+    """The worker index serving ``(config_key, method)`` points."""
+    if num_shards <= 1:
+        return 0
+    if method == "analytic":
+        digest = spec_for_key(config_key).spec_hash
+    else:
+        digest = stable_digest(["serve-shard", config_key])
+    return int(digest[:12], 16) % num_shards

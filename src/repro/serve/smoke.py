@@ -1,4 +1,4 @@
-"""The serve smoke check (CI's ``serve-smoke`` job).
+"""The serve smoke check (CI's ``serve-smoke`` / ``serve-shard-smoke`` jobs).
 
 ``python -m repro.serve.smoke`` starts ``repro-serve`` on an ephemeral
 port with tracing enabled, drives it with the open-loop load generator
@@ -11,6 +11,13 @@ the things that must hold for the service to be considered alive:
 * every HTTP span count reconciles with the loadgen's request log;
 * the emitted JSONL trace passes :func:`repro.obs.validate_trace` and
   contains the ``serve.request`` / ``serve.batch`` span taxonomy.
+
+With ``--workers N`` the server runs the sharded multi-process topology
+and the check additionally asserts that every shard solved at least one
+batch (its ``serve.shard.<i>.batch.size`` histogram is non-empty) and
+that no shard worker crashed or restarted during the run.  ``--shape``
+selects a loadgen traffic shape (``uniform`` / ``diurnal`` / ``bursty``
+/ ``hotkey``).
 
 Exit status 0 means all checks passed; the trace and metrics files are
 left behind as CI artifacts.
@@ -25,21 +32,31 @@ from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
 from .http import serving
-from .loadgen import LoadReport, run_loadgen
+from .loadgen import LoadReport, TrafficShape, run_loadgen, shape_by_name
 from .service import ServeConfig
 
 __all__ = ["main", "run_smoke"]
 
 
 async def _drive(
-    config: ServeConfig, rps: float, seconds: float, seed: int
-) -> Tuple[LoadReport, obs.Metrics]:
+    config: ServeConfig,
+    rps: float,
+    seconds: float,
+    seed: int,
+    shape: Optional[TrafficShape],
+) -> Tuple[LoadReport, obs.Metrics, List[dict]]:
     async with serving(config) as server:
         report = await run_loadgen(
-            server.host, server.port, rps=rps, duration_s=seconds, seed=seed
+            server.host,
+            server.port,
+            rps=rps,
+            duration_s=seconds,
+            seed=seed,
+            shape=shape,
         )
+        workers = server.service.health().get("workers", [])
         metrics = obs.Metrics.merged([server.service.metrics])
-    return report, metrics
+    return report, metrics, workers
 
 
 def run_smoke(
@@ -47,16 +64,20 @@ def run_smoke(
     rps: float = 30.0,
     seconds: float = 5.0,
     seed: int = 0,
+    workers: int = 0,
+    shape: str = "uniform",
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
 ) -> Tuple[LoadReport, obs.Metrics, List[str]]:
     """Run the smoke scenario; returns (report, metrics, failures)."""
-    config = ServeConfig(port=0)
+    config = ServeConfig(port=0, workers=workers)
     session = obs.trace(
         trace_path, metrics_path=metrics_path, root="repro-serve"
     )
     with session as active:
-        report, metrics = asyncio.run(_drive(config, rps, seconds, seed))
+        report, metrics, worker_health = asyncio.run(
+            _drive(config, rps, seconds, seed, shape_by_name(shape))
+        )
         active.add_metrics_source(lambda: metrics)
 
     failures: List[str] = []
@@ -66,7 +87,7 @@ def run_smoke(
         if not ok:
             failures.append(what)
 
-    check(report.sent > 0, f"sent {report.sent} requests")
+    check(report.sent > 0, f"sent {report.sent} requests (shape {shape})")
     check(
         report.completed == report.sent,
         f"all {report.sent} requests answered 200 "
@@ -98,6 +119,24 @@ def run_smoke(
         f"(admitted {admitted} + cache hits {cache_hits} + "
         f"coalesced {coalesced} + shed {shed} >= {report.sent})",
     )
+    if workers > 0:
+        for i in range(workers):
+            hist = metrics.histogram(f"serve.shard.{i}.batch.size")
+            check(
+                hist.count > 0,
+                f"shard {i} solved batches "
+                f"({hist.count} batches, mean size {hist.mean:.2f})",
+            )
+        restarts = sum(w.get("restarts", 0) for w in worker_health)
+        check(
+            restarts == 0,
+            f"zero shard-worker restarts (got {restarts})",
+        )
+        check(
+            len(worker_health) == workers
+            and all(w.get("alive") for w in worker_health),
+            f"all {workers} shard workers alive at drain",
+        )
     if trace_path:
         try:
             spans = obs.validate_trace(trace_path)
@@ -122,6 +161,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--rps", type=float, default=30.0)
     parser.add_argument("--seconds", type=float, default=5.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard worker processes (0 = single-process topology)",
+    )
+    parser.add_argument(
+        "--shape",
+        default="uniform",
+        help="loadgen traffic shape (uniform/diurnal/bursty/hotkey)",
+    )
     parser.add_argument("--trace", metavar="PATH", default=None)
     parser.add_argument("--metrics", metavar="PATH", default=None)
     args = parser.parse_args(argv)
@@ -129,6 +179,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rps=args.rps,
         seconds=args.seconds,
         seed=args.seed,
+        workers=args.workers,
+        shape=args.shape,
         trace_path=args.trace,
         metrics_path=args.metrics,
     )

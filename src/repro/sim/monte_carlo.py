@@ -17,7 +17,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from .. import obs
-from ..engine.pool import run_chunks, split_chunks
+from ..runtime import run_chunks, split_chunks
 from ..models.configurations import Configuration
 from ..models.parameters import Parameters
 from ..models.raid import InternalRaid
@@ -125,20 +125,14 @@ def _run_replica(
 def _run_replica_chunk(
     tasks: List[Tuple[Configuration, Parameters, int, int, str, int]],
 ) -> List[Tuple[float, str]]:
-    """Process-pool entry point: run a contiguous block of replicas."""
-    return [_run_replica(task) for task in tasks]
+    """Pool-worker entry point: run a contiguous block of replicas.
 
-
-def _run_replica_chunk_traced(
-    tasks: List[Tuple[Configuration, Parameters, int, int, str, int]],
-) -> Tuple[List[Tuple[float, str]], List[dict]]:
-    """Traced pool entry point: run a replica block under a local tracer
-    and ship the finished spans back for re-parenting (same protocol as
-    the sweep engine's traced workers)."""
-    with obs.capture_spans() as shipped:
-        with obs.span("sim.replica_chunk", replicas=len(tasks)):
-            samples = [_run_replica(task) for task in tasks]
-    return samples, shipped
+    The runtime ships worker spans back and re-parents them under the
+    caller's span automatically, so the chunk span here covers both the
+    pooled and the in-process path (and is free when tracing is off).
+    """
+    with obs.span("sim.replica_chunk", replicas=len(tasks)):
+        return [_run_replica(task) for task in tasks]
 
 
 def estimate_mttdl(
@@ -177,17 +171,8 @@ def estimate_mttdl(
         "sim.estimate_mttdl", config=config.key, replicas=replicas, jobs=jobs
     ):
         chunks = split_chunks(tasks, max(1, jobs))
-        traced = obs.tracing_active()
         with obs.span("sim.replicas", chunks=len(chunks)):
-            if traced:
-                outputs = []
-                for samples, spans in run_chunks(
-                    _run_replica_chunk_traced, chunks, max(1, jobs)
-                ):
-                    obs.adopt_spans(spans)
-                    outputs.append(samples)
-            else:
-                outputs = run_chunks(_run_replica_chunk, chunks, max(1, jobs))
+            outputs = run_chunks(_run_replica_chunk, chunks, max(1, jobs))
         times = np.empty(replicas)
         causes: dict = {}
         loss_hist = obs.global_metrics().histogram("sim.loss_hours")

@@ -16,8 +16,8 @@ import pytest
 
 import repro
 from repro import obs
-from repro.engine.pool import should_pool
 from repro.engine.sweep import SweepEngine
+from repro.runtime import should_pool
 from repro.obs.tracer import Tracer
 
 
@@ -111,11 +111,11 @@ class TestSpanTrees:
         """Even on a single-CPU host: force the pool on and check that
         worker spans cross the process boundary and re-parent correctly,
         with results bitwise equal to the serial run."""
-        import repro.engine.pool as pool_mod
         import repro.engine.sweep as sweep_mod
+        import repro.runtime.chunks as chunks_mod
 
         forced = lambda jobs, total: jobs > 1 and total >= 8  # noqa: E731
-        monkeypatch.setattr(pool_mod, "should_pool", forced)
+        monkeypatch.setattr(chunks_mod, "should_pool", forced)
         monkeypatch.setattr(sweep_mod, "should_pool", forced)
 
         serial, serial_spans = run_engine(jobs=1, traced=True)

@@ -1,9 +1,14 @@
-"""Chunking and pool-gating logic of the fan-out layer."""
+"""Chunking and pool-gating logic of the runtime fan-out layer."""
 
 import os
 
-from repro.engine import default_jobs, should_pool, split_chunks
-from repro.engine.pool import MIN_TASKS_FOR_POOL, run_chunks
+from repro.runtime import (
+    MIN_TASKS_FOR_POOL,
+    default_jobs,
+    run_chunks,
+    should_pool,
+    split_chunks,
+)
 
 
 def _double_chunk(chunk):
@@ -67,3 +72,19 @@ class TestRunChunks:
         serial = run_chunks(_double_chunk, chunks, jobs=1)
         pooled = run_chunks(_double_chunk, chunks, jobs=4)
         assert pooled == serial
+
+    def test_crashed_chunks_recomputed_in_process(self, monkeypatch):
+        """Workers killed on startup (fork-inherited faultpoint) must not
+        change results: every crashed chunk is recomputed in-process."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        from repro.runtime import faultpoints
+
+        chunks = split_chunks(list(range(16)), 4)
+        serial = run_chunks(_double_chunk, chunks, jobs=1)
+
+        def die():
+            os._exit(23)
+
+        with faultpoints.injected(faultpoints.POOL_WORKER_START, die):
+            recovered = run_chunks(_double_chunk, chunks, jobs=4)
+        assert recovered == serial

@@ -163,9 +163,9 @@ def test_stop_drains_admitted_points(baseline):
 def test_group_failure_is_isolated(baseline, monkeypatch):
     """A solver error poisons only its own spec-hash group; the other
     groups in the same batch still answer."""
-    import repro.serve.batcher as batcher_mod
+    import repro.serve.solvecore as solvecore_mod
 
-    real = batcher_mod.solve_grouped
+    real = solvecore_mod.solve_grouped
     boom = RuntimeError("synthetic solver failure")
 
     def failing(compiled, envs, options=None):
@@ -173,7 +173,7 @@ def test_group_failure_is_isolated(baseline, monkeypatch):
             raise boom
         return real(compiled, envs, options)
 
-    monkeypatch.setattr(batcher_mod, "solve_grouped", failing)
+    monkeypatch.setattr(solvecore_mod, "solve_grouped", failing)
 
     async def drive():
         batcher = CoalescingBatcher(max_batch_size=32, max_wait_us=5000)

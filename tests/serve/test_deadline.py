@@ -1,0 +1,151 @@
+"""Deadline-aware batch closing: the close policy and both close paths."""
+
+import asyncio
+import time
+
+import pytest
+
+import repro
+from repro.models.configurations import Configuration
+from repro.serve.batcher import CoalescingBatcher, batch_close_at
+from repro.serve.protocol import ProtocolError, parse_evaluate_body
+
+pytestmark = pytest.mark.serve
+
+
+class TestBatchCloseAt:
+    def test_no_deadlines_closes_at_nominal(self):
+        t0 = 100.0
+        assert batch_close_at(t0, 0.002, (None, None), 0.001) == t0 + 0.002
+
+    def test_tight_deadline_pulls_the_close_in(self):
+        t0 = 100.0
+        # Deadline 1ms out, margin 0.5ms: close at t0 + 0.5ms, not the
+        # nominal t0 + 2ms.
+        close = batch_close_at(t0, 0.002, (t0 + 0.001, None), 0.0005)
+        assert close == pytest.approx(t0 + 0.0005)
+
+    def test_tightest_member_wins(self):
+        t0 = 100.0
+        deadlines = (t0 + 0.010, t0 + 0.003, t0 + 0.007)
+        close = batch_close_at(t0, 0.020, deadlines, 0.001)
+        assert close == pytest.approx(t0 + 0.002)
+
+    def test_loose_deadline_leaves_nominal_close(self):
+        t0 = 100.0
+        close = batch_close_at(t0, 0.002, (t0 + 1.0,), 0.0005)
+        assert close == t0 + 0.002
+
+    def test_never_before_assembly_start(self):
+        """An already-blown deadline cannot close the batch in the past —
+        the opening point is always accepted."""
+        t0 = 100.0
+        close = batch_close_at(t0, 0.002, (t0 - 5.0,), 0.001)
+        assert close == t0
+
+
+class TestProtocolDeadline:
+    def test_deadline_parses(self, baseline):
+        (query,) = parse_evaluate_body(
+            {"config": "ft1_raid5", "deadline_ms": 25}, baseline
+        )
+        assert query.deadline_ms == 25.0
+
+    def test_deadline_defaults_to_none(self, baseline):
+        (query,) = parse_evaluate_body({"config": "ft1_raid5"}, baseline)
+        assert query.deadline_ms is None
+
+    def test_deadline_excluded_from_cache_key(self, baseline):
+        (plain,) = parse_evaluate_body({"config": "ft1_raid5"}, baseline)
+        (dead,) = parse_evaluate_body(
+            {"config": "ft1_raid5", "deadline_ms": 10}, baseline
+        )
+        assert plain.cache_key() == dead.cache_key()
+
+    @pytest.mark.parametrize("bad", [0, -5, "soon", True])
+    def test_bad_deadline_rejected(self, baseline, bad):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            parse_evaluate_body(
+                {"config": "ft1_raid5", "deadline_ms": bad}, baseline
+            )
+
+
+class TestClosePaths:
+    def test_tight_deadline_closes_early(self, baseline):
+        """A point with a deadline far tighter than max_wait closes its
+        batch on the deadline path, counted by serve.batch.closed_early."""
+
+        async def drive():
+            batcher = CoalescingBatcher(
+                max_batch_size=64, max_wait_us=500_000, deadline_margin_us=500
+            )
+            batcher.start()
+            try:
+                t0 = time.monotonic()
+                mttdl = await batcher.submit(
+                    Configuration.from_key("ft2_raid5"),
+                    baseline,
+                    "analytic",
+                    deadline_s=0.02,
+                )
+                waited = time.monotonic() - t0
+            finally:
+                await batcher.stop()
+            return mttdl, waited, batcher.metrics
+
+        mttdl, waited, metrics = asyncio.run(drive())
+        # Closed on the deadline (~20ms), nowhere near max_wait (500ms).
+        assert waited < 0.25
+        assert metrics.value("serve.batch.closed_early", 0) >= 1
+        direct = repro.evaluate(Configuration.from_key("ft2_raid5"), baseline)
+        assert mttdl == direct.mttdl_hours
+
+    def test_no_deadline_closes_on_nominal_timeout(self, baseline):
+        """Without deadlines the close is the classic max_wait timeout and
+        is not counted as early."""
+
+        async def drive():
+            batcher = CoalescingBatcher(max_batch_size=64, max_wait_us=2_000)
+            batcher.start()
+            try:
+                mttdl = await batcher.submit(
+                    Configuration.from_key("ft1_raid6"), baseline, "analytic"
+                )
+            finally:
+                await batcher.stop()
+            return mttdl, batcher.metrics
+
+        mttdl, metrics = asyncio.run(drive())
+        assert metrics.value("serve.batch.closed_early", 0) == 0
+        assert metrics.value("serve.batches", 0) >= 1
+        direct = repro.evaluate(Configuration.from_key("ft1_raid6"), baseline)
+        assert mttdl == direct.mttdl_hours
+
+    def test_full_batch_is_not_counted_early(self, baseline):
+        """Filling the batch closes it immediately — the size path, not
+        the deadline path."""
+
+        async def drive():
+            batcher = CoalescingBatcher(
+                max_batch_size=2, max_wait_us=500_000, deadline_margin_us=500
+            )
+            batcher.start()
+            try:
+                futures = [
+                    batcher.submit(
+                        Configuration.from_key("ft2_raid5"),
+                        baseline,
+                        "analytic",
+                        deadline_s=10.0,
+                    )
+                    for _ in range(2)
+                ]
+                answers = await asyncio.gather(*futures)
+            finally:
+                await batcher.stop()
+            return answers, batcher.metrics
+
+        answers, metrics = asyncio.run(drive())
+        assert metrics.value("serve.batch.closed_early", 0) == 0
+        direct = repro.evaluate(Configuration.from_key("ft2_raid5"), baseline)
+        assert answers == [direct.mttdl_hours, direct.mttdl_hours]

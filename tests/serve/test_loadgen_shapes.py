@@ -1,0 +1,156 @@
+"""Traffic shapes: seeded determinism and the shape invariants."""
+
+import collections
+
+import pytest
+
+from repro.serve.loadgen import (
+    BurstyShape,
+    DiurnalShape,
+    HotKeyShape,
+    LoadReport,
+    RequestMix,
+    TrafficShape,
+    ZipfRequestMix,
+    shape_by_name,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestShapeRegistry:
+    def test_by_name(self):
+        for name, cls in (
+            ("uniform", TrafficShape),
+            ("diurnal", DiurnalShape),
+            ("bursty", BurstyShape),
+            ("hotkey", HotKeyShape),
+        ):
+            shape = shape_by_name(name)
+            assert type(shape) is cls
+            assert shape.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown traffic shape"):
+            shape_by_name("lunar")
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DiurnalShape(amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalShape(periods=0)
+        with pytest.raises(ValueError):
+            BurstyShape(on_s=0.0)
+        with pytest.raises(ValueError):
+            HotKeyShape(skew=0.0)
+        with pytest.raises(ValueError):
+            ZipfRequestMix(skew=-1.0)
+
+
+class TestArrivalOffsets:
+    def test_uniform_evenly_spaced(self):
+        offsets = TrafficShape().arrival_offsets(10.0, 2.0)
+        assert len(offsets) == 20
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+    def test_all_shapes_preserve_count_and_bounds(self):
+        for name in ("uniform", "diurnal", "bursty", "hotkey"):
+            shape = shape_by_name(name)
+            offsets = shape.arrival_offsets(25.0, 4.0)
+            assert len(offsets) == 100, name
+            assert offsets == sorted(offsets), name
+            assert offsets[0] >= 0.0, name
+            assert offsets[-1] <= 4.0 + 1e-9, name
+
+    def test_all_shapes_deterministic(self):
+        for name in ("uniform", "diurnal", "bursty", "hotkey"):
+            a = shape_by_name(name).arrival_offsets(30.0, 3.0)
+            b = shape_by_name(name).arrival_offsets(30.0, 3.0)
+            assert a == b, name
+
+    def test_diurnal_peak_is_denser_than_trough(self):
+        """One period starting at the trough: the middle half of the run
+        (around the rate peak) carries most of the arrivals."""
+        offsets = DiurnalShape(amplitude=0.8).arrival_offsets(50.0, 4.0)
+        middle = sum(1 for t in offsets if 1.0 <= t < 3.0)
+        edges = len(offsets) - middle
+        assert middle > 2 * edges
+
+    def test_diurnal_inverts_the_cumulative_rate(self):
+        """Arrival k sits where the cumulative rate reaches k."""
+        import math
+
+        rps, duration, amp = 20.0, 5.0, 0.6
+        omega = 2.0 * math.pi / duration
+        offsets = DiurnalShape(amplitude=amp).arrival_offsets(rps, duration)
+        for k in (0, 17, 50, 99):
+            t = offsets[k]
+            cumulative = rps * (t - amp * math.sin(omega * t) / omega)
+            assert cumulative == pytest.approx(k, abs=1e-6)
+
+    def test_bursty_sends_only_inside_on_windows(self):
+        shape = BurstyShape(on_s=0.25, off_s=0.75)
+        offsets = shape.arrival_offsets(20.0, 4.0)
+        assert len(offsets) == 80
+        for t in offsets:
+            phase = t % 1.0
+            assert phase < 0.25 + 1e-9, t
+
+    def test_bursty_on_rate_is_elevated(self):
+        """Inside a burst the instantaneous rate is (on+off)/on times the
+        average — gaps are 1/burst_rate, not 1/rps."""
+        shape = BurstyShape(on_s=0.5, off_s=0.5)
+        offsets = shape.arrival_offsets(10.0, 2.0)
+        gap = offsets[1] - offsets[0]
+        assert gap == pytest.approx(1.0 / 20.0)
+
+
+class TestZipfMix:
+    def test_same_seed_same_stream(self):
+        a = ZipfRequestMix(3)
+        b = ZipfRequestMix(3)
+        assert [a.body() for _ in range(64)] == [b.body() for _ in range(64)]
+
+    def test_skewed_toward_hot_keys(self):
+        mix = ZipfRequestMix(0, skew=1.2)
+        counts = collections.Counter(
+            (body["config"], tuple(sorted(body["params"].items())))
+            for body in (mix.body() for _ in range(2000))
+        )
+        top = counts.most_common(1)[0][1]
+        # 45 keys: uniform would give ~44 hits to each; Zipf(1.2) gives
+        # the hottest key an order of magnitude more.
+        assert top > 400
+
+    def test_uniform_mix_is_not_skewed(self):
+        mix = RequestMix(0)
+        counts = collections.Counter(
+            (body["config"], tuple(sorted(body["params"].items())))
+            for body in (mix.body() for _ in range(2000))
+        )
+        assert counts.most_common(1)[0][1] < 200
+
+    def test_hot_key_order_depends_on_seed(self):
+        hot = lambda seed: collections.Counter(  # noqa: E731
+            body["config"]
+            for body in (ZipfRequestMix(seed).body() for _ in range(500))
+        ).most_common(1)[0][0]
+        assert len({hot(0), hot(1), hot(2), hot(3)}) > 1
+
+    def test_hotkey_shape_wires_the_mix(self):
+        mix = HotKeyShape(skew=2.0).request_mix(7)
+        assert isinstance(mix, ZipfRequestMix)
+        assert mix.skew == 2.0
+        assert mix.seed == 7
+
+
+class TestReportShape:
+    def test_shape_recorded(self):
+        report = LoadReport(target_rps=10.0, duration_s=1.0, shape="bursty")
+        assert report.to_dict()["shape"] == "bursty"
+        assert "bursty" in report.format()
+
+    def test_default_shape_is_uniform(self):
+        report = LoadReport(target_rps=10.0, duration_s=1.0)
+        assert report.to_dict()["shape"] == "uniform"
