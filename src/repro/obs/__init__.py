@@ -34,20 +34,37 @@ import sys
 from typing import Any, Callable, Dict, List, Optional
 
 from .export import (
+    PROM_CONTENT_TYPE,
+    PromFormatError,
     TRACE_FORMAT_VERSION,
     TraceFormatError,
+    render_prom,
     render_report,
     tree_coverage,
+    validate_prom_text,
     validate_trace,
     write_metrics,
     write_trace,
+)
+from .live import (
+    FlightRecorder,
+    LiveTelemetry,
+    NULL_LIVE,
+    RotatingTraceWriter,
+    SloTracker,
+    TraceCollector,
+    TraceSampler,
 )
 from .metrics import (
     Counter,
     Gauge,
     GLOBAL_METRICS,
     Histogram,
+    LogLinearHistogram,
     Metrics,
+    WINDOWS_S,
+    WindowSummary,
+    WindowedHistogram,
     global_metrics,
 )
 from .reporter import Reporter, reporter, set_reporter
@@ -69,24 +86,38 @@ from .tracer import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "GLOBAL_METRICS",
     "Histogram",
+    "LiveTelemetry",
+    "LogLinearHistogram",
     "Metrics",
+    "NULL_LIVE",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "PROM_CONTENT_TYPE",
+    "PromFormatError",
     "Reporter",
+    "RotatingTraceWriter",
+    "SloTracker",
     "Span",
     "TRACE_FORMAT_VERSION",
+    "TraceCollector",
     "TraceFormatError",
+    "TraceSampler",
     "TraceSession",
     "Tracer",
+    "WINDOWS_S",
+    "WindowSummary",
+    "WindowedHistogram",
     "adopt_spans",
     "capture_spans",
     "current_span_id",
     "current_tracer",
     "global_metrics",
+    "render_prom",
     "render_report",
     "reporter",
     "session_from_env",
@@ -97,6 +128,7 @@ __all__ = [
     "tracing_active",
     "tree_coverage",
     "use_tracer",
+    "validate_prom_text",
     "validate_trace",
     "write_metrics",
     "write_trace",

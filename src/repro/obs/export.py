@@ -21,15 +21,27 @@ the acceptance metric for "the trace explains the run".
 from __future__ import annotations
 
 import json
+import math
+import re
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .metrics import Metrics
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    WindowedHistogram,
+)
 
 __all__ = [
+    "PROM_CONTENT_TYPE",
+    "PromFormatError",
     "TRACE_FORMAT_VERSION",
     "TraceFormatError",
+    "render_prom",
     "render_report",
     "tree_coverage",
+    "validate_prom_text",
     "validate_trace",
     "write_metrics",
     "write_trace",
@@ -164,6 +176,170 @@ def write_metrics(metrics: Metrics, path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(metrics.to_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+
+#: Content type of the text exposition format we emit.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PROM_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The quantile labels windowed instruments export.
+_PROM_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+class PromFormatError(ValueError):
+    """Raised by :func:`validate_prom_text` for malformed exposition."""
+
+
+def _prom_name(name: str) -> str:
+    """A dotted metric name mapped to the prom grammar (dots -> _)."""
+    sanitized = _PROM_BAD_CHARS.sub("_", name)
+    if not sanitized or not _PROM_NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_value(value: Any) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value) if not value.is_integer() else str(int(value))
+
+
+def render_prom(metrics: Metrics) -> str:
+    """The registry in Prometheus text exposition format (v0.0.4).
+
+    Counters map to ``counter``, gauges to ``gauge``, histograms to an
+    untyped summary triple (``_count`` / ``_sum`` / ``_min`` / ``_max``),
+    and windowed instruments export their per-window quantiles as
+    ``{window="10s",quantile="0.99"}`` labelled gauges plus per-window
+    ``_count`` and ``_rate`` series — exactly what ``repro-top`` and the
+    CI scrape consume.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, series: List[Tuple[str, Any]]) -> None:
+        lines.append(f"# HELP {name} repro metric {kind}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in series:
+            lines.append(f"{name}{labels} {_prom_value(value)}")
+
+    for raw_name in metrics.names():
+        instrument = metrics._instruments[raw_name]
+        name = _prom_name(raw_name)
+        if isinstance(instrument, Counter):
+            emit(name, "counter", [("", instrument.value)])
+        elif isinstance(instrument, Gauge):
+            emit(name, "gauge", [("", instrument.value)])
+        elif isinstance(instrument, WindowedHistogram):
+            series: List[Tuple[str, Any]] = []
+            for window, summary in sorted(instrument.windows().items()):
+                label = f'window="{window:g}s"'
+                series.append((f"{{{label}}}", summary.count))
+                for q in _PROM_QUANTILES:
+                    value = summary.quantile(q) if summary.count else 0.0
+                    series.append(
+                        (f'{{{label},quantile="{q:g}"}}', value)
+                    )
+            emit(f"{name}_window", "gauge", series)
+            emit(f"{name}_count", "counter", [("", instrument.count)])
+            emit(f"{name}_sum", "counter", [("", instrument.total)])
+        elif isinstance(instrument, Histogram):
+            emit(f"{name}_count", "counter", [("", instrument.count)])
+            emit(f"{name}_sum", "counter", [("", instrument.total)])
+            if instrument.count:
+                emit(f"{name}_min", "gauge", [("", instrument.min)])
+                emit(f"{name}_max", "gauge", [("", instrument.max)])
+    return "\n".join(lines) + "\n"
+
+
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)"
+    r"( (?P<timestamp>-?\d+))?$"
+)
+_PROM_LABEL = re.compile(
+    r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+)
+_PROM_TYPES = {
+    "counter", "gauge", "histogram", "summary", "untyped",
+}
+
+
+def validate_prom_text(text: str) -> Dict[str, int]:
+    """A tiny exposition-format linter (the CI scrape check).
+
+    Checks every line is a comment, blank, or a well-formed sample;
+    ``# TYPE`` lines declare a known type and precede the samples of
+    their family; sample values parse as floats (or ±Inf/NaN).  Returns
+    ``{family: sample_count}``.
+
+    Raises:
+        PromFormatError: on the first malformed line.
+    """
+    families: Dict[str, int] = {}
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3:
+                    raise PromFormatError(
+                        f"line {lineno}: # {parts[1]} without a metric name"
+                    )
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in _PROM_TYPES:
+                        raise PromFormatError(
+                            f"line {lineno}: unknown TYPE "
+                            f"{parts[3] if len(parts) > 3 else None!r}"
+                        )
+                    typed[parts[2]] = parts[3]
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            raise PromFormatError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        labels = match.group("labels")
+        if labels is not None:
+            inner = labels[1:-1].strip()
+            if inner:
+                for part in inner.split(","):
+                    if not _PROM_LABEL.match(part.strip()):
+                        raise PromFormatError(
+                            f"line {lineno}: malformed label {part!r}"
+                        )
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise PromFormatError(
+                    f"line {lineno}: non-numeric value {value!r}"
+                )
+        # A sample belongs to the longest declared family whose name
+        # prefixes it (histogram/summary samples carry _count/_sum
+        # suffixes); undeclared samples count under their own name.
+        family = ""
+        for declared in typed:
+            if (
+                name == declared or name.startswith(declared + "_")
+            ) and len(declared) > len(family):
+                family = declared
+        family = family or name
+        families[family] = families.get(family, 0) + 1
+    if not families:
+        raise PromFormatError("no samples in exposition")
+    return families
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,638 @@
+"""Live fleet telemetry: SLO burn, trace sampling, flight recording.
+
+:mod:`repro.obs` started as a batch-run profiler — traces and metrics
+written once at process exit.  This module is the serving-side layer on
+top of it: everything a fleet operator needs *while the server is up*.
+
+* :class:`SloTracker` — consumes each request's ``deadline_ms`` outcome
+  and reports good/bad counts plus error-budget burn rate over the
+  standard 1s/10s/60s windows (surfaced in ``/healthz``).
+* :class:`TraceSampler` — a seeded head-based sampler: the keep/drop
+  decision is made once at request arrival, so a kept request yields a
+  complete stitched span tree and a dropped one costs a single RNG draw.
+* :class:`TraceCollector` — gathers the worker-side spans a sampled
+  request produced (shipped back over the shard pipe in the batch
+  reply) and stitches them under the request's root span with fresh
+  span ids, so two sampled requests sharing one batch never collide.
+* :class:`RotatingTraceWriter` — streams stitched trees to a JSONL file
+  with size-based rotation; every rotated file carries its own header
+  and passes :func:`repro.obs.validate_trace` on its own.
+* :class:`FlightRecorder` — a bounded ring of recent request and batch
+  summaries, dumped to disk on ``WorkerCrashed`` or any 5xx so the
+  crash drill leaves an actionable postmortem artifact.
+* :class:`LiveTelemetry` — the bundle the server owns, wiring the above
+  to a :class:`~repro.obs.metrics.Metrics` registry's windowed
+  instruments.  :data:`NULL_LIVE` is the disabled variant: every hook is
+  a no-op, preserving the free-when-off overhead contract.
+
+Windowed instruments live under the ``serve.live.*`` namespace so they
+never collide with the cumulative ``serve.*`` counters and histograms
+that the batch exporter already owns.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import random
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .export import TRACE_FORMAT_VERSION, _jsonable
+from .metrics import WINDOWS_S, Metrics
+
+__all__ = [
+    "FlightRecorder",
+    "LiveTelemetry",
+    "NULL_LIVE",
+    "RotatingTraceWriter",
+    "SloTracker",
+    "TraceCollector",
+    "TraceSampler",
+]
+
+
+# --------------------------------------------------------------------- #
+# SLO tracking
+# --------------------------------------------------------------------- #
+
+
+class SloTracker:
+    """Good/bad request counts and error-budget burn per time window.
+
+    Classification (documented in docs/observability.md):
+
+    * **good** — a 2xx answer delivered inside the request's deadline
+      (or with no deadline declared);
+    * **bad** — a 5xx, a 429 shed, or a 2xx that blew its deadline;
+    * 4xx client errors other than 429 are excluded entirely — a caller
+      sending garbage does not burn the server's budget.
+
+    Burn rate is the usual SRE definition: the fraction of requests that
+    were bad over the window, divided by the error budget ``1 - target``.
+    Burn 1.0 means the budget is being consumed exactly as provisioned;
+    sustained burn above 1.0 means the SLO will be missed.
+
+    Slots align on the wall clock exactly like
+    :class:`~repro.obs.metrics.WindowedHistogram`, so trackers merge by
+    addition if they ever need to.
+    """
+
+    SLOT_S = 0.25
+    _HORIZON_SLOTS = int(max(WINDOWS_S) / SLOT_S) + 1
+
+    __slots__ = ("target", "good", "bad", "_slots", "_clock")
+
+    def __init__(self, target: float = 0.99) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"SLO target {target!r} outside (0, 1)")
+        self.target = target
+        self.good = 0
+        self.bad = 0
+        self._slots: Dict[int, list] = {}  # slot -> [good, bad]
+        self._clock = time.time
+
+    @staticmethod
+    def classify(
+        status: int, wall_s: float, deadline_ms: Optional[float]
+    ) -> Optional[bool]:
+        """True = good, False = bad, None = excluded from the SLO."""
+        if 200 <= status < 300:
+            if deadline_ms is not None and wall_s * 1e3 > deadline_ms:
+                return False
+            return True
+        if status == 429 or status >= 500:
+            return False
+        return None
+
+    def record(
+        self,
+        status: int,
+        wall_s: float,
+        deadline_ms: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Optional[bool]:
+        verdict = self.classify(status, wall_s, deadline_ms)
+        if verdict is None:
+            return None
+        if now is None:
+            now = self._clock()
+        slot_index = int(now / self.SLOT_S)
+        slot = self._slots.get(slot_index)
+        if slot is None:
+            if len(self._slots) > self._HORIZON_SLOTS:
+                floor = slot_index - self._HORIZON_SLOTS
+                for stale in [s for s in self._slots if s < floor]:
+                    del self._slots[stale]
+            slot = self._slots.setdefault(slot_index, [0, 0])
+        if verdict:
+            slot[0] += 1
+            self.good += 1
+        else:
+            slot[1] += 1
+            self.bad += 1
+        return verdict
+
+    def window(
+        self, window_s: float, now: Optional[float] = None
+    ) -> Dict[str, float]:
+        if now is None:
+            now = self._clock()
+        newest = int(now / self.SLOT_S)
+        oldest = newest - int(window_s / self.SLOT_S) + 1
+        good = bad = 0
+        for slot_index, (s_good, s_bad) in self._slots.items():
+            if oldest <= slot_index <= newest:
+                good += s_good
+                bad += s_bad
+        total = good + bad
+        bad_fraction = bad / total if total else 0.0
+        return {
+            "good": good,
+            "bad": bad,
+            "burn_rate": bad_fraction / (1.0 - self.target),
+        }
+
+    def to_dict(
+        self,
+        windows_s: Sequence[float] = WINDOWS_S,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        if now is None:
+            now = self._clock()
+        return {
+            "target": self.target,
+            "good": self.good,
+            "bad": self.bad,
+            "windows": {
+                f"{w:g}s": self.window(w, now=now) for w in windows_s
+            },
+        }
+
+
+# --------------------------------------------------------------------- #
+# trace sampling
+# --------------------------------------------------------------------- #
+
+
+class TraceSampler:
+    """A seeded head-based sampler issuing trace ids.
+
+    The keep/drop decision happens once, at request arrival, from a
+    seeded RNG — so a replayed seeded load samples the *same* requests
+    run over run.  Trace ids are ``"<pid hex>-r<seq>"``: unique within a
+    server process and disjoint from tracer span ids (``<pid>-<seq>``)
+    and synthetic span ids (``<pid>-q<seq>``).
+    """
+
+    __slots__ = ("rate", "_rng", "_seq", "_lock")
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate {rate!r} outside [0, 1]")
+        self.rate = rate
+        self._rng = random.Random(seed ^ 0x7ACE)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def sample(self, force: bool = False) -> Optional[str]:
+        """A fresh trace id when this request is kept, else None."""
+        with self._lock:
+            if not force:
+                if self.rate <= 0.0:
+                    return None
+                if self._rng.random() >= self.rate:
+                    return None
+            self._seq += 1
+            return f"{os.getpid():x}-r{self._seq}"
+
+
+class TraceCollector:
+    """Pending worker spans per sampled trace id, stitched on finish.
+
+    The batcher deposits the span dicts a batch reply carried for every
+    sampled task in the batch; the HTTP layer calls :meth:`finish` when
+    the request completes.  Stitching **clones** every collected span
+    with a fresh id (``<orig>-t<seq>``) and re-parents the roots under
+    the request's root span — two sampled requests that shared a batch
+    each get a self-contained tree and ids never collide in the output
+    file.
+    """
+
+    __slots__ = ("_pending", "_lock", "_seq", "max_traces", "dropped")
+
+    def __init__(self, max_traces: int = 64) -> None:
+        self._pending: "collections.OrderedDict[str, List[Dict[str, Any]]]" = (
+            collections.OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.max_traces = max_traces
+        self.dropped = 0
+
+    def add(self, trace_id: str, spans: Sequence[Dict[str, Any]]) -> None:
+        with self._lock:
+            bucket = self._pending.get(trace_id)
+            if bucket is None:
+                while len(self._pending) >= self.max_traces:
+                    self._pending.popitem(last=False)
+                    self.dropped += 1
+                bucket = self._pending.setdefault(trace_id, [])
+            bucket.extend(spans)
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def finish(
+        self, trace_id: str, root: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        """The stitched tree: the root span plus re-identified clones of
+        every span collected for ``trace_id``, parented under it."""
+        with self._lock:
+            collected = self._pending.pop(trace_id, [])
+            mapping: Dict[str, str] = {}
+            clones: List[Dict[str, Any]] = []
+            for span in collected:
+                self._seq += 1
+                clone = dict(span)
+                mapping[clone["span_id"]] = new_id = (
+                    f"{clone['span_id']}-t{self._seq}"
+                )
+                clone["span_id"] = new_id
+                clones.append(clone)
+        root = dict(root)
+        root.setdefault("type", "span")
+        root["parent_id"] = None
+        attrs = dict(root.get("attrs") or {})
+        attrs["trace_id"] = trace_id
+        root["attrs"] = attrs
+        for clone in clones:
+            parent = clone.get("parent_id")
+            clone["parent_id"] = mapping.get(parent, root["span_id"])
+        return [root] + clones
+
+
+class RotatingTraceWriter:
+    """Streams span trees to a JSONL trace file with size rotation.
+
+    Each file opens with the standard trace header (so every rotated
+    file independently passes ``validate_trace``) and rotates to
+    ``<path>.1``, ``<path>.2``, ... when it exceeds ``max_bytes``.
+    """
+
+    __slots__ = ("path", "max_bytes", "backups", "trees", "spans", "_lock")
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_bytes: int = 4 * 1024 * 1024,
+        backups: int = 3,
+    ) -> None:
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.trees = 0
+        self.spans = 0
+        self._lock = threading.Lock()
+
+    def _header(self) -> str:
+        return json.dumps(
+            {
+                "type": "trace",
+                "version": TRACE_FORMAT_VERSION,
+                "generator": "repro.obs.live",
+                "streaming": True,
+            }
+        )
+
+    def _rotate(self) -> None:
+        for i in range(self.backups - 1, 0, -1):
+            src, dst = f"{self.path}.{i}", f"{self.path}.{i + 1}"
+            if os.path.exists(src):
+                os.replace(src, dst)
+        if self.backups >= 1:
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+
+    def write(self, spans: Sequence[Dict[str, Any]]) -> None:
+        """Append one stitched tree (header written on a fresh file)."""
+        if not spans:
+            return
+        lines = []
+        for span in spans:
+            record = dict(span)
+            record["attrs"] = _jsonable(record.get("attrs", {}))
+            record.setdefault("type", "span")
+            lines.append(json.dumps(record))
+        blob = "\n".join(lines) + "\n"
+        with self._lock:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = -1
+            if size > self.max_bytes:
+                self._rotate()
+                size = -1
+            with open(self.path, "a", encoding="utf-8") as fh:
+                if size <= 0:
+                    fh.write(self._header() + "\n")
+                fh.write(blob)
+            self.trees += 1
+            self.spans += len(spans)
+
+
+# --------------------------------------------------------------------- #
+# flight recorder
+# --------------------------------------------------------------------- #
+
+
+class FlightRecorder:
+    """A bounded ring of recent request/batch summaries, dumpable.
+
+    Recording is one deque append (O(1), drops the oldest entry at
+    capacity).  :meth:`dump` serializes the ring to a timestamped JSON
+    file — called on ``WorkerCrashed`` and on any 5xx response, so the
+    postmortem shows exactly what the server was doing when it went
+    wrong, including the failing request itself (the HTTP layer records
+    the request summary *before* triggering the dump).
+    """
+
+    __slots__ = ("capacity", "directory", "_ring", "_lock", "dumps",
+                 "min_interval_s", "_last_dump")
+
+    def __init__(
+        self,
+        directory: Optional[str],
+        capacity: int = 256,
+        min_interval_s: float = 1.0,
+    ) -> None:
+        self.directory = directory
+        self.capacity = capacity
+        self._ring: "collections.deque" = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.dumps = 0
+        self.min_interval_s = min_interval_s
+        # Throttle per reason: a crash surfaces as both a worker-crash
+        # dump (runtime hook) and an http-5xx dump (response path), in
+        # either order — neither may suppress the other.
+        self._last_dump: Dict[str, float] = {}
+
+    def record(self, kind: str, **fields: Any) -> None:
+        entry = {"unix": time.time(), "kind": kind}
+        entry.update(fields)
+        self._ring.append(entry)
+
+    def last(self) -> Optional[Dict[str, Any]]:
+        try:
+            return self._ring[-1]
+        except IndexError:
+            return None
+
+    def dump(
+        self, reason: str, extra: Optional[Dict[str, Any]] = None
+    ) -> Optional[str]:
+        """Write the ring to ``<dir>/flight-<unixms>-<reason>.json``;
+        returns the path, or None when no directory is configured or a
+        dump for the same reason landed less than ``min_interval_s`` ago
+        (a 5xx storm must not turn the recorder into a disk-filling
+        amplifier)."""
+        if self.directory is None:
+            return None
+        with self._lock:
+            now = time.monotonic()
+            if now - self._last_dump.get(reason, -1e9) < self.min_interval_s:
+                return None
+            self._last_dump[reason] = now
+            records = list(self._ring)
+            self.dumps += 1
+        os.makedirs(self.directory, exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in reason)
+        path = os.path.join(
+            self.directory,
+            f"flight-{int(time.time() * 1e3)}-{safe}.json",
+        )
+        payload = {
+            "reason": reason,
+            "dumped_unix": time.time(),
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "records": [
+                {k: _jsonable(v) for k, v in record.items()}
+                for record in records
+            ],
+        }
+        if extra:
+            payload["extra"] = {k: _jsonable(v) for k, v in extra.items()}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        return path
+
+
+# --------------------------------------------------------------------- #
+# the bundle the server owns
+# --------------------------------------------------------------------- #
+
+
+class LiveTelemetry:
+    """Windowed instruments + SLO + sampler + flight recorder, wired up.
+
+    One instance per :class:`~repro.serve.service.ReliabilityService`.
+    Sub-features switch off independently: windowed metrics via
+    ``windowed=False``, sampling via ``sample_rate=0`` with no writer,
+    flight dumps via ``flight_dir=None``.  When *everything* is off the
+    service holds :data:`NULL_LIVE` instead and the serving path pays
+    only attribute reads that short-circuit.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Metrics,
+        *,
+        windowed: bool = True,
+        slo_target: float = 0.99,
+        sample_rate: float = 0.0,
+        sample_seed: int = 0,
+        trace_path: Optional[str] = None,
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = 256,
+    ) -> None:
+        self.metrics = metrics
+        self.windowed = windowed
+        self.slo = SloTracker(slo_target)
+        self.sampler = TraceSampler(sample_rate, seed=sample_seed)
+        self.collector = TraceCollector()
+        self.writer = (
+            RotatingTraceWriter(trace_path) if trace_path else None
+        )
+        self.flight = FlightRecorder(flight_dir, capacity=flight_capacity)
+        if windowed:
+            self._request_s = metrics.windowed("serve.live.request_s")
+            self._queue_wait_s = metrics.windowed("serve.live.queue_wait_s")
+        else:
+            self._request_s = None
+            self._queue_wait_s = None
+        self._shard_batch: Dict[int, Any] = {}
+        self._shard_solve: Dict[int, Any] = {}
+
+    # -- sampling ------------------------------------------------------- #
+
+    def sample(self, force: bool = False) -> Optional[str]:
+        return self.sampler.sample(force=force)
+
+    def collect(
+        self, trace_id: str, spans: Sequence[Dict[str, Any]]
+    ) -> None:
+        self.collector.add(trace_id, spans)
+
+    def finish_trace(
+        self, trace_id: str, root: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        """Stitch and (when a writer is configured) persist the tree."""
+        tree = self.collector.finish(trace_id, root)
+        self.metrics.counter("serve.live.traces.sampled").inc()
+        if self.writer is not None:
+            self.writer.write(tree)
+        return tree
+
+    # -- per-request / per-batch hooks ---------------------------------- #
+
+    def record_request(
+        self,
+        status: int,
+        wall_s: float,
+        deadline_ms: Optional[float] = None,
+        *,
+        method: str = "",
+        path: str = "",
+        detail: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        if self._request_s is not None:
+            self._request_s.observe(wall_s)
+        verdict = self.slo.record(status, wall_s, deadline_ms)
+        if verdict is True:
+            self.metrics.counter("serve.live.slo.good").inc()
+        elif verdict is False:
+            self.metrics.counter("serve.live.slo.bad").inc()
+        entry: Dict[str, Any] = {
+            "method": method,
+            "path": path,
+            "status": status,
+            "wall_ms": round(wall_s * 1e3, 3),
+        }
+        if deadline_ms is not None:
+            entry["deadline_ms"] = deadline_ms
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        if detail:
+            entry.update(detail)
+        self.flight.record("request", **entry)
+
+    def record_queue_wait(self, wall_s: float) -> None:
+        if self._queue_wait_s is not None:
+            self._queue_wait_s.observe(wall_s)
+
+    def record_batch(
+        self, shard: Optional[int], size: int, solve_s: float
+    ) -> None:
+        key = -1 if shard is None else shard
+        if self.windowed:
+            batch = self._shard_batch.get(key)
+            if batch is None:
+                label = "solver" if shard is None else str(shard)
+                batch = self._shard_batch[key] = self.metrics.windowed(
+                    f"serve.live.shard.{label}.batch_size"
+                )
+                self._shard_solve[key] = self.metrics.windowed(
+                    f"serve.live.shard.{label}.solve_s"
+                )
+            batch.observe(size)
+            self._shard_solve[key].observe(solve_s)
+        self.flight.record(
+            "batch", shard=shard, size=size,
+            solve_ms=round(solve_s * 1e3, 3),
+        )
+
+    # -- postmortems ---------------------------------------------------- #
+
+    def dump_flight(
+        self, reason: str, extra: Optional[Dict[str, Any]] = None
+    ) -> Optional[str]:
+        path = self.flight.dump(reason, extra)
+        if path is not None:
+            self.metrics.counter("serve.live.flight.dumps").inc()
+        return path
+
+    def on_worker_crash(self, index: int, exit_code: Any) -> None:
+        """Crash-dump hook handed to the worker topology (fires on the
+        topology's reader thread — everything here is thread-safe)."""
+        self.flight.record("worker-crash", shard=index, exit_code=exit_code)
+        self.dump_flight(f"worker-crash-shard{index}")
+
+    # -- health payload ------------------------------------------------- #
+
+    def health(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"slo": self.slo.to_dict()}
+        if self.sampler.rate > 0 or self.writer is not None:
+            payload["trace_sampling"] = {
+                "rate": self.sampler.rate,
+                "pending": self.collector.pending(),
+                "dropped": self.collector.dropped,
+                "written": 0 if self.writer is None else self.writer.trees,
+            }
+        if self.flight.directory is not None:
+            payload["flight_recorder"] = {
+                "directory": self.flight.directory,
+                "capacity": self.flight.capacity,
+                "dumps": self.flight.dumps,
+            }
+        return payload
+
+
+class _NullLiveTelemetry:
+    """The disabled path: every hook is a no-op; sampling never keeps."""
+
+    enabled = False
+    writer = None
+    flight = None
+
+    def sample(self, force: bool = False) -> Optional[str]:
+        return None
+
+    def collect(self, trace_id, spans) -> None:
+        pass
+
+    def finish_trace(self, trace_id, root) -> List[Dict[str, Any]]:
+        return []
+
+    def record_request(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def record_queue_wait(self, wall_s: float) -> None:
+        pass
+
+    def record_batch(self, shard, size, solve_s) -> None:
+        pass
+
+    def dump_flight(self, reason, extra=None) -> Optional[str]:
+        return None
+
+    def on_worker_crash(self, index, exit_code) -> None:
+        pass
+
+    def health(self) -> Dict[str, Any]:
+        return {}
+
+
+#: The shared disabled instance.
+NULL_LIVE = _NullLiveTelemetry()

@@ -1,0 +1,153 @@
+"""repro-trace — inspect, validate and summarize a JSONL trace file.
+
+CI smoke jobs used to re-implement trace validation as inline heredoc
+scripts; this CLI is the one shared implementation::
+
+    repro-trace run.jsonl                     # validate + report
+    repro-trace run.jsonl --require serve.batch --min-coverage 0.5
+    repro-trace run.jsonl --json              # machine-readable summary
+
+Exit codes: 0 valid, 2 malformed trace, 3 a ``--require``/``--min-*``
+expectation failed, 1 unreadable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .export import (
+    TraceFormatError,
+    render_report,
+    tree_coverage,
+    validate_trace,
+)
+
+__all__ = ["build_parser", "main", "summarize"]
+
+
+def summarize(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The machine-readable summary ``--json`` prints."""
+    names: Dict[str, int] = {}
+    for span in spans:
+        names[span["name"]] = names.get(span["name"], 0) + 1
+    trace_ids = {
+        span["attrs"]["trace_id"]
+        for span in spans
+        if isinstance(span.get("attrs"), dict) and "trace_id" in span["attrs"]
+    }
+    roots = [s for s in spans if s.get("parent_id") is None]
+    return {
+        "spans": len(spans),
+        "roots": len(roots),
+        "processes": len({span["pid"] for span in spans}),
+        "coverage": tree_coverage(spans),
+        "wall_s": sum(s["wall_s"] for s in roots),
+        "names": dict(sorted(names.items())),
+        "sampled_traces": len(trace_ids),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Validate and summarize a repro JSONL trace file.",
+    )
+    parser.add_argument("path", help="JSONL trace file to inspect")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable summary instead of the run report",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hot-span rows in the report (default 10)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail (exit 3) unless a span of this name is present "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fail (exit 3) when tree coverage is below this fraction",
+    )
+    parser.add_argument(
+        "--min-spans",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fail (exit 3) with fewer than N spans (default 1)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the report; only validate and check expectations",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spans = validate_trace(args.path)
+    except TraceFormatError as exc:
+        print(f"repro-trace: invalid trace: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-trace: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+
+    summary = summarize(spans)
+    failures = []
+    present = set(summary["names"])
+    for name in args.require:
+        if name not in present:
+            failures.append(f"required span {name!r} not present")
+    if summary["spans"] < args.min_spans:
+        failures.append(
+            f"only {summary['spans']} spans (need >= {args.min_spans})"
+        )
+    if (
+        args.min_coverage is not None
+        and summary["coverage"] < args.min_coverage
+    ):
+        failures.append(
+            f"coverage {summary['coverage']:.3f} below {args.min_coverage}"
+        )
+
+    if args.json:
+        summary["valid"] = True
+        summary["failures"] = failures
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    elif not args.quiet:
+        print(
+            f"{args.path}: valid trace — {summary['spans']} spans, "
+            f"{summary['roots']} roots, {summary['processes']} "
+            f"process(es), coverage {summary['coverage']:.1%}"
+        )
+        if summary["sampled_traces"]:
+            print(f"sampled traces: {summary['sampled_traces']}")
+        print()
+        print(render_report(spans, top=args.top))
+
+    if failures:
+        for failure in failures:
+            print(f"repro-trace: {failure}", file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -80,6 +80,8 @@ class WorkerInfo:
     alive: bool
     restarts: int
     pending: int
+    #: Unix time of the slot's most recent crash; None if it never died.
+    last_crash: Optional[float] = None
 
 
 class WorkerTopology:
@@ -326,6 +328,7 @@ class ProcessTopology(WorkerTopology):
         worker_state: Optional[Callable[[int], Any]] = None,
         restart: bool = False,
         metrics: Optional[obs.Metrics] = None,
+        on_crash: Optional[Callable[[int, Optional[int]], None]] = None,
         name: str = "repro-proc",
     ) -> None:
         if size < 1:
@@ -334,9 +337,14 @@ class ProcessTopology(WorkerTopology):
         self._size = size
         self._worker_state = worker_state
         self._restart = restart
+        # Crash-dump hook: called as on_crash(index, exit_code) from the
+        # crashed worker's reader thread, after in-flight futures fail
+        # but before any restart (the flight recorder's dump point).
+        self._on_crash = on_crash
         self._ctx = get_context("fork")
         self._workers: List[_ProcessWorker] = []
         self._restart_counts = [0] * size
+        self._last_crash: List[Optional[float]] = [None] * size
         self._stopping = False
         self._lock = threading.Lock()
         self._task_ids = itertools.count()
@@ -444,6 +452,7 @@ class ProcessTopology(WorkerTopology):
         if self._stopping and exit_code == 0 and not pending:
             return  # clean drain
         self._crashes.inc()
+        self._last_crash[worker.index] = time.time()
         crash = WorkerCrashed(
             f"{self.name}[{worker.index}]: worker pid {worker.process.pid} exited "
             f"with code {exit_code} ({len(pending)} task(s) in flight)",
@@ -454,6 +463,11 @@ class ProcessTopology(WorkerTopology):
         for future, _parent in pending:
             if not future.done():
                 future.set_exception(crash)
+        if self._on_crash is not None:
+            try:
+                self._on_crash(worker.index, exit_code)
+            except Exception:  # the hook must never kill the reader
+                pass
         if not self._restart:
             return
         # Backoff keeps a deterministic crasher (e.g. a fork-inherited
@@ -507,6 +521,7 @@ class ProcessTopology(WorkerTopology):
                     alive=alive,
                     restarts=self._restart_counts[worker.index],
                     pending=pending,
+                    last_crash=self._last_crash[worker.index],
                 )
             )
         return infos

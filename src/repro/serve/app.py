@@ -114,6 +114,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="result-cache TTL in seconds (0 = no expiry; default 300)",
     )
+    live = parser.add_argument_group("live telemetry")
+    live.add_argument(
+        "--no-live-metrics",
+        action="store_true",
+        help="disable windowed latency/SLO instruments (they are on by "
+        "default; disabling removes the serve.live.* families and the "
+        "slo block from /healthz)",
+    )
+    live.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.99,
+        metavar="FRAC",
+        help="good-request SLO target used for burn-rate math "
+        "(default 0.99)",
+    )
+    live.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="head-based trace sampling probability in [0, 1]; each "
+        "sampled request yields one stitched span tree (default 0 = off)",
+    )
+    live.add_argument(
+        "--trace-sample-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the sampling decision stream (default 0)",
+    )
+    live.add_argument(
+        "--trace-sample-path",
+        default=None,
+        metavar="FILE",
+        help="rotating JSONL file for sampled span trees (default "
+        "repro-serve-samples.jsonl when sampling is on)",
+    )
+    live.add_argument(
+        "--flight-recorder",
+        default=None,
+        metavar="DIR",
+        help="keep a ring of recent request summaries and dump it to DIR "
+        "on worker crashes and 5xx responses (default: off)",
+    )
     parser.add_argument(
         "--set",
         action="append",
@@ -128,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def config_from_args(args: argparse.Namespace, error) -> ServeConfig:
     params = apply_param_overrides(Parameters.baseline(), args.set, error)
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        error("--trace-sample-rate must be in [0, 1]")
+    if not 0.0 < args.slo_target < 1.0:
+        error("--slo-target must be in (0, 1)")
     return ServeConfig(
         host=args.host,
         port=args.port,
@@ -141,6 +190,12 @@ def config_from_args(args: argparse.Namespace, error) -> ServeConfig:
         workers=args.workers,
         deadline_margin_us=args.deadline_margin_us,
         default_deadline_ms=args.default_deadline_ms,
+        live_metrics=not args.no_live_metrics,
+        slo_target=args.slo_target,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_sample_seed=args.trace_sample_seed,
+        trace_sample_path=args.trace_sample_path,
+        flight_dir=args.flight_recorder,
     )
 
 

@@ -128,6 +128,10 @@ class CoalescingBatcher:
         deadline_margin_us: safety margin subtracted from request
             deadlines on top of the solve-time EWMA when computing the
             early close.
+        live: the server's :class:`~repro.obs.live.LiveTelemetry`
+            bundle; the batcher feeds it windowed queue-wait and
+            per-shard batch observations and deposits the worker spans
+            sampled requests shipped back (defaults to the no-op).
     """
 
     def __init__(
@@ -141,6 +145,7 @@ class CoalescingBatcher:
         runtime: Optional[WorkerTopology] = None,
         shard: Optional[int] = None,
         deadline_margin_us: int = 500,
+        live: Optional[Any] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -166,6 +171,7 @@ class CoalescingBatcher:
             )
         self._runtime = runtime
         self._shard = shard
+        self._live = live if live is not None else obs.NULL_LIVE
         self._solve_ewma: Optional[float] = None
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=queue_depth)
         self._consumer: Optional["asyncio.Task[None]"] = None
@@ -244,6 +250,7 @@ class CoalescingBatcher:
         *,
         deadline_s: Optional[float] = None,
         cache_key: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> "asyncio.Future[float]":
         """Admit one point; returns the future of its MTTDL (hours).
 
@@ -252,6 +259,9 @@ class CoalescingBatcher:
                 batcher closes batches early rather than blow it.
             cache_key: stable result key enabling the worker-local TTL
                 cache for this point (None bypasses it).
+            trace_id: the sampled-request trace id (None when the
+                request was not sampled); rides the task to the worker,
+                which captures and ships its spans back.
 
         Raises:
             Overloaded: the queue is at ``queue_depth`` (or the batcher
@@ -270,7 +280,9 @@ class CoalescingBatcher:
         spec_hash = (
             spec_for_key(config.key).spec_hash if method == "analytic" else ""
         )
-        task = PointTask(config, params, method, options, spec_hash, cache_key)
+        task = PointTask(
+            config, params, method, options, spec_hash, cache_key, trace_id
+        )
         deadline_mono = (
             task.enqueued_mono + deadline_s if deadline_s is not None else None
         )
@@ -374,7 +386,9 @@ class CoalescingBatcher:
         tasks = [pending.task for pending in batch]
         solve_t0 = time.monotonic()
         for pending in batch:
-            self._queue_wait.observe(solve_t0 - pending.task.enqueued_mono)
+            wait_s = solve_t0 - pending.task.enqueued_mono
+            self._queue_wait.observe(wait_s)
+            self._live.record_queue_wait(wait_s)
         try:
             outcomes, stats = await self._runtime.asubmit(
                 (tasks, assemble_unix, assembled_s), shard=self._shard
@@ -409,6 +423,14 @@ class CoalescingBatcher:
         if self._shard_batches is not None:
             self._shard_batches.inc()
             self._shard_batch_size.observe(len(batch))
+        self._live.record_batch(self._shard, len(batch), solve_wall)
+        spans = stats.get("spans")
+        if spans:
+            # Deposit the shipped worker spans once per sampled trace in
+            # this batch; the HTTP layer stitches them when the request
+            # finishes (the collector clones, so sharing is safe).
+            for trace_id in {t.trace_id for t in tasks if t.trace_id}:
+                self._live.collect(trace_id, spans)
         for pending, outcome in zip(batch, outcomes):
             if pending.future.done():
                 continue

@@ -6,8 +6,10 @@ keep-alive connections, bounded header/body sizes, and nothing beyond
 
     POST /v1/evaluate   single- or multi-point reliability queries
     POST /v1/sweep      one-axis sweeps over many configurations
-    GET  /healthz       liveness + queue/cache introspection
-    GET  /metricsz      the flat metrics snapshot (serve.* + globals)
+    GET  /healthz       liveness, SLO burn, queue/cache/worker state
+    GET  /metricsz      the flat metrics snapshot (serve.* + globals);
+                        ``?format=prom`` switches to Prometheus text
+                        exposition
 
 Error mapping is uniform: a body that fails validation is a ``400`` with
 the reason, an unknown path is ``404``, a wrong method ``405``, an
@@ -28,7 +30,8 @@ import json
 import logging
 import signal
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qsl
 
 from .. import obs
 from ..runtime import WorkerCrashed
@@ -59,7 +62,7 @@ _REASONS = {
 
 
 class _Request:
-    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive")
 
     def __init__(
         self,
@@ -67,9 +70,11 @@ class _Request:
         path: str,
         headers: Dict[str, str],
         body: bytes,
+        query: Optional[Dict[str, str]] = None,
     ) -> None:
         self.method = method
         self.path = path
+        self.query = query if query is not None else {}
         self.headers = headers
         self.body = body
         self.keep_alive = headers.get("connection", "").lower() != "close"
@@ -214,7 +219,9 @@ class HttpServer:
         if n > MAX_BODY_BYTES:
             raise _BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(n) if n else b""
-        return _Request(method.upper(), path.split("?", 1)[0], headers, body)
+        route, _, raw_query = path.partition("?")
+        query = dict(parse_qsl(raw_query)) if raw_query else {}
+        return _Request(method.upper(), route, headers, body, query)
 
     # ------------------------------------------------------------------ #
     # routing
@@ -222,23 +229,27 @@ class HttpServer:
 
     async def _dispatch(
         self, request: _Request
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
         self._requests.inc()
         t0 = time.monotonic()
         unix0 = time.time()
         headers: Dict[str, str] = {}
         points = 0
+        # Filled in by _evaluate when the request is sampled / carries a
+        # deadline; consumed after the wall-clock is known.
+        req_info: Dict[str, Any] = {}
+        payload: Union[Dict[str, Any], str]
         try:
             if request.path == "/healthz":
                 status, payload = self._get_only(
                     request, lambda: self.service.health()
                 )
             elif request.path == "/metricsz":
-                status, payload = self._get_only(
-                    request, lambda: self.service.metricsz()
-                )
+                status, payload = self._metricsz(request, headers)
             elif request.path == "/v1/evaluate":
-                status, payload, points = await self._evaluate(request)
+                status, payload, points = await self._evaluate(
+                    request, req_info
+                )
             elif request.path == "/v1/sweep":
                 status, payload, points = await self._sweep(request)
             else:
@@ -277,6 +288,37 @@ class HttpServer:
             if status // 100 in (2, 4, 5)
             else "5xx"
         ].inc()
+        live = self.service.live
+        trace_id = req_info.get("trace_id")
+        if live.enabled and request.path.startswith("/v1/"):
+            # Record first, dump second: when a crash bubbles up as a
+            # 503 the flight dump's last "request" entry must be the
+            # request that observed it.
+            live.record_request(
+                status,
+                wall,
+                req_info.get("deadline_ms"),
+                method=request.method,
+                path=request.path,
+                detail=req_info.get("detail"),
+                trace_id=trace_id,
+            )
+            if status >= 500:
+                live.dump_flight(f"http-{status}")
+        if trace_id is not None:
+            headers["X-Repro-Trace-Id"] = trace_id
+            live.finish_trace(
+                trace_id,
+                synth_span(
+                    "serve.request",
+                    unix0,
+                    wall,
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                    points=points,
+                ),
+            )
         if obs.tracing_active():
             obs.adopt_spans(
                 [
@@ -299,6 +341,22 @@ class HttpServer:
             return 405, {"error": f"{request.path} accepts GET"}
         return 200, fn()
 
+    def _metricsz(
+        self, request: _Request, headers: Dict[str, str]
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        """``/metricsz``: the flat JSON snapshot, or Prometheus text
+        exposition with ``?format=prom``."""
+        if request.method not in ("GET", "HEAD"):
+            return 405, {"error": f"{request.path} accepts GET"}
+        fmt = request.query.get("format", "json")
+        if fmt == "prom":
+            text = obs.render_prom(self.service.metrics_registry())
+            headers["Content-Type"] = obs.PROM_CONTENT_TYPE
+            return 200, text
+        if fmt != "json":
+            return 400, {"error": f'unknown metrics format {fmt!r}'}
+        return 200, self.service.metricsz()
+
     def _parse_json(self, request: _Request) -> Any:
         if request.method != "POST":
             raise ProtocolError(f"{request.path} accepts POST")
@@ -308,12 +366,32 @@ class HttpServer:
             raise ProtocolError(f"body is not valid JSON: {exc}") from None
 
     async def _evaluate(
-        self, request: _Request
+        self, request: _Request, req_info: Dict[str, Any]
     ) -> Tuple[int, Dict[str, Any], int]:
         body = self._parse_json(request)
         with obs.span("serve.parse", path=request.path):
             queries = parse_evaluate_body(body, self.service.base_params)
-        answers = await self.service.evaluate(queries)
+        # Head-based sampling decision, made once per request before any
+        # work is queued: the trace id rides every point of the request
+        # through the batcher (and the shard pipe, in sharded mode) so
+        # the worker ships its spans back for stitching.
+        trace_id = self.service.live.sample(
+            force=any(q.trace for q in queries)
+        )
+        if trace_id is not None:
+            req_info["trace_id"] = trace_id
+        default_deadline = self.service.config.default_deadline_ms
+        deadlines = [
+            q.deadline_ms if q.deadline_ms is not None else default_deadline
+            for q in queries
+        ]
+        known = [d for d in deadlines if d is not None]
+        if known:
+            req_info["deadline_ms"] = min(known)
+        req_info["detail"] = {
+            "configs": sorted({q.config.key for q in queries})
+        }
+        answers = await self.service.evaluate(queries, trace_id=trace_id)
         with obs.span("serve.serialize", points=len(answers)):
             if isinstance(body, dict) and "points" in body:
                 payload: Dict[str, Any] = {"results": answers}
@@ -338,19 +416,27 @@ class HttpServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], str],
         *,
         close: bool,
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        extra = dict(headers or {})
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = extra.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = extra.pop("Content-Type", "application/json")
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
-        for name, value in (headers or {}).items():
+        for name, value in extra.items():
             lines.append(f"{name}: {value}")
         writer.write(
             ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -27,7 +27,11 @@ offsets and the request-mix factory, so a shape is one seeded object:
 The report carries p50/p95/p99 latency, achieved throughput, a status
 histogram and the shape name; :func:`run_loadgen` returns it for
 in-process callers (tests, the smoke check, benchmarks) and ``main``
-prints it.
+prints it.  Client-side quantiles are computed twice: exactly (sorted
+samples) and through the same :class:`~repro.obs.metrics.LogLinearHistogram`
+the server's windowed instruments use, so a loadgen report and a
+``/metricsz`` scrape of the same run are directly comparable —
+identical bucketing, identical upper-edge bias.
 """
 
 from __future__ import annotations
@@ -41,6 +45,8 @@ import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import _QUANTILE_LABELS, LogLinearHistogram
 
 __all__ = [
     "BurstyShape",
@@ -307,6 +313,10 @@ class LoadReport:
     #: Send-indexed (``log`` is completion-ordered) so two runs with the
     #: same seed can be compared request-by-request.
     bodies: List[Optional[bytes]] = field(default_factory=list)
+    #: The same log-linear histogram the server's windowed instruments
+    #: use, fed every successful latency — so this report's quantiles
+    #: and a ``/metricsz`` scrape share one bucketing scheme.
+    hist: LogLinearHistogram = field(default_factory=LogLinearHistogram)
 
     def record(self, status: int, latency_s: float) -> None:
         self.sent += 1
@@ -316,6 +326,7 @@ class LoadReport:
             return
         self.statuses[status] = self.statuses.get(status, 0) + 1
         self.latencies_s.append(latency_s)
+        self.hist.observe(latency_s)
 
     @property
     def completed(self) -> int:
@@ -341,6 +352,13 @@ class LoadReport:
             "p99": 1e3 * percentile(ordered, 99),
         }
 
+    def latency_quantiles_ms(self) -> Dict[str, float]:
+        """Histogram-derived quantiles (server code path), in ms."""
+        return {
+            label: 1e3 * self.hist.quantile(q)
+            for q, label in _QUANTILE_LABELS.items()
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "target_rps": self.target_rps,
@@ -358,6 +376,10 @@ class LoadReport:
                 k: round(v, 3)
                 for k, v in self.latency_percentiles_ms().items()
             },
+            "latency_hist_ms": {
+                k: round(v, 3)
+                for k, v in self.latency_quantiles_ms().items()
+            },
         }
 
     def format(self) -> str:
@@ -373,6 +395,13 @@ class LoadReport:
             f"  latency ms      p50 {pct['p50']:.2f}   "
             f"p95 {pct['p95']:.2f}   p99 {pct['p99']:.2f}",
         ]
+        if self.hist.count:
+            q = self.latency_quantiles_ms()
+            lines.append(
+                f"  histogram ms    p50 {q['p50']:.2f}   "
+                f"p95 {q['p95']:.2f}   p99 {q['p99']:.2f}   "
+                f"p999 {q['p999']:.2f}  (server bucketing)"
+            )
         return "\n".join(lines)
 
 

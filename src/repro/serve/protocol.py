@@ -114,6 +114,10 @@ class PointQuery:
         deadline_ms: the requester's latency budget; the batcher closes
             batches early rather than blow it.  Excluded from the cache
             key — a deadline changes scheduling, never the answer.
+        trace: force this request into the trace sampler (head-based
+            sampling normally decides; ``"trace": true`` pins the
+            decision for debugging).  Excluded from the cache key —
+            sampling changes what is recorded, never the answer.
     """
 
     config: Configuration
@@ -124,6 +128,7 @@ class PointQuery:
     seed: int = 0
     recovery_hours: Optional[float] = None
     deadline_ms: Optional[float] = None
+    trace: bool = False
 
     def cache_key(self) -> str:
         """The stable result-cache key for this query — the engine's
@@ -150,6 +155,7 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
         "seed",
         "availability",
         "deadline_ms",
+        "trace",
     }
     _require(not unknown, f"unknown point field(s): {sorted(unknown)}")
     key = obj.get("config")
@@ -224,6 +230,8 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
             '"deadline_ms" must be a positive number',
         )
         deadline_ms = float(raw_deadline)
+    trace = obj.get("trace", False)
+    _require(isinstance(trace, bool), '"trace" must be a boolean')
     return PointQuery(
         config=config,
         params=params,
@@ -233,6 +241,7 @@ def _parse_point(obj: Any, base: Parameters) -> PointQuery:
         seed=seed,
         recovery_hours=recovery_hours,
         deadline_ms=deadline_ms,
+        trace=trace,
     )
 
 

@@ -84,6 +84,22 @@ class ServeConfig:
             closing (added to the solve-time EWMA).
         default_deadline_ms: deadline applied to points that do not
             carry their own ``deadline_ms`` (None = no deadline).
+        live_metrics: windowed (1s/10s/60s) latency/SLO instruments on
+            the serving path (the ``serve.live.*`` namespace).  Off, the
+            service holds the no-op telemetry bundle and the request
+            path pays nothing.
+        slo_target: the availability objective the SLO tracker burns
+            against (fraction of requests that must be good).
+        trace_sample_rate: head-based per-request trace sampling
+            probability (0 disables; a request body may still force a
+            sample with ``"trace": true``).
+        trace_sample_seed: seed of the sampling RNG — a replayed seeded
+            load samples the same requests run over run.
+        trace_sample_path: rotating JSONL file stitched sample trees are
+            streamed to (defaults next to the CWD when sampling is on).
+        flight_dir: directory flight-recorder postmortems dump into on
+            WorkerCrashed / 5xx (None disables dumping; the in-memory
+            ring still records when live telemetry is on).
         base_params: baseline :class:`Parameters` that request-level
             overrides apply to (the paper's Section 6 baseline when
             omitted).
@@ -101,6 +117,12 @@ class ServeConfig:
     workers: int = 0
     deadline_margin_us: int = 500
     default_deadline_ms: Optional[float] = None
+    live_metrics: bool = True
+    slo_target: float = 0.99
+    trace_sample_rate: float = 0.0
+    trace_sample_seed: int = 0
+    trace_sample_path: Optional[str] = None
+    flight_dir: Optional[str] = None
     base_params: Optional[Parameters] = field(default=None, repr=False)
 
     def with_overrides(self, **changes: Any) -> "ServeConfig":
@@ -148,6 +170,27 @@ class ReliabilityService:
             self.config.cache_ttl_s,
             metrics=self.metrics,
         )
+        sampling = self.config.trace_sample_rate > 0
+        trace_path = self.config.trace_sample_path
+        if sampling and trace_path is None:
+            trace_path = "repro-serve-samples.jsonl"
+        if (
+            self.config.live_metrics
+            or sampling
+            or trace_path is not None
+            or self.config.flight_dir is not None
+        ):
+            self.live: Any = obs.LiveTelemetry(
+                self.metrics,
+                windowed=self.config.live_metrics,
+                slo_target=self.config.slo_target,
+                sample_rate=self.config.trace_sample_rate,
+                sample_seed=self.config.trace_sample_seed,
+                trace_path=trace_path,
+                flight_dir=self.config.flight_dir,
+            )
+        else:
+            self.live = obs.NULL_LIVE
         self.topology: Optional[ProcessTopology] = None
         if sharded:
             self.topology = ProcessTopology(
@@ -161,6 +204,9 @@ class ReliabilityService:
                 ),
                 restart=True,
                 metrics=self.metrics,
+                on_crash=(
+                    self.live.on_worker_crash if self.live.enabled else None
+                ),
                 name="repro-serve-shard",
             )
             self.batchers = [
@@ -200,6 +246,7 @@ class ReliabilityService:
             runtime=runtime,
             shard=shard,
             deadline_margin_us=self.config.deadline_margin_us,
+            live=self.live,
         )
 
     # ------------------------------------------------------------------ #
@@ -238,9 +285,15 @@ class ReliabilityService:
     # ------------------------------------------------------------------ #
 
     async def evaluate(
-        self, queries: List[PointQuery]
+        self,
+        queries: List[PointQuery],
+        trace_id: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Answer every query (concurrently); raises on any failure.
+
+        Args:
+            trace_id: the sampled-request trace id (propagated to every
+                point of the request), or None when not sampled.
 
         Raises:
             Overloaded: at least one point was shed and none failed for a
@@ -248,9 +301,10 @@ class ReliabilityService:
         """
         self._eval_requests.inc()
         if len(queries) == 1:
-            return [await self.answer_point(queries[0])]
+            return [await self.answer_point(queries[0], trace_id=trace_id)]
         outcomes = await asyncio.gather(
-            *(self.answer_point(q) for q in queries), return_exceptions=True
+            *(self.answer_point(q, trace_id=trace_id) for q in queries),
+            return_exceptions=True,
         )
         overloaded: Optional[Overloaded] = None
         for outcome in outcomes:
@@ -262,7 +316,9 @@ class ReliabilityService:
             raise overloaded
         return outcomes  # type: ignore[return-value]
 
-    async def answer_point(self, query: PointQuery) -> Dict[str, Any]:
+    async def answer_point(
+        self, query: PointQuery, trace_id: Optional[str] = None
+    ) -> Dict[str, Any]:
         """The JSON-ready answer for one point (cache → in-flight →
         batcher), raising :class:`Overloaded` when shed."""
         key = query.cache_key()
@@ -280,7 +336,7 @@ class ReliabilityService:
         )
         self._inflight[key] = future
         try:
-            response = await self._compute_point(query, key)
+            response = await self._compute_point(query, key, trace_id)
         except BaseException as exc:
             future.set_exception(exc)
             future.exception()  # consumed: no zero-waiter warning
@@ -301,7 +357,7 @@ class ReliabilityService:
         ]
 
     async def _compute_point(
-        self, query: PointQuery, key: str
+        self, query: PointQuery, key: str, trace_id: Optional[str] = None
     ) -> Dict[str, Any]:
         if query.method == "monte_carlo":
             result = await self._offload(lambda: self._monte_carlo(query))
@@ -320,6 +376,7 @@ class ReliabilityService:
                     deadline_ms / 1e3 if deadline_ms is not None else None
                 ),
                 cache_key=key if self.topology is not None else None,
+                trace_id=trace_id,
             )
             result = ReliabilityResult.from_mttdl(mttdl, query.params)
         availability = None
@@ -422,13 +479,17 @@ class ReliabilityService:
 
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` payload."""
+        from .. import __version__
+
         payload = {
             "status": "draining" if self.draining else "ok",
+            "version": __version__,
             "uptime_s": round(time.time() - self.started_unix, 3),
             "queue_depth": sum(b.depth for b in self.batchers),
             "inflight": len(self._inflight),
             "cache_entries": len(self.cache),
         }
+        payload.update(self.live.health())
         if self.topology is not None:
             payload["workers"] = [
                 {
@@ -436,15 +497,20 @@ class ReliabilityService:
                     "pid": info.pid,
                     "alive": info.alive,
                     "restarts": info.restarts,
+                    "restart_count": info.restarts,
+                    "last_crash": info.last_crash,
                     "pending": info.pending,
                 }
                 for info in self.topology.health()
             ]
         return payload
 
+    def metrics_registry(self) -> obs.Metrics:
+        """The service registry folded with the process-global one (the
+        live registry behind both ``/metricsz`` forms)."""
+        return obs.Metrics.merged([obs.GLOBAL_METRICS, self.metrics])
+
     def metricsz(self) -> Dict[str, Any]:
         """The ``/metricsz`` payload: the service registry folded with
         the process-global one, in flat ``metrics.json`` form."""
-        return obs.Metrics.merged(
-            [obs.GLOBAL_METRICS, self.metrics]
-        ).to_dict()
+        return self.metrics_registry().to_dict()

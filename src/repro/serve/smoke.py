@@ -19,6 +19,15 @@ that no shard worker crashed or restarted during the run.  ``--shape``
 selects a loadgen traffic shape (``uniform`` / ``diurnal`` / ``bursty``
 / ``hotkey``).
 
+Live-telemetry coverage rides along: every run scrapes
+``/metricsz?format=prom`` from the live server and lints the exposition,
+and runs ``repro-top --once`` against it.  ``--sample-rate R`` turns on
+head-based trace sampling and asserts at least one stitched span tree
+was written and validates.  ``--crash-drill`` (sharded only) arms the
+worker-crash faultpoint mid-run, asserts the clean 503, the restart,
+and that the flight recorder left a dump whose last recorded request is
+the one that observed the 503 — the dump directory is the CI artifact.
+
 Exit status 0 means all checks passed; the trace and metrics files are
 left behind as CI artifacts.
 """
@@ -27,15 +36,85 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import glob
+import io
+import json
+import os
 import sys
-from typing import List, Optional, Sequence, Tuple
+from contextlib import redirect_stdout
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..runtime import faultpoints
+from . import top
 from .http import serving
 from .loadgen import LoadReport, TrafficShape, run_loadgen, shape_by_name
 from .service import ServeConfig
 
 __all__ = ["main", "run_smoke"]
+
+
+async def _raw_get(host: str, port: int, target: str) -> Tuple[int, str, bytes]:
+    """One GET over a raw socket: (status, content-type, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        (
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    ctype = ""
+    for line in head_lines[1:]:
+        if line.lower().startswith("content-type:"):
+            ctype = line.split(":", 1)[1].strip()
+    return status, ctype, body
+
+
+async def _raw_post(
+    host: str, port: int, path: str, body: Dict[str, Any]
+) -> Tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode("utf-8")
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+        ).encode("latin-1")
+        + payload
+    )
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, resp = raw.partition(b"\r\n\r\n")
+    return int(head.decode("latin-1").split("\r\n")[0].split()[1]), resp
+
+
+async def _run_crash_drill(
+    host: str, port: int, trigger: str
+) -> Tuple[int, int]:
+    """Arm the faultpoint trigger, observe the 503, disarm.  Returns
+    (healthy status, crash status)."""
+    body = {"config": "ft2_raid5", "method": "analytic"}
+    healthy, _ = await _raw_post(host, port, "/v1/evaluate", body)
+    with open(trigger, "w", encoding="utf-8"):
+        pass
+    crashed, _ = await _raw_post(host, port, "/v1/evaluate", body)
+    os.unlink(trigger)
+    return healthy, crashed
 
 
 async def _drive(
@@ -44,7 +123,11 @@ async def _drive(
     seconds: float,
     seed: int,
     shape: Optional[TrafficShape],
-) -> Tuple[LoadReport, obs.Metrics, List[dict]]:
+    crash_trigger: Optional[str] = None,
+) -> Tuple[LoadReport, obs.Metrics, List[dict], Dict[str, Any]]:
+    """Run the scenario; ``extras`` carries the live-telemetry probes
+    taken while the server was up (prom text, top frame, drill result)."""
+    extras: Dict[str, Any] = {}
     async with serving(config) as server:
         report = await run_loadgen(
             server.host,
@@ -54,9 +137,44 @@ async def _drive(
             seed=seed,
             shape=shape,
         )
+        if crash_trigger is not None:
+            healthy, crashed = await _run_crash_drill(
+                server.host, server.port, crash_trigger
+            )
+            extras["drill"] = {"healthy": healthy, "crashed": crashed}
+            # Give the runtime a beat to restart the shard.
+            for _ in range(200):
+                workers = server.service.health().get("workers", [])
+                if workers and all(w.get("alive") for w in workers):
+                    break
+                await asyncio.sleep(0.01)
+        status, ctype, prom_body = await _raw_get(
+            server.host, server.port, "/metricsz?format=prom"
+        )
+        extras["prom"] = {
+            "status": status,
+            "content_type": ctype,
+            "text": prom_body.decode("utf-8"),
+        }
+        url = f"http://{server.host}:{server.port}"
+        frame = io.StringIO()
+        loop = asyncio.get_running_loop()
+
+        def _top_once() -> int:
+            with redirect_stdout(frame):
+                return top.main(["--url", url, "--once"])
+
+        extras["top"] = {
+            "exit": await loop.run_in_executor(None, _top_once),
+            "frame": frame.getvalue(),
+        }
+        # The telemetry probes are themselves HTTP requests the server
+        # counts: 2 drill posts, 1 prom scrape, 2 repro-top polls.
+        extras["probe_requests"] = 3 + (2 if crash_trigger is not None else 0)
         workers = server.service.health().get("workers", [])
+        extras["health"] = server.service.health()
         metrics = obs.Metrics.merged([server.service.metrics])
-    return report, metrics, workers
+    return report, metrics, workers, extras
 
 
 def run_smoke(
@@ -68,17 +186,58 @@ def run_smoke(
     shape: str = "uniform",
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    sample_rate: float = 0.0,
+    samples_path: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    crash_drill: bool = False,
 ) -> Tuple[LoadReport, obs.Metrics, List[str]]:
     """Run the smoke scenario; returns (report, metrics, failures)."""
-    config = ServeConfig(port=0, workers=workers)
+    if crash_drill and workers <= 0:
+        raise ValueError("--crash-drill needs --workers > 0")
+    if crash_drill and flight_dir is None:
+        flight_dir = "smoke-flight"
+    if sample_rate > 0 and samples_path is None:
+        samples_path = "smoke-samples.jsonl"
+    config = ServeConfig(
+        port=0,
+        workers=workers,
+        trace_sample_rate=sample_rate,
+        trace_sample_path=samples_path,
+        flight_dir=flight_dir,
+    )
     session = obs.trace(
         trace_path, metrics_path=metrics_path, root="repro-serve"
     )
-    with session as active:
-        report, metrics, worker_health = asyncio.run(
-            _drive(config, rps, seconds, seed, shape_by_name(shape))
+    trigger = None
+    drill_ctx = None
+    if crash_drill:
+        trigger = os.path.join(flight_dir or ".", "crash.trigger")
+        os.makedirs(os.path.dirname(trigger) or ".", exist_ok=True)
+
+        def _kill_if_armed(shard=None, **_kwargs):
+            if os.path.exists(trigger):
+                os._exit(17)
+
+        drill_ctx = faultpoints.injected(
+            faultpoints.SERVE_WORKER_CRASH, _kill_if_armed
         )
-        active.add_metrics_source(lambda: metrics)
+        drill_ctx.__enter__()
+    try:
+        with session as active:
+            report, metrics, worker_health, extras = asyncio.run(
+                _drive(
+                    config,
+                    rps,
+                    seconds,
+                    seed,
+                    shape_by_name(shape),
+                    crash_trigger=trigger,
+                )
+            )
+            active.add_metrics_source(lambda: metrics)
+    finally:
+        if drill_ctx is not None:
+            drill_ctx.__exit__(None, None, None)
 
     failures: List[str] = []
 
@@ -105,9 +264,11 @@ def run_smoke(
         f"mean size {batches.mean:.2f})",
     )
     http_requests = metrics.value("serve.http.requests", 0)
+    expected = report.sent + extras["probe_requests"]
     check(
-        http_requests == report.sent,
-        f"serve.http.requests ({http_requests}) == sent ({report.sent})",
+        http_requests == expected,
+        f"serve.http.requests ({http_requests}) == sent + probes "
+        f"({report.sent} + {extras['probe_requests']})",
     )
     admitted = metrics.value("serve.queue.admitted", 0)
     cache_hits = metrics.value("serve.cache.hits", 0)
@@ -128,15 +289,84 @@ def run_smoke(
                 f"({hist.count} batches, mean size {hist.mean:.2f})",
             )
         restarts = sum(w.get("restarts", 0) for w in worker_health)
-        check(
-            restarts == 0,
-            f"zero shard-worker restarts (got {restarts})",
-        )
+        if crash_drill:
+            check(
+                restarts >= 1,
+                f"crash drill restarted a shard worker (got {restarts})",
+            )
+        else:
+            check(
+                restarts == 0,
+                f"zero shard-worker restarts (got {restarts})",
+            )
         check(
             len(worker_health) == workers
             and all(w.get("alive") for w in worker_health),
             f"all {workers} shard workers alive at drain",
         )
+    prom = extras["prom"]
+    check(
+        prom["status"] == 200
+        and prom["content_type"] == obs.PROM_CONTENT_TYPE,
+        f"/metricsz?format=prom answers 200 with the exposition "
+        f"content type (got {prom['status']}, {prom['content_type']!r})",
+    )
+    try:
+        families = obs.validate_prom_text(prom["text"])
+    except obs.PromFormatError as exc:
+        check(False, f"prom exposition lints ({exc})")
+    else:
+        check(True, f"prom exposition lints ({len(families)} families)")
+        check(
+            "repro_serve_http_requests" in families,
+            "prom exposition carries repro_serve_http_requests",
+        )
+    top_probe = extras["top"]
+    check(
+        top_probe["exit"] == 0 and "repro-top" in top_probe["frame"],
+        f"repro-top --once rendered a frame (exit {top_probe['exit']})",
+    )
+    slo = extras["health"].get("slo", {})
+    check(
+        isinstance(slo, dict) and slo.get("good", 0) > 0,
+        f"SLO tracker counted good requests ({slo.get('good')})",
+    )
+    if sample_rate > 0 and samples_path:
+        try:
+            sampled = obs.validate_trace(samples_path)
+        except (obs.TraceFormatError, OSError) as exc:
+            check(False, f"sampled span trees validate ({exc})")
+        else:
+            roots = [s for s in sampled if s.get("parent_id") is None]
+            check(
+                len(roots) >= 1,
+                f"sampling wrote stitched span trees "
+                f"({len(roots)} trees, {len(sampled)} spans)",
+            )
+    if crash_drill:
+        drill = extras["drill"]
+        check(
+            drill["healthy"] == 200 and drill["crashed"] == 503,
+            f"crash drill: healthy 200 then clean 503 "
+            f"(got {drill['healthy']}, {drill['crashed']})",
+        )
+        dumps = sorted(
+            glob.glob(os.path.join(flight_dir or ".", "flight-*http-503*.json"))
+        )
+        if not dumps:
+            check(False, "flight recorder dumped on the 503")
+        else:
+            with open(dumps[-1], "r", encoding="utf-8") as fh:
+                dump = json.load(fh)
+            requests = [
+                r for r in dump.get("records", [])
+                if r.get("kind") == "request"
+            ]
+            check(
+                bool(requests) and requests[-1].get("status") == 503,
+                "flight dump's last recorded request is the 503 "
+                f"({dumps[-1]})",
+            )
     if trace_path:
         try:
             spans = obs.validate_trace(trace_path)
@@ -174,6 +404,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--trace", metavar="PATH", default=None)
     parser.add_argument("--metrics", metavar="PATH", default=None)
+    parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.0,
+        help="head-based trace sampling rate; >0 asserts stitched trees",
+    )
+    parser.add_argument(
+        "--samples",
+        metavar="PATH",
+        default=None,
+        help="sampled-tree JSONL path (default smoke-samples.jsonl)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="flight-recorder dump directory",
+    )
+    parser.add_argument(
+        "--crash-drill",
+        action="store_true",
+        help="kill a shard worker mid-run and assert the 503 + restart "
+        "+ flight dump (needs --workers > 0)",
+    )
     args = parser.parse_args(argv)
     _, _, failures = run_smoke(
         rps=args.rps,
@@ -183,6 +437,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         shape=args.shape,
         trace_path=args.trace,
         metrics_path=args.metrics,
+        sample_rate=args.sample_rate,
+        samples_path=args.samples,
+        flight_dir=args.flight_dir,
+        crash_drill=args.crash_drill,
     )
     if failures:
         print(f"\nserve-smoke FAILED ({len(failures)} checks)")

@@ -94,6 +94,7 @@ class PointTask:
         "cache_key",
         "enqueued_mono",
         "enqueued_unix",
+        "trace_id",
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class PointTask:
         options: SolveOptions,
         spec_hash: str,
         cache_key: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.config = config
         self.params = params
@@ -113,6 +115,9 @@ class PointTask:
         self.cache_key = cache_key
         self.enqueued_mono = time.monotonic()
         self.enqueued_unix = time.time()
+        # Sampled-request trace context: rides the task across the shard
+        # pipe so the worker knows to capture and ship its spans back.
+        self.trace_id = trace_id
 
     def __getstate__(self):
         return tuple(getattr(self, slot) for slot in self.__slots__)
@@ -170,7 +175,7 @@ def solve_batch_tasks(
     assemble_unix: float = 0.0,
     assembled_s: float = 0.0,
     shard: Optional[int] = None,
-) -> Tuple[List[Any], Dict[str, int]]:
+) -> Tuple[List[Any], Dict[str, Any]]:
     """Solve one assembled batch; returns per-point floats (or the
     exception that point's group raised, position-matched) plus the
     worker-cache hit/miss counts.
@@ -181,7 +186,45 @@ def solve_batch_tasks(
     remaining members of its group still solve together, and every
     execution path stays bitwise identical (stacked binds are per-point
     independent).
+
+    When any task carries a sampled ``trace_id``, the whole solve runs
+    under a span capture regardless of the process-global tracer: the
+    captured spans come back in ``stats["spans"]`` (picklable dicts, so
+    they cross the shard pipe in the batch reply) *and* are re-adopted
+    into any enclosing tracer, so a ``--trace`` session still sees them.
     """
+    if any(task.trace_id for task in tasks):
+        with obs.capture_spans() as shipped:
+            outcomes, stats = _solve_batch(
+                tasks,
+                ctx,
+                cache=cache,
+                assemble_unix=assemble_unix,
+                assembled_s=assembled_s,
+                shard=shard,
+            )
+        obs.adopt_spans(shipped)
+        stats["spans"] = shipped
+        return outcomes, stats
+    return _solve_batch(
+        tasks,
+        ctx,
+        cache=cache,
+        assemble_unix=assemble_unix,
+        assembled_s=assembled_s,
+        shard=shard,
+    )
+
+
+def _solve_batch(
+    tasks: Sequence[PointTask],
+    ctx: SolveContext,
+    *,
+    cache: Optional[TTLCache],
+    assemble_unix: float,
+    assembled_s: float,
+    shard: Optional[int],
+) -> Tuple[List[Any], Dict[str, Any]]:
     groups: Dict[Tuple[str, str, SolveOptions], List[int]] = {}
     for i, task in enumerate(tasks):
         groups.setdefault((task.method, task.spec_hash, task.options), []).append(i)
@@ -191,6 +234,9 @@ def solve_batch_tasks(
     attrs: Dict[str, Any] = {"size": len(tasks), "groups": len(groups)}
     if shard is not None:
         attrs["shard"] = shard
+    sampled_ids = sorted({t.trace_id for t in tasks if t.trace_id})
+    if sampled_ids:
+        attrs["trace_ids"] = sampled_ids
     with obs.span("serve.batch", **attrs) as batch_span:
         if obs.tracing_active():
             dequeued = time.time()
@@ -208,6 +254,7 @@ def solve_batch_tasks(
                     t.enqueued_unix,
                     dequeued - t.enqueued_unix,
                     config=t.config.key,
+                    **({"trace_id": t.trace_id} if t.trace_id else {}),
                 )
                 for t in tasks
             )

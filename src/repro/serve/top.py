@@ -1,0 +1,251 @@
+"""``repro-top`` — a live terminal dashboard for a running repro-serve.
+
+Polls ``/metricsz`` (flat JSON snapshot) and ``/healthz`` over plain
+HTTP and renders one screenful per interval: request rate and windowed
+latency quantiles, per-shard batch activity, cache hit rates, SLO burn,
+and worker liveness/restart counts.  Pure stdlib (``urllib``), pure
+read-only — it observes exactly what any other scraper would see, so
+the numbers here and in a Prometheus deployment are the same numbers.
+
+``--once`` prints a single frame and exits (the CI smoke job runs this
+against the live smoke server); the default loops until interrupted.
+Rendering is a pure function of the two JSON payloads, so tests drive
+:func:`render` directly with canned snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["build_parser", "fetch", "main", "render"]
+
+#: Windowed-metric prefix the server's LiveTelemetry exports under.
+_LIVE = "serve.live."
+
+
+def fetch(base_url: str, timeout_s: float = 5.0) -> Tuple[Dict, Dict]:
+    """One poll: (metricsz json, healthz json)."""
+    out = []
+    for path in ("/metricsz", "/healthz"):
+        with urllib.request.urlopen(base_url + path, timeout=timeout_s) as r:
+            out.append(json.load(r))
+    return out[0], out[1]
+
+
+def _fmt_ms(seconds: Any) -> str:
+    if not isinstance(seconds, (int, float)):
+        return "-"
+    return f"{1e3 * seconds:.2f}"
+
+
+def _fmt_rate(rate: Any) -> str:
+    if not isinstance(rate, (int, float)):
+        return "-"
+    return f"{rate:.1f}"
+
+
+def _window_block(metrics: Dict[str, Any], stem: str, window: str) -> Dict[str, Any]:
+    prefix = f"{stem}.w{window}."
+    return {
+        k[len(prefix):]: v for k, v in metrics.items() if k.startswith(prefix)
+    }
+
+
+def _shard_labels(metrics: Dict[str, Any]) -> List[str]:
+    labels = set()
+    prefix = _LIVE + "shard."
+    for key in metrics:
+        if key.startswith(prefix):
+            labels.add(key[len(prefix):].split(".", 1)[0])
+    return sorted(labels, key=lambda s: (s.isdigit() and int(s) or 0, s))
+
+
+def _cache_rates(metrics: Dict[str, Any]) -> List[Tuple[str, float, int]]:
+    """(cache name, hit fraction, lookups) for every ``*.hits`` counter
+    with a sibling ``*.misses``."""
+    out = []
+    for key, hits in sorted(metrics.items()):
+        if not key.endswith(".hits"):
+            continue
+        stem = key[: -len(".hits")]
+        misses = metrics.get(stem + ".misses")
+        if not isinstance(hits, (int, float)):
+            continue
+        if not isinstance(misses, (int, float)):
+            continue
+        total = hits + misses
+        if total > 0:
+            out.append((stem, hits / total, int(total)))
+    return out
+
+
+def render(
+    metrics: Dict[str, Any],
+    health: Dict[str, Any],
+    *,
+    window: str = "10s",
+) -> str:
+    """One dashboard frame from a /metricsz + /healthz payload pair."""
+    lines: List[str] = []
+    version = health.get("version", "?")
+    uptime = health.get("uptime_s")
+    up = f"{uptime:.0f}s" if isinstance(uptime, (int, float)) else "?"
+    lines.append(
+        f"repro-top — repro-serve {version}  up {up}  "
+        f"status {health.get('status', '?')}  window {window}"
+    )
+
+    req = _window_block(metrics, _LIVE + "request_s", window)
+    queue = _window_block(metrics, _LIVE + "queue_wait_s", window)
+    lines.append(
+        f"  requests   {_fmt_rate(req.get('rate')):>8}/s   "
+        f"p50 {_fmt_ms(req.get('p50')):>8}ms  "
+        f"p95 {_fmt_ms(req.get('p95')):>8}ms  "
+        f"p99 {_fmt_ms(req.get('p99')):>8}ms  "
+        f"p999 {_fmt_ms(req.get('p999')):>8}ms"
+    )
+    lines.append(
+        f"  queue wait {_fmt_rate(queue.get('rate')):>8}/s   "
+        f"p50 {_fmt_ms(queue.get('p50')):>8}ms  "
+        f"p95 {_fmt_ms(queue.get('p95')):>8}ms  "
+        f"p99 {_fmt_ms(queue.get('p99')):>8}ms"
+    )
+
+    slo = health.get("slo")
+    if isinstance(slo, dict):
+        windows = slo.get("windows", {})
+        burn = " ".join(
+            f"{w}={windows[w].get('burn_rate', 0.0):.2f}"
+            for w in ("1s", "10s", "60s")
+            if isinstance(windows.get(w), dict)
+        )
+        lines.append(
+            f"  slo        target {slo.get('target')}  "
+            f"good {slo.get('good', 0)}  bad {slo.get('bad', 0)}  "
+            f"burn[{burn}]"
+        )
+
+    shards = _shard_labels(metrics)
+    if shards:
+        lines.append("  shards:")
+        for label in shards:
+            stem = f"{_LIVE}shard.{label}"
+            batch = _window_block(metrics, f"{stem}.batch_size", window)
+            solve = _window_block(metrics, f"{stem}.solve_s", window)
+            lines.append(
+                f"    [{label:>6}] batches {_fmt_rate(batch.get('rate')):>7}/s"
+                f"  avg size {batch.get('mean', 0) or 0:.1f}"
+                f"  solve p95 {_fmt_ms(solve.get('p95')):>8}ms"
+            )
+
+    workers = health.get("workers")
+    if isinstance(workers, list) and workers:
+        lines.append("  workers:")
+        now = time.time()
+        for w in workers:
+            last = w.get("last_crash")
+            ago = (
+                f"{now - last:.0f}s ago"
+                if isinstance(last, (int, float))
+                else "never"
+            )
+            lines.append(
+                f"    [{w.get('index', '?'):>2}] "
+                f"{'alive' if w.get('alive') else 'DOWN '}  "
+                f"restarts {w.get('restart_count', w.get('restarts', 0))}  "
+                f"last crash {ago}"
+            )
+
+    caches = _cache_rates(metrics)
+    if caches:
+        lines.append("  caches:")
+        for name, rate, total in caches:
+            lines.append(
+                f"    {name:<40} {100 * rate:5.1f}% hit  ({total} lookups)"
+            )
+
+    sampling = health.get("trace_sampling")
+    if isinstance(sampling, dict):
+        lines.append(
+            f"  sampling   rate {sampling.get('rate')}  "
+            f"written {sampling.get('written', 0)} trees  "
+            f"pending {sampling.get('pending', 0)}  "
+            f"dropped {sampling.get('dropped', 0)}"
+        )
+    flight = health.get("flight_recorder")
+    if isinstance(flight, dict):
+        lines.append(
+            f"  flight     dir {flight.get('directory')}  "
+            f"dumps {flight.get('dumps', 0)}"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live terminal dashboard for a running repro-serve.",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="server base url (overrides --host/--port)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period in seconds (default 2)",
+    )
+    parser.add_argument(
+        "--window",
+        choices=("1s", "10s", "60s"),
+        default="10s",
+        help="which decaying window to display (default 10s)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (for scripts and CI)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    base = (
+        args.url.rstrip("/")
+        if args.url
+        else f"http://{args.host}:{args.port}"
+    )
+    while True:
+        try:
+            metrics, health = fetch(base)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"repro-top: cannot poll {base}: {exc}", file=sys.stderr)
+            return 1
+        frame = render(metrics, health, window=args.window)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home keeps the frame in place like top(1).
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,427 @@
+"""Unit tests for the live-telemetry layer (repro.obs.live)."""
+
+import json
+import os
+import random
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.export import validate_trace, write_trace
+from repro.obs.live import (
+    NULL_LIVE,
+    FlightRecorder,
+    LiveTelemetry,
+    RotatingTraceWriter,
+    SloTracker,
+    TraceCollector,
+    TraceSampler,
+)
+from repro.obs.metrics import (
+    LogLinearHistogram,
+    Metrics,
+    WindowedHistogram,
+)
+
+
+def _span(span_id, parent_id=None, name="work", pid=1):
+    return {
+        "type": "span",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start_unix": 1000.0,
+        "wall_s": 0.01,
+        "cpu_s": 0.0,
+        "pid": pid,
+        "attrs": {},
+    }
+
+
+# --------------------------------------------------------------------- #
+# log-linear histogram
+# --------------------------------------------------------------------- #
+
+
+class TestLogLinearHistogram:
+    def test_quantiles_within_bucket_error(self):
+        rng = random.Random(42)
+        values = [rng.lognormvariate(-5.0, 1.0) for _ in range(20_000)]
+        hist = LogLinearHistogram.from_values(values)
+        ordered = sorted(values)
+        for q in (0.5, 0.95, 0.99, 0.999):
+            true = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            est = hist.quantile(q)
+            # Bucket upper edges bound relative error by 1/16.
+            assert true <= est * (1 + 1e-12)
+            assert est <= true * (1 + 1.0 / 16 + 0.01)
+
+    def test_merge_is_bucket_exact(self):
+        rng = random.Random(7)
+        a_vals = [rng.expovariate(100.0) for _ in range(500)]
+        b_vals = [rng.expovariate(10.0) for _ in range(500)]
+        merged = LogLinearHistogram.from_values(a_vals)
+        merged.merge(LogLinearHistogram.from_values(b_vals))
+        direct = LogLinearHistogram.from_values(a_vals + b_vals)
+        assert merged.buckets == direct.buckets
+        assert merged.count == direct.count
+        assert merged.total == pytest.approx(direct.total)
+        for q in (0.5, 0.99):
+            assert merged.quantile(q) == direct.quantile(q)
+
+    def test_extreme_values_clamp(self):
+        hist = LogLinearHistogram.from_values([0.0, 1e-12, 1e12])
+        assert hist.count == 3
+        assert hist.quantile(0.999) > 0
+
+    def test_empty_quantile_zero(self):
+        assert LogLinearHistogram().quantile(0.5) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# windowed histogram decay
+# --------------------------------------------------------------------- #
+
+
+class TestWindowedHistogram:
+    def test_windows_decay_with_clock(self):
+        now = [1000.0]
+        hist = WindowedHistogram("w")
+        hist._clock = lambda: now[0]
+        for _ in range(100):
+            hist.observe(0.005)
+        w1 = hist.window(1.0)
+        assert w1.count == 100
+        # 30 seconds later the 1s and 10s windows are empty, 60s keeps it.
+        now[0] += 30.0
+        assert hist.window(1.0).count == 0
+        assert hist.window(10.0).count == 0
+        assert hist.window(60.0).count == 100
+        now[0] += 60.0
+        assert hist.window(60.0).count == 0
+        # Cumulative count never decays.
+        assert hist.count == 100
+
+    def test_rate_is_per_second(self):
+        now = [2000.0]
+        hist = WindowedHistogram("w")
+        hist._clock = lambda: now[0]
+        for _ in range(50):
+            hist.observe(0.001)
+        assert hist.window(10.0).rate == pytest.approx(5.0)
+
+    def test_state_merge_roundtrip(self):
+        now = [3000.0]
+        a = WindowedHistogram("w")
+        b = WindowedHistogram("w")
+        a._clock = b._clock = lambda: now[0]
+        for i in range(40):
+            a.observe(0.001 * (i + 1))
+            b.observe(0.002 * (i + 1))
+        merged = WindowedHistogram("w")
+        merged._clock = lambda: now[0]
+        merged.merge_state(a.state())
+        merged.merge_state(b.state())
+        assert merged.count == 80
+        assert merged.window(10.0).count == 80
+
+
+# --------------------------------------------------------------------- #
+# SLO tracker
+# --------------------------------------------------------------------- #
+
+
+class TestSloTracker:
+    def test_classification(self):
+        classify = SloTracker.classify
+        assert classify(200, 0.01, None) is True
+        assert classify(200, 0.01, 50.0) is True
+        assert classify(200, 0.10, 50.0) is False  # deadline blown
+        assert classify(500, 0.01, None) is False
+        assert classify(503, 0.01, 50.0) is False
+        assert classify(429, 0.0, None) is False
+        assert classify(400, 0.01, None) is None  # client error excluded
+        assert classify(404, 0.01, None) is None
+
+    def test_burn_rate_math(self):
+        now = [5000.0]
+        slo = SloTracker(0.99)
+        slo._clock = lambda: now[0]
+        for _ in range(99):
+            slo.record(200, 0.01)
+        slo.record(503, 0.01)
+        window = slo.window(10.0)
+        assert window["good"] == 99
+        assert window["bad"] == 1
+        # 1% bad over a 1% budget: burning exactly as provisioned.
+        assert window["burn_rate"] == pytest.approx(1.0)
+
+    def test_windows_decay(self):
+        now = [6000.0]
+        slo = SloTracker(0.999)
+        slo._clock = lambda: now[0]
+        slo.record(500, 0.0)
+        assert slo.window(1.0)["bad"] == 1
+        now[0] += 30.0
+        assert slo.window(1.0)["bad"] == 0
+        assert slo.window(60.0)["bad"] == 1
+        assert slo.bad == 1  # cumulative survives
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker(0.0)
+        with pytest.raises(ValueError):
+            SloTracker(1.0)
+
+    def test_to_dict_shape(self):
+        d = SloTracker(0.99).to_dict()
+        assert d["target"] == 0.99
+        assert set(d["windows"]) == {"1s", "10s", "60s"}
+
+
+# --------------------------------------------------------------------- #
+# sampler
+# --------------------------------------------------------------------- #
+
+
+class TestTraceSampler:
+    def test_deterministic_for_seed(self):
+        a = TraceSampler(0.3, seed=11)
+        b = TraceSampler(0.3, seed=11)
+        decisions_a = [a.sample() is not None for _ in range(500)]
+        decisions_b = [b.sample() is not None for _ in range(500)]
+        assert decisions_a == decisions_b
+        kept = sum(decisions_a)
+        assert 100 < kept < 200  # ~150 expected
+
+    def test_zero_rate_never_keeps_force_always_does(self):
+        sampler = TraceSampler(0.0, seed=0)
+        assert all(sampler.sample() is None for _ in range(100))
+        forced = sampler.sample(force=True)
+        assert forced is not None and "-r" in forced
+
+    def test_ids_unique(self):
+        sampler = TraceSampler(1.0)
+        ids = {sampler.sample() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            TraceSampler(1.5)
+
+
+# --------------------------------------------------------------------- #
+# collector stitching
+# --------------------------------------------------------------------- #
+
+
+class TestTraceCollector:
+    def test_stitch_produces_valid_tree(self, tmp_path):
+        collector = TraceCollector()
+        # A worker-side batch: a root batch span with one child.
+        collector.add("t1", [_span("w-1"), _span("w-2", parent_id="w-1")])
+        root = _span("p-1", name="serve.request", pid=2)
+        tree = collector.finish("t1", root)
+        assert len(tree) == 3
+        assert tree[0]["attrs"]["trace_id"] == "t1"
+        path = str(tmp_path / "stitched.jsonl")
+        write_trace(tree, path)
+        spans = validate_trace(path)
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert len(roots) == 1
+
+    def test_shared_batch_spans_get_fresh_ids(self):
+        collector = TraceCollector()
+        batch = [_span("w-1"), _span("w-2", parent_id="w-1")]
+        collector.add("t1", batch)
+        collector.add("t2", batch)
+        tree1 = collector.finish("t1", _span("p-1"))
+        tree2 = collector.finish("t2", _span("p-2"))
+        ids1 = {s["span_id"] for s in tree1}
+        ids2 = {s["span_id"] for s in tree2}
+        assert not ids1 & ids2
+
+    def test_eviction_bounds_memory(self):
+        collector = TraceCollector(max_traces=4)
+        for i in range(10):
+            collector.add(f"t{i}", [_span(f"w-{i}")])
+        assert collector.pending() == 4
+        assert collector.dropped == 6
+
+    def test_finish_unknown_trace_is_root_only(self):
+        tree = TraceCollector().finish("missing", _span("p-1"))
+        assert len(tree) == 1
+
+
+# --------------------------------------------------------------------- #
+# rotating writer
+# --------------------------------------------------------------------- #
+
+
+class TestRotatingTraceWriter:
+    def test_each_file_validates(self, tmp_path):
+        path = str(tmp_path / "samples.jsonl")
+        writer = RotatingTraceWriter(path, max_bytes=2000, backups=2)
+        for i in range(30):
+            writer.write(
+                [_span(f"r-{i}"), _span(f"c-{i}", parent_id=f"r-{i}")]
+            )
+        assert writer.trees == 30
+        files = [path] + [
+            f"{path}.{n}"
+            for n in range(1, 3)
+            if os.path.exists(f"{path}.{n}")
+        ]
+        assert len(files) >= 2, "rotation never triggered"
+        for f in files:
+            spans = validate_trace(f)
+            assert spans
+
+    def test_backups_bounded(self, tmp_path):
+        path = str(tmp_path / "samples.jsonl")
+        writer = RotatingTraceWriter(path, max_bytes=500, backups=2)
+        for i in range(200):
+            writer.write([_span(f"r-{i}")])
+        assert not os.path.exists(f"{path}.3")
+
+
+# --------------------------------------------------------------------- #
+# flight recorder
+# --------------------------------------------------------------------- #
+
+
+class TestFlightRecorder:
+    def test_ring_bounded_and_dump(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), capacity=8)
+        for i in range(20):
+            recorder.record("request", status=200, seq=i)
+        assert recorder.last()["seq"] == 19
+        path = recorder.dump("test-reason")
+        assert path is not None and os.path.exists(path)
+        with open(path) as fh:
+            dump = json.load(fh)
+        assert dump["reason"] == "test-reason"
+        assert len(dump["records"]) == 8
+        assert dump["records"][-1]["seq"] == 19
+
+    def test_throttle_is_per_reason(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), min_interval_s=60.0)
+        recorder.record("request", status=503)
+        assert recorder.dump("http-503") is not None
+        assert recorder.dump("http-503") is None  # same reason throttled
+        assert recorder.dump("worker-crash-shard0") is not None
+
+    def test_no_directory_no_dump(self):
+        recorder = FlightRecorder(None)
+        recorder.record("request", status=200)
+        assert recorder.dump("whatever") is None
+
+    def test_reason_sanitized(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        path = recorder.dump("weird/../reason !")
+        assert path is not None
+        assert "/.." not in os.path.basename(path)
+
+
+# --------------------------------------------------------------------- #
+# the bundle
+# --------------------------------------------------------------------- #
+
+
+class TestLiveTelemetry:
+    def test_record_request_feeds_windowed_and_slo(self):
+        metrics = Metrics()
+        live = LiveTelemetry(metrics, windowed=True)
+        live.record_request(200, 0.01, 50.0, method="POST", path="/v1/evaluate")
+        live.record_request(503, 0.01, 50.0, method="POST", path="/v1/evaluate")
+        assert metrics.value("serve.live.slo.good") == 1
+        assert metrics.value("serve.live.slo.bad") == 1
+        assert metrics.value("serve.live.request_s") == 2
+        health = live.health()
+        assert health["slo"]["good"] == 1
+        assert health["slo"]["bad"] == 1
+
+    def test_windowed_off_still_tracks_slo(self):
+        metrics = Metrics()
+        live = LiveTelemetry(metrics, windowed=False)
+        live.record_request(200, 0.01)
+        live.record_queue_wait(0.001)
+        live.record_batch(0, 4, 0.002)
+        assert "serve.live.request_s" not in metrics.to_dict()
+        assert live.health()["slo"]["good"] == 1
+
+    def test_shard_instruments_lazy(self):
+        metrics = Metrics()
+        live = LiveTelemetry(metrics)
+        live.record_batch(1, 8, 0.004)
+        live.record_batch(None, 2, 0.001)
+        flat = metrics.to_dict()
+        assert "serve.live.shard.1.batch_size.count" in flat
+        assert "serve.live.shard.solver.batch_size.count" in flat
+
+    def test_finish_trace_counts_and_writes(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        metrics = Metrics()
+        live = LiveTelemetry(metrics, sample_rate=1.0, trace_path=path)
+        trace_id = live.sample()
+        live.collect(trace_id, [_span("w-1")])
+        tree = live.finish_trace(trace_id, _span("p-1"))
+        assert len(tree) == 2
+        assert metrics.value("serve.live.traces.sampled") == 1
+        assert validate_trace(path)
+
+    def test_thread_safety_smoke(self):
+        live = LiveTelemetry(Metrics(), sample_rate=0.5)
+
+        def hammer(seed):
+            for i in range(200):
+                trace_id = live.sample()
+                live.record_request(200, 0.001, 10.0)
+                live.record_batch(seed % 3, 2, 0.001)
+                if trace_id:
+                    live.collect(trace_id, [_span(f"{seed}-{i}")])
+                    live.finish_trace(trace_id, _span(f"{seed}-root-{i}"))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert live.slo.good == 800
+
+    def test_null_live_is_inert(self):
+        assert NULL_LIVE.enabled is False
+        assert NULL_LIVE.sample(force=True) is None
+        NULL_LIVE.record_request(500, 1.0)
+        NULL_LIVE.record_batch(0, 1, 0.1)
+        NULL_LIVE.on_worker_crash(0, 1)
+        assert NULL_LIVE.dump_flight("x") is None
+        assert NULL_LIVE.finish_trace("t", {}) == []
+        assert NULL_LIVE.health() == {}
+
+
+# --------------------------------------------------------------------- #
+# exports
+# --------------------------------------------------------------------- #
+
+
+def test_obs_exports_live_names():
+    for name in (
+        "LiveTelemetry",
+        "NULL_LIVE",
+        "SloTracker",
+        "TraceSampler",
+        "TraceCollector",
+        "RotatingTraceWriter",
+        "FlightRecorder",
+        "render_prom",
+        "validate_prom_text",
+        "PROM_CONTENT_TYPE",
+        "PromFormatError",
+        "WindowedHistogram",
+        "LogLinearHistogram",
+    ):
+        assert hasattr(obs, name), name

@@ -1,0 +1,189 @@
+"""Concurrency tests for the metrics registry (windowed + classic).
+
+The registry's merge algebra must hold under the two kinds of
+concurrency the serving stack actually produces:
+
+* many threads hammering one registry (the HTTP event loop, the
+  batcher's dispatch task, and the topology's reader threads all write
+  into the service registry);
+* snapshots from forked workers merged into the parent in whatever
+  order the pipe delivers them (merge must be order-independent).
+"""
+
+import multiprocessing
+import random
+import threading
+
+from repro.obs.metrics import Metrics
+
+THREADS = 8
+OPS = 2_000
+
+
+def test_thread_hammer_counts_exact():
+    """N threads x M observes each: nothing lost, nothing doubled."""
+    metrics = Metrics()
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(seed):
+        rng = random.Random(seed)
+        counter = metrics.counter("hammer.count")
+        hist = metrics.histogram("hammer.lat_s")
+        windowed = metrics.windowed("hammer.win_s")
+        barrier.wait()
+        for _ in range(OPS):
+            counter.inc()
+            value = rng.expovariate(1000.0)
+            hist.observe(value)
+            windowed.observe(value)
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert metrics.value("hammer.count") == THREADS * OPS
+    assert metrics.histogram("hammer.lat_s").count == THREADS * OPS
+    assert metrics.windowed("hammer.win_s").count == THREADS * OPS
+
+
+def test_thread_hammer_instrument_creation_race():
+    """Concurrent first-touch of the same instrument name must yield
+    one shared instrument, not last-writer-wins copies."""
+    metrics = Metrics()
+    barrier = threading.Barrier(THREADS)
+
+    def create_and_count(_):
+        barrier.wait()
+        for i in range(200):
+            metrics.counter(f"race.c{i % 10}").inc()
+            metrics.windowed(f"race.w{i % 10}").observe(0.001)
+
+    threads = [
+        threading.Thread(target=create_and_count, args=(t,))
+        for t in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for i in range(10):
+        assert metrics.value(f"race.c{i}") == THREADS * 20
+        assert metrics.windowed(f"race.w{i}").count == THREADS * 20
+
+
+def _worker_snapshot(seed: int):
+    """One forked worker's registry snapshot (runs in a child process)."""
+    rng = random.Random(seed)
+    metrics = Metrics()
+    counter = metrics.counter("fleet.requests")
+    hist = metrics.histogram("fleet.lat_s")
+    windowed = metrics.windowed("fleet.win_s")
+    for _ in range(500):
+        counter.inc()
+        value = rng.expovariate(500.0)
+        hist.observe(value)
+        windowed.observe(value)
+    return metrics.snapshot()
+
+
+def _snapshot_in_child(seed: int, queue) -> None:
+    queue.put(_worker_snapshot(seed))
+
+
+def test_forked_worker_snapshots_merge_order_independent():
+    """Snapshots from real forked processes merge to the same registry
+    in any order — the associativity/commutativity the sharded serving
+    topology relies on when folding worker stats."""
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_snapshot_in_child, args=(seed, queue))
+        for seed in range(4)
+    ]
+    for p in procs:
+        p.start()
+    snapshots = [queue.get(timeout=30) for _ in procs]
+    for p in procs:
+        p.join(timeout=30)
+        assert p.exitcode == 0
+
+    orders = [
+        snapshots,
+        list(reversed(snapshots)),
+        [snapshots[2], snapshots[0], snapshots[3], snapshots[1]],
+    ]
+    merged_snaps = []
+    for order in orders:
+        merged = Metrics()
+        for snap in order:
+            merged.merge_snapshot(snap)
+        merged_snaps.append(merged.snapshot())
+
+    def _structure(snap):
+        """The order-exact parts: counts and bucket maps (float *totals*
+        are sums, associative only up to rounding — compared separately)."""
+        return {
+            "counters": snap.get("counters"),
+            "hist_counts": {
+                k: v[0] for k, v in snap.get("histograms", {}).items()
+            },
+            "windowed": {
+                k: (v[0], {slot: dict(s[2]) for slot, s in v[2].items()})
+                for k, v in snap.get("windowed", {}).items()
+            },
+        }
+
+    assert (
+        _structure(merged_snaps[0])
+        == _structure(merged_snaps[1])
+        == _structure(merged_snaps[2])
+    )
+    totals = [s["windowed"]["fleet.win_s"][1] for s in merged_snaps]
+    assert max(totals) - min(totals) < 1e-9 * max(1.0, abs(totals[0]))
+
+    merged = Metrics()
+    for snap in snapshots:
+        merged.merge_snapshot(snap)
+    assert merged.value("fleet.requests") == 4 * 500
+    assert merged.histogram("fleet.lat_s").count == 4 * 500
+    assert merged.windowed("fleet.win_s").count == 4 * 500
+
+
+def test_concurrent_merge_and_write():
+    """Merging snapshots while other threads keep writing must neither
+    crash nor lose the writes."""
+    metrics = Metrics()
+    donor = Metrics()
+    donor.counter("mix.count").inc(10)
+    donor.windowed("mix.win_s").observe(0.001)
+    snap = donor.snapshot()
+    stop = threading.Event()
+
+    def writer():
+        counter = metrics.counter("mix.count")
+        windowed = metrics.windowed("mix.win_s")
+        while not stop.is_set():
+            counter.inc()
+            windowed.observe(0.002)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    merges = 50
+    for _ in range(merges):
+        metrics.merge_snapshot(snap)
+    stop.set()
+    for t in threads:
+        t.join()
+    # Exactly merges*10 merged increments on top of whatever the
+    # writers got in.
+    total = metrics.value("mix.count")
+    assert total >= merges * 10
+    assert (
+        metrics.windowed("mix.win_s").count
+        >= merges
+    )

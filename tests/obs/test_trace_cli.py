@@ -1,0 +1,108 @@
+"""Tests for the repro-trace CLI (repro.obs.trace_cli)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import write_trace
+from repro.obs.trace_cli import main, summarize
+
+
+def _span(span_id, parent_id=None, name="work", pid=1, trace_id=None):
+    attrs = {"trace_id": trace_id} if trace_id else {}
+    return {
+        "type": "span",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start_unix": 1000.0,
+        "wall_s": 0.02,
+        "cpu_s": 0.01,
+        "pid": pid,
+        "attrs": attrs,
+    }
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    write_trace(
+        [
+            _span("a-1", name="serve.request", trace_id="t-1"),
+            _span("a-2", parent_id="a-1", name="serve.batch", pid=2),
+            _span("a-3", parent_id="a-2", name="serve.batch.solve", pid=2),
+        ],
+        path,
+    )
+    return path
+
+
+def test_valid_trace_exits_zero(trace_file, capsys):
+    assert main([trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "valid trace" in out
+    assert "3 spans" in out
+    assert "sampled traces: 1" in out
+
+
+def test_json_summary(trace_file, capsys):
+    assert main([trace_file, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["valid"] is True
+    assert summary["spans"] == 3
+    assert summary["roots"] == 1
+    assert summary["processes"] == 2
+    assert summary["sampled_traces"] == 1
+    assert summary["names"]["serve.batch"] == 1
+
+
+def test_malformed_trace_exits_two(tmp_path, capsys):
+    path = str(tmp_path / "bad.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"type": "span"}\n')  # no header
+    assert main([path]) == 2
+    assert "invalid trace" in capsys.readouterr().err
+
+
+def test_missing_file_exits_one(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.jsonl")]) == 1
+
+
+def test_require_failure_exits_three(trace_file, capsys):
+    assert main([trace_file, "--quiet", "--require", "not.there"]) == 3
+    assert "not.there" in capsys.readouterr().err
+
+
+def test_require_success(trace_file):
+    assert (
+        main(
+            [
+                trace_file,
+                "--quiet",
+                "--require",
+                "serve.request",
+                "--require",
+                "serve.batch",
+            ]
+        )
+        == 0
+    )
+
+
+def test_min_spans_and_coverage(trace_file):
+    assert main([trace_file, "--quiet", "--min-spans", "10"]) == 3
+    assert main([trace_file, "--quiet", "--min-coverage", "1.01"]) == 3
+    assert main([trace_file, "--quiet", "--min-spans", "3"]) == 0
+
+
+def test_summarize_counts():
+    spans = [
+        _span("a-1", name="root"),
+        _span("a-2", parent_id="a-1", trace_id="x"),
+        _span("b-1", name="root", pid=3, trace_id="y"),
+    ]
+    summary = summarize(spans)
+    assert summary["roots"] == 2
+    assert summary["processes"] == 2
+    assert summary["sampled_traces"] == 2
+    assert summary["names"]["root"] == 2
