@@ -54,20 +54,38 @@ from .engine import (  # noqa: E402
     SweepResult,
     evaluate,
 )
+from .advise import (  # noqa: E402
+    AdviseRequest,
+    AdviseResult,
+    CostModel,
+    advise,
+)
+from .models import (  # noqa: E402
+    ConfigSpace,
+    ParamAxis,
+    SearchSpace,
+)
 
 __all__ = [
     "ALL_CONFIGURATIONS",
+    "AdviseRequest",
+    "AdviseResult",
     "Axis",
+    "ConfigSpace",
     "Configuration",
+    "CostModel",
     "DiskCache",
     "EngineProvenance",
     "InternalRaid",
     "PAPER_TARGET_EVENTS_PER_PB_YEAR",
+    "ParamAxis",
     "Parameters",
     "RebuildModel",
     "ReliabilityResult",
+    "SearchSpace",
     "SweepEngine",
     "SweepResult",
+    "advise",
     "all_configurations",
     "evaluate",
     "evaluate_all",

@@ -1,0 +1,39 @@
+"""Design-space optimizer: invert the reliability model.
+
+Given a reliability target, a cost model and a declarative search
+space, :func:`advise` finds the Pareto frontier of annual cost vs.
+data-loss events per PB-year vs. storage overhead — every candidate
+evaluated through the memoized sweep engine, bitwise-identically to
+``repro.evaluate()``.  Served online as ``POST /v1/advise`` and on the
+command line as ``repro-advise``; see ``docs/advise.md``.
+"""
+
+from .cost import CostBreakdown, CostError, CostModel
+from .request import (
+    DEFAULT_AXES,
+    MAX_ADVISE_CANDIDATES,
+    AdviseError,
+    AdviseRequest,
+)
+from .search import (
+    AdviseResult,
+    Candidate,
+    advise,
+    dominates,
+    pareto_indices,
+)
+
+__all__ = [
+    "DEFAULT_AXES",
+    "MAX_ADVISE_CANDIDATES",
+    "AdviseError",
+    "AdviseRequest",
+    "AdviseResult",
+    "Candidate",
+    "CostBreakdown",
+    "CostError",
+    "CostModel",
+    "advise",
+    "dominates",
+    "pareto_indices",
+]

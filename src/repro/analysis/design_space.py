@@ -21,12 +21,14 @@ if TYPE_CHECKING:  # pragma: no cover
 from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR
 from ..models.parameters import KB, Parameters
 from ..models.raid import InternalRaid
+from ..models.space import ConfigSpace, ParamAxis, SearchSpace, storage_overhead
 
 __all__ = [
     "DesignCandidate",
     "enumerate_designs",
     "cheapest_meeting",
     "pareto_front",
+    "storage_overhead",
 ]
 
 
@@ -61,19 +63,6 @@ class DesignCandidate:
         )
 
 
-def storage_overhead(config: Configuration, r: int, d: int) -> float:
-    """Raw-to-user byte ratio for a design (cross-node code x internal RAID)."""
-    t = config.node_fault_tolerance
-    if r <= t:
-        raise ValueError("redundancy set must exceed the fault tolerance")
-    cross = r / (r - t)
-    if config.internal is InternalRaid.RAID5:
-        return cross * d / (d - 1)
-    if config.internal is InternalRaid.RAID6:
-        return cross * d / (d - 2)
-    return cross
-
-
 def enumerate_designs(
     base: Parameters,
     internal_levels: Sequence[InternalRaid] = (
@@ -89,41 +78,45 @@ def enumerate_designs(
 ) -> List[DesignCandidate]:
     """Evaluate the full design grid.
 
-    Invalid combinations (R <= t, R > N) are skipped silently.  With an
+    The grid is declared as a :class:`repro.models.SearchSpace` (internal
+    level outermost, matching this module's historical order); invalid
+    combinations (R <= t, R > N) are skipped silently.  With an
     ``engine``, the whole grid is evaluated in one batch (compiled specs
     re-bound per point, pooled, optionally disk-cached) with
     bitwise-identical results.
     """
     d = base.drives_per_node
-    grid = []
-    for internal in internal_levels:
-        for t in fault_tolerances:
-            config = Configuration(internal, t)
-            for r in set_sizes:
-                if r <= t or r > base.node_set_size:
-                    continue
-                for kb in rebuild_kbs:
-                    params = base.replace(
-                        redundancy_set_size=r, rebuild_command_bytes=kb * KB
-                    )
-                    grid.append((config, r, kb, params))
+    space = SearchSpace(
+        configs=ConfigSpace(
+            internal_levels=tuple(internal_levels),
+            fault_tolerances=tuple(fault_tolerances),
+        ),
+        axes=(
+            ParamAxis("redundancy_set_size", tuple(set_sizes)),
+            ParamAxis(
+                "rebuild_command_bytes", tuple(kb * KB for kb in rebuild_kbs)
+            ),
+        ),
+        major="internal",
+    )
+    points, _ = space.grid(base)
     if engine is not None:
         results = engine.evaluate_many(
-            [(config, params) for config, _, _, params in grid], method=method
+            [(p.config, p.params) for p in points], method=method
         )
     else:
-        results = [
-            config.reliability(params, method) for config, _, _, params in grid
-        ]
+        results = [p.config.reliability(p.params, method) for p in points]
     return [
         DesignCandidate(
-            config=config,
-            redundancy_set_size=r,
-            rebuild_kb=kb,
+            config=point.config,
+            redundancy_set_size=point.params.redundancy_set_size,
+            rebuild_kb=int(dict(point.coords)["rebuild_command_bytes"]) // KB,
             events_per_pb_year=result.events_per_pb_year,
-            storage_overhead=storage_overhead(config, r, d),
+            storage_overhead=storage_overhead(
+                point.config, point.params.redundancy_set_size, d
+            ),
         )
-        for (config, r, kb, _), result in zip(grid, results)
+        for point, result in zip(points, results)
     ]
 
 

@@ -29,6 +29,7 @@ from ..core.solvers import DEFAULT_SOLVE_OPTIONS, SolveOptions
 from ..models.configurations import Configuration
 from ..models.metrics import PAPER_TARGET_EVENTS_PER_PB_YEAR, ReliabilityResult
 from ..models.parameters import Parameters
+from ..models.space import SearchSpace
 from .. import __version__, obs
 from ..reporting import Series
 from .cache import DEFAULT_CACHE_DIR, DiskCache
@@ -423,3 +424,40 @@ class SweepEngine:
             GridPoint(config=config, coords=coords, params=params, result=result)
             for (config, coords, params), result in zip(entries, results)
         ]
+
+    def evaluate_space(
+        self,
+        space: "SearchSpace",
+        *,
+        base_params: Optional[Parameters] = None,
+        method: Optional[str] = None,
+        options: Optional[SolveOptions] = None,
+    ) -> Tuple[List[GridPoint], int]:
+        """Evaluate every feasible point of a declarative
+        :class:`repro.models.SearchSpace` in one batch.
+
+        Enumeration order is the space's own (config-major, axes in
+        declared order) rather than :meth:`grid`'s axes-major order.
+        Returns the evaluated points plus the number of infeasible
+        combinations the space skipped.  Results are bitwise identical
+        to ``config.reliability(params, method)`` per point.
+        """
+        base = base_params if base_params is not None else self._base
+        points, skipped = space.grid(base)
+        results = self.evaluate_many(
+            [(p.config, p.params) for p in points],
+            method=method,
+            options=options,
+        )
+        return (
+            [
+                GridPoint(
+                    config=p.config,
+                    coords=p.coords,
+                    params=p.params,
+                    result=result,
+                )
+                for p, result in zip(points, results)
+            ],
+            skipped,
+        )

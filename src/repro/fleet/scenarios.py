@@ -54,6 +54,7 @@ from ..core.solvers import SolveOptions
 from ..models.configurations import Configuration
 from ..models.parameters import Parameters
 from ..models.raid import InternalRaid
+from ..models.space import ConfigSpace
 from .chain import FleetModel
 from .cohorts import Cohort, FleetSpec
 from .phasetype import fit_weibull
@@ -80,6 +81,22 @@ FAMILIES: Tuple[str, ...] = (
     "non-uniform-peers",
     "repair-skew",
 )
+
+_INTERNAL_RAID_LEVELS = (InternalRaid.RAID5, InternalRaid.RAID6)
+
+#: Per-family configuration grids the scenario builders draw from.  The
+#: tuples' content *and order* pin the rng draw sequence, so the corpus
+#: stays bitwise-identical across releases — change these only with a
+#: corpus version bump.  (The cohort walker models internal-RAID bricks
+#: only, hence no ``InternalRaid.NONE``; two-vintage fleets stay small
+#: enough to afford t=3.)
+CONFIG_SPACES: Dict[str, ConfigSpace] = {
+    "two-vintage": ConfigSpace(_INTERNAL_RAID_LEVELS, (1, 2, 3)),
+    "infant-mortality": ConfigSpace(_INTERNAL_RAID_LEVELS, (1, 2)),
+    "wear-out": ConfigSpace(_INTERNAL_RAID_LEVELS, (1, 2)),
+    "non-uniform-peers": ConfigSpace(_INTERNAL_RAID_LEVELS, (1, 2)),
+    "repair-skew": ConfigSpace(_INTERNAL_RAID_LEVELS, (1, 2)),
+}
 
 
 def canonical_fleets(base: Parameters) -> Dict[str, FleetSpec]:
@@ -219,7 +236,7 @@ class ScenarioGenerator:
     def scenario(self, family: str, index: int) -> Scenario:
         rng = random.Random(f"{self.seed}:{index}")
         builder = getattr(self, "_" + family.replace("-", "_"))
-        fleet = builder(rng)
+        fleet = builder(rng, CONFIG_SPACES[family])
         return Scenario(
             scenario_id=f"{family}-{index:05d}",
             family=family,
@@ -232,13 +249,10 @@ class ScenarioGenerator:
     # family builders (all draws go through rng — nothing else)
     # ------------------------------------------------------------------ #
 
-    def _raid(self, rng: random.Random) -> InternalRaid:
-        return rng.choice((InternalRaid.RAID5, InternalRaid.RAID6))
-
-    def _fleet(self, rng, cohorts, fault_tolerance) -> FleetSpec:
+    def _fleet(self, rng, cohorts, fault_tolerance, space) -> FleetSpec:
         return FleetSpec(
             base=self.base,
-            internal=self._raid(rng),
+            internal=rng.choice(space.internal_levels),
             fault_tolerance=fault_tolerance,
             cohorts=tuple(cohorts),
         )
@@ -246,8 +260,8 @@ class ScenarioGenerator:
     def _mttf(self, rng: random.Random, lo: float, hi: float) -> float:
         return self.base.node_mttf_hours * rng.uniform(lo, hi)
 
-    def _two_vintage(self, rng: random.Random) -> FleetSpec:
-        t = rng.choice((1, 2, 3))
+    def _two_vintage(self, rng: random.Random, space: ConfigSpace) -> FleetSpec:
+        t = rng.choice(space.fault_tolerances)
         old = rng.randrange(4, 13)
         new = rng.randrange(4, 13)
         while old + new < self.base.redundancy_set_size:
@@ -258,10 +272,12 @@ class ScenarioGenerator:
                 "vintage-b", new, node_mttf_hours=self._mttf(rng, 0.3, 0.9)
             ),
         ]
-        return self._fleet(rng, cohorts, t)
+        return self._fleet(rng, cohorts, t, space)
 
-    def _infant_mortality(self, rng: random.Random) -> FleetSpec:
-        t = rng.choice((1, 2))
+    def _infant_mortality(
+        self, rng: random.Random, space: ConfigSpace
+    ) -> FleetSpec:
+        t = rng.choice(space.fault_tolerances)
         shape = rng.uniform(0.45, 0.9)
         mean = self._mttf(rng, 0.5, 1.2)
         fit = fit_weibull(shape, mean=mean)
@@ -273,10 +289,10 @@ class ScenarioGenerator:
             cohorts[0] = Cohort.make(
                 "burn-in", cohorts[0].nodes + 1, lifetime=fit.dist
             )
-        return self._fleet(rng, cohorts, t)
+        return self._fleet(rng, cohorts, t, space)
 
-    def _wear_out(self, rng: random.Random) -> FleetSpec:
-        t = rng.choice((1, 2))
+    def _wear_out(self, rng: random.Random, space: ConfigSpace) -> FleetSpec:
+        t = rng.choice(space.fault_tolerances)
         shape = rng.uniform(1.45, 1.75)  # cv^2 in (1/3, 1): exact 3-stage fit
         mean = self._mttf(rng, 0.6, 1.1)
         fit = fit_weibull(shape, mean=mean)
@@ -288,10 +304,12 @@ class ScenarioGenerator:
             Cohort.make("aged", aged, lifetime=fit.dist),
             Cohort.make("fresh", fresh),
         ]
-        return self._fleet(rng, cohorts, t)
+        return self._fleet(rng, cohorts, t, space)
 
-    def _non_uniform_peers(self, rng: random.Random) -> FleetSpec:
-        t = rng.choice((1, 2))
+    def _non_uniform_peers(
+        self, rng: random.Random, space: ConfigSpace
+    ) -> FleetSpec:
+        t = rng.choice(space.fault_tolerances)
         groups = rng.choice((3, 4))
         cohorts = []
         for g in range(groups):
@@ -309,10 +327,10 @@ class ScenarioGenerator:
                 nodes=first.nodes + 1,
                 overrides=first.overrides,
             )
-        return self._fleet(rng, cohorts, t)
+        return self._fleet(rng, cohorts, t, space)
 
-    def _repair_skew(self, rng: random.Random) -> FleetSpec:
-        t = rng.choice((1, 2))
+    def _repair_skew(self, rng: random.Random, space: ConfigSpace) -> FleetSpec:
+        t = rng.choice(space.fault_tolerances)
         groups = rng.choice((2, 3))
         cohorts = []
         for g in range(groups):
@@ -334,7 +352,7 @@ class ScenarioGenerator:
                 repair_delay_hours=first.repair_delay_hours,
                 repair_cost=first.repair_cost,
             )
-        return self._fleet(rng, cohorts, t)
+        return self._fleet(rng, cohorts, t, space)
 
 
 # --------------------------------------------------------------------- #

@@ -78,6 +78,15 @@ from .raid import (
 )
 from .rebuild import RebuildModel, TransferBreakdown
 from .scrubbing import SECTOR_BYTES, ScrubbingModel
+from .space import (
+    DERIVED_AXES,
+    ConfigSpace,
+    ParamAxis,
+    SearchSpace,
+    SpaceError,
+    SpacePoint,
+    storage_overhead,
+)
 from .recursive import (
     RecursiveNoRaidModel,
     build_recursive_chain,
@@ -93,7 +102,9 @@ __all__ = [
     "fleet_expected_events",
     "fleet_loss_probability",
     "mission_survival_probability",
+    "ConfigSpace",
     "Configuration",
+    "DERIVED_AXES",
     "DetectionLatencyModel",
     "GB",
     "build_detection_chain",
@@ -105,6 +116,7 @@ __all__ = [
     "MonolithicSystem",
     "NoRaidNodeModel",
     "PAPER_TARGET_EVENTS_PER_PB_YEAR",
+    "ParamAxis",
     "ParameterError",
     "Parameters",
     "PerformanceImpact",
@@ -116,6 +128,9 @@ __all__ = [
     "ReliabilityResult",
     "SECTOR_BYTES",
     "ScrubbingModel",
+    "SearchSpace",
+    "SpaceError",
+    "SpacePoint",
     "TransferBreakdown",
     "all_configurations",
     "array_model",
@@ -154,4 +169,5 @@ __all__ = [
     "redundancy_sets_per_node",
     "redundancy_sets_total",
     "sensitivity_configurations",
+    "storage_overhead",
 ]

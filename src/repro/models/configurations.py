@@ -157,11 +157,12 @@ class Configuration:
 
 def all_configurations(max_fault_tolerance: int = 3) -> List[Configuration]:
     """The 3 x ``max_fault_tolerance`` configuration grid of Section 3."""
-    return [
-        Configuration(internal, t)
-        for t in range(1, max_fault_tolerance + 1)
-        for internal in (InternalRaid.NONE, InternalRaid.RAID5, InternalRaid.RAID6)
-    ]
+    from .space import ConfigSpace
+
+    space = ConfigSpace(
+        fault_tolerances=tuple(range(1, max_fault_tolerance + 1))
+    )
+    return space.configurations(major="fault_tolerance")
 
 
 #: The paper's nine configurations, in Figure 13 order.

@@ -99,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="Retry-After hint (seconds) sent with 429 (default 1)",
     )
+    admission.add_argument(
+        "--aux-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="shed auxiliary work (Monte Carlo, availability, sweeps, "
+        "advise) with 429 beyond N queued items (default 8)",
+    )
+    admission.add_argument(
+        "--advise-depth",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shed /v1/advise searches with 429 beyond N concurrent "
+        "searches (inside --aux-depth; default 2)",
+    )
     cache = parser.add_argument_group("result cache")
     cache.add_argument(
         "--cache-size",
@@ -186,6 +202,8 @@ def config_from_args(args: argparse.Namespace, error) -> ServeConfig:
         retry_after_s=args.retry_after,
         cache_size=args.cache_size,
         cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
+        aux_depth=args.aux_depth,
+        advise_depth=args.advise_depth,
         base_params=params,
         workers=args.workers,
         deadline_margin_us=args.deadline_margin_us,

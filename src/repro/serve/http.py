@@ -6,7 +6,8 @@ keep-alive connections, bounded header/body sizes, and nothing beyond
 
     POST /v1/evaluate   single- or multi-point reliability queries
     POST /v1/sweep      one-axis sweeps over many configurations
-    GET  /healthz       liveness, SLO burn, queue/cache/worker state
+    POST /v1/advise     design-space Pareto searches (the aux lane)
+    GET  /healthz       liveness, SLO burn, queue/cache/worker/aux state
     GET  /metricsz      the flat metrics snapshot (serve.* + globals);
                         ``?format=prom`` switches to Prometheus text
                         exposition
@@ -36,7 +37,12 @@ from urllib.parse import parse_qsl
 from .. import obs
 from ..runtime import WorkerCrashed
 from .batcher import Overloaded, synth_span
-from .protocol import ProtocolError, parse_evaluate_body, parse_sweep_body
+from .protocol import (
+    ProtocolError,
+    parse_advise_body,
+    parse_evaluate_body,
+    parse_sweep_body,
+)
 from .service import ReliabilityService, ServeConfig
 
 __all__ = ["HttpServer", "run_server", "serving"]
@@ -252,6 +258,8 @@ class HttpServer:
                 )
             elif request.path == "/v1/sweep":
                 status, payload, points = await self._sweep(request)
+            elif request.path == "/v1/advise":
+                status, payload, points = await self._advise(request)
             else:
                 status, payload = 404, {"error": f"no route {request.path}"}
         except ProtocolError as exc:
@@ -407,6 +415,15 @@ class HttpServer:
             query = parse_sweep_body(body, self.service.base_params)
         payload = await self.service.sweep(query)
         return 200, payload, len(query.values) * len(query.configs)
+
+    async def _advise(
+        self, request: _Request
+    ) -> Tuple[int, Dict[str, Any], int]:
+        body = self._parse_json(request)
+        with obs.span("serve.parse", path=request.path):
+            query = parse_advise_body(body, self.service.base_params)
+        payload = await self.service.advise(query)
+        return 200, payload, query.request.space.size()
 
     # ------------------------------------------------------------------ #
     # response writing

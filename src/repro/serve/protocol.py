@@ -34,11 +34,14 @@ from ..models.metrics import ReliabilityResult
 from ..models.parameters import ParameterError, Parameters
 
 __all__ = [
+    "MAX_ADVISE_CANDIDATES_PER_REQUEST",
     "MAX_POINTS_PER_REQUEST",
+    "AdviseQuery",
     "PointQuery",
     "ProtocolError",
     "SweepQuery",
     "params_with_overrides",
+    "parse_advise_body",
     "parse_evaluate_body",
     "parse_sweep_body",
     "point_response",
@@ -54,6 +57,11 @@ MAX_REPLICAS_PER_POINT = 10_000
 
 #: Cap on axis values per /v1/sweep call.
 MAX_SWEEP_VALUES = 512
+
+#: Cap on a /v1/advise search's grid cardinality — tighter than the
+#: library's own :data:`repro.advise.MAX_ADVISE_CANDIDATES` because an
+#: online search holds the aux lane for its whole duration.
+MAX_ADVISE_CANDIDATES_PER_REQUEST = 2048
 
 
 class ProtocolError(ValueError):
@@ -341,6 +349,47 @@ def parse_sweep_body(body: Any, base: Parameters) -> SweepQuery:
         values=tuple(float(v) for v in values),
         method=method,
     )
+
+
+@dataclass(frozen=True)
+class AdviseQuery:
+    """A validated ``/v1/advise`` request."""
+
+    request: "AdviseRequest"  # noqa: F821 - imported lazily below
+
+
+def parse_advise_body(body: Any, base: Parameters) -> AdviseQuery:
+    """Validate a ``/v1/advise`` body into an
+    :class:`repro.advise.AdviseRequest`.
+
+    The body is the request's JSON form (see ``docs/advise.md``)::
+
+        {"space": {"internal": ["none", "raid5"], "fault_tolerance": [1, 2],
+                   "axes": {"redundancy_set_size": [6, 8, 12]}},
+         "cost_model": {"drive_cost_per_year": 120},
+         "max_annual_cost": 2.5e6, "seed": 0}
+
+    Validation failures — including a space axis that does not resolve
+    against the server's base parameters — raise :class:`ProtocolError`
+    with the offending axis or field named.
+    """
+    from ..advise import AdviseError, AdviseRequest
+    from ..advise.cost import CostError
+    from ..models.space import SpaceError
+
+    _require(isinstance(body, Mapping), "request body must be a JSON object")
+    try:
+        request = AdviseRequest.from_dict(body)
+        request.space.validate(base)
+    except (AdviseError, CostError, SpaceError) as exc:
+        raise ProtocolError(str(exc)) from None
+    _require(
+        request.space.size() <= MAX_ADVISE_CANDIDATES_PER_REQUEST,
+        f"search space has {request.space.size()} candidates; "
+        f"at most {MAX_ADVISE_CANDIDATES_PER_REQUEST} per online request "
+        "(use the repro-advise CLI for larger searches)",
+    )
+    return AdviseQuery(request=request)
 
 
 def point_response(

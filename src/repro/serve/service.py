@@ -50,7 +50,7 @@ from ..models.metrics import ReliabilityResult
 from ..models.parameters import Parameters
 from ..runtime import ProcessTopology, ThreadTopology
 from .batcher import CoalescingBatcher, Overloaded
-from .protocol import PointQuery, SweepQuery, point_response
+from .protocol import AdviseQuery, PointQuery, SweepQuery, point_response
 from .shard import shard_index
 from .solvecore import make_state, solve_handler
 from .ttl_cache import TTLCache
@@ -76,7 +76,11 @@ class ServeConfig:
             front-end cache is off.
         cache_ttl_s: result-cache entry lifetime (None = no expiry).
         aux_depth: admission bound on queued auxiliary work (Monte Carlo,
-            availability profiles, sweeps).
+            availability profiles, sweeps, advise searches).
+        advise_depth: additional admission bound on concurrent
+            ``/v1/advise`` searches (they hold the aux lane much longer
+            than a sweep, so they get a tighter gate inside
+            ``aux_depth``).
         workers: shard worker processes.  0 (default) keeps the classic
             single-process topology (solver thread); N > 0 forks N
             workers and shards points across them by spec hash.
@@ -114,6 +118,7 @@ class ServeConfig:
     cache_size: int = 4096
     cache_ttl_s: Optional[float] = 300.0
     aux_depth: int = 8
+    advise_depth: int = 2
     workers: int = 0
     deadline_margin_us: int = 500
     default_deadline_ms: Optional[float] = None
@@ -222,15 +227,22 @@ class ReliabilityService:
         # solve context, which is not re-entrant across threads.
         self._aux = ThreadTopology(_call_aux, size=1, name="repro-serve-aux")
         self._aux_pending = 0
+        self._aux_inflight = 0
+        self._advise_pending = 0
         self._engine = SweepEngine(
             base_params=self.base_params, jobs=1, cache=False
         )
         self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         self._coalesced = self.metrics.counter("serve.inflight.coalesced")
         self._aux_gauge = self.metrics.gauge("serve.aux.pending")
+        self._aux_inflight_gauge = self.metrics.gauge("serve.aux.inflight")
+        self._aux_queued_gauge = self.metrics.gauge("serve.aux.queued")
         self._aux_shed = self.metrics.counter("serve.aux.shed")
+        self._advise_gauge = self.metrics.gauge("serve.advise.pending")
+        self._advise_shed = self.metrics.counter("serve.advise.shed")
         self._eval_requests = self.metrics.counter("serve.requests.evaluate")
         self._sweep_requests = self.metrics.counter("serve.requests.sweep")
+        self._advise_requests = self.metrics.counter("serve.requests.advise")
         self.started_unix = time.time()
         self.draining = False
 
@@ -458,6 +470,49 @@ class ReliabilityService:
         }
 
     # ------------------------------------------------------------------ #
+    # advise searches
+    # ------------------------------------------------------------------ #
+
+    async def advise(self, query: AdviseQuery) -> Dict[str, Any]:
+        """Answer one design-space search (see :mod:`repro.advise`).
+
+        Searches run on the aux lane behind a second, tighter admission
+        gate (``advise_depth`` inside ``aux_depth``): a long search must
+        not starve the cheap aux work, and a burst of searches sheds
+        with 429 instead of queueing for minutes.  The shared engine's
+        compiled-spec memo persists across searches, so repeat searches
+        over the same chain families bind rather than rebuild.
+        """
+        self._advise_requests.inc()
+        if self._advise_pending >= self.config.advise_depth:
+            self._advise_shed.inc()
+            raise Overloaded(self.config.retry_after_s)
+        request = query.request
+
+        def run() -> Any:
+            from ..advise import advise as run_advise
+
+            with obs.span(
+                "serve.advise",
+                candidates=request.space.size(),
+                seed=request.seed,
+            ):
+                return run_advise(
+                    request,
+                    base_params=self.base_params,
+                    engine=self._engine,
+                )
+
+        self._advise_pending += 1
+        self._advise_gauge.set(self._advise_pending)
+        try:
+            result = await self._offload(run)
+        finally:
+            self._advise_pending -= 1
+            self._advise_gauge.set(self._advise_pending)
+        return result.to_dict()
+
+    # ------------------------------------------------------------------ #
     # auxiliary work (single worker thread, bounded backlog)
     # ------------------------------------------------------------------ #
 
@@ -465,13 +520,34 @@ class ReliabilityService:
         if self.draining or self._aux_pending >= self.config.aux_depth:
             self._aux_shed.inc()
             raise Overloaded(self.config.retry_after_s)
+
+        def tracked() -> Any:
+            # Runs on the aux worker thread; the GIL makes the int
+            # bumps safe and the gauges tolerate cross-thread sets.
+            self._aux_inflight += 1
+            self._aux_inflight_gauge.set(self._aux_inflight)
+            self._aux_queued_gauge.set(
+                max(0, self._aux_pending - self._aux_inflight)
+            )
+            try:
+                return fn()
+            finally:
+                self._aux_inflight -= 1
+                self._aux_inflight_gauge.set(self._aux_inflight)
+
         self._aux_pending += 1
         self._aux_gauge.set(self._aux_pending)
+        self._aux_queued_gauge.set(
+            max(0, self._aux_pending - self._aux_inflight)
+        )
         try:
-            return await self._aux.asubmit(fn)
+            return await self._aux.asubmit(tracked)
         finally:
             self._aux_pending -= 1
             self._aux_gauge.set(self._aux_pending)
+            self._aux_queued_gauge.set(
+                max(0, self._aux_pending - self._aux_inflight)
+            )
 
     # ------------------------------------------------------------------ #
     # introspection endpoints
@@ -488,6 +564,18 @@ class ReliabilityService:
             "queue_depth": sum(b.depth for b in self.batchers),
             "inflight": len(self._inflight),
             "cache_entries": len(self.cache),
+        }
+        payload["aux"] = {
+            "depth": self.config.aux_depth,
+            "pending": self._aux_pending,
+            "inflight": self._aux_inflight,
+            "queued": max(0, self._aux_pending - self._aux_inflight),
+            "shed": int(self._aux_shed.value),
+            "advise": {
+                "depth": self.config.advise_depth,
+                "pending": self._advise_pending,
+                "shed": int(self._advise_shed.value),
+            },
         }
         payload.update(self.live.health())
         if self.topology is not None:

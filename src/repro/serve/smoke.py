@@ -28,6 +28,12 @@ worker-crash faultpoint mid-run, asserts the clean 503, the restart,
 and that the flight recorder left a dump whose last recorded request is
 the one that observed the 503 — the dump directory is the CI artifact.
 
+``--advise`` additionally POSTs a seeded design-space search to
+``/v1/advise`` while the loadgen traffic is draining and asserts the
+frontier it returns: non-empty, mutually non-dominated, and with a
+reliability bitwise-equal to a direct ``repro.evaluate`` of the same
+point (the serving layer must not perturb the numbers).
+
 Exit status 0 means all checks passed; the trace and metrics files are
 left behind as CI artifacts.
 """
@@ -45,6 +51,8 @@ from contextlib import redirect_stdout
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..engine import evaluate
+from ..models import Configuration, Parameters
 from ..runtime import faultpoints
 from . import top
 from .http import serving
@@ -124,6 +132,7 @@ async def _drive(
     seed: int,
     shape: Optional[TrafficShape],
     crash_trigger: Optional[str] = None,
+    advise: bool = False,
 ) -> Tuple[LoadReport, obs.Metrics, List[dict], Dict[str, Any]]:
     """Run the scenario; ``extras`` carries the live-telemetry probes
     taken while the server was up (prom text, top frame, drill result)."""
@@ -148,6 +157,28 @@ async def _drive(
                 if workers and all(w.get("alive") for w in workers):
                     break
                 await asyncio.sleep(0.01)
+        if advise:
+            advise_status, advise_resp = await _raw_post(
+                server.host,
+                server.port,
+                "/v1/advise",
+                {
+                    "space": {
+                        "internal": ["none", "raid5", "raid6"],
+                        "fault_tolerance": [1, 2, 3],
+                        "axes": {"redundancy_set_size": [6, 8, 12]},
+                    },
+                    "seed": 0,
+                },
+            )
+            try:
+                advise_payload = json.loads(advise_resp.decode("utf-8"))
+            except ValueError:
+                advise_payload = {}
+            extras["advise"] = {
+                "status": advise_status,
+                "payload": advise_payload,
+            }
         status, ctype, prom_body = await _raw_get(
             server.host, server.port, "/metricsz?format=prom"
         )
@@ -169,8 +200,13 @@ async def _drive(
             "frame": frame.getvalue(),
         }
         # The telemetry probes are themselves HTTP requests the server
-        # counts: 2 drill posts, 1 prom scrape, 2 repro-top polls.
-        extras["probe_requests"] = 3 + (2 if crash_trigger is not None else 0)
+        # counts: 2 drill posts, 1 advise post, 1 prom scrape, 2
+        # repro-top polls.
+        extras["probe_requests"] = (
+            3
+            + (2 if crash_trigger is not None else 0)
+            + (1 if advise else 0)
+        )
         workers = server.service.health().get("workers", [])
         extras["health"] = server.service.health()
         metrics = obs.Metrics.merged([server.service.metrics])
@@ -190,6 +226,7 @@ def run_smoke(
     samples_path: Optional[str] = None,
     flight_dir: Optional[str] = None,
     crash_drill: bool = False,
+    advise: bool = False,
 ) -> Tuple[LoadReport, obs.Metrics, List[str]]:
     """Run the smoke scenario; returns (report, metrics, failures)."""
     if crash_drill and workers <= 0:
@@ -232,6 +269,7 @@ def run_smoke(
                     seed,
                     shape_by_name(shape),
                     crash_trigger=trigger,
+                    advise=advise,
                 )
             )
             active.add_metrics_source(lambda: metrics)
@@ -326,6 +364,41 @@ def run_smoke(
         top_probe["exit"] == 0 and "repro-top" in top_probe["frame"],
         f"repro-top --once rendered a frame (exit {top_probe['exit']})",
     )
+    if advise:
+        probe = extras["advise"]
+        frontier = probe["payload"].get("frontier") or []
+        check(
+            probe["status"] == 200 and len(frontier) > 0,
+            f"/v1/advise answered 200 with a non-empty frontier "
+            f"(status {probe['status']}, {len(frontier)} points)",
+        )
+        objectives = [tuple(p["objectives"]) for p in frontier]
+        dominated = sum(
+            1
+            for i, a in enumerate(objectives)
+            for j, b in enumerate(objectives)
+            if i != j
+            and all(x <= y for x, y in zip(a, b))
+            and any(x < y for x, y in zip(a, b))
+        )
+        check(
+            dominated == 0,
+            f"no frontier point dominates another "
+            f"({len(frontier)} points, {dominated} violations)",
+        )
+        if frontier:
+            point = frontier[0]
+            direct = evaluate(
+                Configuration.from_key(point["config"]),
+                Parameters(**point["params"]),
+            )
+            check(
+                direct.mttdl_hours == point["reliability"]["mttdl_hours"]
+                and direct.events_per_pb_year
+                == point["reliability"]["events_per_pb_year"],
+                f"served frontier reliability bitwise-equal to "
+                f"repro.evaluate ({point['config']})",
+            )
     slo = extras["health"].get("slo", {})
     check(
         isinstance(slo, dict) and slo.get("good", 0) > 0,
@@ -428,6 +501,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="kill a shard worker mid-run and assert the 503 + restart "
         "+ flight dump (needs --workers > 0)",
     )
+    parser.add_argument(
+        "--advise",
+        action="store_true",
+        help="POST a seeded /v1/advise search and assert its frontier "
+        "(non-empty, mutually non-dominated, bitwise vs repro.evaluate)",
+    )
     args = parser.parse_args(argv)
     _, _, failures = run_smoke(
         rps=args.rps,
@@ -441,6 +520,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         samples_path=args.samples,
         flight_dir=args.flight_dir,
         crash_drill=args.crash_drill,
+        advise=args.advise,
     )
     if failures:
         print(f"\nserve-smoke FAILED ({len(failures)} checks)")

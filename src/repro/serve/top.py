@@ -131,6 +131,22 @@ def render(
             f"burn[{burn}]"
         )
 
+    aux = health.get("aux")
+    if isinstance(aux, dict):
+        advise = aux.get("advise")
+        advise_part = (
+            f"  advise {advise.get('pending', 0)}/{advise.get('depth', '?')}"
+            f" (shed {advise.get('shed', 0)})"
+            if isinstance(advise, dict)
+            else ""
+        )
+        lines.append(
+            f"  aux        depth {aux.get('depth', '?')}  "
+            f"inflight {aux.get('inflight', 0)}  "
+            f"queued {aux.get('queued', 0)}  "
+            f"shed {aux.get('shed', 0)}{advise_part}"
+        )
+
     shards = _shard_labels(metrics)
     if shards:
         lines.append("  shards:")

@@ -1,0 +1,101 @@
+"""Tests for the ``repro-advise`` CLI."""
+
+import json
+
+import pytest
+
+import repro
+from repro.advise.cli import main
+
+pytestmark = pytest.mark.advise
+
+SMALL = ["--internal", "none,raid5", "--ft", "1,2"]
+
+
+def test_default_search_renders_table(capsys):
+    assert main(SMALL) == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+    assert "events/PB-yr" in out
+    assert "recommended (*)" in out
+
+
+def test_json_stdout_is_the_full_result(capsys):
+    assert main(SMALL + ["--json", "-", "--quiet"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "repro-advise-result"
+    assert payload["evaluated"] == 12
+    assert payload["frontier"]
+    assert payload["recommended"] is not None
+
+
+def test_json_file_and_table_agree(tmp_path, capsys):
+    path = tmp_path / "advise.json"
+    assert main(SMALL + ["--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(path.read_text())
+    for point in payload["frontier"]:
+        assert point["config"] in out
+
+
+def test_frontier_bitwise_matches_library(capsys):
+    assert main(SMALL + ["--seed", "3", "--json", "-", "--quiet"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    request = repro.AdviseRequest.from_dict(payload["request"])
+    direct = repro.advise(request).to_dict()
+    assert direct["frontier"] == payload["frontier"]
+    assert direct["recommended"] == payload["recommended"]
+
+
+def test_axis_and_cost_overrides(capsys):
+    args = SMALL + [
+        "--axis",
+        "redundancy_set_size=8,12",
+        "--axis",
+        "scrub_interval_hours=168,730",
+        "--cost",
+        "drive_cost_per_year=120",
+        "--json",
+        "-",
+        "--quiet",
+    ]
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["evaluated"] == 2 * 2 * 2 * 2
+    request = payload["request"]
+    assert request["cost_model"]["drive_cost_per_year"] == 120.0
+    assert request["space"]["axes"]["scrub_interval_hours"] == [168, 730]
+
+
+def test_no_feasible_candidate_exits_one(capsys):
+    assert main(SMALL + ["--budget", "1", "--quiet"]) == 1
+
+
+def test_bad_axis_named_in_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(SMALL + ["--axis", "no_such_field=1,2"])
+    assert excinfo.value.code == 2
+    assert "no_such_field" in capsys.readouterr().err
+
+
+def test_bad_internal_level_rejected(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--internal", "raid7"])
+    assert excinfo.value.code == 2
+    assert "raid7" in capsys.readouterr().err
+
+
+def test_trace_contains_advise_spans(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    assert main(SMALL + ["--quiet", "--trace", str(trace)]) == 0
+    spans = repro.obs.validate_trace(str(trace))
+    names = {s["name"] for s in spans}
+    for required in (
+        "repro-advise",
+        "advise.search",
+        "advise.enumerate",
+        "advise.evaluate",
+        "advise.cost",
+        "advise.frontier",
+    ):
+        assert required in names
